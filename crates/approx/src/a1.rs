@@ -1,0 +1,110 @@
+//! `A1` — the "important objects only" tentative approximation (Fig. 6a).
+//!
+//! Section 4 of the paper evaluates two immediate ideas before settling on
+//! Monte-Carlo sampling. A1 computes `sky(O)` exactly, but over only the
+//! `k` attackers with the highest dominance probabilities. Ignoring
+//! attackers can only *raise* the computed probability (fewer ways to be
+//! dominated), so A1 overestimates monotonically in the ignored mass; the
+//! paper found it "can not guarantee the quality of approximate answers"
+//! and needed over an hour to reach 25 important objects — which the
+//! Figure 6(a) bench reproduces in shape.
+
+use std::time::{Duration, Instant};
+
+use presky_core::coins::CoinView;
+
+use presky_exact::det::{sky_det_view, DetOptions};
+
+use crate::error::Result;
+
+/// Outcome of an A1 evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct A1Outcome {
+    /// The (over-)estimate of `sky`.
+    pub estimate: f64,
+    /// Number of attackers actually used.
+    pub k_used: usize,
+    /// Joint probabilities computed by the exact engine on the subset.
+    pub joints_computed: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Exact inclusion–exclusion over the `k` most dominating attackers.
+pub fn sky_a1(view: &CoinView, k: usize, det: DetOptions) -> Result<A1Outcome> {
+    let start = Instant::now();
+    let order = view.checking_sequence();
+    let k_used = k.min(order.len());
+    let sub = view.restrict(&order[..k_used]);
+    let out = sky_det_view(&sub, det)?;
+    Ok(A1Outcome {
+        estimate: out.sky,
+        k_used,
+        joints_computed: out.joints_computed,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Evaluate A1 at several `k` values (the Figure 6(a) sweep).
+pub fn a1_sweep(view: &CoinView, ks: &[usize], det: DetOptions) -> Result<Vec<A1Outcome>> {
+    ks.iter().map(|&k| sky_a1(view, k, det)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::{PrefPair, TablePreferences};
+    use presky_core::table::Table;
+    use presky_core::types::ObjectId;
+
+    use super::*;
+
+    fn example1_view() -> CoinView {
+        let t = Table::from_rows_raw(
+            2,
+            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
+        )
+        .unwrap();
+        let p = TablePreferences::with_default(PrefPair::half());
+        CoinView::build(&t, &p, ObjectId(0)).unwrap()
+    }
+
+    #[test]
+    fn full_k_is_exact() {
+        let view = example1_view();
+        let out = sky_a1(&view, 4, DetOptions::default()).unwrap();
+        assert!((out.estimate - 3.0 / 16.0).abs() < 1e-12);
+        assert_eq!(out.k_used, 4);
+    }
+
+    #[test]
+    fn estimates_decrease_monotonically_in_k() {
+        let view = example1_view();
+        let sweep = a1_sweep(&view, &[0, 1, 2, 3, 4], DetOptions::default()).unwrap();
+        for w in sweep.windows(2) {
+            assert!(
+                w[0].estimate >= w[1].estimate - 1e-12,
+                "A1 overestimates shrink as more attackers are included"
+            );
+        }
+        assert_eq!(sweep[0].estimate, 1.0, "k = 0 ignores everyone");
+    }
+
+    #[test]
+    fn k_larger_than_n_saturates() {
+        let view = example1_view();
+        let out = sky_a1(&view, 99, DetOptions::default()).unwrap();
+        assert_eq!(out.k_used, 4);
+        assert!((out.estimate - 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn always_at_least_the_true_sky() {
+        // A1 is a one-sided (over-)estimate by construction.
+        let view = example1_view();
+        let exact = 3.0 / 16.0;
+        for k in 0..=4 {
+            let out = sky_a1(&view, k, DetOptions::default()).unwrap();
+            assert!(out.estimate >= exact - 1e-12, "k={k}: {}", out.estimate);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! `A2` — the truncated inclusion–exclusion tentative approximation
+//! (Fig. 6b).
+//!
+//! A2 computes only a budgeted number of the `2^n − 1` joint probabilities
+//! of Equation 4, in levelwise order, and returns the truncated signed sum.
+//! Bonferroni-style truncation alternates between over- and
+//! under-estimates and — because the level sums grow combinatorially before
+//! cancelling — the truncated value can leave `[0, 1]` entirely. The paper
+//! measured absolute errors above 1 ("even a random guess will guarantee
+//! better absolute errors") and dismissed the approach; the Figure 6(b)
+//! bench reproduces exactly that blow-up.
+
+use std::time::{Duration, Instant};
+
+use presky_core::coins::CoinView;
+
+use presky_exact::levelwise::sky_levelwise_partial;
+
+use crate::error::Result;
+
+/// Outcome of an A2 evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct A2Outcome {
+    /// The truncated inclusion–exclusion sum (may fall outside `[0, 1]`).
+    pub estimate: f64,
+    /// Joint probabilities actually computed.
+    pub joints_computed: u64,
+    /// Whether the budget covered the whole lattice (estimate is exact).
+    pub complete: bool,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Truncated inclusion–exclusion under a joint-probability budget.
+pub fn sky_a2(view: &CoinView, max_joints: u64) -> Result<A2Outcome> {
+    let start = Instant::now();
+    let (estimate, joints_computed, complete) = sky_levelwise_partial(view, max_joints)?;
+    Ok(A2Outcome { estimate, joints_computed, complete, elapsed: start.elapsed() })
+}
+
+/// Evaluate A2 at several budgets (the Figure 6(b) sweep).
+pub fn a2_sweep(view: &CoinView, budgets: &[u64]) -> Result<Vec<A2Outcome>> {
+    budgets.iter().map(|&b| sky_a2(view, b)).collect()
+}
+
+/// A2 for instances beyond the 64-attacker mask width of the layered
+/// engine — Figure 6(b) runs on a thousand objects. Same truncation order,
+/// `O(n + m)` memory, no sharing (each joint recomputed in `O(|I|·d)`).
+pub fn sky_a2_big(view: &CoinView, max_joints: u64) -> A2Outcome {
+    let start = Instant::now();
+    let (estimate, joints_computed, complete) =
+        presky_exact::levelwise::sky_levelwise_partial_big(view, max_joints);
+    A2Outcome { estimate, joints_computed, complete, elapsed: start.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::{PrefPair, TablePreferences};
+    use presky_core::table::Table;
+    use presky_core::types::ObjectId;
+
+    use super::*;
+
+    fn example1_view() -> CoinView {
+        let t = Table::from_rows_raw(
+            2,
+            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
+        )
+        .unwrap();
+        let p = TablePreferences::with_default(PrefPair::half());
+        CoinView::build(&t, &p, ObjectId(0)).unwrap()
+    }
+
+    #[test]
+    fn generous_budget_is_exact() {
+        let out = sky_a2(&example1_view(), 1_000).unwrap();
+        assert!(out.complete);
+        assert_eq!(out.joints_computed, 15);
+        assert!((out.estimate - 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_can_leave_the_unit_interval() {
+        // Stopping after level 1 yields 1 − 3/2 = −1/2 — absolute error
+        // above 0.5, exactly the Figure 6(b) pathology.
+        let out = sky_a2(&example1_view(), 4).unwrap();
+        assert!(!out.complete);
+        assert!(out.estimate < 0.0, "estimate {}", out.estimate);
+        let err = (out.estimate - 3.0 / 16.0).abs();
+        assert!(err > 0.5);
+    }
+
+    #[test]
+    fn alternating_bonferroni_direction() {
+        let view = example1_view();
+        let exact = 3.0 / 16.0;
+        // Levels end after 4, 10, 14, 15 joints.
+        let l1 = sky_a2(&view, 4).unwrap().estimate;
+        let l2 = sky_a2(&view, 10).unwrap().estimate;
+        let l3 = sky_a2(&view, 14).unwrap().estimate;
+        let l4 = sky_a2(&view, 15).unwrap().estimate;
+        assert!(l1 <= exact + 1e-12, "odd truncation underestimates");
+        assert!(l2 >= exact - 1e-12, "even truncation overestimates");
+        assert!(l3 <= exact + 1e-12);
+        assert!((l4 - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_reports_increasing_work() {
+        let view = example1_view();
+        let sweep = a2_sweep(&view, &[1, 5, 10, 100]).unwrap();
+        assert_eq!(sweep[0].joints_computed, 1);
+        assert_eq!(sweep[3].joints_computed, 15);
+        assert!(sweep[3].complete);
+    }
+}

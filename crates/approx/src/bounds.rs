@@ -1,0 +1,90 @@
+//! Hoeffding sample-size arithmetic (Theorem 2).
+//!
+//! Algorithm 2 estimates `sky(O)` as the mean of `m` i.i.d. 0–1 variables.
+//! Hoeffding's inequality gives
+//!
+//! ```text
+//! Pr(|Y/m − sky(O)| ≥ ε) ≤ 2·exp(−2mε²)
+//! ```
+//!
+//! so `m = (1/2ε²)·ln(2/δ)` samples suffice for an ε-approximation with
+//! confidence `1 − δ` — the paper's `ε = δ = 0.01` works out to 26 492
+//! samples, although Section 6.2 observes that 3 000 already meets the
+//! error bound in practice.
+
+use crate::error::{ApproxError, Result};
+
+fn check_unit_open(name: &'static str, v: f64) -> Result<()> {
+    if v.is_nan() || v <= 0.0 || v >= 1.0 {
+        return Err(ApproxError::InvalidParameter { name, value: v });
+    }
+    Ok(())
+}
+
+/// The Hoeffding sample size `⌈(1/2ε²)·ln(2/δ)⌉` of Theorem 2.
+pub fn hoeffding_samples(epsilon: f64, delta: f64) -> Result<u64> {
+    check_unit_open("epsilon", epsilon)?;
+    check_unit_open("delta", delta)?;
+    Ok(((2.0f64 / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as u64)
+}
+
+/// The error bound `ε = sqrt(ln(2/δ) / 2m)` achieved by `m` samples at
+/// confidence `1 − δ`.
+pub fn hoeffding_epsilon(samples: u64, delta: f64) -> Result<f64> {
+    check_unit_open("delta", delta)?;
+    if samples == 0 {
+        return Err(ApproxError::ZeroSamples);
+    }
+    Ok(((2.0f64 / delta).ln() / (2.0 * samples as f64)).sqrt())
+}
+
+/// The failure probability `δ = 2·exp(−2mε²)` of `m` samples at error `ε`
+/// (may exceed 1 for hopeless budgets — it is only an upper bound).
+pub fn hoeffding_delta(samples: u64, epsilon: f64) -> Result<f64> {
+    check_unit_open("epsilon", epsilon)?;
+    if samples == 0 {
+        return Err(ApproxError::ZeroSamples);
+    }
+    Ok(2.0 * (-2.0 * samples as f64 * epsilon * epsilon).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sample_size() {
+        // "theoretically the sample size for both algorithms should be
+        // 26492 (1/(2ε²) · ln(2/δ))" at ε = δ = 0.01.
+        assert_eq!(hoeffding_samples(0.01, 0.01).unwrap(), 26_492);
+    }
+
+    #[test]
+    fn round_trips_are_consistent() {
+        let eps = 0.02;
+        let delta = 0.05;
+        let m = hoeffding_samples(eps, delta).unwrap();
+        let eps_back = hoeffding_epsilon(m, delta).unwrap();
+        assert!(eps_back <= eps + 1e-12, "ceil only tightens the bound");
+        let delta_back = hoeffding_delta(m, eps).unwrap();
+        assert!(delta_back <= delta + 1e-12);
+    }
+
+    #[test]
+    fn monotonicity() {
+        assert!(hoeffding_samples(0.01, 0.01).unwrap() > hoeffding_samples(0.05, 0.01).unwrap());
+        assert!(hoeffding_samples(0.01, 0.01).unwrap() > hoeffding_samples(0.01, 0.10).unwrap());
+        assert!(
+            hoeffding_epsilon(10_000, 0.01).unwrap() < hoeffding_epsilon(1_000, 0.01).unwrap()
+        );
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(hoeffding_samples(0.0, 0.5).is_err());
+        assert!(hoeffding_samples(1.0, 0.5).is_err());
+        assert!(hoeffding_samples(0.5, f64::NAN).is_err());
+        assert!(hoeffding_epsilon(0, 0.5).is_err());
+        assert!(hoeffding_delta(100, 1.5).is_err());
+    }
+}

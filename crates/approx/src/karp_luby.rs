@@ -1,0 +1,219 @@
+//! Karp–Luby importance sampling — an FPRAS-style extension.
+//!
+//! The paper's `Sam` estimates `sky(O)` with an *additive* `(ε, δ)`
+//! guarantee: when `sky(O)` is tiny (an object dominated with overwhelming
+//! probability), the plain estimator returns 0 long before it resolves the
+//! true magnitude. The classical Karp–Luby estimator for DNF counting
+//! transfers directly to the coin view (which *is* a weighted positive
+//! DNF) and estimates the complement `P(⋃ e_i)` with *relative* accuracy:
+//!
+//! 1. let `M = Σ_i Pr(e_i)` (each term by Equation 2);
+//! 2. sample attacker `i` with probability `Pr(e_i)/M`, then a world
+//!    conditioned on `e_i` (coins of `i` forced to win, all other coins
+//!    drawn independently);
+//! 3. let `c` be the number of attackers dominating in that world
+//!    (`c ≥ 1`); the sample value is `1/c`;
+//! 4. `P(⋃ e_i) = M · E[1/c]`, so `sky = 1 − M · mean`.
+//!
+//! The estimator is unbiased and its sample values live in `[M/n, M]`,
+//! giving the usual FPRAS sample bound. This module is the X1 ablation of
+//! DESIGN.md — it is *not* part of the paper's algorithm suite.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use presky_core::coins::CoinView;
+use presky_core::preference::PreferenceModel;
+use presky_core::table::Table;
+use presky_core::types::ObjectId;
+
+use crate::error::{ApproxError, Result};
+
+/// Configuration of the Karp–Luby estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct KarpLubyOptions {
+    /// Number of conditioned worlds to sample.
+    pub samples: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KarpLubyOptions {
+    fn default() -> Self {
+        Self { samples: 3000, seed: 0 }
+    }
+}
+
+/// Outcome of a Karp–Luby run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KarpLubyOutcome {
+    /// The estimate of `sky = 1 − M · E[1/c]`, clamped to `[0, 1]`.
+    pub estimate: f64,
+    /// The unclamped union-probability estimate `M · mean(1/c)`.
+    pub union_estimate: f64,
+    /// `M = Σ Pr(e_i)` (exact, not sampled).
+    pub total_mass: f64,
+    /// Worlds sampled.
+    pub samples: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Karp–Luby estimate of `sky(target)` over a table.
+pub fn sky_karp_luby<M: PreferenceModel>(
+    table: &Table,
+    prefs: &M,
+    target: ObjectId,
+    opts: KarpLubyOptions,
+) -> Result<KarpLubyOutcome> {
+    let view = CoinView::build(table, prefs, target)?;
+    sky_karp_luby_view(&view, opts)
+}
+
+/// Karp–Luby estimate on a reduced instance.
+pub fn sky_karp_luby_view(view: &CoinView, opts: KarpLubyOptions) -> Result<KarpLubyOutcome> {
+    if opts.samples == 0 {
+        return Err(ApproxError::ZeroSamples);
+    }
+    let start = Instant::now();
+    let n = view.n_attackers();
+    let m_coins = view.n_coins();
+
+    // Cumulative attacker masses for weighted selection.
+    let probs: Vec<f64> = (0..n).map(|i| view.attacker_prob(i)).collect();
+    let total_mass: f64 = probs.iter().sum();
+    if total_mass == 0.0 {
+        // No attacker can ever dominate.
+        return Ok(KarpLubyOutcome {
+            estimate: 1.0,
+            union_estimate: 0.0,
+            total_mass,
+            samples: opts.samples,
+            elapsed: start.elapsed(),
+        });
+    }
+    let mut cumulative = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for &p in &probs {
+        acc += p;
+        cumulative.push(acc);
+    }
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut win = vec![false; m_coins];
+    let mut sum_inv_c = 0.0;
+
+    for _ in 0..opts.samples {
+        // Select attacker i ∝ Pr(e_i).
+        let u: f64 = rng.random::<f64>() * total_mass;
+        let i = cumulative.partition_point(|&c| c < u).min(n - 1);
+        // Realize the world conditioned on e_i.
+        for (k, w) in win.iter_mut().enumerate() {
+            *w = rng.random::<f64>() < view.coin_prob(k as u32);
+        }
+        for &k in view.attacker_coins(i) {
+            win[k as usize] = true;
+        }
+        // Count dominating attackers (at least i itself).
+        let c = (0..n)
+            .filter(|&j| view.attacker_coins(j).iter().all(|&k| win[k as usize]))
+            .count();
+        debug_assert!(c >= 1);
+        sum_inv_c += 1.0 / c as f64;
+    }
+
+    let union_estimate = total_mass * sum_inv_c / opts.samples as f64;
+    Ok(KarpLubyOutcome {
+        estimate: (1.0 - union_estimate).clamp(0.0, 1.0),
+        union_estimate,
+        total_mass,
+        samples: opts.samples,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::{PrefPair, TablePreferences};
+
+    use super::*;
+
+    fn example1() -> (Table, TablePreferences) {
+        let t = Table::from_rows_raw(
+            2,
+            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
+        )
+        .unwrap();
+        (t, TablePreferences::with_default(PrefPair::half()))
+    }
+
+    #[test]
+    fn converges_on_example1() {
+        let (t, p) = example1();
+        let out = sky_karp_luby(
+            &t,
+            &p,
+            ObjectId(0),
+            KarpLubyOptions { samples: 60_000, seed: 5 },
+        )
+        .unwrap();
+        assert!((out.estimate - 3.0 / 16.0).abs() < 0.01, "estimate {}", out.estimate);
+        assert!((out.total_mass - 1.5).abs() < 1e-12, "Σ Pr(e_i) = 3/2");
+    }
+
+    #[test]
+    fn relative_accuracy_on_tiny_sky() {
+        // 8 independent attackers each dominating w.p. 0.55:
+        // sky = 0.45^8 ≈ 1.68e-3. Karp–Luby resolves the complement with
+        // relative precision where plain Sam would need ~1/sky samples.
+        let view = CoinView::from_parts(
+            vec![0.55; 8],
+            (0..8).map(|i| vec![i]).collect(),
+        )
+        .unwrap();
+        let exact = 0.45f64.powi(8);
+        let out = sky_karp_luby_view(&view, KarpLubyOptions { samples: 200_000, seed: 1 })
+            .unwrap();
+        let rel = ((1.0 - out.estimate) - (1.0 - exact)).abs() / (1.0 - exact);
+        assert!(rel < 0.01, "relative error {rel}");
+    }
+
+    #[test]
+    fn no_attackers_is_certain() {
+        let view = CoinView::from_parts(vec![], vec![]).unwrap();
+        let out = sky_karp_luby_view(&view, KarpLubyOptions::default()).unwrap();
+        assert_eq!(out.estimate, 1.0);
+        assert_eq!(out.union_estimate, 0.0);
+    }
+
+    #[test]
+    fn impossible_attackers_are_certain_skyline() {
+        let view = CoinView::from_parts(vec![0.0], vec![vec![0]]).unwrap();
+        let out = sky_karp_luby_view(&view, KarpLubyOptions::default()).unwrap();
+        assert_eq!(out.estimate, 1.0);
+    }
+
+    #[test]
+    fn certain_attacker_gives_zero() {
+        let view = CoinView::from_parts(vec![1.0], vec![vec![0]]).unwrap();
+        let out =
+            sky_karp_luby_view(&view, KarpLubyOptions { samples: 500, seed: 0 }).unwrap();
+        assert_eq!(out.estimate, 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_zero_samples_rejected() {
+        let (t, p) = example1();
+        let o = KarpLubyOptions { samples: 1000, seed: 9 };
+        let a = sky_karp_luby(&t, &p, ObjectId(0), o).unwrap();
+        let b = sky_karp_luby(&t, &p, ObjectId(0), o).unwrap();
+        assert_eq!(a.estimate, b.estimate);
+        let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        assert!(matches!(
+            sky_karp_luby_view(&view, KarpLubyOptions { samples: 0, seed: 0 }),
+            Err(ApproxError::ZeroSamples)
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! `Sac` — the independent-object-dominance baseline of Sacharidis et al.
+//!
+//! Equation 2 of \[21\] computes `sky(O) = Π_i (1 − Pr(e_i))`, treating
+//! object dominance events as mutually independent. The paper's opening
+//! observation shows this is **wrong in general**: attackers sharing an
+//! attribute value (a coin) have dependent dominance events. `Sac` is
+//! implemented here as the baseline the correct algorithms are compared
+//! against — it is exact precisely when the coin view's attackers are
+//! pairwise coin-disjoint (one attacker per partition component).
+
+use presky_core::coins::CoinView;
+use presky_core::preference::PreferenceModel;
+use presky_core::table::Table;
+use presky_core::types::ObjectId;
+
+use crate::error::Result;
+
+/// The independent-dominance estimate `Π (1 − Pr(e_i))` over a table.
+pub fn sky_sac<M: PreferenceModel>(table: &Table, prefs: &M, target: ObjectId) -> Result<f64> {
+    let view = CoinView::build(table, prefs, target)?;
+    Ok(sky_sac_view(&view))
+}
+
+/// The independent-dominance estimate on a reduced instance.
+pub fn sky_sac_view(view: &CoinView) -> f64 {
+    (0..view.n_attackers())
+        .map(|i| 1.0 - view.attacker_prob(i))
+        .product()
+}
+
+/// Whether `Sac` is provably exact for this instance: no two attackers
+/// share a coin.
+pub fn sac_is_exact(view: &CoinView) -> bool {
+    let mut owned = vec![false; view.n_coins()];
+    for i in 0..view.n_attackers() {
+        for &k in view.attacker_coins(i) {
+            if owned[k as usize] {
+                return false;
+            }
+            owned[k as usize] = true;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::{PrefPair, TablePreferences};
+
+    use super::*;
+
+    fn observation() -> (Table, TablePreferences) {
+        let t = Table::from_rows_raw(2, &[vec![0, 0], vec![0, 1], vec![1, 1]]).unwrap();
+        (t, TablePreferences::with_default(PrefPair::half()))
+    }
+
+    #[test]
+    fn sac_reproduces_the_papers_wrong_three_eighths() {
+        let (t, p) = observation();
+        let sac = sky_sac(&t, &p, ObjectId(0)).unwrap();
+        assert!((sac - 3.0 / 8.0).abs() < 1e-12, "Sac's sky(P1) = (1−½)(1−¼) = 3/8");
+    }
+
+    #[test]
+    fn sac_is_correct_for_p2() {
+        // "Sac can correctly compute sky(P2) since P1 and P3 share no
+        // values": sky(P2) = (1−½)(1−½) = 1/4.
+        let (t, p) = observation();
+        let sac = sky_sac(&t, &p, ObjectId(1)).unwrap();
+        assert!((sac - 0.25).abs() < 1e-12);
+        let view = CoinView::build(&t, &p, ObjectId(1)).unwrap();
+        assert!(sac_is_exact(&view));
+    }
+
+    #[test]
+    fn exactness_detector_spots_sharing() {
+        let (t, p) = observation();
+        let v1 = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        assert!(!sac_is_exact(&v1), "P2 and P3 share the coin for value t");
+    }
+
+    #[test]
+    fn example1_wrong_nine_sixty_fourths() {
+        // "if assuming object dominance independent, we will have an
+        // incorrect result of sky(O), 9/64."
+        let t = Table::from_rows_raw(
+            2,
+            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
+        )
+        .unwrap();
+        let p = TablePreferences::with_default(PrefPair::half());
+        let sac = sky_sac(&t, &p, ObjectId(0)).unwrap();
+        assert!((sac - 9.0 / 64.0).abs() < 1e-12, "got {sac}");
+    }
+
+    #[test]
+    fn empty_instance_is_one() {
+        let view = CoinView::from_parts(vec![], vec![]).unwrap();
+        assert_eq!(sky_sac_view(&view), 1.0);
+        assert!(sac_is_exact(&view));
+    }
+}

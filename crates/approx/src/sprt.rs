@@ -1,0 +1,266 @@
+//! Sequential threshold testing — Wald's SPRT over skyline worlds
+//! (extension; the paper's probabilistic-skyline definition needs only the
+//! *comparison* `sky(O) ≥ τ`, not the value).
+//!
+//! The fixed-budget Hoeffding bound of Theorem 2 spends
+//! `(1/2ε²)·ln(2/δ)` worlds on *every* object, even ones whose skyline
+//! probability is nowhere near the threshold. Wald's sequential
+//! probability-ratio test instead samples until the evidence separates
+//!
+//! ```text
+//! H0: sky ≤ τ − margin     vs     H1: sky ≥ τ + margin
+//! ```
+//!
+//! accepting whichever hypothesis the log-likelihood ratio certifies at
+//! error levels `(α, β)`. Objects far from τ resolve after a handful of
+//! worlds; only genuinely borderline objects pay the full budget (the test
+//! is truncated at `max_samples` and reports `Undecided` with the running
+//! estimate). This is the engine behind the query layer's threshold
+//! filter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use presky_core::coins::CoinView;
+use presky_core::preference::PreferenceModel;
+use presky_core::table::Table;
+use presky_core::types::ObjectId;
+
+use crate::error::{ApproxError, Result};
+
+/// Configuration of the sequential test.
+#[derive(Debug, Clone, Copy)]
+pub struct SprtOptions {
+    /// Half-width of the indifference region around τ.
+    pub margin: f64,
+    /// Type-I error (accepting `≥ τ` when the truth is `≤ τ − margin`).
+    pub alpha: f64,
+    /// Type-II error (accepting `< τ` when the truth is `≥ τ + margin`).
+    pub beta: f64,
+    /// Truncation point.
+    pub max_samples: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SprtOptions {
+    fn default() -> Self {
+        Self { margin: 0.02, alpha: 0.01, beta: 0.01, max_samples: 200_000, seed: 0 }
+    }
+}
+
+/// Decision of the sequential test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdDecision {
+    /// Certified (at level β) that `sky ≥ τ − margin`; treat as a member.
+    AtLeast,
+    /// Certified (at level α) that `sky ≤ τ + margin`; treat as a
+    /// non-member.
+    Below,
+    /// Truncated before separation (truth within the indifference region,
+    /// most likely).
+    Undecided,
+}
+
+/// Outcome of a sequential threshold test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SprtOutcome {
+    /// The decision.
+    pub decision: ThresholdDecision,
+    /// Worlds actually sampled.
+    pub samples_used: u64,
+    /// Running estimate `Y/m` at stopping time (biased by optional
+    /// stopping — use for diagnostics, not as a point estimate).
+    pub estimate: f64,
+}
+
+/// Sequentially test `sky(target) ≥ τ` over a table.
+pub fn sky_threshold_test<M: PreferenceModel>(
+    table: &Table,
+    prefs: &M,
+    target: ObjectId,
+    tau: f64,
+    opts: SprtOptions,
+) -> Result<SprtOutcome> {
+    let view = CoinView::build(table, prefs, target)?;
+    sky_threshold_test_view(&view, tau, opts)
+}
+
+/// Sequentially test `sky ≥ τ` on a reduced instance.
+pub fn sky_threshold_test_view(
+    view: &CoinView,
+    tau: f64,
+    opts: SprtOptions,
+) -> Result<SprtOutcome> {
+    for (name, v) in [
+        ("tau", tau),
+        ("margin", opts.margin),
+        ("alpha", opts.alpha),
+        ("beta", opts.beta),
+    ] {
+        if v.is_nan() || !(0.0..=1.0).contains(&v) {
+            return Err(ApproxError::InvalidParameter { name: leak_name(name), value: v });
+        }
+    }
+    if opts.max_samples == 0 {
+        return Err(ApproxError::ZeroSamples);
+    }
+    // Clamp the hypotheses into (0, 1) so the likelihood ratio is finite.
+    let p0 = (tau - opts.margin).clamp(1e-9, 1.0 - 1e-9);
+    let p1 = (tau + opts.margin).clamp(1e-9, 1.0 - 1e-9);
+    if p0 >= p1 {
+        return Err(ApproxError::InvalidParameter { name: "margin", value: opts.margin });
+    }
+    let l_hit = (p1 / p0).ln();
+    let l_miss = ((1.0 - p1) / (1.0 - p0)).ln();
+    let upper = ((1.0 - opts.beta) / opts.alpha).ln();
+    let lower = (opts.beta / (1.0 - opts.alpha)).ln();
+
+    let order = view.checking_sequence();
+    let m_coins = view.n_coins();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut stamp = vec![0u64; m_coins];
+    let mut win = vec![false; m_coins];
+
+    let mut llr = 0.0;
+    let mut hits = 0u64;
+    for h in 1..=opts.max_samples {
+        // One lazily-sampled world, identical mechanics to Algorithm 2.
+        let mut dominated = false;
+        'attackers: for &i in &order {
+            for &k in view.attacker_coins(i) {
+                let ku = k as usize;
+                if stamp[ku] != h {
+                    stamp[ku] = h;
+                    win[ku] = rng.random::<f64>() < view.coin_prob(k);
+                }
+                if !win[ku] {
+                    continue 'attackers;
+                }
+            }
+            dominated = true;
+            break;
+        }
+        if !dominated {
+            hits += 1;
+            llr += l_hit;
+        } else {
+            llr += l_miss;
+        }
+        if llr >= upper {
+            return Ok(SprtOutcome {
+                decision: ThresholdDecision::AtLeast,
+                samples_used: h,
+                estimate: hits as f64 / h as f64,
+            });
+        }
+        if llr <= lower {
+            return Ok(SprtOutcome {
+                decision: ThresholdDecision::Below,
+                samples_used: h,
+                estimate: hits as f64 / h as f64,
+            });
+        }
+    }
+    Ok(SprtOutcome {
+        decision: ThresholdDecision::Undecided,
+        samples_used: opts.max_samples,
+        estimate: hits as f64 / opts.max_samples as f64,
+    })
+}
+
+fn leak_name(n: &str) -> &'static str {
+    match n {
+        "tau" => "tau",
+        "margin" => "margin",
+        "alpha" => "alpha",
+        _ => "beta",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::{PrefPair, TablePreferences};
+
+    use super::*;
+    use crate::bounds::hoeffding_samples;
+
+    fn example1() -> (Table, TablePreferences) {
+        let t = Table::from_rows_raw(
+            2,
+            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
+        )
+        .unwrap();
+        (t, TablePreferences::with_default(PrefPair::half()))
+    }
+
+    #[test]
+    fn far_thresholds_resolve_fast() {
+        // sky(O) = 3/16 = 0.1875.
+        let (t, p) = example1();
+        let above = sky_threshold_test(&t, &p, ObjectId(0), 0.5, SprtOptions::default())
+            .unwrap();
+        assert_eq!(above.decision, ThresholdDecision::Below);
+        let below = sky_threshold_test(&t, &p, ObjectId(0), 0.05, SprtOptions::default())
+            .unwrap();
+        assert_eq!(below.decision, ThresholdDecision::AtLeast);
+        // Both should use far fewer worlds than the fixed Hoeffding budget
+        // for comparable errors.
+        let hoeffding = hoeffding_samples(0.02, 0.01).unwrap();
+        assert!(above.samples_used < hoeffding / 10, "{}", above.samples_used);
+        assert!(below.samples_used < hoeffding / 10, "{}", below.samples_used);
+    }
+
+    #[test]
+    fn near_threshold_truncates_undecided() {
+        let (t, p) = example1();
+        let opts = SprtOptions { max_samples: 2_000, margin: 0.001, ..Default::default() };
+        let out = sky_threshold_test(&t, &p, ObjectId(0), 0.1875, opts).unwrap();
+        assert_eq!(out.decision, ThresholdDecision::Undecided);
+        assert_eq!(out.samples_used, 2_000);
+        assert!((out.estimate - 0.1875).abs() < 0.05);
+    }
+
+    #[test]
+    fn decisions_are_correct_across_seeds() {
+        let (t, p) = example1();
+        let mut wrong = 0;
+        for seed in 0..40 {
+            let opts = SprtOptions { seed, ..Default::default() };
+            let hi = sky_threshold_test(&t, &p, ObjectId(0), 0.4, opts).unwrap();
+            if hi.decision != ThresholdDecision::Below {
+                wrong += 1;
+            }
+            let lo = sky_threshold_test(&t, &p, ObjectId(0), 0.05, opts).unwrap();
+            if lo.decision != ThresholdDecision::AtLeast {
+                wrong += 1;
+            }
+        }
+        assert!(wrong <= 1, "{wrong}/80 sequential decisions were wrong");
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let (t, p) = example1();
+        let bad = SprtOptions { margin: f64::NAN, ..Default::default() };
+        assert!(sky_threshold_test(&t, &p, ObjectId(0), 0.5, bad).is_err());
+        let bad = SprtOptions { max_samples: 0, ..Default::default() };
+        assert!(matches!(
+            sky_threshold_test(&t, &p, ObjectId(0), 0.5, bad),
+            Err(ApproxError::ZeroSamples)
+        ));
+        assert!(sky_threshold_test(&t, &p, ObjectId(0), 1.5, SprtOptions::default()).is_err());
+    }
+
+    #[test]
+    fn degenerate_instances_decide_immediately_enough() {
+        // No attackers: sky = 1 -> any τ below 1 accepts quickly.
+        let view = CoinView::from_parts(vec![], vec![]).unwrap();
+        let out = sky_threshold_test_view(&view, 0.5, SprtOptions::default()).unwrap();
+        assert_eq!(out.decision, ThresholdDecision::AtLeast);
+        // Certain attacker: sky = 0 -> rejects quickly.
+        let view = CoinView::from_parts(vec![1.0], vec![vec![0]]).unwrap();
+        let out = sky_threshold_test_view(&view, 0.5, SprtOptions::default()).unwrap();
+        assert_eq!(out.decision, ThresholdDecision::Below);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the approximation layer on synthetic clause
+//! systems.
+
+use proptest::prelude::*;
+
+use presky_core::coins::CoinView;
+use presky_exact::det::{sky_det_view, DetOptions};
+
+use presky_approx::a1::sky_a1;
+use presky_approx::a2::{sky_a2, sky_a2_big};
+use presky_approx::bounds::{hoeffding_delta, hoeffding_epsilon, hoeffding_samples};
+use presky_approx::karp_luby::{sky_karp_luby_view, KarpLubyOptions};
+use presky_approx::sac::{sac_is_exact, sky_sac_view};
+use presky_approx::sampler::{sky_sam_view, SamOptions};
+use presky_approx::samplus::{sky_sam_plus_view, SamPlusOptions};
+
+fn clause_system() -> impl Strategy<Value = CoinView> {
+    (2usize..=6).prop_flat_map(|m| {
+        let probs = proptest::collection::vec(0.0f64..=1.0, m);
+        let clauses = proptest::collection::vec(1u32..(1 << m as u32), 1..=6);
+        (probs, clauses).prop_map(move |(probs, masks)| {
+            let clauses: Vec<Vec<u32>> = masks
+                .into_iter()
+                .map(|mask| (0..m as u32).filter(|&b| mask & (1 << b) != 0).collect())
+                .collect();
+            CoinView::from_parts(probs, clauses).expect("valid system")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn estimators_stay_in_range_and_near_truth(view in clause_system()) {
+        let truth = sky_det_view(&view, DetOptions::default()).unwrap().sky;
+        let sam = sky_sam_view(&view, SamOptions::with_samples(4000, 3)).unwrap();
+        prop_assert!((0.0..=1.0).contains(&sam.estimate));
+        prop_assert!((sam.estimate - truth).abs() < 0.08, "{} vs {truth}", sam.estimate);
+
+        let samp = sky_sam_plus_view(
+            &view,
+            SamPlusOptions::with_sam(SamOptions::with_samples(4000, 3)),
+        )
+        .unwrap();
+        prop_assert!((samp.estimate - truth).abs() < 0.08, "{} vs {truth}", samp.estimate);
+
+        let kl = sky_karp_luby_view(&view, KarpLubyOptions { samples: 4000, seed: 3 })
+            .unwrap();
+        prop_assert!((0.0..=1.0).contains(&kl.estimate));
+        prop_assert!((kl.estimate - truth).abs() < 0.08, "{} vs {truth}", kl.estimate);
+    }
+
+    #[test]
+    fn lazy_and_eager_sampling_are_both_unbiased_but_lazy_draws_less(
+        view in clause_system()
+    ) {
+        let lazy = sky_sam_view(&view, SamOptions::with_samples(2000, 5)).unwrap();
+        let eager = sky_sam_view(
+            &view,
+            SamOptions { lazy: false, ..SamOptions::with_samples(2000, 5) },
+        )
+        .unwrap();
+        prop_assert!(lazy.coin_draws <= eager.coin_draws);
+        prop_assert_eq!(eager.coin_draws, 2000 * view.n_coins() as u64);
+        let truth = sky_det_view(&view, DetOptions::default()).unwrap().sky;
+        prop_assert!((lazy.estimate - truth).abs() < 0.1);
+        prop_assert!((eager.estimate - truth).abs() < 0.1);
+    }
+
+    #[test]
+    fn samplus_check_budget_shrinks_with_the_attacker_set(view in clause_system()) {
+        let m = 1000u64;
+        let plus = sky_sam_plus_view(
+            &view,
+            SamPlusOptions::with_sam(SamOptions::with_samples(m, 9)),
+        )
+        .unwrap();
+        // Per-world checks are bounded by the preprocessed attacker count,
+        // not the raw one — the whole point of Sam+.
+        let remaining =
+            (view.n_attackers() - plus.absorbed - plus.pruned_impossible) as u64;
+        prop_assert!(plus.sam.attacker_checks <= m * remaining);
+        prop_assert_eq!(plus.sam.samples, m);
+    }
+
+    #[test]
+    fn a1_and_a2_converge_to_exact_at_full_budget(view in clause_system()) {
+        let truth = sky_det_view(&view, DetOptions::default()).unwrap().sky;
+        let n = view.n_attackers();
+        let a1 = sky_a1(&view, n, DetOptions::default()).unwrap();
+        prop_assert!((a1.estimate - truth).abs() < 1e-9);
+        let a2 = sky_a2(&view, u64::MAX).unwrap();
+        prop_assert!(a2.complete);
+        prop_assert!((a2.estimate - truth).abs() < 1e-9);
+        let a2b = sky_a2_big(&view, u64::MAX);
+        prop_assert!((a2b.estimate - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sac_exactness_detector_is_sound(view in clause_system()) {
+        if sac_is_exact(&view) {
+            let truth = sky_det_view(&view, DetOptions::default()).unwrap().sky;
+            prop_assert!((sky_sac_view(&view) - truth).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hoeffding_arithmetic_is_self_consistent(
+        eps in 0.001f64..0.5,
+        delta in 0.001f64..0.5,
+    ) {
+        let m = hoeffding_samples(eps, delta).unwrap();
+        prop_assert!(m >= 1);
+        // The achieved epsilon at that m is no worse than requested.
+        let achieved = hoeffding_epsilon(m, delta).unwrap();
+        prop_assert!(achieved <= eps + 1e-12);
+        // And the achieved delta at (m, eps) is no worse than requested.
+        let d = hoeffding_delta(m, eps).unwrap();
+        prop_assert!(d <= delta + 1e-12);
+    }
+
+    #[test]
+    fn karp_luby_union_mass_bounds(view in clause_system()) {
+        let kl = sky_karp_luby_view(&view, KarpLubyOptions { samples: 500, seed: 1 })
+            .unwrap();
+        // The unclamped union estimate lies in [max_i Pr(e_i) / n, M]...
+        // more loosely: in [0, M].
+        prop_assert!(kl.union_estimate >= -1e-12);
+        prop_assert!(kl.union_estimate <= kl.total_mass + 1e-12);
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the sampling estimators (Figures 11/13 in
+//! microcosm): Sam vs Sam+ vs Karp–Luby, and the cost of the lazy-sampling
+//! and sorted-checking design choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use presky_approx::karp_luby::{sky_karp_luby_view, KarpLubyOptions};
+use presky_approx::sampler::{sky_sam_view, SamOptions};
+use presky_approx::samplus::{sky_sam_plus_view, SamPlusOptions};
+use presky_core::coins::CoinView;
+use presky_core::preference::SeededPreferences;
+use presky_core::types::ObjectId;
+use presky_datagen::blockzipf::{generate_block_zipf, BlockZipfConfig};
+
+fn view(n: usize) -> CoinView {
+    let prefs = SeededPreferences::complementary(42);
+    let table = generate_block_zipf(BlockZipfConfig::new(n, 5, 1)).unwrap();
+    CoinView::build(&table, &prefs, ObjectId(0)).unwrap()
+}
+
+fn sam_vs_samplus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx/blockzipf5d");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let v = view(n);
+        let sam = SamOptions::with_samples(3000, 7);
+        group.bench_with_input(BenchmarkId::new("Sam", n), &v, |b, v| {
+            b.iter(|| sky_sam_view(v, sam).unwrap().estimate)
+        });
+        group.bench_with_input(BenchmarkId::new("Sam+", n), &v, |b, v| {
+            b.iter(|| sky_sam_plus_view(v, SamPlusOptions::with_sam(sam)).unwrap().estimate)
+        });
+        group.bench_with_input(BenchmarkId::new("KarpLuby", n), &v, |b, v| {
+            b.iter(|| {
+                sky_karp_luby_view(v, KarpLubyOptions { samples: 3000, seed: 7 })
+                    .unwrap()
+                    .estimate
+            })
+        });
+    }
+    group.finish();
+}
+
+fn sam_design_choices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx/sam_design");
+    group.sample_size(10);
+    let v = view(10_000);
+    for (name, sort_checking, lazy) in [
+        ("sorted_lazy", true, true),
+        ("sorted_eager", true, false),
+        ("unsorted_lazy", false, true),
+    ] {
+        let opts = SamOptions { sort_checking, lazy, ..SamOptions::with_samples(1000, 7) };
+        group.bench_function(name, |b| b.iter(|| sky_sam_view(&v, opts).unwrap().estimate));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sam_vs_samplus, sam_design_choices);
+criterion_main!(benches);

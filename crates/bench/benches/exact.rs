@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks of the exact engines (Figures 9/10 in
+//! microcosm): Det vs Det+ across instance sizes, plus the engine-level
+//! comparison of the DFS and layered formulations of Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use presky_core::coins::CoinView;
+use presky_core::preference::SeededPreferences;
+use presky_core::types::ObjectId;
+use presky_exact::bounds::{sky_bounds_bonferroni, sky_bounds_cheap};
+use presky_exact::conditioning::{sky_conditioning_view, ConditioningOptions};
+use presky_exact::det::{sky_det_view, DetOptions};
+use presky_exact::detplus::{sky_det_plus_view, DetPlusOptions};
+use presky_exact::levelwise::sky_levelwise;
+
+use presky_datagen::blockzipf::{generate_block_zipf, BlockZipfConfig};
+use presky_datagen::uniform::{generate_uniform, UniformConfig};
+
+fn det_vs_detplus_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact/uniform5d");
+    group.sample_size(10);
+    let prefs = SeededPreferences::complementary(42);
+    for n in [10usize, 14, 18] {
+        let table = generate_uniform(UniformConfig::new(n, 5, 1)).unwrap();
+        let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
+        group.bench_with_input(BenchmarkId::new("Det", n), &view, |b, v| {
+            b.iter(|| sky_det_view(v, DetOptions::default()).unwrap().sky)
+        });
+        group.bench_with_input(BenchmarkId::new("Det+", n), &view, |b, v| {
+            b.iter(|| sky_det_plus_view(v, DetPlusOptions::default()).unwrap().sky)
+        });
+    }
+    group.finish();
+}
+
+fn detplus_blockzipf_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact/blockzipf5d_detplus");
+    group.sample_size(10);
+    let prefs = SeededPreferences::complementary(42);
+    for n in [100usize, 1_000, 10_000] {
+        let table = generate_block_zipf(BlockZipfConfig::new(n, 5, 1)).unwrap();
+        let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
+        let opts = DetPlusOptions::with_det(DetOptions::with_max_attackers(64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &view, |b, v| {
+            b.iter(|| sky_det_plus_view(v, opts).unwrap().sky)
+        });
+    }
+    group.finish();
+}
+
+fn dfs_vs_levelwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact/engine");
+    group.sample_size(10);
+    let prefs = SeededPreferences::complementary(42);
+    let table = generate_uniform(UniformConfig::new(16, 4, 1)).unwrap();
+    let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
+    group.bench_function("dfs", |b| {
+        b.iter(|| sky_det_view(&view, DetOptions::default()).unwrap().sky)
+    });
+    group.bench_function("levelwise", |b| {
+        b.iter(|| sky_levelwise(&view, DetOptions::default()).unwrap().sky)
+    });
+    group.finish();
+}
+
+fn conditioning_vs_det(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact/conditioning");
+    group.sample_size(10);
+    let prefs = SeededPreferences::complementary(42);
+    // Dense regime: many attackers over few values — conditioning's home
+    // turf, Det's nightmare.
+    let table = generate_uniform(UniformConfig {
+        values_per_dim: Some(3),
+        ..UniformConfig::new(20, 4, 1)
+    })
+    .unwrap();
+    let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
+    group.bench_function("Det_dense", |b| {
+        b.iter(|| sky_det_view(&view, DetOptions::default()).unwrap().sky)
+    });
+    group.bench_function("Cond_dense", |b| {
+        b.iter(|| sky_conditioning_view(&view, ConditioningOptions::default()).unwrap().sky)
+    });
+    group.finish();
+}
+
+fn bounds_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact/bounds");
+    group.sample_size(10);
+    let prefs = SeededPreferences::complementary(42);
+    for n in [1_000usize, 10_000] {
+        let table = generate_block_zipf(BlockZipfConfig::new(n, 5, 1)).unwrap();
+        let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
+        group.bench_with_input(BenchmarkId::new("cheap", n), &view, |b, v| {
+            b.iter(|| sky_bounds_cheap(v).width())
+        });
+        if n <= 1_000 {
+            // Level 2 enumerates C(n, 2) joints — meaningful only on the
+            // preprocessed instances the query layer feeds it.
+            group.bench_with_input(BenchmarkId::new("bonferroni2", n), &view, |b, v| {
+                b.iter(|| sky_bounds_bonferroni(v, 2).unwrap().width())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    det_vs_detplus_uniform,
+    detplus_blockzipf_scaling,
+    dfs_vs_levelwise,
+    conditioning_vs_det,
+    bounds_cost
+);
+criterion_main!(benches);

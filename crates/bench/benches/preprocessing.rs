@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the preprocessing kernels: coin-view
+//! construction, absorption (Algorithm 3), partition (Theorem 4), and the
+//! checking-sequence sort of Algorithm 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use presky_core::coins::CoinView;
+use presky_core::preference::SeededPreferences;
+use presky_core::types::ObjectId;
+use presky_datagen::blockzipf::{generate_block_zipf, BlockZipfConfig};
+use presky_datagen::nursery::nursery_table;
+use presky_exact::absorption::absorb;
+use presky_exact::partition::partition;
+
+fn kernels_blockzipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prep/blockzipf5d");
+    group.sample_size(10);
+    let prefs = SeededPreferences::complementary(42);
+    for n in [1_000usize, 10_000, 100_000] {
+        let table = generate_block_zipf(BlockZipfConfig::new(n, 5, 1)).unwrap();
+        group.bench_with_input(BenchmarkId::new("coinview_build", n), &table, |b, t| {
+            b.iter(|| CoinView::build(t, &prefs, ObjectId(0)).unwrap().n_attackers())
+        });
+        let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
+        group.bench_with_input(BenchmarkId::new("absorption", n), &view, |b, v| {
+            b.iter(|| absorb(v).kept.len())
+        });
+        group.bench_with_input(BenchmarkId::new("partition", n), &view, |b, v| {
+            b.iter(|| partition(v).len())
+        });
+        group.bench_with_input(BenchmarkId::new("checking_sequence", n), &view, |b, v| {
+            b.iter(|| v.checking_sequence().len())
+        });
+    }
+    group.finish();
+}
+
+fn kernels_nursery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prep/nursery8d");
+    group.sample_size(10);
+    let prefs = SeededPreferences::complementary(42);
+    let table = nursery_table().unwrap();
+    group.bench_function("generate", |b| b.iter(|| nursery_table().unwrap().len()));
+    let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
+    group.bench_function("absorption_12959_attackers", |b| {
+        b.iter(|| absorb(&view).kept.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, kernels_blockzipf, kernels_nursery);
+criterion_main!(benches);

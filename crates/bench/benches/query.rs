@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the query layer: the flat all-objects
+//! query, the certified threshold ladder, and top-k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use presky_approx::sampler::SamOptions;
+use presky_core::preference::SeededPreferences;
+use presky_datagen::blockzipf::{generate_block_zipf, BlockZipfConfig};
+use presky_query::prob_skyline::{all_sky, Algorithm, QueryOptions};
+use presky_query::threshold::{threshold_skyline, ThresholdOptions};
+use presky_query::topk::{top_k_skyline, TopKOptions};
+
+fn flat_vs_ladder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/blockzipf4d");
+    group.sample_size(10);
+    let prefs = SeededPreferences::complementary(42);
+    for n in [100usize, 400] {
+        let table = generate_block_zipf(BlockZipfConfig::new(n, 4, 1)).unwrap();
+        let flat_opts = QueryOptions {
+            algorithm: Algorithm::Adaptive {
+                exact_component_limit: 18,
+                sam: SamOptions::with_samples(2000, 1),
+            },
+            threads: Some(2),
+        };
+        group.bench_with_input(BenchmarkId::new("all_sky", n), &table, |b, t| {
+            b.iter(|| all_sky(t, &prefs, flat_opts).unwrap().len())
+        });
+        let ladder_opts = ThresholdOptions { threads: Some(2), ..ThresholdOptions::default() };
+        group.bench_with_input(BenchmarkId::new("threshold_ladder", n), &table, |b, t| {
+            b.iter(|| threshold_skyline(t, &prefs, 0.1, ladder_opts).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+fn topk_two_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/topk");
+    group.sample_size(10);
+    let prefs = SeededPreferences::complementary(42);
+    let table = generate_block_zipf(BlockZipfConfig::new(200, 4, 1)).unwrap();
+    let opts = TopKOptions { threads: Some(2), ..TopKOptions::default() };
+    group.bench_function("top5_of_200", |b| {
+        b.iter(|| top_k_skyline(&table, &prefs, 5, opts).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, flat_vs_ladder, topk_two_phase);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! `figures` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [--quick] [--out <dir>] all
+//! figures [--quick] fig9a fig11 table2
+//! figures --list
+//! ```
+//!
+//! Each artefact prints as a Markdown table; with `--out` it is also
+//! written to `<dir>/<id>.md`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use presky_bench::harness::Budget;
+use presky_bench::{artefact_ids, run_artefact};
+
+fn usage() {
+    eprintln!(
+        "usage: figures [--quick] [--out <dir>] <artefact>... | all\n       figures --list\n\nartefacts: {}",
+        artefact_ids().join(", ")
+    );
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut quick = false;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(d) => out_dir = Some(d.into()),
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for id in artefact_ids() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => wanted.push(other.to_owned()),
+        }
+    }
+    if wanted.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = artefact_ids().iter().map(|s| s.to_string()).collect();
+    }
+
+    let budget = if quick { Budget::quick() } else { Budget::full() };
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "# presky figures — mode: {}, deadline {:?}/point, {} targets/point\n",
+        if quick { "quick" } else { "full" },
+        budget.deadline,
+        budget.targets
+    );
+
+    let mut failed = false;
+    for id in &wanted {
+        let start = Instant::now();
+        match run_artefact(id, &budget) {
+            Some(report) => {
+                let md = report.to_markdown();
+                print!("{md}");
+                println!("_(generated in {:.1?})_\n", start.elapsed());
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{id}.md"));
+                    if let Err(e) = std::fs::write(&path, &md) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        failed = true;
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown artefact {id:?} (try --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

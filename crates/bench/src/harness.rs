@@ -1,0 +1,270 @@
+//! Measurement scaffolding shared by every figure reproduction.
+//!
+//! The paper's protocol (Section 6): "if a data set has no more than 1000
+//! objects, we will calculate every object's skyline probability and then
+//! compute average values. Otherwise, we will randomly pick 1000 objects."
+//! Our harness follows the same protocol with a configurable target count
+//! (wall-clock budgets on a laptop are tighter than a dedicated testbed),
+//! and reports per-point outcomes as either a mean, or an explicit timeout
+//! — mirroring the paper's 10⁴-second cut-off lines.
+
+use std::time::{Duration, Instant};
+
+use presky_core::types::ObjectId;
+
+/// Global knobs of a harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Wall-clock ceiling per (algorithm, data point). On expiry the point
+    /// is reported as a timeout, like the paper's 10⁴-second cap.
+    pub deadline: Duration,
+    /// Objects whose skyline probability is averaged per point (the paper
+    /// uses all objects up to 1000, else a random 1000).
+    pub targets: usize,
+    /// Quick mode trims the heaviest points so the whole suite runs in a
+    /// few minutes.
+    pub quick: bool,
+}
+
+impl Budget {
+    /// Full-fidelity budgets.
+    pub fn full() -> Self {
+        Self { deadline: Duration::from_secs(20), targets: 40, quick: false }
+    }
+
+    /// Smoke-test budgets.
+    pub fn quick() -> Self {
+        Self { deadline: Duration::from_secs(3), targets: 8, quick: true }
+    }
+}
+
+/// Outcome of measuring one algorithm at one data point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Measurement {
+    /// Mean seconds per object, plus an optional auxiliary value
+    /// (absolute error, joints computed, …).
+    Ok {
+        /// Mean wall-clock seconds per target object.
+        mean_secs: f64,
+        /// Auxiliary metric, figure-specific.
+        aux: Option<f64>,
+    },
+    /// The per-point deadline expired.
+    Timeout,
+    /// The algorithm refused the instance (budget error, oversized
+    /// component, …).
+    Unsupported(String),
+}
+
+impl Measurement {
+    /// Render for a table cell.
+    pub fn cell(&self) -> String {
+        match self {
+            Measurement::Ok { mean_secs, aux: None } => format_secs(*mean_secs),
+            Measurement::Ok { mean_secs, aux: Some(a) } => {
+                format!("{} (aux {:.3e})", format_secs(*mean_secs), a)
+            }
+            Measurement::Timeout => "timeout".to_owned(),
+            Measurement::Unsupported(why) => format!("n/a ({why})"),
+        }
+    }
+}
+
+/// Human-oriented seconds formatting across nine orders of magnitude.
+pub fn format_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+/// The paper's target-selection protocol: all objects when few, a seeded
+/// pseudo-random sample otherwise.
+pub fn pick_targets(n: usize, want: usize, seed: u64) -> Vec<ObjectId> {
+    if n <= want {
+        return (0..n).map(ObjectId::from).collect();
+    }
+    // Deterministic Fisher–Yates-free sampling: stride through a xorshift
+    // stream, de-duplicating.
+    let mut s = seed | 1;
+    let mut picked = std::collections::BTreeSet::new();
+    while picked.len() < want {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        picked.insert((s % n as u64) as u32);
+    }
+    picked.into_iter().map(ObjectId).collect()
+}
+
+/// Run `f` once per target until the deadline trips; returns the mean
+/// seconds and the mean auxiliary value of the completed targets.
+///
+/// `f` returns `Ok(Some(aux))`, `Ok(None)`, or an error string; an error on
+/// any target marks the whole point unsupported (matching the paper, which
+/// draws no partial points).
+pub fn measure<F>(targets: &[ObjectId], deadline: Duration, mut f: F) -> Measurement
+where
+    F: FnMut(ObjectId, Duration) -> Result<Option<f64>, String>,
+{
+    let start = Instant::now();
+    let mut total_aux = 0.0;
+    let mut aux_count = 0usize;
+    let mut done = 0usize;
+    for &t in targets {
+        let elapsed = start.elapsed();
+        if elapsed >= deadline {
+            break;
+        }
+        match f(t, deadline - elapsed) {
+            Ok(aux) => {
+                if let Some(a) = aux {
+                    total_aux += a;
+                    aux_count += 1;
+                }
+                done += 1;
+            }
+            Err(e) => {
+                if e == "deadline" {
+                    break;
+                }
+                return Measurement::Unsupported(e);
+            }
+        }
+    }
+    if done == 0 {
+        return Measurement::Timeout;
+    }
+    // Conservative: if the deadline cut the loop short, scale by completed
+    // targets only.
+    let mean = start.elapsed().as_secs_f64() / done as f64;
+    let aux = if aux_count > 0 { Some(total_aux / aux_count as f64) } else { None };
+    Measurement::Ok { mean_secs: mean, aux }
+}
+
+/// One reproduced table or figure, as printable rows.
+#[derive(Debug, Clone)]
+pub struct FigReport {
+    /// Short id (`fig9a`, `table1`, …).
+    pub id: &'static str,
+    /// What the paper artefact shows.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (expected shape, caveats).
+    pub notes: Vec<String>,
+}
+
+impl FigReport {
+    /// New empty report.
+    pub fn new(id: &'static str, title: impl Into<String>, header: Vec<String>) -> Self {
+        Self { id, title: title.into(), header, rows: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Render as a Markdown table block.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
+        let widths: Vec<usize> = (0..self.header.len())
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .map(|r| r.get(c).map_or(0, String::len))
+                    .chain(std::iter::once(self.header[c].len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&dashes));
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n> {n}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_picking_follows_protocol() {
+        assert_eq!(pick_targets(5, 10, 1).len(), 5);
+        let t = pick_targets(10_000, 20, 1);
+        assert_eq!(t.len(), 20);
+        assert!(t.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert_eq!(pick_targets(10_000, 20, 1), t, "seed-deterministic");
+        assert_ne!(pick_targets(10_000, 20, 2), t);
+    }
+
+    #[test]
+    fn measure_reports_means_and_timeouts() {
+        let targets = pick_targets(4, 4, 0);
+        let m = measure(&targets, Duration::from_secs(5), |_, _| Ok(Some(2.0)));
+        match m {
+            Measurement::Ok { aux, .. } => assert_eq!(aux, Some(2.0)),
+            other => panic!("{other:?}"),
+        }
+        let m = measure(&targets, Duration::ZERO, |_, _| Ok(None));
+        assert_eq!(m, Measurement::Timeout);
+        let m = measure(&targets, Duration::from_secs(5), |_, _| Err("nope".into()));
+        assert!(matches!(m, Measurement::Unsupported(_)));
+    }
+
+    #[test]
+    fn deadline_error_is_a_timeout_not_unsupported() {
+        let targets = pick_targets(4, 4, 0);
+        let m = measure(&targets, Duration::from_secs(5), |_, _| Err("deadline".into()));
+        assert_eq!(m, Measurement::Timeout);
+    }
+
+    #[test]
+    fn seconds_formatting_spans_magnitudes() {
+        assert!(format_secs(3.2e-9).ends_with("ns"));
+        assert!(format_secs(4.5e-5).ends_with("µs"));
+        assert!(format_secs(0.12).ends_with("ms"));
+        assert!(format_secs(12.0).ends_with(" s"));
+    }
+
+    #[test]
+    fn markdown_rendering_is_aligned() {
+        let mut r = FigReport::new("figX", "demo", vec!["a".into(), "bb".into()]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        r.note("shape holds");
+        let md = r.to_markdown();
+        assert!(md.contains("## figX — demo"));
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("> shape holds"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Tables 1 and 2 of the paper, echoed from the implementation.
+
+use presky_datagen::config::table1_parameters;
+
+use crate::harness::FigReport;
+use crate::registry::algorithms;
+
+/// Table 1: parameters and ranges of the synthetic generators.
+pub fn table1() -> FigReport {
+    let mut rep = FigReport::new(
+        "table1",
+        "Parameter and ranges (synthetic workloads)",
+        vec!["Parameter".into(), "Range".into()],
+    );
+    for (name, values) in table1_parameters() {
+        let pretty: Vec<String> = values
+            .iter()
+            .map(|v| match v {
+                1_000 => "1K".to_owned(),
+                10_000 => "10K".to_owned(),
+                100_000 => "100K".to_owned(),
+                other => other.to_string(),
+            })
+            .collect();
+        rep.push_row(vec![name.to_owned(), pretty.join(", ")]);
+    }
+    rep.note("Generator details the paper leaves unstated (domain sizes, block size, preference law) are fixed in presky-datagen and documented in EXPERIMENTS.md.");
+    rep
+}
+
+/// Table 2: algorithms and their abbreviations (plus this repository's
+/// baselines and extensions).
+pub fn table2() -> FigReport {
+    let mut rep = FigReport::new(
+        "table2",
+        "Algorithms and their abbreviations",
+        vec!["Abbreviation".into(), "Algorithm".into(), "Module".into(), "In paper's Table 2".into()],
+    );
+    for a in algorithms() {
+        rep.push_row(vec![
+            a.abbreviation.to_owned(),
+            a.name.to_owned(),
+            a.module.to_owned(),
+            if a.in_table2 { "yes" } else { "no (baseline/extension)" }.to_owned(),
+        ]);
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_three_parameters() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.rows[1][1].contains("100K"));
+    }
+
+    #[test]
+    fn table2_lists_nine_algorithms() {
+        let t = table2();
+        assert_eq!(t.rows.len(), 9);
+        assert!(t.rows.iter().filter(|r| r[3] == "yes").count() == 4);
+    }
+}

@@ -1,0 +1,405 @@
+//! The *coin view*: the reduced combinatorial kernel of `sky(O)`.
+//!
+//! For a fixed target `O`, the only uncertain quantities that matter are
+//! the pairwise preferences between `O.j` and each distinct foreign value
+//! `v ≠ O.j` occurring on dimension `j`. Each such pair is an independent
+//! Bernoulli *coin* that "wins" (realizes `v ≺ O.j`) with probability
+//! `Pr(v ≺ O.j)` — losing merges the `O.j ≺ v` and incomparable outcomes,
+//! which are indistinguishable for dominance over `O`.
+//!
+//! Every other object `Qi` becomes an *attacker*: the conjunction of the
+//! coins of its differing dimensions. `Qi ≺ O` iff all of `Qi`'s coins win,
+//! and
+//!
+//! ```text
+//! sky(O) = Pr( no attacker has all of its coins winning ).
+//! ```
+//!
+//! This is precisely the satisfiability probability of the complement of a
+//! *positive DNF* formula whose literals are coins and whose clauses are
+//! attackers — the structure behind the paper's #P-completeness reduction
+//! (Theorem 1). The correlation between dominance events that breaks the
+//! independence assumption of Sacharidis et al. is simply clause overlap:
+//! two attackers sharing a coin are dependent, value-disjoint attackers are
+//! independent.
+//!
+//! All algorithm crates (`presky-exact`, `presky-approx`) operate on this
+//! view; absorption is clause-subset removal and partition is connected
+//! components of the clause-overlap graph, both implemented in
+//! `presky-exact`.
+
+use std::collections::HashMap;
+
+use crate::error::{check_probability, CoreError, Result};
+use crate::preference::PreferenceModel;
+use crate::table::Table;
+use crate::types::{DimId, ObjectId, ValueId};
+
+/// Identity of a coin: the foreign value and the dimension on which it is
+/// compared against the target's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoinKey {
+    /// Dimension of the comparison.
+    pub dim: DimId,
+    /// The foreign value compared against the target's value on `dim`.
+    pub value: ValueId,
+}
+
+/// One attacker: a conjunction of coins, with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attacker {
+    /// Sorted, deduplicated coin indices whose joint win means domination.
+    pub coins: Vec<u32>,
+    /// Row of the originating object in the source table, when built from a
+    /// table ([`ObjectId(u32::MAX)`](ObjectId) marks synthetic attackers).
+    pub source: ObjectId,
+}
+
+/// Synthetic provenance marker for attackers not born from a table row.
+pub const SYNTHETIC_SOURCE: ObjectId = ObjectId(u32::MAX);
+
+/// The reduced instance on which every `sky(O)` algorithm operates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoinView {
+    coin_prob: Vec<f64>,
+    coin_key: Vec<Option<CoinKey>>,
+    attackers: Vec<Attacker>,
+}
+
+impl CoinView {
+    /// Build the coin view of `sky(target)` over `table` under `prefs`.
+    ///
+    /// Validates the target index and the no-duplicates assumption. Coins
+    /// are interned per distinct `(dim, value)` so that attackers sharing a
+    /// value share a coin — the source of event dependence.
+    pub fn build<M: PreferenceModel>(
+        table: &Table,
+        prefs: &M,
+        target: ObjectId,
+    ) -> Result<Self> {
+        table.validate_for_target(target)?;
+        let d = table.dimensionality();
+        let mut interner: HashMap<CoinKey, u32> = HashMap::new();
+        let mut coin_prob: Vec<f64> = Vec::new();
+        let mut coin_key: Vec<Option<CoinKey>> = Vec::new();
+        let mut attackers: Vec<Attacker> = Vec::with_capacity(table.len().saturating_sub(1));
+
+        for obj in table.objects() {
+            if obj == target {
+                continue;
+            }
+            let mut coins = Vec::with_capacity(d);
+            for j in (0..d).map(DimId::from) {
+                let (qv, ov) = (table.value(obj, j), table.value(target, j));
+                if qv == ov {
+                    continue;
+                }
+                let key = CoinKey { dim: j, value: qv };
+                let id = *interner.entry(key).or_insert_with(|| {
+                    let id = coin_prob.len() as u32;
+                    coin_prob.push(prefs.pr_strict(j, qv, ov));
+                    coin_key.push(Some(key));
+                    id
+                });
+                coins.push(id);
+            }
+            // A no-coin attacker would be a duplicate of the target, which
+            // validate_for_target has excluded.
+            debug_assert!(!coins.is_empty());
+            coins.sort_unstable();
+            attackers.push(Attacker { coins, source: obj });
+        }
+        for (k, &p) in coin_prob.iter().enumerate() {
+            check_probability(p, "coin probability").map_err(|_| {
+                CoreError::InvalidProbability { value: p, context: "preference model output" }
+            })?;
+            let _ = k;
+        }
+        Ok(Self { coin_prob, coin_key, attackers })
+    }
+
+    /// Build a synthetic view from raw parts — the entry point for the
+    /// positive-DNF reduction and for property tests.
+    ///
+    /// Coin lists are sorted and deduplicated; empty clauses are rejected
+    /// (an empty conjunction would dominate with certainty, which no
+    /// distinct object can).
+    pub fn from_parts(coin_prob: Vec<f64>, clauses: Vec<Vec<u32>>) -> Result<Self> {
+        for &p in &coin_prob {
+            check_probability(p, "coin probability")?;
+        }
+        let m = coin_prob.len() as u32;
+        let mut attackers = Vec::with_capacity(clauses.len());
+        for mut coins in clauses {
+            coins.sort_unstable();
+            coins.dedup();
+            if coins.is_empty() {
+                return Err(CoreError::DuplicateObject {
+                    first: SYNTHETIC_SOURCE,
+                    second: SYNTHETIC_SOURCE,
+                });
+            }
+            if let Some(&bad) = coins.iter().find(|&&c| c >= m) {
+                return Err(CoreError::UnknownValue {
+                    dim: DimId(0),
+                    label: format!("coin index {bad} out of range ({m} coins)"),
+                });
+            }
+            attackers.push(Attacker { coins, source: SYNTHETIC_SOURCE });
+        }
+        let coin_key = vec![None; coin_prob.len()];
+        Ok(Self { coin_prob, coin_key, attackers })
+    }
+
+    /// Number of attackers (`n` in the paper).
+    pub fn n_attackers(&self) -> usize {
+        self.attackers.len()
+    }
+
+    /// Number of distinct coins (distinct foreign values across dimensions).
+    pub fn n_coins(&self) -> usize {
+        self.coin_prob.len()
+    }
+
+    /// Win probability of coin `k`.
+    #[inline]
+    pub fn coin_prob(&self, k: u32) -> f64 {
+        self.coin_prob[k as usize]
+    }
+
+    /// All coin probabilities.
+    pub fn coin_probs(&self) -> &[f64] {
+        &self.coin_prob
+    }
+
+    /// Identity of coin `k` (None for synthetic views).
+    pub fn coin_key(&self, k: u32) -> Option<CoinKey> {
+        self.coin_key[k as usize]
+    }
+
+    /// The attackers.
+    pub fn attackers(&self) -> &[Attacker] {
+        &self.attackers
+    }
+
+    /// Coins of attacker `i`.
+    #[inline]
+    pub fn attacker_coins(&self, i: usize) -> &[u32] {
+        &self.attackers[i].coins
+    }
+
+    /// Source row of attacker `i`.
+    pub fn source(&self, i: usize) -> ObjectId {
+        self.attackers[i].source
+    }
+
+    /// `Pr(e_i)` — the probability attacker `i` dominates the target
+    /// (Equation 2: the product of its coin probabilities).
+    pub fn attacker_prob(&self, i: usize) -> f64 {
+        self.attackers[i]
+            .coins
+            .iter()
+            .map(|&k| self.coin_prob(k))
+            .product()
+    }
+
+    /// Attacker indices sorted by descending `Pr(e_i)` — the checking
+    /// sequence of Algorithm 2 ("the object with highest probability of
+    /// dominating O is always checked first").
+    pub fn checking_sequence(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.n_attackers()).collect();
+        let probs: Vec<f64> = order.iter().map(|&i| self.attacker_prob(i)).collect();
+        order.sort_by(|&a, &b| {
+            probs[b].partial_cmp(&probs[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order
+    }
+
+    /// Restrict the view to a subset of attackers, dropping coins that no
+    /// surviving attacker references and compacting coin indices.
+    ///
+    /// Used by the partition technique (per-component sub-instances) and by
+    /// the A1 approximation (top-k attackers).
+    pub fn restrict(&self, attacker_ids: &[usize]) -> CoinView {
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut coin_prob = Vec::new();
+        let mut coin_key = Vec::new();
+        let mut attackers = Vec::with_capacity(attacker_ids.len());
+        for &i in attacker_ids {
+            let a = &self.attackers[i];
+            let coins: Vec<u32> = a
+                .coins
+                .iter()
+                .map(|&k| {
+                    *remap.entry(k).or_insert_with(|| {
+                        let id = coin_prob.len() as u32;
+                        coin_prob.push(self.coin_prob[k as usize]);
+                        coin_key.push(self.coin_key[k as usize]);
+                        id
+                    })
+                })
+                .collect();
+            // Remapped ids preserve relative order of first appearance, not
+            // numeric order — restore sortedness.
+            let mut coins = coins;
+            coins.sort_unstable();
+            attackers.push(Attacker { coins, source: a.source });
+        }
+        CoinView { coin_prob, coin_key, attackers }
+    }
+
+    /// Drop attackers containing a zero-probability coin: they can never
+    /// dominate and contribute nothing to any joint probability. Returns
+    /// how many were removed.
+    pub fn prune_impossible(&mut self) -> usize {
+        let before = self.attackers.len();
+        let coin_prob = &self.coin_prob;
+        self.attackers
+            .retain(|a| a.coins.iter().all(|&k| coin_prob[k as usize] > 0.0));
+        before - self.attackers.len()
+    }
+
+    /// Whether some attacker dominates with certainty (all coins have
+    /// probability one), forcing `sky = 0`.
+    pub fn has_certain_attacker(&self) -> bool {
+        self.attackers
+            .iter()
+            .any(|a| a.coins.iter().all(|&k| self.coin_prob[k as usize] >= 1.0))
+    }
+
+    /// For each coin, the list of attackers referencing it (posting lists),
+    /// in ascending attacker order.
+    pub fn coin_postings(&self) -> Vec<Vec<u32>> {
+        let mut postings = vec![Vec::new(); self.n_coins()];
+        for (i, a) in self.attackers.iter().enumerate() {
+            for &k in &a.coins {
+                postings[k as usize].push(i as u32);
+            }
+        }
+        postings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preference::{PrefPair, TablePreferences};
+
+    /// Example 1 of the paper: O=(o1,o2), Q1=(a,b), Q2=(a,o2), Q3=(c,e),
+    /// Q4=(o1,b), all preferences ½.
+    /// Codes: dim0: o1=0, a=1, c=2; dim1: o2=0, b=1, e=2.
+    pub(crate) fn example1() -> (Table, TablePreferences) {
+        let t = Table::from_rows_raw(
+            2,
+            &[
+                vec![0, 0], // O
+                vec![1, 1], // Q1
+                vec![1, 0], // Q2
+                vec![2, 2], // Q3
+                vec![0, 1], // Q4
+            ],
+        )
+        .unwrap();
+        (t, TablePreferences::with_default(PrefPair::half()))
+    }
+
+    #[test]
+    fn example1_coin_structure() {
+        let (t, p) = example1();
+        let v = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        assert_eq!(v.n_attackers(), 4);
+        // Coins: (d0,a), (d0,c), (d1,b), (d1,e) — 4 distinct foreign values.
+        assert_eq!(v.n_coins(), 4);
+        // Q1=(a,b) has two coins; Q2=(a,o2) one; shared coin (d0,a).
+        let q1 = &v.attackers()[0];
+        let q2 = &v.attackers()[1];
+        assert_eq!(q1.coins.len(), 2);
+        assert_eq!(q2.coins.len(), 1);
+        assert!(q1.coins.contains(&q2.coins[0]), "Q1 and Q2 share the (d0,a) coin");
+        // Dominance probabilities (Eq. 2).
+        assert_eq!(v.attacker_prob(0), 0.25); // Q1
+        assert_eq!(v.attacker_prob(1), 0.5); // Q2
+        assert_eq!(v.attacker_prob(2), 0.25); // Q3
+        assert_eq!(v.attacker_prob(3), 0.5); // Q4
+    }
+
+    #[test]
+    fn checking_sequence_orders_q2_q4_first() {
+        let (t, p) = example1();
+        let v = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        let seq = v.checking_sequence();
+        // "we always check O against Q2 and Q4 first, then Q1 and Q3".
+        let first_two: Vec<ObjectId> = seq[..2].iter().map(|&i| v.source(i)).collect();
+        assert!(first_two.contains(&ObjectId(2)));
+        assert!(first_two.contains(&ObjectId(4)));
+    }
+
+    #[test]
+    fn build_rejects_duplicates_and_bad_targets() {
+        let t = Table::from_rows_raw(1, &[vec![0], vec![1], vec![0]]).unwrap();
+        let p = TablePreferences::with_default(PrefPair::half());
+        assert!(matches!(
+            CoinView::build(&t, &p, ObjectId(0)),
+            Err(CoreError::DuplicateObject { .. })
+        ));
+        let t2 = Table::from_rows_raw(1, &[vec![0], vec![1]]).unwrap();
+        assert!(matches!(
+            CoinView::build(&t2, &p, ObjectId(9)),
+            Err(CoreError::TargetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(CoinView::from_parts(vec![0.5, 1.5], vec![vec![0]]).is_err());
+        assert!(CoinView::from_parts(vec![0.5], vec![vec![]]).is_err());
+        assert!(CoinView::from_parts(vec![0.5], vec![vec![1]]).is_err());
+        let v = CoinView::from_parts(vec![0.5, 0.25], vec![vec![1, 0, 1]]).unwrap();
+        assert_eq!(v.attacker_coins(0), &[0, 1]);
+        assert_eq!(v.attacker_prob(0), 0.125);
+        assert_eq!(v.coin_key(0), None);
+        assert_eq!(v.source(0), SYNTHETIC_SOURCE);
+    }
+
+    #[test]
+    fn restrict_compacts_coins() {
+        let (t, p) = example1();
+        let v = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        // Keep Q2 (1 coin) and Q3 (2 coins).
+        let r = v.restrict(&[1, 2]);
+        assert_eq!(r.n_attackers(), 2);
+        assert_eq!(r.n_coins(), 3);
+        assert_eq!(r.attacker_prob(0), 0.5);
+        assert_eq!(r.attacker_prob(1), 0.25);
+        assert_eq!(r.source(0), ObjectId(2));
+        for a in r.attackers() {
+            assert!(a.coins.windows(2).all(|w| w[0] < w[1]), "coins sorted");
+        }
+    }
+
+    #[test]
+    fn prune_impossible_drops_zero_coin_attackers() {
+        let mut v = CoinView::from_parts(vec![0.0, 0.5], vec![vec![0, 1], vec![1]]).unwrap();
+        assert_eq!(v.prune_impossible(), 1);
+        assert_eq!(v.n_attackers(), 1);
+        assert_eq!(v.attacker_coins(0), &[1]);
+    }
+
+    #[test]
+    fn certain_attacker_detection() {
+        let v = CoinView::from_parts(vec![1.0, 0.5], vec![vec![0]]).unwrap();
+        assert!(v.has_certain_attacker());
+        let v2 = CoinView::from_parts(vec![1.0, 0.5], vec![vec![0, 1]]).unwrap();
+        assert!(!v2.has_certain_attacker());
+    }
+
+    #[test]
+    fn postings_invert_attacker_lists() {
+        let v =
+            CoinView::from_parts(vec![0.5; 3], vec![vec![0, 1], vec![1, 2], vec![2]]).unwrap();
+        let p = v.coin_postings();
+        assert_eq!(p[0], vec![0]);
+        assert_eq!(p[1], vec![0, 1]);
+        assert_eq!(p[2], vec![1, 2]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Dominance between objects under uncertain preferences.
+//!
+//! `Qi` dominates `O` (written `Qi ≺ O`, event `e_i`) iff `Qi` is weakly
+//! preferred on every dimension and strictly preferred on at least one.
+//! Because values on a dimension are either identical (equal with
+//! certainty) or distinct (related by an uncertain strict preference), and
+//! the table holds no duplicate rows, Equation 2 of the paper gives
+//!
+//! ```text
+//! Pr(e_i) = Π_{j : Qi.j ≠ O.j} Pr(Qi.j ≺ O.j)
+//! ```
+
+use crate::preference::PreferenceModel;
+use crate::table::Table;
+use crate::types::{DimId, ObjectId};
+use crate::world::World;
+
+/// The dimensions on which two objects carry different values.
+pub fn differing_dims(table: &Table, a: ObjectId, b: ObjectId) -> Vec<DimId> {
+    (0..table.dimensionality())
+        .map(DimId::from)
+        .filter(|&j| table.value(a, j) != table.value(b, j))
+        .collect()
+}
+
+/// `Pr(q ≺ o)`: the probability that `q` dominates `o` (Equation 2).
+///
+/// Returns `0` when `q` and `o` are the same row or identical rows — an
+/// object never dominates itself.
+pub fn pr_dominates<M: PreferenceModel>(
+    table: &Table,
+    prefs: &M,
+    q: ObjectId,
+    o: ObjectId,
+) -> f64 {
+    if q == o {
+        return 0.0;
+    }
+    let mut prod = 1.0;
+    let mut any_diff = false;
+    for j in (0..table.dimensionality()).map(DimId::from) {
+        let (qv, ov) = (table.value(q, j), table.value(o, j));
+        if qv != ov {
+            any_diff = true;
+            prod *= prefs.pr_strict(j, qv, ov);
+            if prod == 0.0 {
+                return 0.0;
+            }
+        }
+    }
+    if any_diff {
+        prod
+    } else {
+        0.0
+    }
+}
+
+/// Whether `q` dominates `o` in a *realized* world of preferences.
+///
+/// In a realized world each relevant value pair has resolved to one of
+/// "forward", "backward" or "incomparable"; `q ≺ o` iff every differing
+/// dimension resolved in `q`'s favour (and at least one dimension differs).
+pub fn dominates_in_world(table: &Table, world: &World, q: ObjectId, o: ObjectId) -> bool {
+    if q == o {
+        return false;
+    }
+    let mut any_diff = false;
+    for j in (0..table.dimensionality()).map(DimId::from) {
+        let (qv, ov) = (table.value(q, j), table.value(o, j));
+        if qv != ov {
+            any_diff = true;
+            if !world.prefers(j, qv, ov) {
+                return false;
+            }
+        }
+    }
+    any_diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preference::{PrefPair, TablePreferences};
+    use crate::types::ValueId;
+    use crate::world::{PairId, Relation, World};
+
+    /// The Observation fixture of Section 1: `P1=(α,s)`, `P2=(α,t)`,
+    /// `P3=(β,t)` with all preferences one half.
+    fn observation() -> (Table, TablePreferences) {
+        // codes: dim0: α=0, β=1; dim1: s=0, t=1.
+        let t = Table::from_rows_raw(2, &[vec![0, 0], vec![0, 1], vec![1, 1]]).unwrap();
+        let p = TablePreferences::with_default(PrefPair::half());
+        (t, p)
+    }
+
+    #[test]
+    fn observation_dominance_probabilities() {
+        let (t, p) = observation();
+        // Pr(P2 ≺ P1) = 1/2 (only dim1 differs), Pr(P3 ≺ P1) = 1/4.
+        assert_eq!(pr_dominates(&t, &p, ObjectId(1), ObjectId(0)), 0.5);
+        assert_eq!(pr_dominates(&t, &p, ObjectId(2), ObjectId(0)), 0.25);
+        // Symmetric direction is also 1/2 and 1/4 here (all prefs are ½).
+        assert_eq!(pr_dominates(&t, &p, ObjectId(0), ObjectId(1)), 0.5);
+    }
+
+    #[test]
+    fn self_dominance_is_zero() {
+        let (t, p) = observation();
+        assert_eq!(pr_dominates(&t, &p, ObjectId(0), ObjectId(0)), 0.0);
+    }
+
+    #[test]
+    fn differing_dims_reports_mismatches() {
+        let (t, _) = observation();
+        assert_eq!(differing_dims(&t, ObjectId(1), ObjectId(0)), vec![DimId(1)]);
+        assert_eq!(
+            differing_dims(&t, ObjectId(2), ObjectId(0)),
+            vec![DimId(0), DimId(1)]
+        );
+        assert!(differing_dims(&t, ObjectId(0), ObjectId(0)).is_empty());
+    }
+
+    #[test]
+    fn zero_probability_short_circuits() {
+        let t = Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1]]).unwrap();
+        let mut p = TablePreferences::new(); // default incomparable (0, 0)
+        p.set(DimId(0), ValueId(1), ValueId(0), 1.0, 0.0).unwrap();
+        // dim1 pair missing -> strict probability 0 -> product 0.
+        assert_eq!(pr_dominates(&t, &p, ObjectId(1), ObjectId(0)), 0.0);
+    }
+
+    #[test]
+    fn realized_world_dominance() {
+        let (t, _) = observation();
+        let mut w = World::new();
+        // t ≺ s on dim1 (codes: s=0, t=1 -> pair (0,1), hi wins).
+        w.set(PairId::new(DimId(1), ValueId(0), ValueId(1)), Relation::HiWins);
+        // α ≺ β on dim0.
+        w.set(PairId::new(DimId(0), ValueId(0), ValueId(1)), Relation::LoWins);
+        // P2=(α,t) dominates P1=(α,s): only dim1 differs and t won.
+        assert!(dominates_in_world(&t, &w, ObjectId(1), ObjectId(0)));
+        // P3=(β,t) needs β≺α too, but α won dim0.
+        assert!(!dominates_in_world(&t, &w, ObjectId(2), ObjectId(0)));
+        // Never dominates itself.
+        assert!(!dominates_in_world(&t, &w, ObjectId(0), ObjectId(0)));
+    }
+
+    #[test]
+    fn incomparable_world_blocks_dominance() {
+        let (t, _) = observation();
+        let mut w = World::new();
+        w.set(PairId::new(DimId(1), ValueId(0), ValueId(1)), Relation::Incomparable);
+        assert!(!dominates_in_world(&t, &w, ObjectId(1), ObjectId(0)));
+    }
+}

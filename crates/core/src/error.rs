@@ -1,0 +1,164 @@
+//! Typed errors for the data model and preference layer.
+
+use std::fmt;
+
+use crate::types::{DimId, ObjectId, ValueId};
+
+/// Errors produced while building or validating tables, preference models
+/// and the reduced coin view.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A row was pushed whose arity differs from the schema dimensionality.
+    DimensionMismatch {
+        /// Dimensionality declared by the schema.
+        expected: usize,
+        /// Arity of the offending row.
+        got: usize,
+    },
+    /// A probability outside `[0, 1]`, or `NaN`, was supplied.
+    InvalidProbability {
+        /// The offending number.
+        value: f64,
+        /// Where it came from (e.g. `"Pr(a ≺ b)"`).
+        context: &'static str,
+    },
+    /// A preference pair whose two directions sum to more than one.
+    ///
+    /// The paper's model requires `Pr(a ≺ b) + Pr(b ≺ a) ≤ 1`; the slack is
+    /// the probability that the two values are incomparable.
+    PairMassExceedsOne {
+        /// Dimension of the pair.
+        dim: DimId,
+        /// First value.
+        a: ValueId,
+        /// Second value.
+        b: ValueId,
+        /// `Pr(a ≺ b) + Pr(b ≺ a)` as supplied.
+        total: f64,
+    },
+    /// A preference was declared between a value and itself.
+    ///
+    /// Identical values are *equally preferred with certainty* in the model
+    /// (`Pr(α ⪯ β) = 1`); a self-pair entry would contradict that.
+    SelfPreference {
+        /// Dimension of the pair.
+        dim: DimId,
+        /// The value paired with itself.
+        value: ValueId,
+    },
+    /// Two identical rows were found.
+    ///
+    /// Section 2 of the paper assumes no duplicate objects ("For reasons of
+    /// simplicity, we assume no duplicate objects in D"); dominance would
+    /// otherwise be ill-defined on the duplicated pair.
+    DuplicateObject {
+        /// The earlier of the two identical rows.
+        first: ObjectId,
+        /// The later duplicate.
+        second: ObjectId,
+    },
+    /// The designated target object is out of range.
+    TargetOutOfRange {
+        /// The requested target.
+        target: ObjectId,
+        /// Number of rows in the table.
+        rows: usize,
+    },
+    /// A table with zero dimensions was requested.
+    EmptySchema,
+    /// A value string was not found in a dimension dictionary.
+    UnknownValue {
+        /// Dimension searched.
+        dim: DimId,
+        /// The label that failed to resolve.
+        label: String,
+    },
+    /// A dictionary-backed operation was attempted on a schema without
+    /// dictionaries (raw numeric tables).
+    NoDictionary {
+        /// Dimension lacking a dictionary.
+        dim: DimId,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { expected, got } => {
+                write!(f, "row arity {got} does not match schema dimensionality {expected}")
+            }
+            CoreError::InvalidProbability { value, context } => {
+                write!(f, "invalid probability {value} for {context}: must lie in [0, 1]")
+            }
+            CoreError::PairMassExceedsOne { dim, a, b, total } => write!(
+                f,
+                "preference pair ({a}, {b}) on {dim} has total mass {total} > 1 \
+                 (Pr(a≺b) + Pr(b≺a) must not exceed 1)"
+            ),
+            CoreError::SelfPreference { dim, value } => write!(
+                f,
+                "preference declared between {value} and itself on {dim}; identical values \
+                 are equally preferred with certainty"
+            ),
+            CoreError::DuplicateObject { first, second } => {
+                write!(f, "objects {first} and {second} are identical; the model assumes no duplicates")
+            }
+            CoreError::TargetOutOfRange { target, rows } => {
+                write!(f, "target object {target} out of range for table with {rows} rows")
+            }
+            CoreError::EmptySchema => write!(f, "a table must have at least one dimension"),
+            CoreError::UnknownValue { dim, label } => {
+                write!(f, "value {label:?} not present in the dictionary of {dim}")
+            }
+            CoreError::NoDictionary { dim } => {
+                write!(f, "{dim} has no dictionary; build the table with labelled values to use labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+/// Validate that `p` is a probability, tagging errors with `context`.
+pub fn check_probability(p: f64, context: &'static str) -> Result<f64> {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        Err(CoreError::InvalidProbability { value: p, context })
+    } else {
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_validation_accepts_bounds() {
+        assert_eq!(check_probability(0.0, "t").unwrap(), 0.0);
+        assert_eq!(check_probability(1.0, "t").unwrap(), 1.0);
+        assert_eq!(check_probability(0.5, "t").unwrap(), 0.5);
+    }
+
+    #[test]
+    fn probability_validation_rejects_nan_and_out_of_range() {
+        assert!(check_probability(f64::NAN, "t").is_err());
+        assert!(check_probability(-0.1, "t").is_err());
+        assert!(check_probability(1.1, "t").is_err());
+    }
+
+    #[test]
+    fn errors_display_useful_messages() {
+        let e = CoreError::PairMassExceedsOne {
+            dim: DimId(0),
+            a: ValueId(1),
+            b: ValueId(2),
+            total: 1.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1.5"));
+        assert!(msg.contains("d0"));
+    }
+}

@@ -1,0 +1,80 @@
+//! # presky-core — data model for skyline probability over uncertain preferences
+//!
+//! This crate implements the data model of *"Skyline Probability over
+//! Uncertain Preferences"* (Q. Zhang, P. Ye, X. Lin, Y. Zhang, EDBT 2013):
+//! objects with fixed **categorical** attribute values whose pairwise value
+//! *preferences* are uncertain — `Pr(a ≺ b) + Pr(b ≺ a) ≤ 1`, the slack
+//! being incomparability.
+//!
+//! The central export is [`coins::CoinView`]: the reduction of a single
+//! object's skyline-probability instance to independent Bernoulli *coins*
+//! (one per distinct foreign value per dimension) and *attackers*
+//! (conjunctions of coins, one per competing object). All exact and
+//! approximate algorithms in the companion crates (`presky-exact`,
+//! `presky-approx`) consume this view; the dependence between object
+//! dominance events — the phenomenon the paper is about — is exactly coin
+//! sharing between attackers.
+//!
+//! ## Layout
+//!
+//! * [`types`] — `DimId` / `ValueId` / `ObjectId` newtypes.
+//! * [`schema`], [`table`] — categorical schemas, dictionaries and
+//!   column-major object tables.
+//! * [`preference`] — the [`preference::PreferenceModel`] trait and its
+//!   implementations (explicit tables, hash-seeded models for large spaces,
+//!   degenerate certain orders) plus RNG-driven generation.
+//! * [`dominance`] — `Pr(Qi ≺ O)` (Equation 2) and realized-world dominance.
+//! * [`world`] — possible worlds: sampling and exhaustive enumeration.
+//! * [`coins`] — the reduced kernel described above.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use presky_core::prelude::*;
+//!
+//! // The Observation of Section 1: P1=(α,s), P2=(α,t), P3=(β,t), all
+//! // pairwise value preferences one half.
+//! let table = Table::from_rows_raw(2, &[vec![0, 0], vec![0, 1], vec![1, 1]]).unwrap();
+//! let prefs = TablePreferences::with_default(PrefPair::half());
+//!
+//! // Pr(P2 ≺ P1) = 1/2, Pr(P3 ≺ P1) = 1/4.
+//! assert_eq!(pr_dominates(&table, &prefs, ObjectId(1), ObjectId(0)), 0.5);
+//! assert_eq!(pr_dominates(&table, &prefs, ObjectId(2), ObjectId(0)), 0.25);
+//!
+//! // P2 and P3 share the value t, hence share a coin: their dominance
+//! // events over P1 are dependent.
+//! let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
+//! assert_eq!(view.n_attackers(), 2);
+//! assert_eq!(view.n_coins(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coins;
+pub mod dominance;
+pub mod error;
+pub mod preference;
+pub mod schema;
+pub mod table;
+pub mod types;
+pub mod world;
+
+/// Convenient glob-import of the commonly used names.
+pub mod prelude {
+    pub use crate::coins::{Attacker, CoinKey, CoinView, SYNTHETIC_SOURCE};
+    pub use crate::dominance::{differing_dims, dominates_in_world, pr_dominates};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::preference::{
+        generate_table_preferences, Ballot, BradleyTerry, DeterministicOrder,
+        ElicitationBuilder, PairLaw, PrefDistribution, PrefPair, PreferenceModel,
+        SeededPreferences, TablePreferences, TablePreferencesBuilder, VoteTally,
+    };
+    pub use crate::schema::{Dictionary, Dimension, Schema};
+    pub use crate::table::{Table, TableBuilder};
+    pub use crate::types::{DimId, ObjectId, ValueId};
+    pub use crate::world::{
+        for_each_world, relevant_pairs_all, relevant_pairs_for_target, sample_world, PairId,
+        Relation, World,
+    };
+}

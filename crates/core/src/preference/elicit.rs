@@ -1,0 +1,405 @@
+//! Eliciting uncertain preferences from pairwise votes.
+//!
+//! The paper grounds its model in probabilistic voting ("this probabilistic
+//! preference model has already been widely used in voting theory as
+//! fuzzy/probability voting schema and probabilistic majority rules"):
+//! `Pr(a ≺ b)` is the fraction of the population preferring `a`. This
+//! module turns raw ballots into a [`TablePreferences`]:
+//!
+//! * [`VoteTally`] / [`ElicitationBuilder`] — direct frequency estimation
+//!   with Laplace smoothing; abstentions become incomparability mass.
+//! * [`BradleyTerry`] — fits per-value *strengths* from (possibly sparse)
+//!   tallies with the classic minorisation–maximisation updates, then
+//!   predicts `Pr(a ≺ b) = w_a / (w_a + w_b)` for **every** pair — filling
+//!   in pairs the population never compared directly, consistently with
+//!   the comparisons it did make.
+
+use std::collections::HashMap;
+
+use crate::error::{CoreError, Result};
+use crate::types::{DimId, ValueId};
+
+use super::table::TablePreferences;
+use super::PrefPair;
+
+/// Ballot counts for one value pair on one dimension.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VoteTally {
+    /// Ballots preferring the first value.
+    pub wins_a: u64,
+    /// Ballots preferring the second value.
+    pub wins_b: u64,
+    /// Ballots declaring the pair incomparable (abstentions).
+    pub abstain: u64,
+}
+
+impl VoteTally {
+    /// Total ballots.
+    pub fn total(&self) -> u64 {
+        self.wins_a + self.wins_b + self.abstain
+    }
+
+    /// Convert to a [`PrefPair`] with additive (Laplace) smoothing
+    /// `alpha ≥ 0` per outcome.
+    ///
+    /// With `alpha = 0` and no ballots this yields the fully incomparable
+    /// pair `(0, 0)`; with `alpha > 0` it yields the uninformed prior
+    /// `(⅓, ⅓)`.
+    pub fn to_pair(&self, alpha: f64) -> Result<PrefPair> {
+        if alpha < 0.0 || !alpha.is_finite() {
+            return Err(CoreError::InvalidProbability { value: alpha, context: "smoothing" });
+        }
+        let denom = self.total() as f64 + 3.0 * alpha;
+        if denom == 0.0 {
+            return PrefPair::new(0.0, 0.0);
+        }
+        PrefPair::new(
+            (self.wins_a as f64 + alpha) / denom,
+            (self.wins_b as f64 + alpha) / denom,
+        )
+    }
+}
+
+/// Accumulates ballots and materialises a smoothed preference table.
+#[derive(Debug, Clone)]
+pub struct ElicitationBuilder {
+    votes: HashMap<(u32, u32, u32), VoteTally>,
+    alpha: f64,
+}
+
+/// One ballot outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ballot {
+    /// The voter prefers the first value.
+    PreferFirst,
+    /// The voter prefers the second value.
+    PreferSecond,
+    /// The voter finds the pair incomparable.
+    Incomparable,
+}
+
+impl ElicitationBuilder {
+    /// Builder with Laplace smoothing `alpha` (1.0 is the classic choice).
+    pub fn new(alpha: f64) -> Self {
+        Self { votes: HashMap::new(), alpha }
+    }
+
+    fn key(dim: DimId, a: ValueId, b: ValueId) -> ((u32, u32, u32), bool) {
+        if a.0 <= b.0 {
+            ((dim.0, a.0, b.0), true)
+        } else {
+            ((dim.0, b.0, a.0), false)
+        }
+    }
+
+    /// Record one ballot on the pair `(a, b)`.
+    pub fn record(&mut self, dim: DimId, a: ValueId, b: ValueId, ballot: Ballot) -> Result<()> {
+        if a == b {
+            return Err(CoreError::SelfPreference { dim, value: a });
+        }
+        let (key, canonical) = Self::key(dim, a, b);
+        let tally = self.votes.entry(key).or_default();
+        match (ballot, canonical) {
+            (Ballot::PreferFirst, true) | (Ballot::PreferSecond, false) => tally.wins_a += 1,
+            (Ballot::PreferSecond, true) | (Ballot::PreferFirst, false) => tally.wins_b += 1,
+            (Ballot::Incomparable, _) => tally.abstain += 1,
+        }
+        Ok(())
+    }
+
+    /// Record a whole tally at once (in the orientation of `(a, b)`).
+    pub fn record_tally(
+        &mut self,
+        dim: DimId,
+        a: ValueId,
+        b: ValueId,
+        tally: VoteTally,
+    ) -> Result<()> {
+        if a == b {
+            return Err(CoreError::SelfPreference { dim, value: a });
+        }
+        let (key, canonical) = Self::key(dim, a, b);
+        let entry = self.votes.entry(key).or_default();
+        let (wa, wb) = if canonical {
+            (tally.wins_a, tally.wins_b)
+        } else {
+            (tally.wins_b, tally.wins_a)
+        };
+        entry.wins_a += wa;
+        entry.wins_b += wb;
+        entry.abstain += tally.abstain;
+        Ok(())
+    }
+
+    /// Ballots recorded for a pair, in the orientation of `(a, b)`.
+    pub fn tally(&self, dim: DimId, a: ValueId, b: ValueId) -> VoteTally {
+        let (key, canonical) = Self::key(dim, a, b);
+        let t = self.votes.get(&key).copied().unwrap_or_default();
+        if canonical {
+            t
+        } else {
+            VoteTally { wins_a: t.wins_b, wins_b: t.wins_a, abstain: t.abstain }
+        }
+    }
+
+    /// Materialise the smoothed preference table.
+    pub fn build(&self) -> Result<TablePreferences> {
+        let mut prefs = TablePreferences::new();
+        for (&(dim, lo, hi), tally) in &self.votes {
+            let pair = tally.to_pair(self.alpha)?;
+            prefs.set(DimId(dim), ValueId(lo), ValueId(hi), pair.forward, pair.backward)?;
+        }
+        Ok(prefs)
+    }
+}
+
+/// Bradley–Terry strength model for one dimension.
+///
+/// Fits strengths `w_v > 0` maximising the likelihood of the observed
+/// pairwise wins under `Pr(a beats b) = w_a / (w_a + w_b)`, via the MM
+/// update of Hunter (2004). Abstentions are ignored by the fit (they carry
+/// no ordinal information) but can be re-injected as a global
+/// incomparability rate.
+#[derive(Debug, Clone)]
+pub struct BradleyTerry {
+    /// Fitted strengths, normalised to mean 1.
+    strengths: HashMap<u32, f64>,
+    /// Fraction of ballots that abstained, re-applied as incomparability.
+    abstain_rate: f64,
+}
+
+impl BradleyTerry {
+    /// Fit strengths from tallies `((a, b), tally)` on one dimension.
+    ///
+    /// `iterations` of MM (50 is plenty for small value sets); a small
+    /// smoothing pseudo-win keeps never-winning values at positive
+    /// strength.
+    pub fn fit(tallies: &[((ValueId, ValueId), VoteTally)], iterations: usize) -> Result<Self> {
+        let mut values: Vec<u32> = Vec::new();
+        for ((a, b), _) in tallies {
+            if a == b {
+                return Err(CoreError::SelfPreference { dim: DimId(0), value: *a });
+            }
+            values.push(a.0);
+            values.push(b.0);
+        }
+        values.sort_unstable();
+        values.dedup();
+
+        // Pairwise win/match counts with a pseudo-win of 0.1 per direction
+        // (regularisation; keeps the MLE finite on degenerate data).
+        const PSEUDO: f64 = 0.1;
+        let mut wins: HashMap<u32, f64> = values.iter().map(|&v| (v, 0.0)).collect();
+        let mut matches: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut total_ballots = 0u64;
+        let mut total_abstain = 0u64;
+        for ((a, b), t) in tallies {
+            *wins.get_mut(&a.0).expect("interned") += t.wins_a as f64 + PSEUDO;
+            *wins.get_mut(&b.0).expect("interned") += t.wins_b as f64 + PSEUDO;
+            let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+            *matches.entry(key).or_insert(0.0) +=
+                (t.wins_a + t.wins_b) as f64 + 2.0 * PSEUDO;
+            total_ballots += t.total();
+            total_abstain += t.abstain;
+        }
+
+        let mut w: HashMap<u32, f64> = values.iter().map(|&v| (v, 1.0)).collect();
+        for _ in 0..iterations {
+            let mut next = HashMap::with_capacity(w.len());
+            for &v in &values {
+                let mut denom = 0.0;
+                for (&(x, y), &m) in &matches {
+                    if x == v {
+                        denom += m / (w[&v] + w[&y]);
+                    } else if y == v {
+                        denom += m / (w[&v] + w[&x]);
+                    }
+                }
+                let nw = if denom > 0.0 { wins[&v] / denom } else { 1.0 };
+                next.insert(v, nw.max(1e-12));
+            }
+            // Normalise to geometric mean 1 for stability.
+            let log_mean: f64 =
+                next.values().map(|x| x.ln()).sum::<f64>() / next.len().max(1) as f64;
+            let scale = (-log_mean).exp();
+            for x in next.values_mut() {
+                *x *= scale;
+            }
+            w = next;
+        }
+
+        let abstain_rate = if total_ballots > 0 {
+            total_abstain as f64 / total_ballots as f64
+        } else {
+            0.0
+        };
+        Ok(Self { strengths: w, abstain_rate })
+    }
+
+    /// Fitted strength of a value (`None` if unseen).
+    pub fn strength(&self, v: ValueId) -> Option<f64> {
+        self.strengths.get(&v.0).copied()
+    }
+
+    /// The abstention rate re-applied as incomparability mass.
+    pub fn abstain_rate(&self) -> f64 {
+        self.abstain_rate
+    }
+
+    /// Predicted pair: `Pr(a ≺ b) = (1 − r) · w_a / (w_a + w_b)` where `r`
+    /// is the abstention rate. Unseen values are treated as strength 1.
+    pub fn predict(&self, a: ValueId, b: ValueId) -> PrefPair {
+        if a == b {
+            return PrefPair { forward: 0.0, backward: 0.0 };
+        }
+        let wa = self.strength(a).unwrap_or(1.0);
+        let wb = self.strength(b).unwrap_or(1.0);
+        let comparable = 1.0 - self.abstain_rate;
+        PrefPair {
+            forward: comparable * wa / (wa + wb),
+            backward: comparable * wb / (wa + wb),
+        }
+    }
+
+    /// Materialise predictions for every pair of the given values on
+    /// `dim`.
+    pub fn to_preferences(&self, dim: DimId, values: &[ValueId]) -> Result<TablePreferences> {
+        let mut prefs = TablePreferences::new();
+        for (i, &a) in values.iter().enumerate() {
+            for &b in &values[i + 1..] {
+                let p = self.predict(a, b);
+                prefs.set(dim, a, b, p.forward, p.backward)?;
+            }
+        }
+        Ok(prefs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preference::PreferenceModel;
+
+    #[test]
+    fn tallies_smooth_to_valid_pairs() {
+        let t = VoteTally { wins_a: 7, wins_b: 2, abstain: 1 };
+        let p = t.to_pair(0.0).unwrap();
+        assert!((p.forward - 0.7).abs() < 1e-12);
+        assert!((p.incomparable() - 0.1).abs() < 1e-12);
+        let smoothed = t.to_pair(1.0).unwrap();
+        assert!(smoothed.forward < p.forward, "smoothing pulls toward uniform");
+        assert!(t.to_pair(-1.0).is_err());
+        assert_eq!(VoteTally::default().to_pair(0.0).unwrap().forward, 0.0);
+    }
+
+    #[test]
+    fn builder_orientation_is_consistent() {
+        let mut b = ElicitationBuilder::new(0.0);
+        let (d, x, y) = (DimId(0), ValueId(5), ValueId(2));
+        b.record(d, x, y, Ballot::PreferFirst).unwrap();
+        b.record(d, y, x, Ballot::PreferSecond).unwrap(); // same meaning
+        b.record(d, x, y, Ballot::Incomparable).unwrap();
+        let t = b.tally(d, x, y);
+        assert_eq!(t, VoteTally { wins_a: 2, wins_b: 0, abstain: 1 });
+        let prefs = b.build().unwrap();
+        assert!((prefs.pr_strict(d, x, y) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(prefs.pr_strict(d, y, x), 0.0);
+    }
+
+    #[test]
+    fn self_ballots_rejected() {
+        let mut b = ElicitationBuilder::new(1.0);
+        assert!(b.record(DimId(0), ValueId(1), ValueId(1), Ballot::PreferFirst).is_err());
+        assert!(b
+            .record_tally(DimId(0), ValueId(1), ValueId(1), VoteTally::default())
+            .is_err());
+    }
+
+    #[test]
+    fn record_tally_merges() {
+        let mut b = ElicitationBuilder::new(0.5);
+        b.record_tally(
+            DimId(1),
+            ValueId(0),
+            ValueId(1),
+            VoteTally { wins_a: 3, wins_b: 1, abstain: 0 },
+        )
+        .unwrap();
+        b.record_tally(
+            DimId(1),
+            ValueId(1),
+            ValueId(0),
+            VoteTally { wins_a: 1, wins_b: 2, abstain: 2 },
+        )
+        .unwrap();
+        // Combined in (0,1) orientation: wins_a = 3 + 2, wins_b = 1 + 1.
+        let t = b.tally(DimId(1), ValueId(0), ValueId(1));
+        assert_eq!(t, VoteTally { wins_a: 5, wins_b: 2, abstain: 2 });
+    }
+
+    #[test]
+    fn bradley_terry_recovers_a_clear_order() {
+        // v0 beats v1 beats v2, transitively consistent ballots.
+        let tallies = vec![
+            ((ValueId(0), ValueId(1)), VoteTally { wins_a: 80, wins_b: 20, abstain: 0 }),
+            ((ValueId(1), ValueId(2)), VoteTally { wins_a: 80, wins_b: 20, abstain: 0 }),
+        ];
+        let bt = BradleyTerry::fit(&tallies, 100).unwrap();
+        let w0 = bt.strength(ValueId(0)).unwrap();
+        let w1 = bt.strength(ValueId(1)).unwrap();
+        let w2 = bt.strength(ValueId(2)).unwrap();
+        assert!(w0 > w1 && w1 > w2, "strengths {w0} > {w1} > {w2}");
+        // The *unobserved* pair (0, 2) gets a confident transitive
+        // prediction.
+        let p = bt.predict(ValueId(0), ValueId(2));
+        assert!(p.forward > 0.85, "transitive fill-in: {}", p.forward);
+        // Observed pairs are matched approximately.
+        let p01 = bt.predict(ValueId(0), ValueId(1));
+        assert!((p01.forward - 0.8).abs() < 0.08, "{}", p01.forward);
+    }
+
+    #[test]
+    fn bradley_terry_abstentions_become_incomparability() {
+        let tallies = vec![(
+            (ValueId(0), ValueId(1)),
+            VoteTally { wins_a: 30, wins_b: 30, abstain: 40 },
+        )];
+        let bt = BradleyTerry::fit(&tallies, 50).unwrap();
+        assert!((bt.abstain_rate() - 0.4).abs() < 1e-12);
+        let p = bt.predict(ValueId(0), ValueId(1));
+        assert!((p.incomparable() - 0.4).abs() < 1e-9);
+        assert!((p.forward - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn bradley_terry_materialises_a_valid_model() {
+        let tallies = vec![
+            ((ValueId(0), ValueId(1)), VoteTally { wins_a: 10, wins_b: 5, abstain: 5 }),
+            ((ValueId(1), ValueId(2)), VoteTally { wins_a: 9, wins_b: 3, abstain: 0 }),
+            ((ValueId(0), ValueId(2)), VoteTally { wins_a: 12, wins_b: 1, abstain: 2 }),
+        ];
+        let bt = BradleyTerry::fit(&tallies, 80).unwrap();
+        let values = [ValueId(0), ValueId(1), ValueId(2)];
+        let prefs = bt.to_preferences(DimId(3), &values).unwrap();
+        let checks: Vec<_> = values
+            .iter()
+            .flat_map(|&a| values.iter().map(move |&b| (DimId(3), a, b)))
+            .collect();
+        crate::preference::validate_model_on_pairs(&prefs, &checks).unwrap();
+        // Order respected end to end.
+        assert!(prefs.pr_strict(DimId(3), ValueId(0), ValueId(2)) > 0.5);
+    }
+
+    #[test]
+    fn bradley_terry_rejects_self_pairs_and_handles_empty() {
+        assert!(BradleyTerry::fit(
+            &[((ValueId(1), ValueId(1)), VoteTally::default())],
+            10
+        )
+        .is_err());
+        let bt = BradleyTerry::fit(&[], 10).unwrap();
+        assert_eq!(bt.abstain_rate(), 0.0);
+        let p = bt.predict(ValueId(0), ValueId(1));
+        assert!((p.forward - 0.5).abs() < 1e-12, "unseen values are even");
+    }
+}

@@ -1,0 +1,163 @@
+//! RNG-driven generation of explicit preference tables for a given data set.
+//!
+//! [`SeededPreferences`](super::SeededPreferences) derives pairs lazily and
+//! is the right tool at scale; this module instead *materialises* a
+//! [`TablePreferences`](super::TablePreferences) covering every pair of
+//! values that actually occurs in a table — which is what the paper's small
+//! worked examples and the deterministic-algorithm experiments need, and
+//! what users with externally elicited preferences will construct.
+
+use rand::Rng;
+
+use crate::error::Result;
+use crate::table::Table;
+use crate::types::{DimId, ValueId};
+
+use super::table::TablePreferences;
+
+/// The probability law used to draw each pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrefDistribution {
+    /// Every pair gets fixed symmetric probabilities `(p, p)`;
+    /// `Unanimous(0.5)` is the paper's "equally preferred" setting. `p` must
+    /// not exceed `0.5`.
+    Unanimous(f64),
+    /// `Pr(a ≺ b) = p ~ U[0, 1]`, `Pr(b ≺ a) = 1 − p` — the evaluation
+    /// default.
+    Complementary,
+    /// `(p, q)` uniform over the simplex `p + q ≤ 1`.
+    Simplex,
+    /// Certain preferences with a random winner per pair.
+    CertainCoin,
+}
+
+/// Draw preferences for every pair of distinct values co-occurring in each
+/// column of `table`.
+///
+/// Pair enumeration is over the *observed* values of each column (sorted by
+/// code), so generation cost is `O(Σ_j |V_j|²)` independent of the row
+/// count. Missing pairs (values never seen together in this table) keep the
+/// table default of "incomparable", which no `sky(O)` computation on this
+/// table will ever consult.
+pub fn generate_table_preferences<R: Rng>(
+    table: &Table,
+    dist: PrefDistribution,
+    rng: &mut R,
+) -> Result<TablePreferences> {
+    let mut prefs = TablePreferences::new();
+    for j in 0..table.dimensionality() {
+        let dim = DimId::from(j);
+        let mut values: Vec<ValueId> = table.column(dim).to_vec();
+        values.sort_unstable();
+        values.dedup();
+        for (ia, &a) in values.iter().enumerate() {
+            for &b in &values[ia + 1..] {
+                let (f, r) = draw_pair(dist, rng)?;
+                prefs.set(dim, a, b, f, r)?;
+            }
+        }
+    }
+    Ok(prefs)
+}
+
+fn draw_pair<R: Rng>(dist: PrefDistribution, rng: &mut R) -> Result<(f64, f64)> {
+    Ok(match dist {
+        PrefDistribution::Unanimous(p) => {
+            // Validate via PrefPair's own checks by returning (p, p).
+            (p, p)
+        }
+        PrefDistribution::Complementary => {
+            let p: f64 = rng.random();
+            (p, 1.0 - p)
+        }
+        PrefDistribution::Simplex => {
+            let mut u: f64 = rng.random();
+            let mut v: f64 = rng.random();
+            if u + v > 1.0 {
+                u = 1.0 - u;
+                v = 1.0 - v;
+            }
+            (u, v)
+        }
+        PrefDistribution::CertainCoin => {
+            if rng.random::<bool>() {
+                (1.0, 0.0)
+            } else {
+                (0.0, 1.0)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::preference::PreferenceModel;
+
+    fn table() -> Table {
+        Table::from_rows_raw(2, &[vec![0, 1], vec![2, 1], vec![0, 3]]).unwrap()
+    }
+
+    #[test]
+    fn covers_all_observed_pairs() {
+        let t = table();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = generate_table_preferences(&t, PrefDistribution::Complementary, &mut rng).unwrap();
+        // dim0 values {0, 2} -> 1 pair; dim1 values {1, 3} -> 1 pair.
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(DimId(0), ValueId(0), ValueId(2)));
+        assert!(p.contains(DimId(1), ValueId(1), ValueId(3)));
+    }
+
+    #[test]
+    fn unanimous_half_reproduces_paper_setting() {
+        let t = table();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = generate_table_preferences(&t, PrefDistribution::Unanimous(0.5), &mut rng).unwrap();
+        assert_eq!(p.pr_strict(DimId(0), ValueId(0), ValueId(2)), 0.5);
+        assert_eq!(p.pr_strict(DimId(0), ValueId(2), ValueId(0)), 0.5);
+    }
+
+    #[test]
+    fn unanimous_over_half_is_rejected() {
+        let t = table();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(
+            generate_table_preferences(&t, PrefDistribution::Unanimous(0.6), &mut rng).is_err()
+        );
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let t = table();
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            generate_table_preferences(&t, PrefDistribution::Complementary, &mut rng).unwrap()
+        };
+        let (a, b, c) = (gen(9), gen(9), gen(10));
+        let q = (DimId(0), ValueId(0), ValueId(2));
+        assert_eq!(a.pr_strict(q.0, q.1, q.2), b.pr_strict(q.0, q.1, q.2));
+        assert_ne!(a.pr_strict(q.0, q.1, q.2), c.pr_strict(q.0, q.1, q.2));
+    }
+
+    #[test]
+    fn certain_coin_yields_zero_one() {
+        let t = table();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = generate_table_preferences(&t, PrefDistribution::CertainCoin, &mut rng).unwrap();
+        let f = p.pr_strict(DimId(0), ValueId(0), ValueId(2));
+        let b = p.pr_strict(DimId(0), ValueId(2), ValueId(0));
+        assert!((f == 1.0 && b == 0.0) || (f == 0.0 && b == 1.0));
+    }
+
+    #[test]
+    fn simplex_pairs_are_valid() {
+        let t = Table::from_rows_raw(1, &(0..30).map(|v| vec![v]).collect::<Vec<_>>()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = generate_table_preferences(&t, PrefDistribution::Simplex, &mut rng).unwrap();
+        assert_eq!(p.len(), 30 * 29 / 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! Uncertain preference models.
+//!
+//! The paper models the preference between two distinct values `a`, `b` on
+//! one dimension as a pair of probabilities
+//!
+//! ```text
+//! Pr(a ≺ b) + Pr(b ≺ a) ≤ 1
+//! ```
+//!
+//! where the slack `1 − Pr(a ≺ b) − Pr(b ≺ a)` is the chance the two values
+//! are *incomparable* to the population. Identical values are equally
+//! preferred with certainty. Preferences on different dimensions, and
+//! preferences sharing a common value, are assumed mutually independent
+//! (Section 2); this is exactly the assumption that makes the coin view of
+//! [`crate::coins`] sound.
+//!
+//! Implementations provided here:
+//!
+//! * [`TablePreferences`] — explicit per-pair probabilities, validated at
+//!   insertion; the model of choice for small spaces and the paper's worked
+//!   examples.
+//! * [`SeededPreferences`] — a *stateless* model deriving each pair's
+//!   probabilities from a hash of `(seed, dim, pair)`. This is how the
+//!   100 000-object block-zipf experiments avoid materialising a quadratic
+//!   number of pairs, while staying perfectly reproducible.
+//! * [`DeterministicOrder`] — degenerate 0/1 preferences induced by the
+//!   numeric order of value codes; used to cross-check against classical
+//!   (certain) skyline computation.
+
+mod elicit;
+mod generate;
+mod order;
+mod seeded;
+mod table;
+
+pub use elicit::{Ballot, BradleyTerry, ElicitationBuilder, VoteTally};
+pub use generate::{generate_table_preferences, PrefDistribution};
+pub use order::DeterministicOrder;
+pub use seeded::{PairLaw, SeededPreferences};
+pub use table::{TablePreferences, TablePreferencesBuilder};
+
+use crate::error::{check_probability, CoreError, Result};
+use crate::types::{DimId, ValueId};
+
+/// The two directed probabilities of one uncertain preference pair.
+///
+/// `forward` is `Pr(a ≺ b)` and `backward` is `Pr(b ≺ a)` for the ordered
+/// query `(a, b)`; their sum must not exceed one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefPair {
+    /// `Pr(a ≺ b)`.
+    pub forward: f64,
+    /// `Pr(b ≺ a)`.
+    pub backward: f64,
+}
+
+impl PrefPair {
+    /// Build a validated pair.
+    pub fn new(forward: f64, backward: f64) -> Result<Self> {
+        check_probability(forward, "Pr(a ≺ b)")?;
+        check_probability(backward, "Pr(b ≺ a)")?;
+        // Tolerate tiny floating slop from generators that draw `p` and use
+        // `1 - p`: the model constraint is semantic, not bit-exact.
+        if forward + backward > 1.0 + 1e-12 {
+            return Err(CoreError::PairMassExceedsOne {
+                dim: DimId(0),
+                a: ValueId(0),
+                b: ValueId(0),
+                total: forward + backward,
+            });
+        }
+        Ok(Self { forward, backward })
+    }
+
+    /// The unanimous fifty-fifty pair used throughout the paper's examples.
+    pub fn half() -> Self {
+        Self { forward: 0.5, backward: 0.5 }
+    }
+
+    /// A certain preference `a ≺ b`.
+    pub fn certain_forward() -> Self {
+        Self { forward: 1.0, backward: 0.0 }
+    }
+
+    /// Probability that the two values are incomparable.
+    pub fn incomparable(&self) -> f64 {
+        (1.0 - self.forward - self.backward).max(0.0)
+    }
+
+    /// The pair for the reversed query `(b, a)`.
+    pub fn reversed(&self) -> Self {
+        Self { forward: self.backward, backward: self.forward }
+    }
+}
+
+/// A model assigning uncertain preferences to every value pair of every
+/// dimension.
+///
+/// # Contract
+///
+/// * `pr_strict(dim, a, a) == 0.0` — a value is never *strictly* preferred
+///   to itself (identical values are *equally* preferred with certainty).
+/// * `pr_strict(dim, a, b) + pr_strict(dim, b, a) <= 1` for `a != b`.
+/// * Values returned are probabilities in `[0, 1]` and never `NaN`.
+///
+/// All provided implementations uphold the contract; hand-rolled
+/// implementations can be checked with [`validate_model_on_pairs`].
+pub trait PreferenceModel {
+    /// Probability that value `a` is strictly preferred to value `b` on
+    /// dimension `dim`.
+    fn pr_strict(&self, dim: DimId, a: ValueId, b: ValueId) -> f64;
+
+    /// Probability that `a` is preferred *or equal* to `b`: `1` for the
+    /// same value, the strict probability otherwise. This is the `⪯` of
+    /// Equation 2.
+    fn pr_weak(&self, dim: DimId, a: ValueId, b: ValueId) -> f64 {
+        if a == b {
+            1.0
+        } else {
+            self.pr_strict(dim, a, b)
+        }
+    }
+
+    /// Both directions of the pair `(a, b)` at once.
+    fn pair(&self, dim: DimId, a: ValueId, b: ValueId) -> PrefPair {
+        PrefPair {
+            forward: self.pr_strict(dim, a, b),
+            backward: self.pr_strict(dim, b, a),
+        }
+    }
+}
+
+// Allow `&M` wherever a model is expected.
+impl<M: PreferenceModel + ?Sized> PreferenceModel for &M {
+    fn pr_strict(&self, dim: DimId, a: ValueId, b: ValueId) -> f64 {
+        (**self).pr_strict(dim, a, b)
+    }
+}
+
+/// Check the [`PreferenceModel`] contract on an explicit list of pairs.
+///
+/// Returns the first violation found. Useful in tests and when accepting a
+/// user-supplied model at an API boundary.
+pub fn validate_model_on_pairs<M: PreferenceModel>(
+    model: &M,
+    pairs: &[(DimId, ValueId, ValueId)],
+) -> Result<()> {
+    for &(dim, a, b) in pairs {
+        let f = model.pr_strict(dim, a, b);
+        let r = model.pr_strict(dim, b, a);
+        check_probability(f, "pr_strict forward")?;
+        check_probability(r, "pr_strict backward")?;
+        if a == b && f != 0.0 {
+            return Err(CoreError::SelfPreference { dim, value: a });
+        }
+        if a != b && f + r > 1.0 + 1e-12 {
+            return Err(CoreError::PairMassExceedsOne { dim, a, b, total: f + r });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pref_pair_validates_mass() {
+        assert!(PrefPair::new(0.6, 0.5).is_err());
+        let p = PrefPair::new(0.3, 0.4).unwrap();
+        assert!((p.incomparable() - 0.3).abs() < 1e-12);
+        assert_eq!(p.reversed().forward, 0.4);
+    }
+
+    #[test]
+    fn half_pair_is_complementary() {
+        let h = PrefPair::half();
+        assert_eq!(h.incomparable(), 0.0);
+        assert_eq!(h.forward, 0.5);
+    }
+
+    #[test]
+    fn weak_preference_of_identical_values_is_one() {
+        struct Zero;
+        impl PreferenceModel for Zero {
+            fn pr_strict(&self, _: DimId, _: ValueId, _: ValueId) -> f64 {
+                0.0
+            }
+        }
+        let m = Zero;
+        assert_eq!(m.pr_weak(DimId(0), ValueId(1), ValueId(1)), 1.0);
+        assert_eq!(m.pr_weak(DimId(0), ValueId(1), ValueId(2)), 0.0);
+    }
+
+    #[test]
+    fn validation_catches_contract_violations() {
+        struct Bad;
+        impl PreferenceModel for Bad {
+            fn pr_strict(&self, _: DimId, _: ValueId, _: ValueId) -> f64 {
+                0.7 // 0.7 + 0.7 > 1 for a != b, nonzero for a == a
+            }
+        }
+        let pairs = [(DimId(0), ValueId(0), ValueId(1))];
+        assert!(matches!(
+            validate_model_on_pairs(&Bad, &pairs),
+            Err(CoreError::PairMassExceedsOne { .. })
+        ));
+        let selfpair = [(DimId(0), ValueId(3), ValueId(3))];
+        assert!(matches!(
+            validate_model_on_pairs(&Bad, &selfpair),
+            Err(CoreError::SelfPreference { .. })
+        ));
+    }
+}

@@ -1,0 +1,84 @@
+//! Degenerate certain preferences induced by value-code order.
+
+use crate::types::{DimId, ValueId};
+
+use super::PreferenceModel;
+
+/// A certain (0/1) preference model: on every dimension, values are totally
+/// ordered by their numeric code.
+///
+/// With `ascending = true` (the default), smaller codes are preferred — the
+/// convention of classical skyline papers where "smaller is better". Under
+/// this model every skyline probability is exactly 0 or 1 and must agree
+/// with a deterministic skyline computation; the query crate uses this as a
+/// consistency oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeterministicOrder {
+    ascending: bool,
+}
+
+impl DeterministicOrder {
+    /// Smaller value codes are preferred.
+    pub fn ascending() -> Self {
+        Self { ascending: true }
+    }
+
+    /// Larger value codes are preferred.
+    pub fn descending() -> Self {
+        Self { ascending: false }
+    }
+
+    /// Whether smaller codes win.
+    pub fn is_ascending(&self) -> bool {
+        self.ascending
+    }
+}
+
+impl Default for DeterministicOrder {
+    fn default() -> Self {
+        Self::ascending()
+    }
+}
+
+impl PreferenceModel for DeterministicOrder {
+    fn pr_strict(&self, _dim: DimId, a: ValueId, b: ValueId) -> f64 {
+        if a == b {
+            0.0
+        } else if (a.0 < b.0) == self.ascending {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preference::validate_model_on_pairs;
+
+    #[test]
+    fn ascending_prefers_smaller() {
+        let m = DeterministicOrder::ascending();
+        assert_eq!(m.pr_strict(DimId(0), ValueId(1), ValueId(2)), 1.0);
+        assert_eq!(m.pr_strict(DimId(0), ValueId(2), ValueId(1)), 0.0);
+        assert_eq!(m.pr_strict(DimId(0), ValueId(2), ValueId(2)), 0.0);
+        assert_eq!(m.pr_weak(DimId(0), ValueId(2), ValueId(2)), 1.0);
+    }
+
+    #[test]
+    fn descending_prefers_larger() {
+        let m = DeterministicOrder::descending();
+        assert_eq!(m.pr_strict(DimId(0), ValueId(1), ValueId(2)), 0.0);
+        assert_eq!(m.pr_strict(DimId(0), ValueId(2), ValueId(1)), 1.0);
+    }
+
+    #[test]
+    fn satisfies_contract() {
+        let pairs: Vec<_> = (0..5u32)
+            .flat_map(|a| (0..5u32).map(move |b| (DimId(0), ValueId(a), ValueId(b))))
+            .collect();
+        validate_model_on_pairs(&DeterministicOrder::ascending(), &pairs).unwrap();
+        validate_model_on_pairs(&DeterministicOrder::descending(), &pairs).unwrap();
+    }
+}

@@ -1,0 +1,275 @@
+//! Explicit per-pair preference tables.
+
+use std::collections::HashMap;
+
+use crate::error::{check_probability, CoreError, Result};
+use crate::types::{DimId, ValueId};
+
+use super::{PrefPair, PreferenceModel};
+
+/// Canonical storage key: dimension plus the unordered value pair with the
+/// smaller code first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PairKey {
+    dim: u32,
+    lo: u32,
+    hi: u32,
+}
+
+impl PairKey {
+    fn new(dim: DimId, a: ValueId, b: ValueId) -> (Self, bool) {
+        // The boolean reports whether (a, b) maps to the canonical (lo, hi)
+        // orientation, i.e. whether `forward` means `Pr(a ≺ b)`.
+        if a.0 <= b.0 {
+            (Self { dim: dim.0, lo: a.0, hi: b.0 }, true)
+        } else {
+            (Self { dim: dim.0, lo: b.0, hi: a.0 }, false)
+        }
+    }
+}
+
+/// A [`PreferenceModel`] backed by an explicit hash table of pairs.
+///
+/// Pairs not present fall back to a configurable default (incomparable by
+/// default, i.e. both directions have probability zero). Every insertion is
+/// validated against the model contract.
+#[derive(Debug, Clone)]
+pub struct TablePreferences {
+    pairs: HashMap<PairKey, PrefPair>,
+    default: PrefPair,
+}
+
+impl TablePreferences {
+    /// An empty table whose missing pairs are incomparable with certainty.
+    pub fn new() -> Self {
+        Self { pairs: HashMap::new(), default: PrefPair { forward: 0.0, backward: 0.0 } }
+    }
+
+    /// An empty table whose missing pairs default to `default`.
+    ///
+    /// `TablePreferences::with_default(PrefPair::half())` reproduces the
+    /// paper's examples, where "any two attribute values are equally
+    /// preferred by the population".
+    pub fn with_default(default: PrefPair) -> Self {
+        Self { pairs: HashMap::new(), default }
+    }
+
+    /// Insert (or overwrite) the pair `(a, b)` on `dim` with
+    /// `Pr(a ≺ b) = forward` and `Pr(b ≺ a) = backward`.
+    pub fn set(
+        &mut self,
+        dim: DimId,
+        a: ValueId,
+        b: ValueId,
+        forward: f64,
+        backward: f64,
+    ) -> Result<()> {
+        if a == b {
+            return Err(CoreError::SelfPreference { dim, value: a });
+        }
+        check_probability(forward, "Pr(a ≺ b)")?;
+        check_probability(backward, "Pr(b ≺ a)")?;
+        if forward + backward > 1.0 + 1e-12 {
+            return Err(CoreError::PairMassExceedsOne { dim, a, b, total: forward + backward });
+        }
+        let (key, canonical) = PairKey::new(dim, a, b);
+        let stored = if canonical {
+            PrefPair { forward, backward }
+        } else {
+            PrefPair { forward: backward, backward: forward }
+        };
+        self.pairs.insert(key, stored);
+        Ok(())
+    }
+
+    /// Insert a *complementary* pair: `Pr(a ≺ b) = p`, `Pr(b ≺ a) = 1 − p`
+    /// (no incomparability mass). This matches the paper's experimental
+    /// setup where "preference probabilities are randomly generated between
+    /// `[0, 1]`".
+    pub fn set_complementary(&mut self, dim: DimId, a: ValueId, b: ValueId, p: f64) -> Result<()> {
+        check_probability(p, "Pr(a ≺ b)")?;
+        self.set(dim, a, b, p, 1.0 - p)
+    }
+
+    /// Number of explicitly stored pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pair has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The default pair used for missing entries.
+    pub fn default_pair(&self) -> PrefPair {
+        self.default
+    }
+
+    /// Whether the pair `(a, b)` on `dim` is explicitly stored.
+    pub fn contains(&self, dim: DimId, a: ValueId, b: ValueId) -> bool {
+        let (key, _) = PairKey::new(dim, a, b);
+        self.pairs.contains_key(&key)
+    }
+
+    /// Iterate over every explicitly stored pair in canonical orientation:
+    /// `(dim, lo, hi, pair)` with `pair.forward = Pr(lo ≺ hi)`.
+    ///
+    /// Iteration order is unspecified (hash order); callers that need a
+    /// stable order should sort.
+    pub fn pairs(&self) -> impl Iterator<Item = (DimId, ValueId, ValueId, PrefPair)> + '_ {
+        self.pairs.iter().map(|(k, &p)| (DimId(k.dim), ValueId(k.lo), ValueId(k.hi), p))
+    }
+}
+
+impl Default for TablePreferences {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PreferenceModel for TablePreferences {
+    fn pr_strict(&self, dim: DimId, a: ValueId, b: ValueId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let (key, canonical) = PairKey::new(dim, a, b);
+        let pair = self.pairs.get(&key).copied().unwrap_or(self.default);
+        if canonical {
+            pair.forward
+        } else {
+            pair.backward
+        }
+    }
+}
+
+/// Builder that accumulates pairs and validates global consistency once.
+///
+/// Equivalent to calling [`TablePreferences::set`] repeatedly, but reads as
+/// declarative fixture code in tests and examples.
+#[derive(Debug, Default)]
+pub struct TablePreferencesBuilder {
+    entries: Vec<(DimId, ValueId, ValueId, f64, f64)>,
+    default: Option<PrefPair>,
+}
+
+impl TablePreferencesBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the default pair for missing entries.
+    pub fn default_pair(mut self, pair: PrefPair) -> Self {
+        self.default = Some(pair);
+        self
+    }
+
+    /// Queue a pair.
+    pub fn pair(mut self, dim: DimId, a: ValueId, b: ValueId, forward: f64, backward: f64) -> Self {
+        self.entries.push((dim, a, b, forward, backward));
+        self
+    }
+
+    /// Queue a complementary pair (`backward = 1 − forward`).
+    pub fn complementary(self, dim: DimId, a: ValueId, b: ValueId, forward: f64) -> Self {
+        let backward = 1.0 - forward;
+        self.pair(dim, a, b, forward, backward)
+    }
+
+    /// Validate everything and build the table.
+    pub fn build(self) -> Result<TablePreferences> {
+        let mut t = match self.default {
+            Some(d) => TablePreferences::with_default(d),
+            None => TablePreferences::new(),
+        };
+        for (dim, a, b, f, r) in self.entries {
+            t.set(dim, a, b, f, r)?;
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stored_pairs_are_orientation_aware() {
+        let mut t = TablePreferences::new();
+        t.set(DimId(0), ValueId(5), ValueId(2), 0.7, 0.1).unwrap();
+        assert!((t.pr_strict(DimId(0), ValueId(5), ValueId(2)) - 0.7).abs() < 1e-15);
+        assert!((t.pr_strict(DimId(0), ValueId(2), ValueId(5)) - 0.1).abs() < 1e-15);
+        let pair = t.pair(DimId(0), ValueId(2), ValueId(5));
+        assert!((pair.incomparable() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_pairs_use_default() {
+        let t = TablePreferences::with_default(PrefPair::half());
+        assert_eq!(t.pr_strict(DimId(3), ValueId(0), ValueId(1)), 0.5);
+        let t2 = TablePreferences::new();
+        assert_eq!(t2.pr_strict(DimId(3), ValueId(0), ValueId(1)), 0.0);
+    }
+
+    #[test]
+    fn self_pairs_are_rejected_and_never_strict() {
+        let mut t = TablePreferences::new();
+        assert!(matches!(
+            t.set(DimId(0), ValueId(1), ValueId(1), 0.5, 0.5),
+            Err(CoreError::SelfPreference { .. })
+        ));
+        assert_eq!(t.pr_strict(DimId(0), ValueId(1), ValueId(1)), 0.0);
+        assert_eq!(t.pr_weak(DimId(0), ValueId(1), ValueId(1)), 1.0);
+    }
+
+    #[test]
+    fn mass_validation_on_insert() {
+        let mut t = TablePreferences::new();
+        assert!(t.set(DimId(0), ValueId(0), ValueId(1), 0.9, 0.2).is_err());
+        assert!(t.set(DimId(0), ValueId(0), ValueId(1), f64::NAN, 0.2).is_err());
+        assert!(t.set(DimId(0), ValueId(0), ValueId(1), 0.9, 0.1).is_ok());
+    }
+
+    #[test]
+    fn complementary_insert_has_no_incomparable_mass() {
+        let mut t = TablePreferences::new();
+        t.set_complementary(DimId(1), ValueId(0), ValueId(9), 0.25).unwrap();
+        let p = t.pair(DimId(1), ValueId(0), ValueId(9));
+        assert!((p.forward - 0.25).abs() < 1e-15);
+        assert!(p.incomparable() < 1e-12);
+    }
+
+    #[test]
+    fn builder_round_trips() {
+        let t = TablePreferencesBuilder::new()
+            .default_pair(PrefPair::half())
+            .pair(DimId(0), ValueId(0), ValueId(1), 0.2, 0.3)
+            .complementary(DimId(1), ValueId(4), ValueId(2), 0.8)
+            .build()
+            .unwrap();
+        assert_eq!(t.len(), 2);
+        assert!((t.pr_strict(DimId(1), ValueId(2), ValueId(4)) - 0.2).abs() < 1e-12);
+        assert_eq!(t.pr_strict(DimId(9), ValueId(0), ValueId(1)), 0.5);
+        assert!(t.contains(DimId(0), ValueId(1), ValueId(0)));
+        assert!(!t.contains(DimId(0), ValueId(1), ValueId(2)));
+    }
+
+    #[test]
+    fn builder_propagates_validation_errors() {
+        let r = TablePreferencesBuilder::new()
+            .pair(DimId(0), ValueId(0), ValueId(1), 0.8, 0.8)
+            .build();
+        assert!(matches!(r, Err(CoreError::PairMassExceedsOne { .. })));
+    }
+
+    #[test]
+    fn overwriting_a_pair_keeps_latest() {
+        let mut t = TablePreferences::new();
+        t.set(DimId(0), ValueId(0), ValueId(1), 0.1, 0.2).unwrap();
+        t.set(DimId(0), ValueId(1), ValueId(0), 0.6, 0.3).unwrap();
+        assert!((t.pr_strict(DimId(0), ValueId(1), ValueId(0)) - 0.6).abs() < 1e-15);
+        assert!((t.pr_strict(DimId(0), ValueId(0), ValueId(1)) - 0.3).abs() < 1e-15);
+        assert_eq!(t.len(), 1);
+    }
+}

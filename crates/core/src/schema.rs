@@ -1,0 +1,260 @@
+//! Schemas and per-dimension value dictionaries.
+//!
+//! A [`Schema`] records the dimensionality of the space and, optionally, a
+//! [`Dictionary`] per dimension interning human-readable labels such as
+//! `"beach_view"` or `"proper"` (Nursery). Synthetic workloads typically use
+//! raw numeric value codes and skip dictionaries entirely.
+
+use std::collections::HashMap;
+
+use crate::error::{CoreError, Result};
+use crate::types::{DimId, ValueId};
+
+/// A string-interning dictionary for one categorical dimension.
+///
+/// Labels are assigned dense [`ValueId`]s in insertion order, so the code of
+/// a value doubles as an index into [`Dictionary::labels`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dictionary {
+    labels: Vec<String>,
+    index: HashMap<String, ValueId>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a dictionary pre-populated with `labels`, in order.
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut d = Self::new();
+        for l in labels {
+            d.intern(&l.into());
+        }
+        d
+    }
+
+    /// Intern `label`, returning its (possibly pre-existing) code.
+    pub fn intern(&mut self, label: &str) -> ValueId {
+        if let Some(&id) = self.index.get(label) {
+            return id;
+        }
+        let id = ValueId(self.labels.len() as u32);
+        self.labels.push(label.to_owned());
+        self.index.insert(label.to_owned(), id);
+        id
+    }
+
+    /// Look up the code of `label`, if interned.
+    pub fn get(&self, label: &str) -> Option<ValueId> {
+        self.index.get(label).copied()
+    }
+
+    /// The label of a code, if in range.
+    pub fn label(&self, id: ValueId) -> Option<&str> {
+        self.labels.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct values interned so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no values have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// All labels in code order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+}
+
+/// Description of one dimension of the space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dimension {
+    /// Human-readable attribute name (e.g. `"health"`).
+    pub name: String,
+    /// Label dictionary; `None` for raw numeric dimensions.
+    pub dictionary: Option<Dictionary>,
+}
+
+/// The schema of a table: an ordered list of dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    dims: Vec<Dimension>,
+}
+
+impl Schema {
+    /// A schema of `d` anonymous raw dimensions (`"dim0"`, `"dim1"`, …)
+    /// without dictionaries — the natural choice for synthetic workloads
+    /// whose values are opaque integer codes.
+    pub fn raw(d: usize) -> Result<Self> {
+        if d == 0 {
+            return Err(CoreError::EmptySchema);
+        }
+        Ok(Self {
+            dims: (0..d)
+                .map(|j| Dimension { name: format!("dim{j}"), dictionary: None })
+                .collect(),
+        })
+    }
+
+    /// A schema with named, dictionary-backed dimensions.
+    pub fn named<I, S>(names: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let dims: Vec<Dimension> = names
+            .into_iter()
+            .map(|n| Dimension { name: n.into(), dictionary: Some(Dictionary::new()) })
+            .collect();
+        if dims.is_empty() {
+            return Err(CoreError::EmptySchema);
+        }
+        Ok(Self { dims })
+    }
+
+    /// Build a schema from fully-specified dimensions.
+    pub fn from_dimensions(dims: Vec<Dimension>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(CoreError::EmptySchema);
+        }
+        Ok(Self { dims })
+    }
+
+    /// Dimensionality `d` of the space.
+    pub fn dimensionality(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// All dimensions in order.
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dims
+    }
+
+    /// The dimension at index `dim`.
+    pub fn dimension(&self, dim: DimId) -> &Dimension {
+        &self.dims[dim.index()]
+    }
+
+    /// Mutable access to a dimension (used by builders to intern labels).
+    pub(crate) fn dimension_mut(&mut self, dim: DimId) -> &mut Dimension {
+        &mut self.dims[dim.index()]
+    }
+
+    /// Intern `label` on `dim`, failing if the dimension is raw.
+    pub fn intern(&mut self, dim: DimId, label: &str) -> Result<ValueId> {
+        match &mut self.dimension_mut(dim).dictionary {
+            Some(d) => Ok(d.intern(label)),
+            None => Err(CoreError::NoDictionary { dim }),
+        }
+    }
+
+    /// Resolve `label` on `dim` without interning.
+    pub fn resolve(&self, dim: DimId, label: &str) -> Result<ValueId> {
+        let dict = self
+            .dimension(dim)
+            .dictionary
+            .as_ref()
+            .ok_or(CoreError::NoDictionary { dim })?;
+        dict.get(label)
+            .ok_or_else(|| CoreError::UnknownValue { dim, label: label.to_owned() })
+    }
+
+    /// The label of `value` on `dim`, falling back to the numeric code for
+    /// raw dimensions.
+    pub fn display_value(&self, dim: DimId, value: ValueId) -> String {
+        match &self.dimension(dim).dictionary {
+            Some(d) => d
+                .label(value)
+                .map(str::to_owned)
+                .unwrap_or_else(|| value.to_string()),
+            None => value.to_string(),
+        }
+    }
+
+    /// Project the schema onto a subset of dimensions (used e.g. to derive
+    /// the 4-dimensional Nursery variant of Figure 15 from the 8-d one).
+    pub fn project(&self, dims: &[DimId]) -> Result<Self> {
+        let selected: Vec<Dimension> =
+            dims.iter().map(|&j| self.dimension(j).clone()).collect();
+        Self::from_dimensions(selected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_interns_idempotently() {
+        let mut d = Dictionary::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        let a2 = d.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.label(a), Some("alpha"));
+        assert_eq!(d.get("beta"), Some(b));
+        assert_eq!(d.get("gamma"), None);
+    }
+
+    #[test]
+    fn raw_schema_has_no_dictionaries() {
+        let s = Schema::raw(3).unwrap();
+        assert_eq!(s.dimensionality(), 3);
+        assert!(s.dimension(DimId(0)).dictionary.is_none());
+        assert_eq!(s.dimension(DimId(2)).name, "dim2");
+    }
+
+    #[test]
+    fn empty_schema_is_rejected() {
+        assert_eq!(Schema::raw(0).unwrap_err(), CoreError::EmptySchema);
+        assert!(Schema::named(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn named_schema_interns_and_resolves() {
+        let mut s = Schema::named(["view", "heating"]).unwrap();
+        let beach = s.intern(DimId(0), "beach").unwrap();
+        assert_eq!(s.resolve(DimId(0), "beach").unwrap(), beach);
+        assert!(matches!(
+            s.resolve(DimId(0), "city"),
+            Err(CoreError::UnknownValue { .. })
+        ));
+        assert_eq!(s.display_value(DimId(0), beach), "beach");
+    }
+
+    #[test]
+    fn raw_schema_rejects_labels() {
+        let mut s = Schema::raw(1).unwrap();
+        assert!(matches!(s.intern(DimId(0), "x"), Err(CoreError::NoDictionary { .. })));
+        assert!(matches!(s.resolve(DimId(0), "x"), Err(CoreError::NoDictionary { .. })));
+        assert_eq!(s.display_value(DimId(0), ValueId(5)), "v5");
+    }
+
+    #[test]
+    fn projection_selects_dimensions_in_order() {
+        let s = Schema::named(["a", "b", "c"]).unwrap();
+        let p = s.project(&[DimId(2), DimId(0)]).unwrap();
+        assert_eq!(p.dimensionality(), 2);
+        assert_eq!(p.dimension(DimId(0)).name, "c");
+        assert_eq!(p.dimension(DimId(1)).name, "a");
+    }
+
+    #[test]
+    fn from_labels_preserves_order() {
+        let d = Dictionary::from_labels(["x", "y", "z"]);
+        assert_eq!(d.label(ValueId(0)), Some("x"));
+        assert_eq!(d.label(ValueId(2)), Some("z"));
+    }
+}

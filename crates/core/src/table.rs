@@ -1,0 +1,323 @@
+//! Column-major object tables.
+//!
+//! A [`Table`] stores `n` objects over `d` categorical dimensions. Storage
+//! is column-major (`columns[j][row]`): the hot loops of every algorithm in
+//! this workspace scan one dimension of many objects (building the coin
+//! view, absorption indexing, partitioning), so keeping each dimension
+//! contiguous is the cache-friendly layout.
+
+use std::collections::HashMap;
+
+use crate::error::{CoreError, Result};
+use crate::schema::Schema;
+use crate::types::{DimId, ObjectId, ValueId};
+
+/// An immutable table of objects with fixed categorical attribute values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    /// `columns[j][row]` is the value of object `row` on dimension `j`.
+    columns: Vec<Vec<ValueId>>,
+    rows: usize,
+}
+
+impl Table {
+    /// Build a table from row-major raw value codes over a raw schema.
+    ///
+    /// This is the entry point used by the synthetic generators: values are
+    /// opaque `u32` codes, dictionaries are not needed.
+    pub fn from_rows_raw(d: usize, rows: &[Vec<u32>]) -> Result<Self> {
+        let schema = Schema::raw(d)?;
+        let mut b = TableBuilder::new(schema);
+        for r in rows {
+            let vals: Vec<ValueId> = r.iter().map(|&v| ValueId(v)).collect();
+            b.push_row(&vals)?;
+        }
+        Ok(b.finish())
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Dimensionality `d`.
+    pub fn dimensionality(&self) -> usize {
+        self.schema.dimensionality()
+    }
+
+    /// Number of objects `n + 1` (the paper counts the target separately;
+    /// the table does not).
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The value of object `obj` on dimension `dim`.
+    #[inline]
+    pub fn value(&self, obj: ObjectId, dim: DimId) -> ValueId {
+        self.columns[dim.index()][obj.index()]
+    }
+
+    /// One whole column (all objects' values on `dim`).
+    pub fn column(&self, dim: DimId) -> &[ValueId] {
+        &self.columns[dim.index()]
+    }
+
+    /// The full row of `obj` as a freshly allocated vector.
+    pub fn row(&self, obj: ObjectId) -> Vec<ValueId> {
+        (0..self.dimensionality())
+            .map(|j| self.columns[j][obj.index()])
+            .collect()
+    }
+
+    /// Iterate over all object ids.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        (0..self.rows).map(ObjectId::from)
+    }
+
+    /// Whether two rows are identical on every dimension.
+    pub fn rows_equal(&self, a: ObjectId, b: ObjectId) -> bool {
+        (0..self.dimensionality()).all(|j| self.columns[j][a.index()] == self.columns[j][b.index()])
+    }
+
+    /// Find the first pair of duplicate rows, if any.
+    ///
+    /// The model assumes no duplicate objects (Section 2); algorithms call
+    /// this during input validation.
+    pub fn find_duplicate(&self) -> Option<(ObjectId, ObjectId)> {
+        let mut seen: HashMap<Vec<ValueId>, ObjectId> = HashMap::with_capacity(self.rows);
+        for obj in self.objects() {
+            let key = self.row(obj);
+            if let Some(&first) = seen.get(&key) {
+                return Some((first, obj));
+            }
+            seen.insert(key, obj);
+        }
+        None
+    }
+
+    /// Validate that a prospective target id is in range and that the table
+    /// contains no duplicate rows; returns the duplicate error otherwise.
+    pub fn validate_for_target(&self, target: ObjectId) -> Result<()> {
+        if target.index() >= self.rows {
+            return Err(CoreError::TargetOutOfRange { target, rows: self.rows });
+        }
+        if let Some((first, second)) = self.find_duplicate() {
+            return Err(CoreError::DuplicateObject { first, second });
+        }
+        Ok(())
+    }
+
+    /// Number of distinct values actually occurring in column `dim`.
+    pub fn distinct_in_column(&self, dim: DimId) -> usize {
+        let mut vals: Vec<ValueId> = self.columns[dim.index()].clone();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.len()
+    }
+
+    /// Project the table onto a subset of dimensions, preserving row order.
+    ///
+    /// Rows that become duplicates under the projection are *kept*; callers
+    /// that need distinct rows (e.g. the Figure 15 4-d Nursery experiment)
+    /// should follow with [`Table::dedup_rows`].
+    pub fn project(&self, dims: &[DimId]) -> Result<Table> {
+        let schema = self.schema.project(dims)?;
+        let columns: Vec<Vec<ValueId>> =
+            dims.iter().map(|&j| self.columns[j.index()].clone()).collect();
+        Ok(Table { schema, columns, rows: self.rows })
+    }
+
+    /// Remove duplicate rows, keeping the first occurrence of each distinct
+    /// row and preserving relative order.
+    pub fn dedup_rows(&self) -> Table {
+        let d = self.dimensionality();
+        let mut seen: HashMap<Vec<ValueId>, ()> = HashMap::new();
+        let mut columns: Vec<Vec<ValueId>> = vec![Vec::new(); d];
+        let mut rows = 0;
+        for obj in self.objects() {
+            let key = self.row(obj);
+            if seen.insert(key.clone(), ()).is_none() {
+                for (j, v) in key.into_iter().enumerate() {
+                    columns[j].push(v);
+                }
+                rows += 1;
+            }
+        }
+        Table { schema: self.schema.clone(), columns, rows }
+    }
+
+    /// Take the first `k` rows (used to subsample large data sets while
+    /// keeping generation deterministic).
+    pub fn head(&self, k: usize) -> Table {
+        let k = k.min(self.rows);
+        let columns: Vec<Vec<ValueId>> =
+            self.columns.iter().map(|c| c[..k].to_vec()).collect();
+        Table { schema: self.schema.clone(), columns, rows: k }
+    }
+
+    /// Render one row with dictionary labels where available.
+    pub fn display_row(&self, obj: ObjectId) -> String {
+        let parts: Vec<String> = (0..self.dimensionality())
+            .map(|j| {
+                let dim = DimId::from(j);
+                self.schema.display_value(dim, self.value(obj, dim))
+            })
+            .collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+/// Incremental builder for [`Table`].
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    schema: Schema,
+    columns: Vec<Vec<ValueId>>,
+    rows: usize,
+}
+
+impl TableBuilder {
+    /// Start building a table over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let d = schema.dimensionality();
+        Self { schema, columns: vec![Vec::new(); d], rows: 0 }
+    }
+
+    /// Push a row of pre-coded values.
+    pub fn push_row(&mut self, values: &[ValueId]) -> Result<ObjectId> {
+        let d = self.schema.dimensionality();
+        if values.len() != d {
+            return Err(CoreError::DimensionMismatch { expected: d, got: values.len() });
+        }
+        for (j, &v) in values.iter().enumerate() {
+            self.columns[j].push(v);
+        }
+        let id = ObjectId::from(self.rows);
+        self.rows += 1;
+        Ok(id)
+    }
+
+    /// Push a row of labels, interning each into the per-dimension
+    /// dictionary. Fails on raw (dictionary-less) schemas.
+    pub fn push_labelled_row<S: AsRef<str>>(&mut self, labels: &[S]) -> Result<ObjectId> {
+        let d = self.schema.dimensionality();
+        if labels.len() != d {
+            return Err(CoreError::DimensionMismatch { expected: d, got: labels.len() });
+        }
+        let mut coded = Vec::with_capacity(d);
+        for (j, l) in labels.iter().enumerate() {
+            coded.push(self.schema.intern(DimId::from(j), l.as_ref())?);
+        }
+        self.push_row(&coded)
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Finish, yielding the immutable table.
+    pub fn finish(self) -> Table {
+        Table { schema: self.schema, columns: self.columns, rows: self.rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Table {
+        Table::from_rows_raw(2, &[vec![0, 1], vec![0, 2], vec![3, 1]]).unwrap()
+    }
+
+    #[test]
+    fn column_major_accessors_agree_with_rows() {
+        let t = small();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dimensionality(), 2);
+        assert_eq!(t.value(ObjectId(1), DimId(1)), ValueId(2));
+        assert_eq!(t.row(ObjectId(2)), vec![ValueId(3), ValueId(1)]);
+        assert_eq!(t.column(DimId(0)), &[ValueId(0), ValueId(0), ValueId(3)]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let err = Table::from_rows_raw(2, &[vec![0, 1, 2]]).unwrap_err();
+        assert_eq!(err, CoreError::DimensionMismatch { expected: 2, got: 3 });
+    }
+
+    #[test]
+    fn duplicate_detection_finds_first_pair() {
+        let t = Table::from_rows_raw(2, &[vec![0, 1], vec![2, 3], vec![0, 1]]).unwrap();
+        assert_eq!(t.find_duplicate(), Some((ObjectId(0), ObjectId(2))));
+        assert!(matches!(
+            t.validate_for_target(ObjectId(0)),
+            Err(CoreError::DuplicateObject { .. })
+        ));
+    }
+
+    #[test]
+    fn target_range_is_validated() {
+        let t = small();
+        assert!(t.validate_for_target(ObjectId(2)).is_ok());
+        assert!(matches!(
+            t.validate_for_target(ObjectId(3)),
+            Err(CoreError::TargetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_and_dedup() {
+        let t = small();
+        // Projecting onto dim 0 makes rows 0 and 1 identical.
+        let p = t.project(&[DimId(0)]).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!(p.find_duplicate().is_some());
+        let dd = p.dedup_rows();
+        assert_eq!(dd.len(), 2);
+        assert!(dd.find_duplicate().is_none());
+        assert_eq!(dd.value(ObjectId(0), DimId(0)), ValueId(0));
+        assert_eq!(dd.value(ObjectId(1), DimId(0)), ValueId(3));
+    }
+
+    #[test]
+    fn labelled_rows_intern_per_dimension() {
+        let schema = Schema::named(["composer", "mood"]).unwrap();
+        let mut b = TableBuilder::new(schema);
+        b.push_labelled_row(&["mozart", "brisk"]).unwrap();
+        b.push_labelled_row(&["beethoven", "pastoral"]).unwrap();
+        b.push_labelled_row(&["mozart", "pastoral"]).unwrap();
+        let t = b.finish();
+        assert_eq!(t.len(), 3);
+        // "mozart" interned once on dim 0.
+        assert_eq!(t.value(ObjectId(0), DimId(0)), t.value(ObjectId(2), DimId(0)));
+        assert_eq!(t.display_row(ObjectId(1)), "(beethoven, pastoral)");
+        assert_eq!(t.distinct_in_column(DimId(0)), 2);
+    }
+
+    #[test]
+    fn head_truncates_deterministically() {
+        let t = small();
+        let h = t.head(2);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.row(ObjectId(1)), t.row(ObjectId(1)));
+        assert_eq!(t.head(10).len(), 3);
+    }
+
+    #[test]
+    fn distinct_counts_per_column() {
+        let t = small();
+        assert_eq!(t.distinct_in_column(DimId(0)), 2);
+        assert_eq!(t.distinct_in_column(DimId(1)), 2);
+    }
+}

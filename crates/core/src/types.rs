@@ -1,0 +1,122 @@
+//! Strongly-typed identifiers for the categorical data model.
+//!
+//! The paper's objects live in a `d`-dimensional space whose attribute
+//! values are *categorical* — the only structure on values is the uncertain
+//! preference relation, never arithmetic. We therefore keep identifiers as
+//! opaque newtypes so that a dimension index can never be confused with a
+//! value code or an object row.
+
+use std::fmt;
+
+/// Index of a dimension (attribute) of the space, `0 ..= d-1`.
+///
+/// The paper writes `O.j` for the value of object `O` on the `j`-th
+/// dimension; `DimId` is that `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DimId(pub u32);
+
+impl DimId {
+    /// The dimension index as a `usize`, for indexing column vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DimId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl From<usize> for DimId {
+    #[inline]
+    fn from(i: usize) -> Self {
+        DimId(i as u32)
+    }
+}
+
+/// Code of a categorical value *within one dimension*.
+///
+/// Value codes are scoped per dimension: `ValueId(3)` on the `parents`
+/// attribute of the Nursery data set is unrelated to `ValueId(3)` on
+/// `health`. Preference models are queried with the owning [`DimId`]
+/// alongside the two value codes for exactly this reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// The value code as a `usize`, for indexing dictionaries.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for ValueId {
+    #[inline]
+    fn from(i: usize) -> Self {
+        ValueId(i as u32)
+    }
+}
+
+/// Row index of an object in a [`crate::table::Table`].
+///
+/// The paper distinguishes the *target* object `O` from the other objects
+/// `Q_1 … Q_n`; in this library all of them are rows of one table and the
+/// target is designated by its `ObjectId` at query time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The row index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl From<usize> for ObjectId {
+    #[inline]
+    fn from(i: usize) -> Self {
+        ObjectId(i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtypes_round_trip_through_usize() {
+        assert_eq!(DimId::from(7).index(), 7);
+        assert_eq!(ValueId::from(42).index(), 42);
+        assert_eq!(ObjectId::from(0).index(), 0);
+    }
+
+    #[test]
+    fn display_forms_are_compact() {
+        assert_eq!(DimId(3).to_string(), "d3");
+        assert_eq!(ValueId(9).to_string(), "v9");
+        assert_eq!(ObjectId(1).to_string(), "o1");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_code() {
+        assert!(DimId(1) < DimId(2));
+        assert!(ValueId(0) < ValueId(1));
+        assert!(ObjectId(10) > ObjectId(9));
+    }
+}

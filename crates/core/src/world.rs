@@ -1,0 +1,347 @@
+//! Possible worlds: realized assignments of uncertain preferences.
+//!
+//! The naive exact method of Section 4.1 (Equation 8) enumerates *sample
+//! spaces*: every combination of outcomes of the relevant preference pairs,
+//! each weighted by the product of its pair probabilities (pairs are
+//! mutually independent in the model). This module provides the world
+//! representation, exhaustive enumeration with zero-probability pruning,
+//! and forward sampling — the substrate for the naive algorithm, for the
+//! Monte-Carlo ground truth in tests, and for the certain-skyline oracle.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::preference::PreferenceModel;
+use crate::table::Table;
+use crate::types::{DimId, ObjectId, ValueId};
+
+/// A canonical (unordered) value pair on one dimension; `lo < hi` by code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PairId {
+    /// Owning dimension.
+    pub dim: DimId,
+    /// Smaller value code.
+    pub lo: ValueId,
+    /// Larger value code.
+    pub hi: ValueId,
+}
+
+impl PairId {
+    /// Build the canonical pair for `(a, b)`; the two values must differ.
+    pub fn new(dim: DimId, a: ValueId, b: ValueId) -> Self {
+        assert_ne!(a, b, "a preference pair needs two distinct values");
+        if a.0 < b.0 {
+            Self { dim, lo: a, hi: b }
+        } else {
+            Self { dim, lo: b, hi: a }
+        }
+    }
+}
+
+/// The realized outcome of one preference pair, in canonical orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `lo ≺ hi` realized.
+    LoWins,
+    /// `hi ≺ lo` realized.
+    HiWins,
+    /// The two values turned out incomparable.
+    Incomparable,
+}
+
+/// One realized world: a (partial) map from pairs to outcomes.
+///
+/// Pairs absent from the map are treated as incomparable — for `sky`
+/// computations only "wins" matter, so the partial map realized by lazy
+/// sampling is always sufficient.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct World {
+    outcomes: HashMap<PairId, Relation>,
+}
+
+impl World {
+    /// An empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the outcome of a pair.
+    pub fn set(&mut self, pair: PairId, rel: Relation) {
+        self.outcomes.insert(pair, rel);
+    }
+
+    /// The recorded outcome, if any.
+    pub fn get(&self, pair: PairId) -> Option<Relation> {
+        self.outcomes.get(&pair).copied()
+    }
+
+    /// Whether `a ≺ b` on `dim` is realized in this world.
+    ///
+    /// Identical values are never *strictly* preferred; unrecorded pairs
+    /// count as not-preferred (incomparable).
+    pub fn prefers(&self, dim: DimId, a: ValueId, b: ValueId) -> bool {
+        if a == b {
+            return false;
+        }
+        let pair = PairId::new(dim, a, b);
+        match self.get(pair) {
+            Some(Relation::LoWins) => pair.lo == a,
+            Some(Relation::HiWins) => pair.hi == a,
+            _ => false,
+        }
+    }
+
+    /// Number of recorded pairs.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether no outcome has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+}
+
+/// The pairs relevant to `sky(target)`: every distinct `(dim, v)` with `v`
+/// occurring on `dim` in some other row and differing from the target's
+/// value, paired with the target's value on that dimension.
+///
+/// This is exactly the set of "coins" of the reduced instance — computing
+/// `sky(O)` never consults any other preference.
+pub fn relevant_pairs_for_target(table: &Table, target: ObjectId) -> Vec<PairId> {
+    let mut pairs = Vec::new();
+    for j in (0..table.dimensionality()).map(DimId::from) {
+        let ov = table.value(target, j);
+        let mut seen: Vec<ValueId> = table
+            .column(j)
+            .iter()
+            .copied()
+            .filter(|&v| v != ov)
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for v in seen {
+            pairs.push(PairId::new(j, v, ov));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// The pairs relevant to deciding dominance between *every ordered pair* of
+/// rows: the union over object pairs of their per-dimension value pairs.
+///
+/// Used by the all-objects naive skyline oracle. Quadratic in the row count
+/// — strictly a small-instance tool.
+pub fn relevant_pairs_all(table: &Table) -> Vec<PairId> {
+    let mut pairs = Vec::new();
+    let n = table.len();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            for j in (0..table.dimensionality()).map(DimId::from) {
+                let (va, vb) = (
+                    table.value(ObjectId::from(a), j),
+                    table.value(ObjectId::from(b), j),
+                );
+                if va != vb {
+                    pairs.push(PairId::new(j, va, vb));
+                }
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Sample a full world over `pairs` by independent draws.
+pub fn sample_world<M: PreferenceModel, R: Rng>(
+    pairs: &[PairId],
+    prefs: &M,
+    rng: &mut R,
+) -> World {
+    let mut w = World::new();
+    for &pair in pairs {
+        let f = prefs.pr_strict(pair.dim, pair.lo, pair.hi);
+        let b = prefs.pr_strict(pair.dim, pair.hi, pair.lo);
+        let u: f64 = rng.random();
+        let rel = if u < f {
+            Relation::LoWins
+        } else if u < f + b {
+            Relation::HiWins
+        } else {
+            Relation::Incomparable
+        };
+        w.set(pair, rel);
+    }
+    w
+}
+
+/// Exhaustively enumerate every positive-probability world over `pairs`,
+/// invoking `visit(world, probability)` for each.
+///
+/// Branches of probability zero are pruned, so e.g. complementary pairs
+/// contribute a factor of 2 (not 3) to the world count. The world passed to
+/// the visitor is reused across calls; clone it to retain it.
+pub fn for_each_world<M, F>(pairs: &[PairId], prefs: &M, mut visit: F)
+where
+    M: PreferenceModel,
+    F: FnMut(&World, f64),
+{
+    let mut world = World::new();
+    recurse(pairs, prefs, 0, 1.0, &mut world, &mut visit);
+}
+
+fn recurse<M, F>(
+    pairs: &[PairId],
+    prefs: &M,
+    idx: usize,
+    prob: f64,
+    world: &mut World,
+    visit: &mut F,
+) where
+    M: PreferenceModel,
+    F: FnMut(&World, f64),
+{
+    if idx == pairs.len() {
+        visit(world, prob);
+        return;
+    }
+    let pair = pairs[idx];
+    let f = prefs.pr_strict(pair.dim, pair.lo, pair.hi);
+    let b = prefs.pr_strict(pair.dim, pair.hi, pair.lo);
+    let inc = (1.0 - f - b).max(0.0);
+    for (rel, p) in [
+        (Relation::LoWins, f),
+        (Relation::HiWins, b),
+        (Relation::Incomparable, inc),
+    ] {
+        if p > 0.0 {
+            world.set(pair, rel);
+            recurse(pairs, prefs, idx + 1, prob * p, world, visit);
+        }
+    }
+    // Leave no stale entry behind for pruned siblings at shallower depth.
+    world.outcomes.remove(&pair);
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::preference::{PrefPair, SeededPreferences, TablePreferences};
+
+    #[test]
+    fn pair_canonicalisation() {
+        let p1 = PairId::new(DimId(0), ValueId(5), ValueId(2));
+        let p2 = PairId::new(DimId(0), ValueId(2), ValueId(5));
+        assert_eq!(p1, p2);
+        assert_eq!(p1.lo, ValueId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn self_pair_panics() {
+        let _ = PairId::new(DimId(0), ValueId(1), ValueId(1));
+    }
+
+    #[test]
+    fn world_preference_lookup_orients_correctly() {
+        let mut w = World::new();
+        w.set(PairId::new(DimId(0), ValueId(1), ValueId(4)), Relation::HiWins);
+        assert!(w.prefers(DimId(0), ValueId(4), ValueId(1)));
+        assert!(!w.prefers(DimId(0), ValueId(1), ValueId(4)));
+        assert!(!w.prefers(DimId(0), ValueId(1), ValueId(1)));
+        // Unrecorded pair.
+        assert!(!w.prefers(DimId(1), ValueId(0), ValueId(1)));
+    }
+
+    #[test]
+    fn relevant_pairs_for_target_cover_foreign_values_only() {
+        // O=(0,0), Q1=(0,1), Q2=(1,1): coins are (d0: 1 vs 0), (d1: 1 vs 0).
+        let t = Table::from_rows_raw(2, &[vec![0, 0], vec![0, 1], vec![1, 1]]).unwrap();
+        let pairs = relevant_pairs_for_target(&t, ObjectId(0));
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&PairId::new(DimId(0), ValueId(0), ValueId(1))));
+        assert!(pairs.contains(&PairId::new(DimId(1), ValueId(0), ValueId(1))));
+    }
+
+    #[test]
+    fn relevant_pairs_all_is_a_superset_per_object() {
+        let t = Table::from_rows_raw(2, &[vec![0, 0], vec![0, 1], vec![1, 2]]).unwrap();
+        let all = relevant_pairs_all(&t);
+        for obj in t.objects() {
+            for p in relevant_pairs_for_target(&t, obj) {
+                assert!(all.contains(&p), "{p:?} missing from all-pairs set");
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_probabilities_sum_to_one() {
+        let t = Table::from_rows_raw(2, &[vec![0, 0], vec![0, 1], vec![1, 1]]).unwrap();
+        let pairs = relevant_pairs_for_target(&t, ObjectId(0));
+        let prefs = TablePreferences::with_default(PrefPair::half());
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for_each_world(&pairs, &prefs, |_, p| {
+            total += p;
+            count += 1;
+        });
+        assert!((total - 1.0).abs() < 1e-12);
+        // Two complementary pairs -> 2 * 2 worlds (zero-mass branches pruned).
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn enumeration_includes_incomparability_when_present() {
+        let t = Table::from_rows_raw(1, &[vec![0], vec![1]]).unwrap();
+        let mut prefs = TablePreferences::new();
+        prefs.set(DimId(0), ValueId(0), ValueId(1), 0.3, 0.3).unwrap();
+        let pairs = relevant_pairs_for_target(&t, ObjectId(0));
+        let mut count = 0usize;
+        let mut total = 0.0;
+        for_each_world(&pairs, &prefs, |_, p| {
+            count += 1;
+            total += p;
+        });
+        assert_eq!(count, 3);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_pair_probabilities() {
+        let pair = PairId::new(DimId(0), ValueId(0), ValueId(1));
+        let mut prefs = TablePreferences::new();
+        prefs.set(DimId(0), ValueId(0), ValueId(1), 0.6, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let trials = 20_000;
+        let mut lo = 0usize;
+        let mut inc = 0usize;
+        for _ in 0..trials {
+            match sample_world(&[pair], &prefs, &mut rng).get(pair).unwrap() {
+                Relation::LoWins => lo += 1,
+                Relation::Incomparable => inc += 1,
+                Relation::HiWins => {}
+            }
+        }
+        let lo_rate = lo as f64 / trials as f64;
+        let inc_rate = inc as f64 / trials as f64;
+        assert!((lo_rate - 0.6).abs() < 0.02, "lo rate {lo_rate}");
+        assert!((inc_rate - 0.1).abs() < 0.02, "inc rate {inc_rate}");
+    }
+
+    #[test]
+    fn enumeration_and_seeded_models_compose() {
+        let t = Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![2, 0]]).unwrap();
+        let prefs = SeededPreferences::complementary(3);
+        let pairs = relevant_pairs_for_target(&t, ObjectId(0));
+        let mut total = 0.0;
+        for_each_world(&pairs, &prefs, |_, p| total += p);
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,88 @@
+//! Workload descriptors tying Table 1 of the paper to the generators.
+
+use presky_core::error::Result;
+use presky_core::table::Table;
+
+use crate::blockzipf::{generate_block_zipf, BlockZipfConfig};
+use crate::nursery::nursery_projected;
+use crate::uniform::{generate_uniform, UniformConfig};
+
+/// One of the evaluation workloads of Section 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Uniform synthetic data (Table 1: n ∈ {10, 20, 40, 50}, d ∈ 2–5).
+    Uniform(UniformConfig),
+    /// Block-zipf synthetic data (Table 1: n ∈ {10, 1K, 10K, 100K}).
+    BlockZipf(BlockZipfConfig),
+    /// The real Nursery data set projected to `d` attributes (Figure 15:
+    /// d ∈ {4, 8}).
+    Nursery {
+        /// Number of leading attributes to keep.
+        d: usize,
+    },
+}
+
+impl Workload {
+    /// Materialise the object table.
+    pub fn generate(&self) -> Result<Table> {
+        match *self {
+            Workload::Uniform(c) => generate_uniform(c),
+            Workload::BlockZipf(c) => generate_block_zipf(c),
+            Workload::Nursery { d } => nursery_projected(d),
+        }
+    }
+
+    /// Short label used in harness output.
+    pub fn label(&self) -> String {
+        match *self {
+            Workload::Uniform(c) => format!("uniform(n={}, d={})", c.n, c.d),
+            Workload::BlockZipf(c) => format!("block-zipf(n={}, d={})", c.n, c.d),
+            Workload::Nursery { d } => format!("nursery(d={d})"),
+        }
+    }
+}
+
+/// Table 1 of the paper: parameters and ranges of the synthetic workloads.
+///
+/// Returned as `(parameter, values)` rows so the harness can echo the table
+/// verbatim.
+pub fn table1_parameters() -> Vec<(&'static str, Vec<usize>)> {
+    vec![
+        ("Uniform data set cardinality (n)", vec![10, 20, 40, 50]),
+        ("Block-zipf data set cardinality (n)", vec![10, 1_000, 10_000, 100_000]),
+        ("Dimensionality (d)", vec![2, 3, 4, 5]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_materialise() {
+        let t = Workload::Uniform(UniformConfig::new(20, 3, 1)).generate().unwrap();
+        assert_eq!((t.len(), t.dimensionality()), (20, 3));
+        let t = Workload::BlockZipf(BlockZipfConfig::new(100, 2, 1)).generate().unwrap();
+        assert_eq!((t.len(), t.dimensionality()), (100, 2));
+        let t = Workload::Nursery { d: 4 }.generate().unwrap();
+        assert_eq!((t.len(), t.dimensionality()), (240, 4));
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(
+            Workload::Uniform(UniformConfig::new(50, 5, 0)).label(),
+            "uniform(n=50, d=5)"
+        );
+        assert_eq!(Workload::Nursery { d: 8 }.label(), "nursery(d=8)");
+    }
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let t1 = table1_parameters();
+        assert_eq!(t1.len(), 3);
+        assert_eq!(t1[0].1, vec![10, 20, 40, 50]);
+        assert_eq!(t1[1].1.last(), Some(&100_000));
+        assert_eq!(t1[2].1, vec![2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Plain-text persistence for tables and preference tables.
+//!
+//! A deliberately boring line format (no serialization dependency, stable
+//! across versions, diff-able in experiment repositories):
+//!
+//! ```text
+//! presky-table v1
+//! d 2
+//! n 3
+//! 0 0
+//! 0 1
+//! 1 1
+//! ```
+//!
+//! ```text
+//! presky-prefs v1
+//! default 0.5 0.5
+//! 0 0 1 0.25 0.75
+//! ```
+//!
+//! Preference lines are `dim lo hi forward backward` in canonical
+//! orientation; values round-trip through Rust's shortest-precision float
+//! formatting, which is lossless for `f64`.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use presky_core::error::CoreError;
+use presky_core::preference::{PrefPair, TablePreferences};
+use presky_core::table::Table;
+use presky_core::types::{DimId, ValueId};
+
+/// Parse failures of the text formats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Missing or wrong header line.
+    BadHeader {
+        /// The header that was expected.
+        expected: &'static str,
+    },
+    /// A malformed line, with its 1-based number.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Structural error surfaced by the data model while rebuilding.
+    Core(CoreError),
+    /// Filesystem error (message form; `std::io::Error` is not `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader { expected } => write!(f, "expected header {expected:?}"),
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::Core(e) => write!(f, "{e}"),
+            ParseError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<CoreError> for ParseError {
+    fn from(e: CoreError) -> Self {
+        ParseError::Core(e)
+    }
+}
+
+const TABLE_HEADER: &str = "presky-table v1";
+const PREFS_HEADER: &str = "presky-prefs v1";
+
+/// Serialise a table (raw value codes; dictionaries are not persisted).
+pub fn table_to_string(table: &Table) -> String {
+    let d = table.dimensionality();
+    let mut out = String::new();
+    out.push_str(TABLE_HEADER);
+    out.push('\n');
+    out.push_str(&format!("d {d}\n"));
+    out.push_str(&format!("n {}\n", table.len()));
+    for obj in table.objects() {
+        let row: Vec<String> = table.row(obj).iter().map(|v| v.0.to_string()).collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a table serialised by [`table_to_string`].
+pub fn table_from_str(s: &str) -> Result<Table, ParseError> {
+    let mut lines = s.lines().enumerate();
+    let header = lines.next().map(|(_, l)| l.trim());
+    if header != Some(TABLE_HEADER) {
+        return Err(ParseError::BadHeader { expected: TABLE_HEADER });
+    }
+    let d = parse_kv(lines.next(), "d")?;
+    let n = parse_kv(lines.next(), "n")?;
+    let mut rows: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let row: Result<Vec<u32>, _> = line.split_whitespace().map(str::parse).collect();
+        let row = row.map_err(|e| ParseError::BadLine {
+            line: i + 1,
+            reason: format!("bad value code: {e}"),
+        })?;
+        if row.len() != d {
+            return Err(ParseError::BadLine {
+                line: i + 1,
+                reason: format!("expected {d} values, found {}", row.len()),
+            });
+        }
+        rows.push(row);
+    }
+    if rows.len() != n {
+        return Err(ParseError::BadLine {
+            line: 0,
+            reason: format!("declared n = {n} but found {} rows", rows.len()),
+        });
+    }
+    Ok(Table::from_rows_raw(d, &rows)?)
+}
+
+fn parse_kv(line: Option<(usize, &str)>, key: &'static str) -> Result<usize, ParseError> {
+    let (i, l) = line.ok_or(ParseError::BadLine {
+        line: 0,
+        reason: format!("missing `{key}` line"),
+    })?;
+    let mut parts = l.split_whitespace();
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some(k), Some(v), None) if k == key => v.parse().map_err(|e| ParseError::BadLine {
+            line: i + 1,
+            reason: format!("bad {key}: {e}"),
+        }),
+        _ => Err(ParseError::BadLine { line: i + 1, reason: format!("expected `{key} <value>`") }),
+    }
+}
+
+/// Serialise a preference table (pairs in sorted canonical order for
+/// reproducible output).
+pub fn prefs_to_string(prefs: &TablePreferences) -> String {
+    let mut out = String::new();
+    out.push_str(PREFS_HEADER);
+    out.push('\n');
+    let def = prefs.default_pair();
+    out.push_str(&format!("default {} {}\n", def.forward, def.backward));
+    let mut entries: Vec<(DimId, ValueId, ValueId, PrefPair)> = prefs.pairs().collect();
+    entries.sort_by_key(|&(d, a, b, _)| (d, a, b));
+    for (dim, a, b, p) in entries {
+        out.push_str(&format!("{} {} {} {} {}\n", dim.0, a.0, b.0, p.forward, p.backward));
+    }
+    out
+}
+
+/// Parse a preference table serialised by [`prefs_to_string`].
+pub fn prefs_from_str(s: &str) -> Result<TablePreferences, ParseError> {
+    let mut lines = s.lines().enumerate();
+    let header = lines.next().map(|(_, l)| l.trim());
+    if header != Some(PREFS_HEADER) {
+        return Err(ParseError::BadHeader { expected: PREFS_HEADER });
+    }
+    let (di, default_line) = lines.next().ok_or(ParseError::BadLine {
+        line: 0,
+        reason: "missing default line".into(),
+    })?;
+    let parts: Vec<&str> = default_line.split_whitespace().collect();
+    if parts.len() != 3 || parts[0] != "default" {
+        return Err(ParseError::BadLine {
+            line: di + 1,
+            reason: "expected `default <forward> <backward>`".into(),
+        });
+    }
+    let f: f64 = parse_f64(parts[1], di + 1)?;
+    let b: f64 = parse_f64(parts[2], di + 1)?;
+    let default = PrefPair::new(f, b)?;
+    let mut prefs = TablePreferences::with_default(default);
+    for (i, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 5 {
+            return Err(ParseError::BadLine {
+                line: i + 1,
+                reason: format!("expected 5 fields, found {}", parts.len()),
+            });
+        }
+        let dim: u32 = parts[0].parse().map_err(|e| bad(i, "dim", e))?;
+        let a: u32 = parts[1].parse().map_err(|e| bad(i, "value", e))?;
+        let bv: u32 = parts[2].parse().map_err(|e| bad(i, "value", e))?;
+        let fwd = parse_f64(parts[3], i + 1)?;
+        let bwd = parse_f64(parts[4], i + 1)?;
+        prefs.set(DimId(dim), ValueId(a), ValueId(bv), fwd, bwd)?;
+    }
+    Ok(prefs)
+}
+
+fn parse_f64(s: &str, line: usize) -> Result<f64, ParseError> {
+    s.parse()
+        .map_err(|e| ParseError::BadLine { line, reason: format!("bad probability: {e}") })
+}
+
+fn bad(i: usize, what: &str, e: std::num::ParseIntError) -> ParseError {
+    ParseError::BadLine { line: i + 1, reason: format!("bad {what}: {e}") }
+}
+
+/// Write a table to a file.
+pub fn write_table(path: &Path, table: &Table) -> Result<(), ParseError> {
+    fs::write(path, table_to_string(table)).map_err(|e| ParseError::Io(e.to_string()))
+}
+
+/// Read a table from a file.
+pub fn read_table(path: &Path) -> Result<Table, ParseError> {
+    let s = fs::read_to_string(path).map_err(|e| ParseError::Io(e.to_string()))?;
+    table_from_str(&s)
+}
+
+/// Write a preference table to a file.
+pub fn write_prefs(path: &Path, prefs: &TablePreferences) -> Result<(), ParseError> {
+    fs::write(path, prefs_to_string(prefs)).map_err(|e| ParseError::Io(e.to_string()))
+}
+
+/// Read a preference table from a file.
+pub fn read_prefs(path: &Path) -> Result<TablePreferences, ParseError> {
+    let s = fs::read_to_string(path).map_err(|e| ParseError::Io(e.to_string()))?;
+    prefs_from_str(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::PreferenceModel;
+
+    use super::*;
+
+    #[test]
+    fn table_round_trip() {
+        let t = Table::from_rows_raw(3, &[vec![0, 5, 2], vec![1, 1, 1]]).unwrap();
+        let s = table_to_string(&t);
+        let back = table_from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn prefs_round_trip_with_exotic_probabilities() {
+        let mut p = TablePreferences::with_default(PrefPair::half());
+        p.set(DimId(0), ValueId(0), ValueId(1), 0.1234567890123456, 0.5).unwrap();
+        p.set(DimId(2), ValueId(9), ValueId(3), 1.0 / 3.0, 1.0 / 7.0).unwrap();
+        let s = prefs_to_string(&p);
+        let back = prefs_from_str(&s).unwrap();
+        for (dim, a, b) in [
+            (DimId(0), ValueId(0), ValueId(1)),
+            (DimId(2), ValueId(9), ValueId(3)),
+            (DimId(5), ValueId(0), ValueId(1)), // default
+        ] {
+            assert_eq!(p.pr_strict(dim, a, b), back.pr_strict(dim, a, b));
+            assert_eq!(p.pr_strict(dim, b, a), back.pr_strict(dim, b, a));
+        }
+    }
+
+    #[test]
+    fn bad_headers_and_lines_are_reported() {
+        assert!(matches!(table_from_str("nope"), Err(ParseError::BadHeader { .. })));
+        assert!(matches!(prefs_from_str("nope"), Err(ParseError::BadHeader { .. })));
+        let s = "presky-table v1\nd 2\nn 1\n0 1 2\n";
+        assert!(matches!(table_from_str(s), Err(ParseError::BadLine { .. })));
+        let s = "presky-table v1\nd 2\nn 5\n0 1\n";
+        assert!(matches!(table_from_str(s), Err(ParseError::BadLine { .. })));
+    }
+
+    #[test]
+    fn invalid_probabilities_rejected_on_parse() {
+        let s = "presky-prefs v1\ndefault 0 0\n0 0 1 0.9 0.9\n";
+        assert!(matches!(prefs_from_str(s), Err(ParseError::Core(_))));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("presky-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = Table::from_rows_raw(2, &[vec![0, 1], vec![2, 3]]).unwrap();
+        let path = dir.join("t.presky");
+        write_table(&path, &t).unwrap();
+        assert_eq!(read_table(&path).unwrap(), t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn output_is_sorted_and_stable() {
+        let mut p = TablePreferences::new();
+        p.set(DimId(1), ValueId(0), ValueId(1), 0.5, 0.5).unwrap();
+        p.set(DimId(0), ValueId(2), ValueId(3), 0.5, 0.5).unwrap();
+        let s1 = prefs_to_string(&p);
+        let s2 = prefs_to_string(&p);
+        assert_eq!(s1, s2);
+        let first_pair_line = s1.lines().nth(2).unwrap();
+        assert!(first_pair_line.starts_with("0 "), "dim 0 sorts first: {first_pair_line}");
+    }
+}

@@ -1,0 +1,49 @@
+//! # presky-datagen — evaluation workloads of the EDBT'13 paper
+//!
+//! Generators for every data set of Section 6:
+//!
+//! * [`uniform`] — independent uniform values per dimension (exact-algorithm
+//!   experiments, Figures 9a/10a/13a/14a);
+//! * [`blockzipf`] — value-disjoint blocks with Zipf(1) values inside each
+//!   block (the workload on which `Det+` scales to 100 000 objects,
+//!   Figures 9b/10b/11/12/13b/14b);
+//! * [`zipf`] — the bounded Zipf sampler behind it;
+//! * [`prefs`] — correlated / anti-correlated *preference* structure
+//!   (Figure 8): under uncertain preferences correlation is a property of
+//!   the preference model, not of the data;
+//! * [`nursery`] — the UCI Nursery data set (12 960 × 8), regenerated
+//!   exactly as the full Cartesian product of its published domains
+//!   (Figure 15);
+//! * [`config`] — workload descriptors echoing Table 1;
+//! * [`io`] — dependency-free text persistence for tables and preference
+//!   tables.
+//!
+//! All generators are seed-deterministic: the same configuration always
+//! yields the identical table, across runs and platforms.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blockzipf;
+pub mod car;
+pub mod config;
+pub mod io;
+pub mod nursery;
+pub mod prefs;
+pub mod uniform;
+pub mod zipf;
+
+/// Commonly used names.
+pub mod prelude {
+    pub use crate::blockzipf::{generate_block_zipf, BlockZipfConfig};
+    pub use crate::car::{car_projected, car_table, CAR_ATTRIBUTES, CAR_DOMAINS, CAR_INSTANCES};
+    pub use crate::config::{table1_parameters, Workload};
+    pub use crate::io::{
+        prefs_from_str, prefs_to_string, read_prefs, read_table, table_from_str,
+        table_to_string, write_prefs, write_table, ParseError,
+    };
+    pub use crate::nursery::{nursery_projected, nursery_table, ATTRIBUTES, DOMAINS, N_INSTANCES};
+    pub use crate::prefs::{BlockScopedPreferences, StructuredPreferences};
+    pub use crate::uniform::{generate_uniform, UniformConfig};
+    pub use crate::zipf::ZipfSampler;
+}

@@ -1,0 +1,135 @@
+//! A bounded Zipf sampler.
+//!
+//! The block-zipf workload of Section 6 draws attribute values "following
+//! zipf's distribution with zipf parameter 1" inside each block. This is a
+//! small finite-support Zipf: value rank `r ∈ {1..V}` has probability
+//! `r^{-s} / H_{V,s}`. The sampler precomputes the CDF once and draws by
+//! binary search — `O(V)` setup, `O(log V)` per draw, exact probabilities.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` (rank 0 is the most popular value).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A Zipf sampler over `n ≥ 1` ranks with exponent `s ≥ 0`.
+    ///
+    /// `s = 0` degenerates to uniform; `s = 1` is the paper's setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/NaN.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "zipf support must be non-empty");
+        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be a finite non-negative number");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += (r as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating slop on the last bucket.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Exact probability of rank `r`.
+    pub fn probability(&self, r: usize) -> f64 {
+        if r >= self.cdf.len() {
+            return 0.0;
+        }
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Draw a rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        for (n, s) in [(1, 1.0), (5, 1.0), (16, 0.0), (100, 2.0)] {
+            let z = ZipfSampler::new(n, s);
+            let total: f64 = (0..n).map(|r| z.probability(r)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "n={n} s={s}");
+        }
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let z = ZipfSampler::new(8, 0.0);
+        for r in 0..8 {
+            assert!((z.probability(r) - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn s_one_matches_harmonic_ratios() {
+        let z = ZipfSampler::new(4, 1.0);
+        // H_4 = 1 + 1/2 + 1/3 + 1/4 = 25/12.
+        let h4 = 25.0 / 12.0;
+        assert!((z.probability(0) - 1.0 / h4).abs() < 1e-12);
+        assert!((z.probability(3) - 0.25 / h4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_frequencies_match() {
+        let z = ZipfSampler::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 100_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..trials {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate() {
+            let freq = count as f64 / trials as f64;
+            assert!(
+                (freq - z.probability(r)).abs() < 0.01,
+                "rank {r}: {freq} vs {}",
+                z.probability(r)
+            );
+        }
+        assert!(counts[0] > counts[9] * 5, "rank 0 dominates at s = 1");
+    }
+
+    #[test]
+    fn single_rank_support() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.probability(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_support_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

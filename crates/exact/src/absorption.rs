@@ -1,0 +1,377 @@
+//! Absorption — Theorem 3 and Algorithm 3.
+//!
+//! If attacker `Q_i` agrees with the target on some dimensions and another
+//! attacker `Q_j` carries `Q_i`'s values on *all* the remaining dimensions,
+//! then `Q_j ≺ O ⟹ Q_i ≺ O` (`e_j ⊆ e_i`) and `Q_j` can be dropped from
+//! the computation without changing `sky(O)`.
+//!
+//! On the coin view the condition is crisp: **`Q_i` absorbs `Q_j` iff
+//! `coins(Q_i) ⊆ coins(Q_j)`** — a conjunction implies every conjunction
+//! over a superset of its coins. Absorption is therefore *minimal-clause
+//! retention* on the positive DNF: keep exactly the attackers whose coin
+//! sets are minimal under inclusion. The transitivity of Corollary 1 is the
+//! transitivity of `⊆`, which is why the one-pass scan of Algorithm 3 (in
+//! arbitrary order) is sound: whatever absorbed your absorber absorbs you.
+//!
+//! Synthetic views may contain *equal* coin sets (duplicate DNF clauses);
+//! table-built views cannot (duplicate rows are rejected). Equal sets
+//! absorb each other, so the earlier one is kept.
+
+use std::collections::HashMap;
+
+use presky_core::coins::CoinView;
+
+/// Outcome of the absorption scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsorptionResult {
+    /// Indices of surviving attackers, in original order.
+    pub kept: Vec<usize>,
+    /// `(absorbed, absorber)` pairs, one per removed attacker.
+    pub removed: Vec<(usize, usize)>,
+}
+
+impl AbsorptionResult {
+    /// Number of attackers removed.
+    pub fn n_removed(&self) -> usize {
+        self.removed.len()
+    }
+}
+
+/// Whether attacker `i` absorbs attacker `j` in `view`
+/// (`coins(i) ⊆ coins(j)`, including equality).
+pub fn absorbs(view: &CoinView, i: usize, j: usize) -> bool {
+    is_subset(view.attacker_coins(i), view.attacker_coins(j))
+}
+
+/// Subset test on two sorted slices.
+fn is_subset(a: &[u32], b: &[u32]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut bi = 0;
+    for &x in a {
+        while bi < b.len() && b[bi] < x {
+            bi += 1;
+        }
+        if bi == b.len() || b[bi] != x {
+            return false;
+        }
+        bi += 1;
+    }
+    true
+}
+
+/// Above this clause width, proper-subset enumeration (`2^w` lookups) would
+/// cost more than scanning the posting lists of the clause's coins.
+const SUBSET_ENUM_LIMIT: usize = 12;
+
+/// One-pass absorption over all attackers (Algorithm 3).
+///
+/// Runs in `O(n · 2^d)` for the dimensionalities of the paper's evaluation
+/// (`d ≤ 8`), falling back to posting-list scans for wide synthetic
+/// clauses. Keeping an attacker requires that *no* other attacker's coin
+/// set is a subset of its own (ties broken towards the earlier index).
+pub fn absorb(view: &CoinView) -> AbsorptionResult {
+    let n = view.n_attackers();
+    // Map coin set -> earliest attacker with that exact set.
+    let mut by_set: HashMap<&[u32], usize> = HashMap::with_capacity(n);
+    for i in 0..n {
+        by_set.entry(view.attacker_coins(i)).or_insert(i);
+    }
+    // Posting *lengths* filter the subset enumeration: an absorber's every
+    // coin is shared with its victim, so only coins referenced by ≥ 2
+    // attackers can appear in an absorber. On workloads with little
+    // sharing this collapses the 2^w probe fan-out to almost nothing.
+    let mut posting_len = vec![0u32; view.n_coins()];
+    for i in 0..n {
+        for &k in view.attacker_coins(i) {
+            posting_len[k as usize] += 1;
+        }
+    }
+    // Flattened (CSR) posting lists: two allocations instead of one per
+    // coin.
+    let mut offsets = vec![0u32; view.n_coins() + 1];
+    for (c, &len) in posting_len.iter().enumerate() {
+        offsets[c + 1] = offsets[c] + len;
+    }
+    let mut cursor = offsets.clone();
+    let mut posting_data = vec![0u32; offsets[view.n_coins()] as usize];
+    for i in 0..n {
+        for &k in view.attacker_coins(i) {
+            posting_data[cursor[k as usize] as usize] = i as u32;
+            cursor[k as usize] += 1;
+        }
+    }
+    let postings = Csr { offsets, data: posting_data };
+
+    let mut kept = Vec::with_capacity(n);
+    let mut removed = Vec::new();
+    let mut scratch = Scratch {
+        shared: Vec::new(),
+        probe: Vec::new(),
+        stamp: vec![0u64; n],
+        generation: 0,
+    };
+    for j in 0..n {
+        match find_absorber(view, &by_set, &posting_len, &postings, j, &mut scratch) {
+            Some(i) => removed.push((j, i)),
+            None => kept.push(j),
+        }
+    }
+    AbsorptionResult { kept, removed }
+}
+
+/// Flattened posting lists.
+struct Csr {
+    offsets: Vec<u32>,
+    data: Vec<u32>,
+}
+
+impl Csr {
+    #[inline]
+    fn list(&self, coin: u32) -> &[u32] {
+        let c = coin as usize;
+        &self.data[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+}
+
+/// Reusable buffers for the per-attacker absorber search.
+struct Scratch {
+    shared: Vec<u32>,
+    probe: Vec<u32>,
+    stamp: Vec<u64>,
+    generation: u64,
+}
+
+/// Find any attacker (other than `j` itself) whose coin set is contained in
+/// `j`'s. Checking against *all* attackers — including already-absorbed
+/// ones — is sound by transitivity and cannot self-defeat because `⊆` is a
+/// partial order on the distinct sets (equal sets resolve to the earliest
+/// index).
+fn find_absorber(
+    view: &CoinView,
+    by_set: &HashMap<&[u32], usize>,
+    posting_len: &[u32],
+    postings: &Csr,
+    j: usize,
+    scratch: &mut Scratch,
+) -> Option<usize> {
+    let coins = view.attacker_coins(j);
+    // Equal coin set owned by an earlier attacker?
+    if let Some(&i) = by_set.get(coins) {
+        if i != j {
+            return Some(i);
+        }
+    }
+    // A proper absorber consists solely of coins shared with another
+    // attacker.
+    scratch.shared.clear();
+    scratch
+        .shared
+        .extend(coins.iter().copied().filter(|&c| posting_len[c as usize] >= 2));
+    let w = scratch.shared.len();
+    if w == 0 {
+        return None;
+    }
+
+    // Two strategies; pick the cheaper per attacker.
+    //
+    // * subset enumeration: probe each non-empty subset of the shared
+    //   coins in the coin-set hash map — 2^w hash probes;
+    // * candidate scan: every absorber appears in the posting list of each
+    //   coin it contains, so scanning the posting lists of j's coins and
+    //   subset-testing each *smaller* candidate is complete.
+    let scan_cost: u64 = coins.iter().map(|&c| posting_len[c as usize] as u64).sum();
+    if w <= SUBSET_ENUM_LIMIT && (1u64 << w) <= scan_cost {
+        let full = (1u32 << w) - 1;
+        // When some coins were filtered out, the full shared set is itself
+        // a *proper* subset of `coins` and must be probed too (mask ==
+        // full); when nothing was filtered, `full` is the set itself.
+        let top = if w == coins.len() { full } else { full + 1 };
+        for mask in 1..top {
+            scratch.probe.clear();
+            for (pos, &c) in scratch.shared.iter().enumerate() {
+                if mask & (1 << pos) != 0 {
+                    scratch.probe.push(c);
+                }
+            }
+            if let Some(&i) = by_set.get(scratch.probe.as_slice()) {
+                if i != j {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    } else {
+        scratch.generation += 1;
+        let generation = scratch.generation;
+        for &c in coins {
+            for &cand in postings.list(c) {
+                let i = cand as usize;
+                if i == j || scratch.stamp[i] == generation {
+                    continue;
+                }
+                scratch.stamp[i] = generation;
+                // Strictly smaller candidates only: equal sets were handled
+                // by the map lookup above.
+                if view.attacker_coins(i).len() < coins.len() && absorbs(view, i, j) {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::{PrefPair, TablePreferences};
+    use presky_core::table::Table;
+    use presky_core::types::ObjectId;
+
+    use super::*;
+    use crate::det::{sky_det_view, DetOptions};
+
+    fn example1_view() -> CoinView {
+        let t = Table::from_rows_raw(
+            2,
+            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
+        )
+        .unwrap();
+        let p = TablePreferences::with_default(PrefPair::half());
+        CoinView::build(&t, &p, ObjectId(0)).unwrap()
+    }
+
+    #[test]
+    fn example1_absorbs_q1() {
+        // Paper, Section 5: "with/without Q1, we always compute the same
+        // result of sky(O). Thus Q1 becomes a dispensable object."
+        let view = example1_view();
+        let res = absorb(&view);
+        assert_eq!(res.n_removed(), 1);
+        let (absorbed, absorber) = res.removed[0];
+        assert_eq!(view.source(absorbed), ObjectId(1), "Q1 is absorbed");
+        // Q1=(a,b) is absorbed by Q2=(a,o2) or Q4=(o1,b).
+        let by = view.source(absorber);
+        assert!(by == ObjectId(2) || by == ObjectId(4), "absorber {by}");
+        assert_eq!(res.kept.len(), 3);
+    }
+
+    #[test]
+    fn absorption_preserves_sky_on_example1() {
+        let view = example1_view();
+        let full = sky_det_view(&view, DetOptions::default()).unwrap().sky;
+        let res = absorb(&view);
+        let reduced = view.restrict(&res.kept);
+        let sky = sky_det_view(&reduced, DetOptions::default()).unwrap().sky;
+        assert!((full - sky).abs() < 1e-12);
+        assert!((sky - 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_predicate() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(is_subset(&[2], &[2]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 2, 3], &[1, 2]));
+    }
+
+    #[test]
+    fn transitivity_corollary() {
+        // x ⊆ y ⊆ z with all three present: z's absorber found even though
+        // y is itself absorbed (Corollary 1).
+        let view = CoinView::from_parts(
+            vec![0.5; 3],
+            vec![vec![0], vec![0, 1], vec![0, 1, 2]],
+        )
+        .unwrap();
+        let res = absorb(&view);
+        assert_eq!(res.kept, vec![0]);
+        assert_eq!(res.n_removed(), 2);
+        for &(_, absorber) in &res.removed {
+            // Both are (transitively) justified; our scan credits the
+            // minimal clause 0 or the chain element 1.
+            assert!(absorber == 0 || absorber == 1);
+        }
+    }
+
+    #[test]
+    fn equal_clauses_keep_the_earliest() {
+        let view =
+            CoinView::from_parts(vec![0.5, 0.5], vec![vec![0, 1], vec![0, 1]]).unwrap();
+        let res = absorb(&view);
+        assert_eq!(res.kept, vec![0]);
+        assert_eq!(res.removed, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn incomparable_sets_all_survive() {
+        let view = CoinView::from_parts(
+            vec![0.5; 4],
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]],
+        )
+        .unwrap();
+        let res = absorb(&view);
+        assert_eq!(res.kept.len(), 4);
+        assert!(res.removed.is_empty());
+    }
+
+    #[test]
+    fn absorption_never_changes_sky_randomised() {
+        // Random clause systems with heavy subset structure.
+        for seed in 0..30u64 {
+            let m = 5;
+            let n = 6;
+            let mut clauses = Vec::new();
+            let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+            let mut next = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            for _ in 0..n {
+                let mask = (next() % ((1 << m) - 1)) + 1;
+                let clause: Vec<u32> = (0..m as u32).filter(|&b| mask & (1 << b) != 0).collect();
+                clauses.push(clause);
+            }
+            let probs: Vec<f64> = (0..m).map(|_| (next() % 1000) as f64 / 1000.0).collect();
+            let view = CoinView::from_parts(probs, clauses).unwrap();
+            let full = sky_det_view(&view, DetOptions::default()).unwrap().sky;
+            let res = absorb(&view);
+            let reduced = view.restrict(&res.kept);
+            let sky = sky_det_view(&reduced, DetOptions::default()).unwrap().sky;
+            assert!(
+                (full - sky).abs() < 1e-9,
+                "seed {seed}: full {full} vs absorbed {sky} (removed {})",
+                res.n_removed()
+            );
+        }
+    }
+
+    #[test]
+    fn wide_clauses_take_the_posting_path() {
+        // One wide clause (width 14 > SUBSET_ENUM_LIMIT) that is a superset
+        // of a narrow one.
+        let wide: Vec<u32> = (0..14).collect();
+        let view = CoinView::from_parts(vec![0.5; 14], vec![vec![3, 7], wide]).unwrap();
+        let res = absorb(&view);
+        assert_eq!(res.kept, vec![0]);
+        assert_eq!(res.removed, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn pairwise_absorbs_predicate_matches_scan() {
+        let view = CoinView::from_parts(
+            vec![0.5; 3],
+            vec![vec![0, 1], vec![0], vec![1, 2]],
+        )
+        .unwrap();
+        assert!(absorbs(&view, 1, 0));
+        assert!(!absorbs(&view, 0, 1));
+        assert!(!absorbs(&view, 2, 0));
+        let res = absorb(&view);
+        assert_eq!(res.kept, vec![1, 2]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Errors of the exact algorithms.
+
+use std::fmt;
+use std::time::Duration;
+
+use presky_core::error::CoreError;
+
+/// Failure modes of the exact (exponential) algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExactError {
+    /// The instance exceeds the configured attacker budget.
+    ///
+    /// Inclusion–exclusion enumerates up to `2^n − 1` joint probabilities;
+    /// callers must opt in to large `n` explicitly.
+    TooManyAttackers {
+        /// Attackers in the (possibly already reduced) instance.
+        n: usize,
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// The wall-clock deadline elapsed mid-computation.
+    DeadlineExceeded {
+        /// Time spent before giving up.
+        elapsed: Duration,
+        /// Joint probabilities computed before giving up.
+        joints_computed: u64,
+    },
+    /// The naive enumerator's pair budget was exceeded.
+    TooManyPairs {
+        /// Relevant preference pairs in the instance.
+        pairs: usize,
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// The levelwise engine supports at most 64 attackers (bitmask width).
+    MaskWidthExceeded {
+        /// Attackers requested.
+        n: usize,
+    },
+    /// An error from the data-model layer.
+    Core(CoreError),
+}
+
+impl fmt::Display for ExactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExactError::TooManyAttackers { n, max } => write!(
+                f,
+                "instance has {n} attackers, above the exact-algorithm budget of {max}; \
+                 raise DetOptions::max_attackers or use the sampling estimator"
+            ),
+            ExactError::DeadlineExceeded { elapsed, joints_computed } => write!(
+                f,
+                "deadline exceeded after {elapsed:?} ({joints_computed} joint probabilities computed)"
+            ),
+            ExactError::TooManyPairs { pairs, max } => write!(
+                f,
+                "naive enumeration over {pairs} preference pairs exceeds the budget of {max}"
+            ),
+            ExactError::MaskWidthExceeded { n } => {
+                write!(f, "levelwise engine is limited to 64 attackers, got {n}")
+            }
+            ExactError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExactError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ExactError {
+    fn from(e: CoreError) -> Self {
+        ExactError::Core(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T, E = ExactError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ExactError::TooManyAttackers { n: 100, max: 30 };
+        assert!(e.to_string().contains("100"));
+        let e = ExactError::DeadlineExceeded {
+            elapsed: Duration::from_secs(3),
+            joints_computed: 12,
+        };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let e: ExactError = CoreError::EmptySchema.into();
+        assert!(matches!(e, ExactError::Core(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,70 @@
+//! # presky-exact — exact skyline-probability algorithms
+//!
+//! Exact algorithms of *"Skyline Probability over Uncertain Preferences"*
+//! (EDBT 2013):
+//!
+//! * [`naive`] — sample-space enumeration (Equation 8), the unconditional
+//!   ground truth;
+//! * [`det`] — Algorithm 1, inclusion–exclusion with the `O(d)` sharing
+//!   computation, realised as a memory-light depth-first traversal;
+//! * [`levelwise`] — the literal layer-at-a-time Algorithm 1, plus the
+//!   budget-truncated variant behind the A2 approximation;
+//! * [`absorption`] — Theorem 3 / Algorithm 3 preprocessing (clause-subset
+//!   removal on the coin view);
+//! * [`partition`] — Theorem 4 independence factorisation (connected
+//!   components of the coin-overlap graph);
+//! * [`detplus`] — `Det+`: absorption → partition → per-component
+//!   inclusion–exclusion;
+//! * [`dnf`] — positive-DNF counting and the Theorem 1 #P-completeness
+//!   reduction, in both directions.
+//!
+//! The problem is #P-complete, so [`det::DetOptions`] carries explicit
+//! attacker budgets and wall-clock deadlines; exceeding either yields a
+//! typed [`error::ExactError`] instead of an unbounded computation.
+//!
+//! ```
+//! use presky_core::prelude::*;
+//! use presky_exact::prelude::*;
+//!
+//! // Example 1 of the paper: sky(O) = 3/16.
+//! let table = Table::from_rows_raw(
+//!     2,
+//!     &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
+//! ).unwrap();
+//! let prefs = TablePreferences::with_default(PrefPair::half());
+//! let out = sky_det_plus(&table, &prefs, ObjectId(0), DetPlusOptions::default()).unwrap();
+//! assert!((out.sky - 3.0 / 16.0).abs() < 1e-12);
+//! assert_eq!(out.absorbed, 1); // Q1 is dispensable
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod absorption;
+pub mod bounds;
+pub mod conditioning;
+pub mod det;
+pub mod detplus;
+pub mod dnf;
+pub mod error;
+pub mod levelwise;
+pub mod naive;
+pub mod partition;
+pub mod profile;
+
+/// Commonly used names.
+pub mod prelude {
+    pub use crate::absorption::{absorb, absorbs, AbsorptionResult};
+    pub use crate::bounds::{sky_bounds_bonferroni, sky_bounds_cheap, SkyBounds};
+    pub use crate::conditioning::{
+        sky_conditioning, sky_conditioning_view, ConditioningOptions, ConditioningOutcome,
+    };
+    pub use crate::det::{sky_det, sky_det_view, DetOptions, DetOutcome};
+    pub use crate::detplus::{sky_det_plus, sky_det_plus_view, DetPlusOptions, DetPlusOutcome};
+    pub use crate::dnf::PositiveDnf;
+    pub use crate::error::ExactError;
+    pub use crate::levelwise::{sky_levelwise, sky_levelwise_partial, sky_levelwise_partial_big};
+    pub use crate::naive::{sky_naive_coins, sky_naive_worlds, NaiveOptions};
+    pub use crate::partition::{partition, UnionFind};
+    pub use crate::profile::{profile, InstanceProfile};
+}

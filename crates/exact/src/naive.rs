@@ -1,0 +1,188 @@
+//! Naive exact computation by sample-space enumeration (Equation 8).
+//!
+//! "We always can take a naive approach to compute skyline probabilities,
+//! i.e. enumerating all sample spaces and summing probabilities where O is
+//! a skyline point" (Section 1). Exponential in the number of relevant
+//! preference pairs, but unconditionally correct — these enumerators are
+//! the ground truth every other algorithm is validated against.
+//!
+//! Two equivalent formulations are provided:
+//!
+//! * [`sky_naive_worlds`] — enumerates full three-way preference worlds via
+//!   [`presky_core::world::for_each_world`] and checks dominance per world.
+//!   Mirrors Figure 2 / Figure 7 of the paper literally.
+//! * [`sky_naive_coins`] — enumerates win/lose patterns of the reduced
+//!   [`CoinView`] (the lose branch merges "reverse preference" and
+//!   "incomparable", which are indistinguishable for dominance over `O`).
+//!   Roughly 1.5× fewer branches per pair; used as a cross-check.
+
+use presky_core::coins::CoinView;
+use presky_core::dominance::dominates_in_world;
+use presky_core::preference::PreferenceModel;
+use presky_core::table::Table;
+use presky_core::types::ObjectId;
+use presky_core::world::{for_each_world, relevant_pairs_for_target};
+
+use crate::error::{ExactError, Result};
+
+/// Budgets for the naive enumerators.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveOptions {
+    /// Maximum number of preference pairs (worlds grow as `3^pairs`).
+    pub max_pairs: usize,
+}
+
+impl Default for NaiveOptions {
+    fn default() -> Self {
+        Self { max_pairs: 22 }
+    }
+}
+
+/// `sky(target)` by exhaustive enumeration of preference worlds.
+pub fn sky_naive_worlds<M: PreferenceModel>(
+    table: &Table,
+    prefs: &M,
+    target: ObjectId,
+    opts: NaiveOptions,
+) -> Result<f64> {
+    table.validate_for_target(target)?;
+    let pairs = relevant_pairs_for_target(table, target);
+    if pairs.len() > opts.max_pairs {
+        return Err(ExactError::TooManyPairs { pairs: pairs.len(), max: opts.max_pairs });
+    }
+    let others: Vec<ObjectId> = table.objects().filter(|&o| o != target).collect();
+    let mut sky = 0.0;
+    for_each_world(&pairs, prefs, |world, p| {
+        let dominated = others.iter().any(|&q| dominates_in_world(table, world, q, target));
+        if !dominated {
+            sky += p;
+        }
+    });
+    Ok(sky)
+}
+
+/// `sky` of a reduced instance by exhaustive enumeration of coin patterns.
+pub fn sky_naive_coins(view: &CoinView, opts: NaiveOptions) -> Result<f64> {
+    let m = view.n_coins();
+    if m > opts.max_pairs {
+        return Err(ExactError::TooManyPairs { pairs: m, max: opts.max_pairs });
+    }
+    let mut sky = 0.0;
+    let mut wins = vec![false; m];
+    enumerate(view, 0, 1.0, &mut wins, &mut sky);
+    Ok(sky)
+}
+
+fn enumerate(view: &CoinView, k: usize, prob: f64, wins: &mut Vec<bool>, sky: &mut f64) {
+    if prob == 0.0 {
+        return;
+    }
+    if k == view.n_coins() {
+        let dominated = (0..view.n_attackers())
+            .any(|i| view.attacker_coins(i).iter().all(|&c| wins[c as usize]));
+        if !dominated {
+            *sky += prob;
+        }
+        return;
+    }
+    let w = view.coin_prob(k as u32);
+    wins[k] = true;
+    enumerate(view, k + 1, prob * w, wins, sky);
+    wins[k] = false;
+    enumerate(view, k + 1, prob * (1.0 - w), wins, sky);
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::{PrefPair, TablePreferences};
+    use presky_core::types::{DimId, ValueId};
+
+    use super::*;
+
+    /// Observation fixture: P1=(α,s), P2=(α,t), P3=(β,t), prefs ½.
+    fn observation() -> (Table, TablePreferences) {
+        let t = Table::from_rows_raw(2, &[vec![0, 0], vec![0, 1], vec![1, 1]]).unwrap();
+        (t, TablePreferences::with_default(PrefPair::half()))
+    }
+
+    /// Example 1 fixture: O=(0,0), Q1=(1,1), Q2=(1,0), Q3=(2,2), Q4=(0,1).
+    fn example1() -> (Table, TablePreferences) {
+        let t = Table::from_rows_raw(
+            2,
+            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
+        )
+        .unwrap();
+        (t, TablePreferences::with_default(PrefPair::half()))
+    }
+
+    #[test]
+    fn observation_sky_p1_is_one_half() {
+        let (t, p) = observation();
+        let sky = sky_naive_worlds(&t, &p, ObjectId(0), NaiveOptions::default()).unwrap();
+        assert!((sky - 0.5).abs() < 1e-12, "paper: sky(P1) = 1/2, got {sky}");
+    }
+
+    #[test]
+    fn observation_sky_p2_matches_independent_product() {
+        // Sac is correct for P2 because its attackers share no values:
+        // sky(P2) = (1 - 1/2)(1 - 1/2) = 1/4.
+        let (t, p) = observation();
+        let sky = sky_naive_worlds(&t, &p, ObjectId(1), NaiveOptions::default()).unwrap();
+        assert!((sky - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example1_sky_is_three_sixteenths() {
+        let (t, p) = example1();
+        let sky = sky_naive_worlds(&t, &p, ObjectId(0), NaiveOptions::default()).unwrap();
+        assert!((sky - 3.0 / 16.0).abs() < 1e-12, "paper: sky(O) = 3/16, got {sky}");
+    }
+
+    #[test]
+    fn coin_enumeration_agrees_with_world_enumeration() {
+        for (t, p) in [observation(), example1()] {
+            for target in t.objects() {
+                let a = sky_naive_worlds(&t, &p, target, NaiveOptions::default()).unwrap();
+                let view = CoinView::build(&t, &p, target).unwrap();
+                let b = sky_naive_coins(&view, NaiveOptions::default()).unwrap();
+                assert!((a - b).abs() < 1e-12, "target {target}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn incomparability_mass_counts_toward_skyline() {
+        // One attacker differing on one dimension with Pr(v≺o)=0.3,
+        // Pr(o≺v)=0.3: sky(O) = 1 - 0.3 = 0.7 (incomparable keeps O in the
+        // skyline).
+        let t = Table::from_rows_raw(1, &[vec![0], vec![1]]).unwrap();
+        let mut p = TablePreferences::new();
+        p.set(DimId(0), ValueId(1), ValueId(0), 0.3, 0.3).unwrap();
+        let sky = sky_naive_worlds(&t, &p, ObjectId(0), NaiveOptions::default()).unwrap();
+        assert!((sky - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_budget_is_enforced() {
+        let rows: Vec<Vec<u32>> = (0..30).map(|i| vec![i]).collect();
+        let t = Table::from_rows_raw(1, &rows).unwrap();
+        let p = TablePreferences::with_default(PrefPair::half());
+        let err = sky_naive_worlds(&t, &p, ObjectId(0), NaiveOptions::default()).unwrap_err();
+        assert!(matches!(err, ExactError::TooManyPairs { pairs: 29, .. }));
+        let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        assert!(sky_naive_coins(&view, NaiveOptions::default()).is_err());
+    }
+
+    #[test]
+    fn certain_attacker_forces_zero() {
+        let view = CoinView::from_parts(vec![1.0], vec![vec![0]]).unwrap();
+        let sky = sky_naive_coins(&view, NaiveOptions::default()).unwrap();
+        assert_eq!(sky, 0.0);
+    }
+
+    #[test]
+    fn no_attackers_means_certain_skyline() {
+        let view = CoinView::from_parts(vec![], vec![]).unwrap();
+        assert_eq!(sky_naive_coins(&view, NaiveOptions::default()).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Partition — Theorem 4: independence factorisation.
+//!
+//! If the attackers can be split into groups such that no two attackers in
+//! different groups share an attribute value (other than values equal to
+//! the target's — which contribute no coin at all), the dominance events of
+//! different groups involve disjoint sets of preference pairs and are
+//! therefore mutually independent:
+//!
+//! ```text
+//! sky(O) = Π_t Pr( ⋂_{Qi ∈ S_t} ē_i )
+//! ```
+//!
+//! On the coin view this is exactly the connected components of the
+//! *coin-overlap graph*: attackers are vertices, and two attackers are
+//! adjacent iff their coin sets intersect. Components are computed with a
+//! union–find in `O(n·d·α)`.
+
+use presky_core::coins::CoinView;
+
+/// A classic disjoint-set forest with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns whether a merge happened.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn n_components(&self) -> usize {
+        self.components
+    }
+
+    /// Group element indices by representative; groups and their contents
+    /// are in ascending order.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for x in 0..n {
+            let r = self.find(x as u32) as usize;
+            by_root[r].push(x);
+        }
+        by_root.retain(|g| !g.is_empty());
+        by_root
+    }
+}
+
+/// Partition the attackers of `view` into independent groups (Theorem 4).
+///
+/// Returns attacker-index groups in ascending order of their smallest
+/// member. Each group's `sky` factors can be computed independently — on a
+/// sub-view obtained with [`CoinView::restrict`] — and multiplied.
+pub fn partition(view: &CoinView) -> Vec<Vec<usize>> {
+    let n = view.n_attackers();
+    let mut uf = UnionFind::new(n);
+    // For each coin, union all attackers referencing it; consecutive unions
+    // along the posting list suffice to connect the whole list.
+    let mut first_owner: Vec<Option<u32>> = vec![None; view.n_coins()];
+    for i in 0..n {
+        for &k in view.attacker_coins(i) {
+            match first_owner[k as usize] {
+                Some(f) => {
+                    uf.union(f, i as u32);
+                }
+                None => first_owner[k as usize] = Some(i as u32),
+            }
+        }
+    }
+    uf.groups()
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::{PrefPair, TablePreferences};
+    use presky_core::table::Table;
+    use presky_core::types::ObjectId;
+
+    use super::*;
+    use crate::absorption::absorb;
+    use crate::det::{sky_det_view, DetOptions};
+
+    fn example1_view() -> CoinView {
+        let t = Table::from_rows_raw(
+            2,
+            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
+        )
+        .unwrap();
+        let p = TablePreferences::with_default(PrefPair::half());
+        CoinView::build(&t, &p, ObjectId(0)).unwrap()
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.n_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.n_components(), 3);
+        let groups = uf.groups();
+        assert_eq!(groups.len(), 3);
+        assert!(groups.contains(&vec![0, 1]));
+        assert!(groups.contains(&vec![2]));
+        assert!(groups.contains(&vec![3, 4]));
+    }
+
+    #[test]
+    fn union_find_long_chains_compress() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union((i - 1) as u32, i as u32);
+        }
+        assert_eq!(uf.n_components(), 1);
+        assert!(uf.connected(0, (n - 1) as u32));
+    }
+
+    #[test]
+    fn example1_partitions_into_three_after_absorption() {
+        // Paper, Section 5: after absorbing Q1, {Q2}, {Q3}, {Q4} are three
+        // independent singleton sets and sky(O) = Π Pr(ē_i) = 3/16.
+        let view = example1_view();
+        let kept = absorb(&view).kept;
+        let reduced = view.restrict(&kept);
+        let groups = partition(&reduced);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.len() == 1));
+        let product: f64 = groups
+            .iter()
+            .map(|g| {
+                let sub = reduced.restrict(g);
+                sky_det_view(&sub, DetOptions::default()).unwrap().sky
+            })
+            .product();
+        assert!((product - 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example1_without_absorption_has_one_nontrivial_component() {
+        // Q1 shares a with Q2 and b with Q4, chaining them together; Q3 is
+        // value-disjoint.
+        let view = example1_view();
+        let groups = partition(&view);
+        assert_eq!(groups.len(), 2);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&3));
+        assert!(sizes.contains(&1));
+    }
+
+    #[test]
+    fn partition_factorisation_equals_monolithic_det() {
+        for seed in 0..20u64 {
+            // Build clause systems with two deliberately disjoint halves.
+            let mut s = seed.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(7);
+            let mut next = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let mut clauses = Vec::new();
+            for _ in 0..3 {
+                let mask = (next() % 7) + 1; // coins 0..3
+                clauses.push((0..3u32).filter(|&b| mask & (1 << b) != 0).collect());
+            }
+            for _ in 0..3 {
+                let mask = (next() % 7) + 1; // coins 3..6
+                clauses.push((0..3u32).filter(|&b| mask & (1 << b) != 0).map(|c| c + 3).collect());
+            }
+            let probs: Vec<f64> = (0..6).map(|_| (next() % 1000) as f64 / 1000.0).collect();
+            let view = CoinView::from_parts(probs, clauses).unwrap();
+            let mono = sky_det_view(&view, DetOptions::default()).unwrap().sky;
+            let groups = partition(&view);
+            assert!(groups.len() >= 2, "two halves must not merge");
+            let product: f64 = groups
+                .iter()
+                .map(|g| {
+                    let sub = view.restrict(g);
+                    sky_det_view(&sub, DetOptions::default()).unwrap().sky
+                })
+                .product();
+            assert!((mono - product).abs() < 1e-9, "seed {seed}: {mono} vs {product}");
+        }
+    }
+
+    #[test]
+    fn fully_shared_coin_yields_single_component() {
+        let view = CoinView::from_parts(
+            vec![0.5, 0.5, 0.5],
+            vec![vec![0, 1], vec![0, 2], vec![0]],
+        )
+        .unwrap();
+        let groups = partition(&view);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_view_has_no_groups() {
+        let view = CoinView::from_parts(vec![], vec![]).unwrap();
+        assert!(partition(&view).is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Instance profiling: the structural statistics that predict which
+//! algorithm will win.
+//!
+//! The adaptive policies of the query layer (and anyone tuning budgets)
+//! need to know *why* an instance is easy or hard: how much value sharing
+//! there is, how far absorption shrinks it, and how large the irreducible
+//! components are. [`profile`] computes all of it in one preprocessing
+//! pass.
+
+use presky_core::coins::CoinView;
+
+use crate::absorption::absorb;
+use crate::partition::partition;
+
+/// Structural profile of a reduced instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceProfile {
+    /// Attackers in the raw instance.
+    pub n_attackers: usize,
+    /// Distinct coins.
+    pub n_coins: usize,
+    /// Mean coins per attacker (≤ dimensionality).
+    pub mean_coins_per_attacker: f64,
+    /// Mean attackers per coin (the sharing degree; 1.0 = no sharing, so
+    /// `Sac` would be exact).
+    pub mean_sharing: f64,
+    /// Largest posting list (most-shared coin).
+    pub max_sharing: usize,
+    /// Attackers containing an impossible (probability-0) coin.
+    pub impossible: usize,
+    /// Attackers removed by absorption (after pruning impossible ones).
+    pub absorbed: usize,
+    /// Component sizes after preprocessing, descending.
+    pub component_sizes: Vec<usize>,
+}
+
+impl InstanceProfile {
+    /// Largest irreducible component.
+    pub fn largest_component(&self) -> usize {
+        self.component_sizes.first().copied().unwrap_or(0)
+    }
+
+    /// Attackers surviving preprocessing.
+    pub fn survivors(&self) -> usize {
+        self.component_sizes.iter().sum()
+    }
+
+    /// Whether per-component exact solving is feasible under `limit`.
+    pub fn exactly_solvable_within(&self, limit: usize) -> bool {
+        self.largest_component() <= limit
+    }
+
+    /// log2 of the joint-probability count a per-component
+    /// inclusion–exclusion would enumerate (sum of `2^size − 1`).
+    pub fn log2_exact_work(&self) -> f64 {
+        let total: f64 = self
+            .component_sizes
+            .iter()
+            .map(|&s| (2.0f64).powi(s.min(1023) as i32) - 1.0)
+            .sum();
+        if total <= 0.0 {
+            0.0
+        } else {
+            total.log2()
+        }
+    }
+}
+
+/// Profile an instance (one absorption + partition pass).
+pub fn profile(view: &CoinView) -> InstanceProfile {
+    let n_attackers = view.n_attackers();
+    let n_coins = view.n_coins();
+    let total_coins: usize = (0..n_attackers).map(|i| view.attacker_coins(i).len()).sum();
+    let postings = view.coin_postings();
+    let max_sharing = postings.iter().map(Vec::len).max().unwrap_or(0);
+    let mean_sharing = if n_coins == 0 {
+        0.0
+    } else {
+        total_coins as f64 / n_coins as f64
+    };
+
+    let mut work = view.clone();
+    let impossible = work.prune_impossible();
+    let res = absorb(&work);
+    let absorbed = res.n_removed();
+    let reduced = work.restrict(&res.kept);
+    let mut component_sizes: Vec<usize> =
+        partition(&reduced).into_iter().map(|g| g.len()).collect();
+    component_sizes.sort_unstable_by(|a, b| b.cmp(a));
+
+    InstanceProfile {
+        n_attackers,
+        n_coins,
+        mean_coins_per_attacker: if n_attackers == 0 {
+            0.0
+        } else {
+            total_coins as f64 / n_attackers as f64
+        },
+        mean_sharing,
+        max_sharing,
+        impossible,
+        absorbed,
+        component_sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::{PrefPair, TablePreferences};
+    use presky_core::table::Table;
+    use presky_core::types::ObjectId;
+
+    use super::*;
+
+    #[test]
+    fn example1_profile() {
+        let t = Table::from_rows_raw(
+            2,
+            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
+        )
+        .unwrap();
+        let p = TablePreferences::with_default(PrefPair::half());
+        let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        let prof = profile(&view);
+        assert_eq!(prof.n_attackers, 4);
+        assert_eq!(prof.n_coins, 4);
+        assert_eq!(prof.absorbed, 1);
+        assert_eq!(prof.component_sizes, vec![1, 1, 1]);
+        assert_eq!(prof.survivors(), 3);
+        assert!(prof.exactly_solvable_within(1));
+        // mean coins/attacker = (2 + 1 + 2 + 1) / 4 = 1.5.
+        assert!((prof.mean_coins_per_attacker - 1.5).abs() < 1e-12);
+        // sharing: coins (a), (b) owned twice; (c), (e) once: mean 6/4.
+        assert!((prof.mean_sharing - 1.5).abs() < 1e-12);
+        assert_eq!(prof.max_sharing, 2);
+        // Exact work: 3 singleton components -> 3 joints -> log2(3).
+        assert!((prof.log2_exact_work() - 3f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impossible_attackers_counted() {
+        let view = CoinView::from_parts(
+            vec![0.0, 0.5],
+            vec![vec![0], vec![1]],
+        )
+        .unwrap();
+        let prof = profile(&view);
+        assert_eq!(prof.impossible, 1);
+        assert_eq!(prof.survivors(), 1);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let view = CoinView::from_parts(vec![], vec![]).unwrap();
+        let prof = profile(&view);
+        assert_eq!(prof.n_attackers, 0);
+        assert_eq!(prof.largest_component(), 0);
+        assert_eq!(prof.log2_exact_work(), 0.0);
+        assert!(prof.exactly_solvable_within(0));
+    }
+
+    #[test]
+    fn sharing_statistics_reflect_structure() {
+        // One coin shared by 5 attackers, each with a private second coin.
+        let clauses: Vec<Vec<u32>> = (0..5u32).map(|i| vec![0, i + 1]).collect();
+        let view = CoinView::from_parts(vec![0.5; 6], clauses).unwrap();
+        let prof = profile(&view);
+        assert_eq!(prof.max_sharing, 5);
+        assert_eq!(prof.component_sizes, vec![5], "shared coin chains them together");
+        assert!((prof.log2_exact_work() - 31f64.log2()).abs() < 1e-12);
+    }
+}

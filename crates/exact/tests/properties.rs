@@ -1,0 +1,165 @@
+//! Property-based tests of the exact engines on synthetic clause systems
+//! (weighted positive DNFs), independent of the table layer.
+
+use proptest::prelude::*;
+
+use presky_core::coins::CoinView;
+use presky_exact::absorption::{absorb, absorbs};
+use presky_exact::det::{sky_det_view, DetOptions};
+use presky_exact::detplus::{sky_det_plus_view, DetPlusOptions};
+use presky_exact::dnf::PositiveDnf;
+use presky_exact::levelwise::{sky_levelwise, sky_levelwise_partial_big};
+use presky_exact::naive::{sky_naive_coins, NaiveOptions};
+use presky_exact::partition::partition;
+
+/// Random clause systems: ≤ 6 coins, ≤ 6 clauses, arbitrary probabilities.
+fn clause_system() -> impl Strategy<Value = CoinView> {
+    (2usize..=6).prop_flat_map(|m| {
+        let probs = proptest::collection::vec(0.0f64..=1.0, m);
+        let clauses = proptest::collection::vec(1u32..(1 << m as u32), 1..=6);
+        (probs, clauses).prop_map(move |(probs, masks)| {
+            let clauses: Vec<Vec<u32>> = masks
+                .into_iter()
+                .map(|mask| (0..m as u32).filter(|&b| mask & (1 << b) != 0).collect())
+                .collect();
+            CoinView::from_parts(probs, clauses).expect("valid system")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_exact_engines_agree(view in clause_system()) {
+        let truth = sky_naive_coins(&view, NaiveOptions::default()).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&truth));
+        let det = sky_det_view(&view, DetOptions::default()).unwrap().sky;
+        prop_assert!((det - truth).abs() < 1e-9, "det {det} vs {truth}");
+        let lw = sky_levelwise(&view, DetOptions::default()).unwrap().sky;
+        prop_assert!((lw - truth).abs() < 1e-9, "levelwise {lw} vs {truth}");
+        let (big, _, complete) = sky_levelwise_partial_big(&view, u64::MAX);
+        prop_assert!(complete);
+        prop_assert!((big - truth).abs() < 1e-9, "big {big} vs {truth}");
+        let dp = sky_det_plus_view(&view, DetPlusOptions::default()).unwrap().sky;
+        prop_assert!((dp - truth).abs() < 1e-9, "det+ {dp} vs {truth}");
+    }
+
+    #[test]
+    fn independence_baseline_never_overestimates(view in clause_system()) {
+        // The dominance events are increasing functions of independent
+        // coins, hence positively associated (Harris/FKG):
+        // P(no attacker wins) >= Π P(attacker i does not win).
+        // The Sac product is therefore always a LOWER bound on sky.
+        let truth = sky_det_view(&view, DetOptions::default()).unwrap().sky;
+        let product: f64 =
+            (0..view.n_attackers()).map(|i| 1.0 - view.attacker_prob(i)).product();
+        prop_assert!(
+            product <= truth + 1e-9,
+            "independence product {product} exceeds sky {truth}"
+        );
+    }
+
+    #[test]
+    fn absorption_keeps_exactly_the_subset_minimal_clauses(view in clause_system()) {
+        let res = absorb(&view);
+        // Brute-force minimality check.
+        for i in 0..view.n_attackers() {
+            let has_absorber = (0..view.n_attackers()).any(|j| {
+                j != i
+                    && absorbs(&view, j, i)
+                    && !(view.attacker_coins(j) == view.attacker_coins(i) && j > i)
+            });
+            let kept = res.kept.contains(&i);
+            prop_assert_eq!(kept, !has_absorber, "attacker {}", i);
+        }
+        // And removal is sound.
+        let truth = sky_det_view(&view, DetOptions::default()).unwrap().sky;
+        let sky = sky_det_view(&view.restrict(&res.kept), DetOptions::default())
+            .unwrap()
+            .sky;
+        prop_assert!((truth - sky).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_is_the_connected_components(view in clause_system()) {
+        let groups = partition(&view);
+        // Every attacker appears exactly once.
+        let mut seen = vec![false; view.n_attackers()];
+        for g in &groups {
+            for &i in g {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Groups are closed under coin sharing: no coin appears in two
+        // groups.
+        let mut owner: Vec<Option<usize>> = vec![None; view.n_coins()];
+        for (gi, g) in groups.iter().enumerate() {
+            for &i in g {
+                for &c in view.attacker_coins(i) {
+                    match owner[c as usize] {
+                        None => owner[c as usize] = Some(gi),
+                        Some(o) => prop_assert_eq!(o, gi, "coin {} crosses groups", c),
+                    }
+                }
+            }
+        }
+        // And within a group the overlap graph is connected (BFS).
+        for g in &groups {
+            prop_assert!(connected_via_coins(&view, g), "group {g:?} not connected");
+        }
+    }
+
+    #[test]
+    fn det_work_is_exactly_two_to_the_n_minus_one_without_zeros(
+        view in clause_system()
+    ) {
+        prop_assume!(view.coin_probs().iter().all(|&p| p > 0.0));
+        let n = view.n_attackers() as u32;
+        let out = sky_det_view(&view, DetOptions::default()).unwrap();
+        prop_assert_eq!(out.joints_computed, (1u64 << n) - 1);
+    }
+
+    #[test]
+    fn dnf_counting_round_trips(
+        v in 2usize..=7,
+        masks in proptest::collection::vec(1u32..128, 1..=5),
+    ) {
+        let clauses: Vec<Vec<u32>> = masks
+            .iter()
+            .map(|&m| (0..v as u32).filter(|&b| m & (1 << b) != 0).collect())
+            .collect();
+        prop_assume!(clauses.iter().all(|c| !c.is_empty()));
+        let f = PositiveDnf::new(v, clauses).unwrap();
+        let brute = f.count_satisfying_brute().unwrap();
+        let via = f.count_via_sky(DetPlusOptions::default()).unwrap();
+        prop_assert_eq!(brute, via);
+        prop_assert!(brute <= 1 << v);
+    }
+}
+
+fn connected_via_coins(view: &CoinView, group: &[usize]) -> bool {
+    if group.len() <= 1 {
+        return true;
+    }
+    let in_group: std::collections::HashSet<usize> = group.iter().copied().collect();
+    let mut visited = std::collections::HashSet::new();
+    let mut queue = vec![group[0]];
+    visited.insert(group[0]);
+    while let Some(i) = queue.pop() {
+        for &j in &in_group {
+            if !visited.contains(&j)
+                && view
+                    .attacker_coins(i)
+                    .iter()
+                    .any(|c| view.attacker_coins(j).contains(c))
+            {
+                visited.insert(j);
+                queue.push(j);
+            }
+        }
+    }
+    visited.len() == group.len()
+}

@@ -1,0 +1,279 @@
+//! Certain-skyline substrate: classical skyline computation in a realized
+//! world.
+//!
+//! The probabilistic model degenerates to the classical one when every
+//! preference is 0/1 — and every sampled world *is* such a degenerate
+//! instance. This module implements the two textbook algorithms the skyline
+//! literature (and the paper's related-work section) builds on:
+//!
+//! * **BNL** — block-nested-loops with a self-cleaning window
+//!   (Börzsönyi et al., ICDE'01); correct for any *transitive* dominance
+//!   relation, including the partial orders that incomparability produces
+//!   (see the cycle caveat on [`skyline_bnl`]; [`skyline_naive_certain`]
+//!   is the assumption-free oracle).
+//! * **SFS** — sort-filter-skyline (Chomicki et al., ICDE'03); presorts by
+//!   a monotone score so every object can only be dominated by objects
+//!   before it, turning the window scan into a single filter pass. Requires
+//!   a total order per dimension, which [`DeterministicOrder`]-style models
+//!   provide.
+//!
+//! They double as consistency oracles: under degenerate preferences every
+//! skyline probability is exactly 0 or 1 and must agree with BNL/SFS
+//! membership (tested here and in the integration suite).
+
+use presky_core::preference::{DeterministicOrder, PreferenceModel};
+use presky_core::table::Table;
+use presky_core::types::{DimId, ObjectId};
+use presky_core::world::World;
+
+/// A realized (certain) preference relation between values.
+///
+/// `prefers(dim, a, b)` answers "is `a` strictly preferred to `b`?" and
+/// must be irreflexive; incomparability is expressed by answering `false`
+/// in both directions.
+pub trait CertainPreferences {
+    /// Whether `a ≺ b` holds on `dim`.
+    fn prefers(&self, dim: DimId, a: presky_core::types::ValueId, b: presky_core::types::ValueId) -> bool;
+}
+
+impl CertainPreferences for World {
+    fn prefers(
+        &self,
+        dim: DimId,
+        a: presky_core::types::ValueId,
+        b: presky_core::types::ValueId,
+    ) -> bool {
+        World::prefers(self, dim, a, b)
+    }
+}
+
+/// Adapter viewing a degenerate (0/1) [`PreferenceModel`] as certain
+/// preferences; probabilities strictly between 0 and 1 are a programming
+/// error and trip a debug assertion.
+#[derive(Debug, Clone, Copy)]
+pub struct Degenerate<M>(pub M);
+
+impl<M: PreferenceModel> CertainPreferences for Degenerate<M> {
+    fn prefers(
+        &self,
+        dim: DimId,
+        a: presky_core::types::ValueId,
+        b: presky_core::types::ValueId,
+    ) -> bool {
+        let p = self.0.pr_strict(dim, a, b);
+        debug_assert!(p == 0.0 || p == 1.0, "Degenerate adapter over uncertain model (p = {p})");
+        p >= 1.0
+    }
+}
+
+/// Whether `q` certainly dominates `o`: weakly preferred everywhere,
+/// strictly somewhere.
+pub fn dominates_certain<C: CertainPreferences>(
+    table: &Table,
+    prefs: &C,
+    q: ObjectId,
+    o: ObjectId,
+) -> bool {
+    if q == o {
+        return false;
+    }
+    let mut any = false;
+    for j in (0..table.dimensionality()).map(DimId::from) {
+        let (qv, ov) = (table.value(q, j), table.value(o, j));
+        if qv == ov {
+            continue;
+        }
+        if !prefs.prefers(j, qv, ov) {
+            return false;
+        }
+        any = true;
+    }
+    any
+}
+
+/// Block-nested-loops skyline. Returns skyline object ids in ascending
+/// order. `O(n²)` worst case, output-sensitive in practice.
+///
+/// # Transitivity caveat
+///
+/// The window discipline assumes dominance is *transitive* — true whenever
+/// each dimension's realized preference is acyclic (total orders, and any
+/// world sampled from them). A world with a realized preference **cycle**
+/// (`a≺b`, `b≺c`, `c≺a` — possible under pairwise-independent sampling)
+/// can make dominance cyclic, in which case the true skyline may even be
+/// empty and window algorithms are not applicable; use
+/// [`skyline_naive_certain`] there.
+pub fn skyline_bnl<C: CertainPreferences>(table: &Table, prefs: &C) -> Vec<ObjectId> {
+    let mut window: Vec<ObjectId> = Vec::new();
+    'outer: for cand in table.objects() {
+        let mut i = 0;
+        while i < window.len() {
+            if dominates_certain(table, prefs, window[i], cand) {
+                continue 'outer; // candidate dies
+            }
+            if dominates_certain(table, prefs, cand, window[i]) {
+                window.swap_remove(i); // window entry dies
+            } else {
+                i += 1;
+            }
+        }
+        window.push(cand);
+    }
+    window.sort_unstable();
+    window
+}
+
+/// Cycle-safe certain skyline: check every object against every other.
+///
+/// `O(n²·d)` with no assumptions at all on the realized relation — correct
+/// even when preference cycles make dominance non-transitive (where
+/// [`skyline_bnl`]'s window discipline breaks down). The oracle of choice
+/// for sampled worlds.
+pub fn skyline_naive_certain<C: CertainPreferences>(table: &Table, prefs: &C) -> Vec<ObjectId> {
+    table
+        .objects()
+        .filter(|&o| !table.objects().any(|q| dominates_certain(table, prefs, q, o)))
+        .collect()
+}
+
+/// Sort-filter-skyline over a per-dimension total order.
+///
+/// Objects are presorted by the monotone score `Σ_j rank_j(value)` (rank 0
+/// = most preferred under `order`): if `q` dominates `o` then
+/// `score(q) < score(o)`, so a single pass with a grow-only window is
+/// complete. Returns skyline ids in ascending order.
+pub fn skyline_sfs(table: &Table, order: DeterministicOrder) -> Vec<ObjectId> {
+    let d = table.dimensionality();
+    // Per-dimension rank of each value under the order.
+    let score = |o: ObjectId| -> i64 {
+        (0..d)
+            .map(|j| {
+                let v = table.value(o, DimId::from(j)).0 as i64;
+                if order.is_ascending() {
+                    v
+                } else {
+                    -v
+                }
+            })
+            .sum()
+    };
+    let mut objs: Vec<ObjectId> = table.objects().collect();
+    objs.sort_by_key(|&o| score(o));
+    let prefs = Degenerate(order);
+    let mut window: Vec<ObjectId> = Vec::new();
+    'outer: for cand in objs {
+        for &w in &window {
+            if dominates_certain(table, &prefs, w, cand) {
+                continue 'outer;
+            }
+        }
+        window.push(cand);
+    }
+    window.sort_unstable();
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::dominance::dominates_in_world;
+    use presky_core::types::ValueId;
+    use presky_core::world::{PairId, Relation};
+
+    use super::*;
+
+    #[test]
+    fn bnl_on_total_order() {
+        // Lower is better: (0,2), (1,1), (2,0) are mutually incomparable;
+        // (2,2) is dominated by all of them; (0,0) dominates everything.
+        let t = Table::from_rows_raw(
+            2,
+            &[vec![0, 2], vec![1, 1], vec![2, 0], vec![2, 2], vec![0, 0]],
+        )
+        .unwrap();
+        let sky = skyline_bnl(&t, &Degenerate(DeterministicOrder::ascending()));
+        assert_eq!(sky, vec![ObjectId(4)]);
+        // Without (0,0):
+        let t2 = Table::from_rows_raw(2, &[vec![0, 2], vec![1, 1], vec![2, 0], vec![2, 2]])
+            .unwrap();
+        let sky2 = skyline_bnl(&t2, &Degenerate(DeterministicOrder::ascending()));
+        assert_eq!(sky2, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
+    }
+
+    #[test]
+    fn sfs_agrees_with_bnl_on_random_tables() {
+        for seed in 0..20u64 {
+            let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+            let mut next = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let d = 2 + (seed % 3) as usize;
+            let mut rows = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            while rows.len() < 12 {
+                let row: Vec<u32> = (0..d).map(|_| (next() % 5) as u32).collect();
+                if seen.insert(row.clone()) {
+                    rows.push(row);
+                }
+            }
+            let t = Table::from_rows_raw(d, &rows).unwrap();
+            for order in [DeterministicOrder::ascending(), DeterministicOrder::descending()] {
+                let a = skyline_bnl(&t, &Degenerate(order));
+                let b = skyline_sfs(&t, order);
+                assert_eq!(a, b, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn bnl_handles_partial_orders_from_worlds() {
+        // Two objects, incomparable in the realized world: both skyline.
+        let t = Table::from_rows_raw(1, &[vec![0], vec![1]]).unwrap();
+        let mut w = World::new();
+        w.set(PairId::new(DimId(0), ValueId(0), ValueId(1)), Relation::Incomparable);
+        assert_eq!(skyline_bnl(&t, &w), vec![ObjectId(0), ObjectId(1)]);
+        // Now value 1 wins: only object 1 survives.
+        w.set(PairId::new(DimId(0), ValueId(0), ValueId(1)), Relation::HiWins);
+        assert_eq!(skyline_bnl(&t, &w), vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn window_eviction_is_exercised() {
+        // Later object dominates an earlier window member.
+        let t = Table::from_rows_raw(2, &[vec![3, 3], vec![1, 1], vec![0, 0]]).unwrap();
+        let sky = skyline_bnl(&t, &Degenerate(DeterministicOrder::ascending()));
+        assert_eq!(sky, vec![ObjectId(2)]);
+    }
+
+    #[test]
+    fn everything_skyline_when_no_preferences_realized() {
+        let t = Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![2, 2]]).unwrap();
+        let empty = World::new();
+        assert_eq!(skyline_bnl(&t, &empty).len(), 3);
+    }
+
+    #[test]
+    fn certain_dominance_needs_strictness() {
+        let t = Table::from_rows_raw(2, &[vec![0, 0], vec![0, 0]]).unwrap();
+        // Identical rows never dominate each other (degenerate input; the
+        // probabilistic layer rejects duplicates earlier).
+        assert!(!dominates_certain(
+            &t,
+            &Degenerate(DeterministicOrder::ascending()),
+            ObjectId(0),
+            ObjectId(1)
+        ));
+    }
+
+    #[test]
+    fn world_dominance_and_certain_dominance_agree() {
+        let t = Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1]]).unwrap();
+        let mut w = World::new();
+        w.set(PairId::new(DimId(0), ValueId(0), ValueId(1)), Relation::HiWins);
+        w.set(PairId::new(DimId(1), ValueId(0), ValueId(1)), Relation::HiWins);
+        assert!(dominates_certain(&t, &w, ObjectId(1), ObjectId(0)));
+        assert!(dominates_in_world(&t, &w, ObjectId(1), ObjectId(0)));
+    }
+}

@@ -1,0 +1,97 @@
+//! Errors of the query layer.
+
+use std::fmt;
+
+use presky_approx::error::ApproxError;
+use presky_core::error::CoreError;
+use presky_exact::error::ExactError;
+
+/// Failure modes of the query layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Thresholds and other probabilities must lie in `[0, 1]`.
+    InvalidThreshold {
+        /// The offending value.
+        value: f64,
+    },
+    /// `k = 0` makes no sense for a top-k query.
+    ZeroK,
+    /// An instance exceeded an oracle/enumeration budget.
+    InstanceTooLarge {
+        /// Observed size (pairs, attackers, …).
+        size: usize,
+        /// The budget.
+        max: usize,
+    },
+    /// Data-model error.
+    Core(CoreError),
+    /// Exact-engine error.
+    Exact(ExactError),
+    /// Approximation-layer error.
+    Approx(ApproxError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidThreshold { value } => {
+                write!(f, "threshold {value} must lie in [0, 1]")
+            }
+            QueryError::ZeroK => write!(f, "top-k query requires k >= 1"),
+            QueryError::InstanceTooLarge { size, max } => {
+                write!(f, "instance size {size} exceeds the budget {max}")
+            }
+            QueryError::Core(e) => write!(f, "{e}"),
+            QueryError::Exact(e) => write!(f, "{e}"),
+            QueryError::Approx(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Core(e) => Some(e),
+            QueryError::Exact(e) => Some(e),
+            QueryError::Approx(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for QueryError {
+    fn from(e: CoreError) -> Self {
+        QueryError::Core(e)
+    }
+}
+
+impl From<ExactError> for QueryError {
+    fn from(e: ExactError) -> Self {
+        QueryError::Exact(e)
+    }
+}
+
+impl From<ApproxError> for QueryError {
+    fn from(e: ApproxError) -> Self {
+        QueryError::Approx(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T, E = QueryError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let e: QueryError = CoreError::EmptySchema.into();
+        assert!(matches!(e, QueryError::Core(_)));
+        let e: QueryError = ExactError::MaskWidthExceeded { n: 99 }.into();
+        assert!(e.to_string().contains("99"));
+        let e: QueryError = ApproxError::ZeroSamples.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(QueryError::ZeroK.to_string().contains("k"));
+    }
+}

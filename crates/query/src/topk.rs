@@ -1,0 +1,172 @@
+//! Top-k by skyline probability — the paper's stated future work.
+//!
+//! The conclusion of the paper points at "the generic top-k evaluation
+//! framework for uncertain databases" \[20\] as the efficient route to
+//! ranking objects by skyline probability. This module provides a
+//! practical two-phase realisation over this library's estimators:
+//!
+//! 1. **scout** — every object gets a cheap estimate (adaptive: exact when
+//!    its reduced instance is small, a low-budget sample otherwise);
+//! 2. **refine** — the top `k · overfetch` candidates are re-evaluated with
+//!    a much larger budget, and the final ranking is taken from the refined
+//!    values. Exact scout values skip refinement.
+//!
+//! The two-phase design keeps total work near `O(n · m_scout)` while the
+//! ranking quality is governed by the refined budget — the same
+//! additive-error calculus as Theorem 2, applied only where it matters.
+
+use presky_core::preference::PreferenceModel;
+use presky_core::table::Table;
+
+use presky_approx::sampler::SamOptions;
+
+use crate::error::{QueryError, Result};
+use crate::prob_skyline::{all_sky, sky_one, Algorithm, QueryOptions, SkyResult};
+
+/// Options of the two-phase top-k query.
+#[derive(Debug, Clone, Copy)]
+pub struct TopKOptions {
+    /// Scout-phase sampler budget (used when an object's instance is too
+    /// large to solve exactly).
+    pub scout: SamOptions,
+    /// Refine-phase sampler budget.
+    pub refine: SamOptions,
+    /// Components up to this size are solved exactly in both phases.
+    pub exact_component_limit: usize,
+    /// Refine `k · overfetch` candidates (≥ 1).
+    pub overfetch: usize,
+    /// Worker threads (`None` = available parallelism).
+    pub threads: Option<usize>,
+}
+
+impl Default for TopKOptions {
+    fn default() -> Self {
+        Self {
+            scout: SamOptions::with_samples(500, 0),
+            refine: SamOptions::with_samples(20_000, 1),
+            exact_component_limit: 20,
+            overfetch: 3,
+            threads: None,
+        }
+    }
+}
+
+/// The `k` objects with the highest skyline probabilities, sorted
+/// descending (ties broken by object id for determinism).
+pub fn top_k_skyline<M: PreferenceModel + Sync>(
+    table: &Table,
+    prefs: &M,
+    k: usize,
+    opts: TopKOptions,
+) -> Result<Vec<SkyResult>> {
+    if k == 0 {
+        return Err(QueryError::ZeroK);
+    }
+    if opts.overfetch == 0 {
+        return Err(QueryError::ZeroK);
+    }
+
+    // Phase 1: scout everything.
+    let scout_opts = QueryOptions {
+        algorithm: Algorithm::Adaptive {
+            exact_component_limit: opts.exact_component_limit,
+            sam: opts.scout,
+        },
+        threads: opts.threads,
+    };
+    let mut scouted = all_sky(table, prefs, scout_opts)?;
+    sort_desc(&mut scouted);
+
+    // Phase 2: refine the head of the ranking.
+    let cut = (k.saturating_mul(opts.overfetch)).min(scouted.len());
+    let mut refined: Vec<SkyResult> = Vec::with_capacity(cut);
+    for r in &scouted[..cut] {
+        if r.exact {
+            refined.push(*r);
+        } else {
+            let algo = Algorithm::Adaptive {
+                exact_component_limit: opts.exact_component_limit,
+                sam: SamOptions {
+                    seed: opts.refine.seed ^ (r.object.0 as u64).wrapping_mul(0x9e37),
+                    ..opts.refine
+                },
+            };
+            refined.push(sky_one(table, prefs, r.object, algo)?);
+        }
+    }
+    sort_desc(&mut refined);
+    refined.truncate(k);
+    Ok(refined)
+}
+
+fn sort_desc(v: &mut [SkyResult]) {
+    v.sort_by(|a, b| {
+        b.sky
+            .partial_cmp(&a.sky)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.object.cmp(&b.object))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::{PrefPair, TablePreferences};
+    use presky_core::types::ObjectId;
+
+    use super::*;
+    use crate::oracle::all_sky_naive;
+
+    fn fixture() -> (Table, TablePreferences) {
+        // Example 1 plus the Observation layout merged: 5 distinct objects.
+        let t = Table::from_rows_raw(
+            2,
+            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
+        )
+        .unwrap();
+        (t, TablePreferences::with_default(PrefPair::half()))
+    }
+
+    #[test]
+    fn ranks_match_the_oracle() {
+        let (t, p) = fixture();
+        let oracle = all_sky_naive(&t, &p, 20).unwrap();
+        let mut expected: Vec<(usize, f64)> = oracle.iter().copied().enumerate().collect();
+        expected.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+        let got = top_k_skyline(&t, &p, 3, TopKOptions::default()).unwrap();
+        assert_eq!(got.len(), 3);
+        for (r, (obj, sky)) in got.iter().zip(expected.iter()) {
+            assert_eq!(r.object, ObjectId::from(*obj));
+            assert!((r.sky - sky).abs() < 1e-12, "small instance solves exactly");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let (t, p) = fixture();
+        let got = top_k_skyline(&t, &p, 50, TopKOptions::default()).unwrap();
+        assert_eq!(got.len(), 5);
+        for w in got.windows(2) {
+            assert!(w[0].sky >= w[1].sky);
+        }
+    }
+
+    #[test]
+    fn zero_k_and_zero_overfetch_rejected() {
+        let (t, p) = fixture();
+        assert!(matches!(
+            top_k_skyline(&t, &p, 0, TopKOptions::default()),
+            Err(QueryError::ZeroK)
+        ));
+        let opts = TopKOptions { overfetch: 0, ..TopKOptions::default() };
+        assert!(matches!(top_k_skyline(&t, &p, 1, opts), Err(QueryError::ZeroK)));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (t, p) = fixture();
+        let a = top_k_skyline(&t, &p, 2, TopKOptions::default()).unwrap();
+        let b = top_k_skyline(&t, &p, 2, TopKOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,248 @@
+//! Property-based tests of the query layer: the ladder, the flat query,
+//! top-k and the certain-skyline substrate must all tell one story.
+
+use proptest::prelude::*;
+
+use presky_core::preference::{PrefPair, PreferenceModel, TablePreferences};
+use presky_core::table::Table;
+use presky_core::types::{DimId, ObjectId, ValueId};
+
+use presky_approx::sampler::SamOptions;
+use presky_query::certain::{skyline_bnl, Degenerate};
+use presky_query::oracle::all_sky_naive;
+use presky_query::prob_skyline::{all_sky, probabilistic_skyline, QueryOptions};
+use presky_query::threshold::{threshold_skyline, Resolution, ThresholdOptions};
+use presky_query::topk::{top_k_skyline, TopKOptions};
+
+fn decode_row(mut idx: usize, d: usize) -> Vec<u32> {
+    let mut row = Vec::with_capacity(d);
+    for _ in 0..d {
+        row.push((idx % 4) as u32);
+        idx /= 4;
+    }
+    row
+}
+
+/// Distinct-row tables with simplex preferences over a small value space.
+fn instance() -> impl Strategy<Value = (Table, TablePreferences)> {
+    (1usize..=3).prop_flat_map(|d| {
+        let space = 4usize.pow(d as u32);
+        (2usize..=space.min(7)).prop_flat_map(move |n| {
+            (
+                proptest::collection::btree_set(0..space, n),
+                proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 6 * d),
+            )
+                .prop_map(move |(idxs, pair_probs)| {
+                    let rows: Vec<Vec<u32>> =
+                        idxs.iter().map(|&i| decode_row(i, d)).collect();
+                    let table = Table::from_rows_raw(d, &rows).expect("valid rows");
+                    let mut prefs = TablePreferences::new();
+                    let mut it = pair_probs.into_iter();
+                    for dim in 0..d {
+                        for a in 0u32..4 {
+                            for b in (a + 1)..4 {
+                                let (mut u, mut v) = it.next().unwrap_or((0.5, 0.5));
+                                if u + v > 1.0 {
+                                    u = 1.0 - u;
+                                    v = 1.0 - v;
+                                }
+                                prefs
+                                    .set(DimId::from(dim), ValueId(a), ValueId(b), u, v)
+                                    .expect("simplex pair");
+                            }
+                        }
+                    }
+                    (table, prefs)
+                })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn ladder_agrees_with_exact_memberships((table, prefs) in instance(), tau in 0.05f64..0.95) {
+        // On these small instances the flat query is exact and the ladder
+        // must agree everywhere except when the sequential rung fires
+        // (which it cannot here: components are tiny).
+        let flat = all_sky(&table, &prefs, QueryOptions { threads: Some(1), ..Default::default() })
+            .unwrap();
+        let ladder = threshold_skyline(
+            &table,
+            &prefs,
+            tau,
+            ThresholdOptions { threads: Some(1), ..Default::default() },
+        )
+        .unwrap();
+        for (f, l) in flat.iter().zip(&ladder) {
+            prop_assert!(f.exact);
+            prop_assert_eq!(l.member, f.sky >= tau, "object {}: sky {}", f.object, f.sky);
+            // No sampling rung should ever engage on instances this small.
+            prop_assert!(
+                !matches!(l.resolution, Resolution::Sequential { .. } | Resolution::Estimated(_)),
+                "{:?}", l.resolution
+            );
+        }
+    }
+
+    #[test]
+    fn topk_head_equals_sorted_all_sky((table, prefs) in instance(), k in 1usize..5) {
+        let mut flat = all_sky(&table, &prefs, QueryOptions { threads: Some(1), ..Default::default() })
+            .unwrap();
+        flat.sort_by(|a, b| {
+            b.sky.partial_cmp(&a.sky).unwrap().then(a.object.cmp(&b.object))
+        });
+        let top = top_k_skyline(
+            &table,
+            &prefs,
+            k,
+            TopKOptions { threads: Some(1), ..TopKOptions::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(top.len(), k.min(table.len()));
+        for (t, f) in top.iter().zip(flat.iter()) {
+            prop_assert_eq!(t.object, f.object);
+            prop_assert!((t.sky - f.sky).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn probabilistic_skyline_is_a_filter_of_all_sky((table, prefs) in instance(), tau in 0.0f64..1.0) {
+        let flat = all_sky(&table, &prefs, QueryOptions { threads: Some(1), ..Default::default() })
+            .unwrap();
+        let sky = probabilistic_skyline(
+            &table,
+            &prefs,
+            tau,
+            QueryOptions { threads: Some(1), ..Default::default() },
+        )
+        .unwrap();
+        let expected: usize = flat.iter().filter(|r| r.sky >= tau).count();
+        prop_assert_eq!(sky.len(), expected);
+        for w in sky.windows(2) {
+            prop_assert!(w[0].sky >= w[1].sky);
+        }
+    }
+
+    #[test]
+    fn oracle_mass_is_positive_under_simplex_preferences((table, prefs) in instance()) {
+        // Note: Σ sky_i ≥ 1 does NOT hold in general — realized pairwise
+        // preferences can be cyclic (a≺b, b≺c, c≺a), making a world's
+        // skyline empty. But simplex preferences leave positive
+        // incomparability mass on every pair, so the all-incomparable
+        // world (where everyone is a skyline point) has positive
+        // probability, and the total mass is strictly positive.
+        let oracle = all_sky_naive(&table, &prefs, 12);
+        prop_assume!(oracle.is_ok());
+        let oracle = oracle.unwrap();
+        for &s in &oracle {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s));
+        }
+        let mass: f64 = oracle.iter().sum();
+        prop_assert!(mass > 0.0, "total mass {mass}");
+    }
+
+    #[test]
+    fn sampling_policy_brackets_exact((table, prefs) in instance()) {
+        use presky_query::prob_skyline::Algorithm;
+        let exact = all_sky(&table, &prefs, QueryOptions { threads: Some(1), ..Default::default() })
+            .unwrap();
+        let sampled = all_sky(
+            &table,
+            &prefs,
+            QueryOptions {
+                algorithm: Algorithm::Sampling(SamOptions::with_samples(3000, 7)),
+                threads: Some(1),
+            },
+        )
+        .unwrap();
+        for (e, s) in exact.iter().zip(&sampled) {
+            prop_assert!((e.sky - s.sky).abs() < 0.09, "{} vs {}", e.sky, s.sky);
+        }
+    }
+}
+
+#[test]
+fn cyclic_worlds_can_have_empty_skylines() {
+    // Realized preferences a≺b, b≺c, c≺a on one dimension: objects (a),
+    // (b), (c) dominate each other in a cycle, so the true skyline is
+    // empty — this is why the cycle-safe oracle exists and why Σ sky_i ≥ 1
+    // does NOT hold in general under pairwise-independent preferences.
+    use presky_core::world::{PairId, Relation, World};
+    use presky_query::certain::skyline_naive_certain;
+    let table = Table::from_rows_raw(1, &[vec![0], vec![1], vec![2]]).unwrap();
+    let d = DimId(0);
+    let mut w = World::new();
+    // Codes: a=0, b=1, c=2. a≺b and b≺c are LoWins; c≺a is HiWins on (0,2).
+    w.set(PairId::new(d, ValueId(0), ValueId(1)), Relation::LoWins);
+    w.set(PairId::new(d, ValueId(1), ValueId(2)), Relation::LoWins);
+    w.set(PairId::new(d, ValueId(0), ValueId(2)), Relation::HiWins);
+    let sky = skyline_naive_certain(&table, &w);
+    assert!(sky.is_empty(), "every object is dominated inside the cycle: {sky:?}");
+    // BNL's window discipline is not applicable here and reports a
+    // non-empty set — the documented caveat.
+    let bnl = skyline_bnl(&table, &w);
+    assert!(!bnl.is_empty());
+}
+
+#[test]
+fn naive_certain_matches_bnl_on_transitive_worlds() {
+    let order = presky_core::preference::DeterministicOrder::ascending();
+    for seed in 0..10u64 {
+        let mut s = seed.wrapping_mul(0x2545f4914f6cdd1d) | 1;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut rows = std::collections::BTreeSet::new();
+        while rows.len() < 8 {
+            rows.insert((next() % 64) as usize);
+        }
+        let decoded: Vec<Vec<u32>> = rows.iter().map(|&i| decode_row(i, 3)).collect();
+        let table = Table::from_rows_raw(3, &decoded).unwrap();
+        use presky_query::certain::skyline_naive_certain;
+        assert_eq!(
+            skyline_naive_certain(&table, &Degenerate(order)),
+            skyline_bnl(&table, &Degenerate(order)),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn certain_world_skyline_is_never_empty() {
+    // BNL on any certain order returns at least one object.
+    for seed in 0..10u64 {
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut rows = std::collections::BTreeSet::new();
+        while rows.len() < 9 {
+            rows.insert((next() % 64) as usize);
+        }
+        let decoded: Vec<Vec<u32>> = rows.iter().map(|&i| decode_row(i, 3)).collect();
+        let table = Table::from_rows_raw(3, &decoded).unwrap();
+        let order = presky_core::preference::DeterministicOrder::ascending();
+        let sky = skyline_bnl(&table, &Degenerate(order));
+        assert!(!sky.is_empty());
+        // Every non-skyline object is dominated by some skyline object
+        // (transitive total-order worlds make the skyline a dominating set).
+        for o in table.objects() {
+            if !sky.contains(&o) {
+                assert!(sky.iter().any(|&w| {
+                    presky_query::certain::dominates_certain(&table, &Degenerate(order), w, o)
+                }));
+            }
+        }
+    }
+    let _ = ObjectId(0);
+    let _ = PrefPair::half();
+    let _: Option<&dyn PreferenceModel> = None;
+}

@@ -1,0 +1,88 @@
+//! Travel agent — the introduction's hotel-room motivation.
+//!
+//! "A tourist favour[s] a beach view room in scorching summer and prefer[s]
+//! a fireplace room in chilly winter": the same room inventory, two
+//! different uncertain preference models. The example builds a small room
+//! catalogue with labelled categorical attributes, elicits seasonal
+//! preference probabilities, and shows how the probabilistic skyline
+//! (the rooms worth shortlisting) shifts with the season.
+//!
+//! Run with: `cargo run --example travel_agent`
+
+use presky::prelude::*;
+
+fn rooms() -> Table {
+    let schema = Schema::named(["view", "heating", "price_band"]).expect("non-empty schema");
+    let mut b = TableBuilder::new(schema);
+    for row in [
+        ["beach", "aircon", "premium"],
+        ["beach", "fireplace", "premium"],
+        ["garden", "fireplace", "standard"],
+        ["garden", "aircon", "standard"],
+        ["city", "aircon", "budget"],
+        ["city", "fireplace", "budget"],
+    ] {
+        b.push_labelled_row(&row).expect("consistent arity");
+    }
+    b.finish()
+}
+
+/// Elicited pairwise probabilities for one season. `summer` flips the
+/// view/heating preferences.
+fn seasonal_prefs(table: &Table, summer: bool) -> TablePreferences {
+    let s = table.schema();
+    let view = DimId(0);
+    let heat = DimId(1);
+    let price = DimId(2);
+    let v = |d: DimId, l: &str| s.resolve(d, l).expect("label interned");
+
+    let beach_over_garden = if summer { 0.9 } else { 0.4 };
+    let beach_over_city = if summer { 0.95 } else { 0.5 };
+    let garden_over_city = 0.6;
+    let aircon_over_fire = if summer { 0.85 } else { 0.15 };
+
+    TablePreferencesBuilder::new()
+        .complementary(view, v(view, "beach"), v(view, "garden"), beach_over_garden)
+        .complementary(view, v(view, "beach"), v(view, "city"), beach_over_city)
+        .complementary(view, v(view, "garden"), v(view, "city"), garden_over_city)
+        .complementary(heat, v(heat, "aircon"), v(heat, "fireplace"), aircon_over_fire)
+        // Price: cheaper is usually better, but some guests read price as
+        // quality — genuine uncertainty, with a little incomparability.
+        .pair(price, v(price, "budget"), v(price, "standard"), 0.70, 0.25)
+        .pair(price, v(price, "budget"), v(price, "premium"), 0.65, 0.30)
+        .pair(price, v(price, "standard"), v(price, "premium"), 0.60, 0.30)
+        .build()
+        .expect("all pairs valid")
+}
+
+fn shortlist(table: &Table, prefs: &TablePreferences, season: &str) {
+    let tau = 0.25;
+    let sky = probabilistic_skyline(table, prefs, tau, QueryOptions::default())
+        .expect("valid instance");
+    println!("{season}: rooms with sky >= {tau}");
+    for r in &sky {
+        println!("  {}  sky = {:.4}", table.display_row(r.object), r.sky);
+    }
+    println!();
+}
+
+fn main() {
+    let table = rooms();
+    println!("Room catalogue ({} rooms):", table.len());
+    for o in table.objects() {
+        println!("  {}", table.display_row(o));
+    }
+    println!();
+
+    let summer = seasonal_prefs(&table, true);
+    let winter = seasonal_prefs(&table, false);
+    shortlist(&table, &summer, "Scorching summer");
+    shortlist(&table, &winter, "Chilly winter");
+
+    // The beach/aircon premium room should look much better in summer.
+    let beach_aircon = ObjectId(0);
+    let s = skyline_probability(&table, &summer, beach_aircon).expect("small instance");
+    let w = skyline_probability(&table, &winter, beach_aircon).expect("small instance");
+    println!("(beach, aircon, premium): summer sky = {s:.4}, winter sky = {w:.4}");
+    assert!(s > w, "seasonal preferences must reorder the skyline");
+}

@@ -1,0 +1,368 @@
+//! `skyprob` — command-line front end for skyline probability over
+//! uncertain preferences.
+//!
+//! ```text
+//! skyprob gen uniform   --n 50 --d 5 [--seed 1] [--values 8] --out data.tbl
+//! skyprob gen blockzipf --n 10000 --d 5 [--seed 1] [--block 16] [--values 8] --out data.tbl
+//! skyprob gen nursery   [--d 8] --out data.tbl
+//! skyprob gen car       [--d 6] --out data.tbl
+//! skyprob gen prefs     --table data.tbl [--law complementary|simplex|unanimous|certain]
+//!                       [--seed 1] --out prefs.txt
+//!
+//! skyprob sky      --table data.tbl (--prefs prefs.txt | --seed-prefs 42)
+//!                  --target 0 [--algo detplus|det|cond|sam|samplus|sac] [--samples 3000]
+//! skyprob profile  --table data.tbl (--prefs … | --seed-prefs …) --target 0
+//! skyprob skyline  --table data.tbl (--prefs … | --seed-prefs …) --tau 0.1
+//! skyprob topk     --table data.tbl (--prefs … | --seed-prefs …) --k 5
+//! ```
+//!
+//! Tables and preference files use the `presky-datagen` text formats.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use presky::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("skyprob: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "gen" => gen(args.get(1).map(String::as_str), &flags),
+        "sky" => sky(&flags),
+        "profile" => profile_cmd(&flags),
+        "skyline" => skyline(&flags),
+        "topk" => topk(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  skyprob gen <uniform|blockzipf|nursery|car|prefs> [flags] --out FILE\n  \
+     skyprob sky --table FILE (--prefs FILE | --seed-prefs N) --target I [--algo A] [--samples M]\n  \
+     skyprob profile --table FILE (--prefs FILE | --seed-prefs N) --target I\n  \
+     skyprob skyline --table FILE (--prefs FILE | --seed-prefs N) --tau T\n  \
+     skyprob topk --table FILE (--prefs FILE | --seed-prefs N) --k K"
+        .to_owned()
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().expect("peeked").clone(),
+                _ => "true".to_owned(),
+            };
+            flags.insert(name.to_owned(), value);
+        }
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("--{key} {v:?}: {e}")),
+    }
+}
+
+fn require<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    get(flags, key)?.ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+// ------------------------------------------------------------------ gen
+
+fn gen(kind: Option<&str>, flags: &HashMap<String, String>) -> Result<(), String> {
+    let kind = kind.ok_or_else(usage)?;
+    if kind == "prefs" {
+        return gen_prefs(flags);
+    }
+    let out: PathBuf = require(flags, "out")?;
+    let seed: u64 = get(flags, "seed")?.unwrap_or(1);
+    let table = match kind {
+        "uniform" => {
+            let n: usize = require(flags, "n")?;
+            let d: usize = require(flags, "d")?;
+            let mut cfg = UniformConfig::new(n, d, seed);
+            cfg.values_per_dim = get(flags, "values")?;
+            generate_uniform(cfg).map_err(|e| e.to_string())?
+        }
+        "blockzipf" => {
+            let n: usize = require(flags, "n")?;
+            let d: usize = require(flags, "d")?;
+            let mut cfg = BlockZipfConfig::new(n, d, seed);
+            if let Some(b) = get(flags, "block")? {
+                cfg.block_size = b;
+            }
+            if let Some(v) = get(flags, "values")? {
+                cfg.values_per_block = v;
+            }
+            if let Some(s) = get(flags, "zipf")? {
+                cfg.zipf_s = s;
+            }
+            generate_block_zipf(cfg).map_err(|e| e.to_string())?
+        }
+        "nursery" => {
+            let d: usize = get(flags, "d")?.unwrap_or(8);
+            nursery_projected(d).map_err(|e| e.to_string())?
+        }
+        "car" => {
+            let d: usize = get(flags, "d")?.unwrap_or(6);
+            car_projected(d).map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("unknown generator {other:?}")),
+    };
+    write_table(&out, &table).map_err(|e| e.to_string())?;
+    println!("wrote {} objects x {} dims to {}", table.len(), table.dimensionality(), out.display());
+    Ok(())
+}
+
+fn gen_prefs(flags: &HashMap<String, String>) -> Result<(), String> {
+    let table_path: PathBuf = require(flags, "table")?;
+    let out: PathBuf = require(flags, "out")?;
+    let seed: u64 = get(flags, "seed")?.unwrap_or(1);
+    let law = flags.get("law").map(String::as_str).unwrap_or("complementary");
+    let dist = match law {
+        "complementary" => PrefDistribution::Complementary,
+        "simplex" => PrefDistribution::Simplex,
+        "unanimous" => PrefDistribution::Unanimous(0.5),
+        "certain" => PrefDistribution::CertainCoin,
+        other => return Err(format!("unknown law {other:?}")),
+    };
+    let table = read_table(&table_path).map_err(|e| e.to_string())?;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+    let prefs = generate_table_preferences(&table, dist, &mut rng).map_err(|e| e.to_string())?;
+    write_prefs(&out, &prefs).map_err(|e| e.to_string())?;
+    println!("wrote {} preference pairs to {}", prefs.len(), out.display());
+    Ok(())
+}
+
+// ------------------------------------------------------------- instance
+
+enum Prefs {
+    File(TablePreferences),
+    Seeded(SeededPreferences),
+}
+
+impl PreferenceModel for Prefs {
+    fn pr_strict(&self, dim: DimId, a: ValueId, b: ValueId) -> f64 {
+        match self {
+            Prefs::File(p) => p.pr_strict(dim, a, b),
+            Prefs::Seeded(p) => p.pr_strict(dim, a, b),
+        }
+    }
+}
+
+fn load_instance(flags: &HashMap<String, String>) -> Result<(Table, Prefs), String> {
+    let table_path: PathBuf = require(flags, "table")?;
+    let table = read_table(Path::new(&table_path)).map_err(|e| e.to_string())?;
+    let prefs = if let Some(p) = flags.get("prefs") {
+        Prefs::File(read_prefs(Path::new(p)).map_err(|e| e.to_string())?)
+    } else if let Some(seed) = get::<u64>(flags, "seed-prefs")? {
+        Prefs::Seeded(SeededPreferences::complementary(seed))
+    } else {
+        return Err("need --prefs FILE or --seed-prefs N".to_owned());
+    };
+    Ok((table, prefs))
+}
+
+// ------------------------------------------------------------------ sky
+
+fn sky(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (table, prefs) = load_instance(flags)?;
+    let target = ObjectId::from(require::<usize>(flags, "target")?);
+    let algo = flags.get("algo").map(String::as_str).unwrap_or("detplus");
+    let samples: u64 = get(flags, "samples")?.unwrap_or(3000);
+    let start = std::time::Instant::now();
+    let (value, exact) = match algo {
+        "detplus" => (
+            sky_det_plus(&table, &prefs, target, DetPlusOptions::default())
+                .map_err(|e| e.to_string())?
+                .sky,
+            true,
+        ),
+        "det" => (
+            sky_det(&table, &prefs, target, DetOptions::default())
+                .map_err(|e| e.to_string())?
+                .sky,
+            true,
+        ),
+        "cond" => (
+            sky_conditioning(&table, &prefs, target, ConditioningOptions::default())
+                .map_err(|e| e.to_string())?
+                .sky,
+            true,
+        ),
+        "sam" => (
+            sky_sam(&table, &prefs, target, SamOptions::with_samples(samples, 0))
+                .map_err(|e| e.to_string())?
+                .estimate,
+            false,
+        ),
+        "samplus" => (
+            sky_sam_plus(
+                &table,
+                &prefs,
+                target,
+                SamPlusOptions::with_sam(SamOptions::with_samples(samples, 0)),
+            )
+            .map_err(|e| e.to_string())?
+            .estimate,
+            false,
+        ),
+        "sac" => (sky_sac(&table, &prefs, target).map_err(|e| e.to_string())?, false),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    };
+    println!(
+        "sky({target}) = {value:.9}  [{algo}{}] in {:.1?}",
+        if exact { ", exact" } else { "" },
+        start.elapsed()
+    );
+    Ok(())
+}
+
+fn profile_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (table, prefs) = load_instance(flags)?;
+    let target = ObjectId::from(require::<usize>(flags, "target")?);
+    let view = CoinView::build(&table, &prefs, target).map_err(|e| e.to_string())?;
+    let prof = profile(&view);
+    println!("attackers            {}", prof.n_attackers);
+    println!("coins                {}", prof.n_coins);
+    println!("mean coins/attacker  {:.2}", prof.mean_coins_per_attacker);
+    println!("mean sharing         {:.2}", prof.mean_sharing);
+    println!("max sharing          {}", prof.max_sharing);
+    println!("impossible           {}", prof.impossible);
+    println!("absorbed             {}", prof.absorbed);
+    println!("survivors            {}", prof.survivors());
+    println!("largest component    {}", prof.largest_component());
+    println!("log2(exact work)     {:.1}", prof.log2_exact_work());
+    let bounds = sky_bounds_cheap(&view);
+    println!("certified bounds     [{:.6}, {:.6}]", bounds.lower, bounds.upper);
+    Ok(())
+}
+
+fn skyline(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (table, prefs) = load_instance(flags)?;
+    let tau: f64 = require(flags, "tau")?;
+    let start = std::time::Instant::now();
+    let answers = threshold_skyline(&table, &prefs, tau, ThresholdOptions::default())
+        .map_err(|e| e.to_string())?;
+    let stats = resolution_stats(&answers);
+    let members: Vec<_> = answers.iter().filter(|a| a.member).collect();
+    println!(
+        "{} of {} objects have sky >= {tau}  ({:.1?}; resolved: {} bounds, {} exact, {} sequential, {} fallback)",
+        members.len(),
+        answers.len(),
+        start.elapsed(),
+        stats.by_bounds,
+        stats.by_exact,
+        stats.by_sequential,
+        stats.by_estimate,
+    );
+    for a in members.iter().take(20) {
+        println!("  {}  {}", a.object, table.display_row(a.object));
+    }
+    if members.len() > 20 {
+        println!("  … and {} more", members.len() - 20);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags_of(args: &[&str]) -> HashMap<String, String> {
+        parse_flags(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn flag_parsing_handles_values_and_booleans() {
+        let f = flags_of(&["--n", "50", "--quick", "--out", "x.tbl"]);
+        assert_eq!(f.get("n").map(String::as_str), Some("50"));
+        assert_eq!(f.get("quick").map(String::as_str), Some("true"));
+        assert_eq!(f.get("out").map(String::as_str), Some("x.tbl"));
+        assert_eq!(get::<usize>(&f, "n").unwrap(), Some(50));
+        assert!(get::<usize>(&f, "out").is_err());
+        assert_eq!(get::<usize>(&f, "missing").unwrap(), None);
+        assert!(require::<usize>(&f, "missing").is_err());
+    }
+
+    #[test]
+    fn unknown_commands_error_with_usage() {
+        let e = run(&["frobnicate".to_owned()]).unwrap_err();
+        assert!(e.contains("unknown command"));
+        assert!(e.contains("usage"));
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_through_temp_files() {
+        let dir = std::env::temp_dir().join("skyprob-selftest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tbl = dir.join("t.tbl").display().to_string();
+        let prefs = dir.join("p.txt").display().to_string();
+        let argv = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+        run(&argv(&format!("gen blockzipf --n 60 --d 3 --seed 5 --out {tbl}"))).unwrap();
+        run(&argv(&format!("gen prefs --table {tbl} --law complementary --seed 2 --out {prefs}")))
+            .unwrap();
+        run(&argv(&format!("sky --table {tbl} --prefs {prefs} --target 3 --algo detplus")))
+            .unwrap();
+        run(&argv(&format!("sky --table {tbl} --seed-prefs 9 --target 3 --algo sam --samples 500")))
+            .unwrap();
+        run(&argv(&format!("profile --table {tbl} --prefs {prefs} --target 3"))).unwrap();
+        // Bad algorithm name surfaces cleanly.
+        let e = run(&argv(&format!("sky --table {tbl} --prefs {prefs} --target 3 --algo nope")))
+            .unwrap_err();
+        assert!(e.contains("unknown algorithm"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+fn topk(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (table, prefs) = load_instance(flags)?;
+    let k: usize = require(flags, "k")?;
+    let start = std::time::Instant::now();
+    let top = top_k_skyline(&table, &prefs, k, TopKOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!("top-{k} by skyline probability ({:.1?}):", start.elapsed());
+    for (rank, r) in top.iter().enumerate() {
+        println!(
+            "  {:>2}. {}  sky = {:.6}{}  {}",
+            rank + 1,
+            r.object,
+            r.sky,
+            if r.exact { "" } else { " (est)" },
+            table.display_row(r.object)
+        );
+    }
+    Ok(())
+}
