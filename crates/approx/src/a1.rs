@@ -59,11 +59,9 @@ mod tests {
     use super::*;
 
     fn example1_view() -> CoinView {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
         CoinView::build(&t, &p, ObjectId(0)).unwrap()
     }

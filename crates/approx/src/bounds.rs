@@ -74,9 +74,7 @@ mod tests {
     fn monotonicity() {
         assert!(hoeffding_samples(0.01, 0.01).unwrap() > hoeffding_samples(0.05, 0.01).unwrap());
         assert!(hoeffding_samples(0.01, 0.01).unwrap() > hoeffding_samples(0.01, 0.10).unwrap());
-        assert!(
-            hoeffding_epsilon(10_000, 0.01).unwrap() < hoeffding_epsilon(1_000, 0.01).unwrap()
-        );
+        assert!(hoeffding_epsilon(10_000, 0.01).unwrap() < hoeffding_epsilon(1_000, 0.01).unwrap());
     }
 
     #[test]

@@ -117,9 +117,7 @@ pub fn sky_karp_luby_view(view: &CoinView, opts: KarpLubyOptions) -> Result<Karp
             win[k as usize] = true;
         }
         // Count dominating attackers (at least i itself).
-        let c = (0..n)
-            .filter(|&j| view.attacker_coins(j).iter().all(|&k| win[k as usize]))
-            .count();
+        let c = (0..n).filter(|&j| view.attacker_coins(j).iter().all(|&k| win[k as usize])).count();
         debug_assert!(c >= 1);
         sum_inv_c += 1.0 / c as f64;
     }
@@ -141,24 +139,17 @@ mod tests {
     use super::*;
 
     fn example1() -> (Table, TablePreferences) {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         (t, TablePreferences::with_default(PrefPair::half()))
     }
 
     #[test]
     fn converges_on_example1() {
         let (t, p) = example1();
-        let out = sky_karp_luby(
-            &t,
-            &p,
-            ObjectId(0),
-            KarpLubyOptions { samples: 60_000, seed: 5 },
-        )
-        .unwrap();
+        let out = sky_karp_luby(&t, &p, ObjectId(0), KarpLubyOptions { samples: 60_000, seed: 5 })
+            .unwrap();
         assert!((out.estimate - 3.0 / 16.0).abs() < 0.01, "estimate {}", out.estimate);
         assert!((out.total_mass - 1.5).abs() < 1e-12, "Σ Pr(e_i) = 3/2");
     }
@@ -168,14 +159,9 @@ mod tests {
         // 8 independent attackers each dominating w.p. 0.55:
         // sky = 0.45^8 ≈ 1.68e-3. Karp–Luby resolves the complement with
         // relative precision where plain Sam would need ~1/sky samples.
-        let view = CoinView::from_parts(
-            vec![0.55; 8],
-            (0..8).map(|i| vec![i]).collect(),
-        )
-        .unwrap();
+        let view = CoinView::from_parts(vec![0.55; 8], (0..8).map(|i| vec![i]).collect()).unwrap();
         let exact = 0.45f64.powi(8);
-        let out = sky_karp_luby_view(&view, KarpLubyOptions { samples: 200_000, seed: 1 })
-            .unwrap();
+        let out = sky_karp_luby_view(&view, KarpLubyOptions { samples: 200_000, seed: 1 }).unwrap();
         let rel = ((1.0 - out.estimate) - (1.0 - exact)).abs() / (1.0 - exact);
         assert!(rel < 0.01, "relative error {rel}");
     }
@@ -198,8 +184,7 @@ mod tests {
     #[test]
     fn certain_attacker_gives_zero() {
         let view = CoinView::from_parts(vec![1.0], vec![vec![0]]).unwrap();
-        let out =
-            sky_karp_luby_view(&view, KarpLubyOptions { samples: 500, seed: 0 }).unwrap();
+        let out = sky_karp_luby_view(&view, KarpLubyOptions { samples: 500, seed: 0 }).unwrap();
         assert_eq!(out.estimate, 0.0);
     }
 

@@ -40,8 +40,8 @@ pub mod error;
 pub mod karp_luby;
 pub mod sac;
 pub mod sampler;
-pub mod sprt;
 pub mod samplus;
+pub mod sprt;
 
 /// Commonly used names.
 pub mod prelude {
@@ -49,14 +49,16 @@ pub mod prelude {
     pub use crate::a2::{a2_sweep, sky_a2, sky_a2_big, A2Outcome};
     pub use crate::bounds::{hoeffding_delta, hoeffding_epsilon, hoeffding_samples};
     pub use crate::error::ApproxError;
-    pub use crate::karp_luby::{sky_karp_luby, sky_karp_luby_view, KarpLubyOptions, KarpLubyOutcome};
+    pub use crate::karp_luby::{
+        sky_karp_luby, sky_karp_luby_view, KarpLubyOptions, KarpLubyOutcome,
+    };
     pub use crate::sac::{sac_is_exact, sky_sac, sky_sac_view};
     pub use crate::sampler::{
-        sky_sam, sky_sam_antithetic, sky_sam_antithetic_view, sky_sam_view, SamOptions,
-        SamOutcome,
+        sky_sam, sky_sam_antithetic, sky_sam_antithetic_view, sky_sam_view, sky_sam_view_with,
+        SamOptions, SamOutcome, SamScratch,
     };
+    pub use crate::samplus::{sky_sam_plus, sky_sam_plus_view, SamPlusOptions, SamPlusOutcome};
     pub use crate::sprt::{
         sky_threshold_test, sky_threshold_test_view, SprtOptions, SprtOutcome, ThresholdDecision,
     };
-    pub use crate::samplus::{sky_sam_plus, sky_sam_plus_view, SamPlusOptions, SamPlusOutcome};
 }

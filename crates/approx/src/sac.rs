@@ -23,9 +23,7 @@ pub fn sky_sac<M: PreferenceModel>(table: &Table, prefs: &M, target: ObjectId) -
 
 /// The independent-dominance estimate on a reduced instance.
 pub fn sky_sac_view(view: &CoinView) -> f64 {
-    (0..view.n_attackers())
-        .map(|i| 1.0 - view.attacker_prob(i))
-        .product()
+    (0..view.n_attackers()).map(|i| 1.0 - view.attacker_prob(i)).product()
 }
 
 /// Whether `Sac` is provably exact for this instance: no two attackers
@@ -83,11 +81,9 @@ mod tests {
     fn example1_wrong_nine_sixty_fourths() {
         // "if assuming object dominance independent, we will have an
         // incorrect result of sky(O), 9/64."
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
         let sac = sky_sac(&t, &p, ObjectId(0)).unwrap();
         assert!((sac - 9.0 / 64.0).abs() < 1e-12, "got {sac}");

@@ -97,43 +97,78 @@ pub fn sky_sam<M: PreferenceModel>(
 
 /// Estimate the skyline probability of a reduced instance.
 pub fn sky_sam_view(view: &CoinView, opts: SamOptions) -> Result<SamOutcome> {
+    sky_sam_view_with(view, opts, &mut SamScratch::default())
+}
+
+/// Reusable buffers for [`sky_sam_view_with`]. A default value works for
+/// any view; after the first call on the largest view, subsequent calls
+/// allocate nothing.
+#[derive(Debug, Default)]
+pub struct SamScratch {
+    stamp: Vec<u64>,
+    win: Vec<bool>,
+    probs: Vec<f64>,
+    order: Vec<usize>,
+    /// Monotone world counter: world `h` of a run stamps coins with
+    /// `base + h`, so stale stamps from earlier runs (all `≤ base`) can
+    /// never alias a current world and the stamp array needs no clearing.
+    generation: u64,
+}
+
+/// Allocation-reusing form of [`sky_sam_view`]: identical RNG draw sequence
+/// and hit accounting for a given seed, hence a bit-identical estimate.
+pub fn sky_sam_view_with(
+    view: &CoinView,
+    opts: SamOptions,
+    scratch: &mut SamScratch,
+) -> Result<SamOutcome> {
     if opts.samples == 0 {
         return Err(ApproxError::ZeroSamples);
     }
     let start = Instant::now();
     let n = view.n_attackers();
     let m_coins = view.n_coins();
-    let order: Vec<usize> = if opts.sort_checking {
-        view.checking_sequence()
+    if opts.sort_checking {
+        view.checking_sequence_into(&mut scratch.probs, &mut scratch.order);
     } else {
-        (0..n).collect()
-    };
+        scratch.order.clear();
+        scratch.order.extend(0..n);
+    }
+    let order = &scratch.order;
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
     // Generation-stamped world: a coin belongs to the current world iff its
-    // stamp equals the iteration counter; no per-world clearing needed.
-    let mut stamp: Vec<u64> = vec![0; m_coins];
-    let mut win: Vec<bool> = vec![false; m_coins];
+    // stamp equals base + h; entries surviving from previous runs are all
+    // ≤ base and therefore read as "not drawn yet".
+    if scratch.stamp.len() < m_coins {
+        scratch.stamp.resize(m_coins, 0);
+        scratch.win.resize(m_coins, false);
+    }
+    let base = scratch.generation;
+    scratch.generation += opts.samples;
+    let stamp = &mut scratch.stamp;
+    let win = &mut scratch.win;
 
     let mut hits = 0u64;
     let mut coin_draws = 0u64;
     let mut attacker_checks = 0u64;
 
     for h in 1..=opts.samples {
+        let world = base + h;
         if !opts.lazy {
             for k in 0..m_coins {
-                stamp[k] = h;
+                stamp[k] = world;
                 win[k] = rng.random::<f64>() < view.coin_prob(k as u32);
                 coin_draws += 1;
             }
         }
         let mut dominated = false;
-        'attackers: for &i in &order {
+        'attackers: for &i in order {
             attacker_checks += 1;
             for &k in view.attacker_coins(i) {
                 let ku = k as usize;
-                if stamp[ku] != h {
-                    stamp[ku] = h;
+                if stamp[ku] != world {
+                    stamp[ku] = world;
                     win[ku] = rng.random::<f64>() < view.coin_prob(k);
                     coin_draws += 1;
                 }
@@ -182,11 +217,8 @@ pub fn sky_sam_antithetic_view(view: &CoinView, opts: SamOptions) -> Result<SamO
     let start = Instant::now();
     let n = view.n_attackers();
     let m_coins = view.n_coins();
-    let order: Vec<usize> = if opts.sort_checking {
-        view.checking_sequence()
-    } else {
-        (0..n).collect()
-    };
+    let order: Vec<usize> =
+        if opts.sort_checking { view.checking_sequence() } else { (0..n).collect() };
     let pairs = opts.samples.div_ceil(2);
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
@@ -213,7 +245,7 @@ pub fn sky_sam_antithetic_view(view: &CoinView, opts: SamOptions) -> Result<SamO
                         coin_draws += 1;
                     }
                     let u = if mirrored { 1.0 - uniform[ku] } else { uniform[ku] };
-                    if !(u < view.coin_prob(k)) {
+                    if u >= view.coin_prob(k) {
                         continue 'attackers;
                     }
                 }
@@ -255,11 +287,9 @@ mod tests {
     use super::*;
 
     fn example1() -> (Table, TablePreferences) {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         (t, TablePreferences::with_default(PrefPair::half()))
     }
 
@@ -353,8 +383,8 @@ mod tests {
         let (t, p) = example1();
         let exact = 3.0 / 16.0;
         // Unbiasedness: converges like the plain estimator.
-        let big = sky_sam_antithetic(&t, &p, ObjectId(0), SamOptions::with_samples(60_000, 5))
-            .unwrap();
+        let big =
+            sky_sam_antithetic(&t, &p, ObjectId(0), SamOptions::with_samples(60_000, 5)).unwrap();
         assert!((big.estimate - exact).abs() < 0.006, "estimate {}", big.estimate);
         assert_eq!(big.samples, 60_000);
         // Variance: across many small runs, the antithetic estimator's
@@ -364,9 +394,8 @@ mod tests {
         let runs = 200u64;
         let (mut se_plain, mut se_anti) = (0.0, 0.0);
         for seed in 0..runs {
-            let a = sky_sam(&t, &p, ObjectId(0), SamOptions::with_samples(m, seed))
-                .unwrap()
-                .estimate;
+            let a =
+                sky_sam(&t, &p, ObjectId(0), SamOptions::with_samples(m, seed)).unwrap().estimate;
             let b = sky_sam_antithetic(&t, &p, ObjectId(0), SamOptions::with_samples(m, seed))
                 .unwrap()
                 .estimate;
@@ -406,6 +435,30 @@ mod tests {
         let opts = SamOptions::hoeffding(0.01, 0.01, 0).unwrap();
         assert_eq!(opts.samples, 26_492);
         assert!(SamOptions::hoeffding(0.0, 0.01, 0).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_views() {
+        // One scratch threaded through runs on different views (different
+        // coin counts) must reproduce the allocating form exactly.
+        let (t, p) = example1();
+        let views = [
+            CoinView::build(&t, &p, ObjectId(0)).unwrap(),
+            CoinView::from_parts(vec![0.3, 0.8, 0.5], vec![vec![0, 1], vec![2]]).unwrap(),
+            CoinView::from_parts(vec![0.9], vec![vec![0]]).unwrap(),
+        ];
+        let mut scratch = SamScratch::default();
+        for round in 0..3 {
+            for (v, view) in views.iter().enumerate() {
+                let opts = SamOptions::with_samples(400, 11 + v as u64);
+                let fresh = sky_sam_view(view, opts).unwrap();
+                let reused = sky_sam_view_with(view, opts, &mut scratch).unwrap();
+                assert_eq!(fresh.estimate.to_bits(), reused.estimate.to_bits());
+                assert_eq!(fresh.skyline_hits, reused.skyline_hits, "round {round} view {v}");
+                assert_eq!(fresh.coin_draws, reused.coin_draws);
+                assert_eq!(fresh.attacker_checks, reused.attacker_checks);
+            }
+        }
     }
 
     #[test]

@@ -165,11 +165,9 @@ mod tests {
     use super::*;
 
     fn example1() -> (Table, TablePreferences) {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         (t, TablePreferences::with_default(PrefPair::half()))
     }
 
@@ -201,8 +199,8 @@ mod tests {
     fn preprocessing_reduces_sampling_work() {
         let (t, p) = example1();
         let m = 5000;
-        let plain = crate::sampler::sky_sam(&t, &p, ObjectId(0), SamOptions::with_samples(m, 1))
-            .unwrap();
+        let plain =
+            crate::sampler::sky_sam(&t, &p, ObjectId(0), SamOptions::with_samples(m, 1)).unwrap();
         let plus = sky_sam_plus(
             &t,
             &p,
@@ -228,9 +226,8 @@ mod tests {
             sam: SamOptions::with_samples(777, 21),
         };
         let plus = sky_sam_plus(&t, &p, ObjectId(0), opts).unwrap();
-        let plain =
-            crate::sampler::sky_sam(&t, &p, ObjectId(0), SamOptions::with_samples(777, 21))
-                .unwrap();
+        let plain = crate::sampler::sky_sam(&t, &p, ObjectId(0), SamOptions::with_samples(777, 21))
+            .unwrap();
         assert_eq!(plus.estimate, plain.estimate);
         assert_eq!(plus.sam.coin_draws, plain.coin_draws);
         assert_eq!(plus.absorbed, 0);

@@ -92,12 +92,9 @@ pub fn sky_threshold_test_view(
     tau: f64,
     opts: SprtOptions,
 ) -> Result<SprtOutcome> {
-    for (name, v) in [
-        ("tau", tau),
-        ("margin", opts.margin),
-        ("alpha", opts.alpha),
-        ("beta", opts.beta),
-    ] {
+    for (name, v) in
+        [("tau", tau), ("margin", opts.margin), ("alpha", opts.alpha), ("beta", opts.beta)]
+    {
         if v.is_nan() || !(0.0..=1.0).contains(&v) {
             return Err(ApproxError::InvalidParameter { name: leak_name(name), value: v });
         }
@@ -186,11 +183,9 @@ mod tests {
     use crate::bounds::hoeffding_samples;
 
     fn example1() -> (Table, TablePreferences) {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         (t, TablePreferences::with_default(PrefPair::half()))
     }
 
@@ -198,11 +193,9 @@ mod tests {
     fn far_thresholds_resolve_fast() {
         // sky(O) = 3/16 = 0.1875.
         let (t, p) = example1();
-        let above = sky_threshold_test(&t, &p, ObjectId(0), 0.5, SprtOptions::default())
-            .unwrap();
+        let above = sky_threshold_test(&t, &p, ObjectId(0), 0.5, SprtOptions::default()).unwrap();
         assert_eq!(above.decision, ThresholdDecision::Below);
-        let below = sky_threshold_test(&t, &p, ObjectId(0), 0.05, SprtOptions::default())
-            .unwrap();
+        let below = sky_threshold_test(&t, &p, ObjectId(0), 0.05, SprtOptions::default()).unwrap();
         assert_eq!(below.decision, ThresholdDecision::AtLeast);
         // Both should use far fewer worlds than the fixed Hoeffding budget
         // for comparable errors.

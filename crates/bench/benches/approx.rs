@@ -32,9 +32,7 @@ fn sam_vs_samplus(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("KarpLuby", n), &v, |b, v| {
             b.iter(|| {
-                sky_karp_luby_view(v, KarpLubyOptions { samples: 3000, seed: 7 })
-                    .unwrap()
-                    .estimate
+                sky_karp_luby_view(v, KarpLubyOptions { samples: 3000, seed: 7 }).unwrap().estimate
             })
         });
     }
@@ -45,11 +43,9 @@ fn sam_design_choices(c: &mut Criterion) {
     let mut group = c.benchmark_group("approx/sam_design");
     group.sample_size(10);
     let v = view(10_000);
-    for (name, sort_checking, lazy) in [
-        ("sorted_lazy", true, true),
-        ("sorted_eager", true, false),
-        ("unsorted_lazy", false, true),
-    ] {
+    for (name, sort_checking, lazy) in
+        [("sorted_lazy", true, true), ("sorted_eager", true, false), ("unsorted_lazy", false, true)]
+    {
         let opts = SamOptions { sort_checking, lazy, ..SamOptions::with_samples(1000, 7) };
         group.bench_function(name, |b| b.iter(|| sky_sam_view(&v, opts).unwrap().estimate));
     }

@@ -69,11 +69,9 @@ fn conditioning_vs_det(c: &mut Criterion) {
     let prefs = SeededPreferences::complementary(42);
     // Dense regime: many attackers over few values — conditioning's home
     // turf, Det's nightmare.
-    let table = generate_uniform(UniformConfig {
-        values_per_dim: Some(3),
-        ..UniformConfig::new(20, 4, 1)
-    })
-    .unwrap();
+    let table =
+        generate_uniform(UniformConfig { values_per_dim: Some(3), ..UniformConfig::new(20, 4, 1) })
+            .unwrap();
     let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
     group.bench_function("Det_dense", |b| {
         b.iter(|| sky_det_view(&view, DetOptions::default()).unwrap().sky)

@@ -42,9 +42,7 @@ fn kernels_nursery(c: &mut Criterion) {
     let table = nursery_table().unwrap();
     group.bench_function("generate", |b| b.iter(|| nursery_table().unwrap().len()));
     let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
-    group.bench_function("absorption_12959_attackers", |b| {
-        b.iter(|| absorb(&view).kept.len())
-    });
+    group.bench_function("absorption_12959_attackers", |b| b.iter(|| absorb(&view).kept.len()));
     group.finish();
 }
 

@@ -155,11 +155,8 @@ pub fn ablation_kl(budget: &Budget) -> FigReport {
     let per_coin: &[f64] = &[1e-2, 1e-3, 1e-4, 1e-5];
     for &p in per_coin {
         let k = 20usize;
-        let view = CoinView::from_parts(
-            vec![p; k],
-            (0..k as u32).map(|i| vec![i]).collect(),
-        )
-        .expect("valid synthetic system");
+        let view = CoinView::from_parts(vec![p; k], (0..k as u32).map(|i| vec![i]).collect())
+            .expect("valid synthetic system");
         let exact_sky = (1.0 - p).powi(k as i32);
         let exact_union = 1.0 - exact_sky;
         let mut sam_rel = 0.0;
@@ -245,7 +242,8 @@ pub fn ablation_cond(budget: &Budget) -> FigReport {
                 c
             })
             .collect();
-        let probs: Vec<f64> = (0..m).map(|_| 0.05 + 0.9 * ((next() % 1000) as f64 / 1000.0)).collect();
+        let probs: Vec<f64> =
+            (0..m).map(|_| 0.05 + 0.9 * ((next() % 1000) as f64 / 1000.0)).collect();
         let view = presky_core::coins::CoinView::from_parts(probs, clauses)
             .expect("valid synthetic system");
         let det = sky_det_view(
@@ -294,11 +292,7 @@ pub fn ablation_threshold(budget: &Budget) -> FigReport {
     let mut rep = FigReport::new(
         "ablation_threshold",
         format!("Threshold-query escalation ladder, block-zipf 5-d, n = {n}, τ = {tau}"),
-        vec![
-            "rung".into(),
-            "objects resolved".into(),
-            "share".into(),
-        ],
+        vec!["rung".into(), "objects resolved".into(), "share".into()],
     );
     let prefs = workloads::block_prefs();
     let table = workloads::block_zipf(n, 5);

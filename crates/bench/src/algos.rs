@@ -219,9 +219,7 @@ mod tests {
         let prefs = workloads::prefs();
         let targets = pick_targets(table.len(), 4, 1);
         for &t in &targets {
-            let a = sky_det(&table, &prefs, t, DetOptions::with_max_attackers(64))
-                .unwrap()
-                .sky;
+            let a = sky_det(&table, &prefs, t, DetOptions::with_max_attackers(64)).unwrap().sky;
             let b = sky_det_plus(
                 &table,
                 &prefs,
@@ -248,17 +246,9 @@ mod tests {
         let table = workloads::block_zipf(200, 3);
         let prefs = workloads::prefs();
         let targets = pick_targets(table.len(), 5, 1);
-        let reference =
-            exact_reference(&table, &prefs, &targets, Duration::from_secs(30)).unwrap();
-        let m = sam_error(
-            &table,
-            &prefs,
-            &targets,
-            Duration::from_secs(30),
-            3000,
-            false,
-            &reference,
-        );
+        let reference = exact_reference(&table, &prefs, &targets, Duration::from_secs(30)).unwrap();
+        let m =
+            sam_error(&table, &prefs, &targets, Duration::from_secs(30), 3000, false, &reference);
         match m {
             Measurement::Ok { aux: Some(err), .. } => {
                 assert!(err < 0.03, "mean abs error {err}")

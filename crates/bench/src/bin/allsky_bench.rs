@@ -1,0 +1,160 @@
+//! `allsky_bench` — throughput of the batch all-objects query engine.
+//!
+//! ```text
+//! allsky_bench [--quick] [--out <path>]
+//! ```
+//!
+//! Measures objects/second of [`presky_query::prob_skyline::all_sky`]
+//! (shared [`BatchCoinContext`] indexes + per-worker scratch) against the
+//! legacy per-object driver (a [`sky_one`] loop: fresh `CoinView::build`
+//! hashing and fresh buffers per target) on the block-zipf workload under
+//! the default adaptive policy. Both sides run single-threaded so the
+//! ratio isolates per-object work, not parallelism; the legacy side is
+//! timed on a deterministic target subsample and extrapolated.
+//!
+//! Also spot-checks that the two drivers produce **bit-identical**
+//! `SkyResult`s, and writes a small JSON report (default
+//! `BENCH_allsky.json`).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use presky_bench::workloads;
+use presky_core::types::ObjectId;
+use presky_query::prob_skyline::{all_sky, sky_one, Algorithm, QueryOptions};
+
+use presky_approx::sampler::SamOptions;
+
+/// Mirror of the driver's per-object seed decorrelation, so the legacy
+/// loop feeds the sampler the exact options the batch driver would.
+fn reseed(algo: Algorithm, salt: u64) -> Algorithm {
+    let mix =
+        |s: SamOptions| SamOptions { seed: s.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15), ..s };
+    match algo {
+        Algorithm::Adaptive { exact_component_limit, sam } => {
+            Algorithm::Adaptive { exact_component_limit, sam: mix(sam) }
+        }
+        Algorithm::Sampling(s) => Algorithm::Sampling(mix(s)),
+        e @ Algorithm::Exact { .. } => e,
+    }
+}
+
+fn usage() {
+    eprintln!("usage: allsky_bench [--quick] [--out <path>]");
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut quick = false;
+    let mut out_path = std::path::PathBuf::from("BENCH_allsky.json");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p.into(),
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (n, d) = if quick { (2_000, 5) } else { (10_000, 5) };
+    let legacy_targets = if quick { 200 } else { 500 };
+    println!("# allsky_bench — block-zipf n={n} d={d}, default adaptive policy");
+
+    let table = workloads::block_zipf(n, d);
+    let prefs = workloads::block_prefs();
+    let algo = Algorithm::default();
+
+    // Batch driver: full table, single worker.
+    let start = Instant::now();
+    let batch = all_sky(&table, &prefs, QueryOptions { algorithm: algo, threads: Some(1) })
+        .expect("batch driver");
+    let batch_elapsed = start.elapsed().as_secs_f64();
+    let batch_rate = n as f64 / batch_elapsed;
+    println!("batch:  {n} objects in {batch_elapsed:.3}s  ({batch_rate:.0} objects/s)");
+
+    // Legacy driver: per-object CoinView::build + fresh buffers, on an
+    // evenly spread subsample (extrapolated to objects/second).
+    let stride = (n / legacy_targets).max(1);
+    let targets: Vec<usize> = (0..n).step_by(stride).take(legacy_targets).collect();
+    let start = Instant::now();
+    let mut legacy_results = Vec::with_capacity(targets.len());
+    for &i in &targets {
+        let r = sky_one(&table, &prefs, ObjectId::from(i), reseed(algo, i as u64))
+            .expect("legacy driver");
+        legacy_results.push(r);
+    }
+    let legacy_elapsed = start.elapsed().as_secs_f64();
+    let legacy_rate = targets.len() as f64 / legacy_elapsed;
+    println!(
+        "legacy: {} objects in {legacy_elapsed:.3}s  ({legacy_rate:.0} objects/s)",
+        targets.len()
+    );
+
+    let speedup = batch_rate / legacy_rate;
+    println!("speedup: {speedup:.2}x (target >= 5x)");
+
+    // Bit-identity spot check: the sampled legacy targets must match the
+    // batch results exactly.
+    let mut checked = 0usize;
+    for (&i, legacy) in targets.iter().zip(&legacy_results) {
+        let b = &batch[i];
+        assert_eq!(b.object, legacy.object);
+        assert_eq!(
+            b.sky.to_bits(),
+            legacy.sky.to_bits(),
+            "object {i}: batch {} vs legacy {}",
+            b.sky,
+            legacy.sky
+        );
+        assert_eq!(b.exact, legacy.exact, "object {i}");
+        checked += 1;
+    }
+    println!("bit-identity: {checked}/{checked} spot checks passed");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": \"block-zipf\",\n",
+            "  \"n\": {},\n",
+            "  \"d\": {},\n",
+            "  \"algorithm\": \"adaptive-default\",\n",
+            "  \"threads\": 1,\n",
+            "  \"quick\": {},\n",
+            "  \"batch\": {{ \"objects\": {}, \"elapsed_s\": {:.6}, \"objects_per_sec\": {:.1} }},\n",
+            "  \"legacy\": {{ \"objects\": {}, \"elapsed_s\": {:.6}, \"objects_per_sec\": {:.1} }},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"bit_identical_spot_checks\": {}\n",
+            "}}\n"
+        ),
+        n,
+        d,
+        quick,
+        n,
+        batch_elapsed,
+        batch_rate,
+        targets.len(),
+        legacy_elapsed,
+        legacy_rate,
+        speedup,
+        checked
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out_path.display());
+    ExitCode::SUCCESS
+}

@@ -60,8 +60,7 @@ pub fn fig9a(budget: &Budget) -> FigReport {
 
 /// Figure 9(b): exact algorithms, block-zipf 5-d, varying n.
 pub fn fig9b(budget: &Budget) -> FigReport {
-    let ns: &[usize] =
-        if budget.quick { &[10, 1_000] } else { &[10, 1_000, 10_000, 100_000] };
+    let ns: &[usize] = if budget.quick { &[10, 1_000] } else { &[10, 1_000, 10_000, 100_000] };
     let mut rep = FigReport::new(
         "fig9b",
         "Efficiency of exact algorithms, block-zipf 5-d, varying n",
@@ -128,8 +127,7 @@ pub fn fig10b(budget: &Budget) -> FigReport {
 /// Figure 11: absolute error of Sam/Sam+ vs sample size, block-zipf 5-d.
 pub fn fig11(budget: &Budget) -> FigReport {
     let n = if budget.quick { 2_000 } else { 100_000 };
-    let sizes: &[u64] =
-        if budget.quick { &[100, 1_000] } else { &[100, 1_000, 3_000, 10_000] };
+    let sizes: &[u64] = if budget.quick { &[100, 1_000] } else { &[100, 1_000, 3_000, 10_000] };
     let mut rep = FigReport::new(
         "fig11",
         format!("Absolute error vs sample size, block-zipf 5-d, n = {n}"),
@@ -138,7 +136,8 @@ pub fn fig11(budget: &Budget) -> FigReport {
     let prefs = workloads::block_prefs();
     let table = workloads::block_zipf(n, 5);
     let (targets, reference) =
-        match interesting_targets(&table, &prefs, budget.targets.min(10), 1e-3, budget.deadline, 7) {
+        match interesting_targets(&table, &prefs, budget.targets.min(10), 1e-3, budget.deadline, 7)
+        {
             Ok(r) => r,
             Err(e) => {
                 rep.note(format!("reference unavailable: {e}"));
@@ -146,13 +145,13 @@ pub fn fig11(budget: &Budget) -> FigReport {
             }
         };
     for &m in sizes {
-        let sam =
-            sam_error(&table, &prefs, &targets, budget.deadline, m, false, &reference);
-        let samp =
-            sam_error(&table, &prefs, &targets, budget.deadline, m, true, &reference);
+        let sam = sam_error(&table, &prefs, &targets, budget.deadline, m, false, &reference);
+        let samp = sam_error(&table, &prefs, &targets, budget.deadline, m, true, &reference);
         rep.push_row(vec![m.to_string(), err_cell(&sam), err_cell(&samp)]);
     }
-    rep.note("Paper shape: error falls with sample size; 3000 samples already satisfy the 0.01 bound.");
+    rep.note(
+        "Paper shape: error falls with sample size; 3000 samples already satisfy the 0.01 bound.",
+    );
     rep
 }
 
@@ -169,14 +168,25 @@ pub fn fig12a(budget: &Budget) -> FigReport {
     let prefs = workloads::block_prefs();
     for &n in ns {
         let table = workloads::block_zipf(n, 5);
-        match interesting_targets(&table, &prefs, budget.targets.min(12), 1e-3, budget.deadline, 9) {
+        match interesting_targets(&table, &prefs, budget.targets.min(12), 1e-3, budget.deadline, 9)
+        {
             Ok((targets, reference)) => {
                 let sam = sam_error(
-                    &table, &prefs, &targets, budget.deadline, PAPER_SAMPLES, false,
+                    &table,
+                    &prefs,
+                    &targets,
+                    budget.deadline,
+                    PAPER_SAMPLES,
+                    false,
                     &reference,
                 );
                 let samp = sam_error(
-                    &table, &prefs, &targets, budget.deadline, PAPER_SAMPLES, true,
+                    &table,
+                    &prefs,
+                    &targets,
+                    budget.deadline,
+                    PAPER_SAMPLES,
+                    true,
                     &reference,
                 );
                 rep.push_row(vec![n.to_string(), err_cell(&sam), err_cell(&samp)]);
@@ -200,14 +210,25 @@ pub fn fig12b(budget: &Budget) -> FigReport {
     let prefs = workloads::block_prefs();
     for &d in ds {
         let table = workloads::block_zipf(n, d);
-        match interesting_targets(&table, &prefs, budget.targets.min(12), 1e-3, budget.deadline, 11) {
+        match interesting_targets(&table, &prefs, budget.targets.min(12), 1e-3, budget.deadline, 11)
+        {
             Ok((targets, reference)) => {
                 let sam = sam_error(
-                    &table, &prefs, &targets, budget.deadline, PAPER_SAMPLES, false,
+                    &table,
+                    &prefs,
+                    &targets,
+                    budget.deadline,
+                    PAPER_SAMPLES,
+                    false,
                     &reference,
                 );
                 let samp = sam_error(
-                    &table, &prefs, &targets, budget.deadline, PAPER_SAMPLES, true,
+                    &table,
+                    &prefs,
+                    &targets,
+                    budget.deadline,
+                    PAPER_SAMPLES,
+                    true,
                     &reference,
                 );
                 rep.push_row(vec![d.to_string(), err_cell(&sam), err_cell(&samp)]);
@@ -339,14 +360,25 @@ pub fn fig15b(budget: &Budget) -> FigReport {
     let prefs = workloads::prefs();
     for d in [4usize, 8] {
         let table = workloads::nursery(d);
-        match interesting_targets(&table, &prefs, budget.targets.min(12), 1e-3, budget.deadline, 19) {
+        match interesting_targets(&table, &prefs, budget.targets.min(12), 1e-3, budget.deadline, 19)
+        {
             Ok((targets, reference)) => {
                 let sam = sam_error(
-                    &table, &prefs, &targets, budget.deadline, PAPER_SAMPLES, false,
+                    &table,
+                    &prefs,
+                    &targets,
+                    budget.deadline,
+                    PAPER_SAMPLES,
+                    false,
                     &reference,
                 );
                 let samp = sam_error(
-                    &table, &prefs, &targets, budget.deadline, PAPER_SAMPLES, true,
+                    &table,
+                    &prefs,
+                    &targets,
+                    budget.deadline,
+                    PAPER_SAMPLES,
+                    true,
                     &reference,
                 );
                 rep.push_row(vec![d.to_string(), err_cell(&sam), err_cell(&samp)]);
@@ -380,21 +412,24 @@ pub fn real_car(budget: &Budget) -> FigReport {
         let detp = detplus_time(&table, &prefs, &targets, budget.deadline);
         let sam = sam_time(&table, &prefs, &targets, budget.deadline, PAPER_SAMPLES, false);
         let samp = sam_time(&table, &prefs, &targets, budget.deadline, PAPER_SAMPLES, true);
-        let (etargets, reference) =
-            match interesting_targets(&table, &prefs, budget.targets.min(12), 1e-3, budget.deadline, 43)
-            {
-                Ok(r) => r,
-                Err(e) => {
-                    rep.push_row(vec![d.to_string(), format!("ref n/a ({e})")]);
-                    continue;
-                }
-            };
-        let serr = sam_error(
-            &table, &prefs, &etargets, budget.deadline, PAPER_SAMPLES, false, &reference,
-        );
-        let sperr = sam_error(
-            &table, &prefs, &etargets, budget.deadline, PAPER_SAMPLES, true, &reference,
-        );
+        let (etargets, reference) = match interesting_targets(
+            &table,
+            &prefs,
+            budget.targets.min(12),
+            1e-3,
+            budget.deadline,
+            43,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                rep.push_row(vec![d.to_string(), format!("ref n/a ({e})")]);
+                continue;
+            }
+        };
+        let serr =
+            sam_error(&table, &prefs, &etargets, budget.deadline, PAPER_SAMPLES, false, &reference);
+        let sperr =
+            sam_error(&table, &prefs, &etargets, budget.deadline, PAPER_SAMPLES, true, &reference);
         rep.push_row(vec![
             d.to_string(),
             detp.cell(),
@@ -439,8 +474,7 @@ pub fn fig6a(budget: &Budget) -> FigReport {
         let mut count = 0usize;
         for &t in &targets {
             let view = CoinView::build(&table, &prefs, t).expect("valid instance");
-            let det =
-                DetOptions {
+            let det = DetOptions {
                 max_attackers: 64,
                 deadline: Some(budget.deadline),
                 ..DetOptions::default()
@@ -477,7 +511,9 @@ pub fn fig6b(budget: &Budget) -> FigReport {
     let ref_samples: u64 = if budget.quick { 50_000 } else { 300_000 };
     let mut rep = FigReport::new(
         "fig6b",
-        format!("Tentative solution A2 on uniform 5-d, n = {n}: |error| vs #computed probabilities"),
+        format!(
+            "Tentative solution A2 on uniform 5-d, n = {n}: |error| vs #computed probabilities"
+        ),
         vec!["joints".into(), "A2 |err|".into(), "A2 estimate (mean)".into()],
     );
     let prefs = workloads::prefs();
@@ -539,9 +575,10 @@ mod tests {
         let rep = fig6b(&tiny());
         // At least one truncated estimate should leave [0, 1] — that is the
         // phenomenon the figure exists to show.
-        let any_wild = rep.rows.iter().any(|r| {
-            r[2].parse::<f64>().map(|v| !(0.0..=1.0).contains(&v)).unwrap_or(false)
-        });
+        let any_wild = rep
+            .rows
+            .iter()
+            .any(|r| r[2].parse::<f64>().map(|v| !(0.0..=1.0).contains(&v)).unwrap_or(false));
         assert!(any_wild, "rows: {:?}", rep.rows);
     }
 }

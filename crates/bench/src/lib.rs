@@ -30,9 +30,29 @@ use harness::{Budget, FigReport};
 /// Every artefact the harness can regenerate, in paper order.
 pub fn artefact_ids() -> Vec<&'static str> {
     vec![
-        "table1", "table2", "fig6a", "fig6b", "fig9a", "fig9b", "fig10a", "fig10b", "fig11",
-        "fig12a", "fig12b", "fig13a", "fig13b", "fig14a", "fig14b", "fig15a", "fig15b", "real_car",
-        "ablation_prep", "ablation_sam", "ablation_kl", "ablation_cond", "ablation_threshold",
+        "table1",
+        "table2",
+        "fig6a",
+        "fig6b",
+        "fig9a",
+        "fig9b",
+        "fig10a",
+        "fig10b",
+        "fig11",
+        "fig12a",
+        "fig12b",
+        "fig13a",
+        "fig13b",
+        "fig14a",
+        "fig14b",
+        "fig15a",
+        "fig15b",
+        "real_car",
+        "ablation_prep",
+        "ablation_sam",
+        "ablation_kl",
+        "ablation_cond",
+        "ablation_threshold",
     ]
 }
 

@@ -82,11 +82,8 @@ mod tests {
 
     #[test]
     fn table2_lists_the_papers_four() {
-        let t2: Vec<&str> = algorithms()
-            .into_iter()
-            .filter(|a| a.in_table2)
-            .map(|a| a.abbreviation)
-            .collect();
+        let t2: Vec<&str> =
+            algorithms().into_iter().filter(|a| a.in_table2).map(|a| a.abbreviation).collect();
         assert_eq!(t2, vec!["Det", "Det+", "Sam", "Sam+"]);
     }
 

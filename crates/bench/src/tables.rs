@@ -34,7 +34,12 @@ pub fn table2() -> FigReport {
     let mut rep = FigReport::new(
         "table2",
         "Algorithms and their abbreviations",
-        vec!["Abbreviation".into(), "Algorithm".into(), "Module".into(), "In paper's Table 2".into()],
+        vec![
+            "Abbreviation".into(),
+            "Algorithm".into(),
+            "Module".into(),
+            "In paper's Table 2".into(),
+        ],
     );
     for a in algorithms() {
         rep.push_row(vec![

@@ -61,9 +61,9 @@ pub const SYNTHETIC_SOURCE: ObjectId = ObjectId(u32::MAX);
 /// The reduced instance on which every `sky(O)` algorithm operates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoinView {
-    coin_prob: Vec<f64>,
-    coin_key: Vec<Option<CoinKey>>,
-    attackers: Vec<Attacker>,
+    pub(crate) coin_prob: Vec<f64>,
+    pub(crate) coin_key: Vec<Option<CoinKey>>,
+    pub(crate) attackers: Vec<Attacker>,
 }
 
 impl CoinView {
@@ -72,11 +72,7 @@ impl CoinView {
     /// Validates the target index and the no-duplicates assumption. Coins
     /// are interned per distinct `(dim, value)` so that attackers sharing a
     /// value share a coin — the source of event dependence.
-    pub fn build<M: PreferenceModel>(
-        table: &Table,
-        prefs: &M,
-        target: ObjectId,
-    ) -> Result<Self> {
+    pub fn build<M: PreferenceModel>(table: &Table, prefs: &M, target: ObjectId) -> Result<Self> {
         table.validate_for_target(target)?;
         let d = table.dimensionality();
         let mut interner: HashMap<CoinKey, u32> = HashMap::new();
@@ -109,11 +105,10 @@ impl CoinView {
             coins.sort_unstable();
             attackers.push(Attacker { coins, source: obj });
         }
-        for (k, &p) in coin_prob.iter().enumerate() {
+        for &p in &coin_prob {
             check_probability(p, "coin probability").map_err(|_| {
                 CoreError::InvalidProbability { value: p, context: "preference model output" }
             })?;
-            let _ = k;
         }
         Ok(Self { coin_prob, coin_key, attackers })
     }
@@ -196,23 +191,29 @@ impl CoinView {
     /// `Pr(e_i)` — the probability attacker `i` dominates the target
     /// (Equation 2: the product of its coin probabilities).
     pub fn attacker_prob(&self, i: usize) -> f64 {
-        self.attackers[i]
-            .coins
-            .iter()
-            .map(|&k| self.coin_prob(k))
-            .product()
+        self.attackers[i].coins.iter().map(|&k| self.coin_prob(k)).product()
     }
 
     /// Attacker indices sorted by descending `Pr(e_i)` — the checking
     /// sequence of Algorithm 2 ("the object with highest probability of
     /// dominating O is always checked first").
     pub fn checking_sequence(&self) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.n_attackers()).collect();
-        let probs: Vec<f64> = order.iter().map(|&i| self.attacker_prob(i)).collect();
-        order.sort_by(|&a, &b| {
-            probs[b].partial_cmp(&probs[a]).unwrap_or(std::cmp::Ordering::Equal)
-        });
+        let mut order = Vec::new();
+        self.checking_sequence_into(&mut Vec::new(), &mut order);
         order
+    }
+
+    /// Allocation-reusing form of [`checking_sequence`](Self::checking_sequence):
+    /// writes the order into `order`, using `probs` as scratch.
+    pub fn checking_sequence_into(&self, probs: &mut Vec<f64>, order: &mut Vec<usize>) {
+        order.clear();
+        order.extend(0..self.n_attackers());
+        probs.clear();
+        probs.extend((0..self.n_attackers()).map(|i| self.attacker_prob(i)));
+        // Stable sort by descending dominance probability; `total_cmp` is
+        // total (no NaN panic path) and agrees with `partial_cmp` on these
+        // products of [0, 1] coins.
+        order.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]));
     }
 
     /// Restrict the view to a subset of attackers, dropping coins that no
@@ -248,23 +249,59 @@ impl CoinView {
         CoinView { coin_prob, coin_key, attackers }
     }
 
+    /// An empty view (zero coins, zero attackers, `sky = 1`), intended as a
+    /// reusable output buffer for [`restrict_into`](Self::restrict_into) and
+    /// the batch assembly path.
+    pub fn empty() -> CoinView {
+        CoinView { coin_prob: Vec::new(), coin_key: Vec::new(), attackers: Vec::new() }
+    }
+
+    /// Allocation-reusing form of [`restrict`](Self::restrict): writes the
+    /// sub-view into `out`, keeping `out`'s buffers (including each
+    /// attacker's coin list) warm across calls. Produces results
+    /// bit-identical to `restrict` — coins are compacted in the same
+    /// first-appearance order.
+    pub fn restrict_into(&self, attacker_ids: &[usize], remap: &mut CoinRemap, out: &mut CoinView) {
+        let epoch = remap.begin(self.n_coins());
+        out.coin_prob.clear();
+        out.coin_key.clear();
+        out.attackers.truncate(attacker_ids.len());
+        while out.attackers.len() < attacker_ids.len() {
+            out.attackers.push(Attacker { coins: Vec::new(), source: SYNTHETIC_SOURCE });
+        }
+        for (slot, &i) in attacker_ids.iter().enumerate() {
+            let a = &self.attackers[i];
+            let dst = &mut out.attackers[slot];
+            dst.coins.clear();
+            for &k in &a.coins {
+                let ku = k as usize;
+                if remap.stamp[ku] != epoch {
+                    remap.stamp[ku] = epoch;
+                    remap.map[ku] = out.coin_prob.len() as u32;
+                    out.coin_prob.push(self.coin_prob[ku]);
+                    out.coin_key.push(self.coin_key[ku]);
+                }
+                dst.coins.push(remap.map[ku]);
+            }
+            dst.coins.sort_unstable();
+            dst.source = a.source;
+        }
+    }
+
     /// Drop attackers containing a zero-probability coin: they can never
     /// dominate and contribute nothing to any joint probability. Returns
     /// how many were removed.
     pub fn prune_impossible(&mut self) -> usize {
         let before = self.attackers.len();
         let coin_prob = &self.coin_prob;
-        self.attackers
-            .retain(|a| a.coins.iter().all(|&k| coin_prob[k as usize] > 0.0));
+        self.attackers.retain(|a| a.coins.iter().all(|&k| coin_prob[k as usize] > 0.0));
         before - self.attackers.len()
     }
 
     /// Whether some attacker dominates with certainty (all coins have
     /// probability one), forcing `sky = 0`.
     pub fn has_certain_attacker(&self) -> bool {
-        self.attackers
-            .iter()
-            .any(|a| a.coins.iter().all(|&k| self.coin_prob[k as usize] >= 1.0))
+        self.attackers.iter().any(|a| a.coins.iter().all(|&k| self.coin_prob[k as usize] >= 1.0))
     }
 
     /// For each coin, the list of attackers referencing it (posting lists),
@@ -277,6 +314,32 @@ impl CoinView {
             }
         }
         postings
+    }
+}
+
+/// Reusable stamped remap table for [`CoinView::restrict_into`]: old coin id
+/// → compacted id, valid for the current epoch only, so clearing between
+/// calls is O(1).
+#[derive(Debug, Clone, Default)]
+pub struct CoinRemap {
+    map: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl CoinRemap {
+    /// Start a fresh remap over `n_coins` coins; returns the epoch stamp.
+    fn begin(&mut self, n_coins: usize) -> u32 {
+        if self.map.len() < n_coins {
+            self.map.resize(n_coins, 0);
+            self.stamp.resize(n_coins, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
     }
 }
 
@@ -378,6 +441,34 @@ mod tests {
     }
 
     #[test]
+    fn restrict_into_matches_restrict_bit_for_bit() {
+        let (t, p) = example1();
+        let v = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        let mut remap = CoinRemap::default();
+        let mut out = CoinView::empty();
+        for keep in [vec![1usize, 2], vec![0, 3], vec![2], vec![0, 1, 2, 3]] {
+            let fresh = v.restrict(&keep);
+            v.restrict_into(&keep, &mut remap, &mut out);
+            assert_eq!(fresh, out, "subset {keep:?}");
+        }
+        // Shrinking reuse: a smaller restriction after a larger one must not
+        // leak stale attackers or coins.
+        v.restrict_into(&[0, 1, 2, 3], &mut remap, &mut out);
+        v.restrict_into(&[2], &mut remap, &mut out);
+        assert_eq!(v.restrict(&[2]), out);
+    }
+
+    #[test]
+    fn checking_sequence_into_matches_allocating_form() {
+        let (t, p) = example1();
+        let v = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        let mut probs = Vec::new();
+        let mut order = Vec::new();
+        v.checking_sequence_into(&mut probs, &mut order);
+        assert_eq!(order, v.checking_sequence());
+    }
+
+    #[test]
     fn prune_impossible_drops_zero_coin_attackers() {
         let mut v = CoinView::from_parts(vec![0.0, 0.5], vec![vec![0, 1], vec![1]]).unwrap();
         assert_eq!(v.prune_impossible(), 1);
@@ -395,8 +486,7 @@ mod tests {
 
     #[test]
     fn postings_invert_attacker_lists() {
-        let v =
-            CoinView::from_parts(vec![0.5; 3], vec![vec![0, 1], vec![1, 2], vec![2]]).unwrap();
+        let v = CoinView::from_parts(vec![0.5; 3], vec![vec![0, 1], vec![1, 2], vec![2]]).unwrap();
         let p = v.coin_postings();
         assert_eq!(p[0], vec![0]);
         assert_eq!(p[1], vec![0, 1]);

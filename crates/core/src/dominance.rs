@@ -27,12 +27,7 @@ pub fn differing_dims(table: &Table, a: ObjectId, b: ObjectId) -> Vec<DimId> {
 ///
 /// Returns `0` when `q` and `o` are the same row or identical rows — an
 /// object never dominates itself.
-pub fn pr_dominates<M: PreferenceModel>(
-    table: &Table,
-    prefs: &M,
-    q: ObjectId,
-    o: ObjectId,
-) -> f64 {
+pub fn pr_dominates<M: PreferenceModel>(table: &Table, prefs: &M, q: ObjectId, o: ObjectId) -> f64 {
     if q == o {
         return 0.0;
     }
@@ -113,10 +108,7 @@ mod tests {
     fn differing_dims_reports_mismatches() {
         let (t, _) = observation();
         assert_eq!(differing_dims(&t, ObjectId(1), ObjectId(0)), vec![DimId(1)]);
-        assert_eq!(
-            differing_dims(&t, ObjectId(2), ObjectId(0)),
-            vec![DimId(0), DimId(1)]
-        );
+        assert_eq!(differing_dims(&t, ObjectId(2), ObjectId(0)), vec![DimId(0), DimId(1)]);
         assert!(differing_dims(&t, ObjectId(0), ObjectId(0)).is_empty());
     }
 

@@ -101,7 +101,10 @@ impl fmt::Display for CoreError {
                  are equally preferred with certainty"
             ),
             CoreError::DuplicateObject { first, second } => {
-                write!(f, "objects {first} and {second} are identical; the model assumes no duplicates")
+                write!(
+                    f,
+                    "objects {first} and {second} are identical; the model assumes no duplicates"
+                )
             }
             CoreError::TargetOutOfRange { target, rows } => {
                 write!(f, "target object {target} out of range for table with {rows} rows")
@@ -111,7 +114,10 @@ impl fmt::Display for CoreError {
                 write!(f, "value {label:?} not present in the dictionary of {dim}")
             }
             CoreError::NoDictionary { dim } => {
-                write!(f, "{dim} has no dictionary; build the table with labelled values to use labels")
+                write!(
+                    f,
+                    "{dim} has no dictionary; build the table with labelled values to use labels"
+                )
             }
         }
     }

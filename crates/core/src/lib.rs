@@ -26,6 +26,8 @@
 //! * [`dominance`] — `Pr(Qi ≺ O)` (Equation 2) and realized-world dominance.
 //! * [`world`] — possible worlds: sampling and exhaustive enumeration.
 //! * [`coins`] — the reduced kernel described above.
+//! * [`batch`] — shared per-table indexes assembling many coin views with
+//!   no per-target hashing (the all-objects query path).
 //!
 //! ## Quick example
 //!
@@ -51,6 +53,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod coins;
 pub mod dominance;
 pub mod error;
@@ -62,13 +65,14 @@ pub mod world;
 
 /// Convenient glob-import of the commonly used names.
 pub mod prelude {
-    pub use crate::coins::{Attacker, CoinKey, CoinView, SYNTHETIC_SOURCE};
+    pub use crate::batch::{BatchCoinContext, BatchScratch};
+    pub use crate::coins::{Attacker, CoinKey, CoinRemap, CoinView, SYNTHETIC_SOURCE};
     pub use crate::dominance::{differing_dims, dominates_in_world, pr_dominates};
     pub use crate::error::{CoreError, Result};
     pub use crate::preference::{
-        generate_table_preferences, Ballot, BradleyTerry, DeterministicOrder,
-        ElicitationBuilder, PairLaw, PrefDistribution, PrefPair, PreferenceModel,
-        SeededPreferences, TablePreferences, TablePreferencesBuilder, VoteTally,
+        generate_table_preferences, Ballot, BradleyTerry, DeterministicOrder, ElicitationBuilder,
+        PairLaw, PrefDistribution, PrefPair, PreferenceModel, SeededPreferences, TablePreferences,
+        TablePreferencesBuilder, VoteTally,
     };
     pub use crate::schema::{Dictionary, Dimension, Schema};
     pub use crate::table::{Table, TableBuilder};

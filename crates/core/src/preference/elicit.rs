@@ -53,10 +53,7 @@ impl VoteTally {
         if denom == 0.0 {
             return PrefPair::new(0.0, 0.0);
         }
-        PrefPair::new(
-            (self.wins_a as f64 + alpha) / denom,
-            (self.wins_b as f64 + alpha) / denom,
-        )
+        PrefPair::new((self.wins_a as f64 + alpha) / denom, (self.wins_b as f64 + alpha) / denom)
     }
 }
 
@@ -120,11 +117,8 @@ impl ElicitationBuilder {
         }
         let (key, canonical) = Self::key(dim, a, b);
         let entry = self.votes.entry(key).or_default();
-        let (wa, wb) = if canonical {
-            (tally.wins_a, tally.wins_b)
-        } else {
-            (tally.wins_b, tally.wins_a)
-        };
+        let (wa, wb) =
+            if canonical { (tally.wins_a, tally.wins_b) } else { (tally.wins_b, tally.wins_a) };
         entry.wins_a += wa;
         entry.wins_b += wb;
         entry.abstain += tally.abstain;
@@ -197,8 +191,7 @@ impl BradleyTerry {
             *wins.get_mut(&a.0).expect("interned") += t.wins_a as f64 + PSEUDO;
             *wins.get_mut(&b.0).expect("interned") += t.wins_b as f64 + PSEUDO;
             let key = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
-            *matches.entry(key).or_insert(0.0) +=
-                (t.wins_a + t.wins_b) as f64 + 2.0 * PSEUDO;
+            *matches.entry(key).or_insert(0.0) += (t.wins_a + t.wins_b) as f64 + 2.0 * PSEUDO;
             total_ballots += t.total();
             total_abstain += t.abstain;
         }
@@ -228,11 +221,8 @@ impl BradleyTerry {
             w = next;
         }
 
-        let abstain_rate = if total_ballots > 0 {
-            total_abstain as f64 / total_ballots as f64
-        } else {
-            0.0
-        };
+        let abstain_rate =
+            if total_ballots > 0 { total_abstain as f64 / total_ballots as f64 } else { 0.0 };
         Ok(Self { strengths: w, abstain_rate })
     }
 
@@ -255,10 +245,7 @@ impl BradleyTerry {
         let wa = self.strength(a).unwrap_or(1.0);
         let wb = self.strength(b).unwrap_or(1.0);
         let comparable = 1.0 - self.abstain_rate;
-        PrefPair {
-            forward: comparable * wa / (wa + wb),
-            backward: comparable * wb / (wa + wb),
-        }
+        PrefPair { forward: comparable * wa / (wa + wb), backward: comparable * wb / (wa + wb) }
     }
 
     /// Materialise predictions for every pair of the given values on
@@ -310,9 +297,7 @@ mod tests {
     fn self_ballots_rejected() {
         let mut b = ElicitationBuilder::new(1.0);
         assert!(b.record(DimId(0), ValueId(1), ValueId(1), Ballot::PreferFirst).is_err());
-        assert!(b
-            .record_tally(DimId(0), ValueId(1), ValueId(1), VoteTally::default())
-            .is_err());
+        assert!(b.record_tally(DimId(0), ValueId(1), ValueId(1), VoteTally::default()).is_err());
     }
 
     #[test]
@@ -360,10 +345,8 @@ mod tests {
 
     #[test]
     fn bradley_terry_abstentions_become_incomparability() {
-        let tallies = vec![(
-            (ValueId(0), ValueId(1)),
-            VoteTally { wins_a: 30, wins_b: 30, abstain: 40 },
-        )];
+        let tallies =
+            vec![((ValueId(0), ValueId(1)), VoteTally { wins_a: 30, wins_b: 30, abstain: 40 })];
         let bt = BradleyTerry::fit(&tallies, 50).unwrap();
         assert!((bt.abstain_rate() - 0.4).abs() < 1e-12);
         let p = bt.predict(ValueId(0), ValueId(1));
@@ -381,10 +364,8 @@ mod tests {
         let bt = BradleyTerry::fit(&tallies, 80).unwrap();
         let values = [ValueId(0), ValueId(1), ValueId(2)];
         let prefs = bt.to_preferences(DimId(3), &values).unwrap();
-        let checks: Vec<_> = values
-            .iter()
-            .flat_map(|&a| values.iter().map(move |&b| (DimId(3), a, b)))
-            .collect();
+        let checks: Vec<_> =
+            values.iter().flat_map(|&a| values.iter().map(move |&b| (DimId(3), a, b))).collect();
         crate::preference::validate_model_on_pairs(&prefs, &checks).unwrap();
         // Order respected end to end.
         assert!(prefs.pr_strict(DimId(3), ValueId(0), ValueId(2)) > 0.5);
@@ -392,11 +373,7 @@ mod tests {
 
     #[test]
     fn bradley_terry_rejects_self_pairs_and_handles_empty() {
-        assert!(BradleyTerry::fit(
-            &[((ValueId(1), ValueId(1)), VoteTally::default())],
-            10
-        )
-        .is_err());
+        assert!(BradleyTerry::fit(&[((ValueId(1), ValueId(1)), VoteTally::default())], 10).is_err());
         let bt = BradleyTerry::fit(&[], 10).unwrap();
         assert_eq!(bt.abstain_rate(), 0.0);
         let p = bt.predict(ValueId(0), ValueId(1));

@@ -125,9 +125,7 @@ mod tests {
     fn unanimous_over_half_is_rejected() {
         let t = table();
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(
-            generate_table_preferences(&t, PrefDistribution::Unanimous(0.6), &mut rng).is_err()
-        );
+        assert!(generate_table_preferences(&t, PrefDistribution::Unanimous(0.6), &mut rng).is_err());
     }
 
     #[test]

@@ -123,10 +123,7 @@ pub trait PreferenceModel {
 
     /// Both directions of the pair `(a, b)` at once.
     fn pair(&self, dim: DimId, a: ValueId, b: ValueId) -> PrefPair {
-        PrefPair {
-            forward: self.pr_strict(dim, a, b),
-            backward: self.pr_strict(dim, b, a),
-        }
+        PrefPair { forward: self.pr_strict(dim, a, b), backward: self.pr_strict(dim, b, a) }
     }
 }
 

@@ -210,10 +210,9 @@ mod tests {
     fn complementary_values_look_uniform() {
         let m = SeededPreferences::complementary(99);
         let n = 4000;
-        let mean: f64 = (0..n)
-            .map(|i| m.pr_strict(DimId(0), ValueId(2 * i), ValueId(2 * i + 1)))
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 =
+            (0..n).map(|i| m.pr_strict(DimId(0), ValueId(2 * i), ValueId(2 * i + 1))).sum::<f64>()
+                / n as f64;
         assert!((mean - 0.5).abs() < 0.03, "mean {mean} far from 0.5");
     }
 

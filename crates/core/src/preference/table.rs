@@ -257,9 +257,8 @@ mod tests {
 
     #[test]
     fn builder_propagates_validation_errors() {
-        let r = TablePreferencesBuilder::new()
-            .pair(DimId(0), ValueId(0), ValueId(1), 0.8, 0.8)
-            .build();
+        let r =
+            TablePreferencesBuilder::new().pair(DimId(0), ValueId(0), ValueId(1), 0.8, 0.8).build();
         assert!(matches!(r, Err(CoreError::PairMassExceedsOne { .. })));
     }
 

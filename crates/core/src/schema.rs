@@ -100,9 +100,7 @@ impl Schema {
             return Err(CoreError::EmptySchema);
         }
         Ok(Self {
-            dims: (0..d)
-                .map(|j| Dimension { name: format!("dim{j}"), dictionary: None })
-                .collect(),
+            dims: (0..d).map(|j| Dimension { name: format!("dim{j}"), dictionary: None }).collect(),
         })
     }
 
@@ -160,23 +158,16 @@ impl Schema {
 
     /// Resolve `label` on `dim` without interning.
     pub fn resolve(&self, dim: DimId, label: &str) -> Result<ValueId> {
-        let dict = self
-            .dimension(dim)
-            .dictionary
-            .as_ref()
-            .ok_or(CoreError::NoDictionary { dim })?;
-        dict.get(label)
-            .ok_or_else(|| CoreError::UnknownValue { dim, label: label.to_owned() })
+        let dict =
+            self.dimension(dim).dictionary.as_ref().ok_or(CoreError::NoDictionary { dim })?;
+        dict.get(label).ok_or_else(|| CoreError::UnknownValue { dim, label: label.to_owned() })
     }
 
     /// The label of `value` on `dim`, falling back to the numeric code for
     /// raw dimensions.
     pub fn display_value(&self, dim: DimId, value: ValueId) -> String {
         match &self.dimension(dim).dictionary {
-            Some(d) => d
-                .label(value)
-                .map(str::to_owned)
-                .unwrap_or_else(|| value.to_string()),
+            Some(d) => d.label(value).map(str::to_owned).unwrap_or_else(|| value.to_string()),
             None => value.to_string(),
         }
     }
@@ -184,8 +175,7 @@ impl Schema {
     /// Project the schema onto a subset of dimensions (used e.g. to derive
     /// the 4-dimensional Nursery variant of Figure 15 from the 8-d one).
     pub fn project(&self, dims: &[DimId]) -> Result<Self> {
-        let selected: Vec<Dimension> =
-            dims.iter().map(|&j| self.dimension(j).clone()).collect();
+        let selected: Vec<Dimension> = dims.iter().map(|&j| self.dimension(j).clone()).collect();
         Self::from_dimensions(selected)
     }
 }
@@ -227,10 +217,7 @@ mod tests {
         let mut s = Schema::named(["view", "heating"]).unwrap();
         let beach = s.intern(DimId(0), "beach").unwrap();
         assert_eq!(s.resolve(DimId(0), "beach").unwrap(), beach);
-        assert!(matches!(
-            s.resolve(DimId(0), "city"),
-            Err(CoreError::UnknownValue { .. })
-        ));
+        assert!(matches!(s.resolve(DimId(0), "city"), Err(CoreError::UnknownValue { .. })));
         assert_eq!(s.display_value(DimId(0), beach), "beach");
     }
 

@@ -70,9 +70,7 @@ impl Table {
 
     /// The full row of `obj` as a freshly allocated vector.
     pub fn row(&self, obj: ObjectId) -> Vec<ValueId> {
-        (0..self.dimensionality())
-            .map(|j| self.columns[j][obj.index()])
-            .collect()
+        (0..self.dimensionality()).map(|j| self.columns[j][obj.index()]).collect()
     }
 
     /// Iterate over all object ids.
@@ -156,8 +154,7 @@ impl Table {
     /// keeping generation deterministic).
     pub fn head(&self, k: usize) -> Table {
         let k = k.min(self.rows);
-        let columns: Vec<Vec<ValueId>> =
-            self.columns.iter().map(|c| c[..k].to_vec()).collect();
+        let columns: Vec<Vec<ValueId>> = self.columns.iter().map(|c| c[..k].to_vec()).collect();
         Table { schema: self.schema.clone(), columns, rows: k }
     }
 

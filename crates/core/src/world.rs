@@ -113,12 +113,7 @@ pub fn relevant_pairs_for_target(table: &Table, target: ObjectId) -> Vec<PairId>
     let mut pairs = Vec::new();
     for j in (0..table.dimensionality()).map(DimId::from) {
         let ov = table.value(target, j);
-        let mut seen: Vec<ValueId> = table
-            .column(j)
-            .iter()
-            .copied()
-            .filter(|&v| v != ov)
-            .collect();
+        let mut seen: Vec<ValueId> = table.column(j).iter().copied().filter(|&v| v != ov).collect();
         seen.sort_unstable();
         seen.dedup();
         for v in seen {
@@ -141,10 +136,8 @@ pub fn relevant_pairs_all(table: &Table) -> Vec<PairId> {
     for a in 0..n {
         for b in (a + 1)..n {
             for j in (0..table.dimensionality()).map(DimId::from) {
-                let (va, vb) = (
-                    table.value(ObjectId::from(a), j),
-                    table.value(ObjectId::from(b), j),
-                );
+                let (va, vb) =
+                    (table.value(ObjectId::from(a), j), table.value(ObjectId::from(b), j));
                 if va != vb {
                     pairs.push(PairId::new(j, va, vb));
                 }
@@ -157,11 +150,7 @@ pub fn relevant_pairs_all(table: &Table) -> Vec<PairId> {
 }
 
 /// Sample a full world over `pairs` by independent draws.
-pub fn sample_world<M: PreferenceModel, R: Rng>(
-    pairs: &[PairId],
-    prefs: &M,
-    rng: &mut R,
-) -> World {
+pub fn sample_world<M: PreferenceModel, R: Rng>(pairs: &[PairId], prefs: &M, rng: &mut R) -> World {
     let mut w = World::new();
     for &pair in pairs {
         let f = prefs.pr_strict(pair.dim, pair.lo, pair.hi);
@@ -213,11 +202,7 @@ fn recurse<M, F>(
     let f = prefs.pr_strict(pair.dim, pair.lo, pair.hi);
     let b = prefs.pr_strict(pair.dim, pair.hi, pair.lo);
     let inc = (1.0 - f - b).max(0.0);
-    for (rel, p) in [
-        (Relation::LoWins, f),
-        (Relation::HiWins, b),
-        (Relation::Incomparable, inc),
-    ] {
+    for (rel, p) in [(Relation::LoWins, f), (Relation::HiWins, b), (Relation::Incomparable, inc)] {
         if p > 0.0 {
             world.set(pair, rel);
             recurse(pairs, prefs, idx + 1, prob * p, world, visit);

@@ -82,8 +82,7 @@ pub fn generate_block_zipf(config: BlockZipfConfig) -> Result<Table> {
         let mut produced = 0usize;
         let mut tries = 0usize;
         while produced < in_this_block {
-            let row: Vec<u32> =
-                (0..d).map(|_| offset + zipf.sample(&mut rng) as u32).collect();
+            let row: Vec<u32> = (0..d).map(|_| offset + zipf.sample(&mut rng) as u32).collect();
             tries += 1;
             if seen.insert(row.clone()) {
                 rows.push(row);
@@ -91,8 +90,8 @@ pub fn generate_block_zipf(config: BlockZipfConfig) -> Result<Table> {
             } else if tries > 200 * block_size {
                 // Zipf mass concentrates; fall back to the first unused
                 // lexicographic combination to guarantee termination.
-                let fallback = first_unused(&seen, d, values_per_block, offset)
-                    .expect("space checked above");
+                let fallback =
+                    first_unused(&seen, d, values_per_block, offset).expect("space checked above");
                 seen.insert(fallback.clone());
                 rows.push(fallback);
                 produced += 1;
@@ -154,8 +153,7 @@ mod tests {
             for j in 0..3 {
                 let v = t.value(obj, DimId::from(j)).0 as usize;
                 assert!(
-                    (block * cfg.values_per_block..(block + 1) * cfg.values_per_block)
-                        .contains(&v),
+                    (block * cfg.values_per_block..(block + 1) * cfg.values_per_block).contains(&v),
                     "object {obj} dim {j} value {v} outside its block range"
                 );
             }

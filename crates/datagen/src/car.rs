@@ -16,8 +16,7 @@ use presky_core::table::{Table, TableBuilder};
 use presky_core::types::DimId;
 
 /// The six attribute names, in the UCI column order.
-pub const CAR_ATTRIBUTES: [&str; 6] =
-    ["buying", "maint", "doors", "persons", "lug_boot", "safety"];
+pub const CAR_ATTRIBUTES: [&str; 6] = ["buying", "maint", "doors", "persons", "lug_boot", "safety"];
 
 /// The categorical domains, in the UCI-documented value order.
 pub const CAR_DOMAINS: [&[&str]; 6] = [
@@ -93,14 +92,8 @@ mod tests {
     #[test]
     fn first_and_last_rows_follow_uci_order() {
         let t = car_table().unwrap();
-        assert_eq!(
-            t.display_row(ObjectId(0)),
-            "(vhigh, vhigh, 2, 2, small, low)"
-        );
-        assert_eq!(
-            t.display_row(ObjectId(1_727)),
-            "(low, low, 5more, more, big, high)"
-        );
+        assert_eq!(t.display_row(ObjectId(0)), "(vhigh, vhigh, 2, 2, small, low)");
+        assert_eq!(t.display_row(ObjectId(1_727)), "(low, low, 5more, more, big, high)");
     }
 
     #[test]

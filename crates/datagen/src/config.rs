@@ -70,10 +70,7 @@ mod tests {
 
     #[test]
     fn labels_are_descriptive() {
-        assert_eq!(
-            Workload::Uniform(UniformConfig::new(50, 5, 0)).label(),
-            "uniform(n=50, d=5)"
-        );
+        assert_eq!(Workload::Uniform(UniformConfig::new(50, 5, 0)).label(), "uniform(n=50, d=5)");
         assert_eq!(Workload::Nursery { d: 8 }.label(), "nursery(d=8)");
     }
 

@@ -128,16 +128,13 @@ pub fn table_from_str(s: &str) -> Result<Table, ParseError> {
 }
 
 fn parse_kv(line: Option<(usize, &str)>, key: &'static str) -> Result<usize, ParseError> {
-    let (i, l) = line.ok_or(ParseError::BadLine {
-        line: 0,
-        reason: format!("missing `{key}` line"),
-    })?;
+    let (i, l) =
+        line.ok_or(ParseError::BadLine { line: 0, reason: format!("missing `{key}` line") })?;
     let mut parts = l.split_whitespace();
     match (parts.next(), parts.next(), parts.next()) {
-        (Some(k), Some(v), None) if k == key => v.parse().map_err(|e| ParseError::BadLine {
-            line: i + 1,
-            reason: format!("bad {key}: {e}"),
-        }),
+        (Some(k), Some(v), None) if k == key => v
+            .parse()
+            .map_err(|e| ParseError::BadLine { line: i + 1, reason: format!("bad {key}: {e}") }),
         _ => Err(ParseError::BadLine { line: i + 1, reason: format!("expected `{key} <value>`") }),
     }
 }
@@ -165,10 +162,9 @@ pub fn prefs_from_str(s: &str) -> Result<TablePreferences, ParseError> {
     if header != Some(PREFS_HEADER) {
         return Err(ParseError::BadHeader { expected: PREFS_HEADER });
     }
-    let (di, default_line) = lines.next().ok_or(ParseError::BadLine {
-        line: 0,
-        reason: "missing default line".into(),
-    })?;
+    let (di, default_line) = lines
+        .next()
+        .ok_or(ParseError::BadLine { line: 0, reason: "missing default line".into() })?;
     let parts: Vec<&str> = default_line.split_whitespace().collect();
     if parts.len() != 3 || parts[0] != "default" {
         return Err(ParseError::BadLine {
@@ -203,8 +199,7 @@ pub fn prefs_from_str(s: &str) -> Result<TablePreferences, ParseError> {
 }
 
 fn parse_f64(s: &str, line: usize) -> Result<f64, ParseError> {
-    s.parse()
-        .map_err(|e| ParseError::BadLine { line, reason: format!("bad probability: {e}") })
+    s.parse().map_err(|e| ParseError::BadLine { line, reason: format!("bad probability: {e}") })
 }
 
 fn bad(i: usize, what: &str, e: std::num::ParseIntError) -> ParseError {

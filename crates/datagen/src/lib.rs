@@ -39,8 +39,8 @@ pub mod prelude {
     pub use crate::car::{car_projected, car_table, CAR_ATTRIBUTES, CAR_DOMAINS, CAR_INSTANCES};
     pub use crate::config::{table1_parameters, Workload};
     pub use crate::io::{
-        prefs_from_str, prefs_to_string, read_prefs, read_table, table_from_str,
-        table_to_string, write_prefs, write_table, ParseError,
+        prefs_from_str, prefs_to_string, read_prefs, read_table, table_from_str, table_to_string,
+        write_prefs, write_table, ParseError,
     };
     pub use crate::nursery::{nursery_projected, nursery_table, ATTRIBUTES, DOMAINS, N_INSTANCES};
     pub use crate::prefs::{BlockScopedPreferences, StructuredPreferences};

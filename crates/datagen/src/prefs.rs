@@ -159,14 +159,12 @@ mod tests {
     fn satisfies_model_contract() {
         let pairs: Vec<_> = (0..2u32)
             .flat_map(|d| {
-                (0..4u32).flat_map(move |a| {
-                    (0..4u32).map(move |b| (DimId(d), ValueId(a), ValueId(b)))
-                })
+                (0..4u32)
+                    .flat_map(move |a| (0..4u32).map(move |b| (DimId(d), ValueId(a), ValueId(b))))
             })
             .collect();
         validate_model_on_pairs(&StructuredPreferences::correlated(2, 0.8), &pairs).unwrap();
-        validate_model_on_pairs(&StructuredPreferences::anti_correlated(2, 0.8), &pairs)
-            .unwrap();
+        validate_model_on_pairs(&StructuredPreferences::anti_correlated(2, 0.8), &pairs).unwrap();
     }
 
     #[test]

@@ -17,12 +17,10 @@
 //! table-built views cannot (duplicate rows are rejected). Equal sets
 //! absorb each other, so the earlier one is kept.
 
-use std::collections::HashMap;
-
 use presky_core::coins::CoinView;
 
 /// Outcome of the absorption scan.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AbsorptionResult {
     /// Indices of surviving attackers, in original order.
     pub kept: Vec<usize>,
@@ -65,6 +63,25 @@ fn is_subset(a: &[u32], b: &[u32]) -> bool {
 /// cost more than scanning the posting lists of the clause's coins.
 const SUBSET_ENUM_LIMIT: usize = 12;
 
+/// Reusable buffers for [`absorb_into`]. A default-constructed value works
+/// for any view; buffers grow to the largest view seen and are then reused
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct AbsorbScratch {
+    /// Attacker indices sorted by coin slice (lexicographic, ties towards
+    /// the earlier index) — the owned stand-in for a `HashMap<&[u32], _>`,
+    /// which would borrow the view and defeat buffer reuse.
+    sorted: Vec<u32>,
+    posting_len: Vec<u32>,
+    offsets: Vec<u32>,
+    cursor: Vec<u32>,
+    posting_data: Vec<u32>,
+    shared: Vec<u32>,
+    probe: Vec<u32>,
+    stamp: Vec<u64>,
+    generation: u64,
+}
+
 /// One-pass absorption over all attackers (Algorithm 3).
 ///
 /// Runs in `O(n · 2^d)` for the dimensionalities of the paper's evaluation
@@ -72,75 +89,81 @@ const SUBSET_ENUM_LIMIT: usize = 12;
 /// clauses. Keeping an attacker requires that *no* other attacker's coin
 /// set is a subset of its own (ties broken towards the earlier index).
 pub fn absorb(view: &CoinView) -> AbsorptionResult {
+    let mut scratch = AbsorbScratch::default();
+    let mut out = AbsorptionResult::default();
+    absorb_into(view, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-reusing form of [`absorb`]: identical output, but every
+/// working buffer (including `out`'s vectors) is recycled across calls.
+///
+/// The kept set is uniquely determined by the subset predicate and the
+/// earliest-index tie-break, so this produces the same `AbsorptionResult`
+/// as [`absorb`] bit for bit.
+pub fn absorb_into(view: &CoinView, scratch: &mut AbsorbScratch, out: &mut AbsorptionResult) {
     let n = view.n_attackers();
-    // Map coin set -> earliest attacker with that exact set.
-    let mut by_set: HashMap<&[u32], usize> = HashMap::with_capacity(n);
-    for i in 0..n {
-        by_set.entry(view.attacker_coins(i)).or_insert(i);
-    }
+    let n_coins = view.n_coins();
+    // Sorted coin-set index: lower-bound lookups answer "earliest attacker
+    // with exactly this set", matching the insertion-order semantics of the
+    // hash map this replaces.
+    scratch.sorted.clear();
+    scratch.sorted.extend(0..n as u32);
+    scratch.sorted.sort_unstable_by(|&a, &b| {
+        view.attacker_coins(a as usize).cmp(view.attacker_coins(b as usize)).then(a.cmp(&b))
+    });
     // Posting *lengths* filter the subset enumeration: an absorber's every
     // coin is shared with its victim, so only coins referenced by ≥ 2
     // attackers can appear in an absorber. On workloads with little
     // sharing this collapses the 2^w probe fan-out to almost nothing.
-    let mut posting_len = vec![0u32; view.n_coins()];
+    scratch.posting_len.clear();
+    scratch.posting_len.resize(n_coins, 0);
     for i in 0..n {
         for &k in view.attacker_coins(i) {
-            posting_len[k as usize] += 1;
+            scratch.posting_len[k as usize] += 1;
         }
     }
-    // Flattened (CSR) posting lists: two allocations instead of one per
-    // coin.
-    let mut offsets = vec![0u32; view.n_coins() + 1];
-    for (c, &len) in posting_len.iter().enumerate() {
-        offsets[c + 1] = offsets[c] + len;
+    // Flattened (CSR) posting lists.
+    scratch.offsets.clear();
+    scratch.offsets.resize(n_coins + 1, 0);
+    for c in 0..n_coins {
+        scratch.offsets[c + 1] = scratch.offsets[c] + scratch.posting_len[c];
     }
-    let mut cursor = offsets.clone();
-    let mut posting_data = vec![0u32; offsets[view.n_coins()] as usize];
+    scratch.cursor.clear();
+    scratch.cursor.extend_from_slice(&scratch.offsets[..n_coins]);
+    scratch.posting_data.clear();
+    scratch.posting_data.resize(scratch.offsets[n_coins] as usize, 0);
     for i in 0..n {
         for &k in view.attacker_coins(i) {
-            posting_data[cursor[k as usize] as usize] = i as u32;
-            cursor[k as usize] += 1;
+            let cur = scratch.cursor[k as usize] as usize;
+            scratch.posting_data[cur] = i as u32;
+            scratch.cursor[k as usize] += 1;
         }
     }
-    let postings = Csr { offsets, data: posting_data };
+    if scratch.stamp.len() < n {
+        // Stamps compare against the monotone generation counter, so stale
+        // contents from a previous view are harmless.
+        scratch.stamp.resize(n, 0);
+    }
 
-    let mut kept = Vec::with_capacity(n);
-    let mut removed = Vec::new();
-    let mut scratch = Scratch {
-        shared: Vec::new(),
-        probe: Vec::new(),
-        stamp: vec![0u64; n],
-        generation: 0,
-    };
+    out.kept.clear();
+    out.removed.clear();
     for j in 0..n {
-        match find_absorber(view, &by_set, &posting_len, &postings, j, &mut scratch) {
-            Some(i) => removed.push((j, i)),
-            None => kept.push(j),
+        match find_absorber(view, j, scratch) {
+            Some(i) => out.removed.push((j, i)),
+            None => out.kept.push(j),
         }
     }
-    AbsorptionResult { kept, removed }
 }
 
-/// Flattened posting lists.
-struct Csr {
-    offsets: Vec<u32>,
-    data: Vec<u32>,
-}
-
-impl Csr {
-    #[inline]
-    fn list(&self, coin: u32) -> &[u32] {
-        let c = coin as usize;
-        &self.data[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+/// Earliest attacker whose coin set equals `probe`, via lower-bound search
+/// on the sorted index.
+fn lookup_set(view: &CoinView, sorted: &[u32], probe: &[u32]) -> Option<usize> {
+    let lo = sorted.partition_point(|&i| view.attacker_coins(i as usize) < probe);
+    match sorted.get(lo) {
+        Some(&i) if view.attacker_coins(i as usize) == probe => Some(i as usize),
+        _ => None,
     }
-}
-
-/// Reusable buffers for the per-attacker absorber search.
-struct Scratch {
-    shared: Vec<u32>,
-    probe: Vec<u32>,
-    stamp: Vec<u64>,
-    generation: u64,
 }
 
 /// Find any attacker (other than `j` itself) whose coin set is contained in
@@ -148,17 +171,10 @@ struct Scratch {
 /// ones — is sound by transitivity and cannot self-defeat because `⊆` is a
 /// partial order on the distinct sets (equal sets resolve to the earliest
 /// index).
-fn find_absorber(
-    view: &CoinView,
-    by_set: &HashMap<&[u32], usize>,
-    posting_len: &[u32],
-    postings: &Csr,
-    j: usize,
-    scratch: &mut Scratch,
-) -> Option<usize> {
+fn find_absorber(view: &CoinView, j: usize, scratch: &mut AbsorbScratch) -> Option<usize> {
     let coins = view.attacker_coins(j);
     // Equal coin set owned by an earlier attacker?
-    if let Some(&i) = by_set.get(coins) {
+    if let Some(i) = lookup_set(view, &scratch.sorted, coins) {
         if i != j {
             return Some(i);
         }
@@ -166,9 +182,11 @@ fn find_absorber(
     // A proper absorber consists solely of coins shared with another
     // attacker.
     scratch.shared.clear();
-    scratch
-        .shared
-        .extend(coins.iter().copied().filter(|&c| posting_len[c as usize] >= 2));
+    for &c in coins {
+        if scratch.posting_len[c as usize] >= 2 {
+            scratch.shared.push(c);
+        }
+    }
     let w = scratch.shared.len();
     if w == 0 {
         return None;
@@ -177,11 +195,11 @@ fn find_absorber(
     // Two strategies; pick the cheaper per attacker.
     //
     // * subset enumeration: probe each non-empty subset of the shared
-    //   coins in the coin-set hash map — 2^w hash probes;
+    //   coins in the sorted coin-set index — 2^w lower-bound searches;
     // * candidate scan: every absorber appears in the posting list of each
     //   coin it contains, so scanning the posting lists of j's coins and
     //   subset-testing each *smaller* candidate is complete.
-    let scan_cost: u64 = coins.iter().map(|&c| posting_len[c as usize] as u64).sum();
+    let scan_cost: u64 = coins.iter().map(|&c| scratch.posting_len[c as usize] as u64).sum();
     if w <= SUBSET_ENUM_LIMIT && (1u64 << w) <= scan_cost {
         let full = (1u32 << w) - 1;
         // When some coins were filtered out, the full shared set is itself
@@ -190,12 +208,13 @@ fn find_absorber(
         let top = if w == coins.len() { full } else { full + 1 };
         for mask in 1..top {
             scratch.probe.clear();
-            for (pos, &c) in scratch.shared.iter().enumerate() {
+            for pos in 0..w {
                 if mask & (1 << pos) != 0 {
+                    let c = scratch.shared[pos];
                     scratch.probe.push(c);
                 }
             }
-            if let Some(&i) = by_set.get(scratch.probe.as_slice()) {
+            if let Some(i) = lookup_set(view, &scratch.sorted, &scratch.probe) {
                 if i != j {
                     return Some(i);
                 }
@@ -206,14 +225,16 @@ fn find_absorber(
         scratch.generation += 1;
         let generation = scratch.generation;
         for &c in coins {
-            for &cand in postings.list(c) {
-                let i = cand as usize;
+            let lo = scratch.offsets[c as usize] as usize;
+            let hi = scratch.offsets[c as usize + 1] as usize;
+            for idx in lo..hi {
+                let i = scratch.posting_data[idx] as usize;
                 if i == j || scratch.stamp[i] == generation {
                     continue;
                 }
                 scratch.stamp[i] = generation;
                 // Strictly smaller candidates only: equal sets were handled
-                // by the map lookup above.
+                // by the index lookup above.
                 if view.attacker_coins(i).len() < coins.len() && absorbs(view, i, j) {
                     return Some(i);
                 }
@@ -233,11 +254,9 @@ mod tests {
     use crate::det::{sky_det_view, DetOptions};
 
     fn example1_view() -> CoinView {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
         CoinView::build(&t, &p, ObjectId(0)).unwrap()
     }
@@ -281,11 +300,8 @@ mod tests {
     fn transitivity_corollary() {
         // x ⊆ y ⊆ z with all three present: z's absorber found even though
         // y is itself absorbed (Corollary 1).
-        let view = CoinView::from_parts(
-            vec![0.5; 3],
-            vec![vec![0], vec![0, 1], vec![0, 1, 2]],
-        )
-        .unwrap();
+        let view =
+            CoinView::from_parts(vec![0.5; 3], vec![vec![0], vec![0, 1], vec![0, 1, 2]]).unwrap();
         let res = absorb(&view);
         assert_eq!(res.kept, vec![0]);
         assert_eq!(res.n_removed(), 2);
@@ -298,8 +314,7 @@ mod tests {
 
     #[test]
     fn equal_clauses_keep_the_earliest() {
-        let view =
-            CoinView::from_parts(vec![0.5, 0.5], vec![vec![0, 1], vec![0, 1]]).unwrap();
+        let view = CoinView::from_parts(vec![0.5, 0.5], vec![vec![0, 1], vec![0, 1]]).unwrap();
         let res = absorb(&view);
         assert_eq!(res.kept, vec![0]);
         assert_eq!(res.removed, vec![(1, 0)]);
@@ -351,6 +366,36 @@ mod tests {
     }
 
     #[test]
+    fn absorb_into_matches_absorb_with_shared_scratch() {
+        // One scratch reused across many random systems of varying size
+        // must reproduce the allocating form exactly.
+        let mut scratch = AbsorbScratch::default();
+        let mut out = AbsorptionResult::default();
+        let mut s = 0x5eed_cafe_u64;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for round in 0..40 {
+            let m = 3 + (next() % 6) as usize; // 3..=8 coins
+            let n = 2 + (next() % 7) as usize; // 2..=8 attackers
+            let mut clauses = Vec::new();
+            for _ in 0..n {
+                let mask = (next() % ((1 << m) - 1)) + 1;
+                let clause: Vec<u32> = (0..m as u32).filter(|&b| mask & (1 << b) != 0).collect();
+                clauses.push(clause);
+            }
+            let probs: Vec<f64> = (0..m).map(|_| (next() % 1000) as f64 / 1000.0).collect();
+            let view = CoinView::from_parts(probs, clauses).unwrap();
+            let fresh = absorb(&view);
+            absorb_into(&view, &mut scratch, &mut out);
+            assert_eq!(fresh, out, "round {round}");
+        }
+    }
+
+    #[test]
     fn wide_clauses_take_the_posting_path() {
         // One wide clause (width 14 > SUBSET_ENUM_LIMIT) that is a superset
         // of a narrow one.
@@ -363,11 +408,8 @@ mod tests {
 
     #[test]
     fn pairwise_absorbs_predicate_matches_scan() {
-        let view = CoinView::from_parts(
-            vec![0.5; 3],
-            vec![vec![0, 1], vec![0], vec![1, 2]],
-        )
-        .unwrap();
+        let view =
+            CoinView::from_parts(vec![0.5; 3], vec![vec![0, 1], vec![0], vec![1, 2]]).unwrap();
         assert!(absorbs(&view, 1, 0));
         assert!(!absorbs(&view, 0, 1));
         assert!(!absorbs(&view, 2, 0));

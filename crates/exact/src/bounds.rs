@@ -69,10 +69,7 @@ pub fn sky_bounds_cheap(view: &CoinView) -> SkyBounds {
         sum += p;
         min_complement = min_complement.min(1.0 - p);
     }
-    SkyBounds {
-        lower: product.max(1.0 - sum).max(0.0),
-        upper: min_complement.min(1.0),
-    }
+    SkyBounds { lower: product.max(1.0 - sum).max(0.0), upper: min_complement.min(1.0) }
 }
 
 /// Bonferroni bounds through full level `max_level` (each level `k` costs
@@ -122,11 +119,9 @@ mod tests {
     use crate::det::{sky_det_view, DetOptions};
 
     fn example1_view() -> CoinView {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
         CoinView::build(&t, &p, ObjectId(0)).unwrap()
     }
@@ -213,11 +208,7 @@ mod tests {
 
     #[test]
     fn disjoint_attackers_make_fkg_tight() {
-        let view = CoinView::from_parts(
-            vec![0.2, 0.3],
-            vec![vec![0], vec![1]],
-        )
-        .unwrap();
+        let view = CoinView::from_parts(vec![0.2, 0.3], vec![vec![0], vec![1]]).unwrap();
         let b = sky_bounds_cheap(&view);
         let exact = 0.8 * 0.7;
         assert!((b.lower - exact).abs() < 1e-12, "FKG is tight on disjoint attackers");

@@ -81,7 +81,8 @@ pub fn sky_conditioning_view(
     // Local clause representation: sorted coin lists.
     let clauses: Vec<Vec<u32>> =
         (0..view.n_attackers()).map(|i| view.attacker_coins(i).to_vec()).collect();
-    let mut solver = Solver { probs: view.coin_probs().to_vec(), nodes: 0, max_nodes: opts.max_nodes };
+    let mut solver =
+        Solver { probs: view.coin_probs().to_vec(), nodes: 0, max_nodes: opts.max_nodes };
     let sky = solver.solve(clauses)?;
     Ok(ConditioningOutcome { sky, nodes: solver.nodes, elapsed: start.elapsed() })
 }
@@ -136,10 +137,8 @@ impl Solver {
         let w = self.probs[pivot as usize];
 
         // Branch "pivot wins": delete the coin from every clause.
-        let win_branch: Vec<Vec<u32>> = clauses
-            .iter()
-            .map(|c| c.iter().copied().filter(|&x| x != pivot).collect())
-            .collect();
+        let win_branch: Vec<Vec<u32>> =
+            clauses.iter().map(|c| c.iter().copied().filter(|&x| x != pivot).collect()).collect();
         // Branch "pivot loses": delete every clause containing it.
         let lose_branch: Vec<Vec<u32>> =
             clauses.iter().filter(|c| !c.contains(&pivot)).cloned().collect();
@@ -217,19 +216,16 @@ mod tests {
     use crate::naive::{sky_naive_coins, NaiveOptions};
 
     fn example1_view() -> CoinView {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
         CoinView::build(&t, &p, ObjectId(0)).unwrap()
     }
 
     #[test]
     fn example1_value() {
-        let out =
-            sky_conditioning_view(&example1_view(), ConditioningOptions::default()).unwrap();
+        let out = sky_conditioning_view(&example1_view(), ConditioningOptions::default()).unwrap();
         assert!((out.sky - 3.0 / 16.0).abs() < 1e-12);
     }
 
@@ -282,8 +278,7 @@ mod tests {
             vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5], vec![5, 0]],
         )
         .unwrap();
-        let err =
-            sky_conditioning_view(&view, ConditioningOptions { max_nodes: 1 }).unwrap_err();
+        let err = sky_conditioning_view(&view, ConditioningOptions { max_nodes: 1 }).unwrap_err();
         assert!(matches!(err, ExactError::DeadlineExceeded { .. }));
     }
 

@@ -95,14 +95,64 @@ pub fn sky_det<M: PreferenceModel>(
 
 /// Compute the skyline probability of a reduced instance exactly.
 pub fn sky_det_view(view: &CoinView, opts: DetOptions) -> Result<DetOutcome> {
+    sky_det_view_with(view, opts, &mut DetScratch::default())
+}
+
+/// Reusable working memory for [`sky_det_view_with`]: the per-coin
+/// multiplicity counters of the wide path and the attacker masks of the
+/// ≤ 64-coin bitset path. One per worker thread.
+#[derive(Debug, Clone, Default)]
+pub struct DetScratch {
+    mult: Vec<u32>,
+    masks: Vec<u64>,
+}
+
+/// [`sky_det_view`] with caller-owned scratch, allocation-free after
+/// warm-up.
+///
+/// Instances whose coin count fits a machine word (≤ 64) take a bitset fast
+/// path: each attacker is a `u64` mask, the subset union travels down the
+/// recursion as one word, and the incremental factor of Equation 6 walks
+/// `mask & !union` by `trailing_zeros` — ascending coin order, exactly the
+/// multiplication order of the multiplicity-counter path, so both paths are
+/// bit-identical. Wider instances fall back to the counters.
+pub fn sky_det_view_with(
+    view: &CoinView,
+    opts: DetOptions,
+    scratch: &mut DetScratch,
+) -> Result<DetOutcome> {
     let start = Instant::now();
     let n = view.n_attackers();
     if n > opts.max_attackers {
         return Err(ExactError::TooManyAttackers { n, max: opts.max_attackers });
     }
+    if view.n_coins() <= 64 {
+        scratch.masks.clear();
+        scratch.masks.extend(
+            (0..n).map(|i| view.attacker_coins(i).iter().fold(0u64, |m, &k| m | (1u64 << k))),
+        );
+        let mut ctx = MaskCtx {
+            view,
+            masks: &scratch.masks,
+            acc: 1.0,
+            joints: 0,
+            deadline: opts.deadline,
+            start,
+            since_check: 0,
+            prune_zero: opts.prune_zero,
+        };
+        ctx.dfs(0, 1.0, true, 0)?;
+        return Ok(DetOutcome {
+            sky: ctx.acc,
+            joints_computed: ctx.joints,
+            elapsed: start.elapsed(),
+        });
+    }
+    scratch.mult.clear();
+    scratch.mult.resize(view.n_coins(), 0);
     let mut ctx = Ctx {
         view,
-        mult: vec![0u32; view.n_coins()],
+        mult: &mut scratch.mult,
         acc: 1.0,
         joints: 0,
         deadline: opts.deadline,
@@ -119,7 +169,7 @@ struct Ctx<'a> {
     /// Multiplicity of each coin in the union of the current subset's
     /// attackers; a coin's probability is multiplied in exactly when its
     /// multiplicity rises from zero — Equation 6's "distinct values".
-    mult: Vec<u32>,
+    mult: &'a mut [u32],
     acc: f64,
     joints: u64,
     deadline: Option<Duration>,
@@ -158,15 +208,61 @@ impl Ctx<'_> {
                 }
             }
 
-            let r = if p > 0.0 || !self.prune_zero {
-                self.dfs(i + 1, p, !negative)
-            } else {
-                Ok(())
-            };
+            let r =
+                if p > 0.0 || !self.prune_zero { self.dfs(i + 1, p, !negative) } else { Ok(()) };
             for &k in self.view.attacker_coins(i) {
                 self.mult[k as usize] -= 1;
             }
             r?;
+        }
+        Ok(())
+    }
+}
+
+struct MaskCtx<'a> {
+    view: &'a CoinView,
+    /// Attacker coin sets as single-word bitsets (coin id = bit index).
+    masks: &'a [u64],
+    acc: f64,
+    joints: u64,
+    deadline: Option<Duration>,
+    start: Instant,
+    since_check: u32,
+    prune_zero: bool,
+}
+
+impl MaskCtx<'_> {
+    /// Bitset twin of [`Ctx::dfs`]: `union` is the coin set of the current
+    /// subset's attackers, and the incremental factor multiplies the bits
+    /// of `masks[i] & !union` in ascending order.
+    fn dfs(&mut self, from: usize, prod: f64, negative: bool, union: u64) -> Result<()> {
+        for i in from..self.masks.len() {
+            let mask = self.masks[i];
+            let mut p = prod;
+            let mut fresh = mask & !union;
+            while fresh != 0 {
+                p *= self.view.coin_prob(fresh.trailing_zeros());
+                fresh &= fresh - 1;
+            }
+            self.joints += 1;
+            self.acc += if negative { -p } else { p };
+
+            self.since_check += 1;
+            if self.since_check >= 8192 {
+                self.since_check = 0;
+                if let Some(d) = self.deadline {
+                    if self.start.elapsed() > d {
+                        return Err(ExactError::DeadlineExceeded {
+                            elapsed: self.start.elapsed(),
+                            joints_computed: self.joints,
+                        });
+                    }
+                }
+            }
+
+            if p > 0.0 || !self.prune_zero {
+                self.dfs(i + 1, p, !negative, union | mask)?;
+            }
         }
         Ok(())
     }
@@ -180,11 +276,9 @@ mod tests {
     use crate::naive::{sky_naive_coins, NaiveOptions};
 
     fn example1() -> (Table, TablePreferences) {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         (t, TablePreferences::with_default(PrefPair::half()))
     }
 
@@ -207,9 +301,8 @@ mod tests {
         let sub = view.restrict(&[0, 1, 2]);
         // For the 3-attacker sub-instance, sky = Σ (−1)^k Σ Pr(E_I); we can
         // recover Pr(E_{123}) = union of coins (d0:a, d1:b, d0:c, d1:e).
-        let coins: std::collections::BTreeSet<u32> = (0..3)
-            .flat_map(|i| sub.attacker_coins(i).iter().copied())
-            .collect();
+        let coins: std::collections::BTreeSet<u32> =
+            (0..3).flat_map(|i| sub.attacker_coins(i).iter().copied()).collect();
         let joint: f64 = coins.iter().map(|&k| sub.coin_prob(k)).product();
         assert!((joint - 1.0 / 16.0).abs() < 1e-12);
     }
@@ -234,9 +327,7 @@ mod tests {
             let d = 1 + (seed % 3) as usize;
             let rows: Vec<Vec<u32>> = (0..=n)
                 .map(|i| {
-                    (0..d)
-                        .map(|j| ((i as u64 * 31 + j as u64 * 7 + seed) % 4) as u32)
-                        .collect()
+                    (0..d).map(|j| ((i as u64 * 31 + j as u64 * 7 + seed) % 4) as u32).collect()
                 })
                 .collect();
             let Ok(t) = Table::from_rows_raw(d, &rows) else { continue };
@@ -252,9 +343,42 @@ mod tests {
     }
 
     #[test]
+    fn mask_and_counter_paths_agree_bit_for_bit() {
+        // The same clause structure computed once with 6 coins (bitset fast
+        // path) and once padded to 70 coins (multiplicity-counter fallback):
+        // identical multiplication order must give identical bits.
+        let mut s = 0xdecafu64;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..50 {
+            let m = 6usize;
+            let probs: Vec<f64> = (0..m).map(|_| (next() % 1000) as f64 / 1000.0).collect();
+            let clauses: Vec<Vec<u32>> = (0..1 + next() % 6)
+                .map(|_| {
+                    let mask = 1 + next() % ((1 << m) - 1);
+                    (0..m as u32).filter(|&b| mask & (1 << b) != 0).collect()
+                })
+                .collect();
+            let narrow = CoinView::from_parts(probs.clone(), clauses.clone()).unwrap();
+            let mut padded = probs;
+            padded.resize(70, 0.5);
+            let wide = CoinView::from_parts(padded, clauses).unwrap();
+            assert!(narrow.n_coins() <= 64 && wide.n_coins() > 64);
+            let mut scratch = DetScratch::default();
+            let a = sky_det_view_with(&narrow, DetOptions::default(), &mut scratch).unwrap();
+            let b = sky_det_view_with(&wide, DetOptions::default(), &mut scratch).unwrap();
+            assert_eq!(a.sky.to_bits(), b.sky.to_bits(), "{} vs {}", a.sky, b.sky);
+            assert_eq!(a.joints_computed, b.joints_computed);
+        }
+    }
+
+    #[test]
     fn attacker_budget_enforced() {
-        let view =
-            CoinView::from_parts(vec![0.5; 40], (0..40).map(|i| vec![i]).collect()).unwrap();
+        let view = CoinView::from_parts(vec![0.5; 40], (0..40).map(|i| vec![i]).collect()).unwrap();
         let err = sky_det_view(&view, DetOptions::default()).unwrap_err();
         assert!(matches!(err, ExactError::TooManyAttackers { n: 40, max: 30 }));
     }
@@ -262,8 +386,7 @@ mod tests {
     #[test]
     fn deadline_triggers_on_large_instance() {
         // 28 independent attackers -> 2^28 nodes; a zero deadline must trip.
-        let view =
-            CoinView::from_parts(vec![0.5; 28], (0..28).map(|i| vec![i]).collect()).unwrap();
+        let view = CoinView::from_parts(vec![0.5; 28], (0..28).map(|i| vec![i]).collect()).unwrap();
         let opts = DetOptions {
             max_attackers: 28,
             deadline: Some(Duration::from_millis(0)),
@@ -291,11 +414,9 @@ mod tests {
     #[test]
     fn zero_probability_prunes_subtrees() {
         // A zero coin shared by many attackers collapses most of the lattice.
-        let view = CoinView::from_parts(
-            vec![0.0, 0.5, 0.5],
-            vec![vec![0, 1], vec![0, 2], vec![0, 1, 2]],
-        )
-        .unwrap();
+        let view =
+            CoinView::from_parts(vec![0.0, 0.5, 0.5], vec![vec![0, 1], vec![0, 2], vec![0, 1, 2]])
+                .unwrap();
         let out = sky_det_view(&view, DetOptions::default()).unwrap();
         assert_eq!(out.sky, 1.0, "no attacker can ever win");
         // Level-1 joints are computed (3), but all subtrees below are pruned.
@@ -318,9 +439,7 @@ mod tests {
         let out = sky_det(&t, &p, ObjectId(0), DetOptions::default()).unwrap();
         assert!((out.sky - 0.5).abs() < 1e-12);
         let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
-        let sac: f64 = (0..view.n_attackers())
-            .map(|i| 1.0 - view.attacker_prob(i))
-            .product();
+        let sac: f64 = (0..view.n_attackers()).map(|i| 1.0 - view.attacker_prob(i)).product();
         assert!((sac - 3.0 / 8.0).abs() < 1e-12);
         assert!((out.sky - sac).abs() > 0.1, "the assumption is materially wrong");
     }

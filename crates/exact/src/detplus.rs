@@ -131,9 +131,8 @@ pub fn sky_det_plus_view(view: &CoinView, opts: DetPlusOptions) -> Result<DetPlu
     ordered.sort_by_key(Vec::len);
     for g in &ordered {
         let sub = work.restrict(g);
-        let remaining = opts.det.deadline.map(|d| {
-            d.checked_sub(start.elapsed()).unwrap_or_default()
-        });
+        let remaining =
+            opts.det.deadline.map(|d| d.checked_sub(start.elapsed()).unwrap_or_default());
         let det_opts = DetOptions {
             max_attackers: opts.det.max_attackers,
             deadline: remaining,
@@ -165,11 +164,9 @@ mod tests {
     use crate::error::ExactError;
 
     fn example1() -> (Table, TablePreferences) {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         (t, TablePreferences::with_default(PrefPair::half()))
     }
 
@@ -204,9 +201,8 @@ mod tests {
             for law in [PairLaw::Complementary, PairLaw::Simplex] {
                 let prefs = SeededPreferences::new(seed, law);
                 let a = sky_det(&t, &prefs, ObjectId(0), DetOptions::default()).unwrap().sky;
-                let b = sky_det_plus(&t, &prefs, ObjectId(0), DetPlusOptions::default())
-                    .unwrap()
-                    .sky;
+                let b =
+                    sky_det_plus(&t, &prefs, ObjectId(0), DetPlusOptions::default()).unwrap().sky;
                 assert!((a - b).abs() < 1e-9, "seed {seed} law {law:?}: {a} vs {b}");
             }
         }
@@ -239,11 +235,7 @@ mod tests {
 
     #[test]
     fn impossible_attackers_are_pruned() {
-        let view = CoinView::from_parts(
-            vec![0.0, 0.5],
-            vec![vec![0, 1], vec![1]],
-        )
-        .unwrap();
+        let view = CoinView::from_parts(vec![0.0, 0.5], vec![vec![0, 1], vec![1]]).unwrap();
         let out = sky_det_plus_view(&view, DetPlusOptions::default()).unwrap();
         assert_eq!(out.pruned_impossible, 1);
         assert!((out.sky - 0.5).abs() < 1e-12);
@@ -253,11 +245,7 @@ mod tests {
     fn component_budget_applies_to_largest_component_not_n() {
         // 40 attackers in 40 independent singleton components: fine with
         // max_attackers = 30 because each component has size 1.
-        let view = CoinView::from_parts(
-            vec![0.5; 40],
-            (0..40).map(|i| vec![i]).collect(),
-        )
-        .unwrap();
+        let view = CoinView::from_parts(vec![0.5; 40], (0..40).map(|i| vec![i]).collect()).unwrap();
         let out = sky_det_plus_view(&view, DetPlusOptions::default()).unwrap();
         assert_eq!(out.component_sizes.len(), 40);
         assert!((out.sky - 0.5f64.powi(40)).abs() < 1e-18);

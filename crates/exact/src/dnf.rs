@@ -90,10 +90,8 @@ impl PositiveDnf {
         }
         let mut count = 0u64;
         for assignment in 0u64..(1u64 << self.n_vars) {
-            let satisfied = self
-                .clauses
-                .iter()
-                .any(|c| c.iter().all(|&v| assignment & (1 << v) != 0));
+            let satisfied =
+                self.clauses.iter().any(|c| c.iter().all(|&v| assignment & (1 << v) != 0));
             if satisfied {
                 count += 1;
             }
@@ -151,11 +149,7 @@ impl PositiveDnf {
         if view.coin_probs().iter().any(|&p| (p - 0.5).abs() > 1e-15) {
             return None;
         }
-        let clauses = view
-            .attackers()
-            .iter()
-            .map(|a| a.coins.clone())
-            .collect();
+        let clauses = view.attackers().iter().map(|a| a.coins.clone()).collect();
         Self::new(view.n_coins(), clauses).ok()
     }
 }

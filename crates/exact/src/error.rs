@@ -91,10 +91,8 @@ mod tests {
     fn display_is_informative() {
         let e = ExactError::TooManyAttackers { n: 100, max: 30 };
         assert!(e.to_string().contains("100"));
-        let e = ExactError::DeadlineExceeded {
-            elapsed: Duration::from_secs(3),
-            joints_computed: 12,
-        };
+        let e =
+            ExactError::DeadlineExceeded { elapsed: Duration::from_secs(3), joints_computed: 12 };
         assert!(e.to_string().contains("12"));
     }
 

@@ -61,9 +61,7 @@ pub fn sky_levelwise(view: &CoinView, opts: DetOptions) -> Result<DetOutcome> {
     let mut acc = 1.0;
     let mut joints = 0u64;
     // Layer k = 1.
-    let mut layer: Vec<(u64, f64)> = (0..n)
-        .map(|i| (1u64 << i, view.attacker_prob(i)))
-        .collect();
+    let mut layer: Vec<(u64, f64)> = (0..n).map(|i| (1u64 << i, view.attacker_prob(i))).collect();
     joints += layer.len() as u64;
     let mut sign = -1.0;
     acc += sign * layer.iter().map(|&(_, p)| p).sum::<f64>();
@@ -100,10 +98,7 @@ pub fn sky_levelwise(view: &CoinView, opts: DetOptions) -> Result<DetOutcome> {
 /// inclusion–exclusion sum, the number of joints actually computed, and
 /// whether the evaluation ran to completion (in which case the sum is
 /// exact).
-pub fn sky_levelwise_partial(
-    view: &CoinView,
-    max_joints: u64,
-) -> Result<(f64, u64, bool)> {
+pub fn sky_levelwise_partial(view: &CoinView, max_joints: u64) -> Result<(f64, u64, bool)> {
     let n = view.n_attackers();
     let owners = owner_masks(view)?;
     let mut acc = 1.0;
@@ -202,7 +197,10 @@ pub fn sky_levelwise_partial_big(view: &CoinView, max_joints: u64) -> (f64, u64,
 fn check_deadline(start: Instant, deadline: Option<Duration>, joints: u64) -> Result<()> {
     if let Some(d) = deadline {
         if start.elapsed() > d {
-            return Err(ExactError::DeadlineExceeded { elapsed: start.elapsed(), joints_computed: joints });
+            return Err(ExactError::DeadlineExceeded {
+                elapsed: start.elapsed(),
+                joints_computed: joints,
+            });
         }
     }
     Ok(())
@@ -218,11 +216,9 @@ mod tests {
     use crate::det::sky_det_view;
 
     fn example1_view() -> CoinView {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
         CoinView::build(&t, &p, ObjectId(0)).unwrap()
     }
@@ -241,9 +237,7 @@ mod tests {
             let d = 1 + (seed % 3) as usize;
             let rows: Vec<Vec<u32>> = (0..=n)
                 .map(|i| {
-                    (0..d)
-                        .map(|j| ((i as u64 * 13 + j as u64 * 5 + seed * 3) % 4) as u32)
-                        .collect()
+                    (0..d).map(|j| ((i as u64 * 13 + j as u64 * 5 + seed * 3) % 4) as u32).collect()
                 })
                 .collect();
             let Ok(t) = Table::from_rows_raw(d, &rows) else { continue };
@@ -298,8 +292,7 @@ mod tests {
 
     #[test]
     fn big_variant_handles_more_than_64_attackers() {
-        let view =
-            CoinView::from_parts(vec![0.5; 70], (0..70).map(|i| vec![i]).collect()).unwrap();
+        let view = CoinView::from_parts(vec![0.5; 70], (0..70).map(|i| vec![i]).collect()).unwrap();
         let (sum, joints, complete) = sky_levelwise_partial_big(&view, 70);
         assert_eq!(joints, 70);
         assert!(!complete);
@@ -314,8 +307,7 @@ mod tests {
 
     #[test]
     fn mask_width_is_enforced() {
-        let view =
-            CoinView::from_parts(vec![0.1; 70], (0..70).map(|i| vec![i]).collect()).unwrap();
+        let view = CoinView::from_parts(vec![0.1; 70], (0..70).map(|i| vec![i]).collect()).unwrap();
         let err = sky_levelwise(&view, DetOptions { max_attackers: 100, ..DetOptions::default() })
             .unwrap_err();
         assert!(matches!(err, ExactError::MaskWidthExceeded { n: 70 }));

@@ -54,17 +54,19 @@ pub mod profile;
 
 /// Commonly used names.
 pub mod prelude {
-    pub use crate::absorption::{absorb, absorbs, AbsorptionResult};
+    pub use crate::absorption::{absorb, absorb_into, absorbs, AbsorbScratch, AbsorptionResult};
     pub use crate::bounds::{sky_bounds_bonferroni, sky_bounds_cheap, SkyBounds};
     pub use crate::conditioning::{
         sky_conditioning, sky_conditioning_view, ConditioningOptions, ConditioningOutcome,
     };
-    pub use crate::det::{sky_det, sky_det_view, DetOptions, DetOutcome};
+    pub use crate::det::{
+        sky_det, sky_det_view, sky_det_view_with, DetOptions, DetOutcome, DetScratch,
+    };
     pub use crate::detplus::{sky_det_plus, sky_det_plus_view, DetPlusOptions, DetPlusOutcome};
     pub use crate::dnf::PositiveDnf;
     pub use crate::error::ExactError;
     pub use crate::levelwise::{sky_levelwise, sky_levelwise_partial, sky_levelwise_partial_big};
     pub use crate::naive::{sky_naive_coins, sky_naive_worlds, NaiveOptions};
-    pub use crate::partition::{partition, UnionFind};
+    pub use crate::partition::{partition, partition_into, PartitionScratch, UnionFind};
     pub use crate::profile::{profile, InstanceProfile};
 }

@@ -107,11 +107,9 @@ mod tests {
 
     /// Example 1 fixture: O=(0,0), Q1=(1,1), Q2=(1,0), Q3=(2,2), Q4=(0,1).
     fn example1() -> (Table, TablePreferences) {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         (t, TablePreferences::with_default(PrefPair::half()))
     }
 

@@ -28,11 +28,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            components: n,
-        }
+        Self { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
     }
 
     /// Representative of `x`'s set.
@@ -52,11 +48,8 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
         self.components -= 1;
@@ -111,6 +104,114 @@ pub fn partition(view: &CoinView) -> Vec<Vec<usize>> {
     uf.groups()
 }
 
+/// Reusable buffers (and flattened output) for [`partition_into`].
+///
+/// Groups are stored in CSR form — `offsets`/`members` — instead of a
+/// `Vec<Vec<usize>>`, so repeated partitioning allocates nothing once the
+/// buffers have grown to the largest view seen.
+#[derive(Debug, Default)]
+pub struct PartitionScratch {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    first_owner: Vec<u32>,
+    roots: Vec<u32>,
+    counts: Vec<u32>,
+    slot: Vec<u32>,
+    cursor: Vec<usize>,
+    offsets: Vec<usize>,
+    members: Vec<usize>,
+}
+
+impl PartitionScratch {
+    /// Number of groups produced by the last [`partition_into`] call.
+    pub fn n_groups(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Members of group `g`, ascending (matches [`partition`]'s ordering).
+    pub fn group(&self, g: usize) -> &[usize] {
+        &self.members[self.offsets[g]..self.offsets[g + 1]]
+    }
+}
+
+fn uf_find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        // Path halving, identical to `UnionFind::find`.
+        let grand = parent[parent[x as usize] as usize];
+        parent[x as usize] = grand;
+        x = grand;
+    }
+    x
+}
+
+fn uf_union(parent: &mut [u32], size: &mut [u32], a: u32, b: u32) {
+    let (ra, rb) = (uf_find(parent, a), uf_find(parent, b));
+    if ra == rb {
+        return;
+    }
+    let (big, small) = if size[ra as usize] >= size[rb as usize] { (ra, rb) } else { (rb, ra) };
+    parent[small as usize] = big;
+    size[big as usize] += size[small as usize];
+}
+
+/// Allocation-reusing form of [`partition`]: identical groups in identical
+/// order, written into `scratch`'s CSR output instead of fresh vectors.
+///
+/// The union sequence and find semantics mirror [`partition`] exactly, so
+/// the roots — and hence the grouping and its order (ascending root index,
+/// members ascending) — are the same.
+pub fn partition_into(view: &CoinView, scratch: &mut PartitionScratch) {
+    let n = view.n_attackers();
+    scratch.parent.clear();
+    scratch.parent.extend(0..n as u32);
+    scratch.size.clear();
+    scratch.size.resize(n, 1);
+    scratch.first_owner.clear();
+    scratch.first_owner.resize(view.n_coins(), u32::MAX);
+    for i in 0..n {
+        for &k in view.attacker_coins(i) {
+            let f = scratch.first_owner[k as usize];
+            if f == u32::MAX {
+                scratch.first_owner[k as usize] = i as u32;
+            } else {
+                uf_union(&mut scratch.parent, &mut scratch.size, f, i as u32);
+            }
+        }
+    }
+    // Counting sort of attackers by root reproduces `UnionFind::groups`:
+    // groups in ascending root order, members ascending within each.
+    scratch.roots.clear();
+    for x in 0..n as u32 {
+        let r = uf_find(&mut scratch.parent, x);
+        scratch.roots.push(r);
+    }
+    scratch.counts.clear();
+    scratch.counts.resize(n, 0);
+    for &r in &scratch.roots {
+        scratch.counts[r as usize] += 1;
+    }
+    scratch.slot.clear();
+    scratch.slot.resize(n, u32::MAX);
+    scratch.offsets.clear();
+    scratch.offsets.push(0);
+    scratch.cursor.clear();
+    for r in 0..n {
+        if scratch.counts[r] > 0 {
+            scratch.slot[r] = scratch.cursor.len() as u32;
+            let start = *scratch.offsets.last().expect("non-empty offsets");
+            scratch.cursor.push(start);
+            scratch.offsets.push(start + scratch.counts[r] as usize);
+        }
+    }
+    scratch.members.clear();
+    scratch.members.resize(n, 0);
+    for x in 0..n {
+        let g = scratch.slot[scratch.roots[x] as usize] as usize;
+        scratch.members[scratch.cursor[g]] = x;
+        scratch.cursor[g] += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use presky_core::preference::{PrefPair, TablePreferences};
@@ -122,11 +223,9 @@ mod tests {
     use crate::det::{sky_det_view, DetOptions};
 
     fn example1_view() -> CoinView {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
         CoinView::build(&t, &p, ObjectId(0)).unwrap()
     }
@@ -229,11 +328,8 @@ mod tests {
 
     #[test]
     fn fully_shared_coin_yields_single_component() {
-        let view = CoinView::from_parts(
-            vec![0.5, 0.5, 0.5],
-            vec![vec![0, 1], vec![0, 2], vec![0]],
-        )
-        .unwrap();
+        let view = CoinView::from_parts(vec![0.5, 0.5, 0.5], vec![vec![0, 1], vec![0, 2], vec![0]])
+            .unwrap();
         let groups = partition(&view);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0], vec![0, 1, 2]);
@@ -243,5 +339,38 @@ mod tests {
     fn empty_view_has_no_groups() {
         let view = CoinView::from_parts(vec![], vec![]).unwrap();
         assert!(partition(&view).is_empty());
+        let mut scratch = PartitionScratch::default();
+        partition_into(&view, &mut scratch);
+        assert_eq!(scratch.n_groups(), 0);
+    }
+
+    #[test]
+    fn partition_into_matches_partition_with_shared_scratch() {
+        let mut scratch = PartitionScratch::default();
+        let mut s = 0xdead_beef_u64;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for round in 0..40 {
+            let m = 2 + (next() % 7) as usize; // 2..=8 coins
+            let n = 1 + (next() % 8) as usize; // 1..=8 attackers
+            let mut clauses = Vec::new();
+            for _ in 0..n {
+                let mask = (next() % ((1 << m) - 1)) + 1;
+                let clause: Vec<u32> = (0..m as u32).filter(|&b| mask & (1 << b) != 0).collect();
+                clauses.push(clause);
+            }
+            let probs: Vec<f64> = (0..m).map(|_| (next() % 1000) as f64 / 1000.0).collect();
+            let view = CoinView::from_parts(probs, clauses).unwrap();
+            let fresh = partition(&view);
+            partition_into(&view, &mut scratch);
+            assert_eq!(fresh.len(), scratch.n_groups(), "round {round}");
+            for (g, group) in fresh.iter().enumerate() {
+                assert_eq!(group.as_slice(), scratch.group(g), "round {round} group {g}");
+            }
+        }
     }
 }

@@ -53,11 +53,8 @@ impl InstanceProfile {
     /// log2 of the joint-probability count a per-component
     /// inclusion–exclusion would enumerate (sum of `2^size − 1`).
     pub fn log2_exact_work(&self) -> f64 {
-        let total: f64 = self
-            .component_sizes
-            .iter()
-            .map(|&s| (2.0f64).powi(s.min(1023) as i32) - 1.0)
-            .sum();
+        let total: f64 =
+            self.component_sizes.iter().map(|&s| (2.0f64).powi(s.min(1023) as i32) - 1.0).sum();
         if total <= 0.0 {
             0.0
         } else {
@@ -73,11 +70,7 @@ pub fn profile(view: &CoinView) -> InstanceProfile {
     let total_coins: usize = (0..n_attackers).map(|i| view.attacker_coins(i).len()).sum();
     let postings = view.coin_postings();
     let max_sharing = postings.iter().map(Vec::len).max().unwrap_or(0);
-    let mean_sharing = if n_coins == 0 {
-        0.0
-    } else {
-        total_coins as f64 / n_coins as f64
-    };
+    let mean_sharing = if n_coins == 0 { 0.0 } else { total_coins as f64 / n_coins as f64 };
 
     let mut work = view.clone();
     let impossible = work.prune_impossible();
@@ -114,11 +107,9 @@ mod tests {
 
     #[test]
     fn example1_profile() {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
         let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
         let prof = profile(&view);
@@ -139,11 +130,7 @@ mod tests {
 
     #[test]
     fn impossible_attackers_counted() {
-        let view = CoinView::from_parts(
-            vec![0.0, 0.5],
-            vec![vec![0], vec![1]],
-        )
-        .unwrap();
+        let view = CoinView::from_parts(vec![0.0, 0.5], vec![vec![0], vec![1]]).unwrap();
         let prof = profile(&view);
         assert_eq!(prof.impossible, 1);
         assert_eq!(prof.survivors(), 1);

@@ -151,10 +151,7 @@ fn connected_via_coins(view: &CoinView, group: &[usize]) -> bool {
     while let Some(i) = queue.pop() {
         for &j in &in_group {
             if !visited.contains(&j)
-                && view
-                    .attacker_coins(i)
-                    .iter()
-                    .any(|c| view.attacker_coins(j).contains(c))
+                && view.attacker_coins(i).iter().any(|c| view.attacker_coins(j).contains(c))
             {
                 visited.insert(j);
                 queue.push(j);

@@ -33,7 +33,12 @@ use presky_core::world::World;
 /// in both directions.
 pub trait CertainPreferences {
     /// Whether `a ≺ b` holds on `dim`.
-    fn prefers(&self, dim: DimId, a: presky_core::types::ValueId, b: presky_core::types::ValueId) -> bool;
+    fn prefers(
+        &self,
+        dim: DimId,
+        a: presky_core::types::ValueId,
+        b: presky_core::types::ValueId,
+    ) -> bool;
 }
 
 impl CertainPreferences for World {
@@ -185,16 +190,14 @@ mod tests {
     fn bnl_on_total_order() {
         // Lower is better: (0,2), (1,1), (2,0) are mutually incomparable;
         // (2,2) is dominated by all of them; (0,0) dominates everything.
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 2], vec![1, 1], vec![2, 0], vec![2, 2], vec![0, 0]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 2], vec![1, 1], vec![2, 0], vec![2, 2], vec![0, 0]])
+                .unwrap();
         let sky = skyline_bnl(&t, &Degenerate(DeterministicOrder::ascending()));
         assert_eq!(sky, vec![ObjectId(4)]);
         // Without (0,0):
-        let t2 = Table::from_rows_raw(2, &[vec![0, 2], vec![1, 1], vec![2, 0], vec![2, 2]])
-            .unwrap();
+        let t2 =
+            Table::from_rows_raw(2, &[vec![0, 2], vec![1, 1], vec![2, 0], vec![2, 2]]).unwrap();
         let sky2 = skyline_bnl(&t2, &Degenerate(DeterministicOrder::ascending()));
         assert_eq!(sky2, vec![ObjectId(0), ObjectId(1), ObjectId(2)]);
     }

@@ -46,7 +46,8 @@ pub mod prelude {
     pub use crate::error::QueryError;
     pub use crate::oracle::all_sky_naive;
     pub use crate::prob_skyline::{
-        all_sky, probabilistic_skyline, sky_one, Algorithm, QueryOptions, SkyResult,
+        all_sky, probabilistic_skyline, sky_one, sky_one_with, Algorithm, QueryOptions, SkyResult,
+        SkyScratch,
     };
     pub use crate::threshold::{
         resolution_stats, threshold_one, threshold_skyline, Resolution, ResolutionStats,

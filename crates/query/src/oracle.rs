@@ -69,8 +69,7 @@ mod tests {
 
     #[test]
     fn probabilities_are_valid_and_someone_is_likely() {
-        let t =
-            Table::from_rows_raw(2, &[vec![0, 1], vec![1, 0], vec![2, 2], vec![0, 2]]).unwrap();
+        let t = Table::from_rows_raw(2, &[vec![0, 1], vec![1, 0], vec![2, 2], vec![0, 2]]).unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
         let sky = all_sky_naive(&t, &p, 20).unwrap();
         for &s in &sky {
@@ -84,9 +83,6 @@ mod tests {
         let rows: Vec<Vec<u32>> = (0..12).map(|i| vec![i, i + 12]).collect();
         let t = Table::from_rows_raw(2, &rows).unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
-        assert!(matches!(
-            all_sky_naive(&t, &p, 10),
-            Err(QueryError::InstanceTooLarge { .. })
-        ));
+        assert!(matches!(all_sky_naive(&t, &p, 10), Err(QueryError::InstanceTooLarge { .. })));
     }
 }

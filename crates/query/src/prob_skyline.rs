@@ -6,29 +6,41 @@
 //! conclusion suggests — "a naive approach will be calculating every
 //! object's skyline probability by applying the sampling algorithm
 //! proposed in this paper" — upgraded with per-object *adaptive* algorithm
-//! selection and a multi-threaded driver:
+//! selection and a multi-threaded batch driver:
 //!
+//! * the table is indexed **once** into a [`BatchCoinContext`], so each
+//!   object's coin view is assembled by array lookups instead of the
+//!   per-target hashing of [`CoinView::build`];
+//! * each worker owns a [`SkyScratch`] threaded through the whole
+//!   per-object pipeline (assembly, prune, absorption, partition, the
+//!   exact engine and the sampler), so the hot loop performs no per-object
+//!   heap allocation once the buffers have warmed up;
 //! * each object's reduced instance is preprocessed (prune, absorption,
-//!   partition);
+//!   partition); objects dominated with certainty short-circuit to
+//!   `sky = 0` before any of that;
 //! * if every independent component is small, the exact per-component
 //!   inclusion–exclusion finishes in microseconds and we report an exact
 //!   probability;
 //! * otherwise the Monte-Carlo estimator takes over with the configured
 //!   `(ε, δ)` budget.
+//!
+//! The batch driver produces **bit-identical** results to calling
+//! [`sky_one`] per object with the same options (see
+//! `crates/query/tests/properties.rs`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
-use presky_core::coins::CoinView;
+use presky_core::batch::{BatchCoinContext, BatchScratch};
+use presky_core::coins::{CoinRemap, CoinView};
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
 use presky_core::types::ObjectId;
 
-use presky_exact::absorption::absorb;
-use presky_exact::det::{sky_det_view, DetOptions};
-use presky_exact::partition::partition;
+use presky_exact::absorption::{absorb_into, AbsorbScratch, AbsorptionResult};
+use presky_exact::det::{sky_det_view_with, DetOptions, DetScratch};
+use presky_exact::partition::{partition_into, PartitionScratch};
 
-use presky_approx::sampler::{sky_sam_view, SamOptions};
+use presky_approx::sampler::{sky_sam_view_with, SamOptions, SamScratch};
 
 use crate::error::{QueryError, Result};
 
@@ -68,6 +80,44 @@ pub struct SkyResult {
     pub exact: bool,
 }
 
+/// Reusable per-worker workspace for the per-object pipeline.
+///
+/// Owns every buffer the pipeline touches: batch view assembly, the
+/// pruned/absorbed working view, per-component sub-views, and the scratch
+/// state of the exact engine and the sampler. A default-constructed value
+/// works for any instance; buffers grow to the largest object processed
+/// and are then recycled, making the steady-state loop allocation-free.
+#[derive(Debug)]
+pub struct SkyScratch {
+    pub(crate) batch: BatchScratch,
+    pub(crate) view: CoinView,
+    pub(crate) work: CoinView,
+    pub(crate) sub: CoinView,
+    pub(crate) remap: CoinRemap,
+    absorb: AbsorbScratch,
+    absorbed: AbsorptionResult,
+    pub(crate) partition: PartitionScratch,
+    pub(crate) det: DetScratch,
+    pub(crate) sam: SamScratch,
+}
+
+impl Default for SkyScratch {
+    fn default() -> Self {
+        Self {
+            batch: BatchScratch::default(),
+            view: CoinView::empty(),
+            work: CoinView::empty(),
+            sub: CoinView::empty(),
+            remap: CoinRemap::default(),
+            absorb: AbsorbScratch::default(),
+            absorbed: AbsorptionResult::default(),
+            partition: PartitionScratch::default(),
+            det: DetScratch::default(),
+            sam: SamScratch::default(),
+        }
+    }
+}
+
 /// Compute one object's skyline probability under the policy.
 pub fn sky_one<M: PreferenceModel>(
     table: &Table,
@@ -75,50 +125,96 @@ pub fn sky_one<M: PreferenceModel>(
     target: ObjectId,
     algo: Algorithm,
 ) -> Result<SkyResult> {
-    let view = CoinView::build(table, prefs, target)?;
-    sky_one_view(&view, target, algo)
+    sky_one_with(table, prefs, target, algo, &mut SkyScratch::default())
 }
 
-fn sky_one_view(view: &CoinView, object: ObjectId, algo: Algorithm) -> Result<SkyResult> {
-    // Shared sound preprocessing.
-    let mut work = view.clone();
-    work.prune_impossible();
-    let kept = absorb(&work).kept;
-    let work = work.restrict(&kept);
-    let groups = partition(&work);
+/// [`sky_one`] with caller-provided scratch, for repeated queries.
+pub fn sky_one_with<M: PreferenceModel>(
+    table: &Table,
+    prefs: &M,
+    target: ObjectId,
+    algo: Algorithm,
+    scratch: &mut SkyScratch,
+) -> Result<SkyResult> {
+    scratch.view = CoinView::build(table, prefs, target)?;
+    solve_scratch_view(target, algo, scratch)
+}
 
+/// One object through the batch assembly path.
+pub(crate) fn sky_batch_one<M: PreferenceModel>(
+    ctx: &BatchCoinContext,
+    prefs: &M,
+    target: ObjectId,
+    algo: Algorithm,
+    scratch: &mut SkyScratch,
+) -> Result<SkyResult> {
+    ctx.view_into(prefs, target, &mut scratch.batch, &mut scratch.view)?;
+    solve_scratch_view(target, algo, scratch)
+}
+
+/// Shared sound preprocessing on `s.view`: certain-attacker short-circuit,
+/// zero-coin pruning, absorption, coin-compacting restriction into
+/// `s.work`, then independence partition (groups land in `s.partition`).
+///
+/// Returns `Some(result)` when the short-circuit fired. Both [`sky_one`]
+/// and the batch driver funnel through this function, which is what makes
+/// their outputs bit-identical.
+pub(crate) fn preprocess_scratch_view(object: ObjectId, s: &mut SkyScratch) -> Option<SkyResult> {
+    // An attacker whose every coin has probability 1 dominates in every
+    // world: sky = 0 exactly, no pipeline needed. (The inclusion–exclusion
+    // engine would reach ~0 only up to float cancellation, so this exit
+    // must sit in the shared path for both drivers to agree bitwise.)
+    if s.view.has_certain_attacker() {
+        return Some(SkyResult { object, sky: 0.0, exact: true });
+    }
+    s.view.prune_impossible();
+    absorb_into(&s.view, &mut s.absorb, &mut s.absorbed);
+    s.view.restrict_into(&s.absorbed.kept, &mut s.remap, &mut s.work);
+    partition_into(&s.work, &mut s.partition);
+    None
+}
+
+/// Solve the preassembled `s.view` under `algo`.
+fn solve_scratch_view(object: ObjectId, algo: Algorithm, s: &mut SkyScratch) -> Result<SkyResult> {
+    if let Some(short) = preprocess_scratch_view(object, s) {
+        return Ok(short);
+    }
     match algo {
         Algorithm::Exact { det } => {
-            let mut sky = 1.0;
-            for g in &groups {
-                sky *= sky_det_view(&work.restrict(g), det)?.sky;
-            }
+            let sky = exact_component_product(s, det)?;
             Ok(SkyResult { object, sky, exact: true })
         }
         Algorithm::Sampling(sam) => {
-            let out = sky_sam_view(&work, sam)?;
-            Ok(SkyResult { object, sky: out.estimate, exact: work.n_attackers() == 0 })
+            let out = sky_sam_view_with(&s.work, sam, &mut s.sam)?;
+            Ok(SkyResult { object, sky: out.estimate, exact: s.work.n_attackers() == 0 })
         }
         Algorithm::Adaptive { exact_component_limit, sam } => {
-            let largest = groups.iter().map(Vec::len).max().unwrap_or(0);
+            let largest =
+                (0..s.partition.n_groups()).map(|g| s.partition.group(g).len()).max().unwrap_or(0);
             if largest <= exact_component_limit {
                 let det = DetOptions::with_max_attackers(exact_component_limit);
-                let mut sky = 1.0;
-                for g in &groups {
-                    sky *= sky_det_view(&work.restrict(g), det)?.sky;
-                }
+                let sky = exact_component_product(s, det)?;
                 Ok(SkyResult { object, sky, exact: true })
             } else {
-                let out = sky_sam_view(&work, sam)?;
+                let out = sky_sam_view_with(&s.work, sam, &mut s.sam)?;
                 Ok(SkyResult { object, sky: out.estimate, exact: false })
             }
         }
     }
 }
 
+/// `Π` of per-component exact skyline factors over the partition groups.
+fn exact_component_product(s: &mut SkyScratch, det: DetOptions) -> Result<f64> {
+    let mut sky = 1.0;
+    for g in 0..s.partition.n_groups() {
+        s.work.restrict_into(s.partition.group(g), &mut s.remap, &mut s.sub);
+        sky *= sky_det_view_with(&s.sub, det, &mut s.det)?.sky;
+    }
+    Ok(sky)
+}
+
 /// Options of the all-objects query driver.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct QueryOptions {
     /// Per-object policy.
     pub algorithm: Algorithm,
@@ -126,60 +222,102 @@ pub struct QueryOptions {
     pub threads: Option<usize>,
 }
 
+/// Objects handed to a worker per dispatch; large enough to amortise the
+/// atomic fetch and to keep consecutive targets (which often share
+/// dimension values, and hence `pr_strict` memo entries) on one worker.
+pub(crate) const CHUNK: usize = 16;
+
+/// Resolve a thread-count request against the instance size.
+pub(crate) fn effective_threads(requested: Option<usize>, n: usize) -> usize {
+    requested
+        .unwrap_or_else(|| std::thread::available_parallelism().map(Into::into).unwrap_or(1))
+        .clamp(1, n.max(1))
+}
+
+/// Run `f(i, scratch)` for every `i in 0..n` across `threads` workers.
+///
+/// Work is dispatched in contiguous chunks of [`CHUNK`] indices; each
+/// worker appends `(start, results)` runs to a private vector, and the
+/// runs are stitched in index order afterwards — no shared mutex. A panic
+/// in any worker is re-raised on the caller's thread with its original
+/// payload after all workers have been joined.
+pub(crate) fn run_chunked<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut SkyScratch) -> T + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, Vec<T>)> = Vec::new();
+    let mut panic_payload = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = SkyScratch::default();
+                    let mut parts: Vec<(usize, Vec<T>)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + CHUNK).min(n);
+                        let mut chunk = Vec::with_capacity(end - start);
+                        for i in start..end {
+                            chunk.push(f(i, &mut scratch));
+                        }
+                        parts.push((start, chunk));
+                    }
+                    parts
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(parts) => collected.extend(parts),
+                Err(payload) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(payload);
+                    }
+                }
+            }
+        }
+    });
+    // Every handle was joined above, so the scope exits cleanly and the
+    // first worker panic propagates as a single ordinary panic.
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+    collected.sort_unstable_by_key(|&(start, _)| start);
+    collected.into_iter().flat_map(|(_, chunk)| chunk).collect()
+}
 
 /// Compute the skyline probability of **every** object, in parallel.
 ///
-/// Results are in object order. Requires `M: Sync` (all provided models
-/// are).
+/// The table is indexed once ([`BatchCoinContext`]); workers then assemble
+/// each target's view by array lookups and solve it with per-worker
+/// reusable scratch. Results are in object order and bit-identical to a
+/// [`sky_one`] loop with the same options. Requires `M: Sync` (all
+/// provided models are).
 pub fn all_sky<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
     opts: QueryOptions,
 ) -> Result<Vec<SkyResult>> {
-    if let Some((first, second)) = table.find_duplicate() {
-        return Err(QueryError::Core(presky_core::error::CoreError::DuplicateObject {
-            first,
-            second,
-        }));
-    }
+    let ctx = BatchCoinContext::build(table)?;
     let n = table.len();
-    let threads = opts
-        .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map(Into::into).unwrap_or(1))
-        .clamp(1, n.max(1));
-
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<SkyResult>>>> = Mutex::new(vec![None; n]);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let object = ObjectId::from(i);
-                // Per-object seed decorrelation for sampling policies.
-                let algo = reseed(opts.algorithm, i as u64);
-                let r = sky_one(table, prefs, object, algo);
-                results.lock().expect("no panics hold the lock")[i] = Some(r);
-            });
-        }
-    });
-
-    results
-        .into_inner()
-        .expect("threads joined")
-        .into_iter()
-        .map(|r| r.expect("every index visited"))
-        .collect()
+    let threads = effective_threads(opts.threads, n);
+    run_chunked(n, threads, |i, scratch| {
+        // Per-object seed decorrelation for sampling policies.
+        let algo = reseed(opts.algorithm, i as u64);
+        sky_batch_one(&ctx, prefs, ObjectId::from(i), algo, scratch)
+    })
+    .into_iter()
+    .collect()
 }
 
-fn reseed(algo: Algorithm, salt: u64) -> Algorithm {
-    let mix = |s: SamOptions| SamOptions {
-        seed: s.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-        ..s
-    };
+pub(crate) fn reseed(algo: Algorithm, salt: u64) -> Algorithm {
+    let mix =
+        |s: SamOptions| SamOptions { seed: s.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15), ..s };
     match algo {
         Algorithm::Adaptive { exact_component_limit, sam } => {
             Algorithm::Adaptive { exact_component_limit, sam: mix(sam) }
@@ -190,26 +328,30 @@ fn reseed(algo: Algorithm, salt: u64) -> Algorithm {
 }
 
 /// The probabilistic skyline: all objects whose skyline probability is at
-/// least `tau` (`0 < τ < 1` per the paper's definition), sorted by
-/// descending probability.
+/// least `tau`, sorted by descending probability.
+///
+/// The threshold must satisfy `0 < τ < 1`, exactly as in the paper's
+/// definition: τ = 0 would admit every object and τ = 1 would demand
+/// certainty, both degenerate readings the definition excludes.
 pub fn probabilistic_skyline<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
     tau: f64,
     opts: QueryOptions,
 ) -> Result<Vec<SkyResult>> {
-    if tau.is_nan() || !(0.0..=1.0).contains(&tau) {
+    if !(tau > 0.0 && tau < 1.0) {
         return Err(QueryError::InvalidThreshold { value: tau });
     }
     let mut all = all_sky(table, prefs, opts)?;
     all.retain(|r| r.sky >= tau);
-    all.sort_by(|a, b| b.sky.partial_cmp(&a.sky).unwrap_or(std::cmp::Ordering::Equal));
+    all.sort_by(|a, b| b.sky.total_cmp(&a.sky));
     Ok(all)
 }
 
 #[cfg(test)]
 mod tests {
     use presky_core::preference::{DeterministicOrder, PrefPair, TablePreferences};
+    use presky_exact::det::DetOptions;
 
     use super::*;
     use crate::certain::{skyline_bnl, Degenerate};
@@ -246,23 +388,22 @@ mod tests {
     #[test]
     fn invalid_threshold_rejected() {
         let (t, p) = observation();
-        assert!(matches!(
-            probabilistic_skyline(&t, &p, 1.5, QueryOptions::default()),
-            Err(QueryError::InvalidThreshold { .. })
-        ));
-        assert!(matches!(
-            probabilistic_skyline(&t, &p, f64::NAN, QueryOptions::default()),
-            Err(QueryError::InvalidThreshold { .. })
-        ));
+        for tau in [1.5, -0.1, 0.0, 1.0, f64::NAN] {
+            assert!(
+                matches!(
+                    probabilistic_skyline(&t, &p, tau, QueryOptions::default()),
+                    Err(QueryError::InvalidThreshold { .. })
+                ),
+                "τ = {tau} must be rejected"
+            );
+        }
     }
 
     #[test]
     fn degenerate_preferences_agree_with_bnl() {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 2], vec![1, 1], vec![2, 0], vec![2, 2], vec![0, 0]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 2], vec![1, 1], vec![2, 0], vec![2, 2], vec![0, 0]])
+                .unwrap();
         let order = DeterministicOrder::ascending();
         let results = all_sky(&t, &order, QueryOptions::default()).unwrap();
         let bnl = skyline_bnl(&t, &Degenerate(order));
@@ -272,6 +413,23 @@ mod tests {
             assert_eq!(r.sky, expected, "object {}", r.object);
             assert!(r.exact);
         }
+    }
+
+    #[test]
+    fn certain_attacker_short_circuits_to_exact_zero() {
+        // Object 1 is dominated by object 0 with probability 1 on both
+        // dims; even the sampling policy reports it exactly.
+        let t = Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![2, 2]]).unwrap();
+        let order = DeterministicOrder::ascending();
+        let opts = QueryOptions {
+            algorithm: Algorithm::Sampling(SamOptions::with_samples(50, 3)),
+            threads: Some(1),
+        };
+        let results = all_sky(&t, &order, opts).unwrap();
+        assert_eq!(results[1].sky, 0.0);
+        assert!(results[1].exact, "short-circuit marks the zero exact");
+        assert_eq!(results[2].sky, 0.0);
+        assert!(results[2].exact);
     }
 
     #[test]
@@ -290,9 +448,9 @@ mod tests {
 
     #[test]
     fn exact_policy_errors_on_oversized_components() {
-        // 25 attackers sharing a common coin with pairwise distinct extras:
-        // one component of size 25 > default max of DetOptions? Use a tiny
-        // limit to force the error deterministically.
+        // 10 attackers sharing a common coin with pairwise distinct extras:
+        // one component of size 10; use a tiny limit to force the error
+        // deterministically.
         let rows: Vec<Vec<u32>> =
             std::iter::once(vec![0, 0]).chain((1..=10).map(|i| vec![i, 99])).collect();
         let t = Table::from_rows_raw(2, &rows).unwrap();
@@ -309,19 +467,33 @@ mod tests {
     fn duplicate_rows_rejected_up_front() {
         let t = Table::from_rows_raw(1, &[vec![0], vec![0]]).unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
-        assert!(matches!(
-            all_sky(&t, &p, QueryOptions::default()),
-            Err(QueryError::Core(_))
-        ));
+        assert!(matches!(all_sky(&t, &p, QueryOptions::default()), Err(QueryError::Core(_))));
     }
 
     #[test]
     fn thread_counts_do_not_change_exact_results() {
         let (t, p) = observation();
-        let one = all_sky(&t, &p, QueryOptions { threads: Some(1), ..Default::default() })
-            .unwrap();
-        let many = all_sky(&t, &p, QueryOptions { threads: Some(8), ..Default::default() })
-            .unwrap();
+        let one = all_sky(&t, &p, QueryOptions { threads: Some(1), ..Default::default() }).unwrap();
+        let many =
+            all_sky(&t, &p, QueryOptions { threads: Some(8), ..Default::default() }).unwrap();
         assert_eq!(one, many);
+    }
+
+    #[test]
+    fn batch_driver_matches_per_object_driver_bitwise() {
+        let (t, p) = observation();
+        for algo in [
+            Algorithm::default(),
+            Algorithm::Sampling(SamOptions::with_samples(500, 9)),
+            Algorithm::Exact { det: DetOptions::default() },
+        ] {
+            let batch =
+                all_sky(&t, &p, QueryOptions { algorithm: algo, threads: Some(3) }).unwrap();
+            for (i, r) in batch.iter().enumerate() {
+                let single = sky_one(&t, &p, ObjectId::from(i), reseed(algo, i as u64)).unwrap();
+                assert_eq!(r.sky.to_bits(), single.sky.to_bits(), "object {i}");
+                assert_eq!(r.exact, single.exact);
+            }
+        }
     }
 }

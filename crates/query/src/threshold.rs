@@ -19,23 +19,20 @@
 //! The per-object [`Resolution`] records which rung decided it, so the
 //! harness can report how much work the pruning saves.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
+use presky_core::batch::BatchCoinContext;
 use presky_core::coins::CoinView;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
 use presky_core::types::ObjectId;
 
-use presky_exact::absorption::absorb;
 use presky_exact::bounds::{sky_bounds_bonferroni, SkyBounds};
-use presky_exact::det::{sky_det_view, DetOptions};
-use presky_exact::partition::partition;
+use presky_exact::det::{sky_det_view_with, DetOptions};
 
-use presky_approx::sampler::{sky_sam_view, SamOptions};
+use presky_approx::sampler::{sky_sam_view_with, SamOptions};
 use presky_approx::sprt::{sky_threshold_test_view, SprtOptions, ThresholdDecision};
 
 use crate::error::{QueryError, Result};
+use crate::prob_skyline::{effective_threads, preprocess_scratch_view, run_chunked, SkyScratch};
 
 /// How an object's membership was decided.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,18 +108,34 @@ pub fn threshold_one<M: PreferenceModel>(
     if tau.is_nan() || !(0.0..=1.0).contains(&tau) {
         return Err(QueryError::InvalidThreshold { value: tau });
     }
-    let view = CoinView::build(table, prefs, target)?;
+    let mut scratch = SkyScratch::default();
+    scratch.view = CoinView::build(table, prefs, target)?;
+    threshold_scratch_view(target, tau, opts, &mut scratch)
+}
 
-    // Sound preprocessing shared by every rung.
-    let mut work = view;
-    work.prune_impossible();
-    let kept = absorb(&work).kept;
-    let work = work.restrict(&kept);
+/// The escalation ladder on a preassembled `scratch.view` — the shared
+/// rung function behind [`threshold_one`] and [`threshold_skyline`].
+fn threshold_scratch_view(
+    target: ObjectId,
+    tau: f64,
+    opts: ThresholdOptions,
+    s: &mut SkyScratch,
+) -> Result<ThresholdAnswer> {
+    // Sound preprocessing shared by every rung (prune, absorption,
+    // restriction into `s.work`, partition into `s.partition`). A
+    // certainly-dominated object short-circuits to the exact zero.
+    if let Some(short) = preprocess_scratch_view(target, s) {
+        return Ok(ThresholdAnswer {
+            object: target,
+            member: short.sky >= tau,
+            resolution: Resolution::Exact(short.sky),
+        });
+    }
 
     // Rung 1: certified bounds. Bonferroni on instances small enough that
     // level-2 enumeration stays cheap; the O(n·d) cheap bounds otherwise.
-    let level = if work.n_attackers() <= 2_000 { opts.bonferroni_level } else { 1 };
-    let bounds = sky_bounds_bonferroni(&work, level)?;
+    let level = if s.work.n_attackers() <= 2_000 { opts.bonferroni_level } else { 1 };
+    let bounds = sky_bounds_bonferroni(&s.work, level)?;
     if bounds.certainly_at_least(tau) || bounds.certainly_below(tau) {
         return Ok(ThresholdAnswer {
             object: target,
@@ -134,17 +147,17 @@ pub fn threshold_one<M: PreferenceModel>(
     // Rung 2: exact when cheap. The component product only decreases, so
     // the scan exits the moment it falls below τ — on low thresholds most
     // objects are certified non-members after a handful of components.
-    let groups = partition(&work);
-    let largest = groups.iter().map(Vec::len).max().unwrap_or(0);
-    let exact_work: u64 = groups
-        .iter()
-        .map(|g| 1u64.checked_shl(g.len().min(63) as u32).unwrap_or(u64::MAX))
+    let n_groups = s.partition.n_groups();
+    let largest = (0..n_groups).map(|g| s.partition.group(g).len()).max().unwrap_or(0);
+    let exact_work: u64 = (0..n_groups)
+        .map(|g| 1u64.checked_shl(s.partition.group(g).len().min(63) as u32).unwrap_or(u64::MAX))
         .fold(0u64, u64::saturating_add);
     if largest <= opts.exact_component_limit && exact_work <= opts.exact_work_limit {
         let det = DetOptions::with_max_attackers(opts.exact_component_limit);
         let mut sky = 1.0;
-        for g in &groups {
-            sky *= sky_det_view(&work.restrict(g), det)?.sky;
+        for g in 0..n_groups {
+            s.work.restrict_into(s.partition.group(g), &mut s.remap, &mut s.sub);
+            sky *= sky_det_view_with(&s.sub, det, &mut s.det)?.sky;
             if sky < tau {
                 // Remaining factors are ≤ 1: membership is already refuted
                 // by the certified upper bound `sky_partial`.
@@ -164,7 +177,7 @@ pub fn threshold_one<M: PreferenceModel>(
 
     // Rung 3: sequential test.
     let sprt = SprtOptions { seed: opts.sprt.seed ^ target.0 as u64, ..opts.sprt };
-    let out = sky_threshold_test_view(&work, tau, sprt)?;
+    let out = sky_threshold_test_view(&s.work, tau, sprt)?;
     match out.decision {
         ThresholdDecision::AtLeast => Ok(ThresholdAnswer {
             object: target,
@@ -178,11 +191,8 @@ pub fn threshold_one<M: PreferenceModel>(
         }),
         ThresholdDecision::Undecided => {
             // Rung 4: fixed-budget estimate.
-            let sam = SamOptions {
-                seed: opts.fallback.seed ^ target.0 as u64,
-                ..opts.fallback
-            };
-            let est = sky_sam_view(&work, sam)?.estimate;
+            let sam = SamOptions { seed: opts.fallback.seed ^ target.0 as u64, ..opts.fallback };
+            let est = sky_sam_view_with(&s.work, sam, &mut s.sam)?.estimate;
             Ok(ThresholdAnswer {
                 object: target,
                 member: est >= tau,
@@ -194,7 +204,11 @@ pub fn threshold_one<M: PreferenceModel>(
 
 /// The probabilistic skyline as a membership list, in parallel.
 ///
-/// Returns one [`ThresholdAnswer`] per object, in object order.
+/// Returns one [`ThresholdAnswer`] per object, in object order. Like
+/// [`crate::prob_skyline::all_sky`], the table is indexed once into a
+/// [`BatchCoinContext`]; workers assemble views by array lookups, keep
+/// per-worker scratch, and their chunked results are stitched in order
+/// without a shared mutex.
 pub fn threshold_skyline<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
@@ -204,37 +218,16 @@ pub fn threshold_skyline<M: PreferenceModel + Sync>(
     if tau.is_nan() || !(0.0..=1.0).contains(&tau) {
         return Err(QueryError::InvalidThreshold { value: tau });
     }
-    if let Some((first, second)) = table.find_duplicate() {
-        return Err(QueryError::Core(presky_core::error::CoreError::DuplicateObject {
-            first,
-            second,
-        }));
-    }
+    let ctx = BatchCoinContext::build(table)?;
     let n = table.len();
-    let threads = opts
-        .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map(Into::into).unwrap_or(1))
-        .clamp(1, n.max(1));
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<ThresholdAnswer>>>> = Mutex::new(vec![None; n]);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = threshold_one(table, prefs, ObjectId::from(i), tau, opts);
-                results.lock().expect("no poisoned lock")[i] = Some(r);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("threads joined")
-        .into_iter()
-        .map(|r| r.expect("every index visited"))
-        .collect()
+    let threads = effective_threads(opts.threads, n);
+    run_chunked(n, threads, |i, scratch| {
+        let target = ObjectId::from(i);
+        ctx.view_into(prefs, target, &mut scratch.batch, &mut scratch.view)?;
+        threshold_scratch_view(target, tau, opts, scratch)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Aggregate how the ladder resolved a result set (for reporting).
@@ -272,11 +265,9 @@ mod tests {
     use crate::oracle::all_sky_naive;
 
     fn example1() -> (Table, TablePreferences) {
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         (t, TablePreferences::with_default(PrefPair::half()))
     }
 
@@ -310,8 +301,7 @@ mod tests {
         // After absorption the level-2 Bonferroni enclosure for O is
         // [3/16, 1/4]; τ = 0.2 falls strictly inside, so the bounds rung
         // cannot separate and the exact rung must decide (sky = 3/16 < τ).
-        let a =
-            threshold_one(&t, &p, ObjectId(0), 0.2, ThresholdOptions::default()).unwrap();
+        let a = threshold_one(&t, &p, ObjectId(0), 0.2, ThresholdOptions::default()).unwrap();
         assert!(!a.member);
         // The exact rung either completes the product (Exact 3/16) or
         // early-exits the moment the running product certifies < τ
@@ -323,8 +313,7 @@ mod tests {
         }
         // At τ = 0.1875 exactly, the FKG lower bound (tight on the three
         // disjoint survivors) certifies membership with no lattice walk.
-        let a = threshold_one(&t, &p, ObjectId(0), 0.1875, ThresholdOptions::default())
-            .unwrap();
+        let a = threshold_one(&t, &p, ObjectId(0), 0.1875, ThresholdOptions::default()).unwrap();
         assert!(a.member);
         assert!(matches!(a.resolution, Resolution::Bounds(_)), "{:?}", a.resolution);
     }
@@ -333,9 +322,8 @@ mod tests {
     fn sequential_rung_engages_on_large_components() {
         // Force a large irreducible component: attackers {i, shared} for
         // i = 0..30 share one coin, no absorption applies, component 30.
-        let rows: Vec<Vec<u32>> = std::iter::once(vec![0, 0])
-            .chain((1..=30).map(|i| vec![i, 99]))
-            .collect();
+        let rows: Vec<Vec<u32>> =
+            std::iter::once(vec![0, 0]).chain((1..=30).map(|i| vec![i, 99])).collect();
         let t = Table::from_rows_raw(2, &rows).unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
         let opts = ThresholdOptions {

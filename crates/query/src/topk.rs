@@ -101,10 +101,7 @@ pub fn top_k_skyline<M: PreferenceModel + Sync>(
 
 fn sort_desc(v: &mut [SkyResult]) {
     v.sort_by(|a, b| {
-        b.sky
-            .partial_cmp(&a.sky)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.object.cmp(&b.object))
+        b.sky.partial_cmp(&a.sky).unwrap_or(std::cmp::Ordering::Equal).then(a.object.cmp(&b.object))
     });
 }
 
@@ -118,11 +115,9 @@ mod tests {
 
     fn fixture() -> (Table, TablePreferences) {
         // Example 1 plus the Observation layout merged: 5 distinct objects.
-        let t = Table::from_rows_raw(
-            2,
-            &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
         (t, TablePreferences::with_default(PrefPair::half()))
     }
 
@@ -154,10 +149,7 @@ mod tests {
     #[test]
     fn zero_k_and_zero_overfetch_rejected() {
         let (t, p) = fixture();
-        assert!(matches!(
-            top_k_skyline(&t, &p, 0, TopKOptions::default()),
-            Err(QueryError::ZeroK)
-        ));
+        assert!(matches!(top_k_skyline(&t, &p, 0, TopKOptions::default()), Err(QueryError::ZeroK)));
         let opts = TopKOptions { overfetch: 0, ..TopKOptions::default() };
         assert!(matches!(top_k_skyline(&t, &p, 1, opts), Err(QueryError::ZeroK)));
     }

@@ -33,8 +33,7 @@ fn instance() -> impl Strategy<Value = (Table, TablePreferences)> {
                 proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 6 * d),
             )
                 .prop_map(move |(idxs, pair_probs)| {
-                    let rows: Vec<Vec<u32>> =
-                        idxs.iter().map(|&i| decode_row(i, d)).collect();
+                    let rows: Vec<Vec<u32>> = idxs.iter().map(|&i| decode_row(i, d)).collect();
                     let table = Table::from_rows_raw(d, &rows).expect("valid rows");
                     let mut prefs = TablePreferences::new();
                     let mut it = pair_probs.into_iter();
@@ -108,7 +107,7 @@ proptest! {
     }
 
     #[test]
-    fn probabilistic_skyline_is_a_filter_of_all_sky((table, prefs) in instance(), tau in 0.0f64..1.0) {
+    fn probabilistic_skyline_is_a_filter_of_all_sky((table, prefs) in instance(), tau in 0.01f64..0.99) {
         let flat = all_sky(&table, &prefs, QueryOptions { threads: Some(1), ..Default::default() })
             .unwrap();
         let sky = probabilistic_skyline(
@@ -144,6 +143,53 @@ proptest! {
     }
 
     #[test]
+    fn batch_engine_matches_sky_one_bitwise(
+        (table, prefs) in instance(),
+        threads in 1usize..=4,
+        algo_sel in 0usize..3,
+    ) {
+        use presky_exact::det::DetOptions;
+        use presky_query::prob_skyline::{sky_one, Algorithm};
+        let algorithm = match algo_sel {
+            0 => Algorithm::default(),
+            1 => Algorithm::Sampling(SamOptions::with_samples(400, 11)),
+            _ => Algorithm::Exact { det: DetOptions::default() },
+        };
+        let batch = all_sky(
+            &table,
+            &prefs,
+            QueryOptions { algorithm, threads: Some(threads) },
+        )
+        .unwrap();
+        prop_assert_eq!(batch.len(), table.len());
+        for (i, r) in batch.iter().enumerate() {
+            // Replicate the driver's per-object seed decorrelation so the
+            // single-object path sees identical sampler options.
+            let salted = match algorithm {
+                Algorithm::Adaptive { exact_component_limit, sam } => Algorithm::Adaptive {
+                    exact_component_limit,
+                    sam: SamOptions {
+                        seed: sam.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        ..sam
+                    },
+                },
+                Algorithm::Sampling(sam) => Algorithm::Sampling(SamOptions {
+                    seed: sam.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    ..sam
+                }),
+                e @ Algorithm::Exact { .. } => e,
+            };
+            let single = sky_one(&table, &prefs, ObjectId::from(i), salted).unwrap();
+            prop_assert_eq!(r.object, single.object);
+            prop_assert_eq!(
+                r.sky.to_bits(), single.sky.to_bits(),
+                "object {}: batch {} vs single {}", i, r.sky, single.sky
+            );
+            prop_assert_eq!(r.exact, single.exact);
+        }
+    }
+
+    #[test]
     fn sampling_policy_brackets_exact((table, prefs) in instance()) {
         use presky_query::prob_skyline::Algorithm;
         let exact = all_sky(&table, &prefs, QueryOptions { threads: Some(1), ..Default::default() })
@@ -161,6 +207,26 @@ proptest! {
             prop_assert!((e.sky - s.sky).abs() < 0.09, "{} vs {}", e.sky, s.sky);
         }
     }
+}
+
+#[test]
+fn worker_panic_in_all_sky_propagates_cleanly() {
+    // A model that blows up mid-query: the driver must re-raise the
+    // original panic payload on the caller's thread — not die on a
+    // poisoned mutex or a double panic.
+    struct Panicker;
+    impl PreferenceModel for Panicker {
+        fn pr_strict(&self, _dim: DimId, _a: ValueId, _b: ValueId) -> f64 {
+            panic!("model exploded");
+        }
+    }
+    let table = Table::from_rows_raw(1, &[vec![0], vec![1], vec![2]]).unwrap();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        all_sky(&table, &Panicker, QueryOptions { threads: Some(2), ..Default::default() })
+    }));
+    let payload = caught.expect_err("worker panic must propagate to the caller");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "model exploded", "original payload must survive");
 }
 
 #[test]

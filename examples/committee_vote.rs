@@ -78,7 +78,10 @@ fn main() {
     // --- Bradley–Terry fill-in on the experience dimension. --------------
     let exp_tallies = vec![
         ((v(1, "startup"), v(1, "bigco")), ballots.tally(DimId(1), v(1, "startup"), v(1, "bigco"))),
-        ((v(1, "bigco"), v(1, "academia")), ballots.tally(DimId(1), v(1, "bigco"), v(1, "academia"))),
+        (
+            (v(1, "bigco"), v(1, "academia")),
+            ballots.tally(DimId(1), v(1, "bigco"), v(1, "academia")),
+        ),
     ];
     let bt = BradleyTerry::fit(&exp_tallies, 100).expect("valid tallies");
     let filled = bt.predict(v(1, "startup"), v(1, "academia"));

@@ -28,8 +28,8 @@ fn main() {
     println!("\nPer-application acceptance probability (Sam+, 3000 samples):");
     for &row in &picks {
         let target = ObjectId::from(row);
-        let out = sky_sam_plus(&full, &prefs, target, SamPlusOptions::default())
-            .expect("valid instance");
+        let out =
+            sky_sam_plus(&full, &prefs, target, SamPlusOptions::default()).expect("valid instance");
         println!(
             "  #{row:>5} {}  sky ≈ {:.4}   ({} of {} attackers left after preprocessing)",
             full.display_row(target),

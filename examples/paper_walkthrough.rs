@@ -38,11 +38,9 @@ fn observation() {
 
 fn example1() {
     println!("== Example 1 (Section 2, Figure 4) ==");
-    let table = Table::from_rows_raw(
-        2,
-        &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-    )
-    .unwrap();
+    let table =
+        Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+            .unwrap();
     let prefs = TablePreferences::with_default(PrefPair::half());
     let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
 
@@ -66,11 +64,9 @@ fn example1() {
 
 fn preprocessing() {
     println!("== Absorption and partition (Section 5) ==");
-    let table = Table::from_rows_raw(
-        2,
-        &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-    )
-    .unwrap();
+    let table =
+        Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+            .unwrap();
     let prefs = TablePreferences::with_default(PrefPair::half());
     let out = sky_det_plus(&table, &prefs, ObjectId(0), DetPlusOptions::default()).unwrap();
     println!(

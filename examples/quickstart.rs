@@ -11,11 +11,9 @@ use presky::prelude::*;
 fn main() {
     // O = (o1, o2), Q1 = (a, b), Q2 = (a, o2), Q3 = (c, e), Q4 = (o1, b).
     // Value codes: dim0 {o1=0, a=1, c=2}, dim1 {o2=0, b=1, e=2}.
-    let table = Table::from_rows_raw(
-        2,
-        &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-    )
-    .expect("valid rows");
+    let table =
+        Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+            .expect("valid rows");
 
     // "All attribute values are equally preferred with probability 0.5."
     let prefs = TablePreferences::with_default(PrefPair::half());

@@ -57,8 +57,8 @@ fn seasonal_prefs(table: &Table, summer: bool) -> TablePreferences {
 
 fn shortlist(table: &Table, prefs: &TablePreferences, season: &str) {
     let tau = 0.25;
-    let sky = probabilistic_skyline(table, prefs, tau, QueryOptions::default())
-        .expect("valid instance");
+    let sky =
+        probabilistic_skyline(table, prefs, tau, QueryOptions::default()).expect("valid instance");
     println!("{season}: rooms with sky >= {tau}");
     for r in &sky {
         println!("  {}  sky = {:.4}", table.display_row(r.object), r.sky);

@@ -78,16 +78,16 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     flags
 }
 
-fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str) -> Result<Option<T>, String>
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, String>
 where
     T::Err: std::fmt::Display,
 {
     match flags.get(key) {
         None => Ok(None),
-        Some(v) => v
-            .parse()
-            .map(Some)
-            .map_err(|e| format!("--{key} {v:?}: {e}")),
+        Some(v) => v.parse().map(Some).map_err(|e| format!("--{key} {v:?}: {e}")),
     }
 }
 
@@ -141,7 +141,12 @@ fn gen(kind: Option<&str>, flags: &HashMap<String, String>) -> Result<(), String
         other => return Err(format!("unknown generator {other:?}")),
     };
     write_table(&out, &table).map_err(|e| e.to_string())?;
-    println!("wrote {} objects x {} dims to {}", table.len(), table.dimensionality(), out.display());
+    println!(
+        "wrote {} objects x {} dims to {}",
+        table.len(),
+        table.dimensionality(),
+        out.display()
+    );
     Ok(())
 }
 
@@ -210,9 +215,7 @@ fn sky(flags: &HashMap<String, String>) -> Result<(), String> {
             true,
         ),
         "det" => (
-            sky_det(&table, &prefs, target, DetOptions::default())
-                .map_err(|e| e.to_string())?
-                .sky,
+            sky_det(&table, &prefs, target, DetOptions::default()).map_err(|e| e.to_string())?.sky,
             true,
         ),
         "cond" => (
@@ -296,6 +299,26 @@ fn skyline(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn topk(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (table, prefs) = load_instance(flags)?;
+    let k: usize = require(flags, "k")?;
+    let start = std::time::Instant::now();
+    let top =
+        top_k_skyline(&table, &prefs, k, TopKOptions::default()).map_err(|e| e.to_string())?;
+    println!("top-{k} by skyline probability ({:.1?}):", start.elapsed());
+    for (rank, r) in top.iter().enumerate() {
+        println!(
+            "  {:>2}. {}  sky = {:.6}{}  {}",
+            rank + 1,
+            r.object,
+            r.sky,
+            if r.exact { "" } else { " (est)" },
+            table.display_row(r.object)
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,8 +359,10 @@ mod tests {
             .unwrap();
         run(&argv(&format!("sky --table {tbl} --prefs {prefs} --target 3 --algo detplus")))
             .unwrap();
-        run(&argv(&format!("sky --table {tbl} --seed-prefs 9 --target 3 --algo sam --samples 500")))
-            .unwrap();
+        run(&argv(&format!(
+            "sky --table {tbl} --seed-prefs 9 --target 3 --algo sam --samples 500"
+        )))
+        .unwrap();
         run(&argv(&format!("profile --table {tbl} --prefs {prefs} --target 3"))).unwrap();
         // Bad algorithm name surfaces cleanly.
         let e = run(&argv(&format!("sky --table {tbl} --prefs {prefs} --target 3 --algo nope")))
@@ -345,24 +370,4 @@ mod tests {
         assert!(e.contains("unknown algorithm"));
         std::fs::remove_dir_all(&dir).ok();
     }
-}
-
-fn topk(flags: &HashMap<String, String>) -> Result<(), String> {
-    let (table, prefs) = load_instance(flags)?;
-    let k: usize = require(flags, "k")?;
-    let start = std::time::Instant::now();
-    let top = top_k_skyline(&table, &prefs, k, TopKOptions::default())
-        .map_err(|e| e.to_string())?;
-    println!("top-{k} by skyline probability ({:.1?}):", start.elapsed());
-    for (rank, r) in top.iter().enumerate() {
-        println!(
-            "  {:>2}. {}  sky = {:.6}{}  {}",
-            rank + 1,
-            r.object,
-            r.sky,
-            if r.exact { "" } else { " (est)" },
-            table.display_row(r.object)
-        );
-    }
-    Ok(())
 }

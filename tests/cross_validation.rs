@@ -34,8 +34,7 @@ fn small_instance() -> impl Strategy<Value = (Table, TablePreferences, ObjectId)
                 0..n,
             )
                 .prop_map(move |(idxs, pair_probs, target)| {
-                    let rows: Vec<Vec<u32>> =
-                        idxs.iter().map(|&i| decode_row(i, d)).collect();
+                    let rows: Vec<Vec<u32>> = idxs.iter().map(|&i| decode_row(i, d)).collect();
                     let table = Table::from_rows_raw(d, &rows).expect("valid rows");
                     // Preferences for every pair of values 0..4 per
                     // dimension, folded onto the simplex.

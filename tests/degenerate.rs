@@ -20,8 +20,7 @@ fn distinct_table() -> impl Strategy<Value = Table> {
         let space = base.pow(d as u32);
         (4usize..=10).prop_flat_map(move |n| {
             proptest::collection::btree_set(0..space, n.min(space)).prop_map(move |idxs| {
-                let rows: Vec<Vec<u32>> =
-                    idxs.iter().map(|&i| decode_row(i, d, base)).collect();
+                let rows: Vec<Vec<u32>> = idxs.iter().map(|&i| decode_row(i, d, base)).collect();
                 Table::from_rows_raw(d, &rows).expect("valid rows")
             })
         })

@@ -5,11 +5,8 @@
 use presky::prelude::*;
 
 fn example1() -> (Table, TablePreferences) {
-    let t = Table::from_rows_raw(
-        2,
-        &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-    )
-    .unwrap();
+    let t = Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+        .unwrap();
     (t, TablePreferences::with_default(PrefPair::half()))
 }
 
@@ -19,9 +16,8 @@ fn conditioning_agrees_with_det_plus_on_workloads() {
     let table = generate_block_zipf(BlockZipfConfig::new(120, 3, 9)).unwrap();
     for target in [ObjectId(0), ObjectId(60), ObjectId(119)] {
         let a = sky_det_plus(&table, &prefs, target, DetPlusOptions::default()).unwrap().sky;
-        let b = sky_conditioning(&table, &prefs, target, ConditioningOptions::default())
-            .unwrap()
-            .sky;
+        let b =
+            sky_conditioning(&table, &prefs, target, ConditioningOptions::default()).unwrap().sky;
         assert!((a - b).abs() < 1e-9, "target {target}: {a} vs {b}");
     }
 }
@@ -65,9 +61,7 @@ fn bounds_enclose_and_tighten_on_real_data() {
     let prefs = SeededPreferences::complementary(3);
     for target in [ObjectId(0), ObjectId(120), ObjectId(239)] {
         let view = CoinView::build(&table, &prefs, target).unwrap();
-        let exact = sky_det_plus(&table, &prefs, target, DetPlusOptions::default())
-            .unwrap()
-            .sky;
+        let exact = sky_det_plus(&table, &prefs, target, DetPlusOptions::default()).unwrap().sky;
         let cheap = sky_bounds_cheap(&view);
         assert!(
             cheap.lower <= exact + 1e-9 && exact <= cheap.upper + 1e-9,
@@ -84,8 +78,7 @@ fn sprt_agrees_with_exact_memberships() {
     let (t, p) = example1();
     let exact = skyline_probability(&t, &p, ObjectId(0)).unwrap(); // 3/16
     for (tau, expect) in [(0.05, true), (0.4, false), (0.8, false)] {
-        let out = sky_threshold_test(&t, &p, ObjectId(0), tau, SprtOptions::default())
-            .unwrap();
+        let out = sky_threshold_test(&t, &p, ObjectId(0), tau, SprtOptions::default()).unwrap();
         let decided = match out.decision {
             ThresholdDecision::AtLeast => Some(true),
             ThresholdDecision::Below => Some(false),
@@ -121,10 +114,7 @@ fn ladder_query_matches_flat_query_on_blockzipf() {
     assert!(disagreements <= 3, "{disagreements} borderline disagreements");
     // Most objects must resolve without any sampling.
     let stats = resolution_stats(&ladder);
-    assert!(
-        stats.by_bounds + stats.by_exact >= ladder.len() * 9 / 10,
-        "{stats:?}"
-    );
+    assert!(stats.by_bounds + stats.by_exact >= ladder.len() * 9 / 10, "{stats:?}");
 }
 
 #[test]

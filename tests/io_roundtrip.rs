@@ -9,8 +9,7 @@ fn serialised_instance_computes_identically() {
     // Materialise explicit preferences for the observed pairs so they can
     // be persisted.
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-    let prefs =
-        generate_table_preferences(&table, PrefDistribution::Simplex, &mut rng).unwrap();
+    let prefs = generate_table_preferences(&table, PrefDistribution::Simplex, &mut rng).unwrap();
 
     let table_text = table_to_string(&table);
     let prefs_text = prefs_to_string(&prefs);

@@ -13,11 +13,8 @@ fn observation() -> (Table, TablePreferences) {
 /// Example 1 of Section 2 (Figure 4): O=(o1,o2), Q1=(a,b), Q2=(a,o2),
 /// Q3=(c,e), Q4=(o1,b).
 fn example1() -> (Table, TablePreferences) {
-    let t = Table::from_rows_raw(
-        2,
-        &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]],
-    )
-    .unwrap();
+    let t = Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+        .unwrap();
     (t, TablePreferences::with_default(PrefPair::half()))
 }
 
@@ -47,16 +44,11 @@ fn observation_every_algorithm_agrees_on_the_truth() {
     // Estimators converge to the same value.
     let sam = sky_sam(&t, &p, target, SamOptions::with_samples(60_000, 3)).unwrap();
     assert!((sam.estimate - expect).abs() < 0.008, "Sam {}", sam.estimate);
-    let samp = sky_sam_plus(
-        &t,
-        &p,
-        target,
-        SamPlusOptions::with_sam(SamOptions::with_samples(60_000, 3)),
-    )
-    .unwrap();
+    let samp =
+        sky_sam_plus(&t, &p, target, SamPlusOptions::with_sam(SamOptions::with_samples(60_000, 3)))
+            .unwrap();
     assert!((samp.estimate - expect).abs() < 0.008, "Sam+ {}", samp.estimate);
-    let kl = sky_karp_luby(&t, &p, target, KarpLubyOptions { samples: 60_000, seed: 3 })
-        .unwrap();
+    let kl = sky_karp_luby(&t, &p, target, KarpLubyOptions { samples: 60_000, seed: 3 }).unwrap();
     assert!((kl.estimate - expect).abs() < 0.01, "KL {}", kl.estimate);
 
     // And Sac is wrong, exactly as the paper computes: 3/8.
@@ -118,8 +110,7 @@ fn example1_full_narrative() {
     let reduced = view.restrict(&res.kept);
     let groups = partition(&reduced);
     assert_eq!(groups.len(), 3);
-    let product: f64 =
-        (0..reduced.n_attackers()).map(|i| 1.0 - reduced.attacker_prob(i)).product();
+    let product: f64 = (0..reduced.n_attackers()).map(|i| 1.0 - reduced.attacker_prob(i)).product();
     assert!((product - 3.0 / 16.0).abs() < 1e-12);
 
     // Checking sequence: Q2 and Q4 first (Section 4.1).
@@ -137,9 +128,9 @@ fn example1_all_objects_through_the_query_layer() {
         assert!(r.exact);
         assert!((r.sky - expect).abs() < 1e-12, "{:?} vs {expect}", r);
     }
-    // Probabilities over the whole data set are consistent: τ = 0 returns
-    // everything, τ = 1.01 nothing... τ must be ≤ 1; use 1.0.
-    let everyone = probabilistic_skyline(&t, &p, 0.0, QueryOptions::default()).unwrap();
+    // Every sky in Example 1 is ≥ 1/16, so any τ below that keeps all
+    // five objects (τ itself must satisfy 0 < τ < 1, per the definition).
+    let everyone = probabilistic_skyline(&t, &p, 0.01, QueryOptions::default()).unwrap();
     assert_eq!(everyone.len(), 5);
     let top = top_k_skyline(&t, &p, 2, TopKOptions::default()).unwrap();
     assert_eq!(top.len(), 2);
@@ -158,9 +149,7 @@ fn hoeffding_bound_honoured_across_seeds_on_example1() {
     let exact = 3.0 / 16.0;
     let mut failures = 0;
     for seed in 0..30 {
-        let est = sky_sam(&t, &p, ObjectId(0), SamOptions::with_samples(m, seed))
-            .unwrap()
-            .estimate;
+        let est = sky_sam(&t, &p, ObjectId(0), SamOptions::with_samples(m, seed)).unwrap().estimate;
         if (est - exact).abs() >= eps {
             failures += 1;
         }

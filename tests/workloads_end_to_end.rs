@@ -11,10 +11,8 @@ fn blockzipf_components_never_span_blocks() {
     for target in [ObjectId(0), ObjectId(77), ObjectId(199)] {
         let view = CoinView::build(&table, &prefs, target).unwrap();
         for group in partition(&view) {
-            let blocks: std::collections::BTreeSet<usize> = group
-                .iter()
-                .map(|&i| view.source(i).index() / cfg.block_size)
-                .collect();
+            let blocks: std::collections::BTreeSet<usize> =
+                group.iter().map(|&i| view.source(i).index() / cfg.block_size).collect();
             assert_eq!(blocks.len(), 1, "component {group:?} spans blocks {blocks:?}");
             assert!(group.len() <= cfg.block_size);
         }
@@ -34,13 +32,9 @@ fn detplus_equals_sampling_on_blockzipf() {
         )
         .unwrap()
         .sky;
-        let est = sky_sam(&table, &prefs, target, SamOptions::with_samples(30_000, 9))
-            .unwrap()
-            .estimate;
-        assert!(
-            (exact - est).abs() < 0.012,
-            "target {target}: exact {exact} vs est {est}"
-        );
+        let est =
+            sky_sam(&table, &prefs, target, SamOptions::with_samples(30_000, 9)).unwrap().estimate;
+        assert!((exact - est).abs() < 0.012, "target {target}: exact {exact} vs est {est}");
     }
 }
 
@@ -60,9 +54,7 @@ fn nursery_absorption_keeps_exactly_the_single_coin_attackers() {
         let reduced = view.restrict(&kept);
         assert!(reduced.attackers().iter().all(|a| a.coins.len() == 1));
         // Consequently sky factorises into the independent product.
-        let sky = sky_det_plus(&table, &prefs, target, DetPlusOptions::default())
-            .unwrap()
-            .sky;
+        let sky = sky_det_plus(&table, &prefs, target, DetPlusOptions::default()).unwrap().sky;
         let product: f64 =
             (0..reduced.n_attackers()).map(|i| 1.0 - reduced.attacker_prob(i)).product();
         assert!((sky - product).abs() < 1e-12);
@@ -80,9 +72,8 @@ fn nursery_8d_pipeline_is_fast_and_consistent() {
     assert_eq!(exact.n_attackers, 12_959);
     let expected: usize = DOMAINS.iter().map(|d| d.len() - 1).sum();
     assert_eq!(exact.n_attackers - exact.absorbed, expected);
-    let est = sky_sam(&table, &prefs, target, SamOptions::with_samples(20_000, 17))
-        .unwrap()
-        .estimate;
+    let est =
+        sky_sam(&table, &prefs, target, SamOptions::with_samples(20_000, 17)).unwrap().estimate;
     assert!((exact.sky - est).abs() < 0.015, "exact {} vs est {est}", exact.sky);
 }
 
@@ -91,13 +82,7 @@ fn uniform_generator_supports_the_exact_experiments() {
     // n = 20, d = 5: Det must be able to finish (2^19 joints at worst).
     let table = generate_uniform(UniformConfig::new(20, 5, 7)).unwrap();
     let prefs = SeededPreferences::complementary(5);
-    let det = sky_det(
-        &table,
-        &prefs,
-        ObjectId(0),
-        DetOptions::with_max_attackers(25),
-    )
-    .unwrap();
+    let det = sky_det(&table, &prefs, ObjectId(0), DetOptions::with_max_attackers(25)).unwrap();
     let detp = sky_det_plus(
         &table,
         &prefs,
@@ -156,10 +141,8 @@ fn block_scoped_preferences_reproduce_the_samplus_advantage() {
     // emerges.
     let cfg = BlockZipfConfig::new(4_000, 5, 3);
     let table = generate_block_zipf(cfg).unwrap();
-    let prefs = BlockScopedPreferences::new(
-        SeededPreferences::complementary(42),
-        cfg.values_per_block,
-    );
+    let prefs =
+        BlockScopedPreferences::new(SeededPreferences::complementary(42), cfg.values_per_block);
     let target = ObjectId(123);
     let m = 2_000;
     let sam = sky_sam(&table, &prefs, target, SamOptions::with_samples(m, 1)).unwrap();

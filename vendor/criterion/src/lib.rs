@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Presents the API subset the workspace's `harness = false` benches use —
+//! `Criterion::benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a plain
+//! min/mean timing loop printed to stdout instead of criterion's full
+//! statistical machinery. Good enough to keep the benches runnable and
+//! comparable run-over-run in an offline build.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name, a parameter,
+/// or both.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Hands the routine under measurement to the timing loop.
+pub struct Bencher<'a> {
+    samples: usize,
+    out: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, called repeatedly; its return value is passed
+    /// through [`black_box`] so the optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        black_box(routine());
+        let budget = Duration::from_millis(200);
+        let started = Instant::now();
+        for _ in 0..self.samples.max(1) {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.out.push(t0.elapsed());
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+}
+
+/// One named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    fn run_one(&mut self, label: &str, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut samples = Vec::new();
+        let mut b = Bencher { samples: self.samples, out: &mut samples };
+        f(&mut b);
+        report(&self.name, label, &samples);
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut f = f;
+        self.run_one(&id.label.clone(), |b| f(b));
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut f = f;
+        self.run_one(&id.label.clone(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream flushes reports here; the shim prints as it
+    /// goes, so this only consumes the group).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{label}: no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    println!("{group}/{label}: mean {:?}, min {:?} ({} samples)", mean, min, samples.len());
+}
+
+/// Entry point collecting benchmark groups, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup { name: name.into(), samples, _parent: self }
+    }
+
+    /// Benchmark `f` outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expand to `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benchers_run_the_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(calls >= 3, "warmup + samples ran: {calls}");
+    }
+}

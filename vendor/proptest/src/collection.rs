@@ -1,0 +1,132 @@
+//! Collection strategies: `vec` and `btree_set` with proptest's `SizeRange`
+//! argument conventions (`n`, `lo..hi`, `lo..=hi`).
+
+use std::collections::BTreeSet;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive size bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.lo == self.hi {
+            return self.lo;
+        }
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `Vec` of values from `element`, sized within `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<S::Value>` with a size drawn from `size`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `BTreeSet` of distinct values from `element`, sized within `size`.
+///
+/// Insertion retries until the target size is reached (callers are expected
+/// to request sizes their element domain can support, as upstream does).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size: size.into() }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.pick(rng);
+        let mut out = BTreeSet::new();
+        // Coupon-collector headroom: the workspace only asks for set sizes
+        // well under the element domain, so this cap is never the binding
+        // constraint in practice.
+        let max_attempts = 1000 + 200 * n as u64;
+        let mut attempts = 0u64;
+        while out.len() < n && attempts < max_attempts {
+            attempts += 1;
+            out.insert(self.element.new_value(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_all_size_forms() {
+        let mut rng = TestRng::deterministic(1);
+        assert_eq!(vec(0u32..4, 5usize).new_value(&mut rng).len(), 5);
+        for _ in 0..50 {
+            let v = vec(0u32..4, 1..4).new_value(&mut rng);
+            assert!((1..=3).contains(&v.len()));
+            let w = vec(0u32..4, 2..=6).new_value(&mut rng);
+            assert!((2..=6).contains(&w.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_exact_size_when_domain_allows() {
+        let mut rng = TestRng::deterministic(2);
+        for _ in 0..50 {
+            let s = btree_set(0usize..10, 10usize).new_value(&mut rng);
+            assert_eq!(s.len(), 10, "exhausts the whole domain");
+            let t = btree_set(0usize..256, 7usize).new_value(&mut rng);
+            assert_eq!(t.len(), 7);
+        }
+    }
+}

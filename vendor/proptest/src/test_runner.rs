@@ -1,0 +1,176 @@
+//! Case loop, configuration, rejection handling and the deterministic rng.
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Leaner than upstream's 256: the shim never shrinks, so failures
+        // are equally informative at any case count, and tier-1 wall-clock
+        // matters more. Every suite in this workspace sets cases explicitly.
+        Self::with_cases(64)
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; it is not counted.
+    Reject(String),
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Deterministic value source handed to strategies (xoshiro256++ behind a
+/// SplitMix64 seed expansion, same construction as the vendored `rand`).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn deterministic(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform draw below `n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: generate cases until `config.cases` are accepted,
+/// panicking on the first failure. Called by the `proptest!` expansion.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    let max_attempts = config.cases as u64 * 64 + 256;
+    let mut accepted = 0u32;
+    let mut attempt = 0u64;
+    while accepted < config.cases {
+        attempt += 1;
+        if attempt > max_attempts {
+            panic!(
+                "property `{name}`: too many rejected cases \
+                 ({accepted}/{} accepted after {max_attempts} attempts)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::deterministic(base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case {attempt}: {msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_accepted_cases_only() {
+        let mut accepted = 0u32;
+        let mut seen = 0u64;
+        run(&ProptestConfig::with_cases(10), "counts", |rng| {
+            seen += 1;
+            if rng.next_u64() % 3 == 0 {
+                return Err(TestCaseError::reject("multiple of three"));
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 10);
+        assert!(seen >= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_panics_on_failure() {
+        run(&ProptestConfig::with_cases(4), "fails", |_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = TestRng::deterministic(5);
+        let mut b = TestRng::deterministic(5);
+        assert_eq!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}
