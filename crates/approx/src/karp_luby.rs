@@ -18,12 +18,18 @@
 //! The estimator is unbiased and its sample values live in `[M/n, M]`,
 //! giving the usual FPRAS sample bound. This module is the X1 ablation of
 //! DESIGN.md — it is *not* part of the paper's algorithm suite.
+//!
+//! Conditioned worlds are evaluated 64 per machine word through
+//! [`presky_core::bitworlds`]: each lane selects its own attacker
+//! (weighted by `Pr(e_i)`), the selected attackers' coins are OR-ed into
+//! the Bernoulli masks as per-lane *forced* bits, and the per-lane
+//! domination counts `c` come from iterating the set bits of each
+//! attacker's AND-of-masks word. The estimator's distribution is
+//! unchanged; only the world layout is batched.
 
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use presky_core::bitworlds::{bernoulli_mask, block_lane_mask, threshold, BlockKey, CERTAIN};
 use presky_core::coins::CoinView;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
@@ -101,25 +107,63 @@ pub fn sky_karp_luby_view(view: &CoinView, opts: KarpLubyOptions) -> Result<Karp
         cumulative.push(acc);
     }
 
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut win = vec![false; m_coins];
+    let thresholds: Vec<u64> = view.coin_probs().iter().map(|&p| threshold(p)).collect();
+    // The attacker-selection stream sits in the auxiliary id space so it
+    // can never collide with a coin stream.
+    const SELECT_STREAM: u64 = presky_core::bitworlds::AUX_STREAM;
+    let mut masks = vec![0u64; m_coins];
+    let mut forced = vec![0u64; m_coins];
     let mut sum_inv_c = 0.0;
 
-    for _ in 0..opts.samples {
-        // Select attacker i ∝ Pr(e_i).
-        let u: f64 = rng.random::<f64>() * total_mass;
-        let i = cumulative.partition_point(|&c| c < u).min(n - 1);
-        // Realize the world conditioned on e_i.
-        for (k, w) in win.iter_mut().enumerate() {
-            *w = rng.random::<f64>() < view.coin_prob(k as u32);
+    for block in 0..opts.samples.div_ceil(64) {
+        let lane_mask = block_lane_mask(opts.samples, block);
+        let lanes = lane_mask.count_ones() as usize;
+        let key = BlockKey::new(opts.seed, block);
+
+        // Per-lane weighted attacker selection; the chosen coins become
+        // forced bits of this block's masks.
+        let mut sel = key.stream(SELECT_STREAM);
+        forced[..m_coins].fill(0);
+        for lane in 0..lanes {
+            let u = (sel.next_word() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * total_mass;
+            let i = cumulative.partition_point(|&c| c < u).min(n - 1);
+            for &k in view.attacker_coins(i) {
+                forced[k as usize] |= 1u64 << lane;
+            }
         }
-        for &k in view.attacker_coins(i) {
-            win[k as usize] = true;
+
+        // Conditioned worlds draw every coin (matching the scalar
+        // estimator's eager realisation), with the forced bits OR-ed in.
+        for (k, m) in masks.iter_mut().enumerate() {
+            let t = thresholds[k];
+            let bernoulli = match t {
+                0 => 0,
+                CERTAIN => u64::MAX,
+                _ => bernoulli_mask(&mut key.stream(k as u64), t).0,
+            };
+            *m = bernoulli | forced[k];
         }
-        // Count dominating attackers (at least i itself).
-        let c = (0..n).filter(|&j| view.attacker_coins(j).iter().all(|&k| win[k as usize])).count();
-        debug_assert!(c >= 1);
-        sum_inv_c += 1.0 / c as f64;
+
+        // Per-lane domination counts from the set bits of each attacker's
+        // AND-of-masks word (each lane's count is ≥ 1: its own selection).
+        let mut counts = [0u32; 64];
+        for j in 0..n {
+            let mut d = lane_mask;
+            for &k in view.attacker_coins(j) {
+                d &= masks[k as usize];
+                if d == 0 {
+                    break;
+                }
+            }
+            while d != 0 {
+                counts[d.trailing_zeros() as usize] += 1;
+                d &= d - 1;
+            }
+        }
+        for &c in counts.iter().take(lanes) {
+            debug_assert!(c >= 1);
+            sum_inv_c += 1.0 / f64::from(c);
+        }
     }
 
     let union_estimate = total_mass * sum_inv_c / opts.samples as f64;

@@ -17,12 +17,43 @@
 //! Crucially, a coin drawn for one attacker is *reused* by every other
 //! attacker sharing that value within the same world — this is what makes
 //! the estimator correct where the independence assumption of `Sac` fails.
+//!
+//! ## Bit-parallel kernel (default) and its seeding scheme
+//!
+//! With [`SamOptions::bit_parallel`] (the default), worlds are evaluated
+//! 64 at a time through [`presky_core::bitworlds`]: each coin draws a
+//! `u64` Bernoulli *mask* (one bit per world lane), an attacker dominates
+//! in the lanes where the AND of its coin masks is set, and the target
+//! survives in the complement of the OR over attackers. Lazy sampling and
+//! the sorted checking sequence carry over at lane granularity: a mask is
+//! materialised only when a still-live attacker touches it, and a block is
+//! abandoned once every lane has found a dominator.
+//!
+//! **Seeding.** The sample budget is split into blocks of 64 worlds, and
+//! block `b`'s randomness is rooted at `BlockKey::new(opts.seed, b)` — a
+//! SplitMix64-style mix of the `(seed, block_index)` pair. Within a block,
+//! coin `k` reads bit planes from the independent sub-stream `k` of that
+//! key, so every mask is a pure function of `(seed, block, coin)`.
+//! Estimates are therefore **bit-reproducible** regardless of thread
+//! count, work order, or lazy vs eager mask materialisation; only the work
+//! telemetry (`coin_draws`, `attacker_checks`) reflects the evaluation
+//! strategy. A final partial block (`samples % 64 ≠ 0`) masks its dead
+//! lanes out of both the hit count and the telemetry, so the estimate
+//! denominator is exactly `opts.samples`.
+//!
+//! The scalar world-at-a-time loop remains available as the ablation
+//! baseline via `bit_parallel: false`; it draws from a *different*
+//! (sequential `StdRng`) stream, so scalar and bit-parallel runs agree
+//! statistically — within the Hoeffding ε — but not bit-for-bit.
 
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use presky_core::bitworlds::{
+    block_lane_mask, survivors_block, survivors_block_antithetic, BlockScratch,
+};
 use presky_core::coins::CoinView;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
@@ -45,17 +76,37 @@ pub struct SamOptions {
     /// Draw coins on demand (lazy) instead of materialising the full world
     /// up front. Off = eager; same estimate distribution, more draws.
     pub lazy: bool,
+    /// Evaluate 64 worlds per machine word (see the module docs). Off =
+    /// the scalar world-at-a-time loop, kept as the ablation baseline;
+    /// the two paths use different RNG streams, so they agree within the
+    /// Hoeffding ε but not bit-for-bit.
+    pub bit_parallel: bool,
 }
 
 impl SamOptions {
     /// `m` samples with the given seed, paper defaults otherwise.
     pub fn with_samples(samples: u64, seed: u64) -> Self {
-        Self { samples, seed, sort_checking: true, lazy: true }
+        Self { samples, seed, sort_checking: true, lazy: true, bit_parallel: true }
     }
 
     /// Sample size from the Hoeffding bound for `(ε, δ)` (Theorem 2).
     pub fn hoeffding(epsilon: f64, delta: f64, seed: u64) -> Result<Self> {
         Ok(Self::with_samples(hoeffding_samples(epsilon, delta)?, seed))
+    }
+
+    /// Rough cost model of this sampling run on an instance with
+    /// `n_attackers` attackers and `n_coins` coins, in machine-word
+    /// operations: the bit-parallel kernel pays roughly one word-AND per
+    /// attacker plus ~7 bit planes per coin mask per 64-world block, while
+    /// the scalar loop pays per world. The query layer's adaptive policy
+    /// budgets the exact engine against this prediction.
+    pub fn predicted_cost(&self, n_attackers: usize, n_coins: usize) -> u64 {
+        if self.bit_parallel {
+            let blocks = self.samples.div_ceil(64);
+            blocks.saturating_mul(n_attackers as u64 + 7 * n_coins as u64)
+        } else {
+            self.samples.saturating_mul(n_attackers as u64 + n_coins as u64)
+        }
     }
 }
 
@@ -77,8 +128,14 @@ pub struct SamOutcome {
     /// Worlds in which the target was a skyline point (`Y`).
     pub skyline_hits: u64,
     /// Individual coin draws performed (the lazy-sampling work metric).
+    /// Counted **per world**, not per mask: the bit-parallel kernel adds
+    /// the number of lanes that demanded the coin when a mask is
+    /// materialised, so eager runs report exactly `samples × n_coins`
+    /// under either kernel and lazy figures stay comparable to the
+    /// scalar loop's.
     pub coin_draws: u64,
-    /// Attacker dominance checks performed.
+    /// Attacker dominance checks performed, counted per world (the
+    /// kernel adds the live-lane popcount per attacker visit).
     pub attacker_checks: u64,
     /// Wall-clock time.
     pub elapsed: Duration,
@@ -113,6 +170,8 @@ pub struct SamScratch {
     /// `base + h`, so stale stamps from earlier runs (all `≤ base`) can
     /// never alias a current world and the stamp array needs no clearing.
     generation: u64,
+    /// Bit-parallel kernel state (thresholds, mask cache, telemetry).
+    bits: BlockScratch,
 }
 
 /// Allocation-reusing form of [`sky_sam_view`]: identical RNG draw sequence
@@ -133,6 +192,25 @@ pub fn sky_sam_view_with(
     } else {
         scratch.order.clear();
         scratch.order.extend(0..n);
+    }
+    if opts.bit_parallel {
+        let order = &scratch.order;
+        let bits = &mut scratch.bits;
+        bits.prepare(view);
+        let mut hits = 0u64;
+        for block in 0..opts.samples.div_ceil(64) {
+            let lane_mask = block_lane_mask(opts.samples, block);
+            let live = survivors_block(view, order, opts.seed, block, lane_mask, opts.lazy, bits);
+            hits += u64::from(live.count_ones());
+        }
+        return Ok(SamOutcome {
+            estimate: hits as f64 / opts.samples as f64,
+            samples: opts.samples,
+            skyline_hits: hits,
+            coin_draws: bits.coin_draws,
+            attacker_checks: bits.attacker_checks,
+            elapsed: start.elapsed(),
+        });
     }
     let order = &scratch.order;
 
@@ -220,6 +298,31 @@ pub fn sky_sam_antithetic_view(view: &CoinView, opts: SamOptions) -> Result<SamO
     let order: Vec<usize> =
         if opts.sort_checking { view.checking_sequence() } else { (0..n).collect() };
     let pairs = opts.samples.div_ceil(2);
+
+    if opts.bit_parallel {
+        // Lane j of a block carries pair j: the plain world and its mirror
+        // share one plane stream per coin (`bernoulli_mask_pair`), exactly
+        // as the scalar pair shares its uniforms.
+        let mut bits = BlockScratch::default();
+        bits.prepare(view);
+        let mut hits = 0u64;
+        for block in 0..pairs.div_ceil(64) {
+            let lane_mask = block_lane_mask(pairs, block);
+            let (live_p, live_m) = survivors_block_antithetic(
+                view, &order, opts.seed, block, lane_mask, opts.lazy, &mut bits,
+            );
+            hits += u64::from(live_p.count_ones() + live_m.count_ones());
+        }
+        let total = pairs * 2;
+        return Ok(SamOutcome {
+            estimate: hits as f64 / total as f64,
+            samples: total,
+            skyline_hits: hits,
+            coin_draws: bits.coin_draws,
+            attacker_checks: bits.attacker_checks,
+            elapsed: start.elapsed(),
+        });
+    }
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut stamp: Vec<u64> = vec![0; m_coins];
@@ -468,6 +571,77 @@ mod tests {
             sky_sam_view(&view, SamOptions::with_samples(0, 0)),
             Err(ApproxError::ZeroSamples)
         ));
+    }
+
+    #[test]
+    fn partial_final_blocks_have_exact_denominators() {
+        // samples % 64 ∈ {1, 63, 0, 1, 0}: dead lanes of the final block
+        // must be masked out of the hit count AND the telemetry.
+        let view = CoinView::from_parts(vec![0.5, 0.3], vec![vec![0], vec![0, 1]]).unwrap();
+        for m in [1u64, 63, 64, 65, 128] {
+            let out = sky_sam_view(&view, SamOptions::with_samples(m, 7)).unwrap();
+            assert_eq!(out.samples, m);
+            assert!(out.skyline_hits <= m);
+            assert_eq!(out.estimate, out.skyline_hits as f64 / m as f64, "m = {m}");
+            // Lane-exact telemetry: eager mode draws exactly m × n_coins,
+            // and no more than n_attackers checks can happen per world.
+            let eager =
+                sky_sam_view(&view, SamOptions { lazy: false, ..SamOptions::with_samples(m, 7) })
+                    .unwrap();
+            assert_eq!(eager.coin_draws, m * 2, "m = {m}");
+            assert!(out.attacker_checks <= m * 2);
+            // The antithetic variant rounds m up to pairs but still masks
+            // dead pair lanes exactly.
+            let anti = sky_sam_antithetic_view(&view, SamOptions::with_samples(m, 7)).unwrap();
+            assert_eq!(anti.samples, m.div_ceil(2) * 2);
+            assert_eq!(anti.estimate, anti.skyline_hits as f64 / anti.samples as f64);
+        }
+    }
+
+    #[test]
+    fn kernel_estimates_do_not_depend_on_lazy_mode_or_scratch_history() {
+        // Counter-based seeding: masks are pure functions of
+        // (seed, block, coin), so lazy and eager runs agree bit-for-bit
+        // and scratch reuse cannot perturb the stream.
+        let (t, p) = example1();
+        let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        let opts = SamOptions::with_samples(1000, 3);
+        let lazy = sky_sam_view(&view, opts).unwrap();
+        let eager = sky_sam_view(&view, SamOptions { lazy: false, ..opts }).unwrap();
+        assert_eq!(lazy.skyline_hits, eager.skyline_hits);
+        assert_eq!(lazy.estimate.to_bits(), eager.estimate.to_bits());
+        let mut scratch = SamScratch::default();
+        let warm = sky_sam_view_with(&view, opts, &mut scratch).unwrap();
+        let again = sky_sam_view_with(&view, opts, &mut scratch).unwrap();
+        assert_eq!(warm.skyline_hits, lazy.skyline_hits);
+        assert_eq!(again.skyline_hits, lazy.skyline_hits);
+    }
+
+    #[test]
+    fn scalar_and_bit_parallel_agree_statistically() {
+        let (t, p) = example1();
+        let m = 60_000;
+        let scalar = sky_sam(
+            &t,
+            &p,
+            ObjectId(0),
+            SamOptions { bit_parallel: false, ..SamOptions::with_samples(m, 21) },
+        )
+        .unwrap();
+        let vector = sky_sam(&t, &p, ObjectId(0), SamOptions::with_samples(m, 21)).unwrap();
+        assert!(
+            (scalar.estimate - vector.estimate).abs() < 0.01,
+            "scalar {} vs bit-parallel {}",
+            scalar.estimate,
+            vector.estimate
+        );
+    }
+
+    #[test]
+    fn predicted_cost_reflects_the_64x_lane_batching() {
+        let vector = SamOptions::with_samples(6400, 0);
+        let scalar = SamOptions { bit_parallel: false, ..vector };
+        assert!(vector.predicted_cost(10, 10) * 8 < scalar.predicted_cost(10, 10));
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //! (Theorem 4) and the per-component estimators are independent by
 //! construction. The default mode mirrors the paper (joint sampling of the
 //! reduced attacker set).
+//!
+//! The underlying sampler is [`sky_sam_view`], so `Sam+` inherits the
+//! bit-parallel 64-worlds-per-word kernel (and its deterministic
+//! counter-based seeding) through [`SamOptions::bit_parallel`] with no
+//! code of its own — preprocessing only shrinks the instance the kernel
+//! then evaluates.
 
 use std::time::Instant;
 

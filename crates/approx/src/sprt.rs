@@ -17,10 +17,18 @@
 //! is truncated at `max_samples` and reports `Undecided` with the running
 //! estimate). This is the engine behind the query layer's threshold
 //! filter.
+//!
+//! Worlds are evaluated through the bit-parallel kernel of
+//! [`presky_core::bitworlds`]: the Wald statistic advances in 64-world
+//! blocks (`llr += hits·l_hit + misses·l_miss`) and the decision
+//! boundaries are checked **between** blocks. Group-stepping can only
+//! overshoot a boundary, and overshoot strengthens the evidence beyond
+//! the certified level, so the `(α, β)` guarantees are preserved; the
+//! reported `samples_used` is rounded up to the block that crossed (a
+//! truncated test still uses exactly `max_samples`, via a lane-masked
+//! final block).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use presky_core::bitworlds::{block_lane_mask, survivors_block, BlockScratch};
 use presky_core::coins::CoinView;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
@@ -114,48 +122,35 @@ pub fn sky_threshold_test_view(
     let lower = (opts.beta / (1.0 - opts.alpha)).ln();
 
     let order = view.checking_sequence();
-    let m_coins = view.n_coins();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut stamp = vec![0u64; m_coins];
-    let mut win = vec![false; m_coins];
+    let mut bits = BlockScratch::default();
+    bits.prepare(view);
 
+    // Step the Wald statistic in 64-world blocks (lazily-sampled worlds,
+    // identical mechanics to Algorithm 2, 64 lanes at a time) and check
+    // the boundaries between blocks.
     let mut llr = 0.0;
     let mut hits = 0u64;
-    for h in 1..=opts.max_samples {
-        // One lazily-sampled world, identical mechanics to Algorithm 2.
-        let mut dominated = false;
-        'attackers: for &i in &order {
-            for &k in view.attacker_coins(i) {
-                let ku = k as usize;
-                if stamp[ku] != h {
-                    stamp[ku] = h;
-                    win[ku] = rng.random::<f64>() < view.coin_prob(k);
-                }
-                if !win[ku] {
-                    continue 'attackers;
-                }
-            }
-            dominated = true;
-            break;
-        }
-        if !dominated {
-            hits += 1;
-            llr += l_hit;
-        } else {
-            llr += l_miss;
-        }
+    let mut used = 0u64;
+    for block in 0..opts.max_samples.div_ceil(64) {
+        let lane_mask = block_lane_mask(opts.max_samples, block);
+        let worlds = u64::from(lane_mask.count_ones());
+        let live = survivors_block(view, &order, opts.seed, block, lane_mask, true, &mut bits);
+        let block_hits = u64::from(live.count_ones());
+        hits += block_hits;
+        used += worlds;
+        llr += block_hits as f64 * l_hit + (worlds - block_hits) as f64 * l_miss;
         if llr >= upper {
             return Ok(SprtOutcome {
                 decision: ThresholdDecision::AtLeast,
-                samples_used: h,
-                estimate: hits as f64 / h as f64,
+                samples_used: used,
+                estimate: hits as f64 / used as f64,
             });
         }
         if llr <= lower {
             return Ok(SprtOutcome {
                 decision: ThresholdDecision::Below,
-                samples_used: h,
-                estimate: hits as f64 / h as f64,
+                samples_used: used,
+                estimate: hits as f64 / used as f64,
             });
         }
     }

@@ -4,6 +4,9 @@
 use proptest::prelude::*;
 
 use presky_core::coins::CoinView;
+use presky_core::preference::{PrefPair, TablePreferences};
+use presky_core::table::Table;
+use presky_core::types::ObjectId;
 use presky_exact::det::{sky_det_view, DetOptions};
 
 use presky_approx::a1::sky_a1;
@@ -11,8 +14,42 @@ use presky_approx::a2::{sky_a2, sky_a2_big};
 use presky_approx::bounds::{hoeffding_delta, hoeffding_epsilon, hoeffding_samples};
 use presky_approx::karp_luby::{sky_karp_luby_view, KarpLubyOptions};
 use presky_approx::sac::{sac_is_exact, sky_sac_view};
-use presky_approx::sampler::{sky_sam_view, SamOptions};
+use presky_approx::sampler::{sky_sam_antithetic_view, sky_sam_view, SamOptions};
 use presky_approx::samplus::{sky_sam_plus_view, SamPlusOptions};
+
+/// Example 1 of the paper (Fig. 1–2): sky(O) = 3/16 with all pairwise
+/// value preferences one half.
+fn example1_view() -> CoinView {
+    let t = Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+        .unwrap();
+    let p = TablePreferences::with_default(PrefPair::half());
+    CoinView::build(&t, &p, ObjectId(0)).unwrap()
+}
+
+/// The Observation of Section 1: sky(P1) = 1/2 — P2 and P3 share the
+/// value `t`, so their dominance events are dependent.
+fn observation_view() -> CoinView {
+    let t = Table::from_rows_raw(2, &[vec![0, 0], vec![0, 1], vec![1, 1]]).unwrap();
+    let p = TablePreferences::with_default(PrefPair::half());
+    CoinView::build(&t, &p, ObjectId(0)).unwrap()
+}
+
+/// The bit-parallel kernel honours the paper's additive Hoeffding budget
+/// on the ground-truth fixtures: at (ε, δ) = (0.01, 0.01) every seed's
+/// estimate lands within ε of the enumerated truth.
+#[test]
+fn kernel_meets_tight_epsilon_on_paper_fixtures() {
+    let eps = 0.01;
+    let m = hoeffding_samples(eps, 0.01).unwrap();
+    for (view, truth) in [(example1_view(), 3.0 / 16.0), (observation_view(), 0.5)] {
+        let enumerated = sky_det_view(&view, DetOptions::default()).unwrap().sky;
+        assert!((enumerated - truth).abs() < 1e-12, "fixture truth");
+        for seed in 0..5 {
+            let out = sky_sam_view(&view, SamOptions::with_samples(m, seed)).unwrap();
+            assert!((out.estimate - truth).abs() < eps, "seed {seed}: {} vs {truth}", out.estimate);
+        }
+    }
+}
 
 fn clause_system() -> impl Strategy<Value = CoinView> {
     (2usize..=6).prop_flat_map(|m| {
@@ -118,6 +155,41 @@ proptest! {
         // And the achieved delta at (m, eps) is no worse than requested.
         let d = hoeffding_delta(m, eps).unwrap();
         prop_assert!(d <= delta + 1e-12);
+    }
+
+    #[test]
+    fn scalar_and_bit_parallel_kernels_agree_within_shared_hoeffding_budget(
+        view in clause_system()
+    ) {
+        // Both kernels consume the same (ε, δ) contract, so with
+        // probability ≥ 1 − 2δ their estimates sit within 2ε of each
+        // other (each within ε of the truth). δ = 10⁻⁶ makes a spurious
+        // failure over 64 cases essentially impossible.
+        let m = 4000;
+        let bound = 2.0 * hoeffding_epsilon(m, 1e-6).unwrap();
+        let kernel = sky_sam_view(&view, SamOptions::with_samples(m, 7)).unwrap();
+        let scalar = sky_sam_view(
+            &view,
+            SamOptions { bit_parallel: false, ..SamOptions::with_samples(m, 7) },
+        )
+        .unwrap();
+        prop_assert!(
+            (kernel.estimate - scalar.estimate).abs() <= bound,
+            "kernel {} vs scalar {} (bound {bound})",
+            kernel.estimate,
+            scalar.estimate
+        );
+
+        // The antithetic estimator never does worse than the shared
+        // budget either (its variance is at most the plain estimator's).
+        let anti = sky_sam_antithetic_view(&view, SamOptions::with_samples(m, 7)).unwrap();
+        let anti_scalar = sky_sam_antithetic_view(
+            &view,
+            SamOptions { bit_parallel: false, ..SamOptions::with_samples(m, 7) },
+        )
+        .unwrap();
+        prop_assert!((anti.estimate - scalar.estimate).abs() <= bound);
+        prop_assert!((anti.estimate - anti_scalar.estimate).abs() <= bound);
     }
 
     #[test]

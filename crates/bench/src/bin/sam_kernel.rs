@@ -1,0 +1,190 @@
+//! `sam_kernel` — throughput of the bit-parallel possible-world kernel.
+//!
+//! ```text
+//! sam_kernel [--quick] [--out <path>]
+//! ```
+//!
+//! Measures worlds/second of the 64-worlds-per-word kernel
+//! ([`presky_core::bitworlds`], the `Sam` default) against the scalar
+//! per-world loop (`bit_parallel: false`, the ablation baseline) on
+//! block-zipf coin views under the default sampling budget. Both sides
+//! evaluate the *same* preassembled views with reused scratch, so the
+//! ratio isolates kernel work — no view assembly, no preprocessing.
+//!
+//! Also checks that the two kernels agree statistically on every shared
+//! target, times the end-to-end all-objects sampling driver with the
+//! kernel on and off, and writes a JSON report (default `BENCH_sam.json`).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use presky_bench::workloads;
+use presky_core::coins::CoinView;
+use presky_core::types::ObjectId;
+use presky_query::prob_skyline::{all_sky, Algorithm, QueryOptions};
+
+use presky_approx::bounds::hoeffding_epsilon;
+use presky_approx::sampler::{sky_sam_view_with, SamOptions, SamScratch};
+
+fn usage() {
+    eprintln!("usage: sam_kernel [--quick] [--out <path>]");
+}
+
+/// Time `sky_sam_view_with` over every view, returning
+/// `(elapsed_s, worlds_per_sec, estimates)`.
+fn run_kernel(views: &[CoinView], opts: SamOptions) -> (f64, f64, Vec<f64>) {
+    let mut scratch = SamScratch::default();
+    let mut estimates = Vec::with_capacity(views.len());
+    let start = Instant::now();
+    for view in views {
+        let out = sky_sam_view_with(view, opts, &mut scratch).expect("sampler");
+        estimates.push(out.estimate);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let worlds = opts.samples as f64 * views.len() as f64;
+    (elapsed, worlds / elapsed, estimates)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut quick = false;
+    let mut out_path = std::path::PathBuf::from("BENCH_sam.json");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p.into(),
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (n, d) = if quick { (2_000, 5) } else { (10_000, 5) };
+    let n_targets = if quick { 8 } else { 32 };
+    let opts = if quick { SamOptions::with_samples(1000, 0) } else { SamOptions::default() };
+    println!(
+        "# sam_kernel — block-zipf n={n} d={d}, {} targets x {} worlds",
+        n_targets, opts.samples
+    );
+
+    let table = workloads::block_zipf(n, d);
+    let prefs = workloads::block_prefs();
+
+    // Preassemble an evenly spread set of target views outside the timed
+    // region; skip degenerate targets (no attackers = nothing to measure).
+    let mut views = Vec::with_capacity(n_targets);
+    let mut i = 0usize;
+    let stride = (n / (4 * n_targets)).max(1);
+    while views.len() < n_targets && i < n {
+        let view = CoinView::build(&table, &prefs, ObjectId::from(i)).expect("view");
+        if view.n_attackers() > 0 && !view.has_certain_attacker() {
+            views.push(view);
+        }
+        i += stride;
+    }
+    let mean_attackers =
+        views.iter().map(|v| v.n_attackers()).sum::<usize>() as f64 / views.len() as f64;
+    let mean_coins = views.iter().map(|v| v.n_coins()).sum::<usize>() as f64 / views.len() as f64;
+    println!(
+        "{} views (mean {:.0} attackers, {:.0} coins)",
+        views.len(),
+        mean_attackers,
+        mean_coins
+    );
+
+    let (kernel_s, kernel_rate, kernel_est) = run_kernel(&views, opts);
+    println!("bit-parallel: {kernel_s:.3}s  ({kernel_rate:.0} worlds/s)");
+    let scalar_opts = SamOptions { bit_parallel: false, ..opts };
+    let (scalar_s, scalar_rate, scalar_est) = run_kernel(&views, scalar_opts);
+    println!("scalar:       {scalar_s:.3}s  ({scalar_rate:.0} worlds/s)");
+    let speedup = kernel_rate / scalar_rate;
+    println!("speedup: {speedup:.2}x (target >= 8x)");
+
+    // The two kernels estimate the same quantity from different streams;
+    // each is within ε of the truth w.p. 1 − δ, so their gap stays under
+    // 2ε at the run's own Hoeffding budget.
+    let band = 2.0 * hoeffding_epsilon(opts.samples, 0.01).expect("valid budget");
+    let mut max_gap = 0.0f64;
+    for (k, s) in kernel_est.iter().zip(&scalar_est) {
+        max_gap = max_gap.max((k - s).abs());
+    }
+    assert!(max_gap <= band, "kernel/scalar disagreement {max_gap} (band {band})");
+    println!("agreement: max |kernel - scalar| = {max_gap:.4} (<= {band:.4})");
+
+    // End-to-end: the all-objects sampling driver, kernel on vs off, on a
+    // reduced instance (the scalar side is the expensive one).
+    let e2e_n = if quick { 300 } else { 1_000 };
+    let e2e_table = workloads::block_zipf(e2e_n, d);
+    let e2e_sam = SamOptions::with_samples(if quick { 500 } else { 2000 }, 0);
+    let e2e = |sam: SamOptions| {
+        let start = Instant::now();
+        let opts = QueryOptions { algorithm: Algorithm::Sampling(sam), threads: Some(1) };
+        all_sky(&e2e_table, &prefs, opts).expect("all_sky");
+        start.elapsed().as_secs_f64()
+    };
+    let e2e_kernel_s = e2e(e2e_sam);
+    let e2e_scalar_s = e2e(SamOptions { bit_parallel: false, ..e2e_sam });
+    let e2e_speedup = e2e_scalar_s / e2e_kernel_s;
+    println!(
+        "end-to-end all_sky (n={e2e_n}, {} worlds): kernel {e2e_kernel_s:.3}s, \
+         scalar {e2e_scalar_s:.3}s ({e2e_speedup:.2}x)",
+        e2e_sam.samples
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": \"block-zipf\",\n",
+            "  \"n\": {},\n",
+            "  \"d\": {},\n",
+            "  \"quick\": {},\n",
+            "  \"targets\": {},\n",
+            "  \"samples_per_target\": {},\n",
+            "  \"mean_attackers\": {:.1},\n",
+            "  \"mean_coins\": {:.1},\n",
+            "  \"bit_parallel\": {{ \"elapsed_s\": {:.6}, \"worlds_per_sec\": {:.1} }},\n",
+            "  \"scalar\": {{ \"elapsed_s\": {:.6}, \"worlds_per_sec\": {:.1} }},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"max_estimate_gap\": {:.6},\n",
+            "  \"end_to_end\": {{ \"n\": {}, \"samples\": {}, \"kernel_s\": {:.6}, ",
+            "\"scalar_s\": {:.6}, \"speedup\": {:.3} }}\n",
+            "}}\n"
+        ),
+        n,
+        d,
+        quick,
+        views.len(),
+        opts.samples,
+        mean_attackers,
+        mean_coins,
+        kernel_s,
+        kernel_rate,
+        scalar_s,
+        scalar_rate,
+        speedup,
+        max_gap,
+        e2e_n,
+        e2e_sam.samples,
+        e2e_kernel_s,
+        e2e_scalar_s,
+        e2e_speedup
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out_path.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,542 @@
+//! Bit-parallel possible worlds: 64 worlds per machine word.
+//!
+//! The Monte-Carlo estimators sample a possible world by flipping one
+//! Bernoulli coin per distinct `(dimension, foreign value)` pair and asking
+//! whether any attacker has all of its coins winning. Worlds are mutually
+//! independent, so 64 of them can share a machine word: **lane** `j` of a
+//! `u64` holds world `j` of the current *block*. A coin then draws a single
+//! `u64` *mask* (bit `j` set iff the coin wins in world `j`), an attacker
+//! dominates in exactly the lanes where the AND of its coin masks is set,
+//! and the target survives in the complement of the OR over attackers.
+//!
+//! ## Bit-sliced Bernoulli masks
+//!
+//! A coin with win probability `p` wins in lane `j` iff a uniform 64-bit
+//! integer `U_j < t` where `t = round(p · 2⁶⁴)` (see [`threshold`]). The 64
+//! comparisons are evaluated *bit-sliced*: the RNG emits one word per bit
+//! *plane* (bit `j` of plane `b` is bit `b` of `U_j`) and the comparison
+//! walks planes MSB-first, maintaining `lt` (lanes decided `U < t`) and
+//! `eq` (lanes still equal to `t`'s prefix):
+//!
+//! * `t`'s bit is 1 → `lt |= eq & !r; eq &= r;`
+//! * `t`'s bit is 0 → `eq &= !r;`
+//!
+//! stopping as soon as `eq == 0` or at `t.trailing_zeros()` (every bit of
+//! `t` below its lowest set bit is 0, so still-equal lanes can no longer
+//! drop below `t`). The expected plane count is ~2 + log₂ plus dyadic
+//! shortcuts — `p = 1/2` costs exactly **one** word for 64 worlds, versus
+//! 64 `f64` draws in the scalar sampler.
+//!
+//! ## Counter-based seeding
+//!
+//! All randomness is a pure function of `(seed, block, stream, plane)`
+//! through SplitMix64-style mixing ([`BlockKey`]): the mask of coin `k` in
+//! block `b` does not depend on *when* (or whether) other masks are drawn.
+//! Estimates are therefore bit-reproducible regardless of thread count,
+//! chunk order, or lazy vs eager mask materialisation.
+//!
+//! ## Antithetic lanes
+//!
+//! The antithetic estimator mirrors a uniform `u → 1 − u`; on integers the
+//! mirrored uniform is the bitwise complement `!U`, and the mirrored win
+//! `!U < t` is `U ≥ 2⁶⁴ − t`, i.e. the complement of a plain comparison
+//! against `t.wrapping_neg()`. [`bernoulli_mask_pair`] evaluates both
+//! comparisons from one shared plane stream (`t` and `t.wrapping_neg()`
+//! even share `trailing_zeros`), so a pair of mirrored worlds costs the
+//! same planes as one. At `p = 1/2` the two masks are exact complements —
+//! the perfect-mirror case of the scalar implementation is preserved
+//! bit-for-bit in spirit and in statistics.
+
+use crate::coins::CoinView;
+
+/// Golden-ratio increment of the SplitMix64 stream.
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64 finalizer: a bijective avalanche mix of one word.
+#[inline]
+const fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Sentinel threshold for a certain coin (`p ≥ 1`): mask `!0`, no draws.
+pub const CERTAIN: u64 = u64::MAX;
+
+/// Win threshold of a coin: wins iff a uniform `u64` is `< t`, so
+/// `P(win) = t / 2⁶⁴` exactly.
+///
+/// `p ≤ 0` maps to 0 (never wins, no randomness consumed) and `p ≥ 1` to
+/// the [`CERTAIN`] sentinel (always wins, no randomness consumed). A `p`
+/// within `2⁻⁶⁴` of 0 or 1 rounds into those exact cases — far below every
+/// statistical tolerance in the workspace, and a *better* rounding than
+/// the scalar `f64` comparison performs.
+#[inline]
+pub fn threshold(p: f64) -> u64 {
+    // NaN takes this branch too: an undefined preference never wins.
+    if p.is_nan() || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return CERTAIN;
+    }
+    // Saturating float→int cast: p close enough to 1 lands on u64::MAX,
+    // which is exactly the CERTAIN sentinel.
+    (p * 18_446_744_073_709_551_616.0) as u64
+}
+
+/// The deterministic randomness root of one 64-world block: mixes
+/// `(seed, block)` once, then hands out independent per-stream plane
+/// generators (streams are coins, plus reserved auxiliary streams).
+#[derive(Debug, Clone, Copy)]
+pub struct BlockKey {
+    base: u64,
+}
+
+/// First stream id reserved for non-coin randomness (coin ids are `u32`,
+/// so streams `< 2³²` belong to coins).
+pub const AUX_STREAM: u64 = 1 << 32;
+
+impl BlockKey {
+    /// Key of `block` under `seed`.
+    #[inline]
+    pub fn new(seed: u64, block: u64) -> Self {
+        Self { base: mix(seed ^ mix(block.wrapping_mul(GOLDEN) ^ 0x243f_6a88_85a3_08d3)) }
+    }
+
+    /// The plane generator of one stream within this block.
+    #[inline]
+    pub fn stream(&self, stream: u64) -> PlaneRng {
+        PlaneRng { state: mix(self.base ^ stream.wrapping_mul(0xd1b5_4a32_d192_ed03)) }
+    }
+}
+
+/// A SplitMix64 stream emitting one 64-lane bit plane per call. Fully
+/// determined by its [`BlockKey`] and stream id.
+#[derive(Debug, Clone)]
+pub struct PlaneRng {
+    state: u64,
+}
+
+impl PlaneRng {
+    /// Next bit plane (also usable as a plain uniform `u64`).
+    #[inline]
+    pub fn next_word(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN);
+        mix(self.state)
+    }
+}
+
+/// 64 independent Bernoulli draws at threshold `t` — one mask word.
+///
+/// Returns `(mask, planes_consumed)`. `t` must be a regular threshold
+/// (neither 0 nor [`CERTAIN`]); the degenerate cases never touch the RNG
+/// and are handled by the callers.
+#[inline]
+pub fn bernoulli_mask(rng: &mut PlaneRng, t: u64) -> (u64, u32) {
+    debug_assert!(t != 0 && t != CERTAIN);
+    let stop = t.trailing_zeros();
+    let mut lt = 0u64;
+    let mut eq = u64::MAX;
+    let mut planes = 0u32;
+    let mut plane = 63u32;
+    loop {
+        let r = rng.next_word();
+        planes += 1;
+        if (t >> plane) & 1 == 1 {
+            lt |= eq & !r;
+            eq &= r;
+        } else {
+            eq &= !r;
+        }
+        if eq == 0 || plane == stop {
+            // Below the lowest set bit of t every remaining bit of t is 0:
+            // still-equal lanes satisfy U ≥ t and stay losses.
+            return (lt, planes);
+        }
+        plane -= 1;
+    }
+}
+
+/// The plain and mirrored masks of an antithetic pair, from one shared
+/// plane stream: `(plain, mirrored, planes_consumed)`.
+///
+/// Lane `j` of `plain` is `U_j < t`; lane `j` of `mirrored` is
+/// `!U_j < t`, i.e. `U_j ≥ t.wrapping_neg()`. Both events have probability
+/// `t / 2⁶⁴`, and at `t = 2⁶³` (`p = 1/2`) the masks are exact
+/// complements.
+#[inline]
+pub fn bernoulli_mask_pair(rng: &mut PlaneRng, t: u64) -> (u64, u64, u32) {
+    debug_assert!(t != 0 && t != CERTAIN);
+    let tm = t.wrapping_neg();
+    // −t = t with its trailing zeros preserved, so one stop serves both.
+    let stop = t.trailing_zeros();
+    let (mut lt_p, mut eq_p) = (0u64, u64::MAX);
+    let (mut lt_m, mut eq_m) = (0u64, u64::MAX);
+    let mut planes = 0u32;
+    let mut plane = 63u32;
+    loop {
+        let r = rng.next_word();
+        planes += 1;
+        if (t >> plane) & 1 == 1 {
+            lt_p |= eq_p & !r;
+            eq_p &= r;
+        } else {
+            eq_p &= !r;
+        }
+        if (tm >> plane) & 1 == 1 {
+            lt_m |= eq_m & !r;
+            eq_m &= r;
+        } else {
+            eq_m &= !r;
+        }
+        if (eq_p | eq_m) == 0 || plane == stop {
+            return (lt_p, !lt_m, planes);
+        }
+        plane -= 1;
+    }
+}
+
+/// Reusable state of the bit-parallel kernel: per-coin thresholds, the
+/// per-block mask cache (epoch-stamped, so switching blocks is O(1)), and
+/// the work telemetry accumulated across blocks.
+///
+/// Counter semantics mirror the scalar sampler *per lane*:
+/// `coin_draws` adds the population count of the lanes demanding a mask at
+/// the moment it is materialised (eager mode: every active lane for every
+/// coin, so an `m`-sample eager run counts exactly `m × n_coins`), and
+/// `attacker_checks` adds the live-lane population before each attacker is
+/// evaluated. Dead lanes of a partial final block never enter either
+/// counter.
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    thresholds: Vec<u64>,
+    mask: Vec<u64>,
+    mirror: Vec<u64>,
+    stamp: Vec<u64>,
+    epoch: u64,
+    /// Lane-weighted mask materialisations (see type docs).
+    pub coin_draws: u64,
+    /// Lane-weighted attacker dominance checks.
+    pub attacker_checks: u64,
+}
+
+impl BlockScratch {
+    /// Bind the scratch to `view` for a run: precompute thresholds, size
+    /// the mask cache, and reset the telemetry.
+    pub fn prepare(&mut self, view: &CoinView) {
+        self.thresholds.clear();
+        self.thresholds.extend(view.coin_probs().iter().map(|&p| threshold(p)));
+        let m = view.n_coins();
+        if self.stamp.len() < m {
+            self.stamp.resize(m, 0);
+            self.mask.resize(m, 0);
+            self.mirror.resize(m, 0);
+        }
+        self.coin_draws = 0;
+        self.attacker_checks = 0;
+    }
+
+    #[inline]
+    fn materialise(&mut self, key: &BlockKey, k: usize, demand: u64) {
+        let t = self.thresholds[k];
+        self.mask[k] = match t {
+            0 => 0,
+            CERTAIN => u64::MAX,
+            _ => bernoulli_mask(&mut key.stream(k as u64), t).0,
+        };
+        self.coin_draws += u64::from(demand.count_ones());
+    }
+
+    #[inline]
+    fn materialise_pair(&mut self, key: &BlockKey, k: usize, demand: u64) {
+        let t = self.thresholds[k];
+        (self.mask[k], self.mirror[k]) = match t {
+            0 => (0, 0),
+            CERTAIN => (u64::MAX, u64::MAX),
+            _ => {
+                let (p, m, _) = bernoulli_mask_pair(&mut key.stream(k as u64), t);
+                (p, m)
+            }
+        };
+        self.coin_draws += u64::from(demand.count_ones());
+    }
+}
+
+/// Evaluate one 64-world block: returns the mask of lanes (restricted to
+/// `lane_mask`) in which **no** attacker dominates the target.
+///
+/// Attackers are visited in `order` (the checking sequence); a lane leaves
+/// the live set as soon as some attacker dominates it, and the block exits
+/// early once no lane is live — the paper's lazy-sampling and
+/// sorted-checking optimisations at lane granularity. With `lazy == false`
+/// every coin mask is materialised up front instead (the ablation
+/// baseline's eager semantics), which changes telemetry but — thanks to
+/// counter-based seeding — not the masks, hence not the estimate.
+pub fn survivors_block(
+    view: &CoinView,
+    order: &[usize],
+    seed: u64,
+    block: u64,
+    lane_mask: u64,
+    lazy: bool,
+    s: &mut BlockScratch,
+) -> u64 {
+    s.epoch += 1;
+    let epoch = s.epoch;
+    let key = BlockKey::new(seed, block);
+    if !lazy {
+        for k in 0..view.n_coins() {
+            s.stamp[k] = epoch;
+            s.materialise(&key, k, lane_mask);
+        }
+    }
+    let mut live = lane_mask;
+    for &i in order {
+        if live == 0 {
+            break;
+        }
+        s.attacker_checks += u64::from(live.count_ones());
+        let mut alive = live;
+        for &k in view.attacker_coins(i) {
+            let ku = k as usize;
+            if s.stamp[ku] != epoch {
+                s.stamp[ku] = epoch;
+                s.materialise(&key, ku, alive);
+            }
+            alive &= s.mask[ku];
+            if alive == 0 {
+                break;
+            }
+        }
+        live &= !alive;
+    }
+    live
+}
+
+/// Antithetic variant of [`survivors_block`]: lane `j` carries a *pair* of
+/// mirrored worlds. Returns `(plain_survivors, mirrored_survivors)`.
+pub fn survivors_block_antithetic(
+    view: &CoinView,
+    order: &[usize],
+    seed: u64,
+    block: u64,
+    lane_mask: u64,
+    lazy: bool,
+    s: &mut BlockScratch,
+) -> (u64, u64) {
+    s.epoch += 1;
+    let epoch = s.epoch;
+    let key = BlockKey::new(seed, block);
+    if !lazy {
+        for k in 0..view.n_coins() {
+            s.stamp[k] = epoch;
+            s.materialise_pair(&key, k, lane_mask);
+        }
+    }
+    let mut live_p = lane_mask;
+    let mut live_m = lane_mask;
+    for &i in order {
+        if live_p | live_m == 0 {
+            break;
+        }
+        s.attacker_checks += u64::from(live_p.count_ones() + live_m.count_ones());
+        let mut ap = live_p;
+        let mut am = live_m;
+        for &k in view.attacker_coins(i) {
+            if ap | am == 0 {
+                break;
+            }
+            let ku = k as usize;
+            if s.stamp[ku] != epoch {
+                s.stamp[ku] = epoch;
+                s.materialise_pair(&key, ku, ap | am);
+            }
+            ap &= s.mask[ku];
+            am &= s.mirror[ku];
+        }
+        live_p &= !ap;
+        live_m &= !am;
+    }
+    (live_p, live_m)
+}
+
+/// The active-lane mask of block `block` when `total` worlds are requested:
+/// all 64 lanes for full blocks, the low `total % 64` lanes for the final
+/// partial block.
+#[inline]
+pub fn block_lane_mask(total: u64, block: u64) -> u64 {
+    let lanes = (total - block * 64).min(64);
+    if lanes == 64 {
+        u64::MAX
+    } else {
+        (1u64 << lanes) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_edges() {
+        assert_eq!(threshold(0.0), 0);
+        assert_eq!(threshold(-1.0), 0);
+        assert_eq!(threshold(f64::NAN), 0);
+        assert_eq!(threshold(1.0), CERTAIN);
+        assert_eq!(threshold(2.0), CERTAIN);
+        assert_eq!(threshold(0.5), 1u64 << 63);
+        assert_eq!(threshold(0.25), 1u64 << 62);
+        // Monotone in p.
+        assert!(threshold(0.3) < threshold(0.300001));
+    }
+
+    #[test]
+    fn masks_are_pure_functions_of_seed_block_and_stream() {
+        let a = BlockKey::new(7, 3);
+        let b = BlockKey::new(7, 3);
+        let t = threshold(0.37);
+        assert_eq!(bernoulli_mask(&mut a.stream(5), t).0, bernoulli_mask(&mut b.stream(5), t).0);
+        // Different block, stream, or seed → (almost surely) different mask.
+        let others = [
+            bernoulli_mask(&mut BlockKey::new(7, 4).stream(5), t).0,
+            bernoulli_mask(&mut a.stream(6), t).0,
+            bernoulli_mask(&mut BlockKey::new(8, 3).stream(5), t).0,
+        ];
+        let base = bernoulli_mask(&mut a.stream(5), t).0;
+        assert!(others.iter().any(|&m| m != base));
+    }
+
+    #[test]
+    fn mask_hit_rate_matches_probability() {
+        for &p in &[0.05, 0.25, 0.5, 0.8, 0.99] {
+            let t = threshold(p);
+            let mut ones = 0u64;
+            let blocks = 2000u64;
+            for b in 0..blocks {
+                let (m, _) = bernoulli_mask(&mut BlockKey::new(11, b).stream(0), t);
+                ones += u64::from(m.count_ones());
+            }
+            let rate = ones as f64 / (blocks * 64) as f64;
+            assert!((rate - p).abs() < 0.01, "p = {p}: rate {rate}");
+        }
+    }
+
+    #[test]
+    fn dyadic_probabilities_cost_few_planes() {
+        let (_, planes) = bernoulli_mask(&mut BlockKey::new(0, 0).stream(0), threshold(0.5));
+        assert_eq!(planes, 1, "p = 1/2 is one plane per 64 worlds");
+        let (_, planes) = bernoulli_mask(&mut BlockKey::new(0, 0).stream(0), threshold(0.25));
+        assert_eq!(planes, 2);
+        // A generic p stops once eq hits zero — far below 64 planes.
+        let (_, planes) = bernoulli_mask(&mut BlockKey::new(0, 1).stream(0), threshold(0.37));
+        assert!(planes <= 64);
+    }
+
+    #[test]
+    fn pair_is_exact_complement_at_half() {
+        for b in 0..50 {
+            let (p, m, planes) =
+                bernoulli_mask_pair(&mut BlockKey::new(3, b).stream(1), threshold(0.5));
+            assert_eq!(m, !p, "mirror is the exact complement at p = 1/2");
+            assert_eq!(planes, 1);
+        }
+    }
+
+    #[test]
+    fn pair_halves_have_equal_marginals() {
+        let t = threshold(0.3);
+        let (mut ones_p, mut ones_m) = (0u64, 0u64);
+        let blocks = 4000u64;
+        for b in 0..blocks {
+            let (p, m, _) = bernoulli_mask_pair(&mut BlockKey::new(17, b).stream(2), t);
+            ones_p += u64::from(p.count_ones());
+            ones_m += u64::from(m.count_ones());
+        }
+        let total = (blocks * 64) as f64;
+        assert!((ones_p as f64 / total - 0.3).abs() < 0.01);
+        assert!((ones_m as f64 / total - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn survivors_match_per_lane_reference() {
+        // Small clause system; compare the kernel against a direct
+        // per-lane evaluation of the same masks.
+        let view = CoinView::from_parts(vec![0.5, 0.3, 0.9], vec![vec![0, 1], vec![1, 2], vec![0]])
+            .unwrap();
+        let order = view.checking_sequence();
+        let mut s = BlockScratch::default();
+        s.prepare(&view);
+        for block in 0..64 {
+            let live = survivors_block(&view, &order, 9, block, u64::MAX, true, &mut s);
+            // Reference: rebuild every mask and evaluate lanes one by one.
+            let key = BlockKey::new(9, block);
+            let masks: Vec<u64> = view
+                .coin_probs()
+                .iter()
+                .enumerate()
+                .map(|(k, &p)| {
+                    let t = threshold(p);
+                    match t {
+                        0 => 0,
+                        CERTAIN => u64::MAX,
+                        _ => bernoulli_mask(&mut key.stream(k as u64), t).0,
+                    }
+                })
+                .collect();
+            for lane in 0..64u64 {
+                let dominated = (0..view.n_attackers()).any(|i| {
+                    view.attacker_coins(i).iter().all(|&k| masks[k as usize] >> lane & 1 == 1)
+                });
+                assert_eq!(live >> lane & 1 == 1, !dominated, "block {block} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_and_eager_blocks_agree_bitwise() {
+        let view = CoinView::from_parts(
+            vec![0.2, 0.7, 0.5, 0.05],
+            vec![vec![0, 1], vec![2], vec![1, 3], vec![0, 2, 3]],
+        )
+        .unwrap();
+        let order = view.checking_sequence();
+        let mut lazy = BlockScratch::default();
+        let mut eager = BlockScratch::default();
+        lazy.prepare(&view);
+        eager.prepare(&view);
+        for block in 0..32 {
+            let a = survivors_block(&view, &order, 5, block, u64::MAX, true, &mut lazy);
+            let b = survivors_block(&view, &order, 5, block, u64::MAX, false, &mut eager);
+            assert_eq!(a, b, "block {block}: lazy and eager see the same masks");
+        }
+        assert!(lazy.coin_draws <= eager.coin_draws);
+        assert_eq!(eager.coin_draws, 32 * 64 * view.n_coins() as u64);
+    }
+
+    #[test]
+    fn lane_masks_cover_exactly_the_requested_worlds() {
+        assert_eq!(block_lane_mask(128, 0), u64::MAX);
+        assert_eq!(block_lane_mask(128, 1), u64::MAX);
+        assert_eq!(block_lane_mask(65, 1), 1);
+        assert_eq!(block_lane_mask(63, 0), (1 << 63) - 1);
+        assert_eq!(block_lane_mask(1, 0), 1);
+        for total in [1u64, 63, 64, 65, 127, 128, 1000] {
+            let blocks = total.div_ceil(64);
+            let lanes: u64 =
+                (0..blocks).map(|b| u64::from(block_lane_mask(total, b).count_ones())).sum();
+            assert_eq!(lanes, total);
+        }
+    }
+
+    #[test]
+    fn degenerate_thresholds_draw_nothing() {
+        let view = CoinView::from_parts(vec![0.0, 1.0], vec![vec![0], vec![1]]).unwrap();
+        let order = view.checking_sequence();
+        let mut s = BlockScratch::default();
+        s.prepare(&view);
+        // Attacker {1} is certain → no survivors; attacker {0} impossible.
+        let live = survivors_block(&view, &order, 1, 0, u64::MAX, true, &mut s);
+        assert_eq!(live, 0);
+    }
+}

@@ -28,6 +28,8 @@
 //! * [`coins`] — the reduced kernel described above.
 //! * [`batch`] — shared per-table indexes assembling many coin views with
 //!   no per-target hashing (the all-objects query path).
+//! * [`bitworlds`] — the bit-parallel possible-world kernel: 64 worlds per
+//!   machine word, bit-sliced Bernoulli masks, counter-based seeding.
 //!
 //! ## Quick example
 //!
@@ -54,6 +56,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod bitworlds;
 pub mod coins;
 pub mod dominance;
 pub mod error;
@@ -66,6 +69,10 @@ pub mod world;
 /// Convenient glob-import of the commonly used names.
 pub mod prelude {
     pub use crate::batch::{BatchCoinContext, BatchScratch};
+    pub use crate::bitworlds::{
+        bernoulli_mask, bernoulli_mask_pair, block_lane_mask, survivors_block,
+        survivors_block_antithetic, threshold, BlockKey, BlockScratch, PlaneRng,
+    };
     pub use crate::coins::{Attacker, CoinKey, CoinRemap, CoinView, SYNTHETIC_SOURCE};
     pub use crate::dominance::{differing_dims, dominates_in_world, pr_dominates};
     pub use crate::error::{CoreError, Result};

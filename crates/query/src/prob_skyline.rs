@@ -18,9 +18,11 @@
 //! * each object's reduced instance is preprocessed (prune, absorption,
 //!   partition); objects dominated with certainty short-circuit to
 //!   `sky = 0` before any of that;
-//! * if every independent component is small, the exact per-component
-//!   inclusion–exclusion finishes in microseconds and we report an exact
-//!   probability;
+//! * if every independent component is small **and** the summed `2^|g|`
+//!   inclusion–exclusion cost undercuts the sampler's own predicted cost
+//!   ([`SamOptions::predicted_cost`], which accounts for the 64-worlds-
+//!   per-word bit-parallel kernel), the exact per-component engine
+//!   finishes in microseconds and we report an exact probability;
 //! * otherwise the Monte-Carlo estimator takes over with the configured
 //!   `(ε, δ)` budget.
 //!
@@ -47,7 +49,8 @@ use crate::error::{QueryError, Result};
 /// Per-object algorithm policy.
 #[derive(Debug, Clone, Copy)]
 pub enum Algorithm {
-    /// Preprocess, then choose exactly (small components) or sampling.
+    /// Preprocess, then choose exactly (small components whose summed
+    /// `2^|g|` cost undercuts the sampler's predicted cost) or sampling.
     Adaptive {
         /// Components up to this size are solved exactly.
         exact_component_limit: usize,
@@ -191,7 +194,19 @@ fn solve_scratch_view(object: ObjectId, algo: Algorithm, s: &mut SkyScratch) -> 
         Algorithm::Adaptive { exact_component_limit, sam } => {
             let largest =
                 (0..s.partition.n_groups()).map(|g| s.partition.group(g).len()).max().unwrap_or(0);
-            if largest <= exact_component_limit {
+            // Exact inclusion–exclusion costs up to 2^|g| subset terms per
+            // component; the sampler's side of the ledger is its own
+            // predicted cost under the configured kernel (bit-parallel
+            // batching makes sampling ~64× cheaper per world, so the
+            // break-even point genuinely depends on the kernel). The
+            // `1 << 22` floor keeps small instances on the exact path even
+            // under tiny sampling budgets.
+            let exact_cost = (0..s.partition.n_groups())
+                .map(|g| 1u64 << s.partition.group(g).len().min(63))
+                .fold(0u64, u64::saturating_add);
+            let sample_cost =
+                sam.predicted_cost(s.work.n_attackers(), s.work.n_coins()).max(1 << 22);
+            if largest <= exact_component_limit && exact_cost <= sample_cost {
                 let det = DetOptions::with_max_attackers(exact_component_limit);
                 let sky = exact_component_product(s, det)?;
                 Ok(SkyResult { object, sky, exact: true })
