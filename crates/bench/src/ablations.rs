@@ -6,17 +6,19 @@ use presky_core::coins::CoinView;
 use presky_approx::karp_luby::{sky_karp_luby_view, KarpLubyOptions};
 use presky_approx::sampler::{sky_sam_view, SamOptions};
 use presky_exact::det::DetOptions;
-use presky_exact::detplus::{sky_det_plus_view, DetPlusOptions};
+use presky_query::engine::{self, PipelineStats, PrepareOptions, SkyScratch};
+use presky_query::prob_skyline::Algorithm;
 
 use crate::harness::{format_secs, pick_targets, Budget, FigReport};
 use crate::workloads;
 
 /// X2: what does each preprocessing technique contribute to `Det+`?
 ///
-/// Runs the exact pipeline on block-zipf with each combination of
-/// absorption/partition, reporting joints computed and runtime. The
-/// `neither` row degenerates to plain `Det` and is attempted only at small
-/// `n`.
+/// Runs the engine's forced-exact plan on block-zipf with each
+/// combination of the Prepare-stage absorption/partition toggles
+/// ([`PrepareOptions`]), reporting the [`PipelineStats`] counters. The
+/// `neither` combination degenerates to plain `Det` and is covered by the
+/// Figure 9/10 series instead.
 pub fn ablation_prep(budget: &Budget) -> FigReport {
     let n = if budget.quick { 500 } else { 10_000 };
     let mut rep = FigReport::new(
@@ -39,41 +41,37 @@ pub fn ablation_prep(budget: &Budget) -> FigReport {
         ("partition only", false, true),
         ("absorption only", true, false),
     ];
+    let algo = Algorithm::Exact {
+        det: DetOptions {
+            max_attackers: 64,
+            deadline: Some(budget.deadline),
+            ..DetOptions::default()
+        },
+    };
+    let mut scratch = SkyScratch::default();
     for (name, absorption, partition) in variants {
-        let mut joints = 0u64;
-        let mut absorbed = 0usize;
-        let mut largest = 0usize;
-        let mut time = std::time::Duration::ZERO;
+        let prep = PrepareOptions { absorption, partition, ..PrepareOptions::full() };
+        let mut stats = PipelineStats::default();
         let mut ok = 0usize;
         for &t in &targets {
-            let view = CoinView::build(&table, &prefs, t).expect("valid instance");
-            let opts = DetPlusOptions {
-                det: DetOptions {
-                    max_attackers: 64,
-                    deadline: Some(budget.deadline),
-                    ..DetOptions::default()
-                },
-                absorption,
-                partition,
-                prune_impossible: true,
-            };
-            if let Ok(out) = sky_det_plus_view(&view, opts) {
-                joints += out.joints_computed;
-                absorbed += out.absorbed;
-                largest = largest.max(out.largest_component());
-                time += out.elapsed;
+            // Per-target stats so a failed (deadline) solve contributes
+            // nothing to the variant's means.
+            let mut st = PipelineStats::default();
+            if engine::solve_one(&table, &prefs, t, algo, prep, &mut scratch, &mut st).is_ok() {
+                stats.merge(&st);
                 ok += 1;
             }
         }
         if ok == 0 {
             rep.push_row(vec![name.into(), "timeout".into(), "-".into(), "-".into(), "-".into()]);
         } else {
+            let nanos = stats.prepare_nanos + stats.plan_nanos + stats.execute_nanos;
             rep.push_row(vec![
                 name.into(),
-                format!("{}", joints / ok as u64),
-                format!("{}", absorbed / ok),
-                largest.to_string(),
-                format_secs(time.as_secs_f64() / ok as f64),
+                format!("{}", stats.joints_computed / ok as u64),
+                format!("{}", stats.absorbed / ok as u64),
+                stats.largest_component.to_string(),
+                format_secs(nanos as f64 / 1e9 / ok as f64),
             ]);
         }
     }
@@ -294,7 +292,9 @@ pub fn ablation_cond(budget: &Budget) -> FigReport {
 /// objects each rung resolves, and at what sampling cost, versus the flat
 /// per-object estimator.
 pub fn ablation_threshold(budget: &Budget) -> FigReport {
-    use presky_query::threshold::{resolution_stats, threshold_skyline, ThresholdOptions};
+    use presky_query::threshold::{
+        resolution_stats, threshold_skyline_with_stats, ThresholdOptions,
+    };
 
     let n = if budget.quick { 500 } else { 5_000 };
     let tau = 0.1;
@@ -306,13 +306,14 @@ pub fn ablation_threshold(budget: &Budget) -> FigReport {
     let prefs = workloads::block_prefs();
     let table = workloads::block_zipf(n, 5);
     let start = std::time::Instant::now();
-    let answers = match threshold_skyline(&table, &prefs, tau, ThresholdOptions::default()) {
-        Ok(a) => a,
-        Err(e) => {
-            rep.note(format!("query failed: {e}"));
-            return rep;
-        }
-    };
+    let (answers, pipeline) =
+        match threshold_skyline_with_stats(&table, &prefs, tau, ThresholdOptions::default()) {
+            Ok(a) => a,
+            Err(e) => {
+                rep.note(format!("query failed: {e}"));
+                return rep;
+            }
+        };
     let elapsed = start.elapsed();
     let stats = resolution_stats(&answers);
     let total = answers.len() as f64;
@@ -330,7 +331,12 @@ pub fn ablation_threshold(budget: &Budget) -> FigReport {
     }
     let members = answers.iter().filter(|a| a.member).count();
     rep.note(format!(
-        "{members} members at τ = {tau}; whole query over {n} objects in {elapsed:.1?}."
+        "{members} members at τ = {tau}; whole query over {n} objects in {elapsed:.1?}. \
+         Engine stage wall-time (summed over workers): prepare {}, execute {}; \
+         {} worlds sampled in total.",
+        format_secs(pipeline.prepare_nanos as f64 / 1e9),
+        format_secs(pipeline.execute_nanos as f64 / 1e9),
+        pipeline.samples_drawn,
     ));
     rep
 }

@@ -11,8 +11,10 @@ use presky_core::types::ObjectId;
 use presky_approx::sampler::{sky_sam, SamOptions};
 use presky_approx::samplus::{sky_sam_plus, SamPlusOptions};
 use presky_exact::det::{sky_det, DetOptions};
-use presky_exact::detplus::{sky_det_plus, DetPlusOptions};
 use presky_exact::error::ExactError;
+use presky_query::engine::{self, PipelineStats, PrepareOptions, SkyScratch};
+use presky_query::error::QueryError;
+use presky_query::prob_skyline::{Algorithm, SkyResult};
 
 use crate::harness::{measure, Measurement};
 
@@ -26,6 +28,35 @@ fn map_exact_err(e: ExactError) -> String {
         ExactError::DeadlineExceeded { .. } => "deadline".to_owned(),
         other => other.to_string(),
     }
+}
+
+fn map_query_err(e: QueryError) -> String {
+    match e {
+        QueryError::Exact(ExactError::DeadlineExceeded { .. }) => "deadline".to_owned(),
+        other => other.to_string(),
+    }
+}
+
+/// One exact `Det+`-policy solve through the unified engine (full
+/// preparation, forced-exact plan). All `Det+` numbers the harness reports
+/// come from this path, so they measure the same pipeline the library and
+/// CLI entry points run.
+fn detplus_engine<M: PreferenceModel>(
+    table: &Table,
+    prefs: &M,
+    target: ObjectId,
+    deadline: Duration,
+    scratch: &mut SkyScratch,
+) -> Result<SkyResult, QueryError> {
+    let algo = Algorithm::Exact {
+        det: DetOptions {
+            max_attackers: DET_HOPELESS,
+            deadline: Some(deadline),
+            ..DetOptions::default()
+        },
+    };
+    let mut stats = PipelineStats::default();
+    engine::solve_one(table, prefs, target, algo, PrepareOptions::full(), scratch, &mut stats)
 }
 
 /// Mean per-object runtime of plain `Det`.
@@ -56,20 +87,18 @@ pub fn det_time<M: PreferenceModel>(
     })
 }
 
-/// Mean per-object runtime of `Det+`.
+/// Mean per-object runtime of `Det+` (engine path).
 pub fn detplus_time<M: PreferenceModel>(
     table: &Table,
     prefs: &M,
     targets: &[ObjectId],
     deadline: Duration,
 ) -> Measurement {
+    let mut scratch = SkyScratch::default();
     measure(targets, deadline, |t, remaining| {
-        let opts = DetPlusOptions::with_det(DetOptions {
-            max_attackers: DET_HOPELESS,
-            deadline: Some(remaining),
-            ..DetOptions::default()
-        });
-        sky_det_plus(table, prefs, t, opts).map(|_| None).map_err(map_exact_err)
+        detplus_engine(table, prefs, t, remaining, &mut scratch)
+            .map(|_| None)
+            .map_err(map_query_err)
     })
 }
 
@@ -94,7 +123,8 @@ pub fn sam_time<M: PreferenceModel>(
     })
 }
 
-/// Exact reference values for the error experiments, via `Det+`.
+/// Exact reference values for the error experiments, via the engine's
+/// forced-exact (`Det+`) path.
 pub fn exact_reference<M: PreferenceModel>(
     table: &Table,
     prefs: &M,
@@ -102,13 +132,10 @@ pub fn exact_reference<M: PreferenceModel>(
     deadline: Duration,
 ) -> Result<HashMap<ObjectId, f64>, String> {
     let mut out = HashMap::with_capacity(targets.len());
+    let mut scratch = SkyScratch::default();
     for &t in targets {
-        let opts = DetPlusOptions::with_det(DetOptions {
-            max_attackers: DET_HOPELESS,
-            deadline: Some(deadline),
-            ..DetOptions::default()
-        });
-        let r = sky_det_plus(table, prefs, t, opts).map_err(|e| e.to_string())?;
+        let r =
+            detplus_engine(table, prefs, t, deadline, &mut scratch).map_err(|e| e.to_string())?;
         out.insert(t, r.sky);
     }
     Ok(out)
@@ -139,16 +166,12 @@ pub fn interesting_targets<M: PreferenceModel>(
     // Enough total budget to exactly solve `want` targets plus slack for
     // the scan; the per-target deadline keeps any one solve bounded.
     let scan_budget = per_target_deadline.saturating_mul(want.max(1) as u32);
+    let mut scratch = SkyScratch::default();
     for &t in &pool {
         if chosen.len() >= want || start.elapsed() > scan_budget {
             break;
         }
-        let opts = DetPlusOptions::with_det(DetOptions {
-            max_attackers: DET_HOPELESS,
-            deadline: Some(per_target_deadline),
-            ..DetOptions::default()
-        });
-        match sky_det_plus(table, prefs, t, opts) {
+        match detplus_engine(table, prefs, t, per_target_deadline, &mut scratch) {
             Ok(out) => {
                 reference.insert(t, out.sky);
                 if out.sky > floor && out.sky < 1.0 - floor {
@@ -157,7 +180,7 @@ pub fn interesting_targets<M: PreferenceModel>(
                     fallback.push(t);
                 }
             }
-            Err(ExactError::DeadlineExceeded { .. }) => {
+            Err(QueryError::Exact(ExactError::DeadlineExceeded { .. })) => {
                 // This target is too hard for the exact reference; so will
                 // its siblings be — stop scanning and work with what we
                 // have.
@@ -218,16 +241,12 @@ mod tests {
         let table = workloads::block_zipf(18, 3);
         let prefs = workloads::prefs();
         let targets = pick_targets(table.len(), 4, 1);
+        let mut scratch = SkyScratch::default();
         for &t in &targets {
             let a = sky_det(&table, &prefs, t, DetOptions::with_max_attackers(64)).unwrap().sky;
-            let b = sky_det_plus(
-                &table,
-                &prefs,
-                t,
-                DetPlusOptions::with_det(DetOptions::with_max_attackers(64)),
-            )
-            .unwrap()
-            .sky;
+            let b = detplus_engine(&table, &prefs, t, Duration::from_secs(30), &mut scratch)
+                .unwrap()
+                .sky;
             assert!((a - b).abs() < 1e-9, "target {t}: {a} vs {b}");
         }
     }

@@ -1,29 +1,55 @@
 //! `allsky_bench` — throughput of the batch all-objects query engine.
 //!
 //! ```text
-//! allsky_bench [--quick] [--out <path>]
+//! allsky_bench [--quick] [--out <path>] [--check <baseline.json>]
 //! ```
 //!
-//! Measures objects/second of [`presky_query::prob_skyline::all_sky`]
-//! (shared [`BatchCoinContext`] indexes + per-worker scratch) against the
-//! legacy per-object driver (a [`sky_one`] loop: fresh `CoinView::build`
-//! hashing and fresh buffers per target) on the block-zipf workload under
-//! the default adaptive policy. Both sides run single-threaded so the
-//! ratio isolates per-object work, not parallelism; the legacy side is
-//! timed on a deterministic target subsample and extrapolated.
+//! Measures objects/second of
+//! [`presky_query::prob_skyline::all_sky_with_stats`] (shared
+//! `BatchCoinContext` indexes + per-worker scratch, through the unified
+//! Prepare → Plan → Execute engine) against the legacy per-object driver
+//! (a [`sky_one`] loop: fresh `CoinView::build` hashing and fresh buffers
+//! per target) on the block-zipf workload under the default adaptive
+//! policy. Both sides run single-threaded so the ratio isolates
+//! per-object work, not parallelism; the legacy side is timed on a
+//! deterministic target subsample and extrapolated.
 //!
 //! Also spot-checks that the two drivers produce **bit-identical**
-//! `SkyResult`s, and writes a small JSON report (default
-//! `BENCH_allsky.json`).
+//! `SkyResult`s, prints the aggregated [`PipelineStats`], and writes a
+//! small JSON report (default `BENCH_allsky.json`).
+//!
+//! `--check <baseline.json>` compares the measured batch/legacy *speedup
+//! ratio* (machine-independent, unlike absolute objects/second) against
+//! the baseline report's and fails if it regressed by more than 1.5× —
+//! the CI smoke gate.
+//!
+//! [`PipelineStats`]: presky_query::engine::PipelineStats
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use presky_bench::workloads;
 use presky_core::types::ObjectId;
-use presky_query::prob_skyline::{all_sky, sky_one, Algorithm, QueryOptions};
+use presky_query::prob_skyline::{all_sky_with_stats, sky_one, Algorithm, QueryOptions};
 
 use presky_approx::sampler::SamOptions;
+
+/// A speedup regression beyond this factor versus the `--check` baseline
+/// fails the run.
+const CHECK_TOLERANCE: f64 = 1.5;
+
+/// Extract a top-level `"<key>": <number-or-bool>` field from a report
+/// written by this binary. Hand-rolled (no JSON dependency),
+/// shape-tolerant to whitespace only.
+fn parse_baseline_field(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_'))
+        .unwrap_or(rest.len());
+    Some(rest[..end].to_owned())
+}
 
 /// Mirror of the driver's per-object seed decorrelation, so the legacy
 /// loop feeds the sampler the exact options the batch driver would.
@@ -40,18 +66,26 @@ fn reseed(algo: Algorithm, salt: u64) -> Algorithm {
 }
 
 fn usage() {
-    eprintln!("usage: allsky_bench [--quick] [--out <path>]");
+    eprintln!("usage: allsky_bench [--quick] [--out <path>] [--check <baseline.json>]");
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut quick = false;
     let mut out_path = std::path::PathBuf::from("BENCH_allsky.json");
+    let mut check_path: Option<std::path::PathBuf> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => match args.next() {
                 Some(p) => out_path = p.into(),
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match args.next() {
+                Some(p) => check_path = Some(p.into()),
                 None => {
                     usage();
                     return ExitCode::FAILURE;
@@ -79,8 +113,9 @@ fn main() -> ExitCode {
 
     // Batch driver: full table, single worker.
     let start = Instant::now();
-    let batch = all_sky(&table, &prefs, QueryOptions { algorithm: algo, threads: Some(1) })
-        .expect("batch driver");
+    let (batch, stats) =
+        all_sky_with_stats(&table, &prefs, QueryOptions { algorithm: algo, threads: Some(1) })
+            .expect("batch driver");
     let batch_elapsed = start.elapsed().as_secs_f64();
     let batch_rate = n as f64 / batch_elapsed;
     println!("batch:  {n} objects in {batch_elapsed:.3}s  ({batch_rate:.0} objects/s)");
@@ -123,6 +158,8 @@ fn main() -> ExitCode {
         checked += 1;
     }
     println!("bit-identity: {checked}/{checked} spot checks passed");
+    println!("--- engine pipeline stats (batch side) ---");
+    println!("{stats}");
 
     let json = format!(
         concat!(
@@ -136,7 +173,19 @@ fn main() -> ExitCode {
             "  \"batch\": {{ \"objects\": {}, \"elapsed_s\": {:.6}, \"objects_per_sec\": {:.1} }},\n",
             "  \"legacy\": {{ \"objects\": {}, \"elapsed_s\": {:.6}, \"objects_per_sec\": {:.1} }},\n",
             "  \"speedup\": {:.3},\n",
-            "  \"bit_identical_spot_checks\": {}\n",
+            "  \"bit_identical_spot_checks\": {},\n",
+            "  \"pipeline\": {{\n",
+            "    \"short_circuited\": {},\n",
+            "    \"attackers_in\": {},\n",
+            "    \"absorbed\": {},\n",
+            "    \"survivors\": {},\n",
+            "    \"components\": {},\n",
+            "    \"largest_component\": {},\n",
+            "    \"plan_exact\": {},\n",
+            "    \"plan_sample\": {},\n",
+            "    \"joints_computed\": {},\n",
+            "    \"samples_drawn\": {}\n",
+            "  }}\n",
             "}}\n"
         ),
         n,
@@ -149,12 +198,63 @@ fn main() -> ExitCode {
         legacy_elapsed,
         legacy_rate,
         speedup,
-        checked
+        checked,
+        stats.short_circuited,
+        stats.attackers_in,
+        stats.absorbed,
+        stats.survivors,
+        stats.components,
+        stats.largest_component,
+        stats.plan_exact,
+        stats.plan_sample,
+        stats.joints_computed,
+        stats.samples_drawn,
     );
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {}: {e}", out_path.display());
         return ExitCode::FAILURE;
     }
     println!("wrote {}", out_path.display());
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        // The speedup ratio depends on the workload size, so refuse
+        // apples-to-oranges comparisons against a differently-sized
+        // baseline instead of silently mis-gating.
+        let base_n = parse_baseline_field(&text, "n");
+        if base_n.as_deref() != Some(n.to_string().as_str()) {
+            eprintln!(
+                "baseline {} was measured at n={} but this run used n={n}; \
+                 compare like for like (use the matching --quick setting)",
+                path.display(),
+                base_n.as_deref().unwrap_or("?"),
+            );
+            return ExitCode::FAILURE;
+        }
+        let Some(baseline) =
+            parse_baseline_field(&text, "speedup").and_then(|s| s.parse::<f64>().ok())
+        else {
+            eprintln!("no \"speedup\" field in baseline {}", path.display());
+            return ExitCode::FAILURE;
+        };
+        let floor = baseline / CHECK_TOLERANCE;
+        println!(
+            "check: measured speedup {speedup:.2}x vs baseline {baseline:.2}x \
+             (floor {floor:.2}x, tolerance {CHECK_TOLERANCE}x)"
+        );
+        if speedup < floor {
+            eprintln!(
+                "REGRESSION: speedup {speedup:.2}x fell below {floor:.2}x \
+                 (baseline {baseline:.2}x / {CHECK_TOLERANCE})"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

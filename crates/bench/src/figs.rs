@@ -5,6 +5,12 @@
 //! returns a [`FigReport`] whose rows mirror the published series. Absolute
 //! numbers depend on the machine; `EXPERIMENTS.md` records the *shape*
 //! claims each figure must satisfy and what this harness measured.
+//!
+//! The `Det+` columns run through `presky_query::engine` (the unified
+//! Prepare → Plan → Execute pipeline) via [`crate::algos::detplus_time`],
+//! so they time exactly what the library and CLI entry points execute.
+//! `Det` and `Sam`/`Sam+` remain the paper's algorithms measured
+//! literally on raw views, preserving the published baselines.
 
 use std::time::Duration;
 

@@ -68,5 +68,5 @@ pub mod prelude {
     pub use crate::levelwise::{sky_levelwise, sky_levelwise_partial, sky_levelwise_partial_big};
     pub use crate::naive::{sky_naive_coins, sky_naive_worlds, NaiveOptions};
     pub use crate::partition::{partition, partition_into, PartitionScratch, UnionFind};
-    pub use crate::profile::{profile, InstanceProfile};
+    pub use crate::profile::{profile, profile_with, InstanceProfile, ProfileScratch};
 }

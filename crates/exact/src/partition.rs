@@ -132,6 +132,20 @@ impl PartitionScratch {
     pub fn group(&self, g: usize) -> &[usize] {
         &self.members[self.offsets[g]..self.offsets[g + 1]]
     }
+
+    /// Fill the scratch with the trivial partition: one group `{0..n}`
+    /// (no groups when `n = 0`), without running the union–find. This is
+    /// the "partition stage off" mode of pipeline ablations: downstream
+    /// per-group consumers see the whole instance as a single component.
+    pub fn single_group(&mut self, n: usize) {
+        self.offsets.clear();
+        self.members.clear();
+        self.offsets.push(0);
+        if n > 0 {
+            self.members.extend(0..n);
+            self.offsets.push(n);
+        }
+    }
 }
 
 fn uf_find(parent: &mut [u32], mut x: u32) -> u32 {
@@ -342,6 +356,23 @@ mod tests {
         let mut scratch = PartitionScratch::default();
         partition_into(&view, &mut scratch);
         assert_eq!(scratch.n_groups(), 0);
+    }
+
+    #[test]
+    fn single_group_covers_all_attackers_or_none() {
+        let mut scratch = PartitionScratch::default();
+        scratch.single_group(4);
+        assert_eq!(scratch.n_groups(), 1);
+        assert_eq!(scratch.group(0), &[0, 1, 2, 3]);
+        scratch.single_group(0);
+        assert_eq!(scratch.n_groups(), 0);
+        // Reusable after a real partition and vice versa.
+        let view = CoinView::from_parts(vec![0.5, 0.5], vec![vec![0], vec![1]]).unwrap();
+        partition_into(&view, &mut scratch);
+        assert_eq!(scratch.n_groups(), 2);
+        scratch.single_group(2);
+        assert_eq!(scratch.n_groups(), 1);
+        assert_eq!(scratch.group(0), &[0, 1]);
     }
 
     #[test]

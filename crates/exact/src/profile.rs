@@ -7,10 +7,10 @@
 //! components are. [`profile`] computes all of it in one preprocessing
 //! pass.
 
-use presky_core::coins::CoinView;
+use presky_core::coins::{CoinRemap, CoinView};
 
-use crate::absorption::absorb;
-use crate::partition::partition;
+use crate::absorption::{absorb_into, AbsorbScratch, AbsorptionResult};
+use crate::partition::{partition_into, PartitionScratch};
 
 /// Structural profile of a reduced instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,8 +63,44 @@ impl InstanceProfile {
     }
 }
 
+/// Reusable buffers for [`profile_with`]. A default-constructed value
+/// works for any view; buffers grow to the largest instance profiled and
+/// are then recycled allocation-free (apart from the `component_sizes`
+/// vector handed back inside each [`InstanceProfile`]).
+#[derive(Debug)]
+pub struct ProfileScratch {
+    work: CoinView,
+    reduced: CoinView,
+    remap: CoinRemap,
+    absorb: AbsorbScratch,
+    absorbed: AbsorptionResult,
+    partition: PartitionScratch,
+}
+
+impl Default for ProfileScratch {
+    fn default() -> Self {
+        Self {
+            work: CoinView::empty(),
+            reduced: CoinView::empty(),
+            remap: CoinRemap::default(),
+            absorb: AbsorbScratch::default(),
+            absorbed: AbsorptionResult::default(),
+            partition: PartitionScratch::default(),
+        }
+    }
+}
+
 /// Profile an instance (one absorption + partition pass).
 pub fn profile(view: &CoinView) -> InstanceProfile {
+    profile_with(view, &mut ProfileScratch::default())
+}
+
+/// [`profile`] with caller-provided scratch, for repeated profiling.
+///
+/// Uses the non-allocating `absorb_into`/`partition_into` pipeline
+/// variants; the returned [`InstanceProfile`] is identical to [`profile`]'s
+/// (guarded by `profile_with_matches_allocating_reference`).
+pub fn profile_with(view: &CoinView, s: &mut ProfileScratch) -> InstanceProfile {
     let n_attackers = view.n_attackers();
     let n_coins = view.n_coins();
     let total_coins: usize = (0..n_attackers).map(|i| view.attacker_coins(i).len()).sum();
@@ -72,13 +108,14 @@ pub fn profile(view: &CoinView) -> InstanceProfile {
     let max_sharing = postings.iter().map(Vec::len).max().unwrap_or(0);
     let mean_sharing = if n_coins == 0 { 0.0 } else { total_coins as f64 / n_coins as f64 };
 
-    let mut work = view.clone();
-    let impossible = work.prune_impossible();
-    let res = absorb(&work);
-    let absorbed = res.n_removed();
-    let reduced = work.restrict(&res.kept);
+    s.work.clone_from(view);
+    let impossible = s.work.prune_impossible();
+    absorb_into(&s.work, &mut s.absorb, &mut s.absorbed);
+    let absorbed = s.absorbed.n_removed();
+    s.work.restrict_into(&s.absorbed.kept, &mut s.remap, &mut s.reduced);
+    partition_into(&s.reduced, &mut s.partition);
     let mut component_sizes: Vec<usize> =
-        partition(&reduced).into_iter().map(|g| g.len()).collect();
+        (0..s.partition.n_groups()).map(|g| s.partition.group(g).len()).collect();
     component_sizes.sort_unstable_by(|a, b| b.cmp(a));
 
     InstanceProfile {
@@ -144,6 +181,74 @@ mod tests {
         assert_eq!(prof.largest_component(), 0);
         assert_eq!(prof.log2_exact_work(), 0.0);
         assert!(prof.exactly_solvable_within(0));
+    }
+
+    /// The pre-refactor implementation, verbatim: allocating `absorb`,
+    /// `restrict` and `partition` instead of the `_into` scratch variants.
+    fn profile_reference(view: &CoinView) -> InstanceProfile {
+        use crate::absorption::absorb;
+        use crate::partition::partition;
+
+        let n_attackers = view.n_attackers();
+        let n_coins = view.n_coins();
+        let total_coins: usize = (0..n_attackers).map(|i| view.attacker_coins(i).len()).sum();
+        let postings = view.coin_postings();
+        let max_sharing = postings.iter().map(Vec::len).max().unwrap_or(0);
+        let mean_sharing = if n_coins == 0 { 0.0 } else { total_coins as f64 / n_coins as f64 };
+
+        let mut work = view.clone();
+        let impossible = work.prune_impossible();
+        let res = absorb(&work);
+        let absorbed = res.n_removed();
+        let reduced = work.restrict(&res.kept);
+        let mut component_sizes: Vec<usize> =
+            partition(&reduced).into_iter().map(|g| g.len()).collect();
+        component_sizes.sort_unstable_by(|a, b| b.cmp(a));
+
+        InstanceProfile {
+            n_attackers,
+            n_coins,
+            mean_coins_per_attacker: if n_attackers == 0 {
+                0.0
+            } else {
+                total_coins as f64 / n_attackers as f64
+            },
+            mean_sharing,
+            max_sharing,
+            impossible,
+            absorbed,
+            component_sizes,
+        }
+    }
+
+    #[test]
+    fn profile_with_matches_allocating_reference() {
+        let mut scratch = ProfileScratch::default();
+        let mut s = 0x00f1_7e5e_ed00_0001u64;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for round in 0..60 {
+            let m = 2 + (next() % 8) as usize; // 2..=9 coins
+            let n = 1 + (next() % 9) as usize; // 1..=9 attackers
+            let mut clauses = Vec::new();
+            for _ in 0..n {
+                let mask = (next() % ((1 << m) - 1)) + 1;
+                let clause: Vec<u32> = (0..m as u32).filter(|&b| mask & (1 << b) != 0).collect();
+                clauses.push(clause);
+            }
+            // Some zero-probability coins so the `impossible` counter moves.
+            let probs: Vec<f64> = (0..m)
+                .map(|_| if next() % 5 == 0 { 0.0 } else { (next() % 1000) as f64 / 1000.0 })
+                .collect();
+            let view = CoinView::from_parts(probs, clauses).unwrap();
+            let expect = profile_reference(&view);
+            let got = profile_with(&view, &mut scratch);
+            assert_eq!(expect, got, "round {round}");
+        }
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Stage 3 — **Execute**: run the chosen plan on the prepared instance.
+//!
+//! Two executors live here:
+//!
+//! * [`execute`] — the flat query: per-component inclusion–exclusion for
+//!   [`Plan::Exact`], the Monte-Carlo estimator for [`Plan::Sample`];
+//! * [`threshold_ladder`] — the threshold query's escalation ladder, a
+//!   sequence of progressively more expensive plan refinements (certified
+//!   bounds → exact with early exit → sequential test → fixed-budget
+//!   estimate) over the same prepared instance.
+//!
+//! Both record executor telemetry — joints computed, worlds sampled, coin
+//! draws, attacker checks, which ladder rung resolved each object — into
+//! the run's [`PipelineStats`].
+
+use std::time::Instant;
+
+use presky_core::types::ObjectId;
+
+use presky_approx::sampler::{sky_sam_view_with, SamOptions};
+use presky_approx::sprt::{sky_threshold_test_view, SprtOptions, ThresholdDecision};
+use presky_exact::bounds::{sky_bounds_bonferroni, SkyBounds};
+use presky_exact::det::{sky_det_view_with, DetOptions};
+
+use super::plan::{self, Plan, PlanReason};
+use super::prepare::SkyScratch;
+use super::PipelineStats;
+use crate::error::Result;
+use crate::prob_skyline::SkyResult;
+use crate::threshold::{Resolution, ThresholdAnswer, ThresholdOptions};
+
+/// Execute `plan` on the prepared instance in `s`.
+pub(crate) fn execute(
+    object: ObjectId,
+    plan: Plan,
+    s: &mut SkyScratch,
+    stats: &mut PipelineStats,
+) -> Result<SkyResult> {
+    let t0 = Instant::now();
+    let result = match plan {
+        Plan::ShortCircuit => SkyResult { object, sky: 0.0, exact: true },
+        Plan::Exact { det, .. } => {
+            let sky = exact_component_product(s, det, stats)?;
+            SkyResult { object, sky, exact: true }
+        }
+        Plan::Sample { sam, reason, .. } => {
+            let out = sky_sam_view_with(&s.work, sam, &mut s.sam)?;
+            stats.samples_drawn += out.samples;
+            stats.coin_draws += out.coin_draws;
+            stats.attacker_checks += out.attacker_checks;
+            // A forced-sampling policy on an attacker-free instance is
+            // still exact (the estimate is the constant 1); an adaptive
+            // policy never reaches sampling in that case.
+            let exact = matches!(reason, PlanReason::Forced) && s.work.n_attackers() == 0;
+            SkyResult { object, sky: out.estimate, exact }
+        }
+    };
+    stats.execute_nanos += t0.elapsed().as_nanos() as u64;
+    Ok(result)
+}
+
+/// `Π` of per-component exact skyline factors over the partition groups.
+fn exact_component_product(
+    s: &mut SkyScratch,
+    det: DetOptions,
+    stats: &mut PipelineStats,
+) -> Result<f64> {
+    let mut sky = 1.0;
+    for g in 0..s.partition.n_groups() {
+        s.work.restrict_into(s.partition.group(g), &mut s.remap, &mut s.sub);
+        let out = sky_det_view_with(&s.sub, det, &mut s.det)?;
+        stats.joints_computed += out.joints_computed;
+        sky *= out.sky;
+    }
+    Ok(sky)
+}
+
+/// The escalation ladder on the prepared instance — rungs are plan
+/// refinements over one Prepare pass, cheapest first. The caller has
+/// already run [`super::prepare::prepare`] (and handled its short-circuit).
+pub(crate) fn threshold_ladder(
+    target: ObjectId,
+    tau: f64,
+    opts: ThresholdOptions,
+    s: &mut SkyScratch,
+    stats: &mut PipelineStats,
+) -> Result<ThresholdAnswer> {
+    let t0 = Instant::now();
+    let answer = threshold_ladder_inner(target, tau, opts, s, stats);
+    stats.execute_nanos += t0.elapsed().as_nanos() as u64;
+    answer
+}
+
+fn threshold_ladder_inner(
+    target: ObjectId,
+    tau: f64,
+    opts: ThresholdOptions,
+    s: &mut SkyScratch,
+    stats: &mut PipelineStats,
+) -> Result<ThresholdAnswer> {
+    // Rung 1: certified bounds. Bonferroni on instances small enough that
+    // level-2 enumeration stays cheap; the O(n·d) cheap bounds otherwise.
+    let level = if s.work.n_attackers() <= 2_000 { opts.bonferroni_level } else { 1 };
+    let bounds = sky_bounds_bonferroni(&s.work, level)?;
+    if bounds.certainly_at_least(tau) || bounds.certainly_below(tau) {
+        stats.plan_bounds += 1;
+        return Ok(ThresholdAnswer {
+            object: target,
+            member: bounds.certainly_at_least(tau),
+            resolution: Resolution::Bounds(bounds),
+        });
+    }
+
+    // Rung 2: exact when cheap — the flat query's cost shape (largest
+    // component, summed lattice cost) refined with the ladder's own work
+    // limit. The component product only decreases, so the scan exits the
+    // moment it falls below τ — on low thresholds most objects are
+    // certified non-members after a handful of components.
+    let largest = plan::largest_component(&s.partition);
+    let exact_work = plan::exact_cost(&s.partition);
+    if largest <= opts.exact_component_limit && exact_work <= opts.exact_work_limit {
+        stats.plan_exact += 1;
+        let det = DetOptions::with_max_attackers(opts.exact_component_limit);
+        let mut sky = 1.0;
+        for g in 0..s.partition.n_groups() {
+            s.work.restrict_into(s.partition.group(g), &mut s.remap, &mut s.sub);
+            let out = sky_det_view_with(&s.sub, det, &mut s.det)?;
+            stats.joints_computed += out.joints_computed;
+            sky *= out.sky;
+            if sky < tau {
+                // Remaining factors are ≤ 1: membership is already refuted
+                // by the certified upper bound `sky_partial`.
+                return Ok(ThresholdAnswer {
+                    object: target,
+                    member: false,
+                    resolution: Resolution::Bounds(SkyBounds { lower: 0.0, upper: sky }),
+                });
+            }
+        }
+        return Ok(ThresholdAnswer {
+            object: target,
+            member: sky >= tau,
+            resolution: Resolution::Exact(sky),
+        });
+    }
+
+    // Rung 3: sequential test.
+    let sprt = SprtOptions { seed: opts.sprt.seed ^ target.0 as u64, ..opts.sprt };
+    let out = sky_threshold_test_view(&s.work, tau, sprt)?;
+    stats.samples_drawn += out.samples_used;
+    match out.decision {
+        ThresholdDecision::AtLeast => {
+            stats.plan_sequential += 1;
+            Ok(ThresholdAnswer {
+                object: target,
+                member: true,
+                resolution: Resolution::Sequential { samples_used: out.samples_used },
+            })
+        }
+        ThresholdDecision::Below => {
+            stats.plan_sequential += 1;
+            Ok(ThresholdAnswer {
+                object: target,
+                member: false,
+                resolution: Resolution::Sequential { samples_used: out.samples_used },
+            })
+        }
+        ThresholdDecision::Undecided => {
+            // Rung 4: fixed-budget estimate.
+            stats.plan_fallback += 1;
+            let sam = SamOptions { seed: opts.fallback.seed ^ target.0 as u64, ..opts.fallback };
+            let out = sky_sam_view_with(&s.work, sam, &mut s.sam)?;
+            stats.samples_drawn += out.samples;
+            stats.coin_draws += out.coin_draws;
+            stats.attacker_checks += out.attacker_checks;
+            Ok(ThresholdAnswer {
+                object: target,
+                member: out.estimate >= tau,
+                resolution: Resolution::Estimated(out.estimate),
+            })
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! The unified query pipeline: **Prepare → Plan → Execute**.
+//!
+//! Every per-target flow in this repository — `sky_one`, the parallel
+//! batch driver behind `all_sky`, the threshold escalation ladder, top-k's
+//! scout/refine phases, the CLI and the bench harness — runs through this
+//! one engine:
+//!
+//! * **Prepare** assembles (batch or single-target) and reduces the
+//!   instance: certain-attacker short-circuit, impossible-coin pruning,
+//!   absorption, coin-compacting restriction, independence partition.
+//!   Stage toggles ([`PrepareOptions`]) exist for ablations.
+//! * **Plan** compares the summed `2^|g|` inclusion–exclusion cost
+//!   against the sampler's predicted cost and emits an inspectable
+//!   [`Plan`] with provenance ([`PlanReason`]).
+//! * **Execute** dispatches to the exact per-component engine or the
+//!   Monte-Carlo estimator — or, for threshold queries, walks the
+//!   escalation ladder of plan refinements.
+//!
+//! Every stage records into a [`PipelineStats`] counters struct that
+//! aggregates across the parallel batch driver and is surfaced by the
+//! `--stats` flags of the `skyprob` CLI and by the bench harness. All
+//! results are **bit-identical** to the pre-engine implementations
+//! (guarded in `crates/query/tests/properties.rs`).
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use presky_core::batch::BatchCoinContext;
+use presky_core::coins::CoinView;
+use presky_core::preference::PreferenceModel;
+use presky_core::table::Table;
+use presky_core::types::ObjectId;
+
+use crate::error::Result;
+use crate::prob_skyline::{Algorithm, SkyResult};
+use crate::threshold::{Resolution, ThresholdAnswer, ThresholdOptions};
+
+mod execute;
+mod plan;
+mod prepare;
+
+pub use plan::{exact_cost, largest_component, Plan, PlanReason};
+pub use prepare::{PrepareOptions, SkyScratch};
+
+/// Number of buckets in [`PipelineStats::component_hist`].
+pub const HIST_BUCKETS: usize = 8;
+
+/// Upper bounds (inclusive) of the component-size histogram buckets.
+pub const HIST_EDGES: [&str; HIST_BUCKETS] = ["1", "2", "≤4", "≤8", "≤16", "≤32", "≤64", ">64"];
+
+pub(crate) fn hist_bucket(len: usize) -> usize {
+    match len {
+        0..=1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        17..=32 => 5,
+        33..=64 => 6,
+        _ => 7,
+    }
+}
+
+/// Per-stage counters recorded by every engine run.
+///
+/// All counters are totals over the objects processed with this value;
+/// [`PipelineStats::merge`] folds per-worker stats together, which is how
+/// the parallel batch driver aggregates. `largest_component` merges by
+/// maximum; everything else is additive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Objects that entered the pipeline.
+    pub objects: u64,
+    /// Objects resolved by the certain-attacker short-circuit.
+    pub short_circuited: u64,
+    /// Attackers in the assembled (raw) views.
+    pub attackers_in: u64,
+    /// Attackers dropped by impossible-coin pruning.
+    pub pruned_impossible: u64,
+    /// Attackers removed by absorption.
+    pub absorbed: u64,
+    /// Attackers surviving preparation.
+    pub survivors: u64,
+    /// Independent components over all prepared objects.
+    pub components: u64,
+    /// Largest component seen (merged by max).
+    pub largest_component: u64,
+    /// Component-size histogram; bucket edges in [`HIST_EDGES`].
+    pub component_hist: [u64; HIST_BUCKETS],
+    /// Wall-time of the Prepare stage (view assembly included), in ns.
+    pub prepare_nanos: u64,
+    /// Wall-time of the Plan stage, in ns.
+    pub plan_nanos: u64,
+    /// Wall-time of the Execute stage, in ns.
+    pub execute_nanos: u64,
+    /// Flat queries planned exact; for threshold queries, objects on which
+    /// the exact rung engaged (including certified early exits).
+    pub plan_exact: u64,
+    /// Flat queries planned for sampling.
+    pub plan_sample: u64,
+    /// Threshold objects resolved by certified bounds (rung 1).
+    pub plan_bounds: u64,
+    /// Threshold objects resolved by the sequential test (rung 3).
+    pub plan_sequential: u64,
+    /// Threshold objects needing the fixed-budget fallback (rung 4).
+    pub plan_fallback: u64,
+    /// Joint probabilities computed by the exact engine.
+    pub joints_computed: u64,
+    /// Worlds drawn by the samplers (fixed-budget and sequential).
+    pub samples_drawn: u64,
+    /// Lazy coin draws performed by the fixed-budget sampler.
+    pub coin_draws: u64,
+    /// Attacker checks performed by the fixed-budget sampler.
+    pub attacker_checks: u64,
+}
+
+impl PipelineStats {
+    /// Fold `other` into `self` (additive counters; max for
+    /// `largest_component`).
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.objects += other.objects;
+        self.short_circuited += other.short_circuited;
+        self.attackers_in += other.attackers_in;
+        self.pruned_impossible += other.pruned_impossible;
+        self.absorbed += other.absorbed;
+        self.survivors += other.survivors;
+        self.components += other.components;
+        self.largest_component = self.largest_component.max(other.largest_component);
+        for (a, b) in self.component_hist.iter_mut().zip(&other.component_hist) {
+            *a += b;
+        }
+        self.prepare_nanos += other.prepare_nanos;
+        self.plan_nanos += other.plan_nanos;
+        self.execute_nanos += other.execute_nanos;
+        self.plan_exact += other.plan_exact;
+        self.plan_sample += other.plan_sample;
+        self.plan_bounds += other.plan_bounds;
+        self.plan_sequential += other.plan_sequential;
+        self.plan_fallback += other.plan_fallback;
+        self.joints_computed += other.joints_computed;
+        self.samples_drawn += other.samples_drawn;
+        self.coin_draws += other.coin_draws;
+        self.attacker_checks += other.attacker_checks;
+    }
+}
+
+fn fmt_nanos(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.0}µs", s * 1e6)
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline: {} object(s), {} short-circuited",
+            self.objects, self.short_circuited
+        )?;
+        writeln!(
+            f,
+            "prepare:  {} attackers in; {} impossible, {} absorbed, {} survive; {} components (largest {})",
+            self.attackers_in,
+            self.pruned_impossible,
+            self.absorbed,
+            self.survivors,
+            self.components,
+            self.largest_component,
+        )?;
+        write!(f, "          component sizes:")?;
+        for (edge, count) in HIST_EDGES.iter().zip(&self.component_hist) {
+            if *count > 0 {
+                write!(f, " {edge}:{count}")?;
+            }
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "plan:     {} exact, {} sampled, {} bounds, {} sequential, {} fallback",
+            self.plan_exact,
+            self.plan_sample,
+            self.plan_bounds,
+            self.plan_sequential,
+            self.plan_fallback,
+        )?;
+        writeln!(
+            f,
+            "execute:  {} joints; {} worlds sampled ({} coin draws, {} attacker checks)",
+            self.joints_computed, self.samples_drawn, self.coin_draws, self.attacker_checks,
+        )?;
+        write!(
+            f,
+            "time:     prepare {}, plan {}, execute {}",
+            fmt_nanos(self.prepare_nanos),
+            fmt_nanos(self.plan_nanos),
+            fmt_nanos(self.execute_nanos),
+        )
+    }
+}
+
+// ------------------------------------------------------------ entry points
+
+/// Prepare, plan and execute one preassembled `s.view`.
+pub(crate) fn solve_view(
+    object: ObjectId,
+    algo: Algorithm,
+    prep: PrepareOptions,
+    s: &mut SkyScratch,
+    stats: &mut PipelineStats,
+) -> Result<SkyResult> {
+    solve_view_explained(object, algo, prep, s, stats).map(|(r, _)| r)
+}
+
+/// [`solve_view`] returning the chosen [`Plan`] alongside the result.
+pub(crate) fn solve_view_explained(
+    object: ObjectId,
+    algo: Algorithm,
+    prep: PrepareOptions,
+    s: &mut SkyScratch,
+    stats: &mut PipelineStats,
+) -> Result<(SkyResult, Plan)> {
+    if let Some(short) = prepare::prepare(object, prep, s, stats) {
+        return Ok((short, Plan::ShortCircuit));
+    }
+    let decided = plan::plan(algo, s, stats);
+    let result = execute::execute(object, decided, s, stats)?;
+    Ok((result, decided))
+}
+
+/// One target end to end: assemble its view from the table, then
+/// Prepare → Plan → Execute. This is the engine's single-target entry
+/// point; `sky_one` is a thin wrapper with the default [`PrepareOptions`].
+pub fn solve_one<M: PreferenceModel>(
+    table: &Table,
+    prefs: &M,
+    target: ObjectId,
+    algo: Algorithm,
+    prep: PrepareOptions,
+    scratch: &mut SkyScratch,
+    stats: &mut PipelineStats,
+) -> Result<SkyResult> {
+    solve_one_explained(table, prefs, target, algo, prep, scratch, stats).map(|(r, _)| r)
+}
+
+/// [`solve_one`] returning the chosen [`Plan`] alongside the result.
+pub fn solve_one_explained<M: PreferenceModel>(
+    table: &Table,
+    prefs: &M,
+    target: ObjectId,
+    algo: Algorithm,
+    prep: PrepareOptions,
+    scratch: &mut SkyScratch,
+    stats: &mut PipelineStats,
+) -> Result<(SkyResult, Plan)> {
+    let t0 = Instant::now();
+    scratch.view = CoinView::build(table, prefs, target)?;
+    stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
+    solve_view_explained(target, algo, prep, scratch, stats)
+}
+
+/// One target through the batch assembly path (shared coin indexes).
+pub(crate) fn solve_batch_one<M: PreferenceModel>(
+    ctx: &BatchCoinContext,
+    prefs: &M,
+    target: ObjectId,
+    algo: Algorithm,
+    scratch: &mut SkyScratch,
+    stats: &mut PipelineStats,
+) -> Result<SkyResult> {
+    let t0 = Instant::now();
+    ctx.view_into(prefs, target, &mut scratch.batch, &mut scratch.view)?;
+    stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
+    solve_view(target, algo, PrepareOptions::default(), scratch, stats)
+}
+
+/// Decide `sky(target) ≥ τ` on a preassembled `s.view`: Prepare with the
+/// default options, then the escalation ladder as plan refinements.
+pub(crate) fn threshold_view(
+    target: ObjectId,
+    tau: f64,
+    opts: ThresholdOptions,
+    s: &mut SkyScratch,
+    stats: &mut PipelineStats,
+) -> Result<ThresholdAnswer> {
+    if let Some(short) = prepare::prepare(target, PrepareOptions::default(), s, stats) {
+        return Ok(ThresholdAnswer {
+            object: target,
+            member: short.sky >= tau,
+            resolution: Resolution::Exact(short.sky),
+        });
+    }
+    execute::threshold_ladder(target, tau, opts, s, stats)
+}
+
+/// One threshold decision end to end (single-target assembly).
+pub fn threshold_solve_one<M: PreferenceModel>(
+    table: &Table,
+    prefs: &M,
+    target: ObjectId,
+    tau: f64,
+    opts: ThresholdOptions,
+    scratch: &mut SkyScratch,
+    stats: &mut PipelineStats,
+) -> Result<ThresholdAnswer> {
+    let t0 = Instant::now();
+    scratch.view = CoinView::build(table, prefs, target)?;
+    stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
+    threshold_view(target, tau, opts, scratch, stats)
+}
+
+/// One threshold decision through the batch assembly path.
+pub(crate) fn threshold_batch_one<M: PreferenceModel>(
+    ctx: &BatchCoinContext,
+    prefs: &M,
+    target: ObjectId,
+    tau: f64,
+    opts: ThresholdOptions,
+    scratch: &mut SkyScratch,
+    stats: &mut PipelineStats,
+) -> Result<ThresholdAnswer> {
+    let t0 = Instant::now();
+    ctx.view_into(prefs, target, &mut scratch.batch, &mut scratch.view)?;
+    stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
+    threshold_view(target, tau, opts, scratch, stats)
+}
+
+// ------------------------------------------------------ parallel driver
+
+/// Objects handed to a worker per dispatch; large enough to amortise the
+/// atomic fetch and to keep consecutive targets (which often share
+/// dimension values, and hence `pr_strict` memo entries) on one worker.
+pub(crate) const CHUNK: usize = 16;
+
+/// Resolve a thread-count request against the instance size.
+pub(crate) fn effective_threads(requested: Option<usize>, n: usize) -> usize {
+    requested
+        .unwrap_or_else(|| std::thread::available_parallelism().map(Into::into).unwrap_or(1))
+        .clamp(1, n.max(1))
+}
+
+/// Run `f(i, scratch, stats)` for every `i in 0..n` across `threads`
+/// workers, returning the stitched results and the merged per-worker
+/// [`PipelineStats`].
+///
+/// Work is dispatched in contiguous chunks of [`CHUNK`] indices; each
+/// worker owns a private [`SkyScratch`] and [`PipelineStats`] and appends
+/// `(start, results)` runs to a private vector; the runs are stitched in
+/// index order afterwards — no shared mutex. A panic in any worker is
+/// re-raised on the caller's thread with its original payload after all
+/// workers have been joined.
+pub(crate) fn run_chunked<T, F>(n: usize, threads: usize, f: F) -> (Vec<T>, PipelineStats)
+where
+    T: Send,
+    F: Fn(usize, &mut SkyScratch, &mut PipelineStats) -> T + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, Vec<T>)> = Vec::new();
+    let mut stats = PipelineStats::default();
+    let mut panic_payload = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = SkyScratch::default();
+                    let mut local = PipelineStats::default();
+                    let mut parts: Vec<(usize, Vec<T>)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + CHUNK).min(n);
+                        let mut chunk = Vec::with_capacity(end - start);
+                        for i in start..end {
+                            chunk.push(f(i, &mut scratch, &mut local));
+                        }
+                        parts.push((start, chunk));
+                    }
+                    (parts, local)
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok((parts, local)) => {
+                    collected.extend(parts);
+                    stats.merge(&local);
+                }
+                Err(payload) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(payload);
+                    }
+                }
+            }
+        }
+    });
+    // Every handle was joined above, so the scope exits cleanly and the
+    // first worker panic propagates as a single ordinary panic.
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+    collected.sort_unstable_by_key(|&(start, _)| start);
+    (collected.into_iter().flat_map(|(_, chunk)| chunk).collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_is_additive_with_max_for_largest() {
+        let mut a = PipelineStats { objects: 2, largest_component: 5, ..Default::default() };
+        a.component_hist[0] = 3;
+        let mut b = PipelineStats { objects: 1, largest_component: 9, ..Default::default() };
+        b.component_hist[0] = 1;
+        b.joints_computed = 7;
+        a.merge(&b);
+        assert_eq!(a.objects, 3);
+        assert_eq!(a.largest_component, 9);
+        assert_eq!(a.component_hist[0], 4);
+        assert_eq!(a.joints_computed, 7);
+    }
+
+    #[test]
+    fn hist_buckets_partition_the_sizes() {
+        assert_eq!(hist_bucket(1), 0);
+        assert_eq!(hist_bucket(2), 1);
+        assert_eq!(hist_bucket(4), 2);
+        assert_eq!(hist_bucket(8), 3);
+        assert_eq!(hist_bucket(16), 4);
+        assert_eq!(hist_bucket(32), 5);
+        assert_eq!(hist_bucket(64), 6);
+        assert_eq!(hist_bucket(65), 7);
+    }
+
+    #[test]
+    fn stats_display_mentions_every_stage() {
+        let s = PipelineStats::default();
+        let text = s.to_string();
+        for needle in ["pipeline:", "prepare:", "plan:", "execute:", "time:"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Stage 2 — **Plan**: decide how the prepared instance will be solved.
+//!
+//! The planner looks only at the *shape* left behind by Prepare — the
+//! component sizes in `SkyScratch::partition` and the reduced view's
+//! attacker/coin counts — and emits an inspectable [`Plan`]:
+//!
+//! * exact per-component inclusion–exclusion costs up to `2^|g|` subset
+//!   terms per component, summed (saturating) over the partition;
+//! * the sampler's side of the ledger is its own predicted cost under the
+//!   configured kernel ([`SamOptions::predicted_cost`] accounts for the
+//!   64-worlds-per-word bit-parallel batching), floored at `1 << 22` so
+//!   small instances stay on the exact path even under tiny budgets.
+//!
+//! A [`Plan`] carries its provenance ([`PlanReason`]) so the CLI and the
+//! bench harness can report *why* each target went exact or sampled.
+
+use std::fmt;
+
+use presky_approx::sampler::SamOptions;
+use presky_exact::det::DetOptions;
+use presky_exact::partition::PartitionScratch;
+
+use super::prepare::SkyScratch;
+use super::PipelineStats;
+use crate::prob_skyline::Algorithm;
+
+/// Why the planner chose the branch it chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanReason {
+    /// The policy dictates this engine unconditionally.
+    Forced,
+    /// The cost model compared `Σ 2^|g|` against the sampler's predicted
+    /// cost and this side won.
+    CostModel,
+    /// Some component exceeds the exact engine's size limit, so only the
+    /// sampler is feasible.
+    ComponentTooLarge,
+}
+
+/// The execution plan for one prepared target.
+#[derive(Debug, Clone, Copy)]
+pub enum Plan {
+    /// Prepare proved `sky = 0` exactly (certain attacker); nothing to
+    /// execute.
+    ShortCircuit,
+    /// Per-component inclusion–exclusion over the partition groups.
+    Exact {
+        /// Budgets handed to the per-component engine.
+        det: DetOptions,
+        /// Number of independent components.
+        components: usize,
+        /// Largest component size.
+        largest: usize,
+        /// Summed `2^|g|` lattice cost (saturating).
+        exact_cost: u64,
+        /// Why this branch was taken.
+        reason: PlanReason,
+    },
+    /// Monte-Carlo sampling on the reduced instance.
+    Sample {
+        /// Sampler configuration (budget, seed, kernel flags).
+        sam: SamOptions,
+        /// The sampler's predicted cost that entered the comparison.
+        predicted_cost: u64,
+        /// Why this branch was taken.
+        reason: PlanReason,
+    },
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::ShortCircuit => write!(f, "short-circuit (certain attacker, sky = 0 exact)"),
+            Plan::Exact { components, largest, exact_cost, reason, .. } => write!(
+                f,
+                "exact: {components} component(s), largest {largest}, lattice cost {exact_cost} ({reason:?})"
+            ),
+            Plan::Sample { sam, predicted_cost, reason } => write!(
+                f,
+                "sample: {} worlds, predicted cost {predicted_cost} ({reason:?})",
+                sam.samples
+            ),
+        }
+    }
+}
+
+/// Summed per-component inclusion–exclusion cost `Σ 2^min(|g|, 63)`,
+/// saturating — the exact engine's side of the cost-model ledger.
+pub fn exact_cost(partition: &PartitionScratch) -> u64 {
+    (0..partition.n_groups())
+        .map(|g| 1u64 << partition.group(g).len().min(63))
+        .fold(0u64, u64::saturating_add)
+}
+
+/// Size of the largest partition group (0 when there are none).
+pub fn largest_component(partition: &PartitionScratch) -> usize {
+    (0..partition.n_groups()).map(|g| partition.group(g).len()).max().unwrap_or(0)
+}
+
+/// Decide the plan for the prepared target in `s` under `algo`.
+pub(crate) fn plan(algo: Algorithm, s: &SkyScratch, stats: &mut PipelineStats) -> Plan {
+    let t0 = std::time::Instant::now();
+    let decided = match algo {
+        Algorithm::Exact { det } => Plan::Exact {
+            det,
+            components: s.partition.n_groups(),
+            largest: largest_component(&s.partition),
+            exact_cost: exact_cost(&s.partition),
+            reason: PlanReason::Forced,
+        },
+        Algorithm::Sampling(sam) => Plan::Sample {
+            sam,
+            predicted_cost: sam.predicted_cost(s.work.n_attackers(), s.work.n_coins()),
+            reason: PlanReason::Forced,
+        },
+        Algorithm::Adaptive { exact_component_limit, sam } => {
+            let largest = largest_component(&s.partition);
+            // Exact inclusion–exclusion costs up to 2^|g| subset terms per
+            // component; the sampler's side of the ledger is its own
+            // predicted cost under the configured kernel (bit-parallel
+            // batching makes sampling ~64× cheaper per world, so the
+            // break-even point genuinely depends on the kernel). The
+            // `1 << 22` floor keeps small instances on the exact path even
+            // under tiny sampling budgets.
+            let lattice = exact_cost(&s.partition);
+            let sample_cost =
+                sam.predicted_cost(s.work.n_attackers(), s.work.n_coins()).max(1 << 22);
+            if largest <= exact_component_limit && lattice <= sample_cost {
+                Plan::Exact {
+                    det: DetOptions::with_max_attackers(exact_component_limit),
+                    components: s.partition.n_groups(),
+                    largest,
+                    exact_cost: lattice,
+                    reason: PlanReason::CostModel,
+                }
+            } else {
+                Plan::Sample {
+                    sam,
+                    predicted_cost: sample_cost,
+                    reason: if largest > exact_component_limit {
+                        PlanReason::ComponentTooLarge
+                    } else {
+                        PlanReason::CostModel
+                    },
+                }
+            }
+        }
+    };
+    match decided {
+        Plan::Exact { .. } => stats.plan_exact += 1,
+        Plan::Sample { .. } => stats.plan_sample += 1,
+        Plan::ShortCircuit => {}
+    }
+    stats.plan_nanos += t0.elapsed().as_nanos() as u64;
+    decided
+}

@@ -3,6 +3,9 @@
 //! The paper computes a *single* object's skyline probability; real
 //! deployments ask set-level questions. This crate provides:
 //!
+//! * [`engine`] — the unified Prepare → Plan → Execute pipeline every
+//!   entry point (library, CLI, bench) runs through, with per-stage
+//!   [`engine::PipelineStats`] instrumentation;
 //! * [`prob_skyline`] — the probabilistic skyline (every object against a
 //!   threshold τ) with **adaptive** per-object algorithm choice (exact
 //!   `Det+`-style solving when the reduced instance is small, Monte-Carlo
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod certain;
+pub mod engine;
 pub mod error;
 pub mod oracle;
 pub mod prob_skyline;
@@ -43,15 +47,16 @@ pub mod prelude {
         dominates_certain, skyline_bnl, skyline_naive_certain, skyline_sfs, CertainPreferences,
         Degenerate,
     };
+    pub use crate::engine::{PipelineStats, Plan, PlanReason, PrepareOptions};
     pub use crate::error::QueryError;
     pub use crate::oracle::all_sky_naive;
     pub use crate::prob_skyline::{
-        all_sky, probabilistic_skyline, sky_one, sky_one_with, Algorithm, QueryOptions, SkyResult,
-        SkyScratch,
+        all_sky, all_sky_with_stats, probabilistic_skyline, sky_one, sky_one_with, Algorithm,
+        QueryOptions, SkyResult, SkyScratch,
     };
     pub use crate::threshold::{
-        resolution_stats, threshold_one, threshold_skyline, Resolution, ResolutionStats,
-        ThresholdAnswer, ThresholdOptions,
+        resolution_stats, threshold_one, threshold_skyline, threshold_skyline_with_stats,
+        Resolution, ResolutionStats, ThresholdAnswer, ThresholdOptions,
     };
     pub use crate::topk::{top_k_skyline, TopKOptions};
 }

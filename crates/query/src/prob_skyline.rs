@@ -6,45 +6,40 @@
 //! conclusion suggests — "a naive approach will be calculating every
 //! object's skyline probability by applying the sampling algorithm
 //! proposed in this paper" — upgraded with per-object *adaptive* algorithm
-//! selection and a multi-threaded batch driver:
+//! selection and a multi-threaded batch driver.
 //!
-//! * the table is indexed **once** into a [`BatchCoinContext`], so each
+//! The per-target work itself lives in [`crate::engine`] (one
+//! Prepare → Plan → Execute pipeline shared by every entry point); this
+//! module defines the public policy/result types and the all-objects
+//! drivers:
+//!
+//! * the table is indexed **once** into a
+//!   [`presky_core::batch::BatchCoinContext`], so each
 //!   object's coin view is assembled by array lookups instead of the
-//!   per-target hashing of [`CoinView::build`];
+//!   per-target hashing of `CoinView::build`;
 //! * each worker owns a [`SkyScratch`] threaded through the whole
-//!   per-object pipeline (assembly, prune, absorption, partition, the
-//!   exact engine and the sampler), so the hot loop performs no per-object
-//!   heap allocation once the buffers have warmed up;
-//! * each object's reduced instance is preprocessed (prune, absorption,
-//!   partition); objects dominated with certainty short-circuit to
-//!   `sky = 0` before any of that;
-//! * if every independent component is small **and** the summed `2^|g|`
-//!   inclusion–exclusion cost undercuts the sampler's own predicted cost
-//!   ([`SamOptions::predicted_cost`], which accounts for the 64-worlds-
-//!   per-word bit-parallel kernel), the exact per-component engine
-//!   finishes in microseconds and we report an exact probability;
-//! * otherwise the Monte-Carlo estimator takes over with the configured
-//!   `(ε, δ)` budget.
+//!   per-object pipeline, so the hot loop performs no per-object heap
+//!   allocation once the buffers have warmed up;
+//! * per-object algorithm choice is adaptive: exact per-component solving
+//!   when the reduced components are small and the summed `2^|g|` cost
+//!   undercuts the sampler's own predicted cost, Monte-Carlo otherwise.
 //!
 //! The batch driver produces **bit-identical** results to calling
 //! [`sky_one`] per object with the same options (see
 //! `crates/query/tests/properties.rs`).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use presky_core::batch::{BatchCoinContext, BatchScratch};
-use presky_core::coins::{CoinRemap, CoinView};
+use presky_core::batch::BatchCoinContext;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
 use presky_core::types::ObjectId;
 
-use presky_exact::absorption::{absorb_into, AbsorbScratch, AbsorptionResult};
-use presky_exact::det::{sky_det_view_with, DetOptions, DetScratch};
-use presky_exact::partition::{partition_into, PartitionScratch};
+use presky_approx::sampler::SamOptions;
+use presky_exact::det::DetOptions;
 
-use presky_approx::sampler::{sky_sam_view_with, SamOptions, SamScratch};
-
+use crate::engine::{self, PipelineStats, PrepareOptions};
 use crate::error::{QueryError, Result};
+
+pub use crate::engine::SkyScratch;
 
 /// Per-object algorithm policy.
 #[derive(Debug, Clone, Copy)]
@@ -83,44 +78,6 @@ pub struct SkyResult {
     pub exact: bool,
 }
 
-/// Reusable per-worker workspace for the per-object pipeline.
-///
-/// Owns every buffer the pipeline touches: batch view assembly, the
-/// pruned/absorbed working view, per-component sub-views, and the scratch
-/// state of the exact engine and the sampler. A default-constructed value
-/// works for any instance; buffers grow to the largest object processed
-/// and are then recycled, making the steady-state loop allocation-free.
-#[derive(Debug)]
-pub struct SkyScratch {
-    pub(crate) batch: BatchScratch,
-    pub(crate) view: CoinView,
-    pub(crate) work: CoinView,
-    pub(crate) sub: CoinView,
-    pub(crate) remap: CoinRemap,
-    absorb: AbsorbScratch,
-    absorbed: AbsorptionResult,
-    pub(crate) partition: PartitionScratch,
-    pub(crate) det: DetScratch,
-    pub(crate) sam: SamScratch,
-}
-
-impl Default for SkyScratch {
-    fn default() -> Self {
-        Self {
-            batch: BatchScratch::default(),
-            view: CoinView::empty(),
-            work: CoinView::empty(),
-            sub: CoinView::empty(),
-            remap: CoinRemap::default(),
-            absorb: AbsorbScratch::default(),
-            absorbed: AbsorptionResult::default(),
-            partition: PartitionScratch::default(),
-            det: DetScratch::default(),
-            sam: SamScratch::default(),
-        }
-    }
-}
-
 /// Compute one object's skyline probability under the policy.
 pub fn sky_one<M: PreferenceModel>(
     table: &Table,
@@ -139,93 +96,8 @@ pub fn sky_one_with<M: PreferenceModel>(
     algo: Algorithm,
     scratch: &mut SkyScratch,
 ) -> Result<SkyResult> {
-    scratch.view = CoinView::build(table, prefs, target)?;
-    solve_scratch_view(target, algo, scratch)
-}
-
-/// One object through the batch assembly path.
-pub(crate) fn sky_batch_one<M: PreferenceModel>(
-    ctx: &BatchCoinContext,
-    prefs: &M,
-    target: ObjectId,
-    algo: Algorithm,
-    scratch: &mut SkyScratch,
-) -> Result<SkyResult> {
-    ctx.view_into(prefs, target, &mut scratch.batch, &mut scratch.view)?;
-    solve_scratch_view(target, algo, scratch)
-}
-
-/// Shared sound preprocessing on `s.view`: certain-attacker short-circuit,
-/// zero-coin pruning, absorption, coin-compacting restriction into
-/// `s.work`, then independence partition (groups land in `s.partition`).
-///
-/// Returns `Some(result)` when the short-circuit fired. Both [`sky_one`]
-/// and the batch driver funnel through this function, which is what makes
-/// their outputs bit-identical.
-pub(crate) fn preprocess_scratch_view(object: ObjectId, s: &mut SkyScratch) -> Option<SkyResult> {
-    // An attacker whose every coin has probability 1 dominates in every
-    // world: sky = 0 exactly, no pipeline needed. (The inclusion–exclusion
-    // engine would reach ~0 only up to float cancellation, so this exit
-    // must sit in the shared path for both drivers to agree bitwise.)
-    if s.view.has_certain_attacker() {
-        return Some(SkyResult { object, sky: 0.0, exact: true });
-    }
-    s.view.prune_impossible();
-    absorb_into(&s.view, &mut s.absorb, &mut s.absorbed);
-    s.view.restrict_into(&s.absorbed.kept, &mut s.remap, &mut s.work);
-    partition_into(&s.work, &mut s.partition);
-    None
-}
-
-/// Solve the preassembled `s.view` under `algo`.
-fn solve_scratch_view(object: ObjectId, algo: Algorithm, s: &mut SkyScratch) -> Result<SkyResult> {
-    if let Some(short) = preprocess_scratch_view(object, s) {
-        return Ok(short);
-    }
-    match algo {
-        Algorithm::Exact { det } => {
-            let sky = exact_component_product(s, det)?;
-            Ok(SkyResult { object, sky, exact: true })
-        }
-        Algorithm::Sampling(sam) => {
-            let out = sky_sam_view_with(&s.work, sam, &mut s.sam)?;
-            Ok(SkyResult { object, sky: out.estimate, exact: s.work.n_attackers() == 0 })
-        }
-        Algorithm::Adaptive { exact_component_limit, sam } => {
-            let largest =
-                (0..s.partition.n_groups()).map(|g| s.partition.group(g).len()).max().unwrap_or(0);
-            // Exact inclusion–exclusion costs up to 2^|g| subset terms per
-            // component; the sampler's side of the ledger is its own
-            // predicted cost under the configured kernel (bit-parallel
-            // batching makes sampling ~64× cheaper per world, so the
-            // break-even point genuinely depends on the kernel). The
-            // `1 << 22` floor keeps small instances on the exact path even
-            // under tiny sampling budgets.
-            let exact_cost = (0..s.partition.n_groups())
-                .map(|g| 1u64 << s.partition.group(g).len().min(63))
-                .fold(0u64, u64::saturating_add);
-            let sample_cost =
-                sam.predicted_cost(s.work.n_attackers(), s.work.n_coins()).max(1 << 22);
-            if largest <= exact_component_limit && exact_cost <= sample_cost {
-                let det = DetOptions::with_max_attackers(exact_component_limit);
-                let sky = exact_component_product(s, det)?;
-                Ok(SkyResult { object, sky, exact: true })
-            } else {
-                let out = sky_sam_view_with(&s.work, sam, &mut s.sam)?;
-                Ok(SkyResult { object, sky: out.estimate, exact: false })
-            }
-        }
-    }
-}
-
-/// `Π` of per-component exact skyline factors over the partition groups.
-fn exact_component_product(s: &mut SkyScratch, det: DetOptions) -> Result<f64> {
-    let mut sky = 1.0;
-    for g in 0..s.partition.n_groups() {
-        s.work.restrict_into(s.partition.group(g), &mut s.remap, &mut s.sub);
-        sky *= sky_det_view_with(&s.sub, det, &mut s.det)?.sky;
-    }
-    Ok(sky)
+    let mut stats = PipelineStats::default();
+    engine::solve_one(table, prefs, target, algo, PrepareOptions::default(), scratch, &mut stats)
 }
 
 /// Options of the all-objects query driver.
@@ -237,97 +109,37 @@ pub struct QueryOptions {
     pub threads: Option<usize>,
 }
 
-/// Objects handed to a worker per dispatch; large enough to amortise the
-/// atomic fetch and to keep consecutive targets (which often share
-/// dimension values, and hence `pr_strict` memo entries) on one worker.
-pub(crate) const CHUNK: usize = 16;
-
-/// Resolve a thread-count request against the instance size.
-pub(crate) fn effective_threads(requested: Option<usize>, n: usize) -> usize {
-    requested
-        .unwrap_or_else(|| std::thread::available_parallelism().map(Into::into).unwrap_or(1))
-        .clamp(1, n.max(1))
-}
-
-/// Run `f(i, scratch)` for every `i in 0..n` across `threads` workers.
-///
-/// Work is dispatched in contiguous chunks of [`CHUNK`] indices; each
-/// worker appends `(start, results)` runs to a private vector, and the
-/// runs are stitched in index order afterwards — no shared mutex. A panic
-/// in any worker is re-raised on the caller's thread with its original
-/// payload after all workers have been joined.
-pub(crate) fn run_chunked<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize, &mut SkyScratch) -> T + Sync,
-{
-    let next = AtomicUsize::new(0);
-    let mut collected: Vec<(usize, Vec<T>)> = Vec::new();
-    let mut panic_payload = None;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut scratch = SkyScratch::default();
-                    let mut parts: Vec<(usize, Vec<T>)> = Vec::new();
-                    loop {
-                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
-                        if start >= n {
-                            break;
-                        }
-                        let end = (start + CHUNK).min(n);
-                        let mut chunk = Vec::with_capacity(end - start);
-                        for i in start..end {
-                            chunk.push(f(i, &mut scratch));
-                        }
-                        parts.push((start, chunk));
-                    }
-                    parts
-                })
-            })
-            .collect();
-        for h in handles {
-            match h.join() {
-                Ok(parts) => collected.extend(parts),
-                Err(payload) => {
-                    if panic_payload.is_none() {
-                        panic_payload = Some(payload);
-                    }
-                }
-            }
-        }
-    });
-    // Every handle was joined above, so the scope exits cleanly and the
-    // first worker panic propagates as a single ordinary panic.
-    if let Some(payload) = panic_payload {
-        std::panic::resume_unwind(payload);
-    }
-    collected.sort_unstable_by_key(|&(start, _)| start);
-    collected.into_iter().flat_map(|(_, chunk)| chunk).collect()
-}
-
 /// Compute the skyline probability of **every** object, in parallel.
 ///
-/// The table is indexed once ([`BatchCoinContext`]); workers then assemble
-/// each target's view by array lookups and solve it with per-worker
-/// reusable scratch. Results are in object order and bit-identical to a
-/// [`sky_one`] loop with the same options. Requires `M: Sync` (all
-/// provided models are).
+/// The table is indexed once; workers then assemble each target's view by
+/// array lookups and solve it with per-worker reusable scratch. Results
+/// are in object order and bit-identical to a [`sky_one`] loop with the
+/// same options. Requires `M: Sync` (all provided models are).
 pub fn all_sky<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
     opts: QueryOptions,
 ) -> Result<Vec<SkyResult>> {
+    all_sky_with_stats(table, prefs, opts).map(|(results, _)| results)
+}
+
+/// [`all_sky`] returning the aggregated per-stage [`PipelineStats`]
+/// alongside the results.
+pub fn all_sky_with_stats<M: PreferenceModel + Sync>(
+    table: &Table,
+    prefs: &M,
+    opts: QueryOptions,
+) -> Result<(Vec<SkyResult>, PipelineStats)> {
     let ctx = BatchCoinContext::build(table)?;
     let n = table.len();
-    let threads = effective_threads(opts.threads, n);
-    run_chunked(n, threads, |i, scratch| {
+    let threads = engine::effective_threads(opts.threads, n);
+    let (results, stats) = engine::run_chunked(n, threads, |i, scratch, stats| {
         // Per-object seed decorrelation for sampling policies.
         let algo = reseed(opts.algorithm, i as u64);
-        sky_batch_one(&ctx, prefs, ObjectId::from(i), algo, scratch)
-    })
-    .into_iter()
-    .collect()
+        engine::solve_batch_one(&ctx, prefs, ObjectId::from(i), algo, scratch, stats)
+    });
+    let results = results.into_iter().collect::<Result<Vec<_>>>()?;
+    Ok((results, stats))
 }
 
 pub(crate) fn reseed(algo: Algorithm, salt: u64) -> Algorithm {
@@ -510,5 +322,27 @@ mod tests {
                 assert_eq!(r.exact, single.exact);
             }
         }
+    }
+
+    #[test]
+    fn stats_aggregate_across_the_batch_driver() {
+        let (t, p) = observation();
+        let (results, stats) = all_sky_with_stats(&t, &p, QueryOptions::default()).unwrap();
+        assert_eq!(stats.objects as usize, results.len());
+        assert_eq!(stats.plan_exact + stats.plan_sample + stats.short_circuited, stats.objects);
+        assert!(stats.attackers_in >= stats.survivors);
+        assert!(stats.joints_computed > 0, "small instance must be solved exactly: {stats}");
+        // Counters (not wall-times) are thread-count independent: largest
+        // merges by max, the rest are sums over the same per-object work.
+        let (_, stats8) =
+            all_sky_with_stats(&t, &p, QueryOptions { threads: Some(8), ..Default::default() })
+                .unwrap();
+        let untimed = |mut s: PipelineStats| {
+            s.prepare_nanos = 0;
+            s.plan_nanos = 0;
+            s.execute_nanos = 0;
+            s
+        };
+        assert_eq!(untimed(stats), untimed(stats8));
     }
 }

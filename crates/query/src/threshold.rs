@@ -3,8 +3,10 @@
 //!
 //! [`crate::prob_skyline::probabilistic_skyline`] computes a full
 //! probability for every object; but the probabilistic-skyline *answer*
-//! needs only the comparison `sky(O) ≥ τ`. This module resolves each
-//! object through an escalation ladder, cheapest first:
+//! needs only the comparison `sky(O) ≥ τ`. Each object runs through the
+//! shared [`crate::engine`] Prepare stage once, and the engine's threshold
+//! executor then resolves it through an escalation ladder of plan
+//! refinements, cheapest first:
 //!
 //! 1. **certified bounds** (`presky_exact::bounds`): the `O(n·d)` FKG /
 //!    Bonferroni enclosure decides most objects outright — in block-zipf
@@ -17,22 +19,21 @@
 //! 4. a fixed-budget estimate for the rare `Undecided` stragglers.
 //!
 //! The per-object [`Resolution`] records which rung decided it, so the
-//! harness can report how much work the pruning saves.
+//! harness can report how much work the pruning saves; the aggregated
+//! [`PipelineStats`] additionally carries rung counters and stage times.
 
 use presky_core::batch::BatchCoinContext;
-use presky_core::coins::CoinView;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
 use presky_core::types::ObjectId;
 
-use presky_exact::bounds::{sky_bounds_bonferroni, SkyBounds};
-use presky_exact::det::{sky_det_view_with, DetOptions};
+use presky_exact::bounds::SkyBounds;
 
-use presky_approx::sampler::{sky_sam_view_with, SamOptions};
-use presky_approx::sprt::{sky_threshold_test_view, SprtOptions, ThresholdDecision};
+use presky_approx::sampler::SamOptions;
+use presky_approx::sprt::SprtOptions;
 
+use crate::engine::{self, PipelineStats, SkyScratch};
 use crate::error::{QueryError, Result};
-use crate::prob_skyline::{effective_threads, preprocess_scratch_view, run_chunked, SkyScratch};
 
 /// How an object's membership was decided.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,6 +98,13 @@ impl Default for ThresholdOptions {
     }
 }
 
+fn validate_tau(tau: f64) -> Result<()> {
+    if tau.is_nan() || !(0.0..=1.0).contains(&tau) {
+        return Err(QueryError::InvalidThreshold { value: tau });
+    }
+    Ok(())
+}
+
 /// Decide `sky(O) ≥ τ` for one object via the escalation ladder.
 pub fn threshold_one<M: PreferenceModel>(
     table: &Table,
@@ -105,101 +113,10 @@ pub fn threshold_one<M: PreferenceModel>(
     tau: f64,
     opts: ThresholdOptions,
 ) -> Result<ThresholdAnswer> {
-    if tau.is_nan() || !(0.0..=1.0).contains(&tau) {
-        return Err(QueryError::InvalidThreshold { value: tau });
-    }
+    validate_tau(tau)?;
     let mut scratch = SkyScratch::default();
-    scratch.view = CoinView::build(table, prefs, target)?;
-    threshold_scratch_view(target, tau, opts, &mut scratch)
-}
-
-/// The escalation ladder on a preassembled `scratch.view` — the shared
-/// rung function behind [`threshold_one`] and [`threshold_skyline`].
-fn threshold_scratch_view(
-    target: ObjectId,
-    tau: f64,
-    opts: ThresholdOptions,
-    s: &mut SkyScratch,
-) -> Result<ThresholdAnswer> {
-    // Sound preprocessing shared by every rung (prune, absorption,
-    // restriction into `s.work`, partition into `s.partition`). A
-    // certainly-dominated object short-circuits to the exact zero.
-    if let Some(short) = preprocess_scratch_view(target, s) {
-        return Ok(ThresholdAnswer {
-            object: target,
-            member: short.sky >= tau,
-            resolution: Resolution::Exact(short.sky),
-        });
-    }
-
-    // Rung 1: certified bounds. Bonferroni on instances small enough that
-    // level-2 enumeration stays cheap; the O(n·d) cheap bounds otherwise.
-    let level = if s.work.n_attackers() <= 2_000 { opts.bonferroni_level } else { 1 };
-    let bounds = sky_bounds_bonferroni(&s.work, level)?;
-    if bounds.certainly_at_least(tau) || bounds.certainly_below(tau) {
-        return Ok(ThresholdAnswer {
-            object: target,
-            member: bounds.certainly_at_least(tau),
-            resolution: Resolution::Bounds(bounds),
-        });
-    }
-
-    // Rung 2: exact when cheap. The component product only decreases, so
-    // the scan exits the moment it falls below τ — on low thresholds most
-    // objects are certified non-members after a handful of components.
-    let n_groups = s.partition.n_groups();
-    let largest = (0..n_groups).map(|g| s.partition.group(g).len()).max().unwrap_or(0);
-    let exact_work: u64 = (0..n_groups)
-        .map(|g| 1u64.checked_shl(s.partition.group(g).len().min(63) as u32).unwrap_or(u64::MAX))
-        .fold(0u64, u64::saturating_add);
-    if largest <= opts.exact_component_limit && exact_work <= opts.exact_work_limit {
-        let det = DetOptions::with_max_attackers(opts.exact_component_limit);
-        let mut sky = 1.0;
-        for g in 0..n_groups {
-            s.work.restrict_into(s.partition.group(g), &mut s.remap, &mut s.sub);
-            sky *= sky_det_view_with(&s.sub, det, &mut s.det)?.sky;
-            if sky < tau {
-                // Remaining factors are ≤ 1: membership is already refuted
-                // by the certified upper bound `sky_partial`.
-                return Ok(ThresholdAnswer {
-                    object: target,
-                    member: false,
-                    resolution: Resolution::Bounds(SkyBounds { lower: 0.0, upper: sky }),
-                });
-            }
-        }
-        return Ok(ThresholdAnswer {
-            object: target,
-            member: sky >= tau,
-            resolution: Resolution::Exact(sky),
-        });
-    }
-
-    // Rung 3: sequential test.
-    let sprt = SprtOptions { seed: opts.sprt.seed ^ target.0 as u64, ..opts.sprt };
-    let out = sky_threshold_test_view(&s.work, tau, sprt)?;
-    match out.decision {
-        ThresholdDecision::AtLeast => Ok(ThresholdAnswer {
-            object: target,
-            member: true,
-            resolution: Resolution::Sequential { samples_used: out.samples_used },
-        }),
-        ThresholdDecision::Below => Ok(ThresholdAnswer {
-            object: target,
-            member: false,
-            resolution: Resolution::Sequential { samples_used: out.samples_used },
-        }),
-        ThresholdDecision::Undecided => {
-            // Rung 4: fixed-budget estimate.
-            let sam = SamOptions { seed: opts.fallback.seed ^ target.0 as u64, ..opts.fallback };
-            let est = sky_sam_view_with(&s.work, sam, &mut s.sam)?.estimate;
-            Ok(ThresholdAnswer {
-                object: target,
-                member: est >= tau,
-                resolution: Resolution::Estimated(est),
-            })
-        }
-    }
+    let mut stats = PipelineStats::default();
+    engine::threshold_solve_one(table, prefs, target, tau, opts, &mut scratch, &mut stats)
 }
 
 /// The probabilistic skyline as a membership list, in parallel.
@@ -215,19 +132,27 @@ pub fn threshold_skyline<M: PreferenceModel + Sync>(
     tau: f64,
     opts: ThresholdOptions,
 ) -> Result<Vec<ThresholdAnswer>> {
-    if tau.is_nan() || !(0.0..=1.0).contains(&tau) {
-        return Err(QueryError::InvalidThreshold { value: tau });
-    }
+    threshold_skyline_with_stats(table, prefs, tau, opts).map(|(answers, _)| answers)
+}
+
+/// [`threshold_skyline`] returning the aggregated per-stage
+/// [`PipelineStats`] (rung counters, reductions, stage times) alongside
+/// the answers.
+pub fn threshold_skyline_with_stats<M: PreferenceModel + Sync>(
+    table: &Table,
+    prefs: &M,
+    tau: f64,
+    opts: ThresholdOptions,
+) -> Result<(Vec<ThresholdAnswer>, PipelineStats)> {
+    validate_tau(tau)?;
     let ctx = BatchCoinContext::build(table)?;
     let n = table.len();
-    let threads = effective_threads(opts.threads, n);
-    run_chunked(n, threads, |i, scratch| {
-        let target = ObjectId::from(i);
-        ctx.view_into(prefs, target, &mut scratch.batch, &mut scratch.view)?;
-        threshold_scratch_view(target, tau, opts, scratch)
-    })
-    .into_iter()
-    .collect()
+    let threads = engine::effective_threads(opts.threads, n);
+    let (answers, stats) = engine::run_chunked(n, threads, |i, scratch, stats| {
+        engine::threshold_batch_one(&ctx, prefs, ObjectId::from(i), tau, opts, scratch, stats)
+    });
+    let answers = answers.into_iter().collect::<Result<Vec<_>>>()?;
+    Ok((answers, stats))
 }
 
 /// Aggregate how the ladder resolved a result set (for reporting).
@@ -362,11 +287,26 @@ mod tests {
     #[test]
     fn stats_tally_matches_resolutions() {
         let (t, p) = example1();
-        let answers = threshold_skyline(&t, &p, 0.15, ThresholdOptions::default()).unwrap();
+        let (answers, pipeline) =
+            threshold_skyline_with_stats(&t, &p, 0.15, ThresholdOptions::default()).unwrap();
         let stats = resolution_stats(&answers);
         assert_eq!(
             stats.by_bounds + stats.by_exact + stats.by_sequential + stats.by_estimate,
             answers.len()
+        );
+        // The engine's rung counters see the same ladder: every object is
+        // accounted for by exactly one rung (the exact rung's counter also
+        // covers certified early exits, which `resolution_stats` files
+        // under bounds).
+        assert_eq!(pipeline.objects as usize, answers.len());
+        assert_eq!(
+            pipeline.short_circuited
+                + pipeline.plan_bounds
+                + pipeline.plan_exact
+                + pipeline.plan_sequential
+                + pipeline.plan_fallback,
+            pipeline.objects,
+            "{pipeline}"
         );
     }
 }

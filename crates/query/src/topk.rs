@@ -21,7 +21,7 @@ use presky_core::table::Table;
 use presky_approx::sampler::SamOptions;
 
 use crate::error::{QueryError, Result};
-use crate::prob_skyline::{all_sky, sky_one, Algorithm, QueryOptions, SkyResult};
+use crate::prob_skyline::{all_sky, sky_one_with, Algorithm, QueryOptions, SkyResult, SkyScratch};
 
 /// Options of the two-phase top-k query.
 #[derive(Debug, Clone, Copy)]
@@ -77,9 +77,15 @@ pub fn top_k_skyline<M: PreferenceModel + Sync>(
     let mut scouted = all_sky(table, prefs, scout_opts)?;
     sort_desc(&mut scouted);
 
-    // Phase 2: refine the head of the ranking.
+    // Phase 2: refine the head of the ranking. Exact scout values skip
+    // refinement and keep their `exact = true` provenance — re-solving
+    // them would redo identical work for an identical answer. The
+    // estimated candidates re-run the engine with the refine budget,
+    // sharing one scratch across the loop (bit-identical to fresh scratch
+    // per target; guarded in `crates/query/tests/properties.rs`).
     let cut = (k.saturating_mul(opts.overfetch)).min(scouted.len());
     let mut refined: Vec<SkyResult> = Vec::with_capacity(cut);
+    let mut scratch = SkyScratch::default();
     for r in &scouted[..cut] {
         if r.exact {
             refined.push(*r);
@@ -91,7 +97,7 @@ pub fn top_k_skyline<M: PreferenceModel + Sync>(
                     ..opts.refine
                 },
             };
-            refined.push(sky_one(table, prefs, r.object, algo)?);
+            refined.push(sky_one_with(table, prefs, r.object, algo, &mut scratch)?);
         }
     }
     sort_desc(&mut refined);

@@ -10,8 +10,10 @@ use presky_core::types::{DimId, ObjectId, ValueId};
 use presky_approx::sampler::SamOptions;
 use presky_query::certain::{skyline_bnl, Degenerate};
 use presky_query::oracle::all_sky_naive;
-use presky_query::prob_skyline::{all_sky, probabilistic_skyline, QueryOptions};
-use presky_query::threshold::{threshold_skyline, Resolution, ThresholdOptions};
+use presky_query::prob_skyline::{all_sky, probabilistic_skyline, QueryOptions, SkyResult};
+use presky_query::threshold::{
+    threshold_one, threshold_skyline, Resolution, ThresholdAnswer, ThresholdOptions,
+};
 use presky_query::topk::{top_k_skyline, TopKOptions};
 
 fn decode_row(mut idx: usize, d: usize) -> Vec<u32> {
@@ -55,6 +57,151 @@ fn instance() -> impl Strategy<Value = (Table, TablePreferences)> {
                 })
         })
     })
+}
+
+/// The pre-engine per-object threshold ladder, rebuilt verbatim from the
+/// public *allocating* primitives (fresh buffers at every step, no engine,
+/// no scratch reuse). [`threshold_one`] must match this bit for bit: same
+/// resolutions, same probabilities, same sampler seeds.
+fn threshold_one_reference(
+    table: &Table,
+    prefs: &TablePreferences,
+    target: ObjectId,
+    tau: f64,
+    opts: ThresholdOptions,
+) -> ThresholdAnswer {
+    use presky_approx::sampler::sky_sam_view;
+    use presky_approx::sprt::{sky_threshold_test_view, SprtOptions, ThresholdDecision};
+    use presky_core::coins::CoinView;
+    use presky_exact::absorption::absorb;
+    use presky_exact::bounds::{sky_bounds_bonferroni, SkyBounds};
+    use presky_exact::det::{sky_det_view, DetOptions};
+    use presky_exact::partition::partition;
+
+    let mut view = CoinView::build(table, prefs, target).expect("valid instance");
+    if view.has_certain_attacker() {
+        return ThresholdAnswer {
+            object: target,
+            member: 0.0 >= tau,
+            resolution: Resolution::Exact(0.0),
+        };
+    }
+    view.prune_impossible();
+    let kept = absorb(&view).kept;
+    let work = view.restrict(&kept);
+    let groups = partition(&work);
+
+    // Rung 1: certified bounds.
+    let level = if work.n_attackers() <= 2_000 { opts.bonferroni_level } else { 1 };
+    let bounds = sky_bounds_bonferroni(&work, level).expect("bounds");
+    if bounds.certainly_at_least(tau) || bounds.certainly_below(tau) {
+        return ThresholdAnswer {
+            object: target,
+            member: bounds.certainly_at_least(tau),
+            resolution: Resolution::Bounds(bounds),
+        };
+    }
+
+    // Rung 2: exact with the early exit on the falling component product.
+    let largest = groups.iter().map(Vec::len).max().unwrap_or(0);
+    let exact_work: u64 =
+        groups.iter().map(|g| 1u64 << g.len().min(63)).fold(0, u64::saturating_add);
+    if largest <= opts.exact_component_limit && exact_work <= opts.exact_work_limit {
+        let det = DetOptions::with_max_attackers(opts.exact_component_limit);
+        let mut sky = 1.0;
+        for g in &groups {
+            let sub = work.restrict(g);
+            sky *= sky_det_view(&sub, det).expect("within budgets").sky;
+            if sky < tau {
+                return ThresholdAnswer {
+                    object: target,
+                    member: false,
+                    resolution: Resolution::Bounds(SkyBounds { lower: 0.0, upper: sky }),
+                };
+            }
+        }
+        return ThresholdAnswer {
+            object: target,
+            member: sky >= tau,
+            resolution: Resolution::Exact(sky),
+        };
+    }
+
+    // Rung 3: sequential test; rung 4: fixed-budget fallback.
+    let sprt = SprtOptions { seed: opts.sprt.seed ^ target.0 as u64, ..opts.sprt };
+    let out = sky_threshold_test_view(&work, tau, sprt).expect("positive samples");
+    match out.decision {
+        ThresholdDecision::AtLeast => ThresholdAnswer {
+            object: target,
+            member: true,
+            resolution: Resolution::Sequential { samples_used: out.samples_used },
+        },
+        ThresholdDecision::Below => ThresholdAnswer {
+            object: target,
+            member: false,
+            resolution: Resolution::Sequential { samples_used: out.samples_used },
+        },
+        ThresholdDecision::Undecided => {
+            let sam = SamOptions { seed: opts.fallback.seed ^ target.0 as u64, ..opts.fallback };
+            let out = sky_sam_view(&work, sam).expect("positive samples");
+            ThresholdAnswer {
+                object: target,
+                member: out.estimate >= tau,
+                resolution: Resolution::Estimated(out.estimate),
+            }
+        }
+    }
+}
+
+/// The pre-engine two-phase top-k, rebuilt from the public entry points:
+/// adaptive scout over everything, then per-candidate refinement through
+/// `sky_one` with a *fresh* scratch per target (the engine version shares
+/// one scratch across the refine loop — that reuse must not change a bit).
+fn top_k_reference(
+    table: &Table,
+    prefs: &TablePreferences,
+    k: usize,
+    opts: TopKOptions,
+) -> Vec<SkyResult> {
+    use presky_query::prob_skyline::{sky_one, Algorithm};
+
+    fn sort_desc(v: &mut [SkyResult]) {
+        v.sort_by(|a, b| {
+            b.sky
+                .partial_cmp(&a.sky)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.object.cmp(&b.object))
+        });
+    }
+
+    let scout_opts = QueryOptions {
+        algorithm: Algorithm::Adaptive {
+            exact_component_limit: opts.exact_component_limit,
+            sam: opts.scout,
+        },
+        threads: opts.threads,
+    };
+    let mut scouted = all_sky(table, prefs, scout_opts).expect("scout");
+    sort_desc(&mut scouted);
+    let cut = (k.saturating_mul(opts.overfetch)).min(scouted.len());
+    let mut refined: Vec<SkyResult> = Vec::with_capacity(cut);
+    for r in &scouted[..cut] {
+        if r.exact {
+            refined.push(*r);
+        } else {
+            let algo = Algorithm::Adaptive {
+                exact_component_limit: opts.exact_component_limit,
+                sam: SamOptions {
+                    seed: opts.refine.seed ^ (r.object.0 as u64).wrapping_mul(0x9e37),
+                    ..opts.refine
+                },
+            };
+            refined.push(sky_one(table, prefs, r.object, algo).expect("refine"));
+        }
+    }
+    sort_desc(&mut refined);
+    refined.truncate(k);
+    refined
 }
 
 proptest! {
@@ -186,6 +333,118 @@ proptest! {
                 "object {}: batch {} vs single {}", i, r.sky, single.sky
             );
             prop_assert_eq!(r.exact, single.exact);
+        }
+    }
+
+    #[test]
+    fn threshold_one_matches_pre_engine_reference(
+        (table, prefs) in instance(),
+        tau in 0.05f64..0.95,
+        force_sampling_rungs in any::<bool>(),
+    ) {
+        // Default options exercise the bounds and exact rungs; zeroing the
+        // exact budgets forces every bounds-inconclusive object down to
+        // the sequential test and the fixed-budget fallback, covering the
+        // sampling rungs (and their per-target seed derivation) too.
+        let opts = if force_sampling_rungs {
+            ThresholdOptions {
+                exact_component_limit: 0,
+                exact_work_limit: 0,
+                ..ThresholdOptions::default()
+            }
+        } else {
+            ThresholdOptions::default()
+        };
+        for i in 0..table.len() {
+            let target = ObjectId::from(i);
+            let got = threshold_one(&table, &prefs, target, tau, opts).unwrap();
+            let expect = threshold_one_reference(&table, &prefs, target, tau, opts);
+            prop_assert_eq!(got, expect, "object {} under {:?}", i, opts);
+        }
+    }
+
+    #[test]
+    fn ladder_certified_resolutions_match_the_oracle(
+        (table, prefs) in instance(),
+        tau in 0.05f64..0.95,
+    ) {
+        // Every certified resolution (bounds enclosure or exact value) must
+        // agree with brute-force possible-world enumeration — the ladder's
+        // short-cuts may never flip a certified membership.
+        let oracle = all_sky_naive(&table, &prefs, 12);
+        prop_assume!(oracle.is_ok());
+        let oracle = oracle.unwrap();
+        let answers = threshold_skyline(
+            &table,
+            &prefs,
+            tau,
+            ThresholdOptions { threads: Some(1), ..Default::default() },
+        )
+        .unwrap();
+        for (a, &sky) in answers.iter().zip(&oracle) {
+            match a.resolution {
+                Resolution::Bounds(b) => {
+                    prop_assert!(b.lower <= sky + 1e-9 && sky <= b.upper + 1e-9,
+                        "object {}: sky {} outside [{}, {}]", a.object, sky, b.lower, b.upper);
+                    prop_assert_eq!(a.member, sky >= tau,
+                        "object {}: sky {} vs tau {}", a.object, sky, tau);
+                }
+                Resolution::Exact(v) => {
+                    prop_assert!((v - sky).abs() < 1e-9,
+                        "object {}: exact {} vs oracle {}", a.object, v, sky);
+                    prop_assert_eq!(a.member, sky >= tau);
+                }
+                // Sampling rungs cannot engage on instances this small
+                // (guarded by `ladder_agrees_with_exact_memberships`).
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn topk_matches_pre_engine_reference(
+        (table, prefs) in instance(),
+        k in 1usize..5,
+        force_refine in any::<bool>(),
+    ) {
+        // With the default options every scout value on these instances is
+        // exact and refinement is skipped; zeroing the exact component
+        // limit forces the sampled scout + refine path, covering the
+        // engine's scratch reuse and per-target refine seeds.
+        let opts = if force_refine {
+            TopKOptions {
+                exact_component_limit: 0,
+                threads: Some(1),
+                ..TopKOptions::default()
+            }
+        } else {
+            TopKOptions { threads: Some(1), ..TopKOptions::default() }
+        };
+        let got = top_k_skyline(&table, &prefs, k, opts).unwrap();
+        let expect = top_k_reference(&table, &prefs, k, opts);
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert_eq!(g.object, e.object);
+            prop_assert_eq!(g.sky.to_bits(), e.sky.to_bits(),
+                "object {}: {} vs {}", g.object, g.sky, e.sky);
+            prop_assert_eq!(g.exact, e.exact, "object {}", g.object);
+        }
+    }
+
+    #[test]
+    fn topk_exact_provenance_survives_the_refine_skip((table, prefs) in instance(), k in 1usize..5) {
+        // Scout values solved exactly skip refinement and must keep
+        // `exact = true` AND their bitwise value from the flat query; on
+        // these small instances that is every object.
+        let opts = TopKOptions { threads: Some(1), ..TopKOptions::default() };
+        let top = top_k_skyline(&table, &prefs, k, opts).unwrap();
+        let flat = all_sky(&table, &prefs, QueryOptions { threads: Some(1), ..Default::default() })
+            .unwrap();
+        for r in &top {
+            prop_assert!(r.exact, "object {} lost its exact provenance", r.object);
+            let f = &flat[r.object.0 as usize];
+            prop_assert_eq!(r.sky.to_bits(), f.sky.to_bits(),
+                "object {}: refine changed a skipped value", r.object);
         }
     }
 

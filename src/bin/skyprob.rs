@@ -10,13 +10,23 @@
 //!                       [--seed 1] --out prefs.txt
 //!
 //! skyprob sky      --table data.tbl (--prefs prefs.txt | --seed-prefs 42)
-//!                  --target 0 [--algo detplus|det|cond|sam|samplus|sac] [--samples 3000]
+//!                  --target 0 [--algo adaptive|detplus|det|sam|samplus|cond|sac]
+//!                  [--samples 3000] [--stats]
 //! skyprob profile  --table data.tbl (--prefs … | --seed-prefs …) --target 0
-//! skyprob skyline  --table data.tbl (--prefs … | --seed-prefs …) --tau 0.1
+//! skyprob skyline  --table data.tbl (--prefs … | --seed-prefs …) --tau 0.1 [--stats]
 //! skyprob topk     --table data.tbl (--prefs … | --seed-prefs …) --k 5
 //! ```
 //!
 //! Tables and preference files use the `presky-datagen` text formats.
+//!
+//! The `sky` algorithms `adaptive`, `detplus`, `det`, `sam` and `samplus`
+//! all run through the unified `presky_query::engine` pipeline
+//! (Prepare → Plan → Execute), so the values and timings the CLI reports
+//! are the library path's. `det` and `sam` disable the absorption and
+//! partition stages (`PrepareOptions::minimal()`); `detplus`, `samplus`
+//! and `adaptive` run the full preparation. `sac` and `cond` remain
+//! explicitly-labelled raw-view baselines that bypass the engine.
+//! `--stats` prints the per-stage `PipelineStats` counters.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -56,9 +66,9 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  skyprob gen <uniform|blockzipf|nursery|car|prefs> [flags] --out FILE\n  \
-     skyprob sky --table FILE (--prefs FILE | --seed-prefs N) --target I [--algo A] [--samples M]\n  \
+     skyprob sky --table FILE (--prefs FILE | --seed-prefs N) --target I [--algo A] [--samples M] [--stats]\n  \
      skyprob profile --table FILE (--prefs FILE | --seed-prefs N) --target I\n  \
-     skyprob skyline --table FILE (--prefs FILE | --seed-prefs N) --tau T\n  \
+     skyprob skyline --table FILE (--prefs FILE | --seed-prefs N) --tau T [--stats]\n  \
      skyprob topk --table FILE (--prefs FILE | --seed-prefs N) --k K"
         .to_owned()
 }
@@ -204,51 +214,72 @@ fn load_instance(flags: &HashMap<String, String>) -> Result<(Table, Prefs), Stri
 fn sky(flags: &HashMap<String, String>) -> Result<(), String> {
     let (table, prefs) = load_instance(flags)?;
     let target = ObjectId::from(require::<usize>(flags, "target")?);
-    let algo = flags.get("algo").map(String::as_str).unwrap_or("detplus");
+    let algo_name = flags.get("algo").map(String::as_str).unwrap_or("detplus");
     let samples: u64 = get(flags, "samples")?.unwrap_or(3000);
+    let want_stats = flags.contains_key("stats");
     let start = std::time::Instant::now();
-    let (value, exact) = match algo {
-        "detplus" => (
-            sky_det_plus(&table, &prefs, target, DetPlusOptions::default())
+
+    // `sac` and `cond` are kept as raw-view baselines: they deliberately
+    // bypass the engine's Prepare stage so their reported numbers show
+    // what the rejected/conditioning estimators do on the unreduced
+    // instance. Everything else goes through the unified pipeline, so the
+    // CLI reports the same values and timings as the library path.
+    match algo_name {
+        "sac" => {
+            let value = sky_sac(&table, &prefs, target).map_err(|e| e.to_string())?;
+            println!(
+                "sky({target}) = {value:.9}  [sac, raw-view baseline] in {:.1?}",
+                start.elapsed()
+            );
+            return Ok(());
+        }
+        "cond" => {
+            let value = sky_conditioning(&table, &prefs, target, ConditioningOptions::default())
                 .map_err(|e| e.to_string())?
-                .sky,
-            true,
-        ),
-        "det" => (
-            sky_det(&table, &prefs, target, DetOptions::default()).map_err(|e| e.to_string())?.sky,
-            true,
-        ),
-        "cond" => (
-            sky_conditioning(&table, &prefs, target, ConditioningOptions::default())
-                .map_err(|e| e.to_string())?
-                .sky,
-            true,
-        ),
-        "sam" => (
-            sky_sam(&table, &prefs, target, SamOptions::with_samples(samples, 0))
-                .map_err(|e| e.to_string())?
-                .estimate,
-            false,
-        ),
-        "samplus" => (
-            sky_sam_plus(
-                &table,
-                &prefs,
-                target,
-                SamPlusOptions::with_sam(SamOptions::with_samples(samples, 0)),
-            )
-            .map_err(|e| e.to_string())?
-            .estimate,
-            false,
-        ),
-        "sac" => (sky_sac(&table, &prefs, target).map_err(|e| e.to_string())?, false),
+                .sky;
+            println!(
+                "sky({target}) = {value:.9}  [cond, exact, raw-view baseline] in {:.1?}",
+                start.elapsed()
+            );
+            return Ok(());
+        }
+        _ => {}
+    }
+
+    let (algo, prep) = match algo_name {
+        "detplus" => (Algorithm::Exact { det: DetOptions::default() }, PrepareOptions::full()),
+        "det" => (Algorithm::Exact { det: DetOptions::default() }, PrepareOptions::minimal()),
+        "adaptive" => (Algorithm::default(), PrepareOptions::full()),
+        "sam" => {
+            (Algorithm::Sampling(SamOptions::with_samples(samples, 0)), PrepareOptions::minimal())
+        }
+        "samplus" => {
+            (Algorithm::Sampling(SamOptions::with_samples(samples, 0)), PrepareOptions::full())
+        }
         other => return Err(format!("unknown algorithm {other:?}")),
     };
+    let mut scratch = SkyScratch::default();
+    let mut stats = PipelineStats::default();
+    let (result, plan) = presky::query::engine::solve_one_explained(
+        &table,
+        &prefs,
+        target,
+        algo,
+        prep,
+        &mut scratch,
+        &mut stats,
+    )
+    .map_err(|e| e.to_string())?;
     println!(
-        "sky({target}) = {value:.9}  [{algo}{}] in {:.1?}",
-        if exact { ", exact" } else { "" },
+        "sky({target}) = {:.9}  [{algo_name}{}] in {:.1?}",
+        result.sky,
+        if result.exact { ", exact" } else { "" },
         start.elapsed()
     );
+    if want_stats {
+        println!("chosen:   {plan}");
+        println!("{stats}");
+    }
     Ok(())
 }
 
@@ -275,9 +306,11 @@ fn profile_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
 fn skyline(flags: &HashMap<String, String>) -> Result<(), String> {
     let (table, prefs) = load_instance(flags)?;
     let tau: f64 = require(flags, "tau")?;
+    let want_stats = flags.contains_key("stats");
     let start = std::time::Instant::now();
-    let answers = threshold_skyline(&table, &prefs, tau, ThresholdOptions::default())
-        .map_err(|e| e.to_string())?;
+    let (answers, pipeline) =
+        threshold_skyline_with_stats(&table, &prefs, tau, ThresholdOptions::default())
+            .map_err(|e| e.to_string())?;
     let stats = resolution_stats(&answers);
     let members: Vec<_> = answers.iter().filter(|a| a.member).collect();
     println!(
@@ -295,6 +328,9 @@ fn skyline(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     if members.len() > 20 {
         println!("  … and {} more", members.len() - 20);
+    }
+    if want_stats {
+        println!("{pipeline}");
     }
     Ok(())
 }
@@ -363,6 +399,22 @@ mod tests {
             "sky --table {tbl} --seed-prefs 9 --target 3 --algo sam --samples 500"
         )))
         .unwrap();
+        run(&argv(&format!(
+            "sky --table {tbl} --prefs {prefs} --target 3 --algo adaptive --stats"
+        )))
+        .unwrap();
+        run(&argv(&format!(
+            "sky --table {tbl} --prefs {prefs} --target 3 --algo samplus --samples 500"
+        )))
+        .unwrap();
+        // Paper-literal `det` runs on the raw view (no absorption/partition),
+        // so this 59-attacker instance exceeds its budget: the refusal must
+        // surface as a clean error, not a panic.
+        let e = run(&argv(&format!("sky --table {tbl} --prefs {prefs} --target 3 --algo det")))
+            .unwrap_err();
+        assert!(e.contains("exact-algorithm budget"), "{e}");
+        run(&argv(&format!("sky --table {tbl} --prefs {prefs} --target 3 --algo sac"))).unwrap();
+        run(&argv(&format!("skyline --table {tbl} --prefs {prefs} --tau 0.2 --stats"))).unwrap();
         run(&argv(&format!("profile --table {tbl} --prefs {prefs} --target 3"))).unwrap();
         // Bad algorithm name surfaces cleanly.
         let e = run(&argv(&format!("sky --table {tbl} --prefs {prefs} --target 3 --algo nope")))
