@@ -288,6 +288,86 @@ pub fn ablation_cond(budget: &Budget) -> FigReport {
     rep
 }
 
+/// X6: the cross-target component cache, on vs off, across the workload
+/// spectrum.
+///
+/// The cache's value is workload-shaped: block-zipf's blocks make every
+/// object's components distinct (≈0% hits — the honest negative result),
+/// while uniform tables and the projected real datasets re-derive the same
+/// small components for many targets (60–100% hits). Each row runs the
+/// full all-objects query twice — cache on and `--no-component-cache` —
+/// and reports hit rate and wall-time side by side; results are
+/// bit-identical by construction (proptest-guarded), so the comparison is
+/// pure cost.
+pub fn ablation_cache(budget: &Budget) -> FigReport {
+    use presky_query::prob_skyline::{all_sky_with_stats, QueryOptions};
+
+    let n = if budget.quick { 500 } else { 2_000 };
+    let mut rep = FigReport::new(
+        "ablation_cache",
+        format!("Component cache ablation, all-objects adaptive query, n ≤ {n}"),
+        vec![
+            "workload".into(),
+            "probes".into(),
+            "hit rate".into(),
+            "time (cache on)".into(),
+            "time (cache off)".into(),
+            "speedup".into(),
+        ],
+    );
+    let uniform = workloads::uniform(n, 5);
+    let nursery = workloads::nursery(4);
+    let car = workloads::car(3);
+    let zipf = workloads::block_zipf(n, 5);
+    let seeded = workloads::prefs();
+    let block = workloads::block_prefs();
+    let mut run = |name: &str, table: &presky_core::table::Table, use_block: bool| {
+        let solve = |component_cache: bool| {
+            let opts = QueryOptions { threads: Some(1), component_cache, ..Default::default() };
+            let start = std::time::Instant::now();
+            let out = if use_block {
+                all_sky_with_stats(table, &block, opts)
+            } else {
+                all_sky_with_stats(table, &seeded, opts)
+            };
+            out.map(|(_, stats)| (stats, start.elapsed()))
+        };
+        match (solve(true), solve(false)) {
+            (Ok((on, t_on)), Ok((_, t_off))) => rep.push_row(vec![
+                name.into(),
+                on.cache_probes.to_string(),
+                format!("{:.1}%", 100.0 * on.cache_hit_rate()),
+                format_secs(t_on.as_secs_f64()),
+                format_secs(t_off.as_secs_f64()),
+                format!("{:.2}x", t_off.as_secs_f64() / t_on.as_secs_f64().max(1e-9)),
+            ]),
+            _ => rep.push_row(vec![
+                name.into(),
+                "error".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    };
+    run("block-zipf 5-d", &zipf, true);
+    run("nursery (4-d projection)", &nursery, false);
+    run("car (3-d projection)", &car, false);
+    run("uniform 5-d", &uniform, false);
+    let _ = budget.deadline;
+    rep.note(
+        "Hit rate is the structural signal: block-zipf components are target-specific \
+         (hash-consing finds nothing to share), while nursery/car re-derive the same \
+         canonical components across most targets; uniform at this density plans every \
+         object for sampling, so no exact component ever probes (0 probes). Wall-time \
+         gains track the lattice cost of the components actually deduplicated — \
+         recurring components in the real datasets are small, so the hit rate overstates \
+         the time saved there.",
+    );
+    rep
+}
+
 /// X5: the escalation ladder of the pruned threshold query — how many
 /// objects each rung resolves, and at what sampling cost, versus the flat
 /// per-object estimator.
@@ -376,5 +456,20 @@ mod tests {
     fn kl_ablation_produces_rows() {
         let rep = ablation_kl(&tiny());
         assert!(!rep.rows.is_empty());
+    }
+
+    #[test]
+    fn cache_ablation_reports_both_regimes() {
+        let rep = ablation_cache(&tiny());
+        assert_eq!(rep.rows.len(), 4);
+        // Every row carries a parseable hit rate and both wall-times.
+        for row in &rep.rows {
+            assert!(row[2].ends_with('%'), "{row:?}");
+        }
+        // Nursery re-derives the same small components for most targets;
+        // the structural signal must show up even at the tiny test size.
+        let nursery_hits: f64 =
+            rep.rows[1][2].trim_end_matches('%').parse().expect("hit-rate column");
+        assert!(nursery_hits > 10.0, "nursery hit rate {nursery_hits}%");
     }
 }

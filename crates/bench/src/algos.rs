@@ -82,6 +82,7 @@ pub fn det_time<M: PreferenceModel>(
             max_attackers: DET_HOPELESS,
             deadline: Some(remaining),
             prune_zero: false,
+            prune_covered: false,
         };
         sky_det(table, prefs, t, opts).map(|_| None).map_err(map_exact_err)
     })

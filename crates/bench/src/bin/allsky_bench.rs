@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! allsky_bench [--quick] [--out <path>] [--check <baseline.json>]
+//!              [--rebaseline] [--no-component-cache]
 //! ```
 //!
 //! Measures objects/second of
@@ -15,13 +16,23 @@
 //! deterministic target subsample and extrapolated.
 //!
 //! Also spot-checks that the two drivers produce **bit-identical**
-//! `SkyResult`s, prints the aggregated [`PipelineStats`], and writes a
-//! small JSON report (default `BENCH_allsky.json`).
+//! `SkyResult`s, prints the aggregated [`PipelineStats`] (including the
+//! component-cache probe/hit counters), and writes a small JSON report
+//! (default `BENCH_allsky.json`).
 //!
 //! `--check <baseline.json>` compares the measured batch/legacy *speedup
 //! ratio* (machine-independent, unlike absolute objects/second) against
 //! the baseline report's and fails if it regressed by more than 1.5× —
 //! the CI smoke gate.
+//!
+//! `--rebaseline` regenerates the `--out` report **in place**: the old
+//! report (same path) is read first and the old/new speedup ratio is
+//! printed, so a drifting baseline is an explicit, reviewable event
+//! rather than a silent overwrite. Like `--check`, it refuses to compare
+//! reports measured at different `n`.
+//!
+//! `--no-component-cache` disables the cross-target component cache — the
+//! ablation baseline; results are bit-identical either way.
 //!
 //! [`PipelineStats`]: presky_query::engine::PipelineStats
 
@@ -51,6 +62,24 @@ fn parse_baseline_field(text: &str, key: &str) -> Option<String> {
     Some(rest[..end].to_owned())
 }
 
+/// Check that `text` (a prior report) was measured at the same `n` as this
+/// run; on mismatch, print a refusal naming **both** sizes and return
+/// false.
+fn same_n_or_refuse(text: &str, path: &std::path::Path, n: usize, verb: &str) -> bool {
+    let base_n = parse_baseline_field(text, "n");
+    if base_n.as_deref() == Some(n.to_string().as_str()) {
+        return true;
+    }
+    eprintln!(
+        "{} {} was measured at n={} but this run used n={n}; \
+         compare like for like (use the matching --quick setting)",
+        verb,
+        path.display(),
+        base_n.as_deref().unwrap_or("?"),
+    );
+    false
+}
+
 /// Mirror of the driver's per-object seed decorrelation, so the legacy
 /// loop feeds the sampler the exact options the batch driver would.
 fn reseed(algo: Algorithm, salt: u64) -> Algorithm {
@@ -66,17 +95,24 @@ fn reseed(algo: Algorithm, salt: u64) -> Algorithm {
 }
 
 fn usage() {
-    eprintln!("usage: allsky_bench [--quick] [--out <path>] [--check <baseline.json>]");
+    eprintln!(
+        "usage: allsky_bench [--quick] [--out <path>] [--check <baseline.json>] \
+         [--rebaseline] [--no-component-cache]"
+    );
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut quick = false;
+    let mut rebaseline = false;
+    let mut component_cache = true;
     let mut out_path = std::path::PathBuf::from("BENCH_allsky.json");
     let mut check_path: Option<std::path::PathBuf> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--rebaseline" => rebaseline = true,
+            "--no-component-cache" => component_cache = false,
             "--out" => match args.next() {
                 Some(p) => out_path = p.into(),
                 None => {
@@ -105,7 +141,10 @@ fn main() -> ExitCode {
 
     let (n, d) = if quick { (2_000, 5) } else { (10_000, 5) };
     let legacy_targets = if quick { 200 } else { 500 };
-    println!("# allsky_bench — block-zipf n={n} d={d}, default adaptive policy");
+    println!(
+        "# allsky_bench — block-zipf n={n} d={d}, default adaptive policy, component cache {}",
+        if component_cache { "on" } else { "off" }
+    );
 
     let table = workloads::block_zipf(n, d);
     let prefs = workloads::block_prefs();
@@ -113,9 +152,12 @@ fn main() -> ExitCode {
 
     // Batch driver: full table, single worker.
     let start = Instant::now();
-    let (batch, stats) =
-        all_sky_with_stats(&table, &prefs, QueryOptions { algorithm: algo, threads: Some(1) })
-            .expect("batch driver");
+    let (batch, stats) = all_sky_with_stats(
+        &table,
+        &prefs,
+        QueryOptions { algorithm: algo, threads: Some(1), component_cache },
+    )
+    .expect("batch driver");
     let batch_elapsed = start.elapsed().as_secs_f64();
     let batch_rate = n as f64 / batch_elapsed;
     println!("batch:  {n} objects in {batch_elapsed:.3}s  ({batch_rate:.0} objects/s)");
@@ -140,6 +182,14 @@ fn main() -> ExitCode {
 
     let speedup = batch_rate / legacy_rate;
     println!("speedup: {speedup:.2}x (target >= 5x)");
+    println!(
+        "cache:  {} probes, {} hits ({:.1}% hit rate), {} insertions ({} bytes)",
+        stats.cache_probes,
+        stats.cache_hits,
+        100.0 * stats.cache_hit_rate(),
+        stats.cache_insertions,
+        stats.cache_bytes,
+    );
 
     // Bit-identity spot check: the sampled legacy targets must match the
     // batch results exactly.
@@ -170,6 +220,7 @@ fn main() -> ExitCode {
             "  \"algorithm\": \"adaptive-default\",\n",
             "  \"threads\": 1,\n",
             "  \"quick\": {},\n",
+            "  \"component_cache\": {},\n",
             "  \"batch\": {{ \"objects\": {}, \"elapsed_s\": {:.6}, \"objects_per_sec\": {:.1} }},\n",
             "  \"legacy\": {{ \"objects\": {}, \"elapsed_s\": {:.6}, \"objects_per_sec\": {:.1} }},\n",
             "  \"speedup\": {:.3},\n",
@@ -184,13 +235,19 @@ fn main() -> ExitCode {
             "    \"plan_exact\": {},\n",
             "    \"plan_sample\": {},\n",
             "    \"joints_computed\": {},\n",
-            "    \"samples_drawn\": {}\n",
+            "    \"samples_drawn\": {},\n",
+            "    \"cache_probes\": {},\n",
+            "    \"cache_hits\": {},\n",
+            "    \"cache_hit_rate\": {:.4},\n",
+            "    \"cache_insertions\": {},\n",
+            "    \"cache_bytes\": {}\n",
             "  }}\n",
             "}}\n"
         ),
         n,
         d,
         quick,
+        component_cache,
         n,
         batch_elapsed,
         batch_rate,
@@ -209,7 +266,50 @@ fn main() -> ExitCode {
         stats.plan_sample,
         stats.joints_computed,
         stats.samples_drawn,
+        stats.cache_probes,
+        stats.cache_hits,
+        stats.cache_hit_rate(),
+        stats.cache_insertions,
+        stats.cache_bytes,
     );
+
+    // `--rebaseline` makes baseline drift explicit: read the report being
+    // replaced and print how the headline ratio moved before overwriting.
+    if rebaseline {
+        match std::fs::read_to_string(&out_path) {
+            Ok(old) => {
+                if !same_n_or_refuse(&old, &out_path, n, "rebaseline target") {
+                    return ExitCode::FAILURE;
+                }
+                match parse_baseline_field(&old, "speedup").and_then(|s| s.parse::<f64>().ok()) {
+                    Some(old_speedup) => println!(
+                        "rebaseline: speedup {old_speedup:.2}x -> {speedup:.2}x \
+                         (new/old ratio {:.3})",
+                        speedup / old_speedup
+                    ),
+                    None => println!(
+                        "rebaseline: no \"speedup\" field in old {}; writing fresh",
+                        out_path.display()
+                    ),
+                }
+            }
+            Err(_) => {
+                println!("rebaseline: no existing {}; writing fresh", out_path.display())
+            }
+        }
+    }
+
+    // Plain runs overwrite too (the report is always this run's numbers),
+    // but never silently replace a report for a different problem size —
+    // e.g. a `--quick` run aimed at the full-size default out path.
+    if !rebaseline {
+        if let Ok(old) = std::fs::read_to_string(&out_path) {
+            if !same_n_or_refuse(&old, &out_path, n, "overwrite target") {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("cannot write {}: {e}", out_path.display());
         return ExitCode::FAILURE;
@@ -227,14 +327,7 @@ fn main() -> ExitCode {
         // The speedup ratio depends on the workload size, so refuse
         // apples-to-oranges comparisons against a differently-sized
         // baseline instead of silently mis-gating.
-        let base_n = parse_baseline_field(&text, "n");
-        if base_n.as_deref() != Some(n.to_string().as_str()) {
-            eprintln!(
-                "baseline {} was measured at n={} but this run used n={n}; \
-                 compare like for like (use the matching --quick setting)",
-                path.display(),
-                base_n.as_deref().unwrap_or("?"),
-            );
+        if !same_n_or_refuse(&text, &path, n, "baseline") {
             return ExitCode::FAILURE;
         }
         let Some(baseline) =

@@ -130,7 +130,11 @@ fn main() -> ExitCode {
     let e2e_sam = SamOptions::with_samples(if quick { 500 } else { 2000 }, 0);
     let e2e = |sam: SamOptions| {
         let start = Instant::now();
-        let opts = QueryOptions { algorithm: Algorithm::Sampling(sam), threads: Some(1) };
+        let opts = QueryOptions {
+            algorithm: Algorithm::Sampling(sam),
+            threads: Some(1),
+            ..Default::default()
+        };
         all_sky(&e2e_table, &prefs, opts).expect("all_sky");
         start.elapsed().as_secs_f64()
     };

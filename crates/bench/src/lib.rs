@@ -53,6 +53,7 @@ pub fn artefact_ids() -> Vec<&'static str> {
         "ablation_kl",
         "ablation_cond",
         "ablation_threshold",
+        "ablation_cache",
     ]
 }
 
@@ -82,6 +83,7 @@ pub fn run_artefact(id: &str, budget: &Budget) -> Option<FigReport> {
         "ablation_kl" => ablations::ablation_kl(budget),
         "ablation_cond" => ablations::ablation_cond(budget),
         "ablation_threshold" => ablations::ablation_threshold(budget),
+        "ablation_cache" => ablations::ablation_cache(budget),
         _ => return None,
     })
 }
@@ -98,6 +100,6 @@ mod tests {
             assert!(run_artefact(id, &Budget::quick()).is_some());
         }
         assert!(run_artefact("nope", &Budget::quick()).is_none());
-        assert_eq!(artefact_ids().len(), 23);
+        assert_eq!(artefact_ids().len(), 24);
     }
 }

@@ -288,6 +288,96 @@ impl CoinView {
         }
     }
 
+    /// Allocating convenience form of
+    /// [`restrict_canonical_into`](Self::restrict_canonical_into). Returns
+    /// `None` when the view has synthetic (key-less) coins.
+    pub fn restrict_canonical(&self, attacker_ids: &[usize]) -> Option<CoinView> {
+        let mut out = CoinView::empty();
+        self.restrict_canonical_into(attacker_ids, &mut CanonScratch::default(), &mut out)
+            .then_some(out)
+    }
+
+    /// Like [`restrict_into`](Self::restrict_into), but relabel attackers
+    /// and coins into a *canonical* order determined only by the
+    /// sub-instance's content, not by the order of `attacker_ids` or by the
+    /// coin ids of `self`:
+    ///
+    /// * each attacker is identified by its sorted list of
+    ///   `(dim, value, prob_bits)` coin triples;
+    /// * attackers are sorted lexicographically by that list;
+    /// * coins are renumbered by first appearance in that canonical
+    ///   traversal (each attacker's triples visited in sorted order), and
+    ///   every coin list is then re-sorted by the new ids.
+    ///
+    /// Two groups with the same content therefore produce byte-identical
+    /// sub-views (up to attacker provenance), so any deterministic solver
+    /// run on them returns bit-identical results — the foundation of the
+    /// cross-target component cache. Returns `false` (leaving `out` in an
+    /// unspecified but valid state) when some referenced coin has no
+    /// [`CoinKey`] (synthetic views), which callers treat as "not
+    /// canonicalizable — fall back to `restrict_into`".
+    pub fn restrict_canonical_into(
+        &self,
+        attacker_ids: &[usize],
+        scratch: &mut CanonScratch,
+        out: &mut CoinView,
+    ) -> bool {
+        let n = attacker_ids.len();
+        scratch.triples.iter_mut().for_each(Vec::clear);
+        while scratch.triples.len() < n {
+            scratch.triples.push(Vec::new());
+        }
+        for (slot, &i) in attacker_ids.iter().enumerate() {
+            let t = &mut scratch.triples[slot];
+            t.clear();
+            for &k in &self.attackers[i].coins {
+                let Some(key) = self.coin_key[k as usize] else { return false };
+                t.push((key.dim.0, key.value.0, self.coin_prob[k as usize].to_bits(), k));
+            }
+            // Sort by the (dim, value, prob_bits) identity; the trailing old
+            // coin id is determined by (dim, value) and never breaks a tie.
+            t.sort_unstable();
+        }
+        scratch.order.clear();
+        scratch.order.extend(0..n);
+        let triples = &scratch.triples;
+        // Widest attackers first: the DFS covered-attacker prune skips a
+        // cell when a *later* attacker's coins fall inside the current
+        // union, so building big unions early maximises cancellations.
+        // The key is content-only, so the order — and hence the signature
+        // and the solve bits — stays invariant under enumeration order.
+        // Stable, so groups containing content-identical attackers (which
+        // are interchangeable for any solve) still map deterministically.
+        scratch.order.sort_by(|&a, &b| {
+            triples[b].len().cmp(&triples[a].len()).then_with(|| triples[a].cmp(&triples[b]))
+        });
+
+        let epoch = scratch.remap.begin(self.n_coins());
+        out.coin_prob.clear();
+        out.coin_key.clear();
+        out.attackers.truncate(n);
+        while out.attackers.len() < n {
+            out.attackers.push(Attacker { coins: Vec::new(), source: SYNTHETIC_SOURCE });
+        }
+        for (slot, &s) in scratch.order.iter().enumerate() {
+            let dst = &mut out.attackers[slot];
+            dst.coins.clear();
+            for &(dim, value, bits, k) in &scratch.triples[s] {
+                let ku = k as usize;
+                if scratch.remap.stamp[ku] != epoch {
+                    scratch.remap.stamp[ku] = epoch;
+                    scratch.remap.map[ku] = out.coin_prob.len() as u32;
+                    out.coin_prob.push(f64::from_bits(bits));
+                    out.coin_key.push(Some(CoinKey { dim: DimId(dim), value: ValueId(value) }));
+                }
+                dst.coins.push(scratch.remap.map[ku]);
+            }
+            dst.coins.sort_unstable();
+            dst.source = self.attackers[attacker_ids[s]].source;
+        }
+        true
+    }
+
     /// Drop attackers containing a zero-probability coin: they can never
     /// dominate and contribute nothing to any joint probability. Returns
     /// how many were removed.
@@ -325,6 +415,17 @@ pub struct CoinRemap {
     map: Vec<u32>,
     stamp: Vec<u32>,
     epoch: u32,
+}
+
+/// Reusable working memory for
+/// [`CoinView::restrict_canonical_into`]: per-attacker coin-triple lists
+/// (`(dim, value, prob_bits, old_id)`), the canonical attacker order, and a
+/// stamped coin remap. One per worker thread.
+#[derive(Debug, Clone, Default)]
+pub struct CanonScratch {
+    triples: Vec<Vec<(u32, u32, u64, u32)>>,
+    order: Vec<usize>,
+    remap: CoinRemap,
 }
 
 impl CoinRemap {
@@ -456,6 +557,26 @@ mod tests {
         v.restrict_into(&[0, 1, 2, 3], &mut remap, &mut out);
         v.restrict_into(&[2], &mut remap, &mut out);
         assert_eq!(v.restrict(&[2]), out);
+    }
+
+    #[test]
+    fn restrict_canonical_is_permutation_invariant() {
+        let (t, p) = example1();
+        let v = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        let a = v.restrict_canonical(&[0, 1, 2, 3]).unwrap();
+        let b = v.restrict_canonical(&[3, 1, 0, 2]).unwrap();
+        assert_eq!(a, b, "canonical form is independent of enumeration order");
+        // The canonical sub-view is a relabeling of the plain restriction:
+        // same coin multiset, same attacker count.
+        let plain = v.restrict(&[0, 1, 2, 3]);
+        let mut ours: Vec<u64> = a.coin_probs().iter().map(|p| p.to_bits()).collect();
+        let mut theirs: Vec<u64> = plain.coin_probs().iter().map(|p| p.to_bits()).collect();
+        ours.sort_unstable();
+        theirs.sort_unstable();
+        assert_eq!(ours, theirs);
+        // Key-less (synthetic) views cannot be canonicalized.
+        let s = CoinView::from_parts(vec![0.5], vec![vec![0]]).unwrap();
+        assert!(s.restrict_canonical(&[0]).is_none());
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! The cross-target component cache: hash-consed exact sub-results.
+//!
+//! Exact per-component results keyed by the canonical signature of
+//! [`crate::signature`]. Categorical domains repeat components heavily
+//! across targets of an all-sky batch (the car/nursery workloads re-solve
+//! the same handful of components hundreds of times), so the batch driver
+//! shares one cache across all worker threads; `sky_one`, the threshold
+//! ladder and top-k's scout→refine pair share one per query for the same
+//! reason.
+//!
+//! Because the cached value is the bit-exact `f64` the canonical DFS would
+//! produce (see [`crate::signature`] for why equal signatures imply equal
+//! bits), a hit is indistinguishable from a solve — results with the cache
+//! on and off are `to_bits`-identical, which the query-crate property tests
+//! pin down.
+//!
+//! Concurrency is striped locking: keys are hashed once, the top bits pick
+//! one of [`SHARDS`] independent `Mutex<HashMap>` shards, so parallel
+//! workers rarely contend. No eviction is performed; instead admission
+//! stops once the byte budget is spent (component populations in the
+//! duplicate-heavy regimes are tiny — tens of entries — so the budget is a
+//! safety rail against adversarial unbounded growth, not a working-set
+//! knob).
+
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independent shards (power of two).
+pub const SHARDS: usize = 64;
+
+/// Default admission budget: keys + entries may occupy this many bytes.
+pub const DEFAULT_BYTE_CAP: usize = 64 << 20;
+
+/// A cached exact component result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// `f64::to_bits` of the component's exact skyline factor. Stored as
+    /// bits to keep the entry `Eq` and to make the bit-identity contract
+    /// explicit.
+    pub sky_bits: u64,
+    /// Joint probabilities the canonical DFS computed for this component —
+    /// re-added to the pipeline stats on every hit so logical work
+    /// accounting stays deterministic whether or not the cache is warm.
+    pub joints_computed: u64,
+}
+
+/// Sharded concurrent map from canonical component signature to
+/// [`CacheEntry`]. Shared by reference across batch worker threads.
+#[derive(Debug)]
+pub struct ComponentCache {
+    shards: Vec<Mutex<HashMap<Box<[u8]>, CacheEntry>>>,
+    hasher: RandomState,
+    bytes: AtomicU64,
+    byte_cap: u64,
+}
+
+impl Default for ComponentCache {
+    fn default() -> Self {
+        Self::with_byte_cap(DEFAULT_BYTE_CAP)
+    }
+}
+
+impl ComponentCache {
+    /// An empty cache admitting up to `byte_cap` bytes of keys + entries.
+    pub fn with_byte_cap(byte_cap: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            bytes: AtomicU64::new(0),
+            byte_cap: byte_cap as u64,
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Mutex<HashMap<Box<[u8]>, CacheEntry>> {
+        let h = self.hasher.hash_one(key);
+        &self.shards[(h >> (64 - SHARDS.trailing_zeros())) as usize]
+    }
+
+    /// Look up a component signature.
+    pub fn get(&self, key: &[u8]) -> Option<CacheEntry> {
+        self.shard(key).lock().expect("cache shard poisoned").get(key).copied()
+    }
+
+    /// Insert a result; returns `true` if the entry was admitted (false
+    /// once the byte budget is exhausted — existing entries stay valid
+    /// forever, new ones are simply not remembered).
+    pub fn insert(&self, key: &[u8], entry: CacheEntry) -> bool {
+        let cost = Self::entry_bytes(key);
+        if self.bytes.load(Ordering::Relaxed) + cost > self.byte_cap {
+            return false;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if shard.contains_key(key) {
+            return false;
+        }
+        shard.insert(key.into(), entry);
+        self.bytes.fetch_add(cost, Ordering::Relaxed);
+        true
+    }
+
+    /// Bytes charged against the budget for one entry with this key.
+    pub fn entry_bytes(key: &[u8]) -> u64 {
+        (key.len() + std::mem::size_of::<CacheEntry>()) as u64
+    }
+
+    /// Total bytes of admitted keys + entries.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached components.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_counts_bytes() {
+        let cache = ComponentCache::default();
+        assert!(cache.is_empty());
+        let entry = CacheEntry { sky_bits: 0.25f64.to_bits(), joints_computed: 7 };
+        assert!(cache.get(b"alpha").is_none());
+        assert!(cache.insert(b"alpha", entry));
+        assert_eq!(cache.get(b"alpha"), Some(entry));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), ComponentCache::entry_bytes(b"alpha"));
+        // Re-inserting the same key is a no-op (first result wins; both are
+        // bit-identical by construction anyway).
+        assert!(!cache.insert(b"alpha", entry));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn admission_stops_at_the_byte_cap() {
+        let one = ComponentCache::entry_bytes(b"k0") as usize;
+        let cache = ComponentCache::with_byte_cap(2 * one);
+        let entry = CacheEntry { sky_bits: 0, joints_computed: 0 };
+        assert!(cache.insert(b"k0", entry));
+        assert!(cache.insert(b"k1", entry));
+        assert!(!cache.insert(b"k2", entry), "budget spent");
+        assert_eq!(cache.len(), 2);
+        // Existing entries remain readable.
+        assert_eq!(cache.get(b"k1"), Some(entry));
+    }
+
+    #[test]
+    fn keys_spread_across_shards_and_stay_isolated() {
+        let cache = ComponentCache::default();
+        for i in 0..500u32 {
+            let key = i.to_le_bytes();
+            assert!(cache.insert(&key, CacheEntry { sky_bits: u64::from(i), joints_computed: 1 }));
+        }
+        assert_eq!(cache.len(), 500);
+        for i in 0..500u32 {
+            let key = i.to_le_bytes();
+            assert_eq!(cache.get(&key).unwrap().sky_bits, u64::from(i));
+        }
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = ComponentCache::default();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..200u32 {
+                        let key = (t * 1000 + i).to_le_bytes();
+                        cache.insert(&key, CacheEntry { sky_bits: 1, joints_computed: 1 });
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 800);
+    }
+}

@@ -20,13 +20,18 @@
 //! the literal layered formulation (provided separately in
 //! [`crate::levelwise`] and proven equivalent in tests).
 //!
-//! Two sound prunings keep practical cost below `2^n`:
+//! Three sound prunings keep practical cost below `2^n`:
 //!
 //! * **zero product** — once `Pr(E_I) = 0`, every superset also has zero
 //!   joint probability and the subtree is skipped;
 //! * **saturated product** — attackers whose every coin is already counted
 //!   contribute factor 1; no pruning applies, but no new multiplication is
-//!   paid either (the sharing at work).
+//!   paid either (the sharing at work);
+//! * **covered-attacker cancellation** — if, after taking attacker `i`,
+//!   some remaining attacker `j > i` has every coin already in the union,
+//!   then pairing each extension `T` with `T ∪ {j}` matches equal joint
+//!   probabilities of opposite sign, so the entire cell (the `{…, i}` term
+//!   and all its extensions) sums to exactly zero and is skipped whole.
 
 use std::time::{Duration, Instant};
 
@@ -51,11 +56,19 @@ pub struct DetOptions {
     /// probability). On by default; the benchmark harness turns it off to
     /// measure Algorithm 1's literal cost, which computes every joint.
     pub prune_zero: bool,
+    /// Skip lattice cells whose alternating sum cancels exactly: once the
+    /// union of the current subset covers every coin of some remaining
+    /// attacker `j`, pairing each extension `T` with `T ∪ {j}` matches
+    /// equal products of opposite sign, so the cell contributes zero. On
+    /// by default; turn off to reproduce Algorithm 1's literal term count
+    /// (the final sum differs from the literal one only by floating-point
+    /// rounding of terms that cancel in exact arithmetic).
+    pub prune_covered: bool,
 }
 
 impl Default for DetOptions {
     fn default() -> Self {
-        Self { max_attackers: 30, deadline: None, prune_zero: true }
+        Self { max_attackers: 30, deadline: None, prune_zero: true, prune_covered: true }
     }
 }
 
@@ -140,6 +153,7 @@ pub fn sky_det_view_with(
             start,
             since_check: 0,
             prune_zero: opts.prune_zero,
+            prune_covered: opts.prune_covered,
         };
         ctx.dfs(0, 1.0, true, 0)?;
         return Ok(DetOutcome {
@@ -159,6 +173,7 @@ pub fn sky_det_view_with(
         start,
         since_check: 0,
         prune_zero: opts.prune_zero,
+        prune_covered: opts.prune_covered,
     };
     ctx.dfs(0, 1.0, true)?;
     Ok(DetOutcome { sky: ctx.acc, joints_computed: ctx.joints, elapsed: start.elapsed() })
@@ -176,6 +191,7 @@ struct Ctx<'a> {
     start: Instant,
     since_check: u32,
     prune_zero: bool,
+    prune_covered: bool,
 }
 
 impl Ctx<'_> {
@@ -183,14 +199,28 @@ impl Ctx<'_> {
     /// accumulating `(−1)^{|I|} Pr(E_I)`. `negative` is the sign of the
     /// *next* level.
     fn dfs(&mut self, from: usize, prod: f64, negative: bool) -> Result<()> {
-        for i in from..self.view.n_attackers() {
+        let n = self.view.n_attackers();
+        for i in from..n {
+            for &k in self.view.attacker_coins(i) {
+                self.mult[k as usize] += 1;
+            }
+            // Covered-attacker cancellation: if some remaining attacker's
+            // coins are all in the union already, the whole cell (this term
+            // and every extension) telescopes to zero — skip it.
+            if self.prune_covered
+                && (i + 1..n)
+                    .any(|j| self.view.attacker_coins(j).iter().all(|&k| self.mult[k as usize] > 0))
+            {
+                for &k in self.view.attacker_coins(i) {
+                    self.mult[k as usize] -= 1;
+                }
+                continue;
+            }
             let mut p = prod;
             for &k in self.view.attacker_coins(i) {
-                let m = &mut self.mult[k as usize];
-                if *m == 0 {
+                if self.mult[k as usize] == 1 {
                     p *= self.view.coin_prob(k);
                 }
-                *m += 1;
             }
             self.joints += 1;
             self.acc += if negative { -p } else { p };
@@ -229,6 +259,7 @@ struct MaskCtx<'a> {
     start: Instant,
     since_check: u32,
     prune_zero: bool,
+    prune_covered: bool,
 }
 
 impl MaskCtx<'_> {
@@ -238,6 +269,11 @@ impl MaskCtx<'_> {
     fn dfs(&mut self, from: usize, prod: f64, negative: bool, union: u64) -> Result<()> {
         for i in from..self.masks.len() {
             let mask = self.masks[i];
+            let covers = union | mask;
+            // Covered-attacker cancellation (see [`Ctx::dfs`]).
+            if self.prune_covered && self.masks[i + 1..].iter().any(|&m| m & !covers == 0) {
+                continue;
+            }
             let mut p = prod;
             let mut fresh = mask & !union;
             while fresh != 0 {
@@ -285,11 +321,17 @@ mod tests {
     #[test]
     fn example1_layers_and_total() {
         let (t, p) = example1();
-        let out = sky_det(&t, &p, ObjectId(0), DetOptions::default()).unwrap();
+        let literal = DetOptions { prune_covered: false, ..DetOptions::default() };
+        let out = sky_det(&t, &p, ObjectId(0), literal).unwrap();
         // Paper: sky(O) = 1 − 3/2 + 17/16 − 7/16 + 1/16 = 3/16.
         assert!((out.sky - 3.0 / 16.0).abs() < 1e-12, "got {}", out.sky);
-        // All 2^4 − 1 = 15 joints computed.
+        // All 2^4 − 1 = 15 joints computed in the literal formulation.
         assert_eq!(out.joints_computed, 15);
+        // Covered-attacker cancellation skips the cells that telescope to
+        // zero (8 of the 15 here) without moving the answer.
+        let pruned = sky_det(&t, &p, ObjectId(0), DetOptions::default()).unwrap();
+        assert!((pruned.sky - 3.0 / 16.0).abs() < 1e-12, "got {}", pruned.sky);
+        assert_eq!(pruned.joints_computed, 7);
     }
 
     #[test]

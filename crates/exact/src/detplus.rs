@@ -137,6 +137,7 @@ pub fn sky_det_plus_view(view: &CoinView, opts: DetPlusOptions) -> Result<DetPlu
             max_attackers: opts.det.max_attackers,
             deadline: remaining,
             prune_zero: opts.det.prune_zero,
+            prune_covered: opts.det.prune_covered,
         };
         let DetOutcome { sky: s, joints_computed, .. } = sky_det_view(&sub, det_opts)?;
         sky *= s;
@@ -226,10 +227,10 @@ mod tests {
             absorption: false,
             partition: false,
             prune_impossible: false,
-            ..DetPlusOptions::default()
+            det: DetOptions { prune_covered: false, ..DetOptions::default() },
         };
         let out = sky_det_plus_view(&view, nothing).unwrap();
-        assert_eq!(out.joints_computed, 15, "degenerates to plain Det");
+        assert_eq!(out.joints_computed, 15, "degenerates to literal Det");
         assert!((out.sky - 3.0 / 16.0).abs() < 1e-12);
     }
 

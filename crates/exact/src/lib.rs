@@ -42,6 +42,7 @@
 
 pub mod absorption;
 pub mod bounds;
+pub mod cache;
 pub mod conditioning;
 pub mod det;
 pub mod detplus;
@@ -51,11 +52,13 @@ pub mod levelwise;
 pub mod naive;
 pub mod partition;
 pub mod profile;
+pub mod signature;
 
 /// Commonly used names.
 pub mod prelude {
     pub use crate::absorption::{absorb, absorb_into, absorbs, AbsorbScratch, AbsorptionResult};
     pub use crate::bounds::{sky_bounds_bonferroni, sky_bounds_cheap, SkyBounds};
+    pub use crate::cache::{CacheEntry, ComponentCache};
     pub use crate::conditioning::{
         sky_conditioning, sky_conditioning_view, ConditioningOptions, ConditioningOutcome,
     };
@@ -69,4 +72,5 @@ pub mod prelude {
     pub use crate::naive::{sky_naive_coins, sky_naive_worlds, NaiveOptions};
     pub use crate::partition::{partition, partition_into, PartitionScratch, UnionFind};
     pub use crate::profile::{profile, profile_with, InstanceProfile, ProfileScratch};
+    pub use crate::signature::component_signature;
 }

@@ -1,0 +1,118 @@
+//! Canonical component signatures for the cross-target component cache.
+//!
+//! A partition component's exact probability is fully determined by its
+//! canonical sub-view: the multiset of attacker coin-conjunctions, where a
+//! coin is identified by `(dim, value, prob_bits)`. The target's own value
+//! codes enter only through the coin probabilities (`Pr(v ≺ O.j)` is a
+//! function of the pair), so two components with byte-identical signatures
+//! — even under *different* targets — feed the exact same numbers to the
+//! DFS in the exact same order and produce bit-identical results. That is
+//! what makes the component cache sound at `to_bits` granularity rather
+//! than merely up to rounding.
+//!
+//! The signature is serialized from a sub-view produced by
+//! [`CoinView::restrict_canonical_into`], which orders attackers
+//! lexicographically by their sorted coin-triple lists and renumbers coins
+//! by first appearance in that traversal. Attacker enumeration order of the
+//! originating group therefore cannot leak into the bytes.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! u32 n_coins
+//! per coin (in canonical id order): u32 dim, u32 value, u64 prob_bits
+//! u32 n_attackers
+//! per attacker (in canonical order): u32 len, then len × u32 coin id
+//! ```
+
+use presky_core::coins::CoinView;
+
+/// Serialize the canonical signature of `sub` into `out` (cleared first).
+///
+/// `sub` must be in canonical form (built by
+/// [`CoinView::restrict_canonical_into`]); the bytes simply transcribe it.
+/// Returns `false` and leaves `out` empty when the view has synthetic
+/// (key-less) coins, which cannot be canonically identified.
+pub fn component_signature(sub: &CoinView, out: &mut Vec<u8>) -> bool {
+    out.clear();
+    out.reserve(8 + 16 * sub.n_coins() + 4 * sub.n_attackers());
+    out.extend_from_slice(&(sub.n_coins() as u32).to_le_bytes());
+    for k in 0..sub.n_coins() as u32 {
+        let Some(key) = sub.coin_key(k) else {
+            out.clear();
+            return false;
+        };
+        out.extend_from_slice(&key.dim.0.to_le_bytes());
+        out.extend_from_slice(&key.value.0.to_le_bytes());
+        out.extend_from_slice(&sub.coin_prob(k).to_bits().to_le_bytes());
+    }
+    out.extend_from_slice(&(sub.n_attackers() as u32).to_le_bytes());
+    for i in 0..sub.n_attackers() {
+        let coins = sub.attacker_coins(i);
+        out.extend_from_slice(&(coins.len() as u32).to_le_bytes());
+        for &k in coins {
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::coins::CanonScratch;
+    use presky_core::preference::{PrefPair, TablePreferences};
+    use presky_core::table::Table;
+    use presky_core::types::ObjectId;
+
+    use super::*;
+
+    fn example1() -> (Table, TablePreferences) {
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
+        (t, TablePreferences::with_default(PrefPair::half()))
+    }
+
+    #[test]
+    fn signature_is_invariant_under_group_permutation() {
+        let (t, p) = example1();
+        let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        let mut scratch = CanonScratch::default();
+        let mut sub = CoinView::empty();
+        let mut reference = Vec::new();
+        assert!(view.restrict_canonical_into(&[0, 1, 2, 3], &mut scratch, &mut sub));
+        assert!(component_signature(&sub, &mut reference));
+        for perm in [[3usize, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1]] {
+            let mut sig = Vec::new();
+            assert!(view.restrict_canonical_into(&perm, &mut scratch, &mut sub));
+            assert!(component_signature(&sub, &mut sig));
+            assert_eq!(sig, reference, "permutation {perm:?}");
+        }
+    }
+
+    #[test]
+    fn different_groups_get_different_signatures() {
+        let (t, p) = example1();
+        let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        let a = component_signature_of(&view, &[0, 1]);
+        let b = component_signature_of(&view, &[2, 3]);
+        let c = component_signature_of(&view, &[0, 1, 2]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synthetic_views_are_refused() {
+        let view = CoinView::from_parts(vec![0.5, 0.25], vec![vec![0], vec![1]]).unwrap();
+        let mut sig = vec![1, 2, 3];
+        assert!(!component_signature(&view, &mut sig));
+        assert!(sig.is_empty(), "refusal clears the buffer");
+    }
+
+    fn component_signature_of(view: &CoinView, group: &[usize]) -> Vec<u8> {
+        let sub = view.restrict_canonical(group).unwrap();
+        let mut sig = Vec::new();
+        assert!(component_signature(&sub, &mut sig));
+        sig
+    }
+}

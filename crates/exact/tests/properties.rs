@@ -118,8 +118,68 @@ proptest! {
     ) {
         prop_assume!(view.coin_probs().iter().all(|&p| p > 0.0));
         let n = view.n_attackers() as u32;
-        let out = sky_det_view(&view, DetOptions::default()).unwrap();
+        let literal = DetOptions { prune_covered: false, ..DetOptions::default() };
+        let out = sky_det_view(&view, literal).unwrap();
         prop_assert_eq!(out.joints_computed, (1u64 << n) - 1);
+    }
+
+    #[test]
+    fn covered_cancellation_prunes_without_moving_the_answer(
+        view in clause_system()
+    ) {
+        let literal = DetOptions { prune_covered: false, ..DetOptions::default() };
+        let a = sky_det_view(&view, literal).unwrap();
+        let b = sky_det_view(&view, DetOptions::default()).unwrap();
+        prop_assert!(b.joints_computed <= a.joints_computed);
+        // The skipped cells cancel in exact arithmetic; only rounding of
+        // the cancelled pairs can differ.
+        prop_assert!((a.sky - b.sky).abs() < 1e-12, "{} vs {}", a.sky, b.sky);
+    }
+
+    #[test]
+    fn component_signature_is_invariant_under_attacker_permutation(
+        seed in 0u64..1_000,
+        rows in proptest::collection::btree_set(0usize..64, 3..=8),
+        perm_seed in 1u64..1_000,
+    ) {
+        use presky_core::preference::{PairLaw, SeededPreferences};
+        use presky_core::table::Table;
+        use presky_core::types::ObjectId;
+        use presky_exact::signature::component_signature;
+
+        // Keyed views come from real tables (synthetic `from_parts` views
+        // carry no coin keys and are refused by canonicalization).
+        let decoded: Vec<Vec<u32>> = rows
+            .iter()
+            .map(|&i| vec![(i % 4) as u32, ((i / 4) % 4) as u32, ((i / 16) % 4) as u32])
+            .collect();
+        let table = Table::from_rows_raw(3, &decoded).unwrap();
+        let prefs = SeededPreferences::new(seed, PairLaw::Complementary);
+        let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
+        let n = view.n_attackers();
+        prop_assume!(n >= 2);
+
+        // Fisher–Yates over the attacker ids with a xorshift stream.
+        let ids: Vec<usize> = (0..n).collect();
+        let mut perm = ids.clone();
+        let mut s = perm_seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+        for i in (1..n).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            perm.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+
+        let a = view.restrict_canonical(&ids).expect("keyed view");
+        let b = view.restrict_canonical(&perm).expect("keyed view");
+        let (mut sig_a, mut sig_b) = (Vec::new(), Vec::new());
+        prop_assert!(component_signature(&a, &mut sig_a));
+        prop_assert!(component_signature(&b, &mut sig_b));
+        prop_assert_eq!(&sig_a, &sig_b, "signature must not see enumeration order");
+
+        // Equal signatures must mean bit-identical exact results — the
+        // component cache's soundness contract.
+        let ra = sky_det_view(&a, DetOptions::default()).unwrap();
+        let rb = sky_det_view(&b, DetOptions::default()).unwrap();
+        prop_assert_eq!(ra.sky.to_bits(), rb.sky.to_bits());
     }
 
     #[test]

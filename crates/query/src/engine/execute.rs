@@ -20,7 +20,9 @@ use presky_core::types::ObjectId;
 use presky_approx::sampler::{sky_sam_view_with, SamOptions};
 use presky_approx::sprt::{sky_threshold_test_view, SprtOptions, ThresholdDecision};
 use presky_exact::bounds::{sky_bounds_bonferroni, SkyBounds};
+use presky_exact::cache::{CacheEntry, ComponentCache};
 use presky_exact::det::{sky_det_view_with, DetOptions};
+use presky_exact::signature::component_signature;
 
 use super::plan::{self, Plan, PlanReason};
 use super::prepare::SkyScratch;
@@ -29,22 +31,39 @@ use crate::error::Result;
 use crate::prob_skyline::SkyResult;
 use crate::threshold::{Resolution, ThresholdAnswer, ThresholdOptions};
 
-/// Execute `plan` on the prepared instance in `s`.
+/// Execute `plan` on the prepared instance in `s`, annotating the plan's
+/// cache provenance in place (`Plan::Exact::cached`, and
+/// [`PlanReason::CacheHit`] when every component was served from `cache`).
 pub(crate) fn execute(
     object: ObjectId,
-    plan: Plan,
+    plan: &mut Plan,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
+    cache: Option<&ComponentCache>,
 ) -> Result<SkyResult> {
     let t0 = Instant::now();
     let result = match plan {
         Plan::ShortCircuit => SkyResult { object, sky: 0.0, exact: true },
-        Plan::Exact { det, .. } => {
-            let sky = exact_component_product(s, det, stats)?;
+        Plan::Exact { det, components, cached, reason, .. } => {
+            let det = *det;
+            let mut hits = 0usize;
+            let mut sky = 1.0;
+            for g in 0..s.partition.n_groups() {
+                let (factor, hit) = component_factor(g, det, s, stats, cache)?;
+                sky *= factor;
+                hits += usize::from(hit);
+            }
+            // Post-hoc provenance only: the planner's exact-vs-sample
+            // choice must not depend on cache contents, or cached and
+            // uncached runs would diverge.
+            *cached = hits;
+            if hits == *components && *components > 0 {
+                *reason = PlanReason::CacheHit;
+            }
             SkyResult { object, sky, exact: true }
         }
         Plan::Sample { sam, reason, .. } => {
-            let out = sky_sam_view_with(&s.work, sam, &mut s.sam)?;
+            let out = sky_sam_view_with(&s.work, *sam, &mut s.sam)?;
             stats.samples_drawn += out.samples;
             stats.coin_draws += out.coin_draws;
             stats.attacker_checks += out.attacker_checks;
@@ -59,20 +78,53 @@ pub(crate) fn execute(
     Ok(result)
 }
 
-/// `Π` of per-component exact skyline factors over the partition groups.
-fn exact_component_product(
-    s: &mut SkyScratch,
+/// Exact skyline factor of partition group `g`, served from `cache` when
+/// possible. Returns `(factor, was_cache_hit)`.
+///
+/// Keyed views are *always* restricted canonically — whether or not a cache
+/// is present — so the DFS multiplies in a canonical order and the result
+/// bits are a function of the component's content alone. That is what
+/// makes a hit bit-identical to a solve, and cache-on runs bit-identical
+/// to `--no-component-cache` runs. Synthetic (key-less) views cannot be
+/// canonicalized and fall back to the plain first-appearance restriction,
+/// bypassing the cache.
+fn component_factor(
+    g: usize,
     det: DetOptions,
+    s: &mut SkyScratch,
     stats: &mut PipelineStats,
-) -> Result<f64> {
-    let mut sky = 1.0;
-    for g in 0..s.partition.n_groups() {
-        s.work.restrict_into(s.partition.group(g), &mut s.remap, &mut s.sub);
+    cache: Option<&ComponentCache>,
+) -> Result<(f64, bool)> {
+    let group = s.partition.group(g);
+    if !s.work.restrict_canonical_into(group, &mut s.canon, &mut s.sub) {
+        s.work.restrict_into(group, &mut s.remap, &mut s.sub);
         let out = sky_det_view_with(&s.sub, det, &mut s.det)?;
         stats.joints_computed += out.joints_computed;
-        sky *= out.sky;
+        return Ok((out.sky, false));
     }
-    Ok(sky)
+    let Some(cache) = cache else {
+        let out = sky_det_view_with(&s.sub, det, &mut s.det)?;
+        stats.joints_computed += out.joints_computed;
+        return Ok((out.sky, false));
+    };
+    let keyed = component_signature(&s.sub, &mut s.sig);
+    debug_assert!(keyed, "canonical views always carry coin keys");
+    stats.cache_probes += 1;
+    if let Some(entry) = cache.get(&s.sig) {
+        stats.cache_hits += 1;
+        // Logical work accounting stays deterministic across warm and cold
+        // caches: a hit re-adds the joints the solve would have computed.
+        stats.joints_computed += entry.joints_computed;
+        return Ok((f64::from_bits(entry.sky_bits), true));
+    }
+    let out = sky_det_view_with(&s.sub, det, &mut s.det)?;
+    stats.joints_computed += out.joints_computed;
+    let entry = CacheEntry { sky_bits: out.sky.to_bits(), joints_computed: out.joints_computed };
+    if cache.insert(&s.sig, entry) {
+        stats.cache_insertions += 1;
+        stats.cache_bytes += ComponentCache::entry_bytes(&s.sig);
+    }
+    Ok((out.sky, false))
 }
 
 /// The escalation ladder on the prepared instance — rungs are plan
@@ -84,9 +136,10 @@ pub(crate) fn threshold_ladder(
     opts: ThresholdOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
+    cache: Option<&ComponentCache>,
 ) -> Result<ThresholdAnswer> {
     let t0 = Instant::now();
-    let answer = threshold_ladder_inner(target, tau, opts, s, stats);
+    let answer = threshold_ladder_inner(target, tau, opts, s, stats, cache);
     stats.execute_nanos += t0.elapsed().as_nanos() as u64;
     answer
 }
@@ -97,6 +150,7 @@ fn threshold_ladder_inner(
     opts: ThresholdOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
+    cache: Option<&ComponentCache>,
 ) -> Result<ThresholdAnswer> {
     // Rung 1: certified bounds. Bonferroni on instances small enough that
     // level-2 enumeration stays cheap; the O(n·d) cheap bounds otherwise.
@@ -123,10 +177,8 @@ fn threshold_ladder_inner(
         let det = DetOptions::with_max_attackers(opts.exact_component_limit);
         let mut sky = 1.0;
         for g in 0..s.partition.n_groups() {
-            s.work.restrict_into(s.partition.group(g), &mut s.remap, &mut s.sub);
-            let out = sky_det_view_with(&s.sub, det, &mut s.det)?;
-            stats.joints_computed += out.joints_computed;
-            sky *= out.sky;
+            let (factor, _) = component_factor(g, det, s, stats, cache)?;
+            sky *= factor;
             if sky < tau {
                 // Remaining factors are ≤ 1: membership is already refuted
                 // by the certified upper bound `sky_partial`.

@@ -32,6 +32,8 @@ use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
 use presky_core::types::ObjectId;
 
+use presky_exact::cache::ComponentCache;
+
 use crate::error::Result;
 use crate::prob_skyline::{Algorithm, SkyResult};
 use crate::threshold::{Resolution, ThresholdAnswer, ThresholdOptions};
@@ -105,8 +107,22 @@ pub struct PipelineStats {
     pub plan_sequential: u64,
     /// Threshold objects needing the fixed-budget fallback (rung 4).
     pub plan_fallback: u64,
-    /// Joint probabilities computed by the exact engine.
+    /// Joint probabilities computed by the exact engine. Component-cache
+    /// hits re-add the joints the cached solve computed, so this counter is
+    /// *logical* work and stays deterministic whether the cache is cold,
+    /// warm, or disabled.
     pub joints_computed: u64,
+    /// Component-cache lookups (one per canonicalizable component executed
+    /// exactly while a cache was attached).
+    pub cache_probes: u64,
+    /// Probes answered from the cache. Depends on which worker reached a
+    /// component first, so unlike `cache_probes` this is not deterministic
+    /// across thread counts.
+    pub cache_hits: u64,
+    /// Entries admitted into the cache by this worker.
+    pub cache_insertions: u64,
+    /// Bytes (keys + entries) admitted into the cache by this worker.
+    pub cache_bytes: u64,
     /// Worlds drawn by the samplers (fixed-budget and sequential).
     pub samples_drawn: u64,
     /// Lazy coin draws performed by the fixed-budget sampler.
@@ -139,9 +155,22 @@ impl PipelineStats {
         self.plan_sequential += other.plan_sequential;
         self.plan_fallback += other.plan_fallback;
         self.joints_computed += other.joints_computed;
+        self.cache_probes += other.cache_probes;
+        self.cache_hits += other.cache_hits;
+        self.cache_insertions += other.cache_insertions;
+        self.cache_bytes += other.cache_bytes;
         self.samples_drawn += other.samples_drawn;
         self.coin_draws += other.coin_draws;
         self.attacker_checks += other.attacker_checks;
+    }
+
+    /// Cache hits as a fraction of probes (0 when nothing was probed).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_probes as f64
+        }
     }
 }
 
@@ -194,6 +223,15 @@ impl fmt::Display for PipelineStats {
             "execute:  {} joints; {} worlds sampled ({} coin draws, {} attacker checks)",
             self.joints_computed, self.samples_drawn, self.coin_draws, self.attacker_checks,
         )?;
+        writeln!(
+            f,
+            "cache:    {} probes, {} hits ({:.1}%), {} insertions ({} bytes)",
+            self.cache_probes,
+            self.cache_hits,
+            100.0 * self.cache_hit_rate(),
+            self.cache_insertions,
+            self.cache_bytes,
+        )?;
         write!(
             f,
             "time:     prepare {}, plan {}, execute {}",
@@ -213,8 +251,9 @@ pub(crate) fn solve_view(
     prep: PrepareOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
+    cache: Option<&ComponentCache>,
 ) -> Result<SkyResult> {
-    solve_view_explained(object, algo, prep, s, stats).map(|(r, _)| r)
+    solve_view_explained(object, algo, prep, s, stats, cache).map(|(r, _)| r)
 }
 
 /// [`solve_view`] returning the chosen [`Plan`] alongside the result.
@@ -224,12 +263,14 @@ pub(crate) fn solve_view_explained(
     prep: PrepareOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
+    cache: Option<&ComponentCache>,
 ) -> Result<(SkyResult, Plan)> {
     if let Some(short) = prepare::prepare(object, prep, s, stats) {
         return Ok((short, Plan::ShortCircuit));
     }
-    let decided = plan::plan(algo, s, stats);
-    let result = execute::execute(object, decided, s, stats)?;
+    let cache = if prep.component_cache { cache } else { None };
+    let mut decided = plan::plan(algo, s, stats);
+    let result = execute::execute(object, &mut decided, s, stats, cache)?;
     Ok((result, decided))
 }
 
@@ -249,6 +290,11 @@ pub fn solve_one<M: PreferenceModel>(
 }
 
 /// [`solve_one`] returning the chosen [`Plan`] alongside the result.
+///
+/// Single-target queries run with a private per-call component cache (so
+/// repeated components *within* one target still share work); cross-target
+/// sharing belongs to the batch drivers, which thread one cache through
+/// the crate-private `solve_batch_one`.
 pub fn solve_one_explained<M: PreferenceModel>(
     table: &Table,
     prefs: &M,
@@ -258,25 +304,45 @@ pub fn solve_one_explained<M: PreferenceModel>(
     scratch: &mut SkyScratch,
     stats: &mut PipelineStats,
 ) -> Result<(SkyResult, Plan)> {
+    let cache = ComponentCache::default();
+    solve_one_explained_cached(table, prefs, target, algo, prep, scratch, stats, Some(&cache))
+}
+
+/// [`solve_one_explained`] against a caller-owned component cache — the
+/// hook top-k's refine phase uses to share the scout pass's cache.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn solve_one_explained_cached<M: PreferenceModel>(
+    table: &Table,
+    prefs: &M,
+    target: ObjectId,
+    algo: Algorithm,
+    prep: PrepareOptions,
+    scratch: &mut SkyScratch,
+    stats: &mut PipelineStats,
+    cache: Option<&ComponentCache>,
+) -> Result<(SkyResult, Plan)> {
     let t0 = Instant::now();
     scratch.view = CoinView::build(table, prefs, target)?;
     stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
-    solve_view_explained(target, algo, prep, scratch, stats)
+    solve_view_explained(target, algo, prep, scratch, stats, cache)
 }
 
 /// One target through the batch assembly path (shared coin indexes).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_batch_one<M: PreferenceModel>(
     ctx: &BatchCoinContext,
     prefs: &M,
     target: ObjectId,
     algo: Algorithm,
+    prep: PrepareOptions,
     scratch: &mut SkyScratch,
     stats: &mut PipelineStats,
+    cache: Option<&ComponentCache>,
 ) -> Result<SkyResult> {
     let t0 = Instant::now();
     ctx.view_into(prefs, target, &mut scratch.batch, &mut scratch.view)?;
     stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
-    solve_view(target, algo, PrepareOptions::default(), scratch, stats)
+    solve_view(target, algo, prep, scratch, stats, cache)
 }
 
 /// Decide `sky(target) ≥ τ` on a preassembled `s.view`: Prepare with the
@@ -287,6 +353,7 @@ pub(crate) fn threshold_view(
     opts: ThresholdOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
+    cache: Option<&ComponentCache>,
 ) -> Result<ThresholdAnswer> {
     if let Some(short) = prepare::prepare(target, PrepareOptions::default(), s, stats) {
         return Ok(ThresholdAnswer {
@@ -295,7 +362,8 @@ pub(crate) fn threshold_view(
             resolution: Resolution::Exact(short.sky),
         });
     }
-    execute::threshold_ladder(target, tau, opts, s, stats)
+    let cache = if opts.component_cache { cache } else { None };
+    execute::threshold_ladder(target, tau, opts, s, stats, cache)
 }
 
 /// One threshold decision end to end (single-target assembly).
@@ -311,10 +379,12 @@ pub fn threshold_solve_one<M: PreferenceModel>(
     let t0 = Instant::now();
     scratch.view = CoinView::build(table, prefs, target)?;
     stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
-    threshold_view(target, tau, opts, scratch, stats)
+    let cache = ComponentCache::default();
+    threshold_view(target, tau, opts, scratch, stats, Some(&cache))
 }
 
 /// One threshold decision through the batch assembly path.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn threshold_batch_one<M: PreferenceModel>(
     ctx: &BatchCoinContext,
     prefs: &M,
@@ -323,11 +393,12 @@ pub(crate) fn threshold_batch_one<M: PreferenceModel>(
     opts: ThresholdOptions,
     scratch: &mut SkyScratch,
     stats: &mut PipelineStats,
+    cache: Option<&ComponentCache>,
 ) -> Result<ThresholdAnswer> {
     let t0 = Instant::now();
     ctx.view_into(prefs, target, &mut scratch.batch, &mut scratch.view)?;
     stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
-    threshold_view(target, tau, opts, scratch, stats)
+    threshold_view(target, tau, opts, scratch, stats, cache)
 }
 
 // ------------------------------------------------------ parallel driver
@@ -420,11 +491,20 @@ mod tests {
         let mut b = PipelineStats { objects: 1, largest_component: 9, ..Default::default() };
         b.component_hist[0] = 1;
         b.joints_computed = 7;
+        b.cache_probes = 4;
+        b.cache_hits = 3;
+        b.cache_insertions = 1;
+        b.cache_bytes = 120;
         a.merge(&b);
         assert_eq!(a.objects, 3);
         assert_eq!(a.largest_component, 9);
         assert_eq!(a.component_hist[0], 4);
         assert_eq!(a.joints_computed, 7);
+        assert_eq!(a.cache_probes, 4);
+        assert_eq!(a.cache_hits, 3);
+        assert_eq!(a.cache_insertions, 1);
+        assert_eq!(a.cache_bytes, 120);
+        assert!((a.cache_hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]
@@ -443,7 +523,7 @@ mod tests {
     fn stats_display_mentions_every_stage() {
         let s = PipelineStats::default();
         let text = s.to_string();
-        for needle in ["pipeline:", "prepare:", "plan:", "execute:", "time:"] {
+        for needle in ["pipeline:", "prepare:", "plan:", "execute:", "cache:", "time:"] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
     }

@@ -35,10 +35,16 @@ pub enum PlanReason {
     /// Some component exceeds the exact engine's size limit, so only the
     /// sampler is feasible.
     ComponentTooLarge,
+    /// Refinement recorded after execution: the plan was exact and *every*
+    /// component was served from the cross-target component cache, so no
+    /// inclusion–exclusion ran at all. (The planner never chooses this —
+    /// the cache must not influence exact-vs-sample, or cached and
+    /// uncached runs would diverge.)
+    CacheHit,
 }
 
 /// The execution plan for one prepared target.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub enum Plan {
     /// Prepare proved `sky = 0` exactly (certain attacker); nothing to
     /// execute.
@@ -51,8 +57,15 @@ pub enum Plan {
         components: usize,
         /// Largest component size.
         largest: usize,
+        /// Per-component sizes in partition order — the breakdown the
+        /// `--stats` display prints unconditionally (a single component is
+        /// a breakdown of one, not an omission).
+        component_sizes: Vec<usize>,
         /// Summed `2^|g|` lattice cost (saturating).
         exact_cost: u64,
+        /// Components served from the component cache, recorded by the
+        /// Execute stage after the fact (always 0 before execution).
+        cached: usize,
         /// Why this branch was taken.
         reason: PlanReason,
     },
@@ -71,10 +84,28 @@ impl fmt::Display for Plan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Plan::ShortCircuit => write!(f, "short-circuit (certain attacker, sky = 0 exact)"),
-            Plan::Exact { components, largest, exact_cost, reason, .. } => write!(
-                f,
-                "exact: {components} component(s), largest {largest}, lattice cost {exact_cost} ({reason:?})"
-            ),
+            Plan::Exact {
+                components,
+                largest,
+                component_sizes,
+                exact_cost,
+                cached,
+                reason,
+                ..
+            } => {
+                write!(
+                    f,
+                    "exact: {components} component(s), largest {largest}, lattice cost {exact_cost}"
+                )?;
+                // The breakdown prints unconditionally — cache-hit
+                // provenance must be visible even for single-component
+                // targets.
+                write!(f, "; components [")?;
+                for (i, len) in component_sizes.iter().enumerate() {
+                    write!(f, "{}{len}", if i > 0 { " " } else { "" })?;
+                }
+                write!(f, "], {cached}/{components} cached ({reason:?})")
+            }
             Plan::Sample { sam, predicted_cost, reason } => write!(
                 f,
                 "sample: {} worlds, predicted cost {predicted_cost} ({reason:?})",
@@ -97,6 +128,11 @@ pub fn largest_component(partition: &PartitionScratch) -> usize {
     (0..partition.n_groups()).map(|g| partition.group(g).len()).max().unwrap_or(0)
 }
 
+/// Per-component sizes in partition order.
+pub fn component_sizes(partition: &PartitionScratch) -> Vec<usize> {
+    (0..partition.n_groups()).map(|g| partition.group(g).len()).collect()
+}
+
 /// Decide the plan for the prepared target in `s` under `algo`.
 pub(crate) fn plan(algo: Algorithm, s: &SkyScratch, stats: &mut PipelineStats) -> Plan {
     let t0 = std::time::Instant::now();
@@ -105,7 +141,9 @@ pub(crate) fn plan(algo: Algorithm, s: &SkyScratch, stats: &mut PipelineStats) -
             det,
             components: s.partition.n_groups(),
             largest: largest_component(&s.partition),
+            component_sizes: component_sizes(&s.partition),
             exact_cost: exact_cost(&s.partition),
+            cached: 0,
             reason: PlanReason::Forced,
         },
         Algorithm::Sampling(sam) => Plan::Sample {
@@ -130,7 +168,9 @@ pub(crate) fn plan(algo: Algorithm, s: &SkyScratch, stats: &mut PipelineStats) -
                     det: DetOptions::with_max_attackers(exact_component_limit),
                     components: s.partition.n_groups(),
                     largest,
+                    component_sizes: component_sizes(&s.partition),
                     exact_cost: lattice,
+                    cached: 0,
                     reason: PlanReason::CostModel,
                 }
             } else {

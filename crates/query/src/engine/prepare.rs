@@ -22,7 +22,7 @@
 use std::time::Instant;
 
 use presky_core::batch::BatchScratch;
-use presky_core::coins::{CoinRemap, CoinView};
+use presky_core::coins::{CanonScratch, CoinRemap, CoinView};
 use presky_core::types::ObjectId;
 
 use presky_approx::sampler::SamScratch;
@@ -47,6 +47,8 @@ pub struct SkyScratch {
     pub(crate) work: CoinView,
     pub(crate) sub: CoinView,
     pub(crate) remap: CoinRemap,
+    pub(crate) canon: CanonScratch,
+    pub(crate) sig: Vec<u8>,
     pub(crate) absorb: AbsorbScratch,
     pub(crate) absorbed: AbsorptionResult,
     pub(crate) partition: PartitionScratch,
@@ -62,6 +64,8 @@ impl Default for SkyScratch {
             work: CoinView::empty(),
             sub: CoinView::empty(),
             remap: CoinRemap::default(),
+            canon: CanonScratch::default(),
+            sig: Vec::new(),
             absorb: AbsorbScratch::default(),
             absorbed: AbsorptionResult::default(),
             partition: PartitionScratch::default(),
@@ -91,11 +95,23 @@ pub struct PrepareOptions {
     /// connected components of the coin-overlap graph. When off, the whole
     /// instance is treated as a single component.
     pub partition: bool,
+    /// Let the Execute stage probe and fill the cross-target component
+    /// cache when the driver supplies one. Off is the `--no-component-cache`
+    /// ablation baseline; results are bit-identical either way (keyed
+    /// components are restricted canonically regardless, and a hit returns
+    /// the very bits the canonical solve produces).
+    pub component_cache: bool,
 }
 
 impl Default for PrepareOptions {
     fn default() -> Self {
-        Self { short_circuit: true, prune_impossible: true, absorption: true, partition: true }
+        Self {
+            short_circuit: true,
+            prune_impossible: true,
+            absorption: true,
+            partition: true,
+            component_cache: true,
+        }
     }
 }
 
@@ -110,7 +126,13 @@ impl PrepareOptions {
     /// optimisations), but absorption and partition are skipped. This is
     /// the raw-`Det`/`Sam` baseline mode of the CLI and the ablations.
     pub fn minimal() -> Self {
-        Self { short_circuit: true, prune_impossible: true, absorption: false, partition: false }
+        Self {
+            short_circuit: true,
+            prune_impossible: true,
+            absorption: false,
+            partition: false,
+            component_cache: true,
+        }
     }
 }
 

@@ -34,6 +34,7 @@ use presky_core::table::Table;
 use presky_core::types::ObjectId;
 
 use presky_approx::sampler::SamOptions;
+use presky_exact::cache::ComponentCache;
 use presky_exact::det::DetOptions;
 
 use crate::engine::{self, PipelineStats, PrepareOptions};
@@ -101,12 +102,22 @@ pub fn sky_one_with<M: PreferenceModel>(
 }
 
 /// Options of the all-objects query driver.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct QueryOptions {
     /// Per-object policy.
     pub algorithm: Algorithm,
     /// Worker threads (`None` = available parallelism).
     pub threads: Option<usize>,
+    /// Share exact component results across targets through the
+    /// hash-consed component cache. Results are bit-identical either way
+    /// (`--no-component-cache` is the ablation baseline).
+    pub component_cache: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self { algorithm: Algorithm::default(), threads: None, component_cache: true }
+    }
 }
 
 /// Compute the skyline probability of **every** object, in parallel.
@@ -130,13 +141,26 @@ pub fn all_sky_with_stats<M: PreferenceModel + Sync>(
     prefs: &M,
     opts: QueryOptions,
 ) -> Result<(Vec<SkyResult>, PipelineStats)> {
+    let cache = ComponentCache::default();
+    all_sky_with_stats_cached(table, prefs, opts, Some(&cache))
+}
+
+/// [`all_sky_with_stats`] against a caller-owned component cache, so the
+/// top-k driver can share one cache between its scout and refine phases.
+pub(crate) fn all_sky_with_stats_cached<M: PreferenceModel + Sync>(
+    table: &Table,
+    prefs: &M,
+    opts: QueryOptions,
+    cache: Option<&ComponentCache>,
+) -> Result<(Vec<SkyResult>, PipelineStats)> {
     let ctx = BatchCoinContext::build(table)?;
     let n = table.len();
     let threads = engine::effective_threads(opts.threads, n);
+    let prep = PrepareOptions { component_cache: opts.component_cache, ..Default::default() };
     let (results, stats) = engine::run_chunked(n, threads, |i, scratch, stats| {
         // Per-object seed decorrelation for sampling policies.
         let algo = reseed(opts.algorithm, i as u64);
-        engine::solve_batch_one(&ctx, prefs, ObjectId::from(i), algo, scratch, stats)
+        engine::solve_batch_one(&ctx, prefs, ObjectId::from(i), algo, prep, scratch, stats, cache)
     });
     let results = results.into_iter().collect::<Result<Vec<_>>>()?;
     Ok((results, stats))
@@ -251,6 +275,7 @@ mod tests {
         let opts = QueryOptions {
             algorithm: Algorithm::Sampling(SamOptions::with_samples(50, 3)),
             threads: Some(1),
+            ..Default::default()
         };
         let results = all_sky(&t, &order, opts).unwrap();
         assert_eq!(results[1].sky, 0.0);
@@ -265,6 +290,7 @@ mod tests {
         let opts = QueryOptions {
             algorithm: Algorithm::Sampling(SamOptions::with_samples(40_000, 0)),
             threads: Some(2),
+            ..Default::default()
         };
         let got = all_sky(&t, &p, opts).unwrap();
         let oracle = all_sky_naive(&t, &p, 16).unwrap();
@@ -285,6 +311,7 @@ mod tests {
         let opts = QueryOptions {
             algorithm: Algorithm::Exact { det: DetOptions::with_max_attackers(3) },
             threads: Some(1),
+            ..Default::default()
         };
         let err = all_sky(&t, &p, opts).unwrap_err();
         assert!(matches!(err, QueryError::Exact(_)));
@@ -314,8 +341,12 @@ mod tests {
             Algorithm::Sampling(SamOptions::with_samples(500, 9)),
             Algorithm::Exact { det: DetOptions::default() },
         ] {
-            let batch =
-                all_sky(&t, &p, QueryOptions { algorithm: algo, threads: Some(3) }).unwrap();
+            let batch = all_sky(
+                &t,
+                &p,
+                QueryOptions { algorithm: algo, threads: Some(3), ..Default::default() },
+            )
+            .unwrap();
             for (i, r) in batch.iter().enumerate() {
                 let single = sky_one(&t, &p, ObjectId::from(i), reseed(algo, i as u64)).unwrap();
                 assert_eq!(r.sky.to_bits(), single.sky.to_bits(), "object {i}");
@@ -341,6 +372,12 @@ mod tests {
             s.prepare_nanos = 0;
             s.plan_nanos = 0;
             s.execute_nanos = 0;
+            // Which worker reaches a shared component first is a race, so
+            // hit/insert tallies may shift with the thread count; probes
+            // and (logical) joints stay deterministic and are compared.
+            s.cache_hits = 0;
+            s.cache_insertions = 0;
+            s.cache_bytes = 0;
             s
         };
         assert_eq!(untimed(stats), untimed(stats8));

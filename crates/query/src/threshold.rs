@@ -28,6 +28,7 @@ use presky_core::table::Table;
 use presky_core::types::ObjectId;
 
 use presky_exact::bounds::SkyBounds;
+use presky_exact::cache::ComponentCache;
 
 use presky_approx::sampler::SamOptions;
 use presky_approx::sprt::SprtOptions;
@@ -83,6 +84,9 @@ pub struct ThresholdOptions {
     pub fallback: SamOptions,
     /// Worker threads (`None` = available parallelism).
     pub threads: Option<usize>,
+    /// Share exact-rung component results across targets through the
+    /// hash-consed component cache (bit-identical either way).
+    pub component_cache: bool,
 }
 
 impl Default for ThresholdOptions {
@@ -94,6 +98,7 @@ impl Default for ThresholdOptions {
             sprt: SprtOptions::default(),
             fallback: SamOptions::default(),
             threads: None,
+            component_cache: true,
         }
     }
 }
@@ -148,8 +153,18 @@ pub fn threshold_skyline_with_stats<M: PreferenceModel + Sync>(
     let ctx = BatchCoinContext::build(table)?;
     let n = table.len();
     let threads = engine::effective_threads(opts.threads, n);
+    let cache = ComponentCache::default();
     let (answers, stats) = engine::run_chunked(n, threads, |i, scratch, stats| {
-        engine::threshold_batch_one(&ctx, prefs, ObjectId::from(i), tau, opts, scratch, stats)
+        engine::threshold_batch_one(
+            &ctx,
+            prefs,
+            ObjectId::from(i),
+            tau,
+            opts,
+            scratch,
+            stats,
+            Some(&cache),
+        )
     });
     let answers = answers.into_iter().collect::<Result<Vec<_>>>()?;
     Ok((answers, stats))

@@ -19,9 +19,13 @@ use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
 
 use presky_approx::sampler::SamOptions;
+use presky_exact::cache::ComponentCache;
 
+use crate::engine::{self, PipelineStats, PrepareOptions};
 use crate::error::{QueryError, Result};
-use crate::prob_skyline::{all_sky, sky_one_with, Algorithm, QueryOptions, SkyResult, SkyScratch};
+use crate::prob_skyline::{
+    all_sky_with_stats_cached, Algorithm, QueryOptions, SkyResult, SkyScratch,
+};
 
 /// Options of the two-phase top-k query.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +41,11 @@ pub struct TopKOptions {
     pub overfetch: usize,
     /// Worker threads (`None` = available parallelism).
     pub threads: Option<usize>,
+    /// Share exact component results between the scout and refine phases
+    /// through one hash-consed component cache (bit-identical either way).
+    /// Refined candidates re-prepare instances the scout already solved,
+    /// so this is a natural 100%-hit regime.
+    pub component_cache: bool,
 }
 
 impl Default for TopKOptions {
@@ -47,6 +56,7 @@ impl Default for TopKOptions {
             exact_component_limit: 20,
             overfetch: 3,
             threads: None,
+            component_cache: true,
         }
     }
 }
@@ -66,6 +76,12 @@ pub fn top_k_skyline<M: PreferenceModel + Sync>(
         return Err(QueryError::ZeroK);
     }
 
+    // One cache spans both phases: a refined candidate re-prepares the
+    // instance the scout pass already solved, so every exact component it
+    // reaches is a hit.
+    let cache = ComponentCache::default();
+    let cache = opts.component_cache.then_some(&cache);
+
     // Phase 1: scout everything.
     let scout_opts = QueryOptions {
         algorithm: Algorithm::Adaptive {
@@ -73,8 +89,9 @@ pub fn top_k_skyline<M: PreferenceModel + Sync>(
             sam: opts.scout,
         },
         threads: opts.threads,
+        component_cache: opts.component_cache,
     };
-    let mut scouted = all_sky(table, prefs, scout_opts)?;
+    let (mut scouted, _) = all_sky_with_stats_cached(table, prefs, scout_opts, cache)?;
     sort_desc(&mut scouted);
 
     // Phase 2: refine the head of the ranking. Exact scout values skip
@@ -86,6 +103,8 @@ pub fn top_k_skyline<M: PreferenceModel + Sync>(
     let cut = (k.saturating_mul(opts.overfetch)).min(scouted.len());
     let mut refined: Vec<SkyResult> = Vec::with_capacity(cut);
     let mut scratch = SkyScratch::default();
+    let mut stats = PipelineStats::default();
+    let prep = PrepareOptions { component_cache: opts.component_cache, ..Default::default() };
     for r in &scouted[..cut] {
         if r.exact {
             refined.push(*r);
@@ -97,7 +116,17 @@ pub fn top_k_skyline<M: PreferenceModel + Sync>(
                     ..opts.refine
                 },
             };
-            refined.push(sky_one_with(table, prefs, r.object, algo, &mut scratch)?);
+            let (result, _) = engine::solve_one_explained_cached(
+                table,
+                prefs,
+                r.object,
+                algo,
+                prep,
+                &mut scratch,
+                &mut stats,
+                cache,
+            )?;
+            refined.push(result);
         }
     }
     sort_desc(&mut refined);

@@ -110,7 +110,10 @@ fn threshold_one_reference(
         let det = DetOptions::with_max_attackers(opts.exact_component_limit);
         let mut sky = 1.0;
         for g in &groups {
-            let sub = work.restrict(g);
+            // The engine restricts keyed components canonically (the
+            // component-cache key demands an enumeration-order-independent
+            // form), so the reference must too for bitwise agreement.
+            let sub = work.restrict_canonical(g).unwrap_or_else(|| work.restrict(g));
             sky *= sky_det_view(&sub, det).expect("within budgets").sky;
             if sky < tau {
                 return ThresholdAnswer {
@@ -180,6 +183,7 @@ fn top_k_reference(
             sam: opts.scout,
         },
         threads: opts.threads,
+        ..Default::default()
     };
     let mut scouted = all_sky(table, prefs, scout_opts).expect("scout");
     sort_desc(&mut scouted);
@@ -305,7 +309,7 @@ proptest! {
         let batch = all_sky(
             &table,
             &prefs,
-            QueryOptions { algorithm, threads: Some(threads) },
+            QueryOptions { algorithm, threads: Some(threads), ..Default::default() },
         )
         .unwrap();
         prop_assert_eq!(batch.len(), table.len());
@@ -333,6 +337,39 @@ proptest! {
                 "object {}: batch {} vs single {}", i, r.sky, single.sky
             );
             prop_assert_eq!(r.exact, single.exact);
+        }
+    }
+
+    #[test]
+    fn cached_all_sky_is_bit_identical_to_cache_disabled(
+        (table, prefs) in instance(),
+        threads in 1usize..=4,
+    ) {
+        // The tentpole's correctness contract: the component cache is a
+        // pure work-sharing device. A warm hit returns the exact bits the
+        // canonical solve produces, so enabling it must not move any
+        // result by even one ulp — `--no-component-cache` is the ablation
+        // baseline this pins.
+        let cached = all_sky(
+            &table,
+            &prefs,
+            QueryOptions { threads: Some(threads), component_cache: true, ..Default::default() },
+        )
+        .unwrap();
+        let uncached = all_sky(
+            &table,
+            &prefs,
+            QueryOptions { threads: Some(threads), component_cache: false, ..Default::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(cached.len(), uncached.len());
+        for (c, u) in cached.iter().zip(&uncached) {
+            prop_assert_eq!(c.object, u.object);
+            prop_assert_eq!(
+                c.sky.to_bits(), u.sky.to_bits(),
+                "object {}: cached {} vs uncached {}", c.object, c.sky, u.sky
+            );
+            prop_assert_eq!(c.exact, u.exact);
         }
     }
 
@@ -459,6 +496,7 @@ proptest! {
             QueryOptions {
                 algorithm: Algorithm::Sampling(SamOptions::with_samples(3000, 7)),
                 threads: Some(1),
+                ..Default::default()
             },
         )
         .unwrap();

@@ -91,6 +91,7 @@ fn main() {
                     sam: SamOptions::with_samples(2000, 5),
                 },
                 threads: None,
+                ..QueryOptions::default()
             },
         )
         .expect("valid instance");

@@ -11,10 +11,12 @@
 //!
 //! skyprob sky      --table data.tbl (--prefs prefs.txt | --seed-prefs 42)
 //!                  --target 0 [--algo adaptive|detplus|det|sam|samplus|cond|sac]
-//!                  [--samples 3000] [--stats]
+//!                  [--samples 3000] [--stats] [--no-component-cache]
 //! skyprob profile  --table data.tbl (--prefs … | --seed-prefs …) --target 0
-//! skyprob skyline  --table data.tbl (--prefs … | --seed-prefs …) --tau 0.1 [--stats]
+//! skyprob skyline  --table data.tbl (--prefs … | --seed-prefs …) --tau 0.1
+//!                  [--stats] [--no-component-cache]
 //! skyprob topk     --table data.tbl (--prefs … | --seed-prefs …) --k 5
+//!                  [--no-component-cache]
 //! ```
 //!
 //! Tables and preference files use the `presky-datagen` text formats.
@@ -27,6 +29,8 @@
 //! and `adaptive` run the full preparation. `sac` and `cond` remain
 //! explicitly-labelled raw-view baselines that bypass the engine.
 //! `--stats` prints the per-stage `PipelineStats` counters.
+//! `--no-component-cache` disables the hash-consed exact component cache
+//! (the ablation baseline; results are bit-identical either way).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -246,7 +250,7 @@ fn sky(flags: &HashMap<String, String>) -> Result<(), String> {
         _ => {}
     }
 
-    let (algo, prep) = match algo_name {
+    let (algo, mut prep) = match algo_name {
         "detplus" => (Algorithm::Exact { det: DetOptions::default() }, PrepareOptions::full()),
         "det" => (Algorithm::Exact { det: DetOptions::default() }, PrepareOptions::minimal()),
         "adaptive" => (Algorithm::default(), PrepareOptions::full()),
@@ -258,6 +262,7 @@ fn sky(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         other => return Err(format!("unknown algorithm {other:?}")),
     };
+    prep.component_cache = !flags.contains_key("no-component-cache");
     let mut scratch = SkyScratch::default();
     let mut stats = PipelineStats::default();
     let (result, plan) = presky::query::engine::solve_one_explained(
@@ -308,9 +313,12 @@ fn skyline(flags: &HashMap<String, String>) -> Result<(), String> {
     let tau: f64 = require(flags, "tau")?;
     let want_stats = flags.contains_key("stats");
     let start = std::time::Instant::now();
+    let opts = ThresholdOptions {
+        component_cache: !flags.contains_key("no-component-cache"),
+        ..ThresholdOptions::default()
+    };
     let (answers, pipeline) =
-        threshold_skyline_with_stats(&table, &prefs, tau, ThresholdOptions::default())
-            .map_err(|e| e.to_string())?;
+        threshold_skyline_with_stats(&table, &prefs, tau, opts).map_err(|e| e.to_string())?;
     let stats = resolution_stats(&answers);
     let members: Vec<_> = answers.iter().filter(|a| a.member).collect();
     println!(
@@ -339,8 +347,11 @@ fn topk(flags: &HashMap<String, String>) -> Result<(), String> {
     let (table, prefs) = load_instance(flags)?;
     let k: usize = require(flags, "k")?;
     let start = std::time::Instant::now();
-    let top =
-        top_k_skyline(&table, &prefs, k, TopKOptions::default()).map_err(|e| e.to_string())?;
+    let opts = TopKOptions {
+        component_cache: !flags.contains_key("no-component-cache"),
+        ..TopKOptions::default()
+    };
+    let top = top_k_skyline(&table, &prefs, k, opts).map_err(|e| e.to_string())?;
     println!("top-{k} by skyline probability ({:.1?}):", start.elapsed());
     for (rank, r) in top.iter().enumerate() {
         println!(
@@ -401,6 +412,12 @@ mod tests {
         .unwrap();
         run(&argv(&format!(
             "sky --table {tbl} --prefs {prefs} --target 3 --algo adaptive --stats"
+        )))
+        .unwrap();
+        // Ablation baseline: same query with the component cache disabled.
+        run(&argv(&format!(
+            "sky --table {tbl} --prefs {prefs} --target 3 --algo adaptive --stats \
+             --no-component-cache"
         )))
         .unwrap();
         run(&argv(&format!(

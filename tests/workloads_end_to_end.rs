@@ -115,6 +115,7 @@ fn structured_preferences_shift_skyline_mass() {
                     sam: SamOptions::with_samples(2000, 1),
                 },
                 threads: Some(2),
+                ..QueryOptions::default()
             },
         )
         .unwrap();
