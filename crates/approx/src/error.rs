@@ -1,6 +1,7 @@
 //! Errors of the approximate algorithms.
 
 use std::fmt;
+use std::time::Duration;
 
 use presky_core::error::CoreError;
 use presky_exact::error::ExactError;
@@ -17,6 +18,13 @@ pub enum ApproxError {
     },
     /// A zero sample budget was requested.
     ZeroSamples,
+    /// The absolute wall-clock deadline passed mid-run.
+    DeadlineExceeded {
+        /// Time spent before giving up.
+        elapsed: Duration,
+        /// Worlds fully evaluated before giving up.
+        samples_drawn: u64,
+    },
     /// An error from the data-model layer.
     Core(CoreError),
     /// An error from the exact engines (A1/A2 delegate to them).
@@ -30,6 +38,9 @@ impl fmt::Display for ApproxError {
                 write!(f, "{name} = {value} must lie strictly between 0 and 1")
             }
             ApproxError::ZeroSamples => write!(f, "sample budget must be positive"),
+            ApproxError::DeadlineExceeded { elapsed, samples_drawn } => {
+                write!(f, "deadline exceeded after {elapsed:?} ({samples_drawn} worlds sampled)")
+            }
             ApproxError::Core(e) => write!(f, "{e}"),
             ApproxError::Exact(e) => write!(f, "{e}"),
         }

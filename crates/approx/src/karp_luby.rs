@@ -39,6 +39,7 @@ use crate::error::{ApproxError, Result};
 
 /// Configuration of the Karp–Luby estimator.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct KarpLubyOptions {
     /// Number of conditioned worlds to sample.
     pub samples: u64,
@@ -49,6 +50,20 @@ pub struct KarpLubyOptions {
 impl Default for KarpLubyOptions {
     fn default() -> Self {
         Self { samples: 3000, seed: 0 }
+    }
+}
+
+impl KarpLubyOptions {
+    /// Chainable: set the sample budget.
+    pub fn with_samples(mut self, samples: u64) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Chainable: set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 

@@ -64,6 +64,7 @@ use crate::error::{ApproxError, Result};
 
 /// Configuration of the sampling estimator.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct SamOptions {
     /// Number of worlds to sample (`m`).
     pub samples: u64,
@@ -81,12 +82,61 @@ pub struct SamOptions {
     /// the two paths use different RNG streams, so they agree within the
     /// Hoeffding ε but not bit-for-bit.
     pub bit_parallel: bool,
+    /// Optional absolute wall-clock cut-off. Checked between 64-world
+    /// blocks (bit-parallel) or every 64 worlds (scalar); on expiry the run
+    /// aborts with [`ApproxError::DeadlineExceeded`] rather than returning
+    /// a partial estimate, so every returned estimate is bit-identical to
+    /// an unbudgeted run with the same seed.
+    pub deadline_at: Option<Instant>,
 }
 
 impl SamOptions {
     /// `m` samples with the given seed, paper defaults otherwise.
     pub fn with_samples(samples: u64, seed: u64) -> Self {
-        Self { samples, seed, sort_checking: true, lazy: true, bit_parallel: true }
+        Self {
+            samples,
+            seed,
+            sort_checking: true,
+            lazy: true,
+            bit_parallel: true,
+            deadline_at: None,
+        }
+    }
+
+    /// Chainable: set the sample budget `m`.
+    pub fn with_sample_budget(mut self, samples: u64) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Chainable: set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Chainable: toggle the sorted checking sequence.
+    pub fn with_sort_checking(mut self, on: bool) -> Self {
+        self.sort_checking = on;
+        self
+    }
+
+    /// Chainable: toggle lazy coin materialisation.
+    pub fn with_lazy(mut self, on: bool) -> Self {
+        self.lazy = on;
+        self
+    }
+
+    /// Chainable: toggle the 64-worlds-per-word kernel.
+    pub fn with_bit_parallel(mut self, on: bool) -> Self {
+        self.bit_parallel = on;
+        self
+    }
+
+    /// Chainable: set (or clear) the absolute wall-clock cut-off.
+    pub fn with_deadline_at(mut self, deadline_at: Option<Instant>) -> Self {
+        self.deadline_at = deadline_at;
+        self
     }
 
     /// Sample size from the Hoeffding bound for `(ε, δ)` (Theorem 2).
@@ -199,6 +249,7 @@ pub fn sky_sam_view_with(
         bits.prepare(view);
         let mut hits = 0u64;
         for block in 0..opts.samples.div_ceil(64) {
+            check_deadline(&opts, start, block * 64)?;
             let lane_mask = block_lane_mask(opts.samples, block);
             let live = survivors_block(view, order, opts.seed, block, lane_mask, opts.lazy, bits);
             hits += u64::from(live.count_ones());
@@ -232,6 +283,9 @@ pub fn sky_sam_view_with(
     let mut attacker_checks = 0u64;
 
     for h in 1..=opts.samples {
+        if h % 64 == 1 {
+            check_deadline(&opts, start, h - 1)?;
+        }
         let world = base + h;
         if !opts.lazy {
             for k in 0..m_coins {
@@ -307,6 +361,7 @@ pub fn sky_sam_antithetic_view(view: &CoinView, opts: SamOptions) -> Result<SamO
         bits.prepare(view);
         let mut hits = 0u64;
         for block in 0..pairs.div_ceil(64) {
+            check_deadline(&opts, start, block * 128)?;
             let lane_mask = block_lane_mask(pairs, block);
             let (live_p, live_m) = survivors_block_antithetic(
                 view, &order, opts.seed, block, lane_mask, opts.lazy, &mut bits,
@@ -333,6 +388,9 @@ pub fn sky_sam_antithetic_view(view: &CoinView, opts: SamOptions) -> Result<SamO
     let mut attacker_checks = 0u64;
 
     for h in 1..=pairs {
+        if h % 64 == 1 {
+            check_deadline(&opts, start, (h - 1) * 2)?;
+        }
         for mirrored in [false, true] {
             // Within a pair, coin uniforms are shared; the mirrored world
             // uses 1 − u. Stamps persist across the pair (generation h),
@@ -370,6 +428,20 @@ pub fn sky_sam_antithetic_view(view: &CoinView, opts: SamOptions) -> Result<SamO
         attacker_checks,
         elapsed: start.elapsed(),
     })
+}
+
+/// Abort a sampling run whose absolute deadline has passed. Called at
+/// 64-world granularity so completed work stays bit-deterministic: a run
+/// either finishes all `m` worlds (identical to an unbudgeted run) or
+/// fails — never a silently truncated estimate.
+#[inline]
+fn check_deadline(opts: &SamOptions, start: Instant, samples_drawn: u64) -> Result<()> {
+    if let Some(at) = opts.deadline_at {
+        if Instant::now() >= at {
+            return Err(ApproxError::DeadlineExceeded { elapsed: start.elapsed(), samples_drawn });
+        }
+    }
+    Ok(())
 }
 
 /// Antithetic estimator over a table (see [`sky_sam_antithetic_view`]).

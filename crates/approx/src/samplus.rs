@@ -32,6 +32,7 @@ use crate::sampler::{sky_sam_view, SamOptions, SamOutcome};
 
 /// Configuration of `Sam+`.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct SamPlusOptions {
     /// Options of the underlying sampler.
     pub sam: SamOptions,
@@ -56,9 +57,28 @@ impl Default for SamPlusOptions {
 }
 
 impl SamPlusOptions {
-    /// Paper-default preprocessing around the given sampler options.
-    pub fn with_sam(sam: SamOptions) -> Self {
-        Self { sam, ..Self::default() }
+    /// Chainable: set the underlying sampler options.
+    pub fn with_sam(mut self, sam: SamOptions) -> Self {
+        self.sam = sam;
+        self
+    }
+
+    /// Chainable: toggle absorption preprocessing.
+    pub fn with_absorption(mut self, on: bool) -> Self {
+        self.absorption = on;
+        self
+    }
+
+    /// Chainable: toggle impossible-attacker pruning.
+    pub fn with_prune_impossible(mut self, on: bool) -> Self {
+        self.prune_impossible = on;
+        self
+    }
+
+    /// Chainable: toggle per-component estimation.
+    pub fn with_per_component(mut self, on: bool) -> Self {
+        self.per_component = on;
+        self
     }
 }
 
@@ -180,7 +200,7 @@ mod tests {
     #[test]
     fn absorbs_q1_and_converges() {
         let (t, p) = example1();
-        let opts = SamPlusOptions::with_sam(SamOptions::with_samples(60_000, 11));
+        let opts = SamPlusOptions::default().with_sam(SamOptions::with_samples(60_000, 11));
         let out = sky_sam_plus(&t, &p, ObjectId(0), opts).unwrap();
         assert_eq!(out.n_attackers, 4);
         assert_eq!(out.absorbed, 1);
@@ -193,7 +213,7 @@ mod tests {
         let (t, p) = example1();
         let opts = SamPlusOptions {
             per_component: true,
-            ..SamPlusOptions::with_sam(SamOptions::with_samples(60_000, 13))
+            ..SamPlusOptions::default().with_sam(SamOptions::with_samples(60_000, 13))
         };
         let out = sky_sam_plus(&t, &p, ObjectId(0), opts).unwrap();
         assert_eq!(out.component_sizes, vec![1, 1, 1]);
@@ -211,7 +231,7 @@ mod tests {
             &t,
             &p,
             ObjectId(0),
-            SamPlusOptions::with_sam(SamOptions::with_samples(m, 1)),
+            SamPlusOptions::default().with_sam(SamOptions::with_samples(m, 1)),
         )
         .unwrap();
         assert!(

@@ -28,6 +28,8 @@
 //! truncated test still uses exactly `max_samples`, via a lane-masked
 //! final block).
 
+use std::time::Instant;
+
 use presky_core::bitworlds::{block_lane_mask, survivors_block, BlockScratch};
 use presky_core::coins::CoinView;
 use presky_core::preference::PreferenceModel;
@@ -38,6 +40,7 @@ use crate::error::{ApproxError, Result};
 
 /// Configuration of the sequential test.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct SprtOptions {
     /// Half-width of the indifference region around τ.
     pub margin: f64,
@@ -49,11 +52,60 @@ pub struct SprtOptions {
     pub max_samples: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Optional absolute wall-clock cut-off, checked between 64-world
+    /// blocks. An expired deadline truncates the test early with an
+    /// honest `Undecided` (never a fabricated certificate).
+    pub deadline_at: Option<Instant>,
 }
 
 impl Default for SprtOptions {
     fn default() -> Self {
-        Self { margin: 0.02, alpha: 0.01, beta: 0.01, max_samples: 200_000, seed: 0 }
+        Self {
+            margin: 0.02,
+            alpha: 0.01,
+            beta: 0.01,
+            max_samples: 200_000,
+            seed: 0,
+            deadline_at: None,
+        }
+    }
+}
+
+impl SprtOptions {
+    /// Chainable: set the indifference half-width.
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        self.margin = margin;
+        self
+    }
+
+    /// Chainable: set the type-I error level.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Chainable: set the type-II error level.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Chainable: set the truncation point.
+    pub fn with_max_samples(mut self, max_samples: u64) -> Self {
+        self.max_samples = max_samples;
+        self
+    }
+
+    /// Chainable: set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Chainable: set (or clear) the absolute wall-clock cut-off.
+    pub fn with_deadline_at(mut self, deadline_at: Option<Instant>) -> Self {
+        self.deadline_at = deadline_at;
+        self
     }
 }
 
@@ -132,6 +184,18 @@ pub fn sky_threshold_test_view(
     let mut hits = 0u64;
     let mut used = 0u64;
     for block in 0..opts.max_samples.div_ceil(64) {
+        if let Some(at) = opts.deadline_at {
+            // An expired budget truncates the test: report the honest
+            // `Undecided` over the blocks completed so far rather than a
+            // certificate the evidence has not earned.
+            if Instant::now() >= at {
+                return Ok(SprtOutcome {
+                    decision: ThresholdDecision::Undecided,
+                    samples_used: used,
+                    estimate: if used == 0 { 0.0 } else { hits as f64 / used as f64 },
+                });
+            }
+        }
         let lane_mask = block_lane_mask(opts.max_samples, block);
         let worlds = u64::from(lane_mask.count_ones());
         let live = survivors_block(view, &order, opts.seed, block, lane_mask, true, &mut bits);

@@ -77,12 +77,12 @@ proptest! {
 
         let samp = sky_sam_plus_view(
             &view,
-            SamPlusOptions::with_sam(SamOptions::with_samples(4000, 3)),
+            SamPlusOptions::default().with_sam(SamOptions::with_samples(4000, 3)),
         )
         .unwrap();
         prop_assert!((samp.estimate - truth).abs() < 0.08, "{} vs {truth}", samp.estimate);
 
-        let kl = sky_karp_luby_view(&view, KarpLubyOptions { samples: 4000, seed: 3 })
+        let kl = sky_karp_luby_view(&view, KarpLubyOptions::default().with_samples(4000).with_seed(3))
             .unwrap();
         prop_assert!((0.0..=1.0).contains(&kl.estimate));
         prop_assert!((kl.estimate - truth).abs() < 0.08, "{} vs {truth}", kl.estimate);
@@ -95,7 +95,7 @@ proptest! {
         let lazy = sky_sam_view(&view, SamOptions::with_samples(2000, 5)).unwrap();
         let eager = sky_sam_view(
             &view,
-            SamOptions { lazy: false, ..SamOptions::with_samples(2000, 5) },
+            SamOptions::with_samples(2000, 5).with_lazy(false),
         )
         .unwrap();
         prop_assert!(lazy.coin_draws <= eager.coin_draws);
@@ -110,7 +110,7 @@ proptest! {
         let m = 1000u64;
         let plus = sky_sam_plus_view(
             &view,
-            SamPlusOptions::with_sam(SamOptions::with_samples(m, 9)),
+            SamPlusOptions::default().with_sam(SamOptions::with_samples(m, 9)),
         )
         .unwrap();
         // Per-world checks are bounded by the preprocessed attacker count,
@@ -170,7 +170,7 @@ proptest! {
         let kernel = sky_sam_view(&view, SamOptions::with_samples(m, 7)).unwrap();
         let scalar = sky_sam_view(
             &view,
-            SamOptions { bit_parallel: false, ..SamOptions::with_samples(m, 7) },
+            SamOptions::with_samples(m, 7).with_bit_parallel(false),
         )
         .unwrap();
         prop_assert!(
@@ -185,7 +185,7 @@ proptest! {
         let anti = sky_sam_antithetic_view(&view, SamOptions::with_samples(m, 7)).unwrap();
         let anti_scalar = sky_sam_antithetic_view(
             &view,
-            SamOptions { bit_parallel: false, ..SamOptions::with_samples(m, 7) },
+            SamOptions::with_samples(m, 7).with_bit_parallel(false),
         )
         .unwrap();
         prop_assert!((anti.estimate - scalar.estimate).abs() <= bound);
@@ -194,7 +194,7 @@ proptest! {
 
     #[test]
     fn karp_luby_union_mass_bounds(view in clause_system()) {
-        let kl = sky_karp_luby_view(&view, KarpLubyOptions { samples: 500, seed: 1 })
+        let kl = sky_karp_luby_view(&view, KarpLubyOptions::default().with_samples(500).with_seed(1))
             .unwrap();
         // The unclamped union estimate lies in [max_i Pr(e_i) / n, M]...
         // more loosely: in [0, M].

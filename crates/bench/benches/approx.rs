@@ -28,11 +28,15 @@ fn sam_vs_samplus(c: &mut Criterion) {
             b.iter(|| sky_sam_view(v, sam).unwrap().estimate)
         });
         group.bench_with_input(BenchmarkId::new("Sam+", n), &v, |b, v| {
-            b.iter(|| sky_sam_plus_view(v, SamPlusOptions::with_sam(sam)).unwrap().estimate)
+            b.iter(|| {
+                sky_sam_plus_view(v, SamPlusOptions::default().with_sam(sam)).unwrap().estimate
+            })
         });
         group.bench_with_input(BenchmarkId::new("KarpLuby", n), &v, |b, v| {
             b.iter(|| {
-                sky_karp_luby_view(v, KarpLubyOptions { samples: 3000, seed: 7 }).unwrap().estimate
+                sky_karp_luby_view(v, KarpLubyOptions::default().with_samples(3000).with_seed(7))
+                    .unwrap()
+                    .estimate
             })
         });
     }
@@ -46,7 +50,8 @@ fn sam_design_choices(c: &mut Criterion) {
     for (name, sort_checking, lazy) in
         [("sorted_lazy", true, true), ("sorted_eager", true, false), ("unsorted_lazy", false, true)]
     {
-        let opts = SamOptions { sort_checking, lazy, ..SamOptions::with_samples(1000, 7) };
+        let opts =
+            SamOptions::with_samples(1000, 7).with_sort_checking(sort_checking).with_lazy(lazy);
         group.bench_function(name, |b| b.iter(|| sky_sam_view(&v, opts).unwrap().estimate));
     }
     group.finish();

@@ -40,7 +40,7 @@ fn detplus_blockzipf_scaling(c: &mut Criterion) {
     for n in [100usize, 1_000, 10_000] {
         let table = generate_block_zipf(BlockZipfConfig::new(n, 5, 1)).unwrap();
         let view = CoinView::build(&table, &prefs, ObjectId(0)).unwrap();
-        let opts = DetPlusOptions::with_det(DetOptions::with_max_attackers(64));
+        let opts = DetPlusOptions::default().with_det(DetOptions::default().with_max_attackers(64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &view, |b, v| {
             b.iter(|| sky_det_plus_view(v, opts).unwrap().sky)
         });

@@ -1,14 +1,18 @@
 //! Criterion micro-benchmarks of the query layer: the flat all-objects
-//! query, the certified threshold ladder, and top-k.
+//! query, the certified threshold ladder, and top-k — all through the
+//! resident drivers against a prebuilt [`BatchCoinContext`], the way a
+//! long-lived service runs them.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use presky_approx::sampler::SamOptions;
+use presky_core::batch::BatchCoinContext;
 use presky_core::preference::SeededPreferences;
 use presky_datagen::blockzipf::{generate_block_zipf, BlockZipfConfig};
-use presky_query::prob_skyline::{all_sky, Algorithm, QueryOptions};
-use presky_query::threshold::{threshold_skyline, ThresholdOptions};
-use presky_query::topk::{top_k_skyline, TopKOptions};
+use presky_query::engine::{all_sky_resident, threshold_resident, top_k_resident, EngineBudget};
+use presky_query::prob_skyline::{Algorithm, QueryOptions};
+use presky_query::threshold::ThresholdOptions;
+use presky_query::topk::TopKOptions;
 
 fn flat_vs_ladder(c: &mut Criterion) {
     let mut group = c.benchmark_group("query/blockzipf4d");
@@ -16,19 +20,29 @@ fn flat_vs_ladder(c: &mut Criterion) {
     let prefs = SeededPreferences::complementary(42);
     for n in [100usize, 400] {
         let table = generate_block_zipf(BlockZipfConfig::new(n, 4, 1)).unwrap();
-        let flat_opts = QueryOptions {
-            algorithm: Algorithm::Adaptive {
+        let ctx = BatchCoinContext::build(&table).unwrap();
+        let flat_opts = QueryOptions::default()
+            .with_algorithm(Algorithm::Adaptive {
                 exact_component_limit: 18,
                 sam: SamOptions::with_samples(2000, 1),
-            },
-            threads: Some(2),
-        };
-        group.bench_with_input(BenchmarkId::new("all_sky", n), &table, |b, t| {
-            b.iter(|| all_sky(t, &prefs, flat_opts).unwrap().len())
+            })
+            .with_threads(Some(2));
+        group.bench_with_input(BenchmarkId::new("all_sky", n), &ctx, |b, ctx| {
+            b.iter(|| {
+                all_sky_resident(ctx, &prefs, flat_opts, None, EngineBudget::default())
+                    .unwrap()
+                    .results
+                    .len()
+            })
         });
-        let ladder_opts = ThresholdOptions { threads: Some(2), ..ThresholdOptions::default() };
-        group.bench_with_input(BenchmarkId::new("threshold_ladder", n), &table, |b, t| {
-            b.iter(|| threshold_skyline(t, &prefs, 0.1, ladder_opts).unwrap().len())
+        let ladder_opts = ThresholdOptions::default().with_threads(Some(2));
+        group.bench_with_input(BenchmarkId::new("threshold_ladder", n), &ctx, |b, ctx| {
+            b.iter(|| {
+                threshold_resident(ctx, &prefs, 0.1, ladder_opts, None, EngineBudget::default())
+                    .unwrap()
+                    .results
+                    .len()
+            })
         });
     }
     group.finish();
@@ -39,9 +53,15 @@ fn topk_two_phase(c: &mut Criterion) {
     group.sample_size(10);
     let prefs = SeededPreferences::complementary(42);
     let table = generate_block_zipf(BlockZipfConfig::new(200, 4, 1)).unwrap();
-    let opts = TopKOptions { threads: Some(2), ..TopKOptions::default() };
+    let ctx = BatchCoinContext::build(&table).unwrap();
+    let opts = TopKOptions::default().with_threads(Some(2));
     group.bench_function("top5_of_200", |b| {
-        b.iter(|| top_k_skyline(&table, &prefs, 5, opts).unwrap().len())
+        b.iter(|| {
+            top_k_resident(&ctx, &prefs, 5, opts, None, EngineBudget::default())
+                .unwrap()
+                .results
+                .len()
+        })
     });
     group.finish();
 }

@@ -42,15 +42,11 @@ pub fn ablation_prep(budget: &Budget) -> FigReport {
         ("absorption only", true, false),
     ];
     let algo = Algorithm::Exact {
-        det: DetOptions {
-            max_attackers: 64,
-            deadline: Some(budget.deadline),
-            ..DetOptions::default()
-        },
+        det: DetOptions::default().with_max_attackers(64).with_deadline(budget.deadline),
     };
     let mut scratch = SkyScratch::default();
     for (name, absorption, partition) in variants {
-        let prep = PrepareOptions { absorption, partition, ..PrepareOptions::full() };
+        let prep = PrepareOptions::full().with_absorption(absorption).with_partition(partition);
         let mut stats = PipelineStats::default();
         let mut ok = 0usize;
         for &t in &targets {
@@ -113,12 +109,10 @@ pub fn ablation_sam(budget: &Budget) -> FigReport {
         let mut time = std::time::Duration::ZERO;
         for &t in &targets {
             let view = CoinView::build(&table, &prefs, t).expect("valid instance");
-            let opts = SamOptions {
-                sort_checking,
-                lazy,
-                bit_parallel,
-                ..SamOptions::with_samples(3000, 3)
-            };
+            let opts = SamOptions::with_samples(3000, 3)
+                .with_sort_checking(sort_checking)
+                .with_lazy(lazy)
+                .with_bit_parallel(bit_parallel);
             let out = sky_sam_view(&view, opts).expect("positive samples");
             draws += out.coin_draws;
             checks += out.attacker_checks;
@@ -172,9 +166,12 @@ pub fn ablation_kl(budget: &Budget) -> FigReport {
             let sam = sky_sam_view(&view, SamOptions::with_samples(samples, seed))
                 .expect("positive samples")
                 .estimate;
-            let kl = sky_karp_luby_view(&view, KarpLubyOptions { samples, seed })
-                .expect("positive samples")
-                .estimate;
+            let kl = sky_karp_luby_view(
+                &view,
+                KarpLubyOptions::default().with_samples(samples).with_seed(seed),
+            )
+            .expect("positive samples")
+            .estimate;
             sam_rel += ((1.0 - sam) - exact_union).abs() / exact_union;
             kl_rel += ((1.0 - kl) - exact_union).abs() / exact_union;
         }
@@ -255,11 +252,9 @@ pub fn ablation_cond(budget: &Budget) -> FigReport {
             .expect("valid synthetic system");
         let det = sky_det_view(
             &view,
-            presky_exact::det::DetOptions {
-                max_attackers: 64,
-                deadline: Some(budget.deadline),
-                ..Default::default()
-            },
+            presky_exact::det::DetOptions::default()
+                .with_max_attackers(64)
+                .with_deadline(budget.deadline),
         );
         let cond = sky_conditioning_view(&view, ConditioningOptions::default());
         match (det, cond) {
@@ -300,7 +295,10 @@ pub fn ablation_cond(budget: &Budget) -> FigReport {
 /// bit-identical by construction (proptest-guarded), so the comparison is
 /// pure cost.
 pub fn ablation_cache(budget: &Budget) -> FigReport {
-    use presky_query::prob_skyline::{all_sky_with_stats, QueryOptions};
+    use presky_core::batch::BatchCoinContext;
+    use presky_exact::cache::ComponentCache;
+    use presky_query::engine::{all_sky_resident, EngineBudget};
+    use presky_query::prob_skyline::QueryOptions;
 
     let n = if budget.quick { 500 } else { 2_000 };
     let mut rep = FigReport::new(
@@ -322,15 +320,22 @@ pub fn ablation_cache(budget: &Budget) -> FigReport {
     let seeded = workloads::prefs();
     let block = workloads::block_prefs();
     let mut run = |name: &str, table: &presky_core::table::Table, use_block: bool| {
+        // A fresh context and cache per solve: this ablation measures the
+        // *within-request* hit rate, so warm state must not leak across
+        // the on/off comparison.
         let solve = |component_cache: bool| {
-            let opts = QueryOptions { threads: Some(1), component_cache, ..Default::default() };
+            let opts =
+                QueryOptions::default().with_threads(Some(1)).with_component_cache(component_cache);
             let start = std::time::Instant::now();
-            let out = if use_block {
-                all_sky_with_stats(table, &block, opts)
-            } else {
-                all_sky_with_stats(table, &seeded, opts)
-            };
-            out.map(|(_, stats)| (stats, start.elapsed()))
+            let cache = ComponentCache::default();
+            let out = BatchCoinContext::build(table).map_err(Into::into).and_then(|ctx| {
+                if use_block {
+                    all_sky_resident(&ctx, &block, opts, Some(&cache), EngineBudget::default())
+                } else {
+                    all_sky_resident(&ctx, &seeded, opts, Some(&cache), EngineBudget::default())
+                }
+            });
+            out.map(|out| (out.stats, start.elapsed()))
         };
         match (solve(true), solve(false)) {
             (Ok((on, t_on)), Ok((_, t_off))) => rep.push_row(vec![
@@ -372,9 +377,9 @@ pub fn ablation_cache(budget: &Budget) -> FigReport {
 /// objects each rung resolves, and at what sampling cost, versus the flat
 /// per-object estimator.
 pub fn ablation_threshold(budget: &Budget) -> FigReport {
-    use presky_query::threshold::{
-        resolution_stats, threshold_skyline_with_stats, ThresholdOptions,
-    };
+    use presky_core::batch::BatchCoinContext;
+    use presky_query::engine::{threshold_resident, EngineBudget};
+    use presky_query::threshold::{resolution_stats, ThresholdOptions};
 
     let n = if budget.quick { 500 } else { 5_000 };
     let tau = 0.1;
@@ -387,8 +392,17 @@ pub fn ablation_threshold(budget: &Budget) -> FigReport {
     let table = workloads::block_zipf(n, 5);
     let start = std::time::Instant::now();
     let (answers, pipeline) =
-        match threshold_skyline_with_stats(&table, &prefs, tau, ThresholdOptions::default()) {
-            Ok(a) => a,
+        match BatchCoinContext::build(&table).map_err(Into::into).and_then(|ctx| {
+            threshold_resident(
+                &ctx,
+                &prefs,
+                tau,
+                ThresholdOptions::default(),
+                None,
+                EngineBudget::default(),
+            )
+        }) {
+            Ok(out) => (out.results.into_iter().flatten().collect::<Vec<_>>(), out.stats),
             Err(e) => {
                 rep.note(format!("query failed: {e}"));
                 return rep;

@@ -49,11 +49,7 @@ fn detplus_engine<M: PreferenceModel>(
     scratch: &mut SkyScratch,
 ) -> Result<SkyResult, QueryError> {
     let algo = Algorithm::Exact {
-        det: DetOptions {
-            max_attackers: DET_HOPELESS,
-            deadline: Some(deadline),
-            ..DetOptions::default()
-        },
+        det: DetOptions::default().with_max_attackers(DET_HOPELESS).with_deadline(deadline),
     };
     let mut stats = PipelineStats::default();
     engine::solve_one(table, prefs, target, algo, PrepareOptions::full(), scratch, &mut stats)
@@ -78,12 +74,11 @@ pub fn det_time<M: PreferenceModel>(
         return Measurement::Timeout;
     }
     measure(targets, deadline, |t, remaining| {
-        let opts = DetOptions {
-            max_attackers: DET_HOPELESS,
-            deadline: Some(remaining),
-            prune_zero: false,
-            prune_covered: false,
-        };
+        let opts = DetOptions::default()
+            .with_max_attackers(DET_HOPELESS)
+            .with_deadline(remaining)
+            .with_prune_zero(false)
+            .with_prune_covered(false);
         sky_det(table, prefs, t, opts).map(|_| None).map_err(map_exact_err)
     })
 }
@@ -115,7 +110,7 @@ pub fn sam_time<M: PreferenceModel>(
     measure(targets, deadline, |t, _remaining| {
         let sam = SamOptions::with_samples(samples, 7 ^ t.0 as u64);
         if plus {
-            sky_sam_plus(table, prefs, t, SamPlusOptions::with_sam(sam))
+            sky_sam_plus(table, prefs, t, SamPlusOptions::default().with_sam(sam))
                 .map(|_| None)
                 .map_err(|e| e.to_string())
         } else {
@@ -217,7 +212,7 @@ pub fn sam_error<M: PreferenceModel>(
     measure(targets, deadline, |t, _remaining| {
         let sam = SamOptions::with_samples(samples, 7 ^ t.0 as u64);
         let est = if plus {
-            sky_sam_plus(table, prefs, t, SamPlusOptions::with_sam(sam))
+            sky_sam_plus(table, prefs, t, SamPlusOptions::default().with_sam(sam))
                 .map(|o| o.estimate)
                 .map_err(|e| e.to_string())?
         } else {
@@ -244,7 +239,9 @@ mod tests {
         let targets = pick_targets(table.len(), 4, 1);
         let mut scratch = SkyScratch::default();
         for &t in &targets {
-            let a = sky_det(&table, &prefs, t, DetOptions::with_max_attackers(64)).unwrap().sky;
+            let a = sky_det(&table, &prefs, t, DetOptions::default().with_max_attackers(64))
+                .unwrap()
+                .sky;
             let b = detplus_engine(&table, &prefs, t, Duration::from_secs(30), &mut scratch)
                 .unwrap()
                 .sky;

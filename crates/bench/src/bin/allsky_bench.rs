@@ -36,6 +36,10 @@
 //!
 //! [`PipelineStats`]: presky_query::engine::PipelineStats
 
+// This harness *measures* the deprecated one-shot entry points against
+// the batch driver; exercising them is its purpose.
+#![allow(deprecated)]
+
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -83,8 +87,7 @@ fn same_n_or_refuse(text: &str, path: &std::path::Path, n: usize, verb: &str) ->
 /// Mirror of the driver's per-object seed decorrelation, so the legacy
 /// loop feeds the sampler the exact options the batch driver would.
 fn reseed(algo: Algorithm, salt: u64) -> Algorithm {
-    let mix =
-        |s: SamOptions| SamOptions { seed: s.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15), ..s };
+    let mix = |s: SamOptions| s.with_seed(s.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     match algo {
         Algorithm::Adaptive { exact_component_limit, sam } => {
             Algorithm::Adaptive { exact_component_limit, sam: mix(sam) }
@@ -155,7 +158,10 @@ fn main() -> ExitCode {
     let (batch, stats) = all_sky_with_stats(
         &table,
         &prefs,
-        QueryOptions { algorithm: algo, threads: Some(1), component_cache },
+        QueryOptions::default()
+            .with_algorithm(algo)
+            .with_threads(Some(1))
+            .with_component_cache(component_cache),
     )
     .expect("batch driver");
     let batch_elapsed = start.elapsed().as_secs_f64();

@@ -19,9 +19,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use presky_bench::workloads;
+use presky_core::batch::BatchCoinContext;
 use presky_core::coins::CoinView;
 use presky_core::types::ObjectId;
-use presky_query::prob_skyline::{all_sky, Algorithm, QueryOptions};
+use presky_query::engine::{all_sky_resident, EngineBudget};
+use presky_query::prob_skyline::{Algorithm, QueryOptions};
 
 use presky_approx::bounds::hoeffding_epsilon;
 use presky_approx::sampler::{sky_sam_view_with, SamOptions, SamScratch};
@@ -106,7 +108,7 @@ fn main() -> ExitCode {
 
     let (kernel_s, kernel_rate, kernel_est) = run_kernel(&views, opts);
     println!("bit-parallel: {kernel_s:.3}s  ({kernel_rate:.0} worlds/s)");
-    let scalar_opts = SamOptions { bit_parallel: false, ..opts };
+    let scalar_opts = opts.with_bit_parallel(false);
     let (scalar_s, scalar_rate, scalar_est) = run_kernel(&views, scalar_opts);
     println!("scalar:       {scalar_s:.3}s  ({scalar_rate:.0} worlds/s)");
     let speedup = kernel_rate / scalar_rate;
@@ -127,19 +129,17 @@ fn main() -> ExitCode {
     // reduced instance (the scalar side is the expensive one).
     let e2e_n = if quick { 300 } else { 1_000 };
     let e2e_table = workloads::block_zipf(e2e_n, d);
+    let e2e_ctx = BatchCoinContext::build(&e2e_table).expect("valid table");
     let e2e_sam = SamOptions::with_samples(if quick { 500 } else { 2000 }, 0);
     let e2e = |sam: SamOptions| {
         let start = Instant::now();
-        let opts = QueryOptions {
-            algorithm: Algorithm::Sampling(sam),
-            threads: Some(1),
-            ..Default::default()
-        };
-        all_sky(&e2e_table, &prefs, opts).expect("all_sky");
+        let opts =
+            QueryOptions::default().with_algorithm(Algorithm::Sampling(sam)).with_threads(Some(1));
+        all_sky_resident(&e2e_ctx, &prefs, opts, None, EngineBudget::default()).expect("all_sky");
         start.elapsed().as_secs_f64()
     };
     let e2e_kernel_s = e2e(e2e_sam);
-    let e2e_scalar_s = e2e(SamOptions { bit_parallel: false, ..e2e_sam });
+    let e2e_scalar_s = e2e(e2e_sam.with_bit_parallel(false));
     let e2e_speedup = e2e_scalar_s / e2e_kernel_s;
     println!(
         "end-to-end all_sky (n={e2e_n}, {} worlds): kernel {e2e_kernel_s:.3}s, \

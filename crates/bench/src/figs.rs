@@ -480,11 +480,7 @@ pub fn fig6a(budget: &Budget) -> FigReport {
         let mut count = 0usize;
         for &t in &targets {
             let view = CoinView::build(&table, &prefs, t).expect("valid instance");
-            let det = DetOptions {
-                max_attackers: 64,
-                deadline: Some(budget.deadline),
-                ..DetOptions::default()
-            };
+            let det = DetOptions::default().with_max_attackers(64).with_deadline(budget.deadline);
             if let Ok(out) = sky_a1(&view, k, det) {
                 total_err += (out.estimate - reference[&t]).abs();
                 total_time += out.elapsed;

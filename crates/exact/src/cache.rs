@@ -81,7 +81,7 @@ impl ComponentCache {
 
     /// Look up a component signature.
     pub fn get(&self, key: &[u8]) -> Option<CacheEntry> {
-        self.shard(key).lock().expect("cache shard poisoned").get(key).copied()
+        self.shard(key).lock().unwrap_or_else(|e| e.into_inner()).get(key).copied()
     }
 
     /// Insert a result; returns `true` if the entry was admitted (false
@@ -92,7 +92,7 @@ impl ComponentCache {
         if self.bytes.load(Ordering::Relaxed) + cost > self.byte_cap {
             return false;
         }
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
         if shard.contains_key(key) {
             return false;
         }
@@ -113,7 +113,7 @@ impl ComponentCache {
 
     /// Number of cached components.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len()).sum()
     }
 
     /// Whether the cache holds no entries.

@@ -39,6 +39,7 @@ use crate::error::{ExactError, Result};
 
 /// Budgets for the conditioning engine.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ConditioningOptions {
     /// Maximum number of expansion nodes before giving up.
     pub max_nodes: u64,
@@ -47,6 +48,14 @@ pub struct ConditioningOptions {
 impl Default for ConditioningOptions {
     fn default() -> Self {
         Self { max_nodes: 4_000_000 }
+    }
+}
+
+impl ConditioningOptions {
+    /// Set the expansion-node ceiling.
+    pub fn with_max_nodes(mut self, max_nodes: u64) -> Self {
+        self.max_nodes = max_nodes;
+        self
     }
 }
 

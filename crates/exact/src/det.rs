@@ -43,14 +43,29 @@ use presky_core::types::ObjectId;
 use crate::error::{ExactError, Result};
 
 /// Budgets for the exponential exact computation.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`DetOptions::default`] and the chainable `with_*` builders, which keep
+/// downstream code compiling as budget knobs are added.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct DetOptions {
     /// Refuse instances with more attackers than this (after any
     /// preprocessing the caller applied). `Det` visits up to `2^n − 1`
     /// subsets; 30 attackers ≈ a billion nodes.
     pub max_attackers: usize,
-    /// Optional wall-clock cut-off, mirroring the paper's 10⁴-second cap.
+    /// Optional wall-clock cut-off *relative to the start of this call*,
+    /// mirroring the paper's 10⁴-second cap.
     pub deadline: Option<Duration>,
+    /// Optional *absolute* wall-clock cut-off — the resident service stamps
+    /// its per-request deadline here so one budget spans every component
+    /// (and every object) a request touches. Checked inside the DFS at the
+    /// same chunk granularity as `deadline`.
+    pub deadline_at: Option<Instant>,
+    /// Optional cap on the joint probabilities computed by this call. The
+    /// DFS checks it between chunks of 8192 joints, so overshoot is bounded
+    /// by one chunk. `None` = unbounded.
+    pub max_joints: Option<u64>,
     /// Skip subtrees whose joint probability is already zero (sound:
     /// every superset of a zero-probability event set has zero
     /// probability). On by default; the benchmark harness turns it off to
@@ -68,19 +83,52 @@ pub struct DetOptions {
 
 impl Default for DetOptions {
     fn default() -> Self {
-        Self { max_attackers: 30, deadline: None, prune_zero: true, prune_covered: true }
+        Self {
+            max_attackers: 30,
+            deadline: None,
+            deadline_at: None,
+            max_joints: None,
+            prune_zero: true,
+            prune_covered: true,
+        }
     }
 }
 
 impl DetOptions {
-    /// Options with a wall-clock deadline.
-    pub fn with_deadline(deadline: Duration) -> Self {
-        Self { deadline: Some(deadline), ..Self::default() }
+    /// Chainable: set the relative wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
-    /// Options with a raised attacker ceiling (use with a deadline!).
-    pub fn with_max_attackers(max_attackers: usize) -> Self {
-        Self { max_attackers, ..Self::default() }
+    /// Chainable: set (or clear) the absolute wall-clock cut-off.
+    pub fn with_deadline_at(mut self, deadline_at: Option<Instant>) -> Self {
+        self.deadline_at = deadline_at;
+        self
+    }
+
+    /// Chainable: set (or clear) the joint-computation cap.
+    pub fn with_max_joints(mut self, max_joints: Option<u64>) -> Self {
+        self.max_joints = max_joints;
+        self
+    }
+
+    /// Chainable: set the attacker ceiling (raise it only with a deadline!).
+    pub fn with_max_attackers(mut self, max_attackers: usize) -> Self {
+        self.max_attackers = max_attackers;
+        self
+    }
+
+    /// Chainable: toggle the zero-product pruning.
+    pub fn with_prune_zero(mut self, prune_zero: bool) -> Self {
+        self.prune_zero = prune_zero;
+        self
+    }
+
+    /// Chainable: toggle the covered-attacker cancellation.
+    pub fn with_prune_covered(mut self, prune_covered: bool) -> Self {
+        self.prune_covered = prune_covered;
+        self
     }
 }
 
@@ -149,9 +197,7 @@ pub fn sky_det_view_with(
             masks: &scratch.masks,
             acc: 1.0,
             joints: 0,
-            deadline: opts.deadline,
-            start,
-            since_check: 0,
+            budget: DfsBudget::new(&opts, start),
             prune_zero: opts.prune_zero,
             prune_covered: opts.prune_covered,
         };
@@ -169,14 +215,73 @@ pub fn sky_det_view_with(
         mult: &mut scratch.mult,
         acc: 1.0,
         joints: 0,
-        deadline: opts.deadline,
-        start,
-        since_check: 0,
+        budget: DfsBudget::new(&opts, start),
         prune_zero: opts.prune_zero,
         prune_covered: opts.prune_covered,
     };
     ctx.dfs(0, 1.0, true)?;
     Ok(DetOutcome { sky: ctx.acc, joints_computed: ctx.joints, elapsed: start.elapsed() })
+}
+
+/// Budget state shared by both DFS paths: the relative and absolute
+/// deadlines and the joint cap, checked between chunks of 8192 joints so
+/// the per-joint cost stays one counter increment. Overshoot past any
+/// budget is bounded by one chunk — the guarantee the resident service's
+/// "terminates within budget + one chunk granularity" contract relies on.
+struct DfsBudget {
+    deadline: Option<Duration>,
+    deadline_at: Option<Instant>,
+    max_joints: Option<u64>,
+    start: Instant,
+    since_check: u32,
+}
+
+impl DfsBudget {
+    fn new(opts: &DetOptions, start: Instant) -> Self {
+        Self {
+            deadline: opts.deadline,
+            deadline_at: opts.deadline_at,
+            max_joints: opts.max_joints,
+            start,
+            since_check: 0,
+        }
+    }
+
+    #[inline]
+    fn tick(&mut self, joints: u64) -> Result<()> {
+        self.since_check += 1;
+        if self.since_check >= 8192 {
+            self.since_check = 0;
+            self.check(joints)?;
+        }
+        Ok(())
+    }
+
+    #[cold]
+    fn check(&self, joints: u64) -> Result<()> {
+        if let Some(max) = self.max_joints {
+            if joints >= max {
+                return Err(ExactError::JointBudgetExceeded { joints_computed: joints, max });
+            }
+        }
+        if let Some(d) = self.deadline {
+            if self.start.elapsed() > d {
+                return Err(ExactError::DeadlineExceeded {
+                    elapsed: self.start.elapsed(),
+                    joints_computed: joints,
+                });
+            }
+        }
+        if let Some(at) = self.deadline_at {
+            if Instant::now() >= at {
+                return Err(ExactError::DeadlineExceeded {
+                    elapsed: self.start.elapsed(),
+                    joints_computed: joints,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 struct Ctx<'a> {
@@ -187,9 +292,7 @@ struct Ctx<'a> {
     mult: &'a mut [u32],
     acc: f64,
     joints: u64,
-    deadline: Option<Duration>,
-    start: Instant,
-    since_check: u32,
+    budget: DfsBudget,
     prune_zero: bool,
     prune_covered: bool,
 }
@@ -224,19 +327,7 @@ impl Ctx<'_> {
             }
             self.joints += 1;
             self.acc += if negative { -p } else { p };
-
-            self.since_check += 1;
-            if self.since_check >= 8192 {
-                self.since_check = 0;
-                if let Some(d) = self.deadline {
-                    if self.start.elapsed() > d {
-                        return Err(ExactError::DeadlineExceeded {
-                            elapsed: self.start.elapsed(),
-                            joints_computed: self.joints,
-                        });
-                    }
-                }
-            }
+            self.budget.tick(self.joints)?;
 
             let r =
                 if p > 0.0 || !self.prune_zero { self.dfs(i + 1, p, !negative) } else { Ok(()) };
@@ -255,9 +346,7 @@ struct MaskCtx<'a> {
     masks: &'a [u64],
     acc: f64,
     joints: u64,
-    deadline: Option<Duration>,
-    start: Instant,
-    since_check: u32,
+    budget: DfsBudget,
     prune_zero: bool,
     prune_covered: bool,
 }
@@ -282,19 +371,7 @@ impl MaskCtx<'_> {
             }
             self.joints += 1;
             self.acc += if negative { -p } else { p };
-
-            self.since_check += 1;
-            if self.since_check >= 8192 {
-                self.since_check = 0;
-                if let Some(d) = self.deadline {
-                    if self.start.elapsed() > d {
-                        return Err(ExactError::DeadlineExceeded {
-                            elapsed: self.start.elapsed(),
-                            joints_computed: self.joints,
-                        });
-                    }
-                }
-            }
+            self.budget.tick(self.joints)?;
 
             if p > 0.0 || !self.prune_zero {
                 self.dfs(i + 1, p, !negative, union | mask)?;

@@ -29,6 +29,7 @@ use crate::partition::partition;
 /// The two preprocessing toggles exist for the ablation study (X2 in
 /// DESIGN.md): production callers keep both on.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct DetPlusOptions {
     /// Budgets passed to the per-component inclusion–exclusion engine. The
     /// attacker ceiling applies to the *largest component*, not to `n`.
@@ -54,9 +55,28 @@ impl Default for DetPlusOptions {
 }
 
 impl DetPlusOptions {
-    /// Default pipeline with custom inclusion–exclusion budgets.
-    pub fn with_det(det: DetOptions) -> Self {
-        Self { det, ..Self::default() }
+    /// Set the inclusion–exclusion budgets for the per-component engine.
+    pub fn with_det(mut self, det: DetOptions) -> Self {
+        self.det = det;
+        self
+    }
+
+    /// Toggle absorption (Theorem 3).
+    pub fn with_absorption(mut self, on: bool) -> Self {
+        self.absorption = on;
+        self
+    }
+
+    /// Toggle partition (Theorem 4).
+    pub fn with_partition(mut self, on: bool) -> Self {
+        self.partition = on;
+        self
+    }
+
+    /// Toggle dropping of attackers containing an impossible coin.
+    pub fn with_prune_impossible(mut self, on: bool) -> Self {
+        self.prune_impossible = on;
+        self
     }
 }
 
@@ -133,12 +153,7 @@ pub fn sky_det_plus_view(view: &CoinView, opts: DetPlusOptions) -> Result<DetPlu
         let sub = work.restrict(g);
         let remaining =
             opts.det.deadline.map(|d| d.checked_sub(start.elapsed()).unwrap_or_default());
-        let det_opts = DetOptions {
-            max_attackers: opts.det.max_attackers,
-            deadline: remaining,
-            prune_zero: opts.det.prune_zero,
-            prune_covered: opts.det.prune_covered,
-        };
+        let det_opts = DetOptions { deadline: remaining, ..opts.det };
         let DetOutcome { sky: s, joints_computed, .. } = sky_det_view(&sub, det_opts)?;
         sky *= s;
         joints += joints_computed;

@@ -25,6 +25,13 @@ pub enum ExactError {
         /// Joint probabilities computed before giving up.
         joints_computed: u64,
     },
+    /// The joint-probability work budget was exhausted mid-computation.
+    JointBudgetExceeded {
+        /// Joint probabilities computed before giving up.
+        joints_computed: u64,
+        /// The configured ceiling.
+        max: u64,
+    },
     /// The naive enumerator's pair budget was exceeded.
     TooManyPairs {
         /// Relevant preference pairs in the instance.
@@ -52,6 +59,10 @@ impl fmt::Display for ExactError {
             ExactError::DeadlineExceeded { elapsed, joints_computed } => write!(
                 f,
                 "deadline exceeded after {elapsed:?} ({joints_computed} joint probabilities computed)"
+            ),
+            ExactError::JointBudgetExceeded { joints_computed, max } => write!(
+                f,
+                "joint-probability budget of {max} exhausted ({joints_computed} joints computed)"
             ),
             ExactError::TooManyPairs { pairs, max } => write!(
                 f,

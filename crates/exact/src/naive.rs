@@ -27,6 +27,7 @@ use crate::error::{ExactError, Result};
 
 /// Budgets for the naive enumerators.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct NaiveOptions {
     /// Maximum number of preference pairs (worlds grow as `3^pairs`).
     pub max_pairs: usize,
@@ -35,6 +36,14 @@ pub struct NaiveOptions {
 impl Default for NaiveOptions {
     fn default() -> Self {
         Self { max_pairs: 22 }
+    }
+}
+
+impl NaiveOptions {
+    /// Set the preference-pair ceiling.
+    pub fn with_max_pairs(mut self, max_pairs: usize) -> Self {
+        self.max_pairs = max_pairs;
+        self
     }
 }
 

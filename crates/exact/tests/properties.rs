@@ -118,7 +118,7 @@ proptest! {
     ) {
         prop_assume!(view.coin_probs().iter().all(|&p| p > 0.0));
         let n = view.n_attackers() as u32;
-        let literal = DetOptions { prune_covered: false, ..DetOptions::default() };
+        let literal = DetOptions::default().with_prune_covered(false);
         let out = sky_det_view(&view, literal).unwrap();
         prop_assert_eq!(out.joints_computed, (1u64 << n) - 1);
     }
@@ -127,7 +127,7 @@ proptest! {
     fn covered_cancellation_prunes_without_moving_the_answer(
         view in clause_system()
     ) {
-        let literal = DetOptions { prune_covered: false, ..DetOptions::default() };
+        let literal = DetOptions::default().with_prune_covered(false);
         let a = sky_det_view(&view, literal).unwrap();
         let b = sky_det_view(&view, DetOptions::default()).unwrap();
         prop_assert!(b.joints_computed <= a.joints_computed);

@@ -17,8 +17,8 @@ use std::time::Instant;
 
 use presky_core::types::ObjectId;
 
-use presky_approx::sampler::{sky_sam_view_with, SamOptions};
-use presky_approx::sprt::{sky_threshold_test_view, SprtOptions, ThresholdDecision};
+use presky_approx::sampler::sky_sam_view_with;
+use presky_approx::sprt::{sky_threshold_test_view, ThresholdDecision};
 use presky_exact::bounds::{sky_bounds_bonferroni, SkyBounds};
 use presky_exact::cache::{CacheEntry, ComponentCache};
 use presky_exact::det::{sky_det_view_with, DetOptions};
@@ -174,7 +174,10 @@ fn threshold_ladder_inner(
     let exact_work = plan::exact_cost(&s.partition);
     if largest <= opts.exact_component_limit && exact_work <= opts.exact_work_limit {
         stats.plan_exact += 1;
-        let det = DetOptions::with_max_attackers(opts.exact_component_limit);
+        let det = DetOptions::default()
+            .with_max_attackers(opts.exact_component_limit)
+            .with_deadline_at(opts.deadline_at)
+            .with_max_joints(opts.max_joints);
         let mut sky = 1.0;
         for g in 0..s.partition.n_groups() {
             let (factor, _) = component_factor(g, det, s, stats, cache)?;
@@ -197,7 +200,10 @@ fn threshold_ladder_inner(
     }
 
     // Rung 3: sequential test.
-    let sprt = SprtOptions { seed: opts.sprt.seed ^ target.0 as u64, ..opts.sprt };
+    let sprt = opts
+        .sprt
+        .with_seed(opts.sprt.seed ^ target.0 as u64)
+        .with_deadline_at(opts.deadline_at.or(opts.sprt.deadline_at));
     let out = sky_threshold_test_view(&s.work, tau, sprt)?;
     stats.samples_drawn += out.samples_used;
     match out.decision {
@@ -220,7 +226,10 @@ fn threshold_ladder_inner(
         ThresholdDecision::Undecided => {
             // Rung 4: fixed-budget estimate.
             stats.plan_fallback += 1;
-            let sam = SamOptions { seed: opts.fallback.seed ^ target.0 as u64, ..opts.fallback };
+            let sam = opts
+                .fallback
+                .with_seed(opts.fallback.seed ^ target.0 as u64)
+                .with_deadline_at(opts.deadline_at.or(opts.fallback.deadline_at));
             let out = sky_sam_view_with(&s.work, sam, &mut s.sam)?;
             stats.samples_drawn += out.samples;
             stats.coin_draws += out.coin_draws;

@@ -41,9 +41,80 @@ use crate::threshold::{Resolution, ThresholdAnswer, ThresholdOptions};
 mod execute;
 mod plan;
 mod prepare;
+mod resident;
 
 pub use plan::{exact_cost, largest_component, Plan, PlanReason};
 pub use prepare::{PrepareOptions, SkyScratch};
+pub use resident::{
+    all_sky_resident, sky_one_resident, threshold_resident, top_k_resident, ResidentOutcome,
+};
+
+/// Per-request work budget stamped into the exact and sampling engines.
+///
+/// `deadline_at` is an *absolute* cut-off so one value can be threaded
+/// through every stage of a request without re-deriving remaining time;
+/// `max_joints` caps the inclusion–exclusion work of a single solve. Both
+/// default to `None` (unlimited), in which case the stamped options are
+/// identical to the unstamped ones and every code path is bit-identical to
+/// the legacy entry points.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EngineBudget {
+    /// Absolute wall-clock cut-off for this request.
+    pub deadline_at: Option<Instant>,
+    /// Joint-probability ceiling for the exact engine. The resident batch
+    /// drivers treat this as a *request-wide* ledger (each object receives
+    /// the remaining allowance); a single solve treats it as its own cap.
+    pub max_joints: Option<u64>,
+    /// Monte-Carlo world ceiling, enforced by the resident batch drivers
+    /// at object boundaries (a single sampling run is already bounded by
+    /// its own `samples` option).
+    pub max_samples: Option<u64>,
+}
+
+impl EngineBudget {
+    /// Chainable: set (or clear) the absolute deadline.
+    pub fn with_deadline_at(mut self, deadline_at: Option<Instant>) -> Self {
+        self.deadline_at = deadline_at;
+        self
+    }
+
+    /// Chainable: set (or clear) the joint ceiling.
+    pub fn with_max_joints(mut self, max_joints: Option<u64>) -> Self {
+        self.max_joints = max_joints;
+        self
+    }
+
+    /// Chainable: set (or clear) the sampled-world ceiling.
+    pub fn with_max_samples(mut self, max_samples: Option<u64>) -> Self {
+        self.max_samples = max_samples;
+        self
+    }
+
+    /// Whether this budget constrains anything at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline_at.is_none() && self.max_joints.is_none() && self.max_samples.is_none()
+    }
+
+    /// Whether the deadline (if any) has already passed.
+    pub fn expired(&self) -> bool {
+        self.deadline_at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    pub(crate) fn stamp_det(
+        &self,
+        det: presky_exact::det::DetOptions,
+    ) -> presky_exact::det::DetOptions {
+        det.with_deadline_at(self.deadline_at).with_max_joints(self.max_joints)
+    }
+
+    pub(crate) fn stamp_sam(
+        &self,
+        sam: presky_approx::sampler::SamOptions,
+    ) -> presky_approx::sampler::SamOptions {
+        sam.with_deadline_at(self.deadline_at)
+    }
+}
 
 /// Number of buckets in [`PipelineStats::component_hist`].
 pub const HIST_BUCKETS: usize = 8;
@@ -245,21 +316,25 @@ impl fmt::Display for PipelineStats {
 // ------------------------------------------------------------ entry points
 
 /// Prepare, plan and execute one preassembled `s.view`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_view(
     object: ObjectId,
     algo: Algorithm,
+    budget: EngineBudget,
     prep: PrepareOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
     cache: Option<&ComponentCache>,
 ) -> Result<SkyResult> {
-    solve_view_explained(object, algo, prep, s, stats, cache).map(|(r, _)| r)
+    solve_view_explained(object, algo, budget, prep, s, stats, cache).map(|(r, _)| r)
 }
 
 /// [`solve_view`] returning the chosen [`Plan`] alongside the result.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_view_explained(
     object: ObjectId,
     algo: Algorithm,
+    budget: EngineBudget,
     prep: PrepareOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
@@ -269,7 +344,7 @@ pub(crate) fn solve_view_explained(
         return Ok((short, Plan::ShortCircuit));
     }
     let cache = if prep.component_cache { cache } else { None };
-    let mut decided = plan::plan(algo, s, stats);
+    let mut decided = plan::plan(algo, budget, s, stats);
     let result = execute::execute(object, &mut decided, s, stats, cache)?;
     Ok((result, decided))
 }
@@ -305,7 +380,17 @@ pub fn solve_one_explained<M: PreferenceModel>(
     stats: &mut PipelineStats,
 ) -> Result<(SkyResult, Plan)> {
     let cache = ComponentCache::default();
-    solve_one_explained_cached(table, prefs, target, algo, prep, scratch, stats, Some(&cache))
+    solve_one_explained_cached(
+        table,
+        prefs,
+        target,
+        algo,
+        EngineBudget::default(),
+        prep,
+        scratch,
+        stats,
+        Some(&cache),
+    )
 }
 
 /// [`solve_one_explained`] against a caller-owned component cache — the
@@ -316,6 +401,7 @@ pub(crate) fn solve_one_explained_cached<M: PreferenceModel>(
     prefs: &M,
     target: ObjectId,
     algo: Algorithm,
+    budget: EngineBudget,
     prep: PrepareOptions,
     scratch: &mut SkyScratch,
     stats: &mut PipelineStats,
@@ -324,7 +410,7 @@ pub(crate) fn solve_one_explained_cached<M: PreferenceModel>(
     let t0 = Instant::now();
     scratch.view = CoinView::build(table, prefs, target)?;
     stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
-    solve_view_explained(target, algo, prep, scratch, stats, cache)
+    solve_view_explained(target, algo, budget, prep, scratch, stats, cache)
 }
 
 /// One target through the batch assembly path (shared coin indexes).
@@ -334,6 +420,7 @@ pub(crate) fn solve_batch_one<M: PreferenceModel>(
     prefs: &M,
     target: ObjectId,
     algo: Algorithm,
+    budget: EngineBudget,
     prep: PrepareOptions,
     scratch: &mut SkyScratch,
     stats: &mut PipelineStats,
@@ -342,7 +429,7 @@ pub(crate) fn solve_batch_one<M: PreferenceModel>(
     let t0 = Instant::now();
     ctx.view_into(prefs, target, &mut scratch.batch, &mut scratch.view)?;
     stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
-    solve_view(target, algo, prep, scratch, stats, cache)
+    solve_view(target, algo, budget, prep, scratch, stats, cache)
 }
 
 /// Decide `sky(target) ≥ τ` on a preassembled `s.view`: Prepare with the

@@ -21,7 +21,7 @@ use presky_exact::det::DetOptions;
 use presky_exact::partition::PartitionScratch;
 
 use super::prepare::SkyScratch;
-use super::PipelineStats;
+use super::{EngineBudget, PipelineStats};
 use crate::prob_skyline::Algorithm;
 
 /// Why the planner chose the branch it chose.
@@ -134,11 +134,22 @@ pub fn component_sizes(partition: &PartitionScratch) -> Vec<usize> {
 }
 
 /// Decide the plan for the prepared target in `s` under `algo`.
-pub(crate) fn plan(algo: Algorithm, s: &SkyScratch, stats: &mut PipelineStats) -> Plan {
+///
+/// The request budget is stamped into whichever engine options the plan
+/// selects (deadline + joint ceiling for exact, deadline for sampling);
+/// it never influences the exact-vs-sample decision itself, so budgeted
+/// and unbudgeted runs choose identical plans and differ only in whether
+/// execution is allowed to finish.
+pub(crate) fn plan(
+    algo: Algorithm,
+    budget: EngineBudget,
+    s: &SkyScratch,
+    stats: &mut PipelineStats,
+) -> Plan {
     let t0 = std::time::Instant::now();
     let decided = match algo {
         Algorithm::Exact { det } => Plan::Exact {
-            det,
+            det: budget.stamp_det(det),
             components: s.partition.n_groups(),
             largest: largest_component(&s.partition),
             component_sizes: component_sizes(&s.partition),
@@ -147,7 +158,7 @@ pub(crate) fn plan(algo: Algorithm, s: &SkyScratch, stats: &mut PipelineStats) -
             reason: PlanReason::Forced,
         },
         Algorithm::Sampling(sam) => Plan::Sample {
-            sam,
+            sam: budget.stamp_sam(sam),
             predicted_cost: sam.predicted_cost(s.work.n_attackers(), s.work.n_coins()),
             reason: PlanReason::Forced,
         },
@@ -165,7 +176,8 @@ pub(crate) fn plan(algo: Algorithm, s: &SkyScratch, stats: &mut PipelineStats) -
                 sam.predicted_cost(s.work.n_attackers(), s.work.n_coins()).max(1 << 22);
             if largest <= exact_component_limit && lattice <= sample_cost {
                 Plan::Exact {
-                    det: DetOptions::with_max_attackers(exact_component_limit),
+                    det: budget
+                        .stamp_det(DetOptions::default().with_max_attackers(exact_component_limit)),
                     components: s.partition.n_groups(),
                     largest,
                     component_sizes: component_sizes(&s.partition),
@@ -175,7 +187,7 @@ pub(crate) fn plan(algo: Algorithm, s: &SkyScratch, stats: &mut PipelineStats) -
                 }
             } else {
                 Plan::Sample {
-                    sam,
+                    sam: budget.stamp_sam(sam),
                     predicted_cost: sample_cost,
                     reason: if largest > exact_component_limit {
                         PlanReason::ComponentTooLarge

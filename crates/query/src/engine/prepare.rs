@@ -82,6 +82,7 @@ impl Default for SkyScratch {
 /// stages off is value-preserving but changes cost: it exists for the
 /// bench ablations and for the CLI's raw-algorithm labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct PrepareOptions {
     /// Exit with an exact `sky = 0` when some attacker dominates with
     /// certainty (every coin probability 1).
@@ -133,6 +134,36 @@ impl PrepareOptions {
             partition: false,
             component_cache: true,
         }
+    }
+
+    /// Chainable: toggle the certain-attacker short-circuit.
+    pub fn with_short_circuit(mut self, on: bool) -> Self {
+        self.short_circuit = on;
+        self
+    }
+
+    /// Chainable: toggle impossible-coin pruning.
+    pub fn with_prune_impossible(mut self, on: bool) -> Self {
+        self.prune_impossible = on;
+        self
+    }
+
+    /// Chainable: toggle absorption.
+    pub fn with_absorption(mut self, on: bool) -> Self {
+        self.absorption = on;
+        self
+    }
+
+    /// Chainable: toggle the independence partition.
+    pub fn with_partition(mut self, on: bool) -> Self {
+        self.partition = on;
+        self
+    }
+
+    /// Chainable: toggle component-cache participation.
+    pub fn with_component_cache(mut self, on: bool) -> Self {
+        self.component_cache = on;
+        self
     }
 }
 

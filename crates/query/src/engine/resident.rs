@@ -1,0 +1,478 @@
+//! Resident batch drivers — the engine face of the service layer.
+//!
+//! The one-shot entry points (`all_sky`, `threshold_skyline`, …) index the
+//! table, answer, and throw the index away. A long-lived service cannot
+//! afford that: the [`BatchCoinContext`] (dense value codes, posting
+//! lists, the `pr_strict` memo) and the cross-target [`ComponentCache`]
+//! are exactly the state worth keeping warm across requests. The functions
+//! here run the same Prepare → Plan → Execute pipeline as the one-shot
+//! drivers but against *caller-owned* context and cache, and they accept a
+//! per-request [`EngineBudget`]:
+//!
+//! * the **deadline** is stamped into the exact DFS (checked every 8192
+//!   joints) and the samplers (checked every 64-world block);
+//! * the **joint/sample ledgers** are request-wide: each object charges
+//!   the work it consumed, and objects starting after exhaustion are
+//!   skipped outright;
+//! * a budget trip never yields a wrong value — the tripped object's slot
+//!   is `None` and `truncated` counts it; every `Some` value is
+//!   bit-identical to the unbudgeted run of the same options.
+//!
+//! With `EngineBudget::default()` (unlimited) the outputs are bit-identical
+//! to the corresponding one-shot entry points, proptest-guarded in
+//! `crates/query/tests/properties.rs` and the service-layer stress tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use presky_core::batch::BatchCoinContext;
+use presky_core::preference::PreferenceModel;
+use presky_core::types::ObjectId;
+
+use presky_approx::sampler::SamOptions;
+use presky_exact::cache::ComponentCache;
+
+use super::{EngineBudget, PipelineStats, PrepareOptions, SkyScratch};
+use crate::error::Result;
+use crate::prob_skyline::{reseed, Algorithm, QueryOptions, SkyResult};
+use crate::threshold::{validate_tau, ThresholdAnswer, ThresholdOptions};
+use crate::topk::{sort_desc, TopKOptions};
+
+/// A budgeted batch answer: one slot per object, `None` where the budget
+/// ran out before (or while) that object was solved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidentOutcome<T> {
+    /// Per-object results in object order; `None` marks a truncated slot.
+    /// Every `Some` value is bit-identical to the unbudgeted run.
+    pub results: Vec<Option<T>>,
+    /// Aggregated pipeline statistics over the objects that ran.
+    pub stats: PipelineStats,
+    /// Objects whose slot was truncated by the budget.
+    pub truncated: u64,
+}
+
+impl<T> ResidentOutcome<T> {
+    /// Whether every object completed within budget.
+    pub fn complete(&self) -> bool {
+        self.truncated == 0
+    }
+}
+
+/// Request-wide work ledgers shared by all workers of one request.
+///
+/// `charge` is called with the per-object deltas of the worker's local
+/// [`PipelineStats`], so the ledgers see *logical* work (cache hits re-add
+/// the joints the cached solve computed) and stay comparable across warm
+/// and cold caches.
+struct Ledger {
+    max_joints: Option<u64>,
+    max_samples: Option<u64>,
+    joints: AtomicU64,
+    samples: AtomicU64,
+    truncated: AtomicU64,
+}
+
+impl Ledger {
+    fn new(budget: &EngineBudget) -> Self {
+        Self {
+            max_joints: budget.max_joints,
+            max_samples: budget.max_samples,
+            joints: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+        }
+    }
+
+    /// Joints still available, `None` when unlimited.
+    fn remaining_joints(&self) -> Option<u64> {
+        self.max_joints.map(|max| max.saturating_sub(self.joints.load(Ordering::Relaxed)))
+    }
+
+    /// Whether a new object may start at all.
+    fn admits(&self, budget: &EngineBudget) -> bool {
+        if budget.expired() {
+            return false;
+        }
+        if self.remaining_joints() == Some(0) {
+            return false;
+        }
+        if let Some(max) = self.max_samples {
+            if self.samples.load(Ordering::Relaxed) >= max {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn charge(&self, joints: u64, samples: u64) {
+        if self.max_joints.is_some() && joints > 0 {
+            self.joints.fetch_add(joints, Ordering::Relaxed);
+        }
+        if self.max_samples.is_some() && samples > 0 {
+            self.samples.fetch_add(samples, Ordering::Relaxed);
+        }
+    }
+
+    fn truncate_one(&self) {
+        self.truncated.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Run one object's closure under the ledger: admission check, per-object
+/// budget stamp, delta charging, and budget-trip → `None` conversion.
+fn run_budgeted<T>(
+    ledger: &Ledger,
+    budget: &EngineBudget,
+    stats: &mut PipelineStats,
+    f: impl FnOnce(EngineBudget, &mut PipelineStats) -> Result<T>,
+) -> Result<Option<T>> {
+    if !ledger.admits(budget) {
+        ledger.truncate_one();
+        return Ok(None);
+    }
+    // Each object receives the *remaining* joint allowance, so one monster
+    // DFS cannot silently overrun the request-wide ledger between charges.
+    let per_object = budget.with_max_joints(ledger.remaining_joints());
+    let joints_before = stats.joints_computed;
+    let samples_before = stats.samples_drawn;
+    let outcome = f(per_object, stats);
+    ledger.charge(stats.joints_computed - joints_before, stats.samples_drawn - samples_before);
+    match outcome {
+        Ok(v) => Ok(Some(v)),
+        Err(e) if e.is_budget_exhausted() => {
+            ledger.truncate_one();
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// All-objects skyline probabilities against a resident context.
+///
+/// The budget-free equivalent of the one-shot `all_sky_with_stats`, minus
+/// the per-request index build: results are bit-identical when
+/// `budget` is unlimited (same per-object seed decorrelation).
+pub fn all_sky_resident<M: PreferenceModel + Sync>(
+    ctx: &BatchCoinContext,
+    prefs: &M,
+    opts: QueryOptions,
+    cache: Option<&ComponentCache>,
+    budget: EngineBudget,
+) -> Result<ResidentOutcome<SkyResult>> {
+    let n = ctx.n_objects();
+    let threads = super::effective_threads(opts.threads, n);
+    let prep = PrepareOptions::default().with_component_cache(opts.component_cache);
+    let ledger = Ledger::new(&budget);
+    let (results, stats) = super::run_chunked(n, threads, |i, scratch, stats| {
+        run_budgeted(&ledger, &budget, stats, |per_object, stats| {
+            let algo = reseed(opts.algorithm, i as u64);
+            super::solve_batch_one(
+                ctx,
+                prefs,
+                ObjectId::from(i),
+                algo,
+                per_object,
+                prep,
+                scratch,
+                stats,
+                cache,
+            )
+        })
+    });
+    let results = results.into_iter().collect::<Result<Vec<_>>>()?;
+    Ok(ResidentOutcome { results, stats, truncated: ledger.truncated.into_inner() })
+}
+
+/// One object's skyline probability against a resident context.
+///
+/// Deliberately *not* seed-decorrelated: with an unlimited budget the
+/// value is bit-identical to the one-shot `sky_one` of the same policy.
+pub fn sky_one_resident<M: PreferenceModel>(
+    ctx: &BatchCoinContext,
+    prefs: &M,
+    target: ObjectId,
+    opts: QueryOptions,
+    cache: Option<&ComponentCache>,
+    budget: EngineBudget,
+) -> Result<ResidentOutcome<SkyResult>> {
+    let prep = PrepareOptions::default().with_component_cache(opts.component_cache);
+    let ledger = Ledger::new(&budget);
+    let mut scratch = SkyScratch::default();
+    let mut stats = PipelineStats::default();
+    let result = run_budgeted(&ledger, &budget, &mut stats, |per_object, stats| {
+        super::solve_batch_one(
+            ctx,
+            prefs,
+            target,
+            opts.algorithm,
+            per_object,
+            prep,
+            &mut scratch,
+            stats,
+            cache,
+        )
+    })?;
+    Ok(ResidentOutcome { results: vec![result], stats, truncated: ledger.truncated.into_inner() })
+}
+
+/// Threshold membership for every object against a resident context.
+///
+/// The request budget rides on top of any limits already present in
+/// `opts` (the earlier deadline wins; the ladder's own `sprt`/`fallback`
+/// deadlines are preserved).
+pub fn threshold_resident<M: PreferenceModel + Sync>(
+    ctx: &BatchCoinContext,
+    prefs: &M,
+    tau: f64,
+    opts: ThresholdOptions,
+    cache: Option<&ComponentCache>,
+    budget: EngineBudget,
+) -> Result<ResidentOutcome<ThresholdAnswer>> {
+    validate_tau(tau)?;
+    let n = ctx.n_objects();
+    let threads = super::effective_threads(opts.threads, n);
+    let ledger = Ledger::new(&budget);
+    let base_deadline = earlier(opts.deadline_at, budget.deadline_at);
+    let (results, stats) = super::run_chunked(n, threads, |i, scratch, stats| {
+        run_budgeted(&ledger, &budget, stats, |per_object, stats| {
+            let per_opts = opts
+                .with_deadline_at(base_deadline)
+                .with_max_joints(min_opt(opts.max_joints, per_object.max_joints));
+            super::threshold_batch_one(
+                ctx,
+                prefs,
+                ObjectId::from(i),
+                tau,
+                per_opts,
+                scratch,
+                stats,
+                cache,
+            )
+        })
+    });
+    let results = results.into_iter().collect::<Result<Vec<_>>>()?;
+    Ok(ResidentOutcome { results, stats, truncated: ledger.truncated.into_inner() })
+}
+
+/// Two-phase top-k against a resident context.
+///
+/// Scout and refine both charge the request ledgers. A scout slot
+/// truncated by the budget drops out of candidacy (its probability is
+/// unknown); a refine trip keeps the candidate's scout estimate — still a
+/// correct (lower-fidelity) value, never a fabricated one. The returned
+/// `results` vector holds the final ranking (`Some` for each of the up-to
+/// `k` ranked objects); `truncated` counts both kinds of budget trips.
+pub fn top_k_resident<M: PreferenceModel + Sync>(
+    ctx: &BatchCoinContext,
+    prefs: &M,
+    k: usize,
+    opts: TopKOptions,
+    cache: Option<&ComponentCache>,
+    budget: EngineBudget,
+) -> Result<ResidentOutcome<SkyResult>> {
+    if k == 0 || opts.overfetch == 0 {
+        return Err(crate::error::QueryError::ZeroK);
+    }
+    let cache = if opts.component_cache { cache } else { None };
+
+    // Phase 1: scout everything (same policy and seeds as the one-shot
+    // driver, so unbudgeted scout values are bit-identical to it).
+    let scout_opts = QueryOptions::default()
+        .with_algorithm(Algorithm::Adaptive {
+            exact_component_limit: opts.exact_component_limit,
+            sam: opts.scout,
+        })
+        .with_threads(opts.threads)
+        .with_component_cache(opts.component_cache);
+    let scout = all_sky_resident(ctx, prefs, scout_opts, cache, budget)?;
+    let mut stats = scout.stats;
+    let mut truncated = scout.truncated;
+    let mut scouted: Vec<SkyResult> = scout.results.into_iter().flatten().collect();
+    sort_desc(&mut scouted);
+
+    // Phase 2: refine the head of the ranking, serially, sharing one
+    // scratch (bit-identical to fresh scratch per target).
+    let ledger = Ledger::new(&budget);
+    ledger.charge(stats.joints_computed, stats.samples_drawn);
+    let cut = (k.saturating_mul(opts.overfetch)).min(scouted.len());
+    let mut refined: Vec<SkyResult> = Vec::with_capacity(cut);
+    let mut scratch = SkyScratch::default();
+    let prep = PrepareOptions::default().with_component_cache(opts.component_cache);
+    for r in &scouted[..cut] {
+        if r.exact {
+            refined.push(*r);
+            continue;
+        }
+        let algo = Algorithm::Adaptive {
+            exact_component_limit: opts.exact_component_limit,
+            sam: refine_seed(opts.refine, r.object),
+        };
+        let slot = run_budgeted(&ledger, &budget, &mut stats, |per_object, stats| {
+            super::solve_batch_one(
+                ctx,
+                prefs,
+                r.object,
+                algo,
+                per_object,
+                prep,
+                &mut scratch,
+                stats,
+                cache,
+            )
+        })?;
+        // A refine trip keeps the scout estimate: correct, just coarser.
+        refined.push(slot.unwrap_or(*r));
+    }
+    truncated += ledger.truncated.into_inner();
+    sort_desc(&mut refined);
+    refined.truncate(k);
+    Ok(ResidentOutcome { results: refined.into_iter().map(Some).collect(), stats, truncated })
+}
+
+/// The one-shot driver's refine-phase seed decorrelation, verbatim.
+fn refine_seed(refine: SamOptions, object: ObjectId) -> SamOptions {
+    refine.with_seed(refine.seed ^ (object.0 as u64).wrapping_mul(0x9e37))
+}
+
+fn earlier(
+    a: Option<std::time::Instant>,
+    b: Option<std::time::Instant>,
+) -> Option<std::time::Instant> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+fn min_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::{Duration, Instant};
+
+    use presky_core::preference::{PrefPair, TablePreferences};
+    use presky_core::table::Table;
+
+    use super::*;
+
+    fn fixture() -> (Table, TablePreferences) {
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
+        (t, TablePreferences::with_default(PrefPair::half()))
+    }
+
+    #[test]
+    fn unbudgeted_resident_matches_one_shot_bitwise() {
+        let (t, p) = fixture();
+        let ctx = BatchCoinContext::build(&t).unwrap();
+        let cache = ComponentCache::default();
+        let resident = all_sky_resident(
+            &ctx,
+            &p,
+            QueryOptions::default(),
+            Some(&cache),
+            EngineBudget::default(),
+        )
+        .unwrap();
+        assert!(resident.complete());
+        let (one_shot, _) =
+            crate::prob_skyline::all_sky_inner(&t, &p, QueryOptions::default()).unwrap();
+        for (r, o) in resident.results.iter().zip(&one_shot) {
+            let r = r.expect("unlimited budget truncates nothing");
+            assert_eq!(r.sky.to_bits(), o.sky.to_bits());
+            assert_eq!(r.exact, o.exact);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_truncates_everything_and_returns_no_values() {
+        let (t, p) = fixture();
+        let ctx = BatchCoinContext::build(&t).unwrap();
+        let budget =
+            EngineBudget::default().with_deadline_at(Some(Instant::now() - Duration::from_secs(1)));
+        let out = all_sky_resident(&ctx, &p, QueryOptions::default(), None, budget).unwrap();
+        assert_eq!(out.truncated, t.len() as u64);
+        assert!(out.results.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn joint_ledger_truncates_the_tail_but_never_corrupts_completed_slots() {
+        let (t, p) = fixture();
+        let ctx = BatchCoinContext::build(&t).unwrap();
+        let full = all_sky_resident(
+            &ctx,
+            &p,
+            QueryOptions::default().with_threads(Some(1)),
+            None,
+            EngineBudget::default(),
+        )
+        .unwrap();
+        let tiny = all_sky_resident(
+            &ctx,
+            &p,
+            QueryOptions::default().with_threads(Some(1)),
+            None,
+            EngineBudget::default().with_max_joints(Some(3)),
+        )
+        .unwrap();
+        assert!(tiny.truncated > 0, "a 3-joint ledger cannot cover the batch");
+        for (got, want) in tiny.results.iter().zip(&full.results) {
+            if let Some(got) = got {
+                assert_eq!(got.sky.to_bits(), want.unwrap().sky.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_resident_matches_one_shot() {
+        let (t, p) = fixture();
+        let ctx = BatchCoinContext::build(&t).unwrap();
+        let out = threshold_resident(
+            &ctx,
+            &p,
+            0.15,
+            ThresholdOptions::default(),
+            None,
+            EngineBudget::default(),
+        )
+        .unwrap();
+        assert!(out.complete());
+        let (one_shot, _) =
+            crate::threshold::threshold_skyline_inner(&t, &p, 0.15, ThresholdOptions::default())
+                .unwrap();
+        for (r, o) in out.results.iter().zip(&one_shot) {
+            assert_eq!(r.unwrap(), *o);
+        }
+    }
+
+    #[test]
+    fn top_k_resident_matches_one_shot() {
+        let (t, p) = fixture();
+        let ctx = BatchCoinContext::build(&t).unwrap();
+        let out =
+            top_k_resident(&ctx, &p, 3, TopKOptions::default(), None, EngineBudget::default())
+                .unwrap();
+        let one_shot = crate::topk::top_k_inner(&t, &p, 3, TopKOptions::default()).unwrap();
+        assert_eq!(out.results.len(), one_shot.len());
+        for (r, o) in out.results.iter().zip(&one_shot) {
+            assert_eq!(r.unwrap(), *o);
+        }
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        let (t, p) = fixture();
+        let ctx = BatchCoinContext::build(&t).unwrap();
+        assert!(matches!(
+            top_k_resident(&ctx, &p, 0, TopKOptions::default(), None, EngineBudget::default()),
+            Err(crate::error::QueryError::ZeroK)
+        ));
+    }
+}

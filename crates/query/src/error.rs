@@ -48,6 +48,24 @@ impl fmt::Display for QueryError {
     }
 }
 
+impl QueryError {
+    /// Whether this error reports an exhausted per-request budget (wall
+    /// clock or joint/sample ceiling) rather than a genuine failure.
+    ///
+    /// The service layer uses this to convert budget trips into the typed
+    /// `DeadlineExceeded` outcome while letting real errors propagate.
+    pub fn is_budget_exhausted(&self) -> bool {
+        match self {
+            QueryError::Exact(e) => matches!(
+                e,
+                ExactError::DeadlineExceeded { .. } | ExactError::JointBudgetExceeded { .. }
+            ),
+            QueryError::Approx(e) => matches!(e, ApproxError::DeadlineExceeded { .. }),
+            _ => false,
+        }
+    }
+}
+
 impl std::error::Error for QueryError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {

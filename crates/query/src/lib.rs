@@ -47,16 +47,24 @@ pub mod prelude {
         dominates_certain, skyline_bnl, skyline_naive_certain, skyline_sfs, CertainPreferences,
         Degenerate,
     };
-    pub use crate::engine::{PipelineStats, Plan, PlanReason, PrepareOptions};
+    pub use crate::engine::{
+        all_sky_resident, sky_one_resident, threshold_resident, top_k_resident, EngineBudget,
+        PipelineStats, Plan, PlanReason, PrepareOptions, ResidentOutcome,
+    };
     pub use crate::error::QueryError;
     pub use crate::oracle::all_sky_naive;
+    #[allow(deprecated)]
+    pub use crate::prob_skyline::{all_sky, all_sky_with_stats, sky_one, sky_one_with};
     pub use crate::prob_skyline::{
-        all_sky, all_sky_with_stats, probabilistic_skyline, sky_one, sky_one_with, Algorithm,
-        QueryOptions, SkyResult, SkyScratch,
+        probabilistic_skyline, Algorithm, QueryOptions, SkyResult, SkyScratch,
     };
     pub use crate::threshold::{
-        resolution_stats, threshold_one, threshold_skyline, threshold_skyline_with_stats,
-        Resolution, ResolutionStats, ThresholdAnswer, ThresholdOptions,
+        resolution_stats, threshold_one, Resolution, ResolutionStats, ThresholdAnswer,
+        ThresholdOptions,
     };
-    pub use crate::topk::{top_k_skyline, TopKOptions};
+    #[allow(deprecated)]
+    pub use crate::threshold::{threshold_skyline, threshold_skyline_with_stats};
+    #[allow(deprecated)]
+    pub use crate::topk::top_k_skyline;
+    pub use crate::topk::TopKOptions;
 }

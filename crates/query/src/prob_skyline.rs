@@ -80,17 +80,40 @@ pub struct SkyResult {
 }
 
 /// Compute one object's skyline probability under the policy.
+#[deprecated(
+    since = "0.2.0",
+    note = "route single-object queries through `presky_service::Engine` with a \
+            `Request::sky_one(..)` (or `presky_query::engine::solve_one` for a direct \
+            call); see DESIGN.md §10 for the migration"
+)]
 pub fn sky_one<M: PreferenceModel>(
     table: &Table,
     prefs: &M,
     target: ObjectId,
     algo: Algorithm,
 ) -> Result<SkyResult> {
-    sky_one_with(table, prefs, target, algo, &mut SkyScratch::default())
+    sky_one_inner(table, prefs, target, algo, &mut SkyScratch::default())
 }
 
 /// [`sky_one`] with caller-provided scratch, for repeated queries.
+#[deprecated(
+    since = "0.2.0",
+    note = "route single-object queries through `presky_service::Engine` with a \
+            `Request::sky_one(..)` (or `presky_query::engine::solve_one` for a direct \
+            call); see DESIGN.md §10 for the migration"
+)]
 pub fn sky_one_with<M: PreferenceModel>(
+    table: &Table,
+    prefs: &M,
+    target: ObjectId,
+    algo: Algorithm,
+    scratch: &mut SkyScratch,
+) -> Result<SkyResult> {
+    sky_one_inner(table, prefs, target, algo, scratch)
+}
+
+/// Shared implementation of the deprecated single-object entry points.
+pub(crate) fn sky_one_inner<M: PreferenceModel>(
     table: &Table,
     prefs: &M,
     target: ObjectId,
@@ -103,6 +126,7 @@ pub fn sky_one_with<M: PreferenceModel>(
 
 /// Options of the all-objects query driver.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct QueryOptions {
     /// Per-object policy.
     pub algorithm: Algorithm,
@@ -120,23 +144,66 @@ impl Default for QueryOptions {
     }
 }
 
+impl QueryOptions {
+    /// Chainable: set the per-object policy.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Chainable: set the worker thread count (`None` = available
+    /// parallelism).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Chainable: toggle the cross-target component cache.
+    pub fn with_component_cache(mut self, on: bool) -> Self {
+        self.component_cache = on;
+        self
+    }
+}
+
 /// Compute the skyline probability of **every** object, in parallel.
 ///
 /// The table is indexed once; workers then assemble each target's view by
 /// array lookups and solve it with per-worker reusable scratch. Results
 /// are in object order and bit-identical to a [`sky_one`] loop with the
 /// same options. Requires `M: Sync` (all provided models are).
+#[deprecated(
+    since = "0.2.0",
+    note = "route all-objects queries through `presky_service::Engine` with a \
+            `Request::all_sky(..)` (or `presky_query::engine::all_sky_resident` against \
+            a prebuilt `BatchCoinContext`); see DESIGN.md §10 for the migration"
+)]
 pub fn all_sky<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
     opts: QueryOptions,
 ) -> Result<Vec<SkyResult>> {
-    all_sky_with_stats(table, prefs, opts).map(|(results, _)| results)
+    all_sky_inner(table, prefs, opts).map(|(results, _)| results)
 }
 
 /// [`all_sky`] returning the aggregated per-stage [`PipelineStats`]
 /// alongside the results.
+#[deprecated(
+    since = "0.2.0",
+    note = "route all-objects queries through `presky_service::Engine` with a \
+            `Request::all_sky(..)` (or `presky_query::engine::all_sky_resident` against \
+            a prebuilt `BatchCoinContext`); see DESIGN.md §10 for the migration"
+)]
 pub fn all_sky_with_stats<M: PreferenceModel + Sync>(
+    table: &Table,
+    prefs: &M,
+    opts: QueryOptions,
+) -> Result<(Vec<SkyResult>, PipelineStats)> {
+    all_sky_inner(table, prefs, opts)
+}
+
+/// Shared implementation of the deprecated one-shot all-objects entry
+/// points: index the table, run the batch, tear everything down again.
+pub(crate) fn all_sky_inner<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
     opts: QueryOptions,
@@ -160,15 +227,24 @@ pub(crate) fn all_sky_with_stats_cached<M: PreferenceModel + Sync>(
     let (results, stats) = engine::run_chunked(n, threads, |i, scratch, stats| {
         // Per-object seed decorrelation for sampling policies.
         let algo = reseed(opts.algorithm, i as u64);
-        engine::solve_batch_one(&ctx, prefs, ObjectId::from(i), algo, prep, scratch, stats, cache)
+        engine::solve_batch_one(
+            &ctx,
+            prefs,
+            ObjectId::from(i),
+            algo,
+            engine::EngineBudget::default(),
+            prep,
+            scratch,
+            stats,
+            cache,
+        )
     });
     let results = results.into_iter().collect::<Result<Vec<_>>>()?;
     Ok((results, stats))
 }
 
 pub(crate) fn reseed(algo: Algorithm, salt: u64) -> Algorithm {
-    let mix =
-        |s: SamOptions| SamOptions { seed: s.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15), ..s };
+    let mix = |s: SamOptions| s.with_seed(s.seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     match algo {
         Algorithm::Adaptive { exact_component_limit, sam } => {
             Algorithm::Adaptive { exact_component_limit, sam: mix(sam) }
@@ -193,7 +269,7 @@ pub fn probabilistic_skyline<M: PreferenceModel + Sync>(
     if !(tau > 0.0 && tau < 1.0) {
         return Err(QueryError::InvalidThreshold { value: tau });
     }
-    let mut all = all_sky(table, prefs, opts)?;
+    let (mut all, _) = all_sky_inner(table, prefs, opts)?;
     all.retain(|r| r.sky >= tau);
     all.sort_by(|a, b| b.sky.total_cmp(&a.sky));
     Ok(all)
@@ -201,6 +277,9 @@ pub fn probabilistic_skyline<M: PreferenceModel + Sync>(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated one-shot entry points stay under test until removal.
+    #![allow(deprecated)]
+
     use presky_core::preference::{DeterministicOrder, PrefPair, TablePreferences};
     use presky_exact::det::DetOptions;
 
@@ -309,7 +388,7 @@ mod tests {
         let t = Table::from_rows_raw(2, &rows).unwrap();
         let p = TablePreferences::with_default(PrefPair::half());
         let opts = QueryOptions {
-            algorithm: Algorithm::Exact { det: DetOptions::with_max_attackers(3) },
+            algorithm: Algorithm::Exact { det: DetOptions::default().with_max_attackers(3) },
             threads: Some(1),
             ..Default::default()
         };

@@ -22,6 +22,8 @@
 //! harness can report how much work the pruning saves; the aggregated
 //! [`PipelineStats`] additionally carries rung counters and stage times.
 
+use std::time::Instant;
+
 use presky_core::batch::BatchCoinContext;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
@@ -65,6 +67,7 @@ pub struct ThresholdAnswer {
 
 /// Options of the threshold query.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct ThresholdOptions {
     /// Bonferroni depth for the certified bounds (level 1 is `O(n·d)`;
     /// level 2 adds `O(n²·d)` worst case but is computed on the
@@ -87,6 +90,12 @@ pub struct ThresholdOptions {
     /// Share exact-rung component results across targets through the
     /// hash-consed component cache (bit-identical either way).
     pub component_cache: bool,
+    /// Absolute wall-clock cut-off stamped into every ladder rung
+    /// (exact DFS, sequential test, fallback sampler). A tripped deadline
+    /// surfaces as a budget error, never as a fabricated verdict.
+    pub deadline_at: Option<Instant>,
+    /// Joint-probability ceiling stamped into the exact rung.
+    pub max_joints: Option<u64>,
 }
 
 impl Default for ThresholdOptions {
@@ -99,11 +108,70 @@ impl Default for ThresholdOptions {
             fallback: SamOptions::default(),
             threads: None,
             component_cache: true,
+            deadline_at: None,
+            max_joints: None,
         }
     }
 }
 
-fn validate_tau(tau: f64) -> Result<()> {
+impl ThresholdOptions {
+    /// Chainable: set the Bonferroni depth of the bounds rung.
+    pub fn with_bonferroni_level(mut self, level: usize) -> Self {
+        self.bonferroni_level = level;
+        self
+    }
+
+    /// Chainable: set the exact rung's component-size limit.
+    pub fn with_exact_component_limit(mut self, limit: usize) -> Self {
+        self.exact_component_limit = limit;
+        self
+    }
+
+    /// Chainable: set the exact rung's summed lattice-work limit.
+    pub fn with_exact_work_limit(mut self, limit: u64) -> Self {
+        self.exact_work_limit = limit;
+        self
+    }
+
+    /// Chainable: set the sequential-test configuration.
+    pub fn with_sprt(mut self, sprt: SprtOptions) -> Self {
+        self.sprt = sprt;
+        self
+    }
+
+    /// Chainable: set the fixed-budget fallback sampler.
+    pub fn with_fallback(mut self, fallback: SamOptions) -> Self {
+        self.fallback = fallback;
+        self
+    }
+
+    /// Chainable: set the worker thread count (`None` = available
+    /// parallelism).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Chainable: toggle the cross-target component cache.
+    pub fn with_component_cache(mut self, on: bool) -> Self {
+        self.component_cache = on;
+        self
+    }
+
+    /// Chainable: set (or clear) the absolute wall-clock cut-off.
+    pub fn with_deadline_at(mut self, deadline_at: Option<Instant>) -> Self {
+        self.deadline_at = deadline_at;
+        self
+    }
+
+    /// Chainable: set (or clear) the exact rung's joint ceiling.
+    pub fn with_max_joints(mut self, max_joints: Option<u64>) -> Self {
+        self.max_joints = max_joints;
+        self
+    }
+}
+
+pub(crate) fn validate_tau(tau: f64) -> Result<()> {
     if tau.is_nan() || !(0.0..=1.0).contains(&tau) {
         return Err(QueryError::InvalidThreshold { value: tau });
     }
@@ -131,19 +199,42 @@ pub fn threshold_one<M: PreferenceModel>(
 /// [`BatchCoinContext`]; workers assemble views by array lookups, keep
 /// per-worker scratch, and their chunked results are stitched in order
 /// without a shared mutex.
+#[deprecated(
+    since = "0.2.0",
+    note = "route threshold queries through `presky_service::Engine` with a \
+            `Request::threshold(..)` (or `presky_query::engine::threshold_resident` \
+            against a prebuilt `BatchCoinContext`); see DESIGN.md §10 for the migration"
+)]
 pub fn threshold_skyline<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
     tau: f64,
     opts: ThresholdOptions,
 ) -> Result<Vec<ThresholdAnswer>> {
-    threshold_skyline_with_stats(table, prefs, tau, opts).map(|(answers, _)| answers)
+    threshold_skyline_inner(table, prefs, tau, opts).map(|(answers, _)| answers)
 }
 
 /// [`threshold_skyline`] returning the aggregated per-stage
 /// [`PipelineStats`] (rung counters, reductions, stage times) alongside
 /// the answers.
+#[deprecated(
+    since = "0.2.0",
+    note = "route threshold queries through `presky_service::Engine` with a \
+            `Request::threshold(..)` (or `presky_query::engine::threshold_resident` \
+            against a prebuilt `BatchCoinContext`); see DESIGN.md §10 for the migration"
+)]
 pub fn threshold_skyline_with_stats<M: PreferenceModel + Sync>(
+    table: &Table,
+    prefs: &M,
+    tau: f64,
+    opts: ThresholdOptions,
+) -> Result<(Vec<ThresholdAnswer>, PipelineStats)> {
+    threshold_skyline_inner(table, prefs, tau, opts)
+}
+
+/// Shared implementation of the deprecated one-shot entry points: index
+/// the table, run the batch ladder, tear everything down again.
+pub(crate) fn threshold_skyline_inner<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
     tau: f64,
@@ -199,6 +290,9 @@ pub fn resolution_stats(answers: &[ThresholdAnswer]) -> ResolutionStats {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated one-shot entry points stay under test until removal.
+    #![allow(deprecated)]
+
     use presky_core::preference::{PrefPair, TablePreferences};
 
     use super::*;

@@ -29,6 +29,7 @@ use crate::prob_skyline::{
 
 /// Options of the two-phase top-k query.
 #[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
 pub struct TopKOptions {
     /// Scout-phase sampler budget (used when an object's instance is too
     /// large to solve exactly).
@@ -61,9 +62,64 @@ impl Default for TopKOptions {
     }
 }
 
+impl TopKOptions {
+    /// Chainable: set the scout-phase sampler budget.
+    pub fn with_scout(mut self, scout: SamOptions) -> Self {
+        self.scout = scout;
+        self
+    }
+
+    /// Chainable: set the refine-phase sampler budget.
+    pub fn with_refine(mut self, refine: SamOptions) -> Self {
+        self.refine = refine;
+        self
+    }
+
+    /// Chainable: set the exact component-size limit for both phases.
+    pub fn with_exact_component_limit(mut self, limit: usize) -> Self {
+        self.exact_component_limit = limit;
+        self
+    }
+
+    /// Chainable: set the overfetch factor.
+    pub fn with_overfetch(mut self, overfetch: usize) -> Self {
+        self.overfetch = overfetch;
+        self
+    }
+
+    /// Chainable: set the worker thread count (`None` = available
+    /// parallelism).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Chainable: toggle the shared scout/refine component cache.
+    pub fn with_component_cache(mut self, on: bool) -> Self {
+        self.component_cache = on;
+        self
+    }
+}
+
 /// The `k` objects with the highest skyline probabilities, sorted
 /// descending (ties broken by object id for determinism).
+#[deprecated(
+    since = "0.2.0",
+    note = "route top-k queries through `presky_service::Engine` with a \
+            `Request::top_k(..)` (or `presky_query::engine::top_k_resident` against a \
+            prebuilt `BatchCoinContext`); see DESIGN.md §10 for the migration"
+)]
 pub fn top_k_skyline<M: PreferenceModel + Sync>(
+    table: &Table,
+    prefs: &M,
+    k: usize,
+    opts: TopKOptions,
+) -> Result<Vec<SkyResult>> {
+    top_k_inner(table, prefs, k, opts)
+}
+
+/// Shared implementation of the deprecated one-shot top-k entry point.
+pub(crate) fn top_k_inner<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
     k: usize,
@@ -111,16 +167,16 @@ pub fn top_k_skyline<M: PreferenceModel + Sync>(
         } else {
             let algo = Algorithm::Adaptive {
                 exact_component_limit: opts.exact_component_limit,
-                sam: SamOptions {
-                    seed: opts.refine.seed ^ (r.object.0 as u64).wrapping_mul(0x9e37),
-                    ..opts.refine
-                },
+                sam: opts
+                    .refine
+                    .with_seed(opts.refine.seed ^ (r.object.0 as u64).wrapping_mul(0x9e37)),
             };
             let (result, _) = engine::solve_one_explained_cached(
                 table,
                 prefs,
                 r.object,
                 algo,
+                engine::EngineBudget::default(),
                 prep,
                 &mut scratch,
                 &mut stats,
@@ -134,7 +190,7 @@ pub fn top_k_skyline<M: PreferenceModel + Sync>(
     Ok(refined)
 }
 
-fn sort_desc(v: &mut [SkyResult]) {
+pub(crate) fn sort_desc(v: &mut [SkyResult]) {
     v.sort_by(|a, b| {
         b.sky.partial_cmp(&a.sky).unwrap_or(std::cmp::Ordering::Equal).then(a.object.cmp(&b.object))
     });
@@ -142,6 +198,9 @@ fn sort_desc(v: &mut [SkyResult]) {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated one-shot entry point stays under test until removal.
+    #![allow(deprecated)]
+
     use presky_core::preference::{PrefPair, TablePreferences};
     use presky_core::types::ObjectId;
 

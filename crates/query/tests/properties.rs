@@ -1,5 +1,9 @@
 //! Property-based tests of the query layer: the ladder, the flat query,
 //! top-k and the certain-skyline substrate must all tell one story.
+//!
+//! The deprecated one-shot entry points stay under test until removal —
+//! they are the bit-identity baselines the resident drivers are pinned to.
+#![allow(deprecated)]
 
 use proptest::prelude::*;
 
@@ -107,7 +111,7 @@ fn threshold_one_reference(
     let exact_work: u64 =
         groups.iter().map(|g| 1u64 << g.len().min(63)).fold(0, u64::saturating_add);
     if largest <= opts.exact_component_limit && exact_work <= opts.exact_work_limit {
-        let det = DetOptions::with_max_attackers(opts.exact_component_limit);
+        let det = DetOptions::default().with_max_attackers(opts.exact_component_limit);
         let mut sky = 1.0;
         for g in &groups {
             // The engine restricts keyed components canonically (the
@@ -131,7 +135,8 @@ fn threshold_one_reference(
     }
 
     // Rung 3: sequential test; rung 4: fixed-budget fallback.
-    let sprt = SprtOptions { seed: opts.sprt.seed ^ target.0 as u64, ..opts.sprt };
+    let _ = SprtOptions::default();
+    let sprt = opts.sprt.with_seed(opts.sprt.seed ^ target.0 as u64);
     let out = sky_threshold_test_view(&work, tau, sprt).expect("positive samples");
     match out.decision {
         ThresholdDecision::AtLeast => ThresholdAnswer {
@@ -145,7 +150,7 @@ fn threshold_one_reference(
             resolution: Resolution::Sequential { samples_used: out.samples_used },
         },
         ThresholdDecision::Undecided => {
-            let sam = SamOptions { seed: opts.fallback.seed ^ target.0 as u64, ..opts.fallback };
+            let sam = opts.fallback.with_seed(opts.fallback.seed ^ target.0 as u64);
             let out = sky_sam_view(&work, sam).expect("positive samples");
             ThresholdAnswer {
                 object: target,
@@ -177,14 +182,12 @@ fn top_k_reference(
         });
     }
 
-    let scout_opts = QueryOptions {
-        algorithm: Algorithm::Adaptive {
+    let scout_opts = QueryOptions::default()
+        .with_algorithm(Algorithm::Adaptive {
             exact_component_limit: opts.exact_component_limit,
             sam: opts.scout,
-        },
-        threads: opts.threads,
-        ..Default::default()
-    };
+        })
+        .with_threads(opts.threads);
     let mut scouted = all_sky(table, prefs, scout_opts).expect("scout");
     sort_desc(&mut scouted);
     let cut = (k.saturating_mul(opts.overfetch)).min(scouted.len());
@@ -195,10 +198,9 @@ fn top_k_reference(
         } else {
             let algo = Algorithm::Adaptive {
                 exact_component_limit: opts.exact_component_limit,
-                sam: SamOptions {
-                    seed: opts.refine.seed ^ (r.object.0 as u64).wrapping_mul(0x9e37),
-                    ..opts.refine
-                },
+                sam: opts
+                    .refine
+                    .with_seed(opts.refine.seed ^ (r.object.0 as u64).wrapping_mul(0x9e37)),
             };
             refined.push(sky_one(table, prefs, r.object, algo).expect("refine"));
         }
@@ -216,13 +218,13 @@ proptest! {
         // On these small instances the flat query is exact and the ladder
         // must agree everywhere except when the sequential rung fires
         // (which it cannot here: components are tiny).
-        let flat = all_sky(&table, &prefs, QueryOptions { threads: Some(1), ..Default::default() })
+        let flat = all_sky(&table, &prefs, QueryOptions::default().with_threads(Some(1)))
             .unwrap();
         let ladder = threshold_skyline(
             &table,
             &prefs,
             tau,
-            ThresholdOptions { threads: Some(1), ..Default::default() },
+            ThresholdOptions::default().with_threads(Some(1)),
         )
         .unwrap();
         for (f, l) in flat.iter().zip(&ladder) {
@@ -238,7 +240,7 @@ proptest! {
 
     #[test]
     fn topk_head_equals_sorted_all_sky((table, prefs) in instance(), k in 1usize..5) {
-        let mut flat = all_sky(&table, &prefs, QueryOptions { threads: Some(1), ..Default::default() })
+        let mut flat = all_sky(&table, &prefs, QueryOptions::default().with_threads(Some(1)))
             .unwrap();
         flat.sort_by(|a, b| {
             b.sky.partial_cmp(&a.sky).unwrap().then(a.object.cmp(&b.object))
@@ -247,7 +249,7 @@ proptest! {
             &table,
             &prefs,
             k,
-            TopKOptions { threads: Some(1), ..TopKOptions::default() },
+            TopKOptions::default().with_threads(Some(1)),
         )
         .unwrap();
         prop_assert_eq!(top.len(), k.min(table.len()));
@@ -259,13 +261,13 @@ proptest! {
 
     #[test]
     fn probabilistic_skyline_is_a_filter_of_all_sky((table, prefs) in instance(), tau in 0.01f64..0.99) {
-        let flat = all_sky(&table, &prefs, QueryOptions { threads: Some(1), ..Default::default() })
+        let flat = all_sky(&table, &prefs, QueryOptions::default().with_threads(Some(1)))
             .unwrap();
         let sky = probabilistic_skyline(
             &table,
             &prefs,
             tau,
-            QueryOptions { threads: Some(1), ..Default::default() },
+            QueryOptions::default().with_threads(Some(1)),
         )
         .unwrap();
         let expected: usize = flat.iter().filter(|r| r.sky >= tau).count();
@@ -309,7 +311,7 @@ proptest! {
         let batch = all_sky(
             &table,
             &prefs,
-            QueryOptions { algorithm, threads: Some(threads), ..Default::default() },
+            QueryOptions::default().with_algorithm(algorithm).with_threads(Some(threads)),
         )
         .unwrap();
         prop_assert_eq!(batch.len(), table.len());
@@ -319,15 +321,11 @@ proptest! {
             let salted = match algorithm {
                 Algorithm::Adaptive { exact_component_limit, sam } => Algorithm::Adaptive {
                     exact_component_limit,
-                    sam: SamOptions {
-                        seed: sam.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                        ..sam
-                    },
+                    sam: sam.with_seed(sam.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
                 },
-                Algorithm::Sampling(sam) => Algorithm::Sampling(SamOptions {
-                    seed: sam.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                    ..sam
-                }),
+                Algorithm::Sampling(sam) => Algorithm::Sampling(
+                    sam.with_seed(sam.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                ),
                 e @ Algorithm::Exact { .. } => e,
             };
             let single = sky_one(&table, &prefs, ObjectId::from(i), salted).unwrap();
@@ -353,13 +351,13 @@ proptest! {
         let cached = all_sky(
             &table,
             &prefs,
-            QueryOptions { threads: Some(threads), component_cache: true, ..Default::default() },
+            QueryOptions::default().with_threads(Some(threads)).with_component_cache(true),
         )
         .unwrap();
         let uncached = all_sky(
             &table,
             &prefs,
-            QueryOptions { threads: Some(threads), component_cache: false, ..Default::default() },
+            QueryOptions::default().with_threads(Some(threads)).with_component_cache(false),
         )
         .unwrap();
         prop_assert_eq!(cached.len(), uncached.len());
@@ -384,11 +382,7 @@ proptest! {
         // the sequential test and the fixed-budget fallback, covering the
         // sampling rungs (and their per-target seed derivation) too.
         let opts = if force_sampling_rungs {
-            ThresholdOptions {
-                exact_component_limit: 0,
-                exact_work_limit: 0,
-                ..ThresholdOptions::default()
-            }
+            ThresholdOptions::default().with_exact_component_limit(0).with_exact_work_limit(0)
         } else {
             ThresholdOptions::default()
         };
@@ -415,7 +409,7 @@ proptest! {
             &table,
             &prefs,
             tau,
-            ThresholdOptions { threads: Some(1), ..Default::default() },
+            ThresholdOptions::default().with_threads(Some(1)),
         )
         .unwrap();
         for (a, &sky) in answers.iter().zip(&oracle) {
@@ -449,13 +443,9 @@ proptest! {
         // limit forces the sampled scout + refine path, covering the
         // engine's scratch reuse and per-target refine seeds.
         let opts = if force_refine {
-            TopKOptions {
-                exact_component_limit: 0,
-                threads: Some(1),
-                ..TopKOptions::default()
-            }
+            TopKOptions::default().with_exact_component_limit(0).with_threads(Some(1))
         } else {
-            TopKOptions { threads: Some(1), ..TopKOptions::default() }
+            TopKOptions::default().with_threads(Some(1))
         };
         let got = top_k_skyline(&table, &prefs, k, opts).unwrap();
         let expect = top_k_reference(&table, &prefs, k, opts);
@@ -473,9 +463,9 @@ proptest! {
         // Scout values solved exactly skip refinement and must keep
         // `exact = true` AND their bitwise value from the flat query; on
         // these small instances that is every object.
-        let opts = TopKOptions { threads: Some(1), ..TopKOptions::default() };
+        let opts = TopKOptions::default().with_threads(Some(1));
         let top = top_k_skyline(&table, &prefs, k, opts).unwrap();
-        let flat = all_sky(&table, &prefs, QueryOptions { threads: Some(1), ..Default::default() })
+        let flat = all_sky(&table, &prefs, QueryOptions::default().with_threads(Some(1)))
             .unwrap();
         for r in &top {
             prop_assert!(r.exact, "object {} lost its exact provenance", r.object);
@@ -488,16 +478,14 @@ proptest! {
     #[test]
     fn sampling_policy_brackets_exact((table, prefs) in instance()) {
         use presky_query::prob_skyline::Algorithm;
-        let exact = all_sky(&table, &prefs, QueryOptions { threads: Some(1), ..Default::default() })
+        let exact = all_sky(&table, &prefs, QueryOptions::default().with_threads(Some(1)))
             .unwrap();
         let sampled = all_sky(
             &table,
             &prefs,
-            QueryOptions {
-                algorithm: Algorithm::Sampling(SamOptions::with_samples(3000, 7)),
-                threads: Some(1),
-                ..Default::default()
-            },
+            QueryOptions::default()
+                .with_algorithm(Algorithm::Sampling(SamOptions::with_samples(3000, 7)))
+                .with_threads(Some(1)),
         )
         .unwrap();
         for (e, s) in exact.iter().zip(&sampled) {
@@ -519,7 +507,7 @@ fn worker_panic_in_all_sky_propagates_cleanly() {
     }
     let table = Table::from_rows_raw(1, &[vec![0], vec![1], vec![2]]).unwrap();
     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        all_sky(&table, &Panicker, QueryOptions { threads: Some(2), ..Default::default() })
+        all_sky(&table, &Panicker, QueryOptions::default().with_threads(Some(2)))
     }));
     let payload = caught.expect_err("worker panic must propagate to the caller");
     let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();

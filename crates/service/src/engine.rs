@@ -1,0 +1,349 @@
+//! The resident [`Engine`]: load once, serve many.
+//!
+//! `Engine::new` pays the per-dataset costs exactly once — duplicate
+//! validation, dense value codes, posting lists and the `pr_strict` memo
+//! of the [`BatchCoinContext`], plus an empty cross-request
+//! [`ComponentCache`] — and then serves any number of concurrent
+//! [`Request`]s from `&self`. All mutability is interior (atomics, the
+//! sharded cache, a poison-recovering stats mutex), so one engine handle
+//! can be shared across threads with a plain `Arc` or scoped borrows.
+//!
+//! ## Admission control
+//!
+//! Two deterministic gates shed load *before* any query work runs:
+//!
+//! 1. **in-flight ceiling** — at most
+//!    [`EngineOptions::max_in_flight`] requests run concurrently; the
+//!    `max_in_flight + 1`-th arrival gets
+//!    [`ServiceError::Overloaded`] immediately;
+//! 2. **predicted-cost ceiling** — each request's cost is predicted from
+//!    the sampler cost model (the same `Σ 2^|g|`-vs-samples model the
+//!    planner budgets with, collapsed to its admission-time upper bound:
+//!    every object, `n − 1` attackers, `(n − 1)·d` coins) and compared
+//!    against [`EngineOptions::max_predicted_cost`].
+//!
+//! Both decisions depend only on the request and the dataset dimensions —
+//! never on timing — so shedding is reproducible.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use presky_core::batch::BatchCoinContext;
+use presky_core::preference::PreferenceModel;
+use presky_core::table::Table;
+
+use presky_approx::sampler::SamOptions;
+use presky_exact::cache::{ComponentCache, DEFAULT_BYTE_CAP};
+use presky_query::engine::{
+    all_sky_resident, sky_one_resident, threshold_resident, top_k_resident,
+};
+use presky_query::prob_skyline::Algorithm;
+
+use crate::error::{Result, ServiceError};
+use crate::metrics::{get, inc, Metrics, MetricsSnapshot};
+use crate::request::{Outcome, Query, Request, Response, Value};
+
+/// Construction-time configuration of an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EngineOptions {
+    /// Maximum concurrently running requests; arrivals beyond this are
+    /// shed with [`ServiceError::Overloaded`].
+    pub max_in_flight: usize,
+    /// Per-request predicted-cost ceiling (machine-word operations);
+    /// `None` disables the gate.
+    pub max_predicted_cost: Option<u64>,
+    /// Byte cap of the cross-request component cache.
+    pub cache_bytes: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self { max_in_flight: 64, max_predicted_cost: None, cache_bytes: DEFAULT_BYTE_CAP }
+    }
+}
+
+impl EngineOptions {
+    /// Chainable: set the in-flight ceiling.
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Chainable: set (or clear) the predicted-cost ceiling.
+    pub fn with_max_predicted_cost(mut self, max_predicted_cost: Option<u64>) -> Self {
+        self.max_predicted_cost = max_predicted_cost;
+        self
+    }
+
+    /// Chainable: set the component-cache byte cap.
+    pub fn with_cache_bytes(mut self, cache_bytes: usize) -> Self {
+        self.cache_bytes = cache_bytes;
+        self
+    }
+}
+
+/// A long-lived query service over one dataset.
+///
+/// See the [module docs](self) for the admission and budget semantics.
+#[derive(Debug)]
+pub struct Engine<M> {
+    table: Table,
+    prefs: M,
+    ctx: BatchCoinContext,
+    cache: ComponentCache,
+    opts: EngineOptions,
+    metrics: Metrics,
+    in_flight: AtomicUsize,
+}
+
+/// Releases one in-flight slot even if the query worker panics.
+struct InFlightSlot<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<M: PreferenceModel + Sync> Engine<M> {
+    /// Index `table` once and stand up an empty component cache.
+    pub fn new(table: Table, prefs: M, opts: EngineOptions) -> Result<Self> {
+        let ctx = BatchCoinContext::build(&table).map_err(presky_query::error::QueryError::from)?;
+        Ok(Self {
+            table,
+            prefs,
+            ctx,
+            cache: ComponentCache::with_byte_cap(opts.cache_bytes),
+            opts,
+            metrics: Metrics::default(),
+            in_flight: AtomicUsize::new(0),
+        })
+    }
+
+    /// The dataset this engine serves.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Objects in the dataset.
+    pub fn n_objects(&self) -> usize {
+        self.ctx.n_objects()
+    }
+
+    /// Serve one request from this thread.
+    ///
+    /// Passes both admission gates, pins the relative [`Budget`] to an
+    /// absolute engine budget, runs the resident pipeline against the
+    /// shared context and cache, and classifies the conclusion. Any number
+    /// of threads may call this concurrently on one engine.
+    ///
+    /// [`Budget`]: crate::request::Budget
+    pub fn run(&self, request: Request) -> Result<Response> {
+        if let Some(max) = self.opts.max_predicted_cost {
+            let predicted = self.predicted_cost(&request.query);
+            if predicted > max {
+                inc(&self.metrics.shed_cost);
+                return Err(ServiceError::CostCeiling { predicted, max });
+            }
+        }
+        let previous = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let slot = InFlightSlot(&self.in_flight);
+        if previous >= self.opts.max_in_flight {
+            inc(&self.metrics.shed_overload);
+            return Err(ServiceError::Overloaded {
+                in_flight: previous,
+                max: self.opts.max_in_flight,
+            });
+        }
+        inc(&self.metrics.admitted);
+
+        let admitted_at = Instant::now();
+        let budget = request.budget.to_engine_budget(admitted_at);
+        let cache = Some(&self.cache);
+        let (value, stats, truncated) = match request.query {
+            Query::SkyOne { target, opts } => {
+                let out = sky_one_resident(&self.ctx, &self.prefs, target, opts, cache, budget)?;
+                (Value::Sky(out.results.into_iter().next().flatten()), out.stats, out.truncated)
+            }
+            Query::AllSky { opts } => {
+                let out = all_sky_resident(&self.ctx, &self.prefs, opts, cache, budget)?;
+                (Value::AllSky(out.results), out.stats, out.truncated)
+            }
+            Query::Threshold { tau, opts } => {
+                let out = threshold_resident(&self.ctx, &self.prefs, tau, opts, cache, budget)?;
+                (Value::Threshold(out.results), out.stats, out.truncated)
+            }
+            Query::TopK { k, opts } => {
+                let out = top_k_resident(&self.ctx, &self.prefs, k, opts, cache, budget)?;
+                (Value::TopK(out.results.into_iter().flatten().collect()), out.stats, out.truncated)
+            }
+        };
+        drop(slot);
+
+        self.metrics.merge_stats(&stats);
+        inc(&self.metrics.completed);
+        let outcome = Outcome::classify(value, truncated);
+        if !outcome.complete() {
+            inc(&self.metrics.deadline_misses);
+        }
+        Ok(Response { outcome, stats, elapsed: admitted_at.elapsed() })
+    }
+
+    /// Predicted cost of a request, in the sampler cost model's
+    /// machine-word operations.
+    ///
+    /// This is the admission-time collapse of the planner's model: the
+    /// per-object `Σ 2^|g|`-vs-sampling comparison needs the prepared
+    /// component structure, which does not exist yet, so every object is
+    /// charged its sampling upper bound (`n − 1` attackers over
+    /// `(n − 1)·d` coins). Deterministic in the request and the dataset.
+    pub fn predicted_cost(&self, query: &Query) -> u64 {
+        let n = self.ctx.n_objects();
+        let d = self.ctx.dimensionality();
+        let attackers = n.saturating_sub(1);
+        let coins = attackers.saturating_mul(d);
+        let per_object = |sam: SamOptions| sam.predicted_cost(attackers, coins).max(1);
+        let policy_sam = |algo: &Algorithm| match algo {
+            Algorithm::Adaptive { sam, .. } | Algorithm::Sampling(sam) => *sam,
+            Algorithm::Exact { .. } => SamOptions::default(),
+        };
+        match query {
+            Query::SkyOne { opts, .. } => per_object(policy_sam(&opts.algorithm)),
+            Query::AllSky { opts } => {
+                (n as u64).saturating_mul(per_object(policy_sam(&opts.algorithm)))
+            }
+            Query::Threshold { opts, .. } => (n as u64).saturating_mul(per_object(opts.fallback)),
+            Query::TopK { k, opts } => {
+                let scout = (n as u64).saturating_mul(per_object(opts.scout));
+                let refine = (k.saturating_mul(opts.overfetch).min(n) as u64)
+                    .saturating_mul(per_object(opts.refine));
+                scout.saturating_add(refine)
+            }
+        }
+    }
+
+    /// A point-in-time view of the engine's counters and cache.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            admitted: get(&self.metrics.admitted),
+            completed: get(&self.metrics.completed),
+            deadline_misses: get(&self.metrics.deadline_misses),
+            shed_overload: get(&self.metrics.shed_overload),
+            shed_cost: get(&self.metrics.shed_cost),
+            in_flight: self.in_flight.load(Ordering::Acquire),
+            stats: self.metrics.stats_snapshot(),
+            cache_entries: self.cache.len(),
+            cache_bytes: self.cache.bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::{PrefPair, TablePreferences};
+    use presky_core::types::ObjectId;
+    use presky_query::prob_skyline::QueryOptions;
+    use presky_query::threshold::ThresholdOptions;
+    use presky_query::topk::TopKOptions;
+
+    use super::*;
+    use crate::request::Budget;
+
+    fn engine(opts: EngineOptions) -> Engine<TablePreferences> {
+        let table =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
+        Engine::new(table, TablePreferences::with_default(PrefPair::half()), opts).unwrap()
+    }
+
+    #[test]
+    fn serves_every_request_shape() {
+        let e = engine(EngineOptions::default());
+        let r = e.run(Request::sky_one(ObjectId(0), QueryOptions::default())).unwrap();
+        assert!((r.outcome.value().as_sky().unwrap().sky - 3.0 / 16.0).abs() < 1e-12);
+        let r = e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        assert_eq!(r.outcome.value().as_all_sky().unwrap().len(), 5);
+        let r = e.run(Request::threshold(0.15, ThresholdOptions::default())).unwrap();
+        assert_eq!(r.outcome.value().as_threshold().unwrap().len(), 5);
+        let r = e.run(Request::top_k(2, TopKOptions::default())).unwrap();
+        assert_eq!(r.outcome.value().as_top_k().unwrap().len(), 2);
+        let m = e.metrics();
+        assert_eq!(m.admitted, 4);
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.in_flight, 0);
+    }
+
+    #[test]
+    fn cost_ceiling_sheds_deterministically() {
+        let e = engine(EngineOptions::default().with_max_predicted_cost(Some(1)));
+        let err = e.run(Request::all_sky(QueryOptions::default())).unwrap_err();
+        assert!(matches!(err, ServiceError::CostCeiling { .. }));
+        assert!(err.is_shed());
+        assert_eq!(e.metrics().shed_cost, 1);
+        assert_eq!(e.metrics().admitted, 0);
+    }
+
+    #[test]
+    fn zero_in_flight_sheds_everything_and_slots_are_released() {
+        let e = engine(EngineOptions::default().with_max_in_flight(0));
+        for _ in 0..3 {
+            let err = e.run(Request::sky_one(ObjectId(0), QueryOptions::default())).unwrap_err();
+            assert!(matches!(err, ServiceError::Overloaded { .. }));
+        }
+        let m = e.metrics();
+        assert_eq!(m.shed_overload, 3);
+        assert_eq!(m.in_flight, 0);
+    }
+
+    #[test]
+    fn query_errors_propagate_and_engine_survives() {
+        let e = engine(EngineOptions::default());
+        assert!(matches!(
+            e.run(Request::threshold(1.5, ThresholdOptions::default())),
+            Err(ServiceError::Query(_))
+        ));
+        assert!(matches!(
+            e.run(Request::top_k(0, TopKOptions::default())),
+            Err(ServiceError::Query(_))
+        ));
+        // The engine keeps serving; the failed requests released their slots.
+        let r = e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        assert!(r.outcome.complete());
+        assert_eq!(e.metrics().in_flight, 0);
+    }
+
+    #[test]
+    fn tiny_deadline_concludes_deadline_exceeded_never_wrong() {
+        let e = engine(EngineOptions::default());
+        let full = e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        let budget = Budget::default().with_deadline(Some(std::time::Duration::ZERO));
+        let r = e.run(Request::all_sky(QueryOptions::default()).with_budget(budget)).unwrap();
+        match &r.outcome {
+            Outcome::DeadlineExceeded { partial, truncated } => {
+                assert!(*truncated > 0);
+                let got = partial.as_all_sky().unwrap();
+                let want = full.outcome.value().as_all_sky().unwrap();
+                for (g, w) in got.iter().zip(want) {
+                    if let Some(g) = g {
+                        assert_eq!(g.sky.to_bits(), w.unwrap().sky.to_bits());
+                    }
+                }
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(e.metrics().deadline_misses, 1);
+    }
+
+    #[test]
+    fn cache_stays_warm_across_requests() {
+        let e = engine(EngineOptions::default());
+        e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        let cold = e.metrics();
+        e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        let warm = e.metrics();
+        assert!(warm.stats.cache_hits > cold.stats.cache_hits);
+        assert!(warm.cache_hit_rate() > 0.0);
+        assert!(warm.cache_entries > 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Errors of the service layer.
+
+use std::fmt;
+
+use presky_query::error::QueryError;
+
+/// Failure modes of the resident query service.
+///
+/// The first two variants are *admission* rejections — deterministic,
+/// stateless shedding decisions made before any query work runs. The last
+/// wraps a genuine query-layer failure. Budget exhaustion is **not** an
+/// error here: it surfaces as the typed
+/// [`Outcome::DeadlineExceeded`](crate::request::Outcome::DeadlineExceeded).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The engine is already running its configured maximum of concurrent
+    /// requests; this one was shed without doing any work.
+    Overloaded {
+        /// Requests in flight when this one arrived.
+        in_flight: usize,
+        /// The configured admission ceiling.
+        max: usize,
+    },
+    /// The request's predicted cost exceeds the engine's per-request
+    /// ceiling; it was shed without doing any work.
+    CostCeiling {
+        /// Predicted cost of this request (machine-word operations).
+        predicted: u64,
+        /// The configured ceiling.
+        max: u64,
+    },
+    /// The query layer failed (invalid τ, `k = 0`, oversized component, …).
+    Query(QueryError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { in_flight, max } => {
+                write!(f, "engine overloaded: {in_flight} requests in flight (max {max})")
+            }
+            ServiceError::CostCeiling { predicted, max } => {
+                write!(f, "predicted request cost {predicted} exceeds the ceiling {max}")
+            }
+            ServiceError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueryError> for ServiceError {
+    fn from(e: QueryError) -> Self {
+        ServiceError::Query(e)
+    }
+}
+
+impl ServiceError {
+    /// Whether this request was shed by admission control (no work done).
+    pub fn is_shed(&self) -> bool {
+        matches!(self, ServiceError::Overloaded { .. } | ServiceError::CostCeiling { .. })
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T, E = ServiceError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = ServiceError::Overloaded { in_flight: 64, max: 64 };
+        assert!(e.is_shed());
+        assert!(e.to_string().contains("64"));
+        let e = ServiceError::CostCeiling { predicted: 10, max: 5 };
+        assert!(e.is_shed());
+        let e: ServiceError = QueryError::ZeroK.into();
+        assert!(!e.is_shed());
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

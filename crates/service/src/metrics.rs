@@ -1,0 +1,159 @@
+//! Engine observability: lock-free counters plus a merged
+//! [`PipelineStats`] accumulator, snapshotted on demand.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use presky_query::engine::PipelineStats;
+
+/// Internal counter block of a live engine. All counters are monotone;
+/// readers take a coherent-enough snapshot without stopping traffic.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    /// Requests admitted (work actually started).
+    pub(crate) admitted: AtomicU64,
+    /// Admitted requests that produced a `Response`.
+    pub(crate) completed: AtomicU64,
+    /// Admitted requests whose outcome was `DeadlineExceeded`.
+    pub(crate) deadline_misses: AtomicU64,
+    /// Requests shed by the in-flight ceiling.
+    pub(crate) shed_overload: AtomicU64,
+    /// Requests shed by the predicted-cost ceiling.
+    pub(crate) shed_cost: AtomicU64,
+    /// Pipeline counters merged across every completed request.
+    stats: Mutex<PipelineStats>,
+}
+
+impl Metrics {
+    /// Fold one request's pipeline counters into the engine totals.
+    ///
+    /// A panicking query worker can poison this mutex; the counters are
+    /// plain-old-data whose worst corruption is a partially-merged stats
+    /// block, so recovery (rather than propagating the panic to every
+    /// later request) is the right call.
+    pub(crate) fn merge_stats(&self, stats: &PipelineStats) {
+        let mut guard = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        guard.merge(stats);
+    }
+
+    pub(crate) fn stats_snapshot(&self) -> PipelineStats {
+        *self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A point-in-time view of a live engine's counters.
+///
+/// Counters are read individually (relaxed), so a snapshot taken under
+/// load may be a few requests out of phase with itself; each individual
+/// counter is exact.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct MetricsSnapshot {
+    /// Requests admitted (work actually started).
+    pub admitted: u64,
+    /// Admitted requests that produced a [`Response`](crate::Response).
+    pub completed: u64,
+    /// Admitted requests that concluded `DeadlineExceeded`.
+    pub deadline_misses: u64,
+    /// Requests shed by the in-flight ceiling.
+    pub shed_overload: u64,
+    /// Requests shed by the predicted-cost ceiling.
+    pub shed_cost: u64,
+    /// Requests running at snapshot time.
+    pub in_flight: usize,
+    /// Pipeline counters merged across every completed request.
+    pub stats: PipelineStats,
+    /// Entries resident in the cross-request component cache.
+    pub cache_entries: usize,
+    /// Bytes resident in the cross-request component cache.
+    pub cache_bytes: u64,
+}
+
+impl MetricsSnapshot {
+    /// Requests shed by either admission gate.
+    pub fn shed(&self) -> u64 {
+        self.shed_overload + self.shed_cost
+    }
+
+    /// Component-cache hits as a fraction of probes, across all requests
+    /// served so far.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.stats.cache_hit_rate()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests: {} admitted, {} completed, {} deadline-missed, {} shed ({} overload / {} cost), {} in flight",
+            self.admitted,
+            self.completed,
+            self.deadline_misses,
+            self.shed(),
+            self.shed_overload,
+            self.shed_cost,
+            self.in_flight,
+        )?;
+        writeln!(
+            f,
+            "cache:    {} entries, {} bytes, hit rate {:.1}% ({} hits / {} probes)",
+            self.cache_entries,
+            self.cache_bytes,
+            100.0 * self.cache_hit_rate(),
+            self.stats.cache_hits,
+            self.stats.cache_probes,
+        )?;
+        write!(f, "{}", self.stats)
+    }
+}
+
+/// Bump a counter.
+pub(crate) fn inc(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Read a counter.
+pub(crate) fn get(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_display_mentions_every_counter_block() {
+        let snap = MetricsSnapshot {
+            admitted: 10,
+            completed: 8,
+            deadline_misses: 2,
+            shed_overload: 1,
+            shed_cost: 3,
+            in_flight: 0,
+            stats: PipelineStats::default(),
+            cache_entries: 5,
+            cache_bytes: 1234,
+        };
+        assert_eq!(snap.shed(), 4);
+        let s = snap.to_string();
+        assert!(s.contains("10 admitted"));
+        assert!(s.contains("hit rate"));
+    }
+
+    #[test]
+    fn poisoned_stats_mutex_recovers() {
+        let m = std::sync::Arc::new(Metrics::default());
+        let m2 = m.clone();
+        // Poison the mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.stats.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        let one = PipelineStats { objects: 1, ..Default::default() };
+        m.merge_stats(&one);
+        assert_eq!(m.stats_snapshot().objects, 1);
+    }
+}

@@ -102,14 +102,24 @@ fn main() {
         }
     }
 
-    // --- Shortlist via the certified ladder. -----------------------------
+    // --- Shortlist via the certified ladder, served by one resident
+    // engine (the table is indexed once for both queries below). ----------
     let tau = 0.2;
-    let answers =
-        threshold_skyline(&table, &prefs, tau, ThresholdOptions::default()).expect("valid");
+    let engine = Engine::new(table, prefs, EngineOptions::default()).expect("valid");
+    let response = engine.run(Request::threshold(tau, ThresholdOptions::default())).expect("valid");
+    let answers: Vec<ThresholdAnswer> = response
+        .outcome
+        .value()
+        .as_threshold()
+        .expect("threshold request yields threshold slots")
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
     let stats = resolution_stats(&answers);
     println!("\nShortlist (sky ≥ {tau}):");
     for a in answers.iter().filter(|a| a.member) {
-        println!("  {}", table.display_row(a.object));
+        println!("  {}", engine.table().display_row(a.object));
     }
     println!(
         "\nLadder: {} by bounds, {} exact, {} sequential, {} fallback",
@@ -117,8 +127,14 @@ fn main() {
     );
 
     // Cross-check the ladder against full probabilities.
-    let full = all_sky(&table, &prefs, QueryOptions::default()).expect("valid");
-    for (a, r) in answers.iter().zip(&full) {
+    let full_response = engine.run(Request::all_sky(QueryOptions::default())).expect("valid");
+    let full = full_response
+        .outcome
+        .value()
+        .as_all_sky()
+        .expect("all-sky request yields per-object slots")
+        .to_vec();
+    for (a, r) in answers.iter().zip(full.iter().flatten()) {
         assert_eq!(a.member, r.sky >= tau, "{}: {} vs {}", a.object, a.member, r.sky);
     }
     println!("Ladder decisions agree with exhaustively computed probabilities.");

@@ -38,7 +38,7 @@ fn main() {
         &catalogue,
         &prefs,
         target,
-        DetPlusOptions::with_det(DetOptions::with_max_attackers(40)),
+        DetPlusOptions::default().with_det(DetOptions::default().with_max_attackers(40)),
     )
     .expect("block structure keeps components small");
     println!(
@@ -56,7 +56,7 @@ fn main() {
         &catalogue,
         &prefs,
         target,
-        SamPlusOptions::with_sam(SamOptions::with_samples(3000, 1)),
+        SamPlusOptions::default().with_sam(SamOptions::with_samples(3000, 1)),
     )
     .expect("valid instance");
     println!(
@@ -82,19 +82,25 @@ fn main() {
         ("correlated", StructuredPreferences::correlated(4, 0.9)),
         ("anti-correlated", StructuredPreferences::anti_correlated(4, 0.9)),
     ] {
-        let results = all_sky(
-            &head,
-            &model,
-            QueryOptions {
-                algorithm: Algorithm::Adaptive {
-                    exact_component_limit: 22,
-                    sam: SamOptions::with_samples(2000, 5),
-                },
-                threads: None,
-                ..QueryOptions::default()
-            },
-        )
-        .expect("valid instance");
+        // One resident engine per preference regime: the catalogue is
+        // indexed once and the whole batch runs through the service API.
+        let engine =
+            Engine::new(head.clone(), model, EngineOptions::default()).expect("valid instance");
+        let response = engine
+            .run(Request::all_sky(QueryOptions::default().with_algorithm(Algorithm::Adaptive {
+                exact_component_limit: 22,
+                sam: SamOptions::with_samples(2000, 5),
+            })))
+            .expect("valid instance");
+        let results: Vec<SkyResult> = response
+            .outcome
+            .value()
+            .as_all_sky()
+            .expect("all-sky request yields per-object slots")
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         let strong = results.iter().filter(|r| r.sky >= 0.5).count();
         let middling = results.iter().filter(|r| (0.05..0.5).contains(&r.sky)).count();
         println!(

@@ -60,10 +60,13 @@ fn main() {
         );
     }
 
-    // Top-3 applications overall on the 4-d variant.
-    let top = top_k_skyline(&small, &prefs, 3, TopKOptions::default()).expect("valid instance");
+    // Top-3 applications overall on the 4-d variant, served by the
+    // resident engine.
+    let engine = Engine::new(small, prefs, EngineOptions::default()).expect("valid instance");
+    let response = engine.run(Request::top_k(3, TopKOptions::default())).expect("valid instance");
+    let top = response.outcome.value().as_top_k().expect("top-k request yields a ranking");
     println!("\nTop-3 profiles by acceptance probability:");
     for (rank, r) in top.iter().enumerate() {
-        println!("  {}. {}  sky = {:.4}", rank + 1, small.display_row(r.object), r.sky);
+        println!("  {}. {}  sky = {:.4}", rank + 1, engine.table().display_row(r.object), r.sky);
     }
 }

@@ -14,9 +14,13 @@
 //!                  [--samples 3000] [--stats] [--no-component-cache]
 //! skyprob profile  --table data.tbl (--prefs … | --seed-prefs …) --target 0
 //! skyprob skyline  --table data.tbl (--prefs … | --seed-prefs …) --tau 0.1
-//!                  [--stats] [--no-component-cache]
+//!                  [--stats] [--no-component-cache] [--deadline-ms 50]
 //! skyprob topk     --table data.tbl (--prefs … | --seed-prefs …) --k 5
-//!                  [--no-component-cache]
+//!                  [--no-component-cache] [--deadline-ms 50]
+//! skyprob serve    --table data.tbl (--prefs … | --seed-prefs …)
+//!                  [--threads 4] [--rounds 2] [--tau 0.1] [--k 5]
+//!                  [--deadline-ms 50] [--max-joints J] [--max-samples S]
+//!                  [--max-in-flight 64] [--max-predicted-cost C]
 //! ```
 //!
 //! Tables and preference files use the `presky-datagen` text formats.
@@ -31,6 +35,13 @@
 //! `--stats` prints the per-stage `PipelineStats` counters.
 //! `--no-component-cache` disables the hash-consed exact component cache
 //! (the ablation baseline; results are bit-identical either way).
+//!
+//! `skyline`, `topk` and `serve` run through the resident
+//! `presky_service::Engine`: the dataset is indexed once, requests may
+//! carry a budget (`--deadline-ms`, `--max-joints`, `--max-samples`), and
+//! a tripped budget truncates slots — it never alters a value. `serve` is
+//! an in-process mixed-workload driver that exercises one engine from
+//! many threads and prints its `MetricsSnapshot`.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -60,6 +71,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "profile" => profile_cmd(&flags),
         "skyline" => skyline(&flags),
         "topk" => topk(&flags),
+        "serve" => serve(&flags),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -72,8 +84,11 @@ fn usage() -> String {
     "usage:\n  skyprob gen <uniform|blockzipf|nursery|car|prefs> [flags] --out FILE\n  \
      skyprob sky --table FILE (--prefs FILE | --seed-prefs N) --target I [--algo A] [--samples M] [--stats]\n  \
      skyprob profile --table FILE (--prefs FILE | --seed-prefs N) --target I\n  \
-     skyprob skyline --table FILE (--prefs FILE | --seed-prefs N) --tau T [--stats]\n  \
-     skyprob topk --table FILE (--prefs FILE | --seed-prefs N) --k K"
+     skyprob skyline --table FILE (--prefs FILE | --seed-prefs N) --tau T [--stats] [--deadline-ms D]\n  \
+     skyprob topk --table FILE (--prefs FILE | --seed-prefs N) --k K [--deadline-ms D]\n  \
+     skyprob serve --table FILE (--prefs FILE | --seed-prefs N) [--threads T] [--rounds R]\n  \
+                [--tau T] [--k K] [--deadline-ms D] [--max-joints J] [--max-samples S]\n  \
+                [--max-in-flight F] [--max-predicted-cost C]"
         .to_owned()
 }
 
@@ -308,17 +323,41 @@ fn profile_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// A per-request budget assembled from `--deadline-ms` / `--max-joints` /
+/// `--max-samples` flags (absent flags leave the budget unlimited).
+fn budget_from(flags: &HashMap<String, String>) -> Result<Budget, String> {
+    Ok(Budget::default()
+        .with_deadline(get::<u64>(flags, "deadline-ms")?.map(std::time::Duration::from_millis))
+        .with_max_joints(get::<u64>(flags, "max-joints")?)
+        .with_max_samples(get::<u64>(flags, "max-samples")?))
+}
+
+fn report_truncation(outcome: &Outcome) {
+    if let Outcome::DeadlineExceeded { truncated, .. } = outcome {
+        println!("  (budget exceeded: {truncated} slots truncated — shown values are unaffected)");
+    }
+}
+
 fn skyline(flags: &HashMap<String, String>) -> Result<(), String> {
     let (table, prefs) = load_instance(flags)?;
     let tau: f64 = require(flags, "tau")?;
     let want_stats = flags.contains_key("stats");
     let start = std::time::Instant::now();
-    let opts = ThresholdOptions {
-        component_cache: !flags.contains_key("no-component-cache"),
-        ..ThresholdOptions::default()
-    };
-    let (answers, pipeline) =
-        threshold_skyline_with_stats(&table, &prefs, tau, opts).map_err(|e| e.to_string())?;
+    let opts =
+        ThresholdOptions::default().with_component_cache(!flags.contains_key("no-component-cache"));
+    let engine = Engine::new(table, prefs, EngineOptions::default()).map_err(|e| e.to_string())?;
+    let response = engine
+        .run(Request::threshold(tau, opts).with_budget(budget_from(flags)?))
+        .map_err(|e| e.to_string())?;
+    let answers: Vec<ThresholdAnswer> = response
+        .outcome
+        .value()
+        .as_threshold()
+        .expect("threshold request yields threshold slots")
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
     let stats = resolution_stats(&answers);
     let members: Vec<_> = answers.iter().filter(|a| a.member).collect();
     println!(
@@ -331,14 +370,15 @@ fn skyline(flags: &HashMap<String, String>) -> Result<(), String> {
         stats.by_sequential,
         stats.by_estimate,
     );
+    report_truncation(&response.outcome);
     for a in members.iter().take(20) {
-        println!("  {}  {}", a.object, table.display_row(a.object));
+        println!("  {}  {}", a.object, engine.table().display_row(a.object));
     }
     if members.len() > 20 {
         println!("  … and {} more", members.len() - 20);
     }
     if want_stats {
-        println!("{pipeline}");
+        println!("{}", response.stats);
     }
     Ok(())
 }
@@ -347,12 +387,15 @@ fn topk(flags: &HashMap<String, String>) -> Result<(), String> {
     let (table, prefs) = load_instance(flags)?;
     let k: usize = require(flags, "k")?;
     let start = std::time::Instant::now();
-    let opts = TopKOptions {
-        component_cache: !flags.contains_key("no-component-cache"),
-        ..TopKOptions::default()
-    };
-    let top = top_k_skyline(&table, &prefs, k, opts).map_err(|e| e.to_string())?;
+    let opts =
+        TopKOptions::default().with_component_cache(!flags.contains_key("no-component-cache"));
+    let engine = Engine::new(table, prefs, EngineOptions::default()).map_err(|e| e.to_string())?;
+    let response = engine
+        .run(Request::top_k(k, opts).with_budget(budget_from(flags)?))
+        .map_err(|e| e.to_string())?;
+    let top = response.outcome.value().as_top_k().expect("top-k request yields a ranking");
     println!("top-{k} by skyline probability ({:.1?}):", start.elapsed());
+    report_truncation(&response.outcome);
     for (rank, r) in top.iter().enumerate() {
         println!(
             "  {:>2}. {}  sky = {:.6}{}  {}",
@@ -360,9 +403,97 @@ fn topk(flags: &HashMap<String, String>) -> Result<(), String> {
             r.object,
             r.sky,
             if r.exact { "" } else { " (est)" },
-            table.display_row(r.object)
+            engine.table().display_row(r.object)
         );
     }
+    Ok(())
+}
+
+/// In-process mixed-workload driver against one resident [`Engine`]:
+/// `--threads` workers each issue `--rounds` passes over a four-shape
+/// workload (`sky_one`, `all_sky`, threshold, top-k), every request under
+/// the same optional budget, and the run ends with the engine's
+/// [`MetricsSnapshot`].
+fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (table, prefs) = load_instance(flags)?;
+    let threads: usize = get(flags, "threads")?.unwrap_or(4).max(1);
+    let rounds: usize = get(flags, "rounds")?.unwrap_or(2).max(1);
+    let tau: f64 = get(flags, "tau")?.unwrap_or(0.1);
+    let k: usize = get(flags, "k")?.unwrap_or(5);
+    let budget = budget_from(flags)?;
+    let mut engine_opts = EngineOptions::default();
+    if let Some(max) = get::<usize>(flags, "max-in-flight")? {
+        engine_opts = engine_opts.with_max_in_flight(max);
+    }
+    if let Some(ceiling) = get::<u64>(flags, "max-predicted-cost")? {
+        engine_opts = engine_opts.with_max_predicted_cost(Some(ceiling));
+    }
+    let engine = Engine::new(table, prefs, engine_opts).map_err(|e| e.to_string())?;
+    let n = engine.n_objects();
+    // Inner query parallelism pinned to one thread: the serve driver's
+    // workers are the concurrency under test.
+    let requests: Vec<Request> = vec![
+        Request::sky_one(ObjectId(0), QueryOptions::default().with_threads(Some(1)))
+            .with_budget(budget),
+        Request::sky_one(ObjectId((n / 2) as u32), QueryOptions::default().with_threads(Some(1)))
+            .with_budget(budget),
+        Request::all_sky(QueryOptions::default().with_threads(Some(1))).with_budget(budget),
+        Request::threshold(tau, ThresholdOptions::default().with_threads(Some(1)))
+            .with_budget(budget),
+        Request::top_k(k, TopKOptions::default().with_threads(Some(1))).with_budget(budget),
+    ];
+    println!(
+        "serve: {threads} threads x {rounds} rounds x {} request shapes over {n} objects",
+        requests.len()
+    );
+    let start = std::time::Instant::now();
+    let tallies = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let engine = &engine;
+                let requests = &requests;
+                scope.spawn(move || {
+                    // (exact, estimate, deadline-exceeded, shed, failed)
+                    let mut tally = [0u64; 5];
+                    for round in 0..rounds {
+                        for i in 0..requests.len() {
+                            let idx = (i + t + round) % requests.len();
+                            match engine.run(requests[idx].clone()) {
+                                Ok(resp) => match resp.outcome {
+                                    Outcome::Exact(_) => tally[0] += 1,
+                                    Outcome::Estimate(_) => tally[1] += 1,
+                                    Outcome::DeadlineExceeded { .. } => tally[2] += 1,
+                                    _ => {}
+                                },
+                                Err(e) if e.is_shed() => tally[3] += 1,
+                                Err(_) => tally[4] += 1,
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).fold(
+            [0u64; 5],
+            |mut acc, t| {
+                for (a, b) in acc.iter_mut().zip(t) {
+                    *a += b;
+                }
+                acc
+            },
+        )
+    });
+    println!(
+        "done in {:.1?}: {} exact, {} estimate, {} deadline-exceeded, {} shed, {} failed",
+        start.elapsed(),
+        tallies[0],
+        tallies[1],
+        tallies[2],
+        tallies[3],
+        tallies[4],
+    );
+    println!("{}", engine.metrics());
     Ok(())
 }
 

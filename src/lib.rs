@@ -6,7 +6,7 @@
 //! pairwise value preferences (`Pr(a ≺ b) + Pr(b ≺ a) ≤ 1`), and the
 //! question *"with what probability is this object dominated by nobody?"*.
 //!
-//! The facade re-exports the five sub-crates:
+//! The facade re-exports the six sub-crates:
 //!
 //! * [`core`] — data model: tables, preference models,
 //!   dominance, possible worlds, and the reduced *coin view*;
@@ -19,7 +19,10 @@
 //! * [`datagen`] — the paper's evaluation workloads
 //!   (uniform, block-zipf, Nursery) and preference generators;
 //! * [`query`] — probabilistic skyline with threshold, top-k,
-//!   and the certain-skyline substrate.
+//!   and the certain-skyline substrate;
+//! * [`service`] — the resident query service: a long-lived
+//!   engine with concurrent sessions, per-request budgets, admission
+//!   control, and one unified request API.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +53,7 @@ pub use presky_core as core;
 pub use presky_datagen as datagen;
 pub use presky_exact as exact;
 pub use presky_query as query;
+pub use presky_service as service;
 
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
@@ -86,6 +90,7 @@ pub mod prelude {
     pub use presky_datagen::prelude::*;
     pub use presky_exact::prelude::*;
     pub use presky_query::prelude::*;
+    pub use presky_service::prelude::*;
 }
 
 #[cfg(test)]

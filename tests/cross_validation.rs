@@ -160,7 +160,7 @@ proptest! {
     #[test]
     fn karp_luby_matches_truth_loosely((table, prefs, target) in small_instance()) {
         let truth = sky_naive_worlds(&table, &prefs, target, NaiveOptions::default()).unwrap();
-        let kl = sky_karp_luby(&table, &prefs, target, KarpLubyOptions { samples: 4000, seed: 13 })
+        let kl = sky_karp_luby(&table, &prefs, target, KarpLubyOptions::default().with_samples(4000).with_seed(13))
             .unwrap();
         prop_assert!((kl.estimate - truth).abs() < 0.08, "{} vs {truth}", kl.estimate);
     }
@@ -172,10 +172,12 @@ proptest! {
         let oracle = all_sky_naive(&table, &prefs, 10);
         prop_assume!(oracle.is_ok());
         let oracle = oracle.unwrap();
-        let got = all_sky(&table, &prefs, QueryOptions {
-            threads: Some(2),
-            ..QueryOptions::default()
-        }).unwrap();
+        let engine = Engine::new(table, prefs, EngineOptions::default()).unwrap();
+        let response = engine
+            .run(Request::all_sky(QueryOptions::default().with_threads(Some(2))))
+            .unwrap();
+        let got: Vec<SkyResult> =
+            response.outcome.value().as_all_sky().unwrap().iter().flatten().copied().collect();
         for (r, &expect) in got.iter().zip(&oracle) {
             prop_assert!(r.exact);
             prop_assert!((r.sky - expect).abs() < 1e-9, "{:?} vs {}", r, expect);

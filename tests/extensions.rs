@@ -93,8 +93,15 @@ fn ladder_query_matches_flat_query_on_blockzipf() {
     let table = generate_block_zipf(BlockZipfConfig::new(160, 4, 31)).unwrap();
     let prefs = SeededPreferences::complementary(8);
     let tau = 0.05;
-    let ladder = threshold_skyline(&table, &prefs, tau, ThresholdOptions::default()).unwrap();
-    let flat = all_sky(&table, &prefs, QueryOptions::default()).unwrap();
+    // Both queries through one resident engine: the ladder and the flat
+    // query share the warmed context and component cache.
+    let engine = Engine::new(table, prefs, EngineOptions::default()).unwrap();
+    let ladder_response = engine.run(Request::threshold(tau, ThresholdOptions::default())).unwrap();
+    let ladder: Vec<ThresholdAnswer> =
+        ladder_response.outcome.value().as_threshold().unwrap().iter().flatten().copied().collect();
+    let flat_response = engine.run(Request::all_sky(QueryOptions::default())).unwrap();
+    let flat: Vec<SkyResult> =
+        flat_response.outcome.value().as_all_sky().unwrap().iter().flatten().copied().collect();
     let mut disagreements = 0;
     for (a, r) in ladder.iter().zip(&flat) {
         // The flat query is exact here (adaptive exact limit covers the
@@ -160,7 +167,8 @@ fn profile_predicts_exact_feasibility() {
         &table,
         &prefs,
         ObjectId(7),
-        DetPlusOptions::with_det(DetOptions::with_max_attackers(cfg.block_size)),
+        DetPlusOptions::default()
+            .with_det(DetOptions::default().with_max_attackers(cfg.block_size)),
     )
     .unwrap();
     assert_eq!(out.largest_component(), prof.largest_component());

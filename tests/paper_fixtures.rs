@@ -44,11 +44,17 @@ fn observation_every_algorithm_agrees_on_the_truth() {
     // Estimators converge to the same value.
     let sam = sky_sam(&t, &p, target, SamOptions::with_samples(60_000, 3)).unwrap();
     assert!((sam.estimate - expect).abs() < 0.008, "Sam {}", sam.estimate);
-    let samp =
-        sky_sam_plus(&t, &p, target, SamPlusOptions::with_sam(SamOptions::with_samples(60_000, 3)))
-            .unwrap();
+    let samp = sky_sam_plus(
+        &t,
+        &p,
+        target,
+        SamPlusOptions::default().with_sam(SamOptions::with_samples(60_000, 3)),
+    )
+    .unwrap();
     assert!((samp.estimate - expect).abs() < 0.008, "Sam+ {}", samp.estimate);
-    let kl = sky_karp_luby(&t, &p, target, KarpLubyOptions { samples: 60_000, seed: 3 }).unwrap();
+    let kl =
+        sky_karp_luby(&t, &p, target, KarpLubyOptions::default().with_samples(60_000).with_seed(3))
+            .unwrap();
     assert!((kl.estimate - expect).abs() < 0.01, "KL {}", kl.estimate);
 
     // And Sac is wrong, exactly as the paper computes: 3/8.
@@ -123,7 +129,12 @@ fn example1_full_narrative() {
 fn example1_all_objects_through_the_query_layer() {
     let (t, p) = example1();
     let oracle = all_sky_naive(&t, &p, 16).unwrap();
-    let results = all_sky(&t, &p, QueryOptions::default()).unwrap();
+    // Served by the resident engine — same pipeline, one unified API.
+    let engine = Engine::new(t.clone(), p.clone(), EngineOptions::default()).unwrap();
+    let response = engine.run(Request::all_sky(QueryOptions::default())).unwrap();
+    assert!(matches!(response.outcome, Outcome::Exact(_)));
+    let results: Vec<SkyResult> =
+        response.outcome.value().as_all_sky().unwrap().iter().flatten().copied().collect();
     for (r, &expect) in results.iter().zip(&oracle) {
         assert!(r.exact);
         assert!((r.sky - expect).abs() < 1e-12, "{:?} vs {expect}", r);
@@ -132,7 +143,8 @@ fn example1_all_objects_through_the_query_layer() {
     // five objects (τ itself must satisfy 0 < τ < 1, per the definition).
     let everyone = probabilistic_skyline(&t, &p, 0.01, QueryOptions::default()).unwrap();
     assert_eq!(everyone.len(), 5);
-    let top = top_k_skyline(&t, &p, 2, TopKOptions::default()).unwrap();
+    let top_response = engine.run(Request::top_k(2, TopKOptions::default())).unwrap();
+    let top = top_response.outcome.value().as_top_k().unwrap().to_vec();
     assert_eq!(top.len(), 2);
     assert!(top[0].sky >= top[1].sky);
     assert!((top[0].sky - everyone[0].sky).abs() < 1e-12);

@@ -28,7 +28,7 @@ fn detplus_equals_sampling_on_blockzipf() {
             &table,
             &prefs,
             target,
-            DetPlusOptions::with_det(DetOptions::with_max_attackers(40)),
+            DetPlusOptions::default().with_det(DetOptions::default().with_max_attackers(40)),
         )
         .unwrap()
         .sky;
@@ -82,12 +82,13 @@ fn uniform_generator_supports_the_exact_experiments() {
     // n = 20, d = 5: Det must be able to finish (2^19 joints at worst).
     let table = generate_uniform(UniformConfig::new(20, 5, 7)).unwrap();
     let prefs = SeededPreferences::complementary(5);
-    let det = sky_det(&table, &prefs, ObjectId(0), DetOptions::with_max_attackers(25)).unwrap();
+    let det =
+        sky_det(&table, &prefs, ObjectId(0), DetOptions::default().with_max_attackers(25)).unwrap();
     let detp = sky_det_plus(
         &table,
         &prefs,
         ObjectId(0),
-        DetPlusOptions::with_det(DetOptions::with_max_attackers(25)),
+        DetPlusOptions::default().with_det(DetOptions::default().with_max_attackers(25)),
     )
     .unwrap();
     assert!((det.sky - detp.sky).abs() < 1e-9);
@@ -106,19 +107,16 @@ fn structured_preferences_shift_skyline_mass() {
     let table = generate_block_zipf(BlockZipfConfig::new(96, 4, 13)).unwrap();
     let strong = 0.95;
     let run = |prefs: &StructuredPreferences| -> (usize, f64) {
-        let results = all_sky(
-            &table,
-            prefs,
-            QueryOptions {
-                algorithm: Algorithm::Adaptive {
-                    exact_component_limit: 18,
-                    sam: SamOptions::with_samples(2000, 1),
-                },
-                threads: Some(2),
-                ..QueryOptions::default()
-            },
-        )
-        .unwrap();
+        let engine = Engine::new(table.clone(), prefs.clone(), EngineOptions::default()).unwrap();
+        let opts = QueryOptions::default()
+            .with_algorithm(Algorithm::Adaptive {
+                exact_component_limit: 18,
+                sam: SamOptions::with_samples(2000, 1),
+            })
+            .with_threads(Some(2));
+        let response = engine.run(Request::all_sky(opts)).unwrap();
+        let results: Vec<SkyResult> =
+            response.outcome.value().as_all_sky().unwrap().iter().flatten().copied().collect();
         let winners = results.iter().filter(|r| r.sky > 0.5).count();
         let mass: f64 = results.iter().map(|r| r.sky).sum();
         (winners, mass)
@@ -151,7 +149,7 @@ fn block_scoped_preferences_reproduce_the_samplus_advantage() {
         &table,
         &prefs,
         target,
-        SamPlusOptions::with_sam(SamOptions::with_samples(m, 1)),
+        SamPlusOptions::default().with_sam(SamOptions::with_samples(m, 1)),
     )
     .unwrap();
     // Pruning removes every attacker outside the target's block.
