@@ -26,10 +26,19 @@
 //! domination counts `c` come from iterating the set bits of each
 //! attacker's AND-of-masks word. The estimator's distribution is
 //! unchanged; only the world layout is batched.
+//!
+//! With [`KarpLubyOptions::lane_words`] `> 1` the forced-coin Bernoulli
+//! masks are materialised as multi-word superblocks (per-word keys and
+//! selection streams, exactly the sampler's widening scheme), while the
+//! selection and `1/c` accumulation walk words — hence worlds — in order.
+//! Estimates are bit-identical at every width.
 
 use std::time::{Duration, Instant};
 
-use presky_core::bitworlds::{bernoulli_mask, block_lane_mask, threshold, BlockKey, CERTAIN};
+use presky_core::bitworlds::{
+    bernoulli_masks_wide, normalize_lane_words, superblock_keys, superblock_lane_mask, threshold,
+    CERTAIN, DEFAULT_LANE_WORDS,
+};
 use presky_core::coins::CoinView;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
@@ -45,11 +54,14 @@ pub struct KarpLubyOptions {
     pub samples: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Kernel lane width in words (normalised to {1, 2, 4, 8}); estimates
+    /// are bit-identical at every width.
+    pub lane_words: usize,
 }
 
 impl Default for KarpLubyOptions {
     fn default() -> Self {
-        Self { samples: 3000, seed: 0 }
+        Self { samples: 3000, seed: 0, lane_words: DEFAULT_LANE_WORDS }
     }
 }
 
@@ -63,6 +75,13 @@ impl KarpLubyOptions {
     /// Chainable: set the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Chainable: set the kernel lane width in words (normalised to
+    /// {1, 2, 4, 8}; estimates do not depend on it).
+    pub fn with_lane_words(mut self, lane_words: usize) -> Self {
+        self.lane_words = lane_words;
         self
     }
 }
@@ -100,7 +119,6 @@ pub fn sky_karp_luby_view(view: &CoinView, opts: KarpLubyOptions) -> Result<Karp
     }
     let start = Instant::now();
     let n = view.n_attackers();
-    let m_coins = view.n_coins();
 
     // Cumulative attacker masses for weighted selection.
     let probs: Vec<f64> = (0..n).map(|i| view.attacker_prob(i)).collect();
@@ -123,63 +141,12 @@ pub fn sky_karp_luby_view(view: &CoinView, opts: KarpLubyOptions) -> Result<Karp
     }
 
     let thresholds: Vec<u64> = view.coin_probs().iter().map(|&p| threshold(p)).collect();
-    // The attacker-selection stream sits in the auxiliary id space so it
-    // can never collide with a coin stream.
-    const SELECT_STREAM: u64 = presky_core::bitworlds::AUX_STREAM;
-    let mut masks = vec![0u64; m_coins];
-    let mut forced = vec![0u64; m_coins];
-    let mut sum_inv_c = 0.0;
-
-    for block in 0..opts.samples.div_ceil(64) {
-        let lane_mask = block_lane_mask(opts.samples, block);
-        let lanes = lane_mask.count_ones() as usize;
-        let key = BlockKey::new(opts.seed, block);
-
-        // Per-lane weighted attacker selection; the chosen coins become
-        // forced bits of this block's masks.
-        let mut sel = key.stream(SELECT_STREAM);
-        forced[..m_coins].fill(0);
-        for lane in 0..lanes {
-            let u = (sel.next_word() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * total_mass;
-            let i = cumulative.partition_point(|&c| c < u).min(n - 1);
-            for &k in view.attacker_coins(i) {
-                forced[k as usize] |= 1u64 << lane;
-            }
-        }
-
-        // Conditioned worlds draw every coin (matching the scalar
-        // estimator's eager realisation), with the forced bits OR-ed in.
-        for (k, m) in masks.iter_mut().enumerate() {
-            let t = thresholds[k];
-            let bernoulli = match t {
-                0 => 0,
-                CERTAIN => u64::MAX,
-                _ => bernoulli_mask(&mut key.stream(k as u64), t).0,
-            };
-            *m = bernoulli | forced[k];
-        }
-
-        // Per-lane domination counts from the set bits of each attacker's
-        // AND-of-masks word (each lane's count is ≥ 1: its own selection).
-        let mut counts = [0u32; 64];
-        for j in 0..n {
-            let mut d = lane_mask;
-            for &k in view.attacker_coins(j) {
-                d &= masks[k as usize];
-                if d == 0 {
-                    break;
-                }
-            }
-            while d != 0 {
-                counts[d.trailing_zeros() as usize] += 1;
-                d &= d - 1;
-            }
-        }
-        for &c in counts.iter().take(lanes) {
-            debug_assert!(c >= 1);
-            sum_inv_c += 1.0 / f64::from(c);
-        }
-    }
+    let sum_inv_c = match normalize_lane_words(opts.lane_words) {
+        1 => run_karp_luby::<1>(view, opts, &cumulative, &thresholds, total_mass),
+        2 => run_karp_luby::<2>(view, opts, &cumulative, &thresholds, total_mass),
+        8 => run_karp_luby::<8>(view, opts, &cumulative, &thresholds, total_mass),
+        _ => run_karp_luby::<4>(view, opts, &cumulative, &thresholds, total_mass),
+    };
 
     let union_estimate = total_mass * sum_inv_c / opts.samples as f64;
     Ok(KarpLubyOutcome {
@@ -189,6 +156,98 @@ pub fn sky_karp_luby_view(view: &CoinView, opts: KarpLubyOptions) -> Result<Karp
         samples: opts.samples,
         elapsed: start.elapsed(),
     })
+}
+
+/// The conditioned-world loop at lane width `W`: returns `Σ 1/c` over all
+/// sampled worlds, accumulated in world order so the value is bit-identical
+/// at every width.
+///
+/// Word `w` of superblock `sb` reuses the key — and the auxiliary
+/// attacker-selection stream — of narrow block `sb·W + w`; only the
+/// Bernoulli mask materialisation is genuinely wide.
+fn run_karp_luby<const W: usize>(
+    view: &CoinView,
+    opts: KarpLubyOptions,
+    cumulative: &[f64],
+    thresholds: &[u64],
+    total_mass: f64,
+) -> f64 {
+    let n = view.n_attackers();
+    let m_coins = view.n_coins();
+    // The attacker-selection stream sits in the auxiliary id space so it
+    // can never collide with a coin stream.
+    const SELECT_STREAM: u64 = presky_core::bitworlds::AUX_STREAM;
+    let mut masks = vec![[0u64; W]; m_coins];
+    let mut forced = vec![[0u64; W]; m_coins];
+    let mut sum_inv_c = 0.0;
+
+    for sb in 0..opts.samples.div_ceil(64 * W as u64) {
+        let lane_mask = superblock_lane_mask::<W>(opts.samples, sb);
+        let keys = superblock_keys::<W>(opts.seed, sb);
+
+        // Per-lane weighted attacker selection; the chosen coins become
+        // forced bits of this superblock's masks.
+        for f in forced.iter_mut() {
+            *f = [0; W];
+        }
+        for w in 0..W {
+            let mut sel = keys[w].stream(SELECT_STREAM);
+            let lanes = lane_mask[w].count_ones() as usize;
+            for lane in 0..lanes {
+                let u = (sel.next_word() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) * total_mass;
+                let i = cumulative.partition_point(|&c| c < u).min(n - 1);
+                for &k in view.attacker_coins(i) {
+                    forced[k as usize][w] |= 1u64 << lane;
+                }
+            }
+        }
+
+        // Conditioned worlds draw every coin (matching the scalar
+        // estimator's eager realisation), with the forced bits OR-ed in.
+        for (k, m) in masks.iter_mut().enumerate() {
+            let t = thresholds[k];
+            let bernoulli = match t {
+                0 => [0; W],
+                CERTAIN => [u64::MAX; W],
+                _ => bernoulli_masks_wide(&keys, k as u64, t),
+            };
+            for w in 0..W {
+                m[w] = bernoulli[w] | forced[k][w];
+            }
+        }
+
+        // Per-lane domination counts from the set bits of each attacker's
+        // AND-of-masks words (each lane's count is ≥ 1: its own selection).
+        let mut counts = [[0u32; 64]; W];
+        for j in 0..n {
+            let mut d = lane_mask;
+            for &k in view.attacker_coins(j) {
+                let mut pending = 0u64;
+                for w in 0..W {
+                    d[w] &= masks[k as usize][w];
+                    pending |= d[w];
+                }
+                if pending == 0 {
+                    break;
+                }
+            }
+            for w in 0..W {
+                let mut dw = d[w];
+                while dw != 0 {
+                    counts[w][dw.trailing_zeros() as usize] += 1;
+                    dw &= dw - 1;
+                }
+            }
+        }
+        for w in 0..W {
+            let lanes = lane_mask[w].count_ones() as usize;
+            for &c in counts[w].iter().take(lanes) {
+                debug_assert!(c >= 1);
+                sum_inv_c += 1.0 / f64::from(c);
+            }
+        }
+    }
+    sum_inv_c
 }
 
 #[cfg(test)]
@@ -207,8 +266,13 @@ mod tests {
     #[test]
     fn converges_on_example1() {
         let (t, p) = example1();
-        let out = sky_karp_luby(&t, &p, ObjectId(0), KarpLubyOptions { samples: 60_000, seed: 5 })
-            .unwrap();
+        let out = sky_karp_luby(
+            &t,
+            &p,
+            ObjectId(0),
+            KarpLubyOptions::default().with_samples(60_000).with_seed(5),
+        )
+        .unwrap();
         assert!((out.estimate - 3.0 / 16.0).abs() < 0.01, "estimate {}", out.estimate);
         assert!((out.total_mass - 1.5).abs() < 1e-12, "Σ Pr(e_i) = 3/2");
     }
@@ -220,9 +284,31 @@ mod tests {
         // relative precision where plain Sam would need ~1/sky samples.
         let view = CoinView::from_parts(vec![0.55; 8], (0..8).map(|i| vec![i]).collect()).unwrap();
         let exact = 0.45f64.powi(8);
-        let out = sky_karp_luby_view(&view, KarpLubyOptions { samples: 200_000, seed: 1 }).unwrap();
+        let out = sky_karp_luby_view(
+            &view,
+            KarpLubyOptions::default().with_samples(200_000).with_seed(1),
+        )
+        .unwrap();
         let rel = ((1.0 - out.estimate) - (1.0 - exact)).abs() / (1.0 - exact);
         assert!(rel < 0.01, "relative error {rel}");
+    }
+
+    #[test]
+    fn estimates_are_bit_identical_at_every_lane_width() {
+        let (t, p) = example1();
+        for m in [100u64, 1000, 5000] {
+            let base = KarpLubyOptions::default().with_samples(m).with_seed(13);
+            let narrow = sky_karp_luby(&t, &p, ObjectId(0), base.with_lane_words(1)).unwrap();
+            for w in [2usize, 4, 8] {
+                let wide = sky_karp_luby(&t, &p, ObjectId(0), base.with_lane_words(w)).unwrap();
+                assert_eq!(
+                    narrow.union_estimate.to_bits(),
+                    wide.union_estimate.to_bits(),
+                    "m {m} width {w}"
+                );
+                assert_eq!(narrow.estimate.to_bits(), wide.estimate.to_bits());
+            }
+        }
     }
 
     #[test]
@@ -243,20 +329,22 @@ mod tests {
     #[test]
     fn certain_attacker_gives_zero() {
         let view = CoinView::from_parts(vec![1.0], vec![vec![0]]).unwrap();
-        let out = sky_karp_luby_view(&view, KarpLubyOptions { samples: 500, seed: 0 }).unwrap();
+        let out =
+            sky_karp_luby_view(&view, KarpLubyOptions::default().with_samples(500).with_seed(0))
+                .unwrap();
         assert_eq!(out.estimate, 0.0);
     }
 
     #[test]
     fn deterministic_per_seed_and_zero_samples_rejected() {
         let (t, p) = example1();
-        let o = KarpLubyOptions { samples: 1000, seed: 9 };
+        let o = KarpLubyOptions::default().with_samples(1000).with_seed(9);
         let a = sky_karp_luby(&t, &p, ObjectId(0), o).unwrap();
         let b = sky_karp_luby(&t, &p, ObjectId(0), o).unwrap();
         assert_eq!(a.estimate, b.estimate);
         let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
         assert!(matches!(
-            sky_karp_luby_view(&view, KarpLubyOptions { samples: 0, seed: 0 }),
+            sky_karp_luby_view(&view, KarpLubyOptions::default().with_samples(0).with_seed(0)),
             Err(ApproxError::ZeroSamples)
         ));
     }

@@ -41,6 +41,15 @@
 //! lanes out of both the hit count and the telemetry, so the estimate
 //! denominator is exactly `opts.samples`.
 //!
+//! **Lane width.** [`SamOptions::lane_words`] selects how many 64-world
+//! words the kernel advances per step (a *superblock* of `64 × W` worlds;
+//! default `W = 4`, one AVX2 register, with a runtime-detected AVX2
+//! compilation of the same code). Word `w` of superblock `sb` is keyed as
+//! narrow block `sb·W + w`, so the masks — and therefore the estimates —
+//! are **bit-identical at every width**; only throughput and the lazy
+//! telemetry change, and eager runs still count exactly
+//! `samples × n_coins` coin draws at any width.
+//!
 //! The scalar world-at-a-time loop remains available as the ablation
 //! baseline via `bit_parallel: false`; it draws from a *different*
 //! (sequential `StdRng`) stream, so scalar and bit-parallel runs agree
@@ -52,7 +61,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use presky_core::bitworlds::{
-    block_lane_mask, survivors_block, survivors_block_antithetic, BlockScratch,
+    normalize_lane_words, superblock_lane_mask, survivors_wide, survivors_wide4,
+    survivors_wide4_antithetic, survivors_wide_antithetic, WideScratch, DEFAULT_LANE_WORDS,
 };
 use presky_core::coins::CoinView;
 use presky_core::preference::PreferenceModel;
@@ -82,6 +92,11 @@ pub struct SamOptions {
     /// the two paths use different RNG streams, so they agree within the
     /// Hoeffding ε but not bit-for-bit.
     pub bit_parallel: bool,
+    /// Words per kernel step (`64 × lane_words` worlds per superblock).
+    /// Normalised to the supported set {1, 2, 4, 8} by rounding down;
+    /// estimates are bit-identical at every width, so this is purely a
+    /// throughput knob. Ignored by the scalar loop.
+    pub lane_words: usize,
     /// Optional absolute wall-clock cut-off. Checked between 64-world
     /// blocks (bit-parallel) or every 64 worlds (scalar); on expiry the run
     /// aborts with [`ApproxError::DeadlineExceeded`] rather than returning
@@ -99,6 +114,7 @@ impl SamOptions {
             sort_checking: true,
             lazy: true,
             bit_parallel: true,
+            lane_words: DEFAULT_LANE_WORDS,
             deadline_at: None,
         }
     }
@@ -130,6 +146,13 @@ impl SamOptions {
     /// Chainable: toggle the 64-worlds-per-word kernel.
     pub fn with_bit_parallel(mut self, on: bool) -> Self {
         self.bit_parallel = on;
+        self
+    }
+
+    /// Chainable: set the kernel lane width in words (normalised to
+    /// {1, 2, 4, 8}; estimates do not depend on it).
+    pub fn with_lane_words(mut self, lane_words: usize) -> Self {
+        self.lane_words = lane_words;
         self
     }
 
@@ -220,8 +243,73 @@ pub struct SamScratch {
     /// `base + h`, so stale stamps from earlier runs (all `≤ base`) can
     /// never alias a current world and the stamp array needs no clearing.
     generation: u64,
-    /// Bit-parallel kernel state (thresholds, mask cache, telemetry).
-    bits: BlockScratch,
+    /// Bit-parallel kernel state per supported lane width (thresholds,
+    /// mask cache, telemetry). Only the width a run selects is touched;
+    /// the others stay empty.
+    bits1: WideScratch<1>,
+    bits2: WideScratch<2>,
+    bits4: WideScratch<4>,
+    bits8: WideScratch<8>,
+}
+
+/// One bit-parallel run at lane width `W`: superblock loop, deadline
+/// checks between superblocks, dead-lane masking on the final partial
+/// superblock. Returns `(hits, coin_draws, attacker_checks)`.
+///
+/// `kernel` is the superblock evaluator — the portable generic for most
+/// widths, the runtime-dispatched AVX2 build for `W = 4`.
+#[allow(clippy::type_complexity)]
+fn run_wide<const W: usize>(
+    view: &CoinView,
+    order: &[usize],
+    opts: &SamOptions,
+    start: Instant,
+    kernel: fn(&CoinView, &[usize], u64, u64, &[u64; W], bool, &mut WideScratch<W>) -> [u64; W],
+    bits: &mut WideScratch<W>,
+) -> Result<(u64, u64, u64)> {
+    bits.prepare(view);
+    let worlds_per = 64 * W as u64;
+    let mut hits = 0u64;
+    for sb in 0..opts.samples.div_ceil(worlds_per) {
+        check_deadline(opts, start, sb * worlds_per)?;
+        let lane_mask = superblock_lane_mask::<W>(opts.samples, sb);
+        let live = kernel(view, order, opts.seed, sb, &lane_mask, opts.lazy, bits);
+        hits += live.iter().map(|w| u64::from(w.count_ones())).sum::<u64>();
+    }
+    Ok((hits, bits.coin_draws, bits.attacker_checks))
+}
+
+/// Antithetic counterpart of [`run_wide`]: lane `j` of each word carries a
+/// mirrored world pair, `total_pairs` pairs in all.
+#[allow(clippy::type_complexity)]
+fn run_wide_antithetic<const W: usize>(
+    view: &CoinView,
+    order: &[usize],
+    opts: &SamOptions,
+    start: Instant,
+    pairs: u64,
+    kernel: fn(
+        &CoinView,
+        &[usize],
+        u64,
+        u64,
+        &[u64; W],
+        bool,
+        &mut WideScratch<W>,
+    ) -> ([u64; W], [u64; W]),
+    bits: &mut WideScratch<W>,
+) -> Result<(u64, u64, u64)> {
+    bits.prepare(view);
+    let pairs_per = 64 * W as u64;
+    let mut hits = 0u64;
+    for sb in 0..pairs.div_ceil(pairs_per) {
+        check_deadline(opts, start, sb * pairs_per * 2)?;
+        let lane_mask = superblock_lane_mask::<W>(pairs, sb);
+        let (live_p, live_m) = kernel(view, order, opts.seed, sb, &lane_mask, opts.lazy, bits);
+        hits += live_p.iter().map(|w| u64::from(w.count_ones())).sum::<u64>();
+        hits += live_m.iter().map(|w| u64::from(w.count_ones())).sum::<u64>();
+    }
+    Ok((hits, bits.coin_draws, bits.attacker_checks))
 }
 
 /// Allocation-reusing form of [`sky_sam_view`]: identical RNG draw sequence
@@ -245,21 +333,18 @@ pub fn sky_sam_view_with(
     }
     if opts.bit_parallel {
         let order = &scratch.order;
-        let bits = &mut scratch.bits;
-        bits.prepare(view);
-        let mut hits = 0u64;
-        for block in 0..opts.samples.div_ceil(64) {
-            check_deadline(&opts, start, block * 64)?;
-            let lane_mask = block_lane_mask(opts.samples, block);
-            let live = survivors_block(view, order, opts.seed, block, lane_mask, opts.lazy, bits);
-            hits += u64::from(live.count_ones());
-        }
+        let (hits, coin_draws, attacker_checks) = match normalize_lane_words(opts.lane_words) {
+            1 => run_wide::<1>(view, order, &opts, start, survivors_wide::<1>, &mut scratch.bits1),
+            2 => run_wide::<2>(view, order, &opts, start, survivors_wide::<2>, &mut scratch.bits2),
+            8 => run_wide::<8>(view, order, &opts, start, survivors_wide::<8>, &mut scratch.bits8),
+            _ => run_wide::<4>(view, order, &opts, start, survivors_wide4, &mut scratch.bits4),
+        }?;
         return Ok(SamOutcome {
             estimate: hits as f64 / opts.samples as f64,
             samples: opts.samples,
             skyline_hits: hits,
-            coin_draws: bits.coin_draws,
-            attacker_checks: bits.attacker_checks,
+            coin_draws,
+            attacker_checks,
             elapsed: start.elapsed(),
         });
     }
@@ -354,27 +439,54 @@ pub fn sky_sam_antithetic_view(view: &CoinView, opts: SamOptions) -> Result<SamO
     let pairs = opts.samples.div_ceil(2);
 
     if opts.bit_parallel {
-        // Lane j of a block carries pair j: the plain world and its mirror
+        // Lane j of a word carries pair j: the plain world and its mirror
         // share one plane stream per coin (`bernoulli_mask_pair`), exactly
         // as the scalar pair shares its uniforms.
-        let mut bits = BlockScratch::default();
-        bits.prepare(view);
-        let mut hits = 0u64;
-        for block in 0..pairs.div_ceil(64) {
-            check_deadline(&opts, start, block * 128)?;
-            let lane_mask = block_lane_mask(pairs, block);
-            let (live_p, live_m) = survivors_block_antithetic(
-                view, &order, opts.seed, block, lane_mask, opts.lazy, &mut bits,
-            );
-            hits += u64::from(live_p.count_ones() + live_m.count_ones());
-        }
+        let (hits, coin_draws, attacker_checks) = match normalize_lane_words(opts.lane_words) {
+            1 => run_wide_antithetic::<1>(
+                view,
+                &order,
+                &opts,
+                start,
+                pairs,
+                survivors_wide_antithetic::<1>,
+                &mut WideScratch::default(),
+            ),
+            2 => run_wide_antithetic::<2>(
+                view,
+                &order,
+                &opts,
+                start,
+                pairs,
+                survivors_wide_antithetic::<2>,
+                &mut WideScratch::default(),
+            ),
+            8 => run_wide_antithetic::<8>(
+                view,
+                &order,
+                &opts,
+                start,
+                pairs,
+                survivors_wide_antithetic::<8>,
+                &mut WideScratch::default(),
+            ),
+            _ => run_wide_antithetic::<4>(
+                view,
+                &order,
+                &opts,
+                start,
+                pairs,
+                survivors_wide4_antithetic,
+                &mut WideScratch::default(),
+            ),
+        }?;
         let total = pairs * 2;
         return Ok(SamOutcome {
             estimate: hits as f64 / total as f64,
             samples: total,
             skyline_hits: hits,
-            coin_draws: bits.coin_draws,
-            attacker_checks: bits.attacker_checks,
+            coin_draws,
+            attacker_checks,
             elapsed: start.elapsed(),
         });
     }
@@ -687,6 +799,31 @@ mod tests {
         let again = sky_sam_view_with(&view, opts, &mut scratch).unwrap();
         assert_eq!(warm.skyline_hits, lazy.skyline_hits);
         assert_eq!(again.skyline_hits, lazy.skyline_hits);
+    }
+
+    #[test]
+    fn estimates_are_bit_identical_at_every_lane_width() {
+        let (t, p) = example1();
+        let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        // Deliberately not a multiple of 256 so wide runs carry phantom
+        // words and a partial trailing word.
+        for m in [100u64, 1000, 5000] {
+            let base = SamOptions::with_samples(m, 17);
+            let narrow = sky_sam_view(&view, base.with_lane_words(1)).unwrap();
+            for w in [2usize, 4, 8, 5, 64] {
+                let wide = sky_sam_view(&view, base.with_lane_words(w)).unwrap();
+                assert_eq!(narrow.skyline_hits, wide.skyline_hits, "m {m} width {w}");
+                assert_eq!(narrow.estimate.to_bits(), wide.estimate.to_bits());
+                // Antithetic pairs are width-invariant too.
+                let an = sky_sam_antithetic_view(&view, base.with_lane_words(1)).unwrap();
+                let aw = sky_sam_antithetic_view(&view, base.with_lane_words(w)).unwrap();
+                assert_eq!(an.skyline_hits, aw.skyline_hits, "anti m {m} width {w}");
+            }
+            // Eager telemetry counts exactly m × n_coins at any width.
+            let eager4 =
+                sky_sam_view(&view, SamOptions { lazy: false, ..base.with_lane_words(4) }).unwrap();
+            assert_eq!(eager4.coin_draws, m * view.n_coins() as u64);
+        }
     }
 
     #[test]

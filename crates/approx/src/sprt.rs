@@ -27,10 +27,21 @@
 //! reported `samples_used` is rounded up to the block that crossed (a
 //! truncated test still uses exactly `max_samples`, via a lane-masked
 //! final block).
+//!
+//! With [`SprtOptions::lane_words`] `> 1` the kernel evaluates a
+//! superblock of `64 × W` worlds per step, but the Wald statistic still
+//! **walks the superblock's words sequentially**, checking the boundaries
+//! after every 64-world word; a crossing mid-superblock discards the
+//! already-evaluated later words. Decisions, `samples_used`, and running
+//! estimates are therefore bit-identical at every lane width — wider lanes
+//! only trade a little overshoot work for kernel throughput.
 
 use std::time::Instant;
 
-use presky_core::bitworlds::{block_lane_mask, survivors_block, BlockScratch};
+use presky_core::bitworlds::{
+    normalize_lane_words, superblock_lane_mask, survivors_wide, survivors_wide4, WideScratch,
+    DEFAULT_LANE_WORDS,
+};
 use presky_core::coins::CoinView;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
@@ -52,9 +63,12 @@ pub struct SprtOptions {
     pub max_samples: u64,
     /// RNG seed.
     pub seed: u64,
-    /// Optional absolute wall-clock cut-off, checked between 64-world
-    /// blocks. An expired deadline truncates the test early with an
-    /// honest `Undecided` (never a fabricated certificate).
+    /// Kernel lane width in words (normalised to {1, 2, 4, 8}); the test's
+    /// decisions and sample counts are bit-identical at every width.
+    pub lane_words: usize,
+    /// Optional absolute wall-clock cut-off, checked between superblocks.
+    /// An expired deadline truncates the test early with an honest
+    /// `Undecided` (never a fabricated certificate).
     pub deadline_at: Option<Instant>,
 }
 
@@ -66,6 +80,7 @@ impl Default for SprtOptions {
             beta: 0.01,
             max_samples: 200_000,
             seed: 0,
+            lane_words: DEFAULT_LANE_WORDS,
             deadline_at: None,
         }
     }
@@ -99,6 +114,13 @@ impl SprtOptions {
     /// Chainable: set the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Chainable: set the kernel lane width in words (normalised to
+    /// {1, 2, 4, 8}; decisions do not depend on it).
+    pub fn with_lane_words(mut self, lane_words: usize) -> Self {
+        self.lane_words = lane_words;
         self
     }
 
@@ -174,19 +196,49 @@ pub fn sky_threshold_test_view(
     let lower = (opts.beta / (1.0 - opts.alpha)).ln();
 
     let order = view.checking_sequence();
-    let mut bits = BlockScratch::default();
-    bits.prepare(view);
+    let walk = WaldWalk { l_hit, l_miss, upper, lower };
+    match normalize_lane_words(opts.lane_words) {
+        1 => run_sprt::<1>(view, &order, opts, walk, survivors_wide::<1>),
+        2 => run_sprt::<2>(view, &order, opts, walk, survivors_wide::<2>),
+        8 => run_sprt::<8>(view, &order, opts, walk, survivors_wide::<8>),
+        _ => run_sprt::<4>(view, &order, opts, walk, survivors_wide4),
+    }
+}
 
-    // Step the Wald statistic in 64-world blocks (lazily-sampled worlds,
-    // identical mechanics to Algorithm 2, 64 lanes at a time) and check
-    // the boundaries between blocks.
+/// The precomputed Wald statistic increments and decision boundaries.
+#[derive(Clone, Copy)]
+struct WaldWalk {
+    l_hit: f64,
+    l_miss: f64,
+    upper: f64,
+    lower: f64,
+}
+
+/// A width-`W` survivor kernel: `survivors_wide::<W>` or the AVX2
+/// dispatcher at `W = 4`.
+type WideKernel<const W: usize> =
+    fn(&CoinView, &[usize], u64, u64, &[u64; W], bool, &mut WideScratch<W>) -> [u64; W];
+
+/// One sequential test at lane width `W`: superblocks are evaluated wide,
+/// the Wald statistic walks their words sequentially (see module docs), so
+/// the outcome is bit-identical to the `W = 1` walk.
+fn run_sprt<const W: usize>(
+    view: &CoinView,
+    order: &[usize],
+    opts: SprtOptions,
+    walk: WaldWalk,
+    kernel: WideKernel<W>,
+) -> Result<SprtOutcome> {
+    let mut bits = WideScratch::<W>::default();
+    bits.prepare(view);
+    let worlds_per = 64 * W as u64;
     let mut llr = 0.0;
     let mut hits = 0u64;
     let mut used = 0u64;
-    for block in 0..opts.max_samples.div_ceil(64) {
+    for sb in 0..opts.max_samples.div_ceil(worlds_per) {
         if let Some(at) = opts.deadline_at {
             // An expired budget truncates the test: report the honest
-            // `Undecided` over the blocks completed so far rather than a
+            // `Undecided` over the words completed so far rather than a
             // certificate the evidence has not earned.
             if Instant::now() >= at {
                 return Ok(SprtOutcome {
@@ -196,26 +248,31 @@ pub fn sky_threshold_test_view(
                 });
             }
         }
-        let lane_mask = block_lane_mask(opts.max_samples, block);
-        let worlds = u64::from(lane_mask.count_ones());
-        let live = survivors_block(view, &order, opts.seed, block, lane_mask, true, &mut bits);
-        let block_hits = u64::from(live.count_ones());
-        hits += block_hits;
-        used += worlds;
-        llr += block_hits as f64 * l_hit + (worlds - block_hits) as f64 * l_miss;
-        if llr >= upper {
-            return Ok(SprtOutcome {
-                decision: ThresholdDecision::AtLeast,
-                samples_used: used,
-                estimate: hits as f64 / used as f64,
-            });
-        }
-        if llr <= lower {
-            return Ok(SprtOutcome {
-                decision: ThresholdDecision::Below,
-                samples_used: used,
-                estimate: hits as f64 / used as f64,
-            });
+        let lane_mask = superblock_lane_mask::<W>(opts.max_samples, sb);
+        let live = kernel(view, order, opts.seed, sb, &lane_mask, true, &mut bits);
+        for w in 0..W {
+            if lane_mask[w] == 0 {
+                break;
+            }
+            let worlds = u64::from(lane_mask[w].count_ones());
+            let word_hits = u64::from(live[w].count_ones());
+            hits += word_hits;
+            used += worlds;
+            llr += word_hits as f64 * walk.l_hit + (worlds - word_hits) as f64 * walk.l_miss;
+            if llr >= walk.upper {
+                return Ok(SprtOutcome {
+                    decision: ThresholdDecision::AtLeast,
+                    samples_used: used,
+                    estimate: hits as f64 / used as f64,
+                });
+            }
+            if llr <= walk.lower {
+                return Ok(SprtOutcome {
+                    decision: ThresholdDecision::Below,
+                    samples_used: used,
+                    estimate: hits as f64 / used as f64,
+                });
+            }
         }
     }
     Ok(SprtOutcome {
@@ -289,6 +346,24 @@ mod tests {
             }
         }
         assert!(wrong <= 1, "{wrong}/80 sequential decisions were wrong");
+    }
+
+    #[test]
+    fn outcomes_are_bit_identical_at_every_lane_width() {
+        let (t, p) = example1();
+        // Both fast-resolving and truncated tests, across widths.
+        for (tau, max) in [(0.5, 200_000u64), (0.05, 200_000), (0.1875, 2_000)] {
+            let base = SprtOptions { max_samples: max, seed: 9, ..Default::default() };
+            let narrow =
+                sky_threshold_test(&t, &p, ObjectId(0), tau, base.with_lane_words(1)).unwrap();
+            for w in [2usize, 4, 8] {
+                let wide =
+                    sky_threshold_test(&t, &p, ObjectId(0), tau, base.with_lane_words(w)).unwrap();
+                assert_eq!(narrow.decision, wide.decision, "tau {tau} width {w}");
+                assert_eq!(narrow.samples_used, wide.samples_used, "tau {tau} width {w}");
+                assert_eq!(narrow.estimate.to_bits(), wide.estimate.to_bits());
+            }
+        }
     }
 
     #[test]

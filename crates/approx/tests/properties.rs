@@ -193,6 +193,48 @@ proptest! {
     }
 
     #[test]
+    fn lane_widths_are_bit_identical(view in clause_system(), seed in 0u64..1000) {
+        // Per-lane counter seeding makes every estimate a function of the
+        // world index alone, never of how worlds are grouped into lanes:
+        // all supported widths must agree with W=1 **bit for bit**. On
+        // AVX2 hosts the W=4 rows dispatch through the `std::arch` path,
+        // so this doubles as the SIMD-vs-portable identity check.
+        let base = SamOptions::with_samples(700, seed);
+        let narrow = sky_sam_view(&view, base.with_lane_words(1)).unwrap();
+        let anti_narrow = sky_sam_antithetic_view(&view, base.with_lane_words(1)).unwrap();
+        for w in [2usize, 4, 8] {
+            let wide = sky_sam_view(&view, base.with_lane_words(w)).unwrap();
+            prop_assert_eq!(
+                wide.estimate.to_bits(),
+                narrow.estimate.to_bits(),
+                "Sam W={} diverged: {} vs {}",
+                w,
+                wide.estimate,
+                narrow.estimate
+            );
+            let anti = sky_sam_antithetic_view(&view, base.with_lane_words(w)).unwrap();
+            prop_assert_eq!(
+                anti.estimate.to_bits(),
+                anti_narrow.estimate.to_bits(),
+                "antithetic W={} diverged",
+                w
+            );
+        }
+
+        let kl_base = KarpLubyOptions::default().with_samples(400).with_seed(seed);
+        let kl_narrow = sky_karp_luby_view(&view, kl_base.with_lane_words(1)).unwrap();
+        for w in [2usize, 4, 8] {
+            let kl_wide = sky_karp_luby_view(&view, kl_base.with_lane_words(w)).unwrap();
+            prop_assert_eq!(
+                kl_wide.estimate.to_bits(),
+                kl_narrow.estimate.to_bits(),
+                "Karp-Luby W={} diverged",
+                w
+            );
+        }
+    }
+
+    #[test]
     fn karp_luby_union_mass_bounds(view in clause_system()) {
         let kl = sky_karp_luby_view(&view, KarpLubyOptions::default().with_samples(500).with_seed(1))
             .unwrap();

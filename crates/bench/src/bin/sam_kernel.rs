@@ -1,19 +1,28 @@
 //! `sam_kernel` — throughput of the bit-parallel possible-world kernel.
 //!
 //! ```text
-//! sam_kernel [--quick] [--out <path>]
+//! sam_kernel [--quick] [--out <path>] [--min-width-speedup <ratio>]
 //! ```
 //!
-//! Measures worlds/second of the 64-worlds-per-word kernel
-//! ([`presky_core::bitworlds`], the `Sam` default) against the scalar
-//! per-world loop (`bit_parallel: false`, the ablation baseline) on
-//! block-zipf coin views under the default sampling budget. Both sides
-//! evaluate the *same* preassembled views with reused scratch, so the
-//! ratio isolates kernel work — no view assembly, no preprocessing.
+//! Measures worlds/second of the wide multi-word kernel
+//! ([`presky_core::bitworlds`], `256` worlds per superblock at the
+//! default `lane_words = 4`) against the single-word (`lane_words = 1`)
+//! kernel and the scalar per-world loop (`bit_parallel: false`, the
+//! ablation baseline) on block-zipf coin views under the default
+//! sampling budget. All sides evaluate the *same* preassembled views
+//! with reused scratch, so the ratios isolate kernel work — no view
+//! assembly, no preprocessing.
 //!
-//! Also checks that the two kernels agree statistically on every shared
-//! target, times the end-to-end all-objects sampling driver with the
-//! kernel on and off, and writes a JSON report (default `BENCH_sam.json`).
+//! The W=1 and W=4 estimates must agree **bit for bit** (per-lane
+//! counter seeding makes the estimate width-invariant); the scalar
+//! kernel samples a different stream and is held to the statistical
+//! Hoeffding band instead. `--min-width-speedup` turns the printed
+//! W=4-vs-W=1 ratio into a hard gate (CI's width-ablation smoke).
+//!
+//! Also times the end-to-end all-objects sampling driver with the kernel
+//! on and off, and writes a JSON report (default `BENCH_sam.json`) whose
+//! top-level `lane_words` / `threads` fields record the configuration
+//! the numbers were measured under.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -29,7 +38,7 @@ use presky_approx::bounds::hoeffding_epsilon;
 use presky_approx::sampler::{sky_sam_view_with, SamOptions, SamScratch};
 
 fn usage() {
-    eprintln!("usage: sam_kernel [--quick] [--out <path>]");
+    eprintln!("usage: sam_kernel [--quick] [--out <path>] [--min-width-speedup <ratio>]");
 }
 
 /// Time `sky_sam_view_with` over every view, returning
@@ -51,11 +60,19 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut quick = false;
     let mut out_path = std::path::PathBuf::from("BENCH_sam.json");
+    let mut min_width_speedup: Option<f64> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => match args.next() {
                 Some(p) => out_path = p.into(),
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--min-width-speedup" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(r) => min_width_speedup = Some(r),
                 None => {
                     usage();
                     return ExitCode::FAILURE;
@@ -107,12 +124,44 @@ fn main() -> ExitCode {
     );
 
     let (kernel_s, kernel_rate, kernel_est) = run_kernel(&views, opts);
-    println!("bit-parallel: {kernel_s:.3}s  ({kernel_rate:.0} worlds/s)");
+    println!(
+        "wide (W={}):  {kernel_s:.3}s  ({kernel_rate:.0} worlds/s){}",
+        opts.lane_words,
+        if presky_core::bitworlds::avx2_available() { "  [avx2]" } else { "" }
+    );
+    let narrow_opts = opts.with_lane_words(1);
+    let (narrow_s, narrow_rate, narrow_est) = run_kernel(&views, narrow_opts);
+    println!("single-word:  {narrow_s:.3}s  ({narrow_rate:.0} worlds/s)");
     let scalar_opts = opts.with_bit_parallel(false);
     let (scalar_s, scalar_rate, scalar_est) = run_kernel(&views, scalar_opts);
     println!("scalar:       {scalar_s:.3}s  ({scalar_rate:.0} worlds/s)");
     let speedup = kernel_rate / scalar_rate;
-    println!("speedup: {speedup:.2}x (target >= 8x)");
+    println!("speedup vs scalar: {speedup:.2}x (target >= 8x)");
+    let width_speedup = kernel_rate / narrow_rate;
+    println!("speedup W={} vs W=1: {width_speedup:.2}x", opts.lane_words);
+
+    // Per-lane counter seeding makes the estimate a function of the world
+    // index alone, so W=1 and W=4 must agree exactly — any drift is a bug,
+    // not noise.
+    for (j, (wide, narrow)) in kernel_est.iter().zip(&narrow_est).enumerate() {
+        assert!(
+            wide.to_bits() == narrow.to_bits(),
+            "lane-width divergence on view {j}: W={} gave {wide}, W=1 gave {narrow}",
+            opts.lane_words
+        );
+    }
+    println!(
+        "width identity: W={} == W=1 bit-for-bit on all {} views",
+        opts.lane_words,
+        views.len()
+    );
+
+    if let Some(min) = min_width_speedup {
+        if width_speedup < min {
+            eprintln!("width speedup {width_speedup:.2}x below required {min:.2}x");
+            return ExitCode::FAILURE;
+        }
+    }
 
     // The two kernels estimate the same quantity from different streams;
     // each is within ε of the truth w.p. 1 − δ, so their gap stays under
@@ -147,6 +196,9 @@ fn main() -> ExitCode {
         e2e_sam.samples
     );
 
+    // Top-level scalar fields stay above the nested objects: the baseline
+    // checker's field lookup is first-occurrence, so nesting them lower
+    // would shadow them behind same-named keys inside the row objects.
     let json = format!(
         concat!(
             "{{\n",
@@ -154,13 +206,18 @@ fn main() -> ExitCode {
             "  \"n\": {},\n",
             "  \"d\": {},\n",
             "  \"quick\": {},\n",
+            "  \"lane_words\": {},\n",
+            "  \"threads\": 1,\n",
+            "  \"avx2\": {},\n",
             "  \"targets\": {},\n",
             "  \"samples_per_target\": {},\n",
             "  \"mean_attackers\": {:.1},\n",
             "  \"mean_coins\": {:.1},\n",
             "  \"bit_parallel\": {{ \"elapsed_s\": {:.6}, \"worlds_per_sec\": {:.1} }},\n",
+            "  \"single_word\": {{ \"elapsed_s\": {:.6}, \"worlds_per_sec\": {:.1} }},\n",
             "  \"scalar\": {{ \"elapsed_s\": {:.6}, \"worlds_per_sec\": {:.1} }},\n",
             "  \"speedup\": {:.3},\n",
+            "  \"width_speedup\": {:.3},\n",
             "  \"max_estimate_gap\": {:.6},\n",
             "  \"end_to_end\": {{ \"n\": {}, \"samples\": {}, \"kernel_s\": {:.6}, ",
             "\"scalar_s\": {:.6}, \"speedup\": {:.3} }}\n",
@@ -169,15 +226,20 @@ fn main() -> ExitCode {
         n,
         d,
         quick,
+        opts.lane_words,
+        presky_core::bitworlds::avx2_available(),
         views.len(),
         opts.samples,
         mean_attackers,
         mean_coins,
         kernel_s,
         kernel_rate,
+        narrow_s,
+        narrow_rate,
         scalar_s,
         scalar_rate,
         speedup,
+        width_speedup,
         max_gap,
         e2e_n,
         e2e_sam.samples,

@@ -29,7 +29,11 @@
 //! * [`batch`] — shared per-table indexes assembling many coin views with
 //!   no per-target hashing (the all-objects query path).
 //! * [`bitworlds`] — the bit-parallel possible-world kernel: 64 worlds per
-//!   machine word, bit-sliced Bernoulli masks, counter-based seeding.
+//!   machine word (multi-word SIMD lanes widen this to 256+ per step),
+//!   bit-sliced Bernoulli masks, counter-based seeding.
+//! * [`pool`] — thread-count resolution and the shared [`pool::ThreadBudget`]
+//!   token pot that keeps object-level and within-component parallelism
+//!   from oversubscribing one machine.
 //!
 //! ## Quick example
 //!
@@ -53,29 +57,38 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the one `#[allow]`-scoped module that
+// wraps the AVX2 `std::arch` kernel path behind runtime feature detection
+// (`bitworlds::avx2`). Everything else stays safe Rust.
+#![deny(unsafe_code)]
 
 pub mod batch;
 pub mod bitworlds;
 pub mod coins;
 pub mod dominance;
 pub mod error;
+pub mod pool;
 pub mod preference;
 pub mod schema;
 pub mod table;
 pub mod types;
 pub mod world;
 
+pub use pool::num_threads;
+
 /// Convenient glob-import of the commonly used names.
 pub mod prelude {
     pub use crate::batch::{BatchCoinContext, BatchScratch};
     pub use crate::bitworlds::{
-        bernoulli_mask, bernoulli_mask_pair, block_lane_mask, survivors_block,
-        survivors_block_antithetic, threshold, BlockKey, BlockScratch, PlaneRng,
+        bernoulli_mask, bernoulli_mask_pair, block_lane_mask, normalize_lane_words,
+        superblock_lane_mask, survivors_block, survivors_block_antithetic, survivors_wide,
+        survivors_wide_antithetic, threshold, BlockKey, BlockScratch, PlaneRng, WideScratch,
+        DEFAULT_LANE_WORDS,
     };
     pub use crate::coins::{Attacker, CoinKey, CoinRemap, CoinView, SYNTHETIC_SOURCE};
     pub use crate::dominance::{differing_dims, dominates_in_world, pr_dominates};
     pub use crate::error::{CoreError, Result};
+    pub use crate::pool::{num_threads, ThreadBudget, ThreadLease};
     pub use crate::preference::{
         generate_table_preferences, Ballot, BradleyTerry, DeterministicOrder, ElicitationBuilder,
         PairLaw, PrefDistribution, PrefPair, PreferenceModel, SeededPreferences, TablePreferences,

@@ -32,7 +32,35 @@
 //!   then pairing each extension `T` with `T ∪ {j}` matches equal joint
 //!   probabilities of opposite sign, so the entire cell (the `{…, i}` term
 //!   and all its extensions) sums to exactly zero and is skipped whole.
+//!
+//! ## Parallel DFS (within one component)
+//!
+//! With [`DetOptions::threads`] `> 1` and at least [`PAR_MIN_ATTACKERS`]
+//! attackers, the traversal runs in three phases:
+//!
+//! 1. **Split** — a serial walk of the lattice down to
+//!    [`PAR_SPLIT_DEPTH`], computing the shallow terms exactly as the
+//!    serial code would and recording every depth-boundary subtree as a
+//!    *job* `(from, prod, sign, union)`;
+//! 2. **Compute** — a scoped worker pool drains the job list through an
+//!    atomic cursor, each worker running the unchanged serial recursion on
+//!    its jobs. Budgets stay enforced: workers charge a shared atomic
+//!    joints ledger every 8192 joints (the long-standing chunk size) and
+//!    check the deadline/joint caps against the committed total, so
+//!    overshoot is bounded by one chunk per worker;
+//! 3. **Fold** — the shallow terms and the per-job subtree sums are added
+//!    in the exact bracketing of the serial recursion (each subtree is
+//!    summed into a fresh accumulator that is added to its parent once).
+//!
+//! Both the serial and the parallel path accumulate per-subtree partial
+//! sums in this canonical order, so the result is **bit-identical at every
+//! thread count** — the property the engine's component cache and the
+//! all-sky reproducibility tests rely on. A tripped budget aborts all
+//! workers and surfaces the first error; the value is withheld, never
+//! wrong.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use presky_core::coins::CoinView;
@@ -41,6 +69,15 @@ use presky_core::table::Table;
 use presky_core::types::ObjectId;
 
 use crate::error::{ExactError, Result};
+
+/// Depth at which the parallel path cuts the lattice into jobs. Depth 3
+/// yields `O(n³)` jobs — enough for work stealing to balance the heavily
+/// skewed subtree sizes — while keeping the serial split phase trivial.
+pub const PAR_SPLIT_DEPTH: usize = 3;
+
+/// Components smaller than this stay serial even when threads are granted:
+/// below ~2^17 lattice nodes the spawn cost exceeds the traversal cost.
+pub const PAR_MIN_ATTACKERS: usize = 17;
 
 /// Budgets for the exponential exact computation.
 ///
@@ -64,8 +101,17 @@ pub struct DetOptions {
     pub deadline_at: Option<Instant>,
     /// Optional cap on the joint probabilities computed by this call. The
     /// DFS checks it between chunks of 8192 joints, so overshoot is bounded
-    /// by one chunk. `None` = unbounded.
+    /// by one chunk (per worker, when `threads > 1`). `None` = unbounded.
     pub max_joints: Option<u64>,
+    /// Threads this call may use for the within-component parallel DFS.
+    /// `1` (the default) stays serial; values above 1 engage the
+    /// split/compute/fold path on components with at least
+    /// [`PAR_MIN_ATTACKERS`] attackers. Results are bit-identical at every
+    /// setting. The engine stamps this from a [`ThreadLease`] grant so one
+    /// machine-wide pot bounds total parallelism.
+    ///
+    /// [`ThreadLease`]: presky_core::pool::ThreadLease
+    pub threads: usize,
     /// Skip subtrees whose joint probability is already zero (sound:
     /// every superset of a zero-probability event set has zero
     /// probability). On by default; the benchmark harness turns it off to
@@ -88,6 +134,7 @@ impl Default for DetOptions {
             deadline: None,
             deadline_at: None,
             max_joints: None,
+            threads: 1,
             prune_zero: true,
             prune_covered: true,
         }
@@ -116,6 +163,12 @@ impl DetOptions {
     /// Chainable: set the attacker ceiling (raise it only with a deadline!).
     pub fn with_max_attackers(mut self, max_attackers: usize) -> Self {
         self.max_attackers = max_attackers;
+        self
+    }
+
+    /// Chainable: set the thread allowance (`0` is sanitised to `1`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -187,24 +240,51 @@ pub fn sky_det_view_with(
     if n > opts.max_attackers {
         return Err(ExactError::TooManyAttackers { n, max: opts.max_attackers });
     }
+    let parallel = opts.threads > 1 && n >= PAR_MIN_ATTACKERS;
     if view.n_coins() <= 64 {
         scratch.masks.clear();
         scratch.masks.extend(
             (0..n).map(|i| view.attacker_coins(i).iter().fold(0u64, |m, &k| m | (1u64 << k))),
         );
+        let masks: &[u64] = &scratch.masks;
         let mut ctx = MaskCtx {
             view,
-            masks: &scratch.masks,
-            acc: 1.0,
-            joints: 0,
+            masks,
             budget: DfsBudget::new(&opts, start),
             prune_zero: opts.prune_zero,
             prune_covered: opts.prune_covered,
         };
-        ctx.dfs(0, 1.0, true, 0)?;
+        if parallel {
+            let mut jobs = Vec::new();
+            let slots = ctx.dfs_split(PAR_SPLIT_DEPTH, 0, 1.0, true, 0, &mut jobs)?;
+            let ledger = SharedLedger::new(&opts, start, ctx.budget.joints);
+            let results = run_jobs(
+                opts.threads,
+                jobs.len(),
+                &ledger,
+                || (),
+                |k, (), budget| {
+                    let job = &jobs[k];
+                    let mut worker = MaskCtx {
+                        view,
+                        masks,
+                        budget,
+                        prune_zero: opts.prune_zero,
+                        prune_covered: opts.prune_covered,
+                    };
+                    worker.dfs(job.from, job.prod, job.negative, job.union)
+                },
+            )?;
+            return Ok(DetOutcome {
+                sky: 1.0 + fold_slots(&slots, &results),
+                joints_computed: ledger.total(),
+                elapsed: start.elapsed(),
+            });
+        }
+        let sum = ctx.dfs(0, 1.0, true, 0)?;
         return Ok(DetOutcome {
-            sky: ctx.acc,
-            joints_computed: ctx.joints,
+            sky: 1.0 + sum,
+            joints_computed: ctx.budget.joints,
             elapsed: start.elapsed(),
         });
     }
@@ -213,26 +293,81 @@ pub fn sky_det_view_with(
     let mut ctx = Ctx {
         view,
         mult: &mut scratch.mult,
-        acc: 1.0,
-        joints: 0,
         budget: DfsBudget::new(&opts, start),
         prune_zero: opts.prune_zero,
         prune_covered: opts.prune_covered,
     };
-    ctx.dfs(0, 1.0, true)?;
-    Ok(DetOutcome { sky: ctx.acc, joints_computed: ctx.joints, elapsed: start.elapsed() })
+    if parallel {
+        let mut jobs = Vec::new();
+        let mut path = Vec::with_capacity(PAR_SPLIT_DEPTH);
+        let slots = ctx.dfs_split(PAR_SPLIT_DEPTH, 0, 1.0, true, &mut path, &mut jobs)?;
+        let ledger = SharedLedger::new(&opts, start, ctx.budget.joints);
+        let n_coins = view.n_coins();
+        let results = run_jobs(
+            opts.threads,
+            jobs.len(),
+            &ledger,
+            || vec![0u32; n_coins],
+            |k, mult: &mut Vec<u32>, budget| {
+                let job = &jobs[k];
+                // Replay the split-phase prefix into this worker's private
+                // multiplicity counters, solve the subtree, then unwind so
+                // the counters are clean for the next job.
+                for &i in &job.prefix {
+                    for &c in view.attacker_coins(i) {
+                        mult[c as usize] += 1;
+                    }
+                }
+                let mut worker = Ctx {
+                    view,
+                    mult,
+                    budget,
+                    prune_zero: opts.prune_zero,
+                    prune_covered: opts.prune_covered,
+                };
+                let sum = worker.dfs(job.from, job.prod, job.negative);
+                for &i in &job.prefix {
+                    for &c in view.attacker_coins(i) {
+                        mult[c as usize] -= 1;
+                    }
+                }
+                sum
+            },
+        )?;
+        return Ok(DetOutcome {
+            sky: 1.0 + fold_slots(&slots, &results),
+            joints_computed: ledger.total(),
+            elapsed: start.elapsed(),
+        });
+    }
+    let sum = ctx.dfs(0, 1.0, true)?;
+    Ok(DetOutcome { sky: 1.0 + sum, joints_computed: ctx.budget.joints, elapsed: start.elapsed() })
 }
 
-/// Budget state shared by both DFS paths: the relative and absolute
-/// deadlines and the joint cap, checked between chunks of 8192 joints so
-/// the per-joint cost stays one counter increment. Overshoot past any
-/// budget is bounded by one chunk — the guarantee the resident service's
+/// Per-joint accounting hook shared by the serial budget and the parallel
+/// workers' ledger tickers: called once per joint probability computed.
+trait JointBudget {
+    fn tick(&mut self) -> Result<()>;
+}
+
+impl<B: JointBudget> JointBudget for &mut B {
+    #[inline]
+    fn tick(&mut self) -> Result<()> {
+        (**self).tick()
+    }
+}
+
+/// Budget state of a serial traversal: the relative and absolute deadlines
+/// and the joint cap, checked between chunks of 8192 joints so the
+/// per-joint cost stays one counter increment. Overshoot past any budget
+/// is bounded by one chunk — the guarantee the resident service's
 /// "terminates within budget + one chunk granularity" contract relies on.
 struct DfsBudget {
     deadline: Option<Duration>,
     deadline_at: Option<Instant>,
     max_joints: Option<u64>,
     start: Instant,
+    joints: u64,
     since_check: u32,
 }
 
@@ -243,66 +378,267 @@ impl DfsBudget {
             deadline_at: opts.deadline_at,
             max_joints: opts.max_joints,
             start,
+            joints: 0,
             since_check: 0,
         }
     }
+}
 
+impl JointBudget for DfsBudget {
     #[inline]
-    fn tick(&mut self, joints: u64) -> Result<()> {
+    fn tick(&mut self) -> Result<()> {
+        self.joints += 1;
         self.since_check += 1;
         if self.since_check >= 8192 {
             self.since_check = 0;
-            self.check(joints)?;
-        }
-        Ok(())
-    }
-
-    #[cold]
-    fn check(&self, joints: u64) -> Result<()> {
-        if let Some(max) = self.max_joints {
-            if joints >= max {
-                return Err(ExactError::JointBudgetExceeded { joints_computed: joints, max });
-            }
-        }
-        if let Some(d) = self.deadline {
-            if self.start.elapsed() > d {
-                return Err(ExactError::DeadlineExceeded {
-                    elapsed: self.start.elapsed(),
-                    joints_computed: joints,
-                });
-            }
-        }
-        if let Some(at) = self.deadline_at {
-            if Instant::now() >= at {
-                return Err(ExactError::DeadlineExceeded {
-                    elapsed: self.start.elapsed(),
-                    joints_computed: joints,
-                });
-            }
+            check_budgets(
+                self.max_joints,
+                self.deadline,
+                self.deadline_at,
+                self.start,
+                self.joints,
+            )?;
         }
         Ok(())
     }
 }
 
-struct Ctx<'a> {
+#[cold]
+fn check_budgets(
+    max_joints: Option<u64>,
+    deadline: Option<Duration>,
+    deadline_at: Option<Instant>,
+    start: Instant,
+    joints: u64,
+) -> Result<()> {
+    if let Some(max) = max_joints {
+        if joints >= max {
+            return Err(ExactError::JointBudgetExceeded { joints_computed: joints, max });
+        }
+    }
+    if let Some(d) = deadline {
+        if start.elapsed() > d {
+            return Err(ExactError::DeadlineExceeded {
+                elapsed: start.elapsed(),
+                joints_computed: joints,
+            });
+        }
+    }
+    if let Some(at) = deadline_at {
+        if Instant::now() >= at {
+            return Err(ExactError::DeadlineExceeded {
+                elapsed: start.elapsed(),
+                joints_computed: joints,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The shared budget of one parallel solve: a joints ledger all workers
+/// charge, an abort flag, and the first error to trip. Preloaded with the
+/// joints the split phase already computed.
+struct SharedLedger {
+    joints: AtomicU64,
+    abort: AtomicBool,
+    fail: Mutex<Option<ExactError>>,
+    deadline: Option<Duration>,
+    deadline_at: Option<Instant>,
+    max_joints: Option<u64>,
+    start: Instant,
+}
+
+impl SharedLedger {
+    fn new(opts: &DetOptions, start: Instant, preload: u64) -> Self {
+        Self {
+            joints: AtomicU64::new(preload),
+            abort: AtomicBool::new(false),
+            fail: Mutex::new(None),
+            deadline: opts.deadline,
+            deadline_at: opts.deadline_at,
+            max_joints: opts.max_joints,
+            start,
+        }
+    }
+
+    fn commit(&self, delta: u64) -> u64 {
+        self.joints.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    fn total(&self) -> u64 {
+        self.joints.load(Ordering::Relaxed)
+    }
+
+    /// Record the first tripping error and tell every worker to stop.
+    fn trip(&self, e: ExactError) {
+        let mut fail = self.fail.lock().unwrap();
+        if fail.is_none() {
+            *fail = Some(e);
+        }
+        drop(fail);
+        self.abort.store(true, Ordering::Release);
+    }
+
+    fn failure(&self) -> ExactError {
+        self.fail.lock().unwrap().clone().unwrap_or(ExactError::DeadlineExceeded {
+            elapsed: self.start.elapsed(),
+            joints_computed: self.total(),
+        })
+    }
+}
+
+/// A worker's view of the [`SharedLedger`]: joints are buffered locally
+/// and committed (plus budget-checked) every 8192, mirroring the serial
+/// check cadence.
+struct WorkerBudget<'a> {
+    ledger: &'a SharedLedger,
+    pending: u32,
+}
+
+impl JointBudget for WorkerBudget<'_> {
+    #[inline]
+    fn tick(&mut self) -> Result<()> {
+        self.pending += 1;
+        if self.pending >= 8192 {
+            let total = self.ledger.commit(self.pending as u64);
+            self.pending = 0;
+            if self.ledger.abort.load(Ordering::Acquire) {
+                return Err(self.ledger.failure());
+            }
+            check_budgets(
+                self.ledger.max_joints,
+                self.ledger.deadline,
+                self.ledger.deadline_at,
+                self.ledger.start,
+                total,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// One element of the split phase's shallow expression tree. The fold adds
+/// `Term`s and job results in the exact order and bracketing of the serial
+/// recursion.
+enum Slot {
+    /// A signed joint probability computed by the split phase.
+    Term(f64),
+    /// The sum of deferred subtree `jobs[k]`, computed by a worker.
+    Job(usize),
+    /// A shallow interior subtree: summed into its own accumulator, added
+    /// to the parent once — the canonical partial-sum bracketing.
+    Node(Vec<Slot>),
+}
+
+fn fold_slots(slots: &[Slot], results: &[f64]) -> f64 {
+    let mut local = 0.0;
+    for s in slots {
+        match s {
+            Slot::Term(t) => local += t,
+            Slot::Job(k) => local += results[*k],
+            Slot::Node(children) => local += fold_slots(children, results),
+        }
+    }
+    local
+}
+
+/// A deferred subtree on the ≤ 64-coin bitset path.
+struct MaskJob {
+    from: usize,
+    prod: f64,
+    negative: bool,
+    union: u64,
+}
+
+/// A deferred subtree on the multiplicity-counter path: `prefix` is the
+/// chain of attacker indices above the cut, replayed into each worker's
+/// private counters before the subtree runs.
+struct CtxJob {
+    from: usize,
+    prod: f64,
+    negative: bool,
+    prefix: Vec<usize>,
+}
+
+/// Drain `n_jobs` jobs across `threads` scoped workers (the caller's
+/// thread included), writing each job's subtree sum into a result slot.
+/// Worker panics are re-raised on the caller's thread; a tripped budget
+/// aborts the drain and returns the first error.
+fn run_jobs<S, G, F>(
+    threads: usize,
+    n_jobs: usize,
+    ledger: &SharedLedger,
+    init: G,
+    job_fn: F,
+) -> Result<Vec<f64>>
+where
+    G: Fn() -> S + Sync,
+    F: Fn(usize, &mut S, &mut WorkerBudget<'_>) -> Result<f64> + Sync,
+{
+    // Sums are written as bit patterns into atomics so the result vector
+    // can be shared without locks; each slot has exactly one writer.
+    let results: Vec<AtomicU64> = (0..n_jobs).map(|_| AtomicU64::new(0)).collect();
+    let next = AtomicUsize::new(0);
+    let worker = || {
+        let mut state = init();
+        let mut budget = WorkerBudget { ledger, pending: 0 };
+        loop {
+            if ledger.abort.load(Ordering::Acquire) {
+                break;
+            }
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= n_jobs {
+                break;
+            }
+            match job_fn(k, &mut state, &mut budget) {
+                Ok(sum) => results[k].store(sum.to_bits(), Ordering::Relaxed),
+                Err(e) => {
+                    ledger.trip(e);
+                    break;
+                }
+            }
+        }
+        ledger.commit(budget.pending as u64);
+    };
+    let mut panic_payload = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..threads).map(|_| scope.spawn(worker)).collect();
+        worker();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                if panic_payload.is_none() {
+                    panic_payload = Some(payload);
+                }
+            }
+        }
+    });
+    if let Some(payload) = panic_payload {
+        std::panic::resume_unwind(payload);
+    }
+    if ledger.abort.load(Ordering::Acquire) {
+        return Err(ledger.failure());
+    }
+    Ok(results.into_iter().map(|b| f64::from_bits(b.into_inner())).collect())
+}
+
+struct Ctx<'a, B> {
     view: &'a CoinView,
     /// Multiplicity of each coin in the union of the current subset's
     /// attackers; a coin's probability is multiplied in exactly when its
     /// multiplicity rises from zero — Equation 6's "distinct values".
     mult: &'a mut [u32],
-    acc: f64,
-    joints: u64,
-    budget: DfsBudget,
+    budget: B,
     prune_zero: bool,
     prune_covered: bool,
 }
 
-impl Ctx<'_> {
+impl<B: JointBudget> Ctx<'_, B> {
     /// Extend the current subset with every attacker index `>= from`,
-    /// accumulating `(−1)^{|I|} Pr(E_I)`. `negative` is the sign of the
-    /// *next* level.
-    fn dfs(&mut self, from: usize, prod: f64, negative: bool) -> Result<()> {
+    /// returning this subtree's share of `Σ (−1)^{|I|} Pr(E_I)` as a fresh
+    /// partial sum. `negative` is the sign of the *next* level.
+    fn dfs(&mut self, from: usize, prod: f64, negative: bool) -> Result<f64> {
         let n = self.view.n_attackers();
+        let mut local = 0.0;
         for i in from..n {
             for &k in self.view.attacker_coins(i) {
                 self.mult[k as usize] += 1;
@@ -325,37 +661,106 @@ impl Ctx<'_> {
                     p *= self.view.coin_prob(k);
                 }
             }
-            self.joints += 1;
-            self.acc += if negative { -p } else { p };
-            self.budget.tick(self.joints)?;
+            local += if negative { -p } else { p };
+            let r = self.budget.tick().and_then(|()| {
+                if p > 0.0 || !self.prune_zero {
+                    self.dfs(i + 1, p, !negative)
+                } else {
+                    Ok(0.0)
+                }
+            });
+            for &k in self.view.attacker_coins(i) {
+                self.mult[k as usize] -= 1;
+            }
+            local += r?;
+        }
+        Ok(local)
+    }
 
-            let r =
-                if p > 0.0 || !self.prune_zero { self.dfs(i + 1, p, !negative) } else { Ok(()) };
+    /// Split-phase twin of [`Ctx::dfs`]: identical terms and prunes down to
+    /// `depth` levels, deferring each boundary subtree as a [`CtxJob`].
+    fn dfs_split(
+        &mut self,
+        depth: usize,
+        from: usize,
+        prod: f64,
+        negative: bool,
+        path: &mut Vec<usize>,
+        jobs: &mut Vec<CtxJob>,
+    ) -> Result<Vec<Slot>> {
+        let n = self.view.n_attackers();
+        let mut slots = Vec::new();
+        for i in from..n {
+            for &k in self.view.attacker_coins(i) {
+                self.mult[k as usize] += 1;
+            }
+            if self.prune_covered
+                && (i + 1..n)
+                    .any(|j| self.view.attacker_coins(j).iter().all(|&k| self.mult[k as usize] > 0))
+            {
+                for &k in self.view.attacker_coins(i) {
+                    self.mult[k as usize] -= 1;
+                }
+                continue;
+            }
+            let mut p = prod;
+            for &k in self.view.attacker_coins(i) {
+                if self.mult[k as usize] == 1 {
+                    p *= self.view.coin_prob(k);
+                }
+            }
+            slots.push(Slot::Term(if negative { -p } else { p }));
+            let r = self.budget.tick().and_then(|()| {
+                if (p > 0.0 || !self.prune_zero) && i + 1 < n {
+                    if depth <= 1 {
+                        path.push(i);
+                        jobs.push(CtxJob {
+                            from: i + 1,
+                            prod: p,
+                            negative: !negative,
+                            prefix: path.clone(),
+                        });
+                        path.pop();
+                        slots.push(Slot::Job(jobs.len() - 1));
+                        Ok(())
+                    } else {
+                        path.push(i);
+                        let child = self.dfs_split(depth - 1, i + 1, p, !negative, path, jobs);
+                        path.pop();
+                        child.map(|c| {
+                            if !c.is_empty() {
+                                slots.push(Slot::Node(c));
+                            }
+                        })
+                    }
+                } else {
+                    Ok(())
+                }
+            });
             for &k in self.view.attacker_coins(i) {
                 self.mult[k as usize] -= 1;
             }
             r?;
         }
-        Ok(())
+        Ok(slots)
     }
 }
 
-struct MaskCtx<'a> {
+struct MaskCtx<'a, B> {
     view: &'a CoinView,
     /// Attacker coin sets as single-word bitsets (coin id = bit index).
     masks: &'a [u64],
-    acc: f64,
-    joints: u64,
-    budget: DfsBudget,
+    budget: B,
     prune_zero: bool,
     prune_covered: bool,
 }
 
-impl MaskCtx<'_> {
+impl<B: JointBudget> MaskCtx<'_, B> {
     /// Bitset twin of [`Ctx::dfs`]: `union` is the coin set of the current
     /// subset's attackers, and the incremental factor multiplies the bits
     /// of `masks[i] & !union` in ascending order.
-    fn dfs(&mut self, from: usize, prod: f64, negative: bool, union: u64) -> Result<()> {
+    fn dfs(&mut self, from: usize, prod: f64, negative: bool, union: u64) -> Result<f64> {
+        let mut local = 0.0;
         for i in from..self.masks.len() {
             let mask = self.masks[i];
             let covers = union | mask;
@@ -369,15 +774,55 @@ impl MaskCtx<'_> {
                 p *= self.view.coin_prob(fresh.trailing_zeros());
                 fresh &= fresh - 1;
             }
-            self.joints += 1;
-            self.acc += if negative { -p } else { p };
-            self.budget.tick(self.joints)?;
+            local += if negative { -p } else { p };
+            self.budget.tick()?;
 
             if p > 0.0 || !self.prune_zero {
-                self.dfs(i + 1, p, !negative, union | mask)?;
+                local += self.dfs(i + 1, p, !negative, covers)?;
             }
         }
-        Ok(())
+        Ok(local)
+    }
+
+    /// Split-phase twin of [`MaskCtx::dfs`] (see [`Ctx::dfs_split`]).
+    fn dfs_split(
+        &mut self,
+        depth: usize,
+        from: usize,
+        prod: f64,
+        negative: bool,
+        union: u64,
+        jobs: &mut Vec<MaskJob>,
+    ) -> Result<Vec<Slot>> {
+        let mut slots = Vec::new();
+        for i in from..self.masks.len() {
+            let mask = self.masks[i];
+            let covers = union | mask;
+            if self.prune_covered && self.masks[i + 1..].iter().any(|&m| m & !covers == 0) {
+                continue;
+            }
+            let mut p = prod;
+            let mut fresh = mask & !union;
+            while fresh != 0 {
+                p *= self.view.coin_prob(fresh.trailing_zeros());
+                fresh &= fresh - 1;
+            }
+            slots.push(Slot::Term(if negative { -p } else { p }));
+            self.budget.tick()?;
+
+            if (p > 0.0 || !self.prune_zero) && i + 1 < self.masks.len() {
+                if depth <= 1 {
+                    jobs.push(MaskJob { from: i + 1, prod: p, negative: !negative, union: covers });
+                    slots.push(Slot::Job(jobs.len() - 1));
+                } else {
+                    let child = self.dfs_split(depth - 1, i + 1, p, !negative, covers, jobs)?;
+                    if !child.is_empty() {
+                        slots.push(Slot::Node(child));
+                    }
+                }
+            }
+        }
+        Ok(slots)
     }
 }
 
@@ -493,6 +938,79 @@ mod tests {
             assert_eq!(a.sky.to_bits(), b.sky.to_bits(), "{} vs {}", a.sky, b.sky);
             assert_eq!(a.joints_computed, b.joints_computed);
         }
+    }
+
+    /// Random instance with `n` attackers over `m` coins, every coin
+    /// probability strictly inside (0, 1).
+    fn random_instance(n: usize, m: usize, seed: u64) -> CoinView {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let probs: Vec<f64> = (0..m).map(|_| (1 + next() % 999) as f64 / 1000.0).collect();
+        let clauses: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                let mut coins: Vec<u32> = (0..m as u32).filter(|_| next() % 5 == 0).collect();
+                if coins.is_empty() {
+                    coins.push((next() % m as u64) as u32);
+                }
+                coins
+            })
+            .collect();
+        CoinView::from_parts(probs, clauses).unwrap()
+    }
+
+    #[test]
+    fn parallel_mask_path_is_bit_identical_to_serial() {
+        for seed in 1..=3u64 {
+            let view = random_instance(18, 40, seed);
+            assert!(view.n_coins() <= 64);
+            let serial = sky_det_view(&view, DetOptions::default()).unwrap();
+            let par = sky_det_view(&view, DetOptions::default().with_threads(4)).unwrap();
+            assert_eq!(serial.sky.to_bits(), par.sky.to_bits(), "seed {seed}");
+            assert_eq!(serial.joints_computed, par.joints_computed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_counter_path_is_bit_identical_to_serial() {
+        for seed in 1..=3u64 {
+            let view = random_instance(18, 70, seed);
+            assert!(view.n_coins() > 64);
+            let serial = sky_det_view(&view, DetOptions::default()).unwrap();
+            let par = sky_det_view(&view, DetOptions::default().with_threads(4)).unwrap();
+            assert_eq!(serial.sky.to_bits(), par.sky.to_bits(), "seed {seed}");
+            assert_eq!(serial.joints_computed, par.joints_computed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_path_respects_deadline_and_joint_caps() {
+        // 22 independent attackers: 2^22 lattice nodes, no pruning bites.
+        let view = CoinView::from_parts(vec![0.5; 22], (0..22).map(|i| vec![i]).collect()).unwrap();
+        let opts = DetOptions::default().with_threads(4);
+        let err = sky_det_view(&view, opts.with_deadline(Duration::from_millis(0))).unwrap_err();
+        assert!(matches!(err, ExactError::DeadlineExceeded { .. }));
+        let err = sky_det_view(&view, opts.with_max_joints(Some(1000))).unwrap_err();
+        assert!(matches!(err, ExactError::JointBudgetExceeded { .. }));
+        // The serial path trips the same way on the same budgets.
+        let err =
+            sky_det_view(&view, DetOptions::default().with_max_joints(Some(1000))).unwrap_err();
+        assert!(matches!(err, ExactError::JointBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn thread_allowance_is_inert_below_the_size_gate() {
+        // Small instances ignore the allowance entirely (pure serial path),
+        // so granting threads can never perturb them.
+        let (t, p) = example1();
+        let a = sky_det(&t, &p, ObjectId(0), DetOptions::default()).unwrap();
+        let b = sky_det(&t, &p, ObjectId(0), DetOptions::default().with_threads(8)).unwrap();
+        assert_eq!(a.sky.to_bits(), b.sky.to_bits());
+        assert_eq!(a.joints_computed, b.joints_computed);
     }
 
     #[test]

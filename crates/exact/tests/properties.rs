@@ -200,6 +200,80 @@ proptest! {
     }
 }
 
+/// Random clause systems large enough to cross the parallel-DFS size gate
+/// (`PAR_MIN_ATTACKERS`), over both coin regimes: ≤ 64 coins exercises
+/// the mask path, > 64 the multiplicity-counter path.
+fn parallel_scale_system() -> impl Strategy<Value = CoinView> {
+    (17usize..=19, any::<bool>()).prop_flat_map(|(n, wide_coins)| {
+        let m = if wide_coins { 90usize } else { 40 };
+        let probs = proptest::collection::vec(0.01f64..=0.99, m);
+        let clauses =
+            proptest::collection::vec(proptest::collection::btree_set(0u32..m as u32, 1..=4), n);
+        (probs, clauses).prop_map(|(probs, clauses)| {
+            let clauses: Vec<Vec<u32>> =
+                clauses.into_iter().map(|c| c.into_iter().collect()).collect();
+            CoinView::from_parts(probs, clauses).expect("valid system")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_dfs_is_bit_identical_to_serial(
+        view in parallel_scale_system(),
+        threads in 2usize..=8,
+    ) {
+        // The canonical-partials bracketing makes the signed sum
+        // independent of how subtrees are assigned to workers: every
+        // thread count reproduces the serial bits, and the deterministic
+        // joint count survives too (parallel overshoot only exists on
+        // the error path).
+        let base = DetOptions::default().with_max_attackers(64);
+        let serial = sky_det_view(&view, base).unwrap();
+        let par = sky_det_view(&view, base.with_threads(threads)).unwrap();
+        prop_assert_eq!(
+            par.sky.to_bits(),
+            serial.sky.to_bits(),
+            "threads={}: {} vs {}",
+            threads,
+            par.sky,
+            serial.sky
+        );
+        prop_assert_eq!(par.joints_computed, serial.joints_computed);
+    }
+
+    #[test]
+    fn parallel_dfs_trips_joint_caps_like_serial(
+        view in parallel_scale_system(),
+        threads in 2usize..=8,
+    ) {
+        // Truncation honesty: a joint cap the instance exceeds must trip
+        // both executions — a budget error, never a silently wrong value.
+        let cap = 1_000u64;
+        let base = DetOptions::default().with_max_attackers(64).with_max_joints(Some(cap));
+        let serial = sky_det_view(&view, base);
+        let par = sky_det_view(&view, base.with_threads(threads));
+        match (serial, par) {
+            (Ok(s), Ok(p)) => {
+                prop_assert_eq!(p.sky.to_bits(), s.sky.to_bits());
+                prop_assert_eq!(p.joints_computed, s.joints_computed);
+            }
+            (Err(s), Err(p)) => {
+                prop_assert_eq!(
+                    std::mem::discriminant(&s),
+                    std::mem::discriminant(&p),
+                    "serial {:?} vs parallel {:?}",
+                    s,
+                    p
+                );
+            }
+            (s, p) => prop_assert!(false, "serial {:?} vs parallel {:?}", s, p),
+        }
+    }
+}
+
 fn connected_via_coins(view: &CoinView, group: &[usize]) -> bool {
     if group.len() <= 1 {
         return true;

@@ -24,10 +24,12 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use presky_core::batch::BatchCoinContext;
 use presky_core::coins::CoinView;
+use presky_core::pool::ThreadBudget;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
 use presky_core::types::ObjectId;
@@ -325,8 +327,9 @@ pub(crate) fn solve_view(
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
     cache: Option<&ComponentCache>,
+    pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<SkyResult> {
-    solve_view_explained(object, algo, budget, prep, s, stats, cache).map(|(r, _)| r)
+    solve_view_explained(object, algo, budget, prep, s, stats, cache, pool).map(|(r, _)| r)
 }
 
 /// [`solve_view`] returning the chosen [`Plan`] alongside the result.
@@ -339,13 +342,14 @@ pub(crate) fn solve_view_explained(
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
     cache: Option<&ComponentCache>,
+    pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<(SkyResult, Plan)> {
     if let Some(short) = prepare::prepare(object, prep, s, stats) {
         return Ok((short, Plan::ShortCircuit));
     }
     let cache = if prep.component_cache { cache } else { None };
     let mut decided = plan::plan(algo, budget, s, stats);
-    let result = execute::execute(object, &mut decided, s, stats, cache)?;
+    let result = execute::execute(object, &mut decided, s, stats, cache, pool)?;
     Ok((result, decided))
 }
 
@@ -390,6 +394,7 @@ pub fn solve_one_explained<M: PreferenceModel>(
         scratch,
         stats,
         Some(&cache),
+        None,
     )
 }
 
@@ -406,11 +411,12 @@ pub(crate) fn solve_one_explained_cached<M: PreferenceModel>(
     scratch: &mut SkyScratch,
     stats: &mut PipelineStats,
     cache: Option<&ComponentCache>,
+    pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<(SkyResult, Plan)> {
     let t0 = Instant::now();
     scratch.view = CoinView::build(table, prefs, target)?;
     stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
-    solve_view_explained(target, algo, budget, prep, scratch, stats, cache)
+    solve_view_explained(target, algo, budget, prep, scratch, stats, cache, pool)
 }
 
 /// One target through the batch assembly path (shared coin indexes).
@@ -425,11 +431,12 @@ pub(crate) fn solve_batch_one<M: PreferenceModel>(
     scratch: &mut SkyScratch,
     stats: &mut PipelineStats,
     cache: Option<&ComponentCache>,
+    pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<SkyResult> {
     let t0 = Instant::now();
     ctx.view_into(prefs, target, &mut scratch.batch, &mut scratch.view)?;
     stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
-    solve_view(target, algo, budget, prep, scratch, stats, cache)
+    solve_view(target, algo, budget, prep, scratch, stats, cache, pool)
 }
 
 /// Decide `sky(target) ≥ τ` on a preassembled `s.view`: Prepare with the
@@ -441,6 +448,7 @@ pub(crate) fn threshold_view(
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
     cache: Option<&ComponentCache>,
+    pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<ThresholdAnswer> {
     if let Some(short) = prepare::prepare(target, PrepareOptions::default(), s, stats) {
         return Ok(ThresholdAnswer {
@@ -450,7 +458,7 @@ pub(crate) fn threshold_view(
         });
     }
     let cache = if opts.component_cache { cache } else { None };
-    execute::threshold_ladder(target, tau, opts, s, stats, cache)
+    execute::threshold_ladder(target, tau, opts, s, stats, cache, pool)
 }
 
 /// One threshold decision end to end (single-target assembly).
@@ -467,7 +475,7 @@ pub fn threshold_solve_one<M: PreferenceModel>(
     scratch.view = CoinView::build(table, prefs, target)?;
     stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
     let cache = ComponentCache::default();
-    threshold_view(target, tau, opts, scratch, stats, Some(&cache))
+    threshold_view(target, tau, opts, scratch, stats, Some(&cache), None)
 }
 
 /// One threshold decision through the batch assembly path.
@@ -481,11 +489,12 @@ pub(crate) fn threshold_batch_one<M: PreferenceModel>(
     scratch: &mut SkyScratch,
     stats: &mut PipelineStats,
     cache: Option<&ComponentCache>,
+    pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<ThresholdAnswer> {
     let t0 = Instant::now();
     ctx.view_into(prefs, target, &mut scratch.batch, &mut scratch.view)?;
     stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
-    threshold_view(target, tau, opts, scratch, stats, cache)
+    threshold_view(target, tau, opts, scratch, stats, cache, pool)
 }
 
 // ------------------------------------------------------ parallel driver
@@ -497,14 +506,12 @@ pub(crate) const CHUNK: usize = 16;
 
 /// Resolve a thread-count request against the instance size.
 pub(crate) fn effective_threads(requested: Option<usize>, n: usize) -> usize {
-    requested
-        .unwrap_or_else(|| std::thread::available_parallelism().map(Into::into).unwrap_or(1))
-        .clamp(1, n.max(1))
+    presky_core::num_threads(requested).clamp(1, n.max(1))
 }
 
-/// Run `f(i, scratch, stats)` for every `i in 0..n` across `threads`
-/// workers, returning the stitched results and the merged per-worker
-/// [`PipelineStats`].
+/// Run `f(i, scratch, stats, pool)` for every `i in 0..n` across
+/// `threads` workers, returning the stitched results and the merged
+/// per-worker [`PipelineStats`].
 ///
 /// Work is dispatched in contiguous chunks of [`CHUNK`] indices; each
 /// worker owns a private [`SkyScratch`] and [`PipelineStats`] and appends
@@ -512,11 +519,22 @@ pub(crate) fn effective_threads(requested: Option<usize>, n: usize) -> usize {
 /// index order afterwards — no shared mutex. A panic in any worker is
 /// re-raised on the caller's thread with its original payload after all
 /// workers have been joined.
-pub(crate) fn run_chunked<T, F>(n: usize, threads: usize, f: F) -> (Vec<T>, PipelineStats)
+///
+/// `spare` threads beyond the `threads` batch workers are pooled in a
+/// shared [`ThreadBudget`]; workers lease from it for intra-component
+/// parallel DFS, so the batch fan-out and the per-component fan-out draw
+/// from one allowance and never oversubscribe the host.
+pub(crate) fn run_chunked<T, F>(
+    n: usize,
+    threads: usize,
+    spare: usize,
+    f: F,
+) -> (Vec<T>, PipelineStats)
 where
     T: Send,
-    F: Fn(usize, &mut SkyScratch, &mut PipelineStats) -> T + Sync,
+    F: Fn(usize, &mut SkyScratch, &mut PipelineStats, &Arc<ThreadBudget>) -> T + Sync,
 {
+    let pool = ThreadBudget::new(spare);
     let next = AtomicUsize::new(0);
     let mut collected: Vec<(usize, Vec<T>)> = Vec::new();
     let mut stats = PipelineStats::default();
@@ -536,7 +554,7 @@ where
                         let end = (start + CHUNK).min(n);
                         let mut chunk = Vec::with_capacity(end - start);
                         for i in start..end {
-                            chunk.push(f(i, &mut scratch, &mut local));
+                            chunk.push(f(i, &mut scratch, &mut local, &pool));
                         }
                         parts.push((start, chunk));
                     }

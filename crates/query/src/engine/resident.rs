@@ -25,6 +25,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use presky_core::batch::BatchCoinContext;
+use presky_core::pool::ThreadBudget;
 use presky_core::preference::PreferenceModel;
 use presky_core::types::ObjectId;
 
@@ -160,9 +161,10 @@ pub fn all_sky_resident<M: PreferenceModel + Sync>(
 ) -> Result<ResidentOutcome<SkyResult>> {
     let n = ctx.n_objects();
     let threads = super::effective_threads(opts.threads, n);
+    let spare = presky_core::num_threads(opts.threads).saturating_sub(threads);
     let prep = PrepareOptions::default().with_component_cache(opts.component_cache);
     let ledger = Ledger::new(&budget);
-    let (results, stats) = super::run_chunked(n, threads, |i, scratch, stats| {
+    let (results, stats) = super::run_chunked(n, threads, spare, |i, scratch, stats, pool| {
         run_budgeted(&ledger, &budget, stats, |per_object, stats| {
             let algo = reseed(opts.algorithm, i as u64);
             super::solve_batch_one(
@@ -175,6 +177,7 @@ pub fn all_sky_resident<M: PreferenceModel + Sync>(
                 scratch,
                 stats,
                 cache,
+                Some(pool),
             )
         })
     });
@@ -198,6 +201,9 @@ pub fn sky_one_resident<M: PreferenceModel>(
     let ledger = Ledger::new(&budget);
     let mut scratch = SkyScratch::default();
     let mut stats = PipelineStats::default();
+    // A single-target request has no batch fan-out: every thread beyond
+    // the caller's own is spare, available to the parallel DFS.
+    let pot = ThreadBudget::new(presky_core::num_threads(opts.threads).saturating_sub(1));
     let result = run_budgeted(&ledger, &budget, &mut stats, |per_object, stats| {
         super::solve_batch_one(
             ctx,
@@ -209,6 +215,7 @@ pub fn sky_one_resident<M: PreferenceModel>(
             &mut scratch,
             stats,
             cache,
+            Some(&pot),
         )
     })?;
     Ok(ResidentOutcome { results: vec![result], stats, truncated: ledger.truncated.into_inner() })
@@ -230,9 +237,10 @@ pub fn threshold_resident<M: PreferenceModel + Sync>(
     validate_tau(tau)?;
     let n = ctx.n_objects();
     let threads = super::effective_threads(opts.threads, n);
+    let spare = presky_core::num_threads(opts.threads).saturating_sub(threads);
     let ledger = Ledger::new(&budget);
     let base_deadline = earlier(opts.deadline_at, budget.deadline_at);
-    let (results, stats) = super::run_chunked(n, threads, |i, scratch, stats| {
+    let (results, stats) = super::run_chunked(n, threads, spare, |i, scratch, stats, pool| {
         run_budgeted(&ledger, &budget, stats, |per_object, stats| {
             let per_opts = opts
                 .with_deadline_at(base_deadline)
@@ -246,6 +254,7 @@ pub fn threshold_resident<M: PreferenceModel + Sync>(
                 scratch,
                 stats,
                 cache,
+                Some(pool),
             )
         })
     });
@@ -297,6 +306,9 @@ pub fn top_k_resident<M: PreferenceModel + Sync>(
     let mut refined: Vec<SkyResult> = Vec::with_capacity(cut);
     let mut scratch = SkyScratch::default();
     let prep = PrepareOptions::default().with_component_cache(opts.component_cache);
+    // Refine is serial over candidates, so the full thread allowance
+    // minus the refine loop itself is spare for the parallel DFS.
+    let pot = ThreadBudget::new(presky_core::num_threads(opts.threads).saturating_sub(1));
     for r in &scouted[..cut] {
         if r.exact {
             refined.push(*r);
@@ -317,6 +329,7 @@ pub fn top_k_resident<M: PreferenceModel + Sync>(
                 &mut scratch,
                 stats,
                 cache,
+                Some(&pot),
             )
         })?;
         // A refine trip keeps the scout estimate: correct, just coarser.

@@ -223,8 +223,9 @@ pub(crate) fn all_sky_with_stats_cached<M: PreferenceModel + Sync>(
     let ctx = BatchCoinContext::build(table)?;
     let n = table.len();
     let threads = engine::effective_threads(opts.threads, n);
+    let spare = presky_core::num_threads(opts.threads).saturating_sub(threads);
     let prep = PrepareOptions { component_cache: opts.component_cache, ..Default::default() };
-    let (results, stats) = engine::run_chunked(n, threads, |i, scratch, stats| {
+    let (results, stats) = engine::run_chunked(n, threads, spare, |i, scratch, stats, pool| {
         // Per-object seed decorrelation for sampling policies.
         let algo = reseed(opts.algorithm, i as u64);
         engine::solve_batch_one(
@@ -237,6 +238,7 @@ pub(crate) fn all_sky_with_stats_cached<M: PreferenceModel + Sync>(
             scratch,
             stats,
             cache,
+            Some(pool),
         )
     });
     let results = results.into_iter().collect::<Result<Vec<_>>>()?;

@@ -244,8 +244,9 @@ pub(crate) fn threshold_skyline_inner<M: PreferenceModel + Sync>(
     let ctx = BatchCoinContext::build(table)?;
     let n = table.len();
     let threads = engine::effective_threads(opts.threads, n);
+    let spare = presky_core::num_threads(opts.threads).saturating_sub(threads);
     let cache = ComponentCache::default();
-    let (answers, stats) = engine::run_chunked(n, threads, |i, scratch, stats| {
+    let (answers, stats) = engine::run_chunked(n, threads, spare, |i, scratch, stats, pool| {
         engine::threshold_batch_one(
             &ctx,
             prefs,
@@ -255,6 +256,7 @@ pub(crate) fn threshold_skyline_inner<M: PreferenceModel + Sync>(
             scratch,
             stats,
             Some(&cache),
+            Some(pool),
         )
     });
     let answers = answers.into_iter().collect::<Result<Vec<_>>>()?;

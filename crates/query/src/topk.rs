@@ -161,6 +161,11 @@ pub(crate) fn top_k_inner<M: PreferenceModel + Sync>(
     let mut scratch = SkyScratch::default();
     let mut stats = PipelineStats::default();
     let prep = PrepareOptions { component_cache: opts.component_cache, ..Default::default() };
+    // Refine runs serially: everything beyond this loop's own thread is
+    // spare for the parallel exact DFS.
+    let pot = presky_core::pool::ThreadBudget::new(
+        presky_core::num_threads(opts.threads).saturating_sub(1),
+    );
     for r in &scouted[..cut] {
         if r.exact {
             refined.push(*r);
@@ -181,6 +186,7 @@ pub(crate) fn top_k_inner<M: PreferenceModel + Sync>(
                 &mut scratch,
                 &mut stats,
                 cache,
+                Some(&pot),
             )?;
             refined.push(result);
         }

@@ -4,7 +4,7 @@
 //! A request is *what to compute* ([`Query`]) plus *how much it may cost*
 //! ([`Budget`]). Budgets are expressed as relative durations and work
 //! ceilings; the engine converts them to an absolute
-//! [`EngineBudget`](presky_query::engine::EngineBudget) at admission time,
+//! [`presky_query::engine::EngineBudget`] at admission time,
 //! so a request value can be built once and replayed.
 
 use std::time::{Duration, Instant};
