@@ -1,0 +1,363 @@
+//! `serve_bench` — throughput of the resident service's serving layer.
+//!
+//! ```text
+//! serve_bench [--smoke] [--out <path>] [--min-coalesce-speedup X]
+//!             [--min-warm-speedup Y] [--min-warm-hit-rate R]
+//! ```
+//!
+//! Two A/B legs, each reported with the configuration it was measured
+//! under and each asserting **bit-identical** answers between its arms:
+//!
+//! * **coalescing** — a duplicate-heavy mixed workload (many threads,
+//!   90% of submissions the *same* all-sky request — the per-user
+//!   preference-elicitation traffic shape where many users with one
+//!   elicited model ask one batch question at once) runs against two
+//!   engines differing only in `EngineOptions::coalescing`. Both engines
+//!   are cache-primed first, so the ratio isolates the single-flight
+//!   layer rather than cache population. Reported: requests/s, p50/p99
+//!   latency, and the on/off speedup.
+//! * **warmstart** — a cold engine times its first all-sky pass, saves a
+//!   component-cache snapshot, and a fresh engine built with
+//!   `Engine::with_warm_cache` times the same first pass. Block-zipf is
+//!   the honest workload here: its component keys never collide across
+//!   objects (0% structural hit rate cold), so every warm hit is a hit
+//!   the snapshot paid for. Reported: first-pass times, first-pass hit
+//!   rates, and the cold/warm speedup.
+//!
+//! `--min-*` flags turn the measured ratios into exit-code gates for CI;
+//! `--smoke` shrinks both datasets to CI scale.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use presky_bench::workloads;
+use presky_core::preference::{PreferenceModel, SeededPreferences};
+use presky_core::table::Table;
+use presky_core::types::ObjectId;
+use presky_datagen::car::car_projected;
+use presky_exact::snapshot::Fnv;
+use presky_query::prob_skyline::{QueryOptions, SkyResult};
+use presky_query::threshold::ThresholdOptions;
+use presky_query::topk::TopKOptions;
+use presky_service::{Engine, EngineOptions, Outcome, Request};
+
+/// Storm workers; requested, not detected — the duplicate-heavy shape
+/// needs enough submitters that identical requests overlap in time.
+const STORM_THREADS: usize = 8;
+/// Fraction of storm submissions replaced by the fixed hot all-sky
+/// request.
+const DUPLICATE_FRACTION: f64 = 0.9;
+
+fn usage() {
+    eprintln!(
+        "usage: serve_bench [--smoke] [--out <path>] [--min-coalesce-speedup X] \
+         [--min-warm-speedup Y] [--min-warm-hit-rate R]"
+    );
+}
+
+/// Deterministic per-submission coin (splitmix64 → uniform in `[0, 1)`),
+/// so the off/on arms replay the identical submission sequence.
+fn duplicate_coin(seq: u64) -> f64 {
+    let mut z = seq.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// FNV-1a digest of an all-sky vector (presence byte + value bits per
+/// slot): equal digests ⇔ slot-for-slot bit-identical answers.
+fn allsky_digest(slots: &[Option<SkyResult>]) -> u64 {
+    let mut h = Fnv::new();
+    for slot in slots {
+        match slot {
+            Some(r) => {
+                h.eat(&[1]);
+                h.eat(&r.sky.to_bits().to_le_bytes());
+            }
+            None => h.eat(&[0]),
+        }
+    }
+    h.finish()
+}
+
+fn percentile(sorted_nanos: &[u64], p: f64) -> Duration {
+    if sorted_nanos.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
+    Duration::from_nanos(sorted_nanos[rank])
+}
+
+struct StormResult {
+    submissions: u64,
+    elapsed: Duration,
+    requests_per_sec: f64,
+    p50: Duration,
+    p99: Duration,
+    coalesced: u64,
+    digest: u64,
+}
+
+/// Run the duplicate-heavy mixed storm against `engine` and return its
+/// throughput numbers plus a post-storm all-sky digest (the arm's
+/// bit-identity handle).
+fn storm<M: PreferenceModel + Sync>(engine: &Engine<M>, rounds: usize) -> StormResult {
+    let n = engine.n_objects();
+    let one = QueryOptions::default().with_threads(Some(1));
+    let requests: Vec<Request> = vec![
+        Request::sky_one(ObjectId(0), one),
+        Request::sky_one(ObjectId((n / 2) as u32), one),
+        Request::all_sky(one),
+        Request::threshold(0.1, ThresholdOptions::default().with_threads(Some(1))),
+        Request::top_k(5, TopKOptions::default().with_threads(Some(1))),
+    ];
+    let hot = Request::all_sky(one);
+    let failed = AtomicU64::new(0);
+    let started = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..STORM_THREADS)
+            .map(|t| {
+                let engine = &engine;
+                let requests = &requests;
+                let hot = &hot;
+                let failed = &failed;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(rounds * requests.len());
+                    let mut seq = (t as u64) << 32;
+                    for round in 0..rounds {
+                        for i in 0..requests.len() {
+                            seq += 1;
+                            let idx = (i + t + round) % requests.len();
+                            let request = if duplicate_coin(seq) < DUPLICATE_FRACTION {
+                                hot.clone()
+                            } else {
+                                requests[idx].clone()
+                            };
+                            let submitted = Instant::now();
+                            match engine.run(request) {
+                                Ok(resp) => assert!(
+                                    matches!(
+                                        resp.outcome,
+                                        Outcome::Exact(_) | Outcome::Estimate(_)
+                                    ),
+                                    "unbudgeted storm request must complete"
+                                ),
+                                Err(_) => {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            lat.push(submitted.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("storm worker panicked")).collect()
+    });
+    let elapsed = started.elapsed();
+    assert_eq!(failed.load(Ordering::Relaxed), 0, "no storm submission may fail");
+    latencies.sort_unstable();
+    let submissions = latencies.len() as u64;
+    let digest_resp = engine.run(Request::all_sky(one)).expect("post-storm all-sky");
+    let digest = allsky_digest(digest_resp.outcome.value().as_all_sky().expect("all-sky slots"));
+    StormResult {
+        submissions,
+        elapsed,
+        requests_per_sec: submissions as f64 / elapsed.as_secs_f64(),
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        coalesced: engine.metrics().coalesced,
+        digest,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut smoke = false;
+    let mut out_path = std::path::PathBuf::from("BENCH_serve.json");
+    let mut min_coalesce_speedup: Option<f64> = None;
+    let mut min_warm_speedup: Option<f64> = None;
+    let mut min_warm_hit_rate: Option<f64> = None;
+    while let Some(a) = args.next() {
+        let ratio = |args: &mut dyn Iterator<Item = String>| args.next()?.parse::<f64>().ok();
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p.into(),
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--min-coalesce-speedup" => match ratio(&mut args) {
+                Some(r) => min_coalesce_speedup = Some(r),
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--min-warm-speedup" => match ratio(&mut args) {
+                Some(r) => min_warm_speedup = Some(r),
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--min-warm-hit-rate" => match ratio(&mut args) {
+                Some(r) => min_warm_hit_rate = Some(r),
+                None => {
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // ---------------------------------------------------- coalescing A/B
+    // d=5 is the largest car projection whose exact components stay small
+    // under the complementary(7) preference model; at d=6 the absorption
+    // phase leaves components whose 2^|g| DFS does not terminate in
+    // bench-scale time on one core.
+    let (car_d, rounds) = if smoke { (4, 10) } else { (5, 25) };
+    let car: Table = car_projected(car_d).expect("car dataset");
+    let car_n = car.len();
+    println!(
+        "# serve_bench — coalescing A/B: car d={car_d} n={car_n}, {STORM_THREADS} threads x \
+         {rounds} rounds, duplicate fraction {DUPLICATE_FRACTION}"
+    );
+    let prefs = SeededPreferences::complementary(7);
+    let prime = Request::all_sky(QueryOptions::default().with_threads(Some(1)));
+    let off_engine =
+        Engine::new(car.clone(), prefs, EngineOptions::default().with_coalescing(false))
+            .expect("engine");
+    off_engine.run(prime.clone()).expect("prime");
+    let off = storm(&off_engine, rounds);
+    let on_engine =
+        Engine::new(car, prefs, EngineOptions::default().with_coalescing(true)).expect("engine");
+    on_engine.run(prime).expect("prime");
+    let on = storm(&on_engine, rounds);
+    assert_eq!(off.digest, on.digest, "coalescing must not change any answer bit");
+    assert!(on.coalesced > 0, "the duplicate-heavy storm must actually coalesce");
+    let coalesce_speedup = on.requests_per_sec / off.requests_per_sec;
+    println!(
+        "coalescing off: {} submissions in {:.2?} = {:.1} req/s (p50 {:.1?}, p99 {:.1?})",
+        off.submissions, off.elapsed, off.requests_per_sec, off.p50, off.p99
+    );
+    println!(
+        "coalescing on:  {} submissions in {:.2?} = {:.1} req/s (p50 {:.1?}, p99 {:.1?}, \
+         {} coalesced)",
+        on.submissions, on.elapsed, on.requests_per_sec, on.p50, on.p99, on.coalesced
+    );
+    println!("coalescing speedup: {coalesce_speedup:.2}x, digests equal ({:016x})", on.digest);
+
+    // ------------------------------------------------------ warmstart A/B
+    let (bz_n, bz_d) = if smoke { (150, 4) } else { (400, 4) };
+    println!("# warmstart A/B: block-zipf n={bz_n} d={bz_d}");
+    let bz = workloads::block_zipf(bz_n, bz_d);
+    let bz_prefs = workloads::block_prefs();
+    let all = Request::all_sky(QueryOptions::default());
+    let cold_engine =
+        Engine::new(bz.clone(), bz_prefs, EngineOptions::default()).expect("cold engine");
+    let started = Instant::now();
+    let cold_resp = cold_engine.run(all.clone()).expect("cold all-sky");
+    let cold_elapsed = started.elapsed();
+    let cold_rate = if cold_resp.stats.cache_probes == 0 {
+        0.0
+    } else {
+        cold_resp.stats.cache_hits as f64 / cold_resp.stats.cache_probes as f64
+    };
+    let cold_digest = allsky_digest(cold_resp.outcome.value().as_all_sky().expect("slots"));
+
+    let snap = std::env::temp_dir().join(format!("presky-serve-bench-{}.snap", std::process::id()));
+    cold_engine.save_cache_snapshot(&snap).expect("snapshot save");
+    let snapshot_bytes = std::fs::metadata(&snap).map(|m| m.len()).unwrap_or(0);
+    let warm_engine = Engine::with_warm_cache(bz, bz_prefs, EngineOptions::default(), &snap)
+        .expect("warm engine");
+    let started = Instant::now();
+    let warm_resp = warm_engine.run(all).expect("warm all-sky");
+    let warm_elapsed = started.elapsed();
+    std::fs::remove_file(&snap).ok();
+    let warm_rate = if warm_resp.stats.cache_probes == 0 {
+        0.0
+    } else {
+        warm_resp.stats.cache_hits as f64 / warm_resp.stats.cache_probes as f64
+    };
+    let warm_digest = allsky_digest(warm_resp.outcome.value().as_all_sky().expect("slots"));
+    assert_eq!(cold_digest, warm_digest, "warmstart must not change any answer bit");
+    let warm_speedup = cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64();
+    println!(
+        "cold first all-sky: {cold_elapsed:.2?} (hit rate {cold_rate:.3}); warm: \
+         {warm_elapsed:.2?} (hit rate {warm_rate:.3})"
+    );
+    println!(
+        "warmstart speedup: {warm_speedup:.2}x, digests equal ({warm_digest:016x}), \
+         snapshot {snapshot_bytes} bytes"
+    );
+
+    // ------------------------------------------------------------- report
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"coalesce\": {{\n    \"workload\": \"car\", \"d\": {car_d}, \
+         \"n\": {car_n}, \"threads\": {STORM_THREADS}, \"rounds\": {rounds}, \
+         \"duplicate_fraction\": {DUPLICATE_FRACTION},\n    \"off\": {{ \"submissions\": {}, \
+         \"elapsed_s\": {:.6}, \"requests_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} \
+         }},\n    \"on\": {{ \"submissions\": {}, \"elapsed_s\": {:.6}, \"requests_per_sec\": \
+         {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"coalesced\": {} }},\n    \"speedup\": \
+         {coalesce_speedup:.3}, \"bit_identical\": true\n  }},\n  \"warmstart\": {{\n    \
+         \"workload\": \"block-zipf\", \"n\": {bz_n}, \"d\": {bz_d},\n    \"cold\": {{ \
+         \"first_allsky_s\": {:.6}, \"hit_rate\": {cold_rate:.4} }},\n    \"warm\": {{ \
+         \"first_allsky_s\": {:.6}, \"hit_rate\": {warm_rate:.4} }},\n    \"speedup\": \
+         {warm_speedup:.3}, \"bit_identical\": true, \"snapshot_bytes\": {snapshot_bytes}\n  \
+         }}\n}}\n",
+        off.submissions,
+        off.elapsed.as_secs_f64(),
+        off.requests_per_sec,
+        off.p50.as_secs_f64() * 1e3,
+        off.p99.as_secs_f64() * 1e3,
+        on.submissions,
+        on.elapsed.as_secs_f64(),
+        on.requests_per_sec,
+        on.p50.as_secs_f64() * 1e3,
+        on.p99.as_secs_f64() * 1e3,
+        on.coalesced,
+        cold_elapsed.as_secs_f64(),
+        warm_elapsed.as_secs_f64(),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {}", out_path.display());
+
+    // --------------------------------------------------------------- gates
+    if let Some(floor) = min_coalesce_speedup {
+        if coalesce_speedup < floor {
+            eprintln!("FAIL: coalescing speedup {coalesce_speedup:.2}x below floor {floor}x");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(floor) = min_warm_speedup {
+        if warm_speedup < floor {
+            eprintln!("FAIL: warmstart speedup {warm_speedup:.2}x below floor {floor}x");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(floor) = min_warm_hit_rate {
+        if warm_rate < floor {
+            eprintln!("FAIL: warm first-pass hit rate {warm_rate:.3} below floor {floor}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -158,6 +158,21 @@ impl BatchCoinContext {
         self.d
     }
 
+    /// The distinct values of dimension `j`, in dense-code order (code `c`
+    /// maps to the `c`-th entry). This is the value universe a preference
+    /// model is consulted over, which is exactly what a dataset+preference
+    /// fingerprint must cover.
+    pub fn dim_values(&self, j: usize) -> &[ValueId] {
+        &self.code_values[self.offsets[j] as usize..self.offsets[j + 1] as usize]
+    }
+
+    /// Identity hash of the dense-coded table (dimensions, row count, and
+    /// every cell's code). Two contexts with equal fingerprints assemble
+    /// identical views for every target.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// Assemble the coin view of `sky(target)` into `out`, reusing `out`'s
     /// buffers and `scratch`'s stamp tables.
     ///

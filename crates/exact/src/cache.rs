@@ -120,6 +120,22 @@ impl ComponentCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Every entry, sorted by key bytes.
+    ///
+    /// Shard assignment depends on a per-process `RandomState`, so shard
+    /// order is not reproducible — sorting by key is what makes snapshot
+    /// serialisation ([`crate::snapshot`]) byte-identical across runs and
+    /// across caches populated in different orders.
+    pub fn sorted_entries(&self) -> Vec<(Box<[u8]>, CacheEntry)> {
+        let mut out: Vec<(Box<[u8]>, CacheEntry)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            out.extend(shard.iter().map(|(k, v)| (k.clone(), *v)));
+        }
+        out.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
 }
 
 #[cfg(test)]

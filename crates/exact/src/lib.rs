@@ -53,6 +53,7 @@ pub mod naive;
 pub mod partition;
 pub mod profile;
 pub mod signature;
+pub mod snapshot;
 
 /// Commonly used names.
 pub mod prelude {
@@ -73,4 +74,7 @@ pub mod prelude {
     pub use crate::partition::{partition, partition_into, PartitionScratch, UnionFind};
     pub use crate::profile::{profile, profile_with, InstanceProfile, ProfileScratch};
     pub use crate::signature::component_signature;
+    pub use crate::snapshot::{
+        load_from_path, read_snapshot, save_to_path, write_snapshot, SnapshotError,
+    };
 }

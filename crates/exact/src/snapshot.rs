@@ -1,0 +1,408 @@
+//! Persistent snapshots of the [`ComponentCache`]: versioned, checksummed,
+//! fingerprint-keyed.
+//!
+//! The component cache turns a 94–98% steady-state hit rate into saved
+//! work — but only after a cold engine has paid for the first pass. A
+//! snapshot makes that hit rate a *cold-start* property: a long-lived
+//! engine serializes its cache on the way down and a restarted engine
+//! loads it before serving the first request.
+//!
+//! Soundness rests on two facts:
+//!
+//! 1. cache keys are **canonical component signatures**
+//!    ([`crate::signature`]): content-only `(dim, value, prob_bits)`
+//!    serialisations, so an entry is valid for exactly the datasets and
+//!    preference models that reproduce those bytes;
+//! 2. the snapshot is **keyed by a caller-supplied fingerprint** covering
+//!    the dense-coded table *and* every `pr_strict` probability the model
+//!    can emit over it (the same values the per-worker memo caches).
+//!    Loading refuses a fingerprint mismatch, so a warm cache can never be
+//!    replayed against a different dataset or re-elicited preferences.
+//!
+//! The byte format is deliberately dumb — little-endian, length-prefixed,
+//! entries in sorted key order (so equal caches serialize to equal bytes),
+//! with an FNV-1a checksum trailer over everything before it. Truncation,
+//! bit rot, wrong-version and wrong-dataset files are all rejected with a
+//! typed [`SnapshotError`] before a single entry is admitted; a load never
+//! partially populates a cache it then returns.
+//!
+//! ```text
+//! magic        8 bytes  b"PSKYSNP\x01"
+//! version      u32      FORMAT_VERSION
+//! fingerprint  u64      dataset + preference fingerprint (caller-defined)
+//! entry_count  u64
+//! per entry (ascending key order):
+//!   key_len    u32
+//!   key        key_len bytes
+//!   sky_bits   u64
+//!   joints     u64
+//! checksum     u64      FNV-1a of every preceding byte
+//! ```
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::cache::{CacheEntry, ComponentCache};
+
+/// Leading magic bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"PSKYSNP\x01";
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Per-entry overhead beyond the key bytes (`key_len` + `sky_bits` +
+/// `joints`).
+const ENTRY_OVERHEAD: usize = 4 + 8 + 8;
+
+/// Why a snapshot could not be written or loaded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying reader/writer failed.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The byte stream is structurally broken (truncated mid-entry,
+    /// impossible lengths, or a checksum mismatch). The named field says
+    /// which check tripped.
+    Corrupted {
+        /// Which structural check failed.
+        what: &'static str,
+    },
+    /// The snapshot was taken over a different dataset or preference
+    /// model; loading it would poison results.
+    FingerprintMismatch {
+        /// Fingerprint the loader expected (live engine).
+        expected: u64,
+        /// Fingerprint recorded in the file.
+        found: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a component-cache snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (this build reads {FORMAT_VERSION})"
+                )
+            }
+            SnapshotError::Corrupted { what } => {
+                write!(f, "corrupted snapshot: {what}")
+            }
+            SnapshotError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "snapshot fingerprint {found:#018x} does not match this dataset+preferences \
+                 ({expected:#018x}); refusing to warm-start from it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Result alias for this module.
+pub type Result<T, E = SnapshotError> = std::result::Result<T, E>;
+
+/// Incremental FNV-1a over a byte stream — the workspace's standard
+/// content hash, exposed so callers (the service layer's dataset +
+/// preference fingerprint) produce values consistent with the snapshot
+/// checksum.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    /// Start from the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Fold `bytes` into the running hash.
+    pub fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A checksumming writer adapter: everything written through it feeds the
+/// running FNV before hitting the inner writer.
+struct HashedWriter<'a, W: Write> {
+    inner: &'a mut W,
+    hash: Fnv,
+}
+
+impl<W: Write> HashedWriter<'_, W> {
+    fn put(&mut self, bytes: &[u8]) -> Result<()> {
+        self.hash.eat(bytes);
+        self.inner.write_all(bytes)?;
+        Ok(())
+    }
+}
+
+/// Serialize `cache` into `w`, keyed by `fingerprint`.
+///
+/// Entries are written in ascending key order, so two caches with equal
+/// contents produce byte-identical snapshots regardless of insertion
+/// order or shard distribution.
+pub fn write_snapshot<W: Write>(cache: &ComponentCache, fingerprint: u64, w: &mut W) -> Result<()> {
+    let entries = cache.sorted_entries();
+    let mut out = HashedWriter { inner: w, hash: Fnv::new() };
+    out.put(&MAGIC)?;
+    out.put(&FORMAT_VERSION.to_le_bytes())?;
+    out.put(&fingerprint.to_le_bytes())?;
+    out.put(&(entries.len() as u64).to_le_bytes())?;
+    for (key, entry) in &entries {
+        out.put(&(key.len() as u32).to_le_bytes())?;
+        out.put(key)?;
+        out.put(&entry.sky_bits.to_le_bytes())?;
+        out.put(&entry.joints_computed.to_le_bytes())?;
+    }
+    let checksum = out.hash.0;
+    w.write_all(&checksum.to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// A byte cursor that feeds the running checksum and reports truncation as
+/// a typed corruption, never a panic.
+struct HashedReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    hash: Fnv,
+}
+
+impl<'a> HashedReader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Corrupted { what })?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Corrupted { what });
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        self.hash.eat(slice);
+        Ok(slice)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// Parse a snapshot and rebuild a [`ComponentCache`] with the given byte
+/// cap.
+///
+/// Every structural check (magic, version, per-entry bounds, checksum)
+/// and the fingerprint comparison run **before** any entry is admitted,
+/// so a rejected file can never leave a partially-warmed cache behind.
+/// Entries beyond `byte_cap` are dropped under the cache's normal
+/// admission rule (first-come in key order).
+pub fn read_snapshot<R: Read>(
+    r: &mut R,
+    expected_fingerprint: u64,
+    byte_cap: usize,
+) -> Result<ComponentCache> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    let mut cur = HashedReader { bytes: &bytes, pos: 0, hash: Fnv::new() };
+    if cur.take(MAGIC.len(), "missing magic")? != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = cur.u32("missing version")?;
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion { found: version });
+    }
+    let fingerprint = cur.u64("missing fingerprint")?;
+    let count = cur.u64("missing entry count")?;
+    // An entry is at least ENTRY_OVERHEAD bytes, so an honest count can
+    // never exceed the remaining payload; rejecting here keeps a hostile
+    // count from driving a huge allocation.
+    let remaining = bytes.len().saturating_sub(cur.pos).saturating_sub(8);
+    if count > (remaining / ENTRY_OVERHEAD) as u64 {
+        return Err(SnapshotError::Corrupted { what: "entry count exceeds payload" });
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let key_len = cur.u32("truncated entry header")? as usize;
+        let key = cur.take(key_len, "truncated entry key")?;
+        let sky_bits = cur.u64("truncated entry value")?;
+        let joints_computed = cur.u64("truncated entry value")?;
+        entries.push((key, CacheEntry { sky_bits, joints_computed }));
+    }
+    let computed = cur.hash.0;
+    let stored = cur.u64("missing checksum")?;
+    if cur.pos != bytes.len() {
+        return Err(SnapshotError::Corrupted { what: "trailing bytes after checksum" });
+    }
+    if computed != stored {
+        return Err(SnapshotError::Corrupted { what: "checksum mismatch" });
+    }
+    if fingerprint != expected_fingerprint {
+        return Err(SnapshotError::FingerprintMismatch {
+            expected: expected_fingerprint,
+            found: fingerprint,
+        });
+    }
+    let cache = ComponentCache::with_byte_cap(byte_cap);
+    for (key, entry) in entries {
+        cache.insert(key, entry);
+    }
+    Ok(cache)
+}
+
+/// [`write_snapshot`] to a file path (created or truncated).
+pub fn save_to_path(cache: &ComponentCache, fingerprint: u64, path: &Path) -> Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_snapshot(cache, fingerprint, &mut file)
+}
+
+/// [`read_snapshot`] from a file path.
+pub fn load_from_path(
+    path: &Path,
+    expected_fingerprint: u64,
+    byte_cap: usize,
+) -> Result<ComponentCache> {
+    let mut file = std::fs::File::open(path)?;
+    read_snapshot(&mut file, expected_fingerprint, byte_cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::DEFAULT_BYTE_CAP;
+
+    fn sample_cache() -> ComponentCache {
+        let cache = ComponentCache::default();
+        for i in 0..50u32 {
+            let key = [i.to_le_bytes().as_slice(), &[0xAB; 3]].concat();
+            cache.insert(
+                &key,
+                CacheEntry {
+                    sky_bits: (0.01 * f64::from(i)).to_bits(),
+                    joints_computed: 3 + u64::from(i),
+                },
+            );
+        }
+        cache
+    }
+
+    fn snapshot_bytes(cache: &ComponentCache, fingerprint: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_snapshot(cache, fingerprint, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_preserves_every_entry() {
+        let cache = sample_cache();
+        let buf = snapshot_bytes(&cache, 42);
+        let loaded = read_snapshot(&mut buf.as_slice(), 42, DEFAULT_BYTE_CAP).unwrap();
+        assert_eq!(loaded.len(), cache.len());
+        assert_eq!(loaded.bytes(), cache.bytes());
+        assert_eq!(loaded.sorted_entries(), cache.sorted_entries());
+    }
+
+    #[test]
+    fn serialization_is_insertion_order_invariant() {
+        let a = ComponentCache::default();
+        let b = ComponentCache::default();
+        let entry = |i: u32| CacheEntry { sky_bits: u64::from(i), joints_computed: 1 };
+        for i in 0..20u32 {
+            a.insert(&i.to_le_bytes(), entry(i));
+            b.insert(&(19 - i).to_le_bytes(), entry(19 - i));
+        }
+        assert_eq!(snapshot_bytes(&a, 7), snapshot_bytes(&b, 7));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused() {
+        let buf = snapshot_bytes(&sample_cache(), 42);
+        let err = read_snapshot(&mut buf.as_slice(), 43, DEFAULT_BYTE_CAP).unwrap_err();
+        assert!(matches!(err, SnapshotError::FingerprintMismatch { expected: 43, found: 42 }));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_refused() {
+        let mut buf = snapshot_bytes(&sample_cache(), 1);
+        buf[0] ^= 0xFF;
+        assert!(matches!(
+            read_snapshot(&mut buf.as_slice(), 1, DEFAULT_BYTE_CAP),
+            Err(SnapshotError::BadMagic)
+        ));
+        let mut buf = snapshot_bytes(&sample_cache(), 1);
+        buf[8] = 99;
+        assert!(matches!(
+            read_snapshot(&mut buf.as_slice(), 1, DEFAULT_BYTE_CAP),
+            Err(SnapshotError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_point_is_rejected_cleanly() {
+        let buf = snapshot_bytes(&sample_cache(), 9);
+        for len in 0..buf.len() {
+            let err = read_snapshot(&mut &buf[..len], 9, DEFAULT_BYTE_CAP).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Corrupted { .. } | SnapshotError::BadMagic),
+                "prefix of {len} bytes must be rejected, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_bits_fail_the_checksum() {
+        let clean = snapshot_bytes(&sample_cache(), 9);
+        // Flip one bit in an entry's value region (past the header).
+        let mut buf = clean.clone();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x01;
+        let err = read_snapshot(&mut buf.as_slice(), 9, DEFAULT_BYTE_CAP).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupted { .. }), "got {err}");
+    }
+
+    #[test]
+    fn byte_cap_governs_admission_on_load() {
+        let cache = sample_cache();
+        let buf = snapshot_bytes(&cache, 5);
+        let one = ComponentCache::entry_bytes(&cache.sorted_entries()[0].0);
+        let small = read_snapshot(&mut buf.as_slice(), 5, 3 * one as usize).unwrap();
+        assert_eq!(small.len(), 3, "only the first three sorted entries fit the cap");
+    }
+}

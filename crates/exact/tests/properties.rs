@@ -294,3 +294,111 @@ fn connected_via_coins(view: &CoinView, group: &[usize]) -> bool {
     }
     visited.len() == group.len()
 }
+
+// ---------------------------------------------------------------------------
+// Cache snapshot codec: round-trips are bit-identical, damage is rejected.
+// ---------------------------------------------------------------------------
+
+use std::collections::BTreeMap;
+
+use presky_exact::cache::{CacheEntry, ComponentCache};
+use presky_exact::snapshot::{read_snapshot, write_snapshot, SnapshotError};
+
+/// Arbitrary cache contents: unique keys (any bytes, including empty),
+/// arbitrary `sky_bits` (any bit pattern, NaN payloads included) and
+/// joint counts.
+fn cache_contents() -> impl Strategy<Value = BTreeMap<Vec<u8>, (u64, u64)>> {
+    proptest::collection::vec(
+        (proptest::collection::vec(any::<u8>(), 0..24), any::<u64>(), any::<u64>()),
+        0..32,
+    )
+    .prop_map(|pairs| pairs.into_iter().map(|(k, s, j)| (k, (s, j))).collect())
+}
+
+fn build_cache(contents: &BTreeMap<Vec<u8>, (u64, u64)>) -> ComponentCache {
+    let cache = ComponentCache::with_byte_cap(usize::MAX);
+    for (key, &(sky_bits, joints_computed)) in contents {
+        cache.insert(key, CacheEntry { sky_bits, joints_computed });
+    }
+    cache
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A save→load round trip replays every entry with the same hit bits
+    /// and the same `joints_computed` — the loaded cache is
+    /// indistinguishable from the one that was saved.
+    #[test]
+    fn snapshot_round_trip_is_bit_identical(
+        contents in cache_contents(),
+        fingerprint in any::<u64>(),
+    ) {
+        let cache = build_cache(&contents);
+        let mut bytes = Vec::new();
+        write_snapshot(&cache, fingerprint, &mut bytes).unwrap();
+        let loaded = read_snapshot(&mut bytes.as_slice(), fingerprint, usize::MAX).unwrap();
+
+        prop_assert_eq!(loaded.len(), contents.len());
+        prop_assert_eq!(loaded.bytes(), cache.bytes());
+        for (key, &(sky_bits, joints_computed)) in &contents {
+            let hit = loaded.get(key);
+            prop_assert_eq!(hit, Some(CacheEntry { sky_bits, joints_computed }));
+        }
+        prop_assert_eq!(loaded.sorted_entries(), cache.sorted_entries());
+
+        // Saving the loaded cache reproduces the file byte-for-byte, so
+        // snapshots are canonical regardless of shard distribution.
+        let mut again = Vec::new();
+        write_snapshot(&loaded, fingerprint, &mut again).unwrap();
+        prop_assert_eq!(again, bytes);
+    }
+
+    /// Every proper prefix of a valid snapshot is rejected with a typed
+    /// error — truncation can never admit a partially-valid cache.
+    #[test]
+    fn truncated_snapshot_is_rejected_cleanly(
+        contents in cache_contents(),
+        fingerprint in any::<u64>(),
+        cut in any::<usize>(),
+    ) {
+        let cache = build_cache(&contents);
+        let mut bytes = Vec::new();
+        write_snapshot(&cache, fingerprint, &mut bytes).unwrap();
+        let cut = cut % bytes.len(); // strictly less than the full length
+        let err = read_snapshot(&mut bytes[..cut].as_ref(), fingerprint, usize::MAX)
+            .expect_err("a truncated snapshot must not load");
+        prop_assert!(
+            matches!(
+                err,
+                SnapshotError::Corrupted { .. }
+                    | SnapshotError::BadMagic
+                    | SnapshotError::UnsupportedVersion { .. }
+            ),
+            "unexpected error for truncation at {}: {:?}",
+            cut,
+            err
+        );
+    }
+
+    /// Flipping any single bit anywhere in the file is caught — by the
+    /// magic, the version gate, the structural bounds, or ultimately the
+    /// checksum — and never yields an `Ok` cache with altered contents.
+    #[test]
+    fn corrupted_snapshot_is_rejected_cleanly(
+        contents in cache_contents(),
+        fingerprint in any::<u64>(),
+        pos in any::<usize>(),
+        bit in 0u32..8,
+    ) {
+        let cache = build_cache(&contents);
+        let mut bytes = Vec::new();
+        write_snapshot(&cache, fingerprint, &mut bytes).unwrap();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let err = read_snapshot(&mut bytes.as_slice(), fingerprint, usize::MAX)
+            .expect_err("a bit-flipped snapshot must not load");
+        // Any typed error is acceptable; what is *not* acceptable is Ok.
+        prop_assert!(!matches!(err, SnapshotError::Io(_)), "io error from in-memory bytes");
+    }
+}

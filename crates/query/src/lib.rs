@@ -48,8 +48,9 @@ pub mod prelude {
         Degenerate,
     };
     pub use crate::engine::{
-        all_sky_resident, sky_one_resident, threshold_resident, top_k_resident, EngineBudget,
-        PipelineStats, Plan, PlanReason, PrepareOptions, ResidentOutcome,
+        all_sky_range_resident, all_sky_resident, sky_one_resident, threshold_resident,
+        top_k_resident, EngineBudget, PipelineStats, Plan, PlanReason, PrepareOptions,
+        ResidentOutcome,
     };
     pub use crate::error::QueryError;
     pub use crate::oracle::all_sky_naive;

@@ -25,20 +25,27 @@
 //! Both decisions depend only on the request and the dataset dimensions —
 //! never on timing — so shedding is reproducible.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use presky_core::batch::BatchCoinContext;
+use presky_core::pool::ThreadBudget;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
+use presky_core::types::DimId;
 
 use presky_approx::sampler::SamOptions;
 use presky_exact::cache::{ComponentCache, DEFAULT_BYTE_CAP};
+use presky_exact::snapshot::{self, Fnv};
 use presky_query::engine::{
-    all_sky_resident, sky_one_resident, threshold_resident, top_k_resident,
+    all_sky_range_resident, all_sky_resident, sky_one_resident, threshold_resident, top_k_resident,
+    EngineBudget, ResidentOutcome,
 };
-use presky_query::prob_skyline::Algorithm;
+use presky_query::prob_skyline::{Algorithm, QueryOptions, SkyResult};
 
+use crate::coalesce::{request_signature, Join, SingleFlight};
 use crate::error::{Result, ServiceError};
 use crate::metrics::{get, inc, Metrics, MetricsSnapshot};
 use crate::request::{Outcome, Query, Request, Response, Value};
@@ -55,11 +62,20 @@ pub struct EngineOptions {
     pub max_predicted_cost: Option<u64>,
     /// Byte cap of the cross-request component cache.
     pub cache_bytes: usize,
+    /// Single-flight coalescing of identical concurrent requests (see
+    /// [`crate::coalesce`]): on by default; off makes every submission
+    /// execute solo (the A/B baseline for the `serve` bench).
+    pub coalescing: bool,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        Self { max_in_flight: 64, max_predicted_cost: None, cache_bytes: DEFAULT_BYTE_CAP }
+        Self {
+            max_in_flight: 64,
+            max_predicted_cost: None,
+            cache_bytes: DEFAULT_BYTE_CAP,
+            coalescing: true,
+        }
     }
 }
 
@@ -81,6 +97,12 @@ impl EngineOptions {
         self.cache_bytes = cache_bytes;
         self
     }
+
+    /// Chainable: enable or disable single-flight coalescing.
+    pub fn with_coalescing(mut self, coalescing: bool) -> Self {
+        self.coalescing = coalescing;
+        self
+    }
 }
 
 /// A long-lived query service over one dataset.
@@ -95,7 +117,15 @@ pub struct Engine<M> {
     opts: EngineOptions,
     metrics: Metrics,
     in_flight: AtomicUsize,
+    flights: Arc<SingleFlight>,
+    fingerprint: OnceLock<u64>,
 }
+
+/// Per-dimension cap on the value universe hashed pairwise into the
+/// engine [`fingerprint`](Engine::fingerprint). Categorical domains (the
+/// warmstart regime) sit far below it; huge numeric domains hash a
+/// deterministic prefix of the grid plus the universe size.
+pub const FINGERPRINT_PAIR_CAP: usize = 128;
 
 /// Releases one in-flight slot even if the query worker panics.
 struct InFlightSlot<'a>(&'a AtomicUsize);
@@ -110,7 +140,19 @@ impl<M: PreferenceModel + Sync> Engine<M> {
     /// Index `table` once and stand up an empty component cache.
     pub fn new(table: Table, prefs: M, opts: EngineOptions) -> Result<Self> {
         let ctx = BatchCoinContext::build(&table).map_err(presky_query::error::QueryError::from)?;
-        Ok(Self {
+        Ok(Self::with_parts(table, prefs, ctx, opts))
+    }
+
+    /// Assemble an engine around an already-built context — how the
+    /// sharded deployment replicates coin indexes without re-validating
+    /// the table per shard.
+    pub(crate) fn with_parts(
+        table: Table,
+        prefs: M,
+        ctx: BatchCoinContext,
+        opts: EngineOptions,
+    ) -> Self {
+        Self {
             table,
             prefs,
             ctx,
@@ -118,12 +160,97 @@ impl<M: PreferenceModel + Sync> Engine<M> {
             opts,
             metrics: Metrics::default(),
             in_flight: AtomicUsize::new(0),
+            flights: Arc::default(),
+            fingerprint: OnceLock::new(),
+        }
+    }
+
+    /// [`Engine::new`], then replace the empty component cache with a
+    /// snapshot loaded from `path` (see [`presky_exact::snapshot`]).
+    ///
+    /// The snapshot must carry this engine's [`fingerprint`]; a snapshot
+    /// taken over a different dataset or preference model is refused with
+    /// [`ServiceError::Warmstart`] and the engine is **not** constructed.
+    /// A fresh engine warm-started this way serves its first requests at
+    /// the steady-state cache hit rate instead of paying the cold pass.
+    ///
+    /// [`fingerprint`]: Engine::fingerprint
+    pub fn with_warm_cache(
+        table: Table,
+        prefs: M,
+        opts: EngineOptions,
+        path: &Path,
+    ) -> Result<Self> {
+        let mut engine = Self::new(table, prefs, opts)?;
+        engine.load_cache_from(path)?;
+        Ok(engine)
+    }
+
+    /// Serialize the live component cache to `path`, keyed by this
+    /// engine's [`fingerprint`](Engine::fingerprint). The file is
+    /// versioned and checksummed; equal cache contents produce
+    /// byte-identical files.
+    pub fn save_cache_snapshot(&self, path: &Path) -> Result<()> {
+        snapshot::save_to_path(&self.cache, self.fingerprint(), path)?;
+        Ok(())
+    }
+
+    /// Identity hash of the dataset **and** the preference model, the key
+    /// a cache snapshot is saved and validated under.
+    ///
+    /// Covers the dense-coded table (via
+    /// [`BatchCoinContext::fingerprint`]) plus the `pr_strict` grid over
+    /// each dimension's value universe — the exact inputs from which
+    /// component signatures (and hence cache keys) are built. Dimensions
+    /// with more than [`FINGERPRINT_PAIR_CAP`] distinct values hash the
+    /// grid of their first `FINGERPRINT_PAIR_CAP` dense codes plus the
+    /// universe size; this keeps the hash linear-ish on huge numeric
+    /// domains. A fingerprint collision can only ever cost cache *misses*,
+    /// never wrong values: cache keys embed every probability bit they
+    /// depend on, so a stale entry simply fails to match.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut h = Fnv::new();
+            h.eat(&self.ctx.fingerprint().to_le_bytes());
+            let d = self.ctx.dimensionality();
+            h.eat(&(d as u64).to_le_bytes());
+            for j in 0..d {
+                let values = self.ctx.dim_values(j);
+                h.eat(&(values.len() as u64).to_le_bytes());
+                let head = &values[..values.len().min(FINGERPRINT_PAIR_CAP)];
+                for &a in head {
+                    for &b in head {
+                        if a != b {
+                            let p = self.prefs.pr_strict(DimId(j as u32), a, b);
+                            h.eat(&p.to_bits().to_le_bytes());
+                        }
+                    }
+                }
+            }
+            h.finish()
         })
     }
 
     /// The dataset this engine serves.
     pub fn table(&self) -> &Table {
         &self.table
+    }
+
+    /// The live component cache (sharded driver + tests).
+    pub(crate) fn cache(&self) -> &ComponentCache {
+        &self.cache
+    }
+
+    /// Replace the component cache with a snapshot from `path` (refuses a
+    /// fingerprint mismatch). Backs both warm-start constructors.
+    pub(crate) fn load_cache_from(&mut self, path: &Path) -> Result<()> {
+        self.cache = snapshot::load_from_path(path, self.fingerprint(), self.opts.cache_bytes)?;
+        Ok(())
+    }
+
+    /// The internal counter block (sharded driver's request attribution).
+    pub(crate) fn metrics_ref(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Objects in the dataset.
@@ -133,13 +260,66 @@ impl<M: PreferenceModel + Sync> Engine<M> {
 
     /// Serve one request from this thread.
     ///
-    /// Passes both admission gates, pins the relative [`Budget`] to an
-    /// absolute engine budget, runs the resident pipeline against the
-    /// shared context and cache, and classifies the conclusion. Any number
-    /// of threads may call this concurrently on one engine.
+    /// With coalescing enabled (the default), identical concurrent
+    /// submissions share one execution: the first becomes the leader and
+    /// runs the solo path; the rest block and
+    /// receive the leader's [`Response`] (own `elapsed`, leader's value
+    /// and stats), provided the leader's [`Budget`] covers theirs — see
+    /// [`crate::coalesce`] for the exact rule. A failed leader sends its
+    /// followers to solo execution; every submission is counted exactly
+    /// once in the metrics. Any number of threads may call this
+    /// concurrently on one engine.
     ///
     /// [`Budget`]: crate::request::Budget
     pub fn run(&self, request: Request) -> Result<Response> {
+        inc(&self.metrics.requests);
+        if !self.opts.coalescing {
+            return self.run_solo(&request);
+        }
+        let Some(key) = request_signature(&request) else {
+            return self.run_solo(&request);
+        };
+        match self.flights.join(key, request.budget) {
+            Join::Leader(guard) => {
+                let outcome = self.run_solo(&request);
+                let followers = guard.publish(outcome.as_ref().ok().cloned());
+                if followers > 0 {
+                    inc(&self.metrics.coalesce_led);
+                }
+                outcome
+            }
+            Join::Follower(flight) => {
+                let started = Instant::now();
+                match flight.wait() {
+                    Some(response) => {
+                        inc(&self.metrics.coalesced);
+                        Ok(Response { elapsed: started.elapsed(), ..response })
+                    }
+                    // The leader failed without publishing; this
+                    // submission still owes its caller an answer (and was
+                    // already counted in `requests`), so run it solo.
+                    None => self.run_solo(&request),
+                }
+            }
+            Join::Bypass => self.run_solo(&request),
+        }
+    }
+
+    /// Execute one request outside the single-flight layer: admission
+    /// gates, budget pinning, the resident pipeline, outcome
+    /// classification. Exactly one terminal counter (`completed`, a shed
+    /// counter, or `failed`) is incremented per call.
+    fn run_solo(&self, request: &Request) -> Result<Response> {
+        let result = self.run_admitted(request);
+        if let Err(e) = &result {
+            if !e.is_shed() {
+                inc(&self.metrics.failed);
+            }
+        }
+        result
+    }
+
+    fn run_admitted(&self, request: &Request) -> Result<Response> {
         if let Some(max) = self.opts.max_predicted_cost {
             let predicted = self.predicted_cost(&request.query);
             if predicted > max {
@@ -161,21 +341,21 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         let admitted_at = Instant::now();
         let budget = request.budget.to_engine_budget(admitted_at);
         let cache = Some(&self.cache);
-        let (value, stats, truncated) = match request.query {
+        let (value, stats, truncated) = match &request.query {
             Query::SkyOne { target, opts } => {
-                let out = sky_one_resident(&self.ctx, &self.prefs, target, opts, cache, budget)?;
+                let out = sky_one_resident(&self.ctx, &self.prefs, *target, *opts, cache, budget)?;
                 (Value::Sky(out.results.into_iter().next().flatten()), out.stats, out.truncated)
             }
             Query::AllSky { opts } => {
-                let out = all_sky_resident(&self.ctx, &self.prefs, opts, cache, budget)?;
+                let out = all_sky_resident(&self.ctx, &self.prefs, *opts, cache, budget)?;
                 (Value::AllSky(out.results), out.stats, out.truncated)
             }
             Query::Threshold { tau, opts } => {
-                let out = threshold_resident(&self.ctx, &self.prefs, tau, opts, cache, budget)?;
+                let out = threshold_resident(&self.ctx, &self.prefs, *tau, *opts, cache, budget)?;
                 (Value::Threshold(out.results), out.stats, out.truncated)
             }
             Query::TopK { k, opts } => {
-                let out = top_k_resident(&self.ctx, &self.prefs, k, opts, cache, budget)?;
+                let out = top_k_resident(&self.ctx, &self.prefs, *k, *opts, cache, budget)?;
                 (Value::TopK(out.results.into_iter().flatten().collect()), out.stats, out.truncated)
             }
         };
@@ -223,14 +403,66 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         }
     }
 
+    /// One shard's slice of a fanned-out all-sky request (global indices
+    /// in `range`, `workers` threads, spare capacity via the shared
+    /// `pool`). Admission here is the in-flight ceiling only: the owning
+    /// sharded driver applies the cost gate once for the whole request
+    /// rather than once per shard. `budget` is already absolute, so every
+    /// shard of one request shares one wall-clock cut-off.
+    pub(crate) fn run_all_sky_range(
+        &self,
+        range: std::ops::Range<usize>,
+        workers: usize,
+        opts: QueryOptions,
+        budget: EngineBudget,
+        pool: &Arc<ThreadBudget>,
+    ) -> Result<ResidentOutcome<SkyResult>> {
+        inc(&self.metrics.requests);
+        let previous = self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let slot = InFlightSlot(&self.in_flight);
+        if previous >= self.opts.max_in_flight {
+            inc(&self.metrics.shed_overload);
+            return Err(ServiceError::Overloaded {
+                in_flight: previous,
+                max: self.opts.max_in_flight,
+            });
+        }
+        inc(&self.metrics.admitted);
+        let out = all_sky_range_resident(
+            &self.ctx,
+            &self.prefs,
+            range,
+            workers,
+            opts,
+            Some(&self.cache),
+            budget,
+            pool,
+        )
+        .map_err(|e| {
+            inc(&self.metrics.failed);
+            ServiceError::from(e)
+        })?;
+        drop(slot);
+        self.metrics.merge_stats(&out.stats);
+        inc(&self.metrics.completed);
+        if out.truncated > 0 {
+            inc(&self.metrics.deadline_misses);
+        }
+        Ok(out)
+    }
+
     /// A point-in-time view of the engine's counters and cache.
     pub fn metrics(&self) -> MetricsSnapshot {
         MetricsSnapshot {
+            requests: get(&self.metrics.requests),
             admitted: get(&self.metrics.admitted),
             completed: get(&self.metrics.completed),
+            coalesced: get(&self.metrics.coalesced),
+            coalesce_led: get(&self.metrics.coalesce_led),
             deadline_misses: get(&self.metrics.deadline_misses),
             shed_overload: get(&self.metrics.shed_overload),
             shed_cost: get(&self.metrics.shed_cost),
+            failed: get(&self.metrics.failed),
             in_flight: self.in_flight.load(Ordering::Acquire),
             stats: self.metrics.stats_snapshot(),
             cache_entries: self.cache.len(),
@@ -345,5 +577,117 @@ mod tests {
         assert!(warm.stats.cache_hits > cold.stats.cache_hits);
         assert!(warm.cache_hit_rate() > 0.0);
         assert!(warm.cache_entries > 0);
+    }
+
+    #[test]
+    fn warm_cache_round_trips_and_refuses_mismatched_fingerprints() {
+        let dir = std::env::temp_dir().join(format!("presky-warm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.snapshot");
+
+        let cold = engine(EngineOptions::default());
+        let cold_resp = cold.run(Request::all_sky(QueryOptions::default())).unwrap();
+        assert!(cold.metrics().cache_entries > 0, "fixture must populate the cache");
+        cold.save_cache_snapshot(&path).unwrap();
+
+        let table = cold.table().clone();
+        let warm = Engine::with_warm_cache(
+            table.clone(),
+            TablePreferences::with_default(PrefPair::half()),
+            EngineOptions::default(),
+            &path,
+        )
+        .unwrap();
+        assert_eq!(warm.metrics().cache_entries, cold.metrics().cache_entries);
+        assert_eq!(warm.fingerprint(), cold.fingerprint());
+        // First pass on the warm engine: every probe hits, values are
+        // bit-identical to the cold engine's answer.
+        let warm_resp = warm.run(Request::all_sky(QueryOptions::default())).unwrap();
+        let m = warm.metrics();
+        assert_eq!(m.stats.cache_hits, m.stats.cache_probes);
+        let a = cold_resp.outcome.value().as_all_sky().unwrap();
+        let b = warm_resp.outcome.value().as_all_sky().unwrap();
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.unwrap().sky.to_bits(), y.unwrap().sky.to_bits());
+        }
+        // Logical work accounting replays identically (hits re-add the
+        // cached joints).
+        assert_eq!(
+            cold_resp.stats.joints_computed, warm_resp.stats.joints_computed,
+            "joints_computed must be deterministic across cold/warm caches"
+        );
+
+        // A different preference model is a different fingerprint.
+        let other = Engine::with_warm_cache(
+            table,
+            TablePreferences::with_default(PrefPair::new(0.25, 0.25).unwrap()),
+            EngineOptions::default(),
+            &path,
+        );
+        assert!(matches!(other, Err(ServiceError::Warmstart { .. })), "got {other:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_to_one_execution() {
+        let e = engine(EngineOptions::default());
+        // Prime the cache so execution time stays small relative to the
+        // join window; then hammer one signature from many threads while
+        // the leader holds the flight open.
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 20;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    for _ in 0..ROUNDS {
+                        let r = e.run(Request::all_sky(QueryOptions::default())).unwrap();
+                        assert_eq!(r.outcome.value().as_all_sky().unwrap().len(), 5);
+                    }
+                });
+            }
+        });
+        let m = e.metrics();
+        let total = (THREADS * ROUNDS) as u64;
+        assert_eq!(m.requests, total);
+        assert_eq!(m.completed + m.coalesced, total, "every submission answered exactly once");
+        assert_eq!(m.admitted, m.completed);
+        assert_eq!(m.failed, 0);
+        assert_eq!(m.in_flight, 0);
+    }
+
+    #[test]
+    fn coalescing_off_runs_every_submission_solo() {
+        let e = engine(EngineOptions::default().with_coalescing(false));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    e.run(Request::all_sky(QueryOptions::default())).unwrap();
+                });
+            }
+        });
+        let m = e.metrics();
+        assert_eq!(m.requests, 4);
+        assert_eq!(m.completed, 4);
+        assert_eq!(m.coalesced, 0);
+        assert_eq!(m.coalesce_led, 0);
+    }
+
+    #[test]
+    fn every_submission_lands_in_exactly_one_terminal_counter() {
+        // Mixed fates: successes, overload sheds, cost sheds, and
+        // query-layer failures — the request-conservation regression test
+        // for the old double-count of a shed-after-admission request.
+        let e = engine(EngineOptions::default().with_max_in_flight(1));
+        e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        e.run(Request::threshold(7.0, ThresholdOptions::default())).unwrap_err(); // invalid τ
+        e.run(Request::top_k(0, TopKOptions::default())).unwrap_err(); // k = 0
+        let m = e.metrics();
+        assert_eq!(m.requests, 3);
+        assert_eq!(
+            m.completed + m.coalesced + m.shed_overload + m.shed_cost + m.failed,
+            m.requests,
+            "terminal counters must partition submissions: {m:?}"
+        );
+        assert_eq!(m.failed, 2);
     }
 }

@@ -32,6 +32,13 @@ pub enum ServiceError {
     },
     /// The query layer failed (invalid τ, `k = 0`, oversized component, …).
     Query(QueryError),
+    /// A cache warmstart snapshot could not be loaded or saved. Carries
+    /// the rendered [`SnapshotError`](presky_exact::snapshot::SnapshotError)
+    /// (the underlying type holds an `io::Error` and so cannot be `Clone`).
+    Warmstart {
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -44,7 +51,14 @@ impl fmt::Display for ServiceError {
                 write!(f, "predicted request cost {predicted} exceeds the ceiling {max}")
             }
             ServiceError::Query(e) => write!(f, "{e}"),
+            ServiceError::Warmstart { detail } => write!(f, "cache warmstart: {detail}"),
         }
+    }
+}
+
+impl From<presky_exact::snapshot::SnapshotError> for ServiceError {
+    fn from(e: presky_exact::snapshot::SnapshotError) -> Self {
+        ServiceError::Warmstart { detail: e.to_string() }
     }
 }
 

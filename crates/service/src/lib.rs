@@ -41,15 +41,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod coalesce;
 pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod request;
+pub mod sharded;
 
 pub use engine::{Engine, EngineOptions};
 pub use error::ServiceError;
 pub use metrics::MetricsSnapshot;
 pub use request::{Budget, Outcome, Query, Request, Response, Value};
+pub use sharded::ShardedEngine;
 
 /// Commonly used names.
 pub mod prelude {
@@ -57,6 +60,7 @@ pub mod prelude {
     pub use crate::error::ServiceError;
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::request::{Budget, Outcome, Query, Request, Response, Value};
+    pub use crate::sharded::ShardedEngine;
     pub use presky_query::prob_skyline::QueryOptions;
     pub use presky_query::threshold::ThresholdOptions;
     pub use presky_query::topk::TopKOptions;

@@ -11,16 +11,26 @@ use presky_query::engine::PipelineStats;
 /// readers take a coherent-enough snapshot without stopping traffic.
 #[derive(Debug, Default)]
 pub(crate) struct Metrics {
+    /// Requests submitted to `run` (each submission counted exactly once,
+    /// whatever its fate: admitted, coalesced, shed, or failed).
+    pub(crate) requests: AtomicU64,
     /// Requests admitted (work actually started).
     pub(crate) admitted: AtomicU64,
     /// Admitted requests that produced a `Response`.
     pub(crate) completed: AtomicU64,
+    /// Requests answered from a concurrent identical leader's response
+    /// (no work of their own was admitted or executed).
+    pub(crate) coalesced: AtomicU64,
+    /// Admitted requests that executed on behalf of at least one follower.
+    pub(crate) coalesce_led: AtomicU64,
     /// Admitted requests whose outcome was `DeadlineExceeded`.
     pub(crate) deadline_misses: AtomicU64,
     /// Requests shed by the in-flight ceiling.
     pub(crate) shed_overload: AtomicU64,
     /// Requests shed by the predicted-cost ceiling.
     pub(crate) shed_cost: AtomicU64,
+    /// Requests that returned a query-layer error.
+    pub(crate) failed: AtomicU64,
     /// Pipeline counters merged across every completed request.
     stats: Mutex<PipelineStats>,
 }
@@ -50,16 +60,27 @@ impl Metrics {
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct MetricsSnapshot {
+    /// Requests submitted, each counted exactly once: every submission
+    /// ends up in exactly one of `completed`, `coalesced`, the shed
+    /// counters, or `failed` — never two (regression-tested against the
+    /// old double-count of a shed-after-admission request).
+    pub requests: u64,
     /// Requests admitted (work actually started).
     pub admitted: u64,
     /// Admitted requests that produced a [`Response`](crate::Response).
     pub completed: u64,
+    /// Requests answered from a concurrent identical leader's response.
+    pub coalesced: u64,
+    /// Admitted requests that executed on behalf of ≥ 1 follower.
+    pub coalesce_led: u64,
     /// Admitted requests that concluded `DeadlineExceeded`.
     pub deadline_misses: u64,
     /// Requests shed by the in-flight ceiling.
     pub shed_overload: u64,
     /// Requests shed by the predicted-cost ceiling.
     pub shed_cost: u64,
+    /// Requests that returned a query-layer error.
+    pub failed: u64,
     /// Requests running at snapshot time.
     pub in_flight: usize,
     /// Pipeline counters merged across every completed request.
@@ -81,19 +102,44 @@ impl MetricsSnapshot {
     pub fn cache_hit_rate(&self) -> f64 {
         self.stats.cache_hit_rate()
     }
+
+    /// Fold another engine's snapshot into this one — how a sharded
+    /// deployment reports fleet totals. Counters and pipeline stats are
+    /// additive (`largest_component` by max, as in
+    /// [`PipelineStats::merge`]); cache occupancy sums across the
+    /// per-shard caches.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.requests += other.requests;
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.coalesced += other.coalesced;
+        self.coalesce_led += other.coalesce_led;
+        self.deadline_misses += other.deadline_misses;
+        self.shed_overload += other.shed_overload;
+        self.shed_cost += other.shed_cost;
+        self.failed += other.failed;
+        self.in_flight += other.in_flight;
+        self.stats.merge(&other.stats);
+        self.cache_entries += other.cache_entries;
+        self.cache_bytes += other.cache_bytes;
+    }
 }
 
 impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "requests: {} admitted, {} completed, {} deadline-missed, {} shed ({} overload / {} cost), {} in flight",
+            "requests: {} submitted, {} admitted, {} completed, {} coalesced ({} leaders), {} deadline-missed, {} shed ({} overload / {} cost), {} failed, {} in flight",
+            self.requests,
             self.admitted,
             self.completed,
+            self.coalesced,
+            self.coalesce_led,
             self.deadline_misses,
             self.shed(),
             self.shed_overload,
             self.shed_cost,
+            self.failed,
             self.in_flight,
         )?;
         writeln!(
@@ -126,11 +172,15 @@ mod tests {
     #[test]
     fn snapshot_display_mentions_every_counter_block() {
         let snap = MetricsSnapshot {
+            requests: 15,
             admitted: 10,
             completed: 8,
+            coalesced: 6,
+            coalesce_led: 2,
             deadline_misses: 2,
             shed_overload: 1,
             shed_cost: 3,
+            failed: 0,
             in_flight: 0,
             stats: PipelineStats::default(),
             cache_entries: 5,
@@ -138,8 +188,43 @@ mod tests {
         };
         assert_eq!(snap.shed(), 4);
         let s = snap.to_string();
+        assert!(s.contains("15 submitted"));
         assert!(s.contains("10 admitted"));
+        assert!(s.contains("6 coalesced (2 leaders)"));
         assert!(s.contains("hit rate"));
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_caches() {
+        let mut a = MetricsSnapshot {
+            requests: 5,
+            admitted: 4,
+            completed: 4,
+            coalesced: 1,
+            coalesce_led: 1,
+            deadline_misses: 0,
+            shed_overload: 0,
+            shed_cost: 0,
+            failed: 0,
+            in_flight: 1,
+            stats: PipelineStats { objects: 3, largest_component: 2, ..Default::default() },
+            cache_entries: 10,
+            cache_bytes: 100,
+        };
+        let b = MetricsSnapshot {
+            stats: PipelineStats { objects: 7, largest_component: 9, ..Default::default() },
+            cache_entries: 2,
+            cache_bytes: 20,
+            ..a.clone()
+        };
+        a.merge(&b);
+        assert_eq!(a.requests, 10);
+        assert_eq!(a.coalesced, 2);
+        assert_eq!(a.in_flight, 2);
+        assert_eq!(a.stats.objects, 10);
+        assert_eq!(a.stats.largest_component, 9);
+        assert_eq!(a.cache_entries, 12);
+        assert_eq!(a.cache_bytes, 120);
     }
 
     #[test]

@@ -64,6 +64,27 @@ impl Budget {
         self.deadline.is_none() && self.max_joints.is_none() && self.max_samples.is_none()
     }
 
+    /// Whether a request run under `self` is at least as complete as one
+    /// run under `follower` — the single-flight coalescing rule.
+    ///
+    /// Field-wise: an unlimited field covers anything; a limited field
+    /// never covers an unlimited one; two limits cover in `≥` order. A
+    /// follower whose budget is covered can take the leader's response as
+    /// its own (every slot the follower's solo run would have produced is
+    /// present, bit-identical); one that is not covered must run solo.
+    pub fn covers(&self, follower: &Budget) -> bool {
+        fn field<T: PartialOrd>(leader: Option<T>, follower: Option<T>) -> bool {
+            match (leader, follower) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(l), Some(f)) => l >= f,
+            }
+        }
+        field(self.deadline, follower.deadline)
+            && field(self.max_joints, follower.max_joints)
+            && field(self.max_samples, follower.max_samples)
+    }
+
     /// Pin the relative budget to an absolute engine budget at `now`.
     pub(crate) fn to_engine_budget(self, now: Instant) -> EngineBudget {
         EngineBudget::default()
@@ -284,6 +305,26 @@ mod tests {
         assert_eq!(eb.max_joints, Some(7));
         assert_eq!(eb.max_samples, None);
         assert!(Budget::unlimited().to_engine_budget(now).is_unlimited());
+    }
+
+    #[test]
+    fn covers_is_field_wise_at_least_as_generous() {
+        let unlimited = Budget::unlimited();
+        let tight = Budget::default()
+            .with_deadline(Some(Duration::from_millis(5)))
+            .with_max_joints(Some(100));
+        let loose = Budget::default()
+            .with_deadline(Some(Duration::from_millis(50)))
+            .with_max_joints(Some(1000));
+        assert!(unlimited.covers(&tight));
+        assert!(unlimited.covers(&unlimited));
+        assert!(loose.covers(&tight));
+        assert!(!tight.covers(&loose));
+        assert!(!tight.covers(&unlimited), "a limit never covers unlimited");
+        // An orthogonal limit breaks coverage even when the others align.
+        let sampled = loose.with_max_samples(Some(10));
+        assert!(!sampled.covers(&loose));
+        assert!(loose.covers(&sampled.with_max_samples(None)));
     }
 
     #[test]

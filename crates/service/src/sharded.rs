@@ -1,0 +1,275 @@
+//! Sharded all-sky fan-out: one request, N engines, one bit-identical
+//! answer.
+//!
+//! [`ShardedEngine`] partitions the **targets** of an all-sky batch into
+//! contiguous ranges, one per [`Engine`] shard. Coin indexes (the
+//! [`BatchCoinContext`]) are *replicated* — every shard holds the full
+//! table and can assemble any target's view — because a target's attackers
+//! come from the whole dataset, not from its own range. What is
+//! partitioned is the work and the mutable state: each shard owns its own
+//! component cache, metrics, and admission ceiling.
+//!
+//! ## Merge invariants
+//!
+//! An `AllSky` request fans out on scoped threads, each shard solving its
+//! range through the query crate's global-index range driver, then merges:
+//!
+//! * **values** — concatenated in range order. Per-object seed
+//!   decorrelation uses the *global* object index, so every slot is
+//!   bit-identical to the single-engine run at any shard count;
+//! * **stats** — [`PipelineStats::merge`] (additive, max for
+//!   `largest_component`), associative, so totals equal the single-engine
+//!   totals for every deterministic counter (`cache_hits` depends on which
+//!   worker — here, which shard — reached a component first, exactly as it
+//!   already depends on thread interleaving within one engine);
+//! * **truncation** — summed; the merged withheld-slot set is the union of
+//!   the per-shard partials and the [`Outcome`] reclassifies over it.
+//!
+//! One wall-clock budget is pinned *before* the fan-out, so all shards
+//! share an absolute deadline; joint/sample ledgers apply **per shard**
+//! (each shard's slice may spend up to the request's ledger).
+//!
+//! ## Thread allowance
+//!
+//! The request's thread count is split evenly across shards; the
+//! remainder is seeded into one shared [`ThreadBudget`] pot, and a shard
+//! whose range cannot use its full grant deposits the difference back, so
+//! shards' intra-component DFS leases draw on one machine-wide allowance
+//! and never oversubscribe the host.
+//!
+//! Non-batch shapes don't fan out: `SkyOne` routes to the shard owning
+//! the target (any shard could answer; routing spreads load and cache
+//! residency), `Threshold` and `TopK` delegate to shard 0. All delegated
+//! shapes keep the full single-engine path, coalescing included.
+
+use std::ops::Range;
+use std::path::Path;
+use std::time::Instant;
+
+use presky_core::batch::BatchCoinContext;
+use presky_core::pool::ThreadBudget;
+use presky_core::preference::PreferenceModel;
+use presky_core::table::Table;
+
+use presky_exact::cache::ComponentCache;
+use presky_exact::snapshot;
+use presky_query::engine::PipelineStats;
+use presky_query::prob_skyline::QueryOptions;
+
+use crate::engine::{Engine, EngineOptions};
+use crate::error::{Result, ServiceError};
+use crate::metrics::{inc, MetricsSnapshot};
+use crate::request::{Budget, Outcome, Query, Request, Response, Value};
+
+/// N [`Engine`] shards serving one dataset, fanning all-sky requests
+/// across them. See the [module docs](self) for the partitioning and
+/// merge invariants.
+#[derive(Debug)]
+pub struct ShardedEngine<M> {
+    shards: Vec<Engine<M>>,
+    ranges: Vec<Range<usize>>,
+    opts: EngineOptions,
+}
+
+impl<M: PreferenceModel + Sync + Clone> ShardedEngine<M> {
+    /// Build the context once, replicate it across `n_shards` engines,
+    /// and assign each a contiguous target range (`0` shards is treated
+    /// as `1`).
+    pub fn new(table: Table, prefs: M, opts: EngineOptions, n_shards: usize) -> Result<Self> {
+        let n_shards = n_shards.max(1);
+        let ctx = BatchCoinContext::build(&table).map_err(presky_query::error::QueryError::from)?;
+        let n = ctx.n_objects();
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut ranges = Vec::with_capacity(n_shards);
+        for s in 0..n_shards {
+            ranges.push(s * n / n_shards..(s + 1) * n / n_shards);
+            shards.push(Engine::with_parts(table.clone(), prefs.clone(), ctx.clone(), opts));
+        }
+        Ok(Self { shards, ranges, opts })
+    }
+
+    /// [`ShardedEngine::new`], then warm every shard's cache from the
+    /// same snapshot file. Each shard verifies the fingerprint; entries
+    /// a shard's range never probes simply sit idle under its byte cap.
+    pub fn with_warm_cache(
+        table: Table,
+        prefs: M,
+        opts: EngineOptions,
+        n_shards: usize,
+        path: &Path,
+    ) -> Result<Self> {
+        let mut this = Self::new(table, prefs, opts, n_shards)?;
+        for shard in &mut this.shards {
+            shard.load_cache_from(path)?;
+        }
+        Ok(this)
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Objects in the dataset.
+    pub fn n_objects(&self) -> usize {
+        self.shards[0].n_objects()
+    }
+
+    /// Serve one request.
+    ///
+    /// `AllSky` fans out across every shard and merges; `SkyOne` routes
+    /// to the shard owning the target; `Threshold` and `TopK` delegate to
+    /// shard 0 (their ladders and scout/refine phases iterate all objects
+    /// with cross-object early exits that do not decompose into
+    /// independent ranges).
+    pub fn run(&self, request: Request) -> Result<Response> {
+        match &request.query {
+            Query::AllSky { opts } => self.run_all_sky(*opts, request.budget),
+            Query::SkyOne { target, .. } => {
+                let owner =
+                    self.ranges.iter().position(|r| r.contains(&target.index())).unwrap_or(0);
+                self.shards[owner].run(request)
+            }
+            _ => self.shards[0].run(request),
+        }
+    }
+
+    fn run_all_sky(&self, opts: QueryOptions, budget: Budget) -> Result<Response> {
+        // The cost gate runs once for the whole request (the fan-out
+        // would otherwise charge it per shard); attribution goes to
+        // shard 0's counters so the fleet totals still balance.
+        if let Some(max) = self.opts.max_predicted_cost {
+            let query = Query::AllSky { opts };
+            let predicted = self.shards[0].predicted_cost(&query);
+            if predicted > max {
+                let m = self.shards[0].metrics_ref();
+                inc(&m.requests);
+                inc(&m.shed_cost);
+                return Err(ServiceError::CostCeiling { predicted, max });
+            }
+        }
+        let admitted_at = Instant::now();
+        let engine_budget = budget.to_engine_budget(admitted_at);
+        let n_shards = self.shards.len();
+        let total = presky_core::num_threads(opts.threads);
+        let workers = (total / n_shards).max(1);
+        let spare = total.saturating_sub(workers * n_shards);
+        let pool = ThreadBudget::new(spare);
+
+        let outs: Vec<Result<_>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(&self.ranges)
+                .map(|(shard, range)| {
+                    let pool = &pool;
+                    scope.spawn(move || {
+                        shard.run_all_sky_range(range.clone(), workers, opts, engine_budget, pool)
+                    })
+                })
+                .collect();
+            // Joining in shard order keeps the merge deterministic; a
+            // worker panic propagates from join() as usual.
+            handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+        });
+
+        let mut results = Vec::with_capacity(self.n_objects());
+        let mut stats = PipelineStats::default();
+        let mut truncated = 0;
+        for out in outs {
+            let out = out?;
+            results.extend(out.results);
+            stats.merge(&out.stats);
+            truncated += out.truncated;
+        }
+        let outcome = Outcome::classify(Value::AllSky(results), truncated);
+        Ok(Response { outcome, stats, elapsed: admitted_at.elapsed() })
+    }
+
+    /// Fleet totals: every shard's snapshot folded with
+    /// [`MetricsSnapshot::merge`]. A fanned-out all-sky request appears
+    /// as one (admitted, completed) execution **per shard**; delegated
+    /// shapes count only on their serving shard.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut merged = self.shards[0].metrics();
+        for shard in &self.shards[1..] {
+            merged.merge(&shard.metrics());
+        }
+        merged
+    }
+
+    /// Serialize the union of every shard's component cache to `path`,
+    /// keyed by the shared fingerprint. Entries are deduplicated by key
+    /// (identical keys hold bit-identical values by construction), so the
+    /// file is byte-identical to a single-engine snapshot that solved the
+    /// same components.
+    pub fn save_cache_snapshot(&self, path: &Path) -> Result<()> {
+        let union = ComponentCache::with_byte_cap(self.opts.cache_bytes);
+        for shard in &self.shards {
+            for (key, entry) in shard.cache().sorted_entries() {
+                union.insert(&key, entry);
+            }
+        }
+        snapshot::save_to_path(&union, self.shards[0].fingerprint(), path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use presky_core::preference::{PrefPair, TablePreferences};
+    use presky_core::types::ObjectId;
+    use presky_query::threshold::ThresholdOptions;
+    use presky_query::topk::TopKOptions;
+
+    use super::*;
+
+    fn fixture() -> (Table, TablePreferences) {
+        let t =
+            Table::from_rows_raw(2, &[vec![0, 0], vec![1, 1], vec![1, 0], vec![2, 2], vec![0, 1]])
+                .unwrap();
+        (t, TablePreferences::with_default(PrefPair::half()))
+    }
+
+    #[test]
+    fn every_shape_is_served_and_routed() {
+        let (t, p) = fixture();
+        let e = ShardedEngine::new(t, p, EngineOptions::default(), 2).unwrap();
+        assert_eq!(e.n_shards(), 2);
+        let r = e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        assert_eq!(r.outcome.value().as_all_sky().unwrap().len(), 5);
+        let r = e.run(Request::sky_one(ObjectId(4), QueryOptions::default())).unwrap();
+        assert!(r.outcome.value().as_sky().is_some());
+        let r = e.run(Request::threshold(0.15, ThresholdOptions::default())).unwrap();
+        assert_eq!(r.outcome.value().as_threshold().unwrap().len(), 5);
+        let r = e.run(Request::top_k(2, TopKOptions::default())).unwrap();
+        assert_eq!(r.outcome.value().as_top_k().unwrap().len(), 2);
+        let m = e.metrics();
+        // The all-sky fan-out admits once per shard; the three delegated
+        // requests once each.
+        assert_eq!(m.admitted, 2 + 3);
+        assert_eq!(m.completed, m.admitted);
+        assert_eq!(m.in_flight, 0);
+    }
+
+    #[test]
+    fn zero_shards_is_one_shard() {
+        let (t, p) = fixture();
+        let e = ShardedEngine::new(t, p, EngineOptions::default(), 0).unwrap();
+        assert_eq!(e.n_shards(), 1);
+        assert!(e.run(Request::all_sky(QueryOptions::default())).is_ok());
+    }
+
+    #[test]
+    fn cost_gate_runs_once_for_the_whole_fan_out() {
+        let (t, p) = fixture();
+        let e =
+            ShardedEngine::new(t, p, EngineOptions::default().with_max_predicted_cost(Some(1)), 4)
+                .unwrap();
+        let err = e.run(Request::all_sky(QueryOptions::default())).unwrap_err();
+        assert!(matches!(err, ServiceError::CostCeiling { .. }));
+        let m = e.metrics();
+        assert_eq!(m.shed_cost, 1, "one shed for one request, not one per shard");
+        assert_eq!(m.requests, 1);
+    }
+}

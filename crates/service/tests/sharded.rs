@@ -1,0 +1,122 @@
+//! Sharded all-sky fan-out vs the single engine: the shard count is a
+//! deployment knob, not a semantic one. At every tested shard count the
+//! merged answer must be bit-for-bit the single-engine answer — same
+//! slot values, same logical work — and a deadline-truncated run may
+//! only withhold slots, never alter the ones it returns.
+
+use std::time::Duration;
+
+use presky_core::preference::SeededPreferences;
+use presky_datagen::car::car_projected;
+use presky_service::prelude::*;
+use presky_service::Outcome;
+
+fn car_table() -> presky_core::table::Table {
+    car_projected(4).unwrap()
+}
+
+fn prefs() -> SeededPreferences {
+    SeededPreferences::complementary(7)
+}
+
+#[test]
+fn sharded_all_sky_is_bit_identical_to_single_engine() {
+    let single = Engine::new(car_table(), prefs(), EngineOptions::default()).unwrap();
+    let reference = single.run(Request::all_sky(QueryOptions::default())).unwrap();
+    let want = reference.outcome.value().as_all_sky().unwrap().to_vec();
+    assert!(reference.outcome.complete());
+    let want_joints = reference.stats.joints_computed;
+
+    for n_shards in [1usize, 2, 4] {
+        let sharded =
+            ShardedEngine::new(car_table(), prefs(), EngineOptions::default(), n_shards).unwrap();
+        assert_eq!(sharded.n_shards(), n_shards);
+        let resp = sharded.run(Request::all_sky(QueryOptions::default())).unwrap();
+        assert!(resp.outcome.complete(), "{n_shards} shards: unlimited budget must not truncate");
+        let got = resp.outcome.value().as_all_sky().unwrap();
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            let g = g.as_ref().expect("complete run fills every slot");
+            let w = w.as_ref().expect("complete run fills every slot");
+            assert_eq!(
+                g.sky.to_bits(),
+                w.sky.to_bits(),
+                "{n_shards} shards: slot {i} diverged from the single-engine answer"
+            );
+            assert_eq!(g.exact, w.exact, "{n_shards} shards: slot {i} exactness flag diverged");
+        }
+        // Logical work is deterministic too: cache hits replay the
+        // component's joint count, so the merged total matches the
+        // single-engine total at any shard count.
+        assert_eq!(
+            resp.stats.joints_computed, want_joints,
+            "{n_shards} shards: merged joint count diverged"
+        );
+    }
+}
+
+#[test]
+fn deadline_truncated_fan_out_only_withholds_slots() {
+    let single = Engine::new(car_table(), prefs(), EngineOptions::default()).unwrap();
+    let want = single
+        .run(Request::all_sky(QueryOptions::default()))
+        .unwrap()
+        .outcome
+        .value()
+        .as_all_sky()
+        .unwrap()
+        .to_vec();
+
+    for n_shards in [1usize, 2, 4] {
+        let sharded =
+            ShardedEngine::new(car_table(), prefs(), EngineOptions::default(), n_shards).unwrap();
+        // An already-expired deadline: every shard trips its budget at the
+        // first chunk boundary, so every slot is withheld deterministically.
+        let resp = sharded
+            .run(
+                Request::all_sky(QueryOptions::default())
+                    .with_budget(Budget::default().with_deadline(Some(Duration::ZERO))),
+            )
+            .unwrap();
+        let got = resp.outcome.value().as_all_sky().unwrap();
+        assert_eq!(got.len(), want.len());
+        let mut withheld = 0u64;
+        for (g, w) in got.iter().zip(&want) {
+            match g {
+                Some(g) => {
+                    let w = w.as_ref().expect("unbudgeted run completed every slot");
+                    assert_eq!(g.sky.to_bits(), w.sky.to_bits(), "budget altered a value");
+                }
+                None => withheld += 1,
+            }
+        }
+        match resp.outcome {
+            Outcome::DeadlineExceeded { truncated, .. } => {
+                assert_eq!(truncated, withheld, "{n_shards} shards: truncation count must match");
+                assert!(truncated > 0, "{n_shards} shards: an expired deadline must truncate");
+            }
+            ref o => {
+                assert_eq!(withheld, 0, "{n_shards} shards: complete outcome {o:?} withheld slots")
+            }
+        }
+        let m = sharded.metrics();
+        assert_eq!(m.in_flight, 0);
+        assert_eq!(m.failed, 0);
+    }
+}
+
+#[test]
+fn sharded_metrics_fold_across_every_shard() {
+    use presky_core::types::ObjectId;
+    let sharded = ShardedEngine::new(car_table(), prefs(), EngineOptions::default(), 4).unwrap();
+    let n = sharded.n_objects();
+    // One fan-out (admits once per shard) plus one routed point query on
+    // the last shard's range.
+    sharded.run(Request::all_sky(QueryOptions::default())).unwrap();
+    sharded.run(Request::sky_one(ObjectId((n - 1) as u32), QueryOptions::default())).unwrap();
+    let m = sharded.metrics();
+    assert_eq!(m.admitted, 4 + 1);
+    assert_eq!(m.completed, m.admitted);
+    assert_eq!(m.shed(), 0);
+    assert_eq!(m.in_flight, 0);
+}

@@ -21,6 +21,8 @@
 //!                  [--threads 4] [--rounds 2] [--tau 0.1] [--k 5]
 //!                  [--deadline-ms 50] [--max-joints J] [--max-samples S]
 //!                  [--max-in-flight 64] [--max-predicted-cost C]
+//!                  [--duplicate-fraction 0.9] [--no-coalesce] [--shards N]
+//!                  [--save-cache snap] [--warm-cache snap] [--min-warm-hit-rate 0.9]
 //! ```
 //!
 //! Tables and preference files use the `presky-datagen` text formats.
@@ -41,7 +43,13 @@
 //! carry a budget (`--deadline-ms`, `--max-joints`, `--max-samples`), and
 //! a tripped budget truncates slots — it never alters a value. `serve` is
 //! an in-process mixed-workload driver that exercises one engine from
-//! many threads and prints its `MetricsSnapshot`.
+//! many threads and prints its `MetricsSnapshot` plus requests/s and
+//! p50/p99 latency. `--duplicate-fraction` injects identical concurrent
+//! submissions (the single-flight coalescing workload; `--no-coalesce`
+//! is the A/B baseline), `--shards` deploys a `ShardedEngine`, and
+//! `--save-cache` / `--warm-cache` persist the component cache across
+//! restarts (`--min-warm-hit-rate` turns the warm first-round hit rate
+//! into an exit-code assertion for CI).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -88,7 +96,9 @@ fn usage() -> String {
      skyprob topk --table FILE (--prefs FILE | --seed-prefs N) --k K [--deadline-ms D]\n  \
      skyprob serve --table FILE (--prefs FILE | --seed-prefs N) [--threads T] [--rounds R]\n  \
                 [--tau T] [--k K] [--deadline-ms D] [--max-joints J] [--max-samples S]\n  \
-                [--max-in-flight F] [--max-predicted-cost C]"
+                [--max-in-flight F] [--max-predicted-cost C] [--duplicate-fraction F]\n  \
+                [--no-coalesce] [--shards N] [--save-cache FILE] [--warm-cache FILE]\n  \
+                [--min-warm-hit-rate R]"
         .to_owned()
 }
 
@@ -201,6 +211,7 @@ fn gen_prefs(flags: &HashMap<String, String>) -> Result<(), String> {
 
 // ------------------------------------------------------------- instance
 
+#[derive(Clone)]
 enum Prefs {
     File(TablePreferences),
     Seeded(SeededPreferences),
@@ -409,17 +420,101 @@ fn topk(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// In-process mixed-workload driver against one resident [`Engine`]:
-/// `--threads` workers each issue `--rounds` passes over a four-shape
-/// workload (`sky_one`, `all_sky`, threshold, top-k), every request under
-/// the same optional budget, and the run ends with the engine's
-/// [`MetricsSnapshot`].
+/// `serve`'s engine handle: a single [`Engine`] or a sharded deployment
+/// behind one dispatch surface.
+enum Server {
+    Single(Box<Engine<Prefs>>),
+    Sharded(ShardedEngine<Prefs>),
+}
+
+impl Server {
+    fn run(&self, request: Request) -> std::result::Result<Response, ServiceError> {
+        match self {
+            Server::Single(e) => e.run(request),
+            Server::Sharded(e) => e.run(request),
+        }
+    }
+
+    fn n_objects(&self) -> usize {
+        match self {
+            Server::Single(e) => e.n_objects(),
+            Server::Sharded(e) => e.n_objects(),
+        }
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        match self {
+            Server::Single(e) => e.metrics(),
+            Server::Sharded(e) => e.metrics(),
+        }
+    }
+
+    fn save_cache_snapshot(&self, path: &Path) -> std::result::Result<(), ServiceError> {
+        match self {
+            Server::Single(e) => e.save_cache_snapshot(path),
+            Server::Sharded(e) => e.save_cache_snapshot(path),
+        }
+    }
+}
+
+/// Deterministic per-submission coin for `--duplicate-fraction`
+/// (splitmix64 → uniform in `[0, 1)`): the same sequence number always
+/// lands on the same side, so a workload replays identically across
+/// coalescing A/B runs.
+fn duplicate_coin(seq: u64) -> f64 {
+    let mut z = seq.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// FNV-1a digest over an all-sky result vector (presence byte + value
+/// bits per slot) — the CI bit-identity handle: equal digests ⇔ equal
+/// slot-for-slot answers.
+fn allsky_digest(slots: &[Option<SkyResult>]) -> u64 {
+    let mut h = presky::exact::snapshot::Fnv::new();
+    for slot in slots {
+        match slot {
+            Some(r) => {
+                h.eat(&[1]);
+                h.eat(&r.sky.to_bits().to_le_bytes());
+            }
+            None => h.eat(&[0]),
+        }
+    }
+    h.finish()
+}
+
+fn percentile(sorted_nanos: &[u64], p: f64) -> std::time::Duration {
+    if sorted_nanos.is_empty() {
+        return std::time::Duration::ZERO;
+    }
+    let rank = ((sorted_nanos.len() - 1) as f64 * p).round() as usize;
+    std::time::Duration::from_nanos(sorted_nanos[rank])
+}
+
+/// In-process mixed-workload driver against one resident engine
+/// (`--shards N` deploys a [`ShardedEngine`] instead): `--threads`
+/// workers each issue `--rounds` passes over a five-shape workload,
+/// every request under the same optional budget. `--duplicate-fraction`
+/// replaces that fraction of submissions with one fixed all-sky request
+/// so single-flight coalescing wins are measurable (`--no-coalesce` is
+/// the A/B baseline). The run opens with a timed first-round all-sky
+/// probe — its cache hit rate backs `--min-warm-hit-rate` and its digest
+/// is the CI bit-identity handle — and closes with requests/s, p50/p99
+/// latency, and the engine's [`MetricsSnapshot`]. `--save-cache` /
+/// `--warm-cache` snapshot and restore the component cache across runs.
 fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let (table, prefs) = load_instance(flags)?;
     let threads: usize = get(flags, "threads")?.unwrap_or(4).max(1);
     let rounds: usize = get(flags, "rounds")?.unwrap_or(2).max(1);
     let tau: f64 = get(flags, "tau")?.unwrap_or(0.1);
     let k: usize = get(flags, "k")?.unwrap_or(5);
+    let duplicate_fraction: f64 = get(flags, "duplicate-fraction")?.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&duplicate_fraction) {
+        return Err(format!("--duplicate-fraction {duplicate_fraction} must be in [0, 1]"));
+    }
     let budget = budget_from(flags)?;
     let mut engine_opts = EngineOptions::default();
     if let Some(max) = get::<usize>(flags, "max-in-flight")? {
@@ -428,8 +523,51 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(ceiling) = get::<u64>(flags, "max-predicted-cost")? {
         engine_opts = engine_opts.with_max_predicted_cost(Some(ceiling));
     }
-    let engine = Engine::new(table, prefs, engine_opts).map_err(|e| e.to_string())?;
-    let n = engine.n_objects();
+    if flags.contains_key("no-coalesce") {
+        engine_opts = engine_opts.with_coalescing(false);
+    }
+    let shards: Option<usize> = get(flags, "shards")?;
+    let warm: Option<PathBuf> = get(flags, "warm-cache")?;
+    let server = match (shards, &warm) {
+        (None, None) => Server::Single(Box::new(
+            Engine::new(table, prefs, engine_opts).map_err(|e| e.to_string())?,
+        )),
+        (None, Some(path)) => Server::Single(Box::new(
+            Engine::with_warm_cache(table, prefs, engine_opts, path).map_err(|e| e.to_string())?,
+        )),
+        (Some(s), None) => Server::Sharded(
+            ShardedEngine::new(table, prefs, engine_opts, s).map_err(|e| e.to_string())?,
+        ),
+        (Some(s), Some(path)) => Server::Sharded(
+            ShardedEngine::with_warm_cache(table, prefs, engine_opts, s, path)
+                .map_err(|e| e.to_string())?,
+        ),
+    };
+    let n = server.n_objects();
+
+    // First-round probe: one unbudgeted all-sky pass. Its hit rate is the
+    // warmstart evidence (a warm engine answers its *first* round at the
+    // steady-state rate) and its digest the bit-identity handle.
+    let probe_started = std::time::Instant::now();
+    let probe = server
+        .run(Request::all_sky(QueryOptions::default().with_threads(Some(1))))
+        .map_err(|e| e.to_string())?;
+    let probe_elapsed = probe_started.elapsed();
+    let slots = probe.outcome.value().as_all_sky().expect("all-sky request yields slots");
+    let (hits, probes) = (probe.stats.cache_hits, probe.stats.cache_probes);
+    let hit_rate = if probes == 0 { 0.0 } else { hits as f64 / probes as f64 };
+    println!(
+        "first all-sky: {probe_elapsed:.1?}, cache hit rate {hit_rate:.3} ({hits}/{probes} probes), digest {:016x}",
+        allsky_digest(slots)
+    );
+    if let Some(floor) = get::<f64>(flags, "min-warm-hit-rate")? {
+        if hit_rate < floor {
+            return Err(format!(
+                "first-round cache hit rate {hit_rate:.3} below --min-warm-hit-rate {floor}"
+            ));
+        }
+    }
+
     // Inner query parallelism pinned to one thread: the serve driver's
     // workers are the concurrency under test.
     let requests: Vec<Request> = vec![
@@ -442,23 +580,38 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
             .with_budget(budget),
         Request::top_k(k, TopKOptions::default().with_threads(Some(1))).with_budget(budget),
     ];
+    // The duplicate-heavy traffic shape: many users, one elicited model,
+    // the same batch question — always the *same* request object, so
+    // identical concurrent submissions are coalescible.
+    let hot = Request::all_sky(QueryOptions::default().with_threads(Some(1))).with_budget(budget);
     println!(
-        "serve: {threads} threads x {rounds} rounds x {} request shapes over {n} objects",
+        "serve: {threads} threads x {rounds} rounds x {} request shapes over {n} objects \
+         (duplicate fraction {duplicate_fraction})",
         requests.len()
     );
     let start = std::time::Instant::now();
-    let tallies = std::thread::scope(|scope| {
+    let (tallies, mut latencies) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
-                let engine = &engine;
+                let server = &server;
                 let requests = &requests;
+                let hot = &hot;
                 scope.spawn(move || {
                     // (exact, estimate, deadline-exceeded, shed, failed)
                     let mut tally = [0u64; 5];
+                    let mut lat = Vec::with_capacity(rounds * requests.len());
+                    let mut seq = (t as u64) << 32;
                     for round in 0..rounds {
                         for i in 0..requests.len() {
+                            seq += 1;
                             let idx = (i + t + round) % requests.len();
-                            match engine.run(requests[idx].clone()) {
+                            let request = if duplicate_coin(seq) < duplicate_fraction {
+                                hot.clone()
+                            } else {
+                                requests[idx].clone()
+                            };
+                            let submitted = std::time::Instant::now();
+                            match server.run(request) {
                                 Ok(resp) => match resp.outcome {
                                     Outcome::Exact(_) => tally[0] += 1,
                                     Outcome::Estimate(_) => tally[1] += 1,
@@ -468,32 +621,42 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
                                 Err(e) if e.is_shed() => tally[3] += 1,
                                 Err(_) => tally[4] += 1,
                             }
+                            lat.push(submitted.elapsed().as_nanos() as u64);
                         }
                     }
-                    tally
+                    (tally, lat)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).fold(
-            [0u64; 5],
-            |mut acc, t| {
+            ([0u64; 5], Vec::new()),
+            |(mut acc, mut all), (t, lat)| {
                 for (a, b) in acc.iter_mut().zip(t) {
                     *a += b;
                 }
-                acc
+                all.extend(lat);
+                (acc, all)
             },
         )
     });
+    let elapsed = start.elapsed();
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
     println!(
-        "done in {:.1?}: {} exact, {} estimate, {} deadline-exceeded, {} shed, {} failed",
-        start.elapsed(),
-        tallies[0],
-        tallies[1],
-        tallies[2],
-        tallies[3],
-        tallies[4],
+        "done in {elapsed:.1?}: {total} submissions, {:.1} requests/s, p50 {:.1?}, p99 {:.1?}",
+        total as f64 / elapsed.as_secs_f64(),
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
     );
-    println!("{}", engine.metrics());
+    println!(
+        "outcomes: {} exact, {} estimate, {} deadline-exceeded, {} shed, {} failed",
+        tallies[0], tallies[1], tallies[2], tallies[3], tallies[4],
+    );
+    println!("{}", server.metrics());
+    if let Some(path) = get::<PathBuf>(flags, "save-cache")? {
+        server.save_cache_snapshot(&path).map_err(|e| e.to_string())?;
+        println!("cache snapshot saved to {}", path.display());
+    }
     Ok(())
 }
 
