@@ -103,7 +103,7 @@ struct StormResult {
 /// Run the duplicate-heavy mixed storm against `engine` and return its
 /// throughput numbers plus a post-storm all-sky digest (the arm's
 /// bit-identity handle).
-fn storm<M: PreferenceModel + Sync>(engine: &Engine<M>, rounds: usize) -> StormResult {
+fn storm<M: PreferenceModel + Send + Sync>(engine: &Engine<M>, rounds: usize) -> StormResult {
     let n = engine.n_objects();
     let one = QueryOptions::default().with_threads(Some(1));
     let requests: Vec<Request> = vec![

@@ -54,8 +54,11 @@ use crate::types::{DimId, ObjectId, ValueId};
 const SPARSE_FRACTION: usize = 4;
 
 /// Target-independent indexes for assembling many [`CoinView`]s over one
-/// table. Build once per batch query with [`BatchCoinContext::build`].
-#[derive(Debug, Clone)]
+/// table. Build once per batch query with [`BatchCoinContext::build`], or
+/// derive the next dataset epoch's context from the previous one with
+/// [`BatchCoinContext::with_row_appended`] /
+/// [`BatchCoinContext::with_row_removed`] without re-hashing the table.
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchCoinContext {
     d: usize,
     n: usize,
@@ -146,6 +149,311 @@ impl BatchCoinContext {
             post_rows,
             fingerprint,
         })
+    }
+
+    /// Derive the context of `table`, which must be `self`'s table plus one
+    /// appended row, without re-coding the untouched cells.
+    ///
+    /// Existing codes, occurrence indexes, and posting segments are copied
+    /// (row `n` sorts after every existing posting entry, so each segment
+    /// is a copy + optional push); only the appended row's values are
+    /// looked up. The result is **identical** to `build(table)` — appending
+    /// preserves first-appearance code order — so views, fingerprints, and
+    /// scratch-reset behaviour are exactly the fresh build's.
+    ///
+    /// The duplicate check intersects posting lists instead of re-hashing
+    /// all rows: if any dimension's value is new to that dimension the row
+    /// cannot be a duplicate; otherwise only the rows sharing the new
+    /// row's code on its most selective dimension are compared.
+    pub fn with_row_appended(&self, table: &Table) -> Result<Self> {
+        let (d, n) = (self.d, self.n);
+        debug_assert_eq!(table.dimensionality(), d);
+        debug_assert_eq!(table.len(), n + 1);
+        let new_row = n;
+        let mut new_code = vec![0u32; d];
+        let mut is_new_value = vec![false; d];
+        for j in 0..d {
+            let v = table.column(DimId::from(j))[new_row];
+            let lo = self.offsets[j] as usize;
+            let hi = self.offsets[j + 1] as usize;
+            match self.code_values[lo..hi].iter().position(|&w| w == v) {
+                Some(c) => new_code[j] = c as u32,
+                None => {
+                    new_code[j] = (hi - lo) as u32;
+                    is_new_value[j] = true;
+                }
+            }
+        }
+        if d == 0 || !is_new_value.contains(&true) {
+            self.check_append_duplicate(&new_code, new_row)?;
+        }
+        let mut code_values = Vec::with_capacity(self.code_values.len() + d);
+        let mut offsets = Vec::with_capacity(d + 1);
+        offsets.push(0u32);
+        for (j, &is_new) in is_new_value.iter().enumerate() {
+            let lo = self.offsets[j] as usize;
+            let hi = self.offsets[j + 1] as usize;
+            code_values.extend_from_slice(&self.code_values[lo..hi]);
+            if is_new {
+                code_values.push(table.column(DimId::from(j))[new_row]);
+            }
+            offsets.push(code_values.len() as u32);
+        }
+        let nn = n + 1;
+        let mut dense = Vec::with_capacity(d * nn);
+        for (j, &code) in new_code.iter().enumerate() {
+            dense.extend_from_slice(&self.dense[j * n..(j + 1) * n]);
+            dense.push(code);
+        }
+        let total = code_values.len();
+        let mut first_row = Vec::with_capacity(total);
+        let mut second_row = Vec::with_capacity(total);
+        let mut post_off = Vec::with_capacity(total + 1);
+        post_off.push(0u32);
+        let mut post_rows = Vec::with_capacity(d * nn);
+        for j in 0..d {
+            let lo = self.offsets[j] as usize;
+            let hi = self.offsets[j + 1] as usize;
+            for flat in lo..hi {
+                let (s, e) = (self.post_off[flat] as usize, self.post_off[flat + 1] as usize);
+                post_rows.extend_from_slice(&self.post_rows[s..e]);
+                let mut first = self.first_row[flat];
+                let mut second = self.second_row[flat];
+                // A fresh code never enters this loop (its code equals
+                // hi - lo, past the last old flat), so this branch only
+                // extends an existing slot.
+                if (flat - lo) as u32 == new_code[j] {
+                    post_rows.push(new_row as u32);
+                    if first == u32::MAX {
+                        first = new_row as u32;
+                    } else if second == u32::MAX {
+                        second = new_row as u32;
+                    }
+                }
+                post_off.push(post_rows.len() as u32);
+                first_row.push(first);
+                second_row.push(second);
+            }
+            if is_new_value[j] {
+                post_rows.push(new_row as u32);
+                post_off.push(post_rows.len() as u32);
+                first_row.push(new_row as u32);
+                second_row.push(u32::MAX);
+            }
+        }
+        let fingerprint = fingerprint(d, nn, &dense);
+        Ok(Self {
+            d,
+            n: nn,
+            dense,
+            code_values,
+            offsets,
+            first_row,
+            second_row,
+            post_off,
+            post_rows,
+            fingerprint,
+        })
+    }
+
+    /// Duplicate check for an appended row whose every value already has a
+    /// code: scan the posting list of the row's code on its most selective
+    /// dimension and compare candidates across the remaining dimensions.
+    fn check_append_duplicate(&self, new_code: &[u32], new_row: usize) -> Result<()> {
+        let (d, n) = (self.d, self.n);
+        if d == 0 {
+            // Zero dimensions: every row is the empty row.
+            if n >= 1 {
+                return Err(CoreError::DuplicateObject {
+                    first: ObjectId(0),
+                    second: ObjectId(new_row as u32),
+                });
+            }
+            return Ok(());
+        }
+        let posting_len = |j: usize| {
+            let flat = (self.offsets[j] + new_code[j]) as usize;
+            (self.post_off[flat + 1] - self.post_off[flat]) as usize
+        };
+        let jmin = (0..d).min_by_key(|&j| posting_len(j)).expect("d > 0");
+        let flat = (self.offsets[jmin] + new_code[jmin]) as usize;
+        let (s, e) = (self.post_off[flat] as usize, self.post_off[flat + 1] as usize);
+        'cand: for &r in &self.post_rows[s..e] {
+            for (j, &code) in new_code.iter().enumerate() {
+                if self.dense[j * n + r as usize] != code {
+                    continue 'cand;
+                }
+            }
+            return Err(CoreError::DuplicateObject {
+                first: ObjectId(r),
+                second: ObjectId(new_row as u32),
+            });
+        }
+        Ok(())
+    }
+
+    /// Derive the context of `table`, which must be `self`'s table with row
+    /// `removed` deleted (later rows shifted down by one).
+    ///
+    /// Codes whose last occurrence was the removed row are **retained** as
+    /// orphans: their postings become empty and their candidate counts
+    /// zero, so they can never surface in a view — but the per-dimension
+    /// code *numbering* may then differ from a fresh `build` of the
+    /// mutated table (which re-ranks by first appearance). View assembly
+    /// orders coins by occurrence row, not code number, so every assembled
+    /// view — and therefore every query answer — is still bit-identical to
+    /// the fresh build's. Only [`BatchCoinContext::fingerprint`], an
+    /// *identity* tag for scratch invalidation, is allowed to differ.
+    pub fn with_row_removed(&self, table: &Table, removed: ObjectId) -> Result<Self> {
+        let (d, n) = (self.d, self.n);
+        let r = removed.index();
+        if r >= n {
+            return Err(CoreError::TargetOutOfRange { target: removed, rows: n });
+        }
+        debug_assert_eq!(table.dimensionality(), d);
+        debug_assert_eq!(table.len(), n - 1);
+        let nn = n - 1;
+        let mut dense = Vec::with_capacity(d * nn);
+        for j in 0..d {
+            let stripe = &self.dense[j * n..(j + 1) * n];
+            dense.extend_from_slice(&stripe[..r]);
+            dense.extend_from_slice(&stripe[r + 1..]);
+        }
+        // Postings drop the removed row and renumber later rows; the first
+        // two occurrences are re-read straight off the spliced segments
+        // (they stay ascending).
+        let total = self.code_values.len();
+        let mut first_row = Vec::with_capacity(total);
+        let mut second_row = Vec::with_capacity(total);
+        let mut post_off = Vec::with_capacity(total + 1);
+        post_off.push(0u32);
+        let mut post_rows = Vec::with_capacity(d * nn);
+        for flat in 0..total {
+            let (s, e) = (self.post_off[flat] as usize, self.post_off[flat + 1] as usize);
+            let start = post_rows.len();
+            for &row in &self.post_rows[s..e] {
+                match (row as usize).cmp(&r) {
+                    std::cmp::Ordering::Less => post_rows.push(row),
+                    std::cmp::Ordering::Equal => {}
+                    std::cmp::Ordering::Greater => post_rows.push(row - 1),
+                }
+            }
+            post_off.push(post_rows.len() as u32);
+            first_row.push(post_rows.get(start).copied().unwrap_or(u32::MAX));
+            second_row.push(post_rows.get(start + 1).copied().unwrap_or(u32::MAX));
+        }
+        let fingerprint = fingerprint(d, nn, &dense);
+        Ok(Self {
+            d,
+            n: nn,
+            dense,
+            code_values: self.code_values.clone(),
+            offsets: self.offsets.clone(),
+            first_row,
+            second_row,
+            post_off,
+            post_rows,
+            fingerprint,
+        })
+    }
+
+    /// Posting length of `(dim, value)` — how many rows carry `value` on
+    /// `dim` — or `None` if the value never occurs there. This is the
+    /// candidate count the write path uses to bound which targets an
+    /// edited preference pair can dirty.
+    pub fn value_count(&self, dim: DimId, value: ValueId) -> Option<usize> {
+        let j = dim.index();
+        let lo = self.offsets[j] as usize;
+        let hi = self.offsets[j + 1] as usize;
+        let c = self.code_values[lo..hi].iter().position(|&w| w == value)?;
+        let flat = lo + c;
+        Some((self.post_off[flat + 1] - self.post_off[flat]) as usize)
+    }
+
+    /// The targets row `attacker` can possibly attack under `prefs`: every
+    /// row `t ≠ attacker` such that on each dimension where their values
+    /// differ, `pr_strict(attacker_j, t_j) > 0`. These are exactly the
+    /// targets whose coin view gains (insert) or loses (remove) an
+    /// attacker when `attacker` enters or leaves the dataset — the write
+    /// path's dirty set.
+    ///
+    /// Enumerated from the posting lists of the attacker's most selective
+    /// dimension (candidates = rows sharing its value there, plus rows
+    /// whose value it beats with positive probability), then verified
+    /// across the remaining dimensions — O(candidates · d), not O(n · d),
+    /// on selective datasets.
+    pub fn attackable_targets<M: PreferenceModel>(
+        &self,
+        prefs: &M,
+        attacker: ObjectId,
+    ) -> Result<Vec<ObjectId>> {
+        let (d, n) = (self.d, self.n);
+        let a = attacker.index();
+        if a >= n {
+            return Err(CoreError::TargetOutOfRange { target: attacker, rows: n });
+        }
+        if d == 0 || n <= 1 {
+            return Ok(Vec::new());
+        }
+        // Per dimension: which codes the attacker's value beats with
+        // positive probability (the target-side classification — note the
+        // argument order is pr_strict(attacker value, target value)).
+        let total = self.code_values.len();
+        let mut positive = vec![false; total];
+        let mut acode = vec![0u32; d];
+        let mut cand_count = vec![0usize; d];
+        for j in 0..d {
+            let lo = self.offsets[j] as usize;
+            let hi = self.offsets[j + 1] as usize;
+            let ac = self.dense[j * n + a];
+            acode[j] = ac;
+            let av = self.code_values[lo + ac as usize];
+            // Rows sharing the attacker's value contribute no coin on this
+            // dimension; minus one for the attacker itself.
+            let tslot = lo + ac as usize;
+            let mut cand = (self.post_off[tslot + 1] - self.post_off[tslot]) as usize - 1;
+            for (off, slot) in positive[lo..hi].iter_mut().enumerate() {
+                let flat = lo + off;
+                if flat == tslot {
+                    continue;
+                }
+                let p = prefs.pr_strict(DimId::from(j), av, self.code_values[flat]);
+                if p > 0.0 {
+                    *slot = true;
+                    cand += (self.post_off[flat + 1] - self.post_off[flat]) as usize;
+                }
+            }
+            cand_count[j] = cand;
+        }
+        let jmin = (0..d).min_by_key(|&j| cand_count[j]).expect("d > 0");
+        let lo = self.offsets[jmin] as usize;
+        let hi = self.offsets[jmin + 1] as usize;
+        let mut out = Vec::new();
+        'rows: for flat in lo..hi {
+            let on_value = (flat - lo) as u32 == acode[jmin];
+            if !on_value && !positive[flat] {
+                continue;
+            }
+            let (s, e) = (self.post_off[flat] as usize, self.post_off[flat + 1] as usize);
+            't: for &t in &self.post_rows[s..e] {
+                let t = t as usize;
+                if t == a {
+                    continue;
+                }
+                for j in 0..d {
+                    let tcode = self.dense[j * n + t];
+                    if tcode != acode[j] && !positive[(self.offsets[j] + tcode) as usize] {
+                        continue 't;
+                    }
+                }
+                out.push(ObjectId(t as u32));
+                if out.len() == n - 1 {
+                    break 'rows;
+                }
+            }
+        }
+        out.sort_unstable_by_key(|o| o.index());
+        Ok(out)
     }
 
     /// Number of objects in the underlying table.
@@ -586,6 +894,128 @@ mod tests {
         assert_eq!(CoinView::build(&tb, &p, ObjectId(5)).unwrap(), out);
         ca.view_into(&p, ObjectId(3), &mut scratch, &mut out).unwrap();
         assert_eq!(CoinView::build(&ta, &p, ObjectId(3)).unwrap(), out);
+    }
+
+    /// Assert `ctx` assembles, for every target of `t`, views giving the
+    /// same canonical form as a fresh `CoinView::build` — the invariant
+    /// every query answer depends on.
+    fn assert_views_match<M: PreferenceModel>(ctx: &BatchCoinContext, t: &Table, p: &M) {
+        let mut scratch = BatchScratch::default();
+        let mut out = CoinView::empty();
+        for target in t.objects() {
+            let fresh = CoinView::build(t, p, target).unwrap();
+            ctx.view_into(p, target, &mut scratch, &mut out).unwrap();
+            assert_eq!(fresh.has_certain_attacker(), out.has_certain_attacker(), "{target}");
+            assert_eq!(canonical(&fresh), canonical(&out), "target {target}");
+        }
+    }
+
+    #[test]
+    fn incremental_append_equals_fresh_build() {
+        let t = wide_table(40, 3);
+        let mut ctx = BatchCoinContext::build(&t).unwrap();
+        let mut cur = t;
+        // Append rows mixing old values (0..7 universe) and brand-new ones.
+        for (i, row) in
+            [vec![0, 1, 2], vec![9, 9, 9], vec![3, 9, 0], vec![10, 0, 11]].iter().enumerate()
+        {
+            cur = cur
+                .with_row_appended(&row.iter().map(|&v| ValueId(v)).collect::<Vec<_>>())
+                .unwrap();
+            ctx = ctx.with_row_appended(&cur).unwrap();
+            let fresh = BatchCoinContext::build(&cur).unwrap();
+            // Appending preserves first-appearance order, so the whole
+            // structure — codes, postings, fingerprint — is identical.
+            assert_eq!(ctx, fresh, "append step {i}");
+        }
+        assert_views_match(&ctx, &cur, &SeededPreferences::complementary(11));
+    }
+
+    #[test]
+    fn incremental_append_detects_duplicates_via_postings() {
+        let (t, _) = example1();
+        let ctx = BatchCoinContext::build(&t).unwrap();
+        // Row [1, 0] duplicates row 2.
+        let grown = t.with_row_appended(&[ValueId(1), ValueId(0)]).unwrap();
+        let err = ctx.with_row_appended(&grown).unwrap_err();
+        assert_eq!(err, CoreError::DuplicateObject { first: ObjectId(2), second: ObjectId(5) });
+        // A row with one brand-new value short-circuits the check.
+        let grown = t.with_row_appended(&[ValueId(7), ValueId(0)]).unwrap();
+        assert!(ctx.with_row_appended(&grown).is_ok());
+    }
+
+    #[test]
+    fn incremental_remove_views_equal_fresh_build() {
+        let t = wide_table(40, 3);
+        let p = SeededPreferences::complementary(5);
+        let mut ctx = BatchCoinContext::build(&t).unwrap();
+        let mut cur = t;
+        // Remove first, middle, and last rows; removing row 0 retires a
+        // value's first occurrence, exercising the orphan-code path where
+        // the incremental numbering diverges from a fresh build's.
+        for r in [0usize, 17, 36] {
+            cur = cur.with_row_removed(ObjectId(r as u32)).unwrap();
+            ctx = ctx.with_row_removed(&cur, ObjectId(r as u32)).unwrap();
+            assert_eq!(ctx.n_objects(), cur.len());
+            assert_views_match(&ctx, &cur, &p);
+        }
+        assert_views_match(&ctx, &cur, &DeterministicOrder::ascending());
+    }
+
+    #[test]
+    fn mixed_append_remove_chain_stays_consistent() {
+        let t = wide_table(30, 2);
+        let p = SeededPreferences::complementary(3);
+        let mut ctx = BatchCoinContext::build(&t).unwrap();
+        let mut cur = t;
+        for step in 0..12 {
+            if step % 3 == 2 {
+                let r = ObjectId((step * 2 % cur.len()) as u32);
+                cur = cur.with_row_removed(r).unwrap();
+                ctx = ctx.with_row_removed(&cur, r).unwrap();
+            } else {
+                let row = vec![ValueId((step % 9) as u32), ValueId((step * 5 % 11) as u32)];
+                let grown = cur.with_row_appended(&row).unwrap();
+                match ctx.with_row_appended(&grown) {
+                    Ok(next) => {
+                        ctx = next;
+                        cur = grown;
+                    }
+                    // Duplicate appends are legitimately refused; the
+                    // fresh build must agree.
+                    Err(CoreError::DuplicateObject { .. }) => {
+                        assert!(matches!(
+                            BatchCoinContext::build(&grown),
+                            Err(CoreError::DuplicateObject { .. })
+                        ));
+                    }
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+            assert_views_match(&ctx, &cur, &p);
+        }
+    }
+
+    #[test]
+    fn attackable_targets_matches_brute_force() {
+        let t = wide_table(40, 3);
+        for p in [SeededPreferences::complementary(9), SeededPreferences::complementary(21)] {
+            let ctx = BatchCoinContext::build(&t).unwrap();
+            for a in t.objects() {
+                let got = ctx.attackable_targets(&p, a).unwrap();
+                let want: Vec<ObjectId> = t
+                    .objects()
+                    .filter(|&o| {
+                        o != a
+                            && (0..t.dimensionality()).map(DimId::from).all(|j| {
+                                let (av, ov) = (t.value(a, j), t.value(o, j));
+                                av == ov || p.pr_strict(j, av, ov) > 0.0
+                            })
+                    })
+                    .collect();
+                assert_eq!(got, want, "attacker {a}");
+            }
+        }
     }
 
     #[test]

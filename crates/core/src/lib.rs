@@ -28,6 +28,10 @@
 //! * [`coins`] — the reduced kernel described above.
 //! * [`batch`] — shared per-table indexes assembling many coin views with
 //!   no per-target hashing (the all-objects query path).
+//! * [`epoch`] — MVCC snapshots for live datasets: writers derive the next
+//!   [`epoch::DatasetEpoch`] by copy-on-write, readers pin one via
+//!   [`epoch::SnapshotView`] so concurrent writes never alter a value
+//!   mid-request.
 //! * [`bitworlds`] — the bit-parallel possible-world kernel: 64 worlds per
 //!   machine word (multi-word SIMD lanes widen this to 256+ per step),
 //!   bit-sliced Bernoulli masks, counter-based seeding.
@@ -66,6 +70,7 @@ pub mod batch;
 pub mod bitworlds;
 pub mod coins;
 pub mod dominance;
+pub mod epoch;
 pub mod error;
 pub mod pool;
 pub mod preference;
@@ -87,12 +92,13 @@ pub mod prelude {
     };
     pub use crate::coins::{Attacker, CoinKey, CoinRemap, CoinView, SYNTHETIC_SOURCE};
     pub use crate::dominance::{differing_dims, dominates_in_world, pr_dominates};
+    pub use crate::epoch::{DatasetEpoch, SnapshotView, TouchedCoin, WriteEffects};
     pub use crate::error::{CoreError, Result};
     pub use crate::pool::{num_threads, ThreadBudget, ThreadLease};
     pub use crate::preference::{
         generate_table_preferences, Ballot, BradleyTerry, DeterministicOrder, ElicitationBuilder,
-        PairLaw, PrefDistribution, PrefPair, PreferenceModel, SeededPreferences, TablePreferences,
-        TablePreferencesBuilder, VoteTally,
+        OverlayPreferences, PairLaw, PrefDistribution, PrefPair, PreferenceModel,
+        SeededPreferences, TablePreferences, TablePreferencesBuilder, VoteTally,
     };
     pub use crate::schema::{Dictionary, Dimension, Schema};
     pub use crate::table::{Table, TableBuilder};

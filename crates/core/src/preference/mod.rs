@@ -30,12 +30,14 @@
 mod elicit;
 mod generate;
 mod order;
+mod overlay;
 mod seeded;
 mod table;
 
 pub use elicit::{Ballot, BradleyTerry, ElicitationBuilder, VoteTally};
 pub use generate::{generate_table_preferences, PrefDistribution};
 pub use order::DeterministicOrder;
+pub use overlay::OverlayPreferences;
 pub use seeded::{PairLaw, SeededPreferences};
 pub use table::{TablePreferences, TablePreferencesBuilder};
 

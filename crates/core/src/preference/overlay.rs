@@ -1,0 +1,194 @@
+//! Copy-on-write preference overlays.
+//!
+//! A live service re-elicits preference probabilities while requests are in
+//! flight, but every base model in this crate — and any user-supplied
+//! [`PreferenceModel`] — is immutable by design. [`OverlayPreferences`]
+//! makes *any* base model editable without touching it: an explicit pair
+//! table consulted first, falling through to the base for everything else.
+//!
+//! Edits are copy-on-write: [`OverlayPreferences::with_pair`] returns a
+//! **new** overlay sharing nothing mutable with the old one, so a dataset
+//! epoch can hand out `Arc`s of its overlay to concurrent readers and a
+//! writer can derive the next epoch's overlay without synchronisation.
+//! (This is also the shape per-user preference deltas will take: one base
+//! model, one overlay per user.)
+
+use std::collections::HashMap;
+
+use crate::error::{check_probability, CoreError, Result};
+use crate::types::{DimId, ValueId};
+
+use super::{PrefPair, PreferenceModel};
+
+/// Canonical overlay key: dimension plus the unordered value pair with the
+/// smaller code first (mirrors `TablePreferences`' storage orientation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PairKey {
+    dim: u32,
+    lo: u32,
+    hi: u32,
+}
+
+impl PairKey {
+    fn new(dim: DimId, a: ValueId, b: ValueId) -> (Self, bool) {
+        if a.0 <= b.0 {
+            (Self { dim: dim.0, lo: a.0, hi: b.0 }, true)
+        } else {
+            (Self { dim: dim.0, lo: b.0, hi: a.0 }, false)
+        }
+    }
+}
+
+/// A [`PreferenceModel`] layering an explicit, edit-accumulating pair table
+/// over an arbitrary base model. See the module docs above.
+#[derive(Debug, Clone)]
+pub struct OverlayPreferences<M> {
+    base: M,
+    overlay: HashMap<PairKey, PrefPair>,
+}
+
+impl<M: PreferenceModel> OverlayPreferences<M> {
+    /// An overlay with no edits: behaves exactly like `base`.
+    pub fn new(base: M) -> Self {
+        Self { base, overlay: HashMap::new() }
+    }
+
+    /// The base model.
+    pub fn base(&self) -> &M {
+        &self.base
+    }
+
+    /// Number of edited pairs.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Whether no pair has been edited.
+    pub fn is_pristine(&self) -> bool {
+        self.overlay.is_empty()
+    }
+
+    /// Copy-on-write edit: a new overlay where the pair `(a, b)` on `dim`
+    /// has `Pr(a ≺ b) = forward` and `Pr(b ≺ a) = backward`, validated
+    /// against the model contract. `self` is untouched — readers holding
+    /// it keep seeing the old probabilities.
+    pub fn with_pair(
+        &self,
+        dim: DimId,
+        a: ValueId,
+        b: ValueId,
+        forward: f64,
+        backward: f64,
+    ) -> Result<Self>
+    where
+        M: Clone,
+    {
+        if a == b {
+            return Err(CoreError::SelfPreference { dim, value: a });
+        }
+        check_probability(forward, "Pr(a ≺ b)")?;
+        check_probability(backward, "Pr(b ≺ a)")?;
+        if forward + backward > 1.0 + 1e-12 {
+            return Err(CoreError::PairMassExceedsOne { dim, a, b, total: forward + backward });
+        }
+        let (key, canonical) = PairKey::new(dim, a, b);
+        let stored = if canonical {
+            PrefPair { forward, backward }
+        } else {
+            PrefPair { forward: backward, backward: forward }
+        };
+        let mut next = self.clone();
+        next.overlay.insert(key, stored);
+        Ok(next)
+    }
+
+    /// Iterate over the edited pairs in canonical orientation:
+    /// `(dim, lo, hi, pair)` with `pair.forward = Pr(lo ≺ hi)`. Hash
+    /// order; sort for stability.
+    pub fn overlay_pairs(&self) -> impl Iterator<Item = (DimId, ValueId, ValueId, PrefPair)> + '_ {
+        self.overlay.iter().map(|(k, &p)| (DimId(k.dim), ValueId(k.lo), ValueId(k.hi), p))
+    }
+}
+
+impl<M: PreferenceModel> PreferenceModel for OverlayPreferences<M> {
+    fn pr_strict(&self, dim: DimId, a: ValueId, b: ValueId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        // Pristine overlays are the steady state (every epoch between two
+        // preference edits); skip the hash entirely.
+        if self.overlay.is_empty() {
+            return self.base.pr_strict(dim, a, b);
+        }
+        let (key, canonical) = PairKey::new(dim, a, b);
+        match self.overlay.get(&key) {
+            Some(pair) => {
+                if canonical {
+                    pair.forward
+                } else {
+                    pair.backward
+                }
+            }
+            None => self.base.pr_strict(dim, a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preference::SeededPreferences;
+
+    #[test]
+    fn pristine_overlay_is_transparent() {
+        let base = SeededPreferences::complementary(3);
+        let o = OverlayPreferences::new(base);
+        assert!(o.is_pristine());
+        for (a, b) in [(0, 1), (4, 2), (9, 9)] {
+            assert_eq!(
+                o.pr_strict(DimId(0), ValueId(a), ValueId(b)),
+                base.pr_strict(DimId(0), ValueId(a), ValueId(b)),
+            );
+        }
+    }
+
+    #[test]
+    fn edits_are_copy_on_write_and_orientation_aware() {
+        let o = OverlayPreferences::new(SeededPreferences::complementary(3));
+        let e = o.with_pair(DimId(1), ValueId(5), ValueId(2), 0.7, 0.1).unwrap();
+        // Old overlay unchanged.
+        assert!(o.is_pristine());
+        assert_eq!(e.overlay_len(), 1);
+        assert!((e.pr_strict(DimId(1), ValueId(5), ValueId(2)) - 0.7).abs() < 1e-15);
+        assert!((e.pr_strict(DimId(1), ValueId(2), ValueId(5)) - 0.1).abs() < 1e-15);
+        // Other pairs and dimensions still fall through to the base.
+        assert_eq!(
+            e.pr_strict(DimId(0), ValueId(5), ValueId(2)),
+            o.pr_strict(DimId(0), ValueId(5), ValueId(2)),
+        );
+    }
+
+    #[test]
+    fn edits_validate_the_model_contract() {
+        let o = OverlayPreferences::new(SeededPreferences::complementary(3));
+        assert!(matches!(
+            o.with_pair(DimId(0), ValueId(1), ValueId(1), 0.5, 0.5),
+            Err(CoreError::SelfPreference { .. })
+        ));
+        assert!(matches!(
+            o.with_pair(DimId(0), ValueId(0), ValueId(1), 0.8, 0.8),
+            Err(CoreError::PairMassExceedsOne { .. })
+        ));
+        assert!(o.with_pair(DimId(0), ValueId(0), ValueId(1), f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn latest_edit_wins() {
+        let o = OverlayPreferences::new(SeededPreferences::complementary(3));
+        let e1 = o.with_pair(DimId(0), ValueId(0), ValueId(1), 0.1, 0.2).unwrap();
+        let e2 = e1.with_pair(DimId(0), ValueId(1), ValueId(0), 0.6, 0.3).unwrap();
+        assert_eq!(e2.overlay_len(), 1);
+        assert!((e2.pr_strict(DimId(0), ValueId(1), ValueId(0)) - 0.6).abs() < 1e-15);
+        assert!((e1.pr_strict(DimId(0), ValueId(0), ValueId(1)) - 0.1).abs() < 1e-15);
+    }
+}

@@ -158,6 +158,37 @@ impl Table {
         Table { schema: self.schema.clone(), columns, rows: k }
     }
 
+    /// Copy-on-write append: a new table with `values` as its last row.
+    ///
+    /// Only the columns are cloned (the schema is shared state already);
+    /// existing rows keep their ids. Duplicate detection is *not* done
+    /// here — [`crate::batch::BatchCoinContext::with_row_appended`] checks
+    /// it against its posting lists, which is cheaper than a full rescan.
+    pub fn with_row_appended(&self, values: &[ValueId]) -> Result<Table> {
+        let d = self.dimensionality();
+        if values.len() != d {
+            return Err(CoreError::DimensionMismatch { expected: d, got: values.len() });
+        }
+        let mut columns = self.columns.clone();
+        for (j, &v) in values.iter().enumerate() {
+            columns[j].push(v);
+        }
+        Ok(Table { schema: self.schema.clone(), columns, rows: self.rows + 1 })
+    }
+
+    /// Copy-on-write removal: a new table without row `obj`. Rows after
+    /// `obj` shift down by one, preserving relative order.
+    pub fn with_row_removed(&self, obj: ObjectId) -> Result<Table> {
+        if obj.index() >= self.rows {
+            return Err(CoreError::TargetOutOfRange { target: obj, rows: self.rows });
+        }
+        let mut columns = self.columns.clone();
+        for col in &mut columns {
+            col.remove(obj.index());
+        }
+        Ok(Table { schema: self.schema.clone(), columns, rows: self.rows - 1 })
+    }
+
     /// Render one row with dictionary labels where available.
     pub fn display_row(&self, obj: ObjectId) -> String {
         let parts: Vec<String> = (0..self.dimensionality())
@@ -309,6 +340,30 @@ mod tests {
         assert_eq!(h.len(), 2);
         assert_eq!(h.row(ObjectId(1)), t.row(ObjectId(1)));
         assert_eq!(t.head(10).len(), 3);
+    }
+
+    #[test]
+    fn append_and_remove_are_copy_on_write() {
+        let t = small();
+        let grown = t.with_row_appended(&[ValueId(7), ValueId(8)]).unwrap();
+        assert_eq!(grown.len(), 4);
+        assert_eq!(grown.row(ObjectId(3)), vec![ValueId(7), ValueId(8)]);
+        // Original untouched.
+        assert_eq!(t.len(), 3);
+        assert!(matches!(
+            t.with_row_appended(&[ValueId(1)]),
+            Err(CoreError::DimensionMismatch { .. })
+        ));
+
+        let shrunk = grown.with_row_removed(ObjectId(1)).unwrap();
+        assert_eq!(shrunk.len(), 3);
+        assert_eq!(shrunk.row(ObjectId(0)), t.row(ObjectId(0)));
+        assert_eq!(shrunk.row(ObjectId(1)), t.row(ObjectId(2)));
+        assert_eq!(shrunk.row(ObjectId(2)), vec![ValueId(7), ValueId(8)]);
+        assert!(matches!(
+            shrunk.with_row_removed(ObjectId(3)),
+            Err(CoreError::TargetOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -16,17 +16,34 @@
 //!
 //! Concurrency is striped locking: keys are hashed once, the top bits pick
 //! one of [`SHARDS`] independent `Mutex<HashMap>` shards, so parallel
-//! workers rarely contend. No eviction is performed; instead admission
-//! stops once the byte budget is spent (component populations in the
-//! duplicate-heavy regimes are tiny — tens of entries — so the budget is a
-//! safety rail against adversarial unbounded growth, not a working-set
-//! knob).
+//! workers rarely contend. No capacity eviction is performed; instead
+//! admission stops once the byte budget is spent (component populations in
+//! the duplicate-heavy regimes are tiny — tens of entries — so the budget
+//! is a safety rail against adversarial unbounded growth, not a
+//! working-set knob).
+//!
+//! ## Incremental invalidation
+//!
+//! Signatures are content-addressed — `(dim, value, prob_bits)` per coin —
+//! so a *dataset* write (insert/remove object) invalidates **nothing**:
+//! every stored entry keeps meaning exactly what its bytes say, wherever
+//! those bytes recur in the new epoch. Only a *preference* edit strands
+//! entries: components embedding the edited coin's old bits can never be
+//! probed again (new requests serialize the new bits). A per-`(dim,
+//! value)` **reverse index**, maintained on insert, lets
+//! [`ComponentCache::evict_signature_touched`] reclaim exactly those
+//! entries instead of dropping the cache wholesale. Evicting a key whose
+//! old bits coincidentally match another live pair's bits is sound — equal
+//! signature bytes imply equal results, so the worst case is one
+//! recompute, never a wrong answer.
 
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::hash::BuildHasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+use crate::signature::signature_coins;
 
 /// Number of independent shards (power of two).
 pub const SHARDS: usize = 64;
@@ -47,6 +64,19 @@ pub struct CacheEntry {
     pub joints_computed: u64,
 }
 
+/// What [`ComponentCache::evict_signature_touched`] reclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Eviction {
+    /// Entries removed.
+    pub entries: u64,
+    /// Bytes returned to the admission budget.
+    pub bytes: u64,
+}
+
+/// Reverse-index map: `(dim, value)` → keys whose signature embeds a coin
+/// on that pair.
+type ReverseIndex = HashMap<(u32, u32), Vec<Box<[u8]>>>;
+
 /// Sharded concurrent map from canonical component signature to
 /// [`CacheEntry`]. Shared by reference across batch worker threads.
 #[derive(Debug)]
@@ -55,6 +85,10 @@ pub struct ComponentCache {
     hasher: RandomState,
     bytes: AtomicU64,
     byte_cap: u64,
+    /// Reverse index over signature coins. Registrations of keys evicted
+    /// through a *different* coin are cleaned lazily on the next scan of
+    /// their list.
+    rev: Mutex<ReverseIndex>,
 }
 
 impl Default for ComponentCache {
@@ -71,6 +105,7 @@ impl ComponentCache {
             hasher: RandomState::new(),
             bytes: AtomicU64::new(0),
             byte_cap: byte_cap as u64,
+            rev: Mutex::new(HashMap::new()),
         }
     }
 
@@ -86,19 +121,79 @@ impl ComponentCache {
 
     /// Insert a result; returns `true` if the entry was admitted (false
     /// once the byte budget is exhausted — existing entries stay valid
-    /// forever, new ones are simply not remembered).
+    /// until a preference edit strands them, new ones are simply not
+    /// remembered). Admitted keys are registered in the reverse index per
+    /// distinct `(dim, value)` coin of their signature.
     pub fn insert(&self, key: &[u8], entry: CacheEntry) -> bool {
         let cost = Self::entry_bytes(key);
         if self.bytes.load(Ordering::Relaxed) + cost > self.byte_cap {
             return false;
         }
-        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
-        if shard.contains_key(key) {
-            return false;
+        {
+            let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+            if shard.contains_key(key) {
+                return false;
+            }
+            shard.insert(key.into(), entry);
+            self.bytes.fetch_add(cost, Ordering::Relaxed);
+            // The shard lock drops before the reverse-index lock is taken:
+            // eviction acquires them in the opposite order (rev, then
+            // shard), so holding both here could deadlock.
         }
-        shard.insert(key.into(), entry);
-        self.bytes.fetch_add(cost, Ordering::Relaxed);
+        let mut rev = self.rev.lock().unwrap_or_else(|e| e.into_inner());
+        for (dim, value, _) in signature_coins(key) {
+            rev.entry((dim, value)).or_default().push(key.into());
+        }
         true
+    }
+
+    /// Evict every entry whose signature embeds a coin `(dim, value,
+    /// bits)` for some `(value, bits)` in `touched` — the entries a
+    /// preference edit on `dim` made stale-unreachable (callers pass each
+    /// edited direction's value with its **pre-edit** probability bits).
+    ///
+    /// Freed bytes return to the admission budget. Entries on the same
+    /// `(dim, value)` whose bits differ survive: the signature they carry
+    /// is still exactly what new requests serialize.
+    pub fn evict_signature_touched(&self, dim: u32, touched: &[(u32, u64)]) -> Eviction {
+        let mut ev = Eviction::default();
+        let mut rev = self.rev.lock().unwrap_or_else(|e| e.into_inner());
+        for &(value, bits) in touched {
+            let Some(keys) = rev.remove(&(dim, value)) else { continue };
+            let mut survivors = Vec::with_capacity(keys.len());
+            for key in keys {
+                let stale = signature_coins(&key).any(|(d, v, b)| (d, v, b) == (dim, value, bits));
+                let mut shard = self.shard(&key).lock().unwrap_or_else(|e| e.into_inner());
+                if stale {
+                    if shard.remove(&key).is_some() {
+                        let cost = Self::entry_bytes(&key);
+                        self.bytes.fetch_sub(cost, Ordering::Relaxed);
+                        ev.entries += 1;
+                        ev.bytes += cost;
+                    }
+                } else if shard.contains_key(&key) {
+                    // Still live; keys already evicted via another coin's
+                    // list are dropped here (lazy cleanup).
+                    survivors.push(key);
+                }
+            }
+            if !survivors.is_empty() {
+                rev.insert((dim, value), survivors);
+            }
+        }
+        ev
+    }
+
+    /// Drop every entry and registration, returning all bytes to the
+    /// budget. This is the wholesale invalidation incremental eviction
+    /// replaces — kept as the ablation baseline and for callers that
+    /// deliberately want a cold cache.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+        self.rev.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.bytes.store(0, Ordering::Relaxed);
     }
 
     /// Bytes charged against the budget for one entry with this key.
@@ -183,6 +278,84 @@ mod tests {
             let key = i.to_le_bytes();
             assert_eq!(cache.get(&key).unwrap().sky_bits, u64::from(i));
         }
+    }
+
+    /// Serialize a synthetic signature with the given coins (and no
+    /// attackers) in the layout of [`crate::signature`].
+    fn sig(coins: &[(u32, u32, u64)]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(coins.len() as u32).to_le_bytes());
+        for &(dim, value, bits) in coins {
+            out.extend_from_slice(&dim.to_le_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn eviction_removes_exactly_the_touched_signatures() {
+        let cache = ComponentCache::default();
+        let entry = CacheEntry { sky_bits: 1, joints_computed: 1 };
+        let old = 0.5f64.to_bits();
+        // Stale: embeds coin (0, 7, old). Survivors: same (dim, value)
+        // with different bits, same value on another dim, unrelated.
+        let stale_a = sig(&[(0, 7, old), (1, 3, 99)]);
+        let stale_b = sig(&[(0, 7, old)]);
+        let other_bits = sig(&[(0, 7, 0.25f64.to_bits())]);
+        let other_dim = sig(&[(1, 7, old)]);
+        let unrelated = sig(&[(2, 2, 42)]);
+        for k in [&stale_a, &stale_b, &other_bits, &other_dim, &unrelated] {
+            assert!(cache.insert(k, entry));
+        }
+        let before = cache.bytes();
+        let ev = cache.evict_signature_touched(0, &[(7, old)]);
+        assert_eq!(ev.entries, 2);
+        assert_eq!(
+            ev.bytes,
+            ComponentCache::entry_bytes(&stale_a) + ComponentCache::entry_bytes(&stale_b)
+        );
+        assert_eq!(cache.bytes(), before - ev.bytes);
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(&stale_a).is_none());
+        assert!(cache.get(&stale_b).is_none());
+        assert!(cache.get(&other_bits).is_some());
+        assert!(cache.get(&other_dim).is_some());
+        assert!(cache.get(&unrelated).is_some());
+        // Freed bytes are re-admittable.
+        assert!(cache.insert(&stale_b, entry));
+    }
+
+    #[test]
+    fn eviction_cleans_foreign_registrations_lazily() {
+        let cache = ComponentCache::default();
+        let entry = CacheEntry { sky_bits: 0, joints_computed: 0 };
+        // One key registered under both (0, 1) and (0, 2).
+        let two_coins = sig(&[(0, 1, 11), (0, 2, 22)]);
+        assert!(cache.insert(&two_coins, entry));
+        // Evict via the first coin; the (0, 2) registration is now dead.
+        assert_eq!(cache.evict_signature_touched(0, &[(1, 11)]).entries, 1);
+        assert!(cache.is_empty());
+        // Scanning the second list must not double-free bytes.
+        let ev = cache.evict_signature_touched(0, &[(2, 22)]);
+        assert_eq!(ev, Eviction::default());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn clear_resets_entries_bytes_and_registrations() {
+        let cache = ComponentCache::default();
+        let entry = CacheEntry { sky_bits: 0, joints_computed: 0 };
+        let k = sig(&[(0, 1, 5)]);
+        assert!(cache.insert(&k, entry));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.evict_signature_touched(0, &[(1, 5)]), Eviction::default());
+        // Reusable after the wipe.
+        assert!(cache.insert(&k, entry));
+        assert_eq!(cache.evict_signature_touched(0, &[(1, 5)]).entries, 1);
     }
 
     #[test]

@@ -57,6 +57,29 @@ pub fn component_signature(sub: &CoinView, out: &mut Vec<u8>) -> bool {
     true
 }
 
+/// Iterate the `(dim, value, prob_bits)` coin triples of a serialized
+/// signature.
+///
+/// Signatures are self-describing, so a stored cache key can be parsed
+/// back: the write path uses this to decide which cached components a
+/// preference edit made stale-unreachable (those embedding the edited
+/// coin's *old* bits). Truncated or foreign bytes simply yield fewer
+/// triples — callers treat the iterator as best-effort description, never
+/// as validation.
+pub fn signature_coins(key: &[u8]) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+    let n = key
+        .get(..4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")) as usize)
+        .unwrap_or(0);
+    (0..n).map_while(move |i| {
+        let off = 4 + i * 16;
+        let dim = u32::from_le_bytes(key.get(off..off + 4)?.try_into().ok()?);
+        let value = u32::from_le_bytes(key.get(off + 4..off + 8)?.try_into().ok()?);
+        let bits = u64::from_le_bytes(key.get(off + 8..off + 16)?.try_into().ok()?);
+        Some((dim, value, bits))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use presky_core::coins::CanonScratch;
@@ -114,5 +137,25 @@ mod tests {
         let mut sig = Vec::new();
         assert!(component_signature(&sub, &mut sig));
         sig
+    }
+
+    #[test]
+    fn signature_coins_round_trips_the_serialized_triples() {
+        let (t, p) = example1();
+        let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        let sub = view.restrict_canonical(&[0, 1, 2, 3]).unwrap();
+        let mut sig = Vec::new();
+        assert!(component_signature(&sub, &mut sig));
+        let parsed: Vec<(u32, u32, u64)> = signature_coins(&sig).collect();
+        assert_eq!(parsed.len(), sub.n_coins());
+        for (k, &(dim, value, bits)) in parsed.iter().enumerate() {
+            let key = sub.coin_key(k as u32).unwrap();
+            assert_eq!((dim, value), (key.dim.0, key.value.0));
+            assert_eq!(bits, sub.coin_prob(k as u32).to_bits());
+        }
+        // Truncated bytes yield a shorter, not wrong, description.
+        let cut: Vec<_> = signature_coins(&sig[..sig.len().min(4 + 16)]).collect();
+        assert!(cut.len() <= parsed.len());
+        assert!(signature_coins(&[]).next().is_none());
     }
 }

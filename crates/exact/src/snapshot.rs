@@ -13,11 +13,16 @@
 //!    ([`crate::signature`]): content-only `(dim, value, prob_bits)`
 //!    serialisations, so an entry is valid for exactly the datasets and
 //!    preference models that reproduce those bytes;
-//! 2. the snapshot is **keyed by a caller-supplied fingerprint** covering
-//!    the dense-coded table *and* every `pr_strict` probability the model
-//!    can emit over it (the same values the per-worker memo caches).
-//!    Loading refuses a fingerprint mismatch, so a warm cache can never be
-//!    replayed against a different dataset or re-elicited preferences.
+//! 2. the snapshot is **keyed by a caller-supplied
+//!    [`SnapshotFingerprint`]**: one hash of the table contents and one of
+//!    every `pr_strict` probability the model can emit over it (the same
+//!    values the per-worker memo caches). Loading refuses a mismatch in
+//!    either field — and says *which* one, so "your dataset changed" and
+//!    "your preferences were re-elicited" are distinguishable at the
+//!    operator's console — so a warm cache can never be replayed against a
+//!    different dataset or re-elicited preferences. Live engines compute
+//!    the pair per dataset epoch, making warmstart epoch-aware: a snapshot
+//!    saved after writes keys on the *mutated* state, not the boot state.
 //!
 //! The byte format is deliberately dumb — little-endian, length-prefixed,
 //! entries in sorted key order (so equal caches serialize to equal bytes),
@@ -27,16 +32,17 @@
 //! partially populates a cache it then returns.
 //!
 //! ```text
-//! magic        8 bytes  b"PSKYSNP\x01"
-//! version      u32      FORMAT_VERSION
-//! fingerprint  u64      dataset + preference fingerprint (caller-defined)
-//! entry_count  u64
+//! magic          8 bytes  b"PSKYSNP\x01"
+//! version        u32      FORMAT_VERSION (2: split fingerprint fields)
+//! dataset_fp     u64      table-content fingerprint (caller-defined)
+//! preference_fp  u64      pr_strict-grid fingerprint (caller-defined)
+//! entry_count    u64
 //! per entry (ascending key order):
-//!   key_len    u32
-//!   key        key_len bytes
-//!   sky_bits   u64
-//!   joints     u64
-//! checksum     u64      FNV-1a of every preceding byte
+//!   key_len      u32
+//!   key          key_len bytes
+//!   sky_bits     u64
+//!   joints       u64
+//! checksum       u64      FNV-1a of every preceding byte
 //! ```
 
 use std::fmt;
@@ -48,12 +54,42 @@ use crate::cache::{CacheEntry, ComponentCache};
 /// Leading magic bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"PSKYSNP\x01";
 
-/// Current snapshot format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current snapshot format version (2 split the single fingerprint into
+/// dataset and preference-grid fields).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Per-entry overhead beyond the key bytes (`key_len` + `sky_bits` +
 /// `joints`).
 const ENTRY_OVERHEAD: usize = 4 + 8 + 8;
+
+/// The identity a snapshot is keyed by: what the cache's signatures were
+/// computed *from*, split into the two things that can change
+/// independently on a live engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotFingerprint {
+    /// Hash of the table contents (dimensions, row count, every cell).
+    pub dataset: u64,
+    /// Hash of the `pr_strict` grid over the table's value universe.
+    pub preferences: u64,
+}
+
+/// Which [`SnapshotFingerprint`] field a load rejected on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FingerprintField {
+    /// The table contents differ (objects inserted/removed/changed).
+    Dataset,
+    /// The preference probabilities differ (re-elicited model).
+    Preferences,
+}
+
+impl fmt::Display for FingerprintField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FingerprintField::Dataset => write!(f, "dataset"),
+            FingerprintField::Preferences => write!(f, "preference grid"),
+        }
+    }
+}
 
 /// Why a snapshot could not be written or loaded.
 #[derive(Debug)]
@@ -75,8 +111,11 @@ pub enum SnapshotError {
         what: &'static str,
     },
     /// The snapshot was taken over a different dataset or preference
-    /// model; loading it would poison results.
+    /// model; loading it would poison results. `field` names which half
+    /// of the identity diverged (dataset contents vs preference grid).
     FingerprintMismatch {
+        /// Which fingerprint field failed the comparison.
+        field: FingerprintField,
         /// Fingerprint the loader expected (live engine).
         expected: u64,
         /// Fingerprint recorded in the file.
@@ -98,9 +137,9 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Corrupted { what } => {
                 write!(f, "corrupted snapshot: {what}")
             }
-            SnapshotError::FingerprintMismatch { expected, found } => write!(
+            SnapshotError::FingerprintMismatch { field, expected, found } => write!(
                 f,
-                "snapshot fingerprint {found:#018x} does not match this dataset+preferences \
+                "snapshot {field} fingerprint {found:#018x} does not match this engine's \
                  ({expected:#018x}); refusing to warm-start from it"
             ),
         }
@@ -178,12 +217,17 @@ impl<W: Write> HashedWriter<'_, W> {
 /// Entries are written in ascending key order, so two caches with equal
 /// contents produce byte-identical snapshots regardless of insertion
 /// order or shard distribution.
-pub fn write_snapshot<W: Write>(cache: &ComponentCache, fingerprint: u64, w: &mut W) -> Result<()> {
+pub fn write_snapshot<W: Write>(
+    cache: &ComponentCache,
+    fingerprint: SnapshotFingerprint,
+    w: &mut W,
+) -> Result<()> {
     let entries = cache.sorted_entries();
     let mut out = HashedWriter { inner: w, hash: Fnv::new() };
     out.put(&MAGIC)?;
     out.put(&FORMAT_VERSION.to_le_bytes())?;
-    out.put(&fingerprint.to_le_bytes())?;
+    out.put(&fingerprint.dataset.to_le_bytes())?;
+    out.put(&fingerprint.preferences.to_le_bytes())?;
     out.put(&(entries.len() as u64).to_le_bytes())?;
     for (key, entry) in &entries {
         out.put(&(key.len() as u32).to_le_bytes())?;
@@ -236,7 +280,7 @@ impl<'a> HashedReader<'a> {
 /// admission rule (first-come in key order).
 pub fn read_snapshot<R: Read>(
     r: &mut R,
-    expected_fingerprint: u64,
+    expected_fingerprint: SnapshotFingerprint,
     byte_cap: usize,
 ) -> Result<ComponentCache> {
     let mut bytes = Vec::new();
@@ -249,7 +293,10 @@ pub fn read_snapshot<R: Read>(
     if version != FORMAT_VERSION {
         return Err(SnapshotError::UnsupportedVersion { found: version });
     }
-    let fingerprint = cur.u64("missing fingerprint")?;
+    let fingerprint = SnapshotFingerprint {
+        dataset: cur.u64("missing dataset fingerprint")?,
+        preferences: cur.u64("missing preference fingerprint")?,
+    };
     let count = cur.u64("missing entry count")?;
     // An entry is at least ENTRY_OVERHEAD bytes, so an honest count can
     // never exceed the remaining payload; rejecting here keeps a hostile
@@ -274,10 +321,18 @@ pub fn read_snapshot<R: Read>(
     if computed != stored {
         return Err(SnapshotError::Corrupted { what: "checksum mismatch" });
     }
-    if fingerprint != expected_fingerprint {
+    if fingerprint.dataset != expected_fingerprint.dataset {
         return Err(SnapshotError::FingerprintMismatch {
-            expected: expected_fingerprint,
-            found: fingerprint,
+            field: FingerprintField::Dataset,
+            expected: expected_fingerprint.dataset,
+            found: fingerprint.dataset,
+        });
+    }
+    if fingerprint.preferences != expected_fingerprint.preferences {
+        return Err(SnapshotError::FingerprintMismatch {
+            field: FingerprintField::Preferences,
+            expected: expected_fingerprint.preferences,
+            found: fingerprint.preferences,
         });
     }
     let cache = ComponentCache::with_byte_cap(byte_cap);
@@ -288,7 +343,11 @@ pub fn read_snapshot<R: Read>(
 }
 
 /// [`write_snapshot`] to a file path (created or truncated).
-pub fn save_to_path(cache: &ComponentCache, fingerprint: u64, path: &Path) -> Result<()> {
+pub fn save_to_path(
+    cache: &ComponentCache,
+    fingerprint: SnapshotFingerprint,
+    path: &Path,
+) -> Result<()> {
     let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
     write_snapshot(cache, fingerprint, &mut file)
 }
@@ -296,7 +355,7 @@ pub fn save_to_path(cache: &ComponentCache, fingerprint: u64, path: &Path) -> Re
 /// [`read_snapshot`] from a file path.
 pub fn load_from_path(
     path: &Path,
-    expected_fingerprint: u64,
+    expected_fingerprint: SnapshotFingerprint,
     byte_cap: usize,
 ) -> Result<ComponentCache> {
     let mut file = std::fs::File::open(path)?;
@@ -323,7 +382,11 @@ mod tests {
         cache
     }
 
-    fn snapshot_bytes(cache: &ComponentCache, fingerprint: u64) -> Vec<u8> {
+    fn fp(dataset: u64, preferences: u64) -> SnapshotFingerprint {
+        SnapshotFingerprint { dataset, preferences }
+    }
+
+    fn snapshot_bytes(cache: &ComponentCache, fingerprint: SnapshotFingerprint) -> Vec<u8> {
         let mut buf = Vec::new();
         write_snapshot(cache, fingerprint, &mut buf).unwrap();
         buf
@@ -332,8 +395,8 @@ mod tests {
     #[test]
     fn round_trip_preserves_every_entry() {
         let cache = sample_cache();
-        let buf = snapshot_bytes(&cache, 42);
-        let loaded = read_snapshot(&mut buf.as_slice(), 42, DEFAULT_BYTE_CAP).unwrap();
+        let buf = snapshot_bytes(&cache, fp(42, 17));
+        let loaded = read_snapshot(&mut buf.as_slice(), fp(42, 17), DEFAULT_BYTE_CAP).unwrap();
         assert_eq!(loaded.len(), cache.len());
         assert_eq!(loaded.bytes(), cache.bytes());
         assert_eq!(loaded.sorted_entries(), cache.sorted_entries());
@@ -348,37 +411,64 @@ mod tests {
             a.insert(&i.to_le_bytes(), entry(i));
             b.insert(&(19 - i).to_le_bytes(), entry(19 - i));
         }
-        assert_eq!(snapshot_bytes(&a, 7), snapshot_bytes(&b, 7));
+        assert_eq!(snapshot_bytes(&a, fp(7, 8)), snapshot_bytes(&b, fp(7, 8)));
     }
 
     #[test]
-    fn fingerprint_mismatch_is_refused() {
-        let buf = snapshot_bytes(&sample_cache(), 42);
-        let err = read_snapshot(&mut buf.as_slice(), 43, DEFAULT_BYTE_CAP).unwrap_err();
-        assert!(matches!(err, SnapshotError::FingerprintMismatch { expected: 43, found: 42 }));
+    fn fingerprint_mismatch_names_the_failing_field() {
+        let buf = snapshot_bytes(&sample_cache(), fp(42, 17));
+        // Dataset arm.
+        let err = read_snapshot(&mut buf.as_slice(), fp(43, 17), DEFAULT_BYTE_CAP).unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::FingerprintMismatch {
+                field: FingerprintField::Dataset,
+                expected: 43,
+                found: 42,
+            }
+        ));
+        assert!(err.to_string().contains("dataset"), "got {err}");
+        // Preference arm.
+        let err = read_snapshot(&mut buf.as_slice(), fp(42, 18), DEFAULT_BYTE_CAP).unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::FingerprintMismatch {
+                field: FingerprintField::Preferences,
+                expected: 18,
+                found: 17,
+            }
+        ));
+        assert!(err.to_string().contains("preference grid"), "got {err}");
+        // Both wrong: the dataset field is reported first (the bigger
+        // divergence — wrong table implies nothing else can match).
+        let err = read_snapshot(&mut buf.as_slice(), fp(43, 18), DEFAULT_BYTE_CAP).unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::FingerprintMismatch { field: FingerprintField::Dataset, .. }
+        ));
     }
 
     #[test]
     fn bad_magic_and_version_are_refused() {
-        let mut buf = snapshot_bytes(&sample_cache(), 1);
+        let mut buf = snapshot_bytes(&sample_cache(), fp(1, 1));
         buf[0] ^= 0xFF;
         assert!(matches!(
-            read_snapshot(&mut buf.as_slice(), 1, DEFAULT_BYTE_CAP),
+            read_snapshot(&mut buf.as_slice(), fp(1, 1), DEFAULT_BYTE_CAP),
             Err(SnapshotError::BadMagic)
         ));
-        let mut buf = snapshot_bytes(&sample_cache(), 1);
+        let mut buf = snapshot_bytes(&sample_cache(), fp(1, 1));
         buf[8] = 99;
         assert!(matches!(
-            read_snapshot(&mut buf.as_slice(), 1, DEFAULT_BYTE_CAP),
+            read_snapshot(&mut buf.as_slice(), fp(1, 1), DEFAULT_BYTE_CAP),
             Err(SnapshotError::UnsupportedVersion { found: 99 })
         ));
     }
 
     #[test]
     fn every_truncation_point_is_rejected_cleanly() {
-        let buf = snapshot_bytes(&sample_cache(), 9);
+        let buf = snapshot_bytes(&sample_cache(), fp(9, 3));
         for len in 0..buf.len() {
-            let err = read_snapshot(&mut &buf[..len], 9, DEFAULT_BYTE_CAP).unwrap_err();
+            let err = read_snapshot(&mut &buf[..len], fp(9, 3), DEFAULT_BYTE_CAP).unwrap_err();
             assert!(
                 matches!(err, SnapshotError::Corrupted { .. } | SnapshotError::BadMagic),
                 "prefix of {len} bytes must be rejected, got {err}"
@@ -388,21 +478,21 @@ mod tests {
 
     #[test]
     fn flipped_payload_bits_fail_the_checksum() {
-        let clean = snapshot_bytes(&sample_cache(), 9);
+        let clean = snapshot_bytes(&sample_cache(), fp(9, 3));
         // Flip one bit in an entry's value region (past the header).
         let mut buf = clean.clone();
         let mid = buf.len() / 2;
         buf[mid] ^= 0x01;
-        let err = read_snapshot(&mut buf.as_slice(), 9, DEFAULT_BYTE_CAP).unwrap_err();
+        let err = read_snapshot(&mut buf.as_slice(), fp(9, 3), DEFAULT_BYTE_CAP).unwrap_err();
         assert!(matches!(err, SnapshotError::Corrupted { .. }), "got {err}");
     }
 
     #[test]
     fn byte_cap_governs_admission_on_load() {
         let cache = sample_cache();
-        let buf = snapshot_bytes(&cache, 5);
+        let buf = snapshot_bytes(&cache, fp(5, 6));
         let one = ComponentCache::entry_bytes(&cache.sorted_entries()[0].0);
-        let small = read_snapshot(&mut buf.as_slice(), 5, 3 * one as usize).unwrap();
+        let small = read_snapshot(&mut buf.as_slice(), fp(5, 6), 3 * one as usize).unwrap();
         assert_eq!(small.len(), 3, "only the first three sorted entries fit the cap");
     }
 }

@@ -302,7 +302,13 @@ fn connected_via_coins(view: &CoinView, group: &[usize]) -> bool {
 use std::collections::BTreeMap;
 
 use presky_exact::cache::{CacheEntry, ComponentCache};
-use presky_exact::snapshot::{read_snapshot, write_snapshot, SnapshotError};
+use presky_exact::snapshot::{read_snapshot, write_snapshot, SnapshotError, SnapshotFingerprint};
+
+/// Arbitrary two-field fingerprint for the v2 snapshot header.
+fn fingerprints() -> impl Strategy<Value = SnapshotFingerprint> {
+    (any::<u64>(), any::<u64>())
+        .prop_map(|(dataset, preferences)| SnapshotFingerprint { dataset, preferences })
+}
 
 /// Arbitrary cache contents: unique keys (any bytes, including empty),
 /// arbitrary `sky_bits` (any bit pattern, NaN payloads included) and
@@ -332,7 +338,7 @@ proptest! {
     #[test]
     fn snapshot_round_trip_is_bit_identical(
         contents in cache_contents(),
-        fingerprint in any::<u64>(),
+        fingerprint in fingerprints(),
     ) {
         let cache = build_cache(&contents);
         let mut bytes = Vec::new();
@@ -359,7 +365,7 @@ proptest! {
     #[test]
     fn truncated_snapshot_is_rejected_cleanly(
         contents in cache_contents(),
-        fingerprint in any::<u64>(),
+        fingerprint in fingerprints(),
         cut in any::<usize>(),
     ) {
         let cache = build_cache(&contents);
@@ -387,7 +393,7 @@ proptest! {
     #[test]
     fn corrupted_snapshot_is_rejected_cleanly(
         contents in cache_contents(),
-        fingerprint in any::<u64>(),
+        fingerprint in fingerprints(),
         pos in any::<usize>(),
         bit in 0u32..8,
     ) {

@@ -50,9 +50,15 @@ use crate::request::{Budget, Query, Request, Response};
 ///
 /// The budget is deliberately **not** part of the key: submissions with
 /// different budgets may still share one execution under the
-/// [`Budget::covers`] rule, checked at join time.
-pub(crate) fn request_signature(request: &Request) -> Option<Vec<u8>> {
+/// [`Budget::covers`] rule, checked at join time. The **epoch** the
+/// submission pinned at admission *is* part of the key: a follower may
+/// only take a leader's response if both pinned the same dataset version,
+/// otherwise a write committed between the leader's start and the
+/// follower's join would hand the follower answers from an epoch it never
+/// pinned.
+pub(crate) fn request_signature(request: &Request, epoch: u64) -> Option<Vec<u8>> {
     let mut sig = Sig { buf: Vec::with_capacity(96), ok: true };
+    sig.u64(epoch);
     match &request.query {
         Query::SkyOne { target, opts } => {
             sig.u8(0);
@@ -316,18 +322,19 @@ mod tests {
 
     #[test]
     fn identical_queries_share_a_signature_and_distinct_ones_do_not() {
-        let a = request_signature(&Request::all_sky(QueryOptions::default())).unwrap();
-        let b = request_signature(&Request::all_sky(QueryOptions::default())).unwrap();
+        let a = request_signature(&Request::all_sky(QueryOptions::default()), 0).unwrap();
+        let b = request_signature(&Request::all_sky(QueryOptions::default()), 0).unwrap();
         assert_eq!(a, b);
-        let c = request_signature(&Request::all_sky(QueryOptions::default().with_threads(Some(2))))
-            .unwrap();
+        let c =
+            request_signature(&Request::all_sky(QueryOptions::default().with_threads(Some(2))), 0)
+                .unwrap();
         assert_ne!(a, c, "thread policy is part of the key");
         let shapes = [
-            request_signature(&Request::sky_one(ObjectId(0), QueryOptions::default())).unwrap(),
-            request_signature(&Request::sky_one(ObjectId(1), QueryOptions::default())).unwrap(),
-            request_signature(&Request::threshold(0.2, ThresholdOptions::default())).unwrap(),
-            request_signature(&Request::threshold(0.3, ThresholdOptions::default())).unwrap(),
-            request_signature(&Request::top_k(2, TopKOptions::default())).unwrap(),
+            request_signature(&Request::sky_one(ObjectId(0), QueryOptions::default()), 0).unwrap(),
+            request_signature(&Request::sky_one(ObjectId(1), QueryOptions::default()), 0).unwrap(),
+            request_signature(&Request::threshold(0.2, ThresholdOptions::default()), 0).unwrap(),
+            request_signature(&Request::threshold(0.3, ThresholdOptions::default()), 0).unwrap(),
+            request_signature(&Request::top_k(2, TopKOptions::default()), 0).unwrap(),
             a,
         ];
         for (i, x) in shapes.iter().enumerate() {
@@ -338,11 +345,21 @@ mod tests {
     }
 
     #[test]
+    fn the_pinned_epoch_is_part_of_the_key() {
+        let req = Request::all_sky(QueryOptions::default());
+        let e0 = request_signature(&req, 0).unwrap();
+        let e1 = request_signature(&req, 1).unwrap();
+        assert_ne!(e0, e1, "a write between leader start and follower join must split the flight");
+        assert_eq!(e0, request_signature(&req, 0).unwrap());
+    }
+
+    #[test]
     fn budgets_do_not_change_the_key() {
-        let plain = request_signature(&Request::all_sky(QueryOptions::default())).unwrap();
+        let plain = request_signature(&Request::all_sky(QueryOptions::default()), 3).unwrap();
         let budgeted = request_signature(
             &Request::all_sky(QueryOptions::default())
                 .with_budget(Budget::default().with_max_joints(Some(5))),
+            3,
         )
         .unwrap();
         assert_eq!(plain, budgeted, "coverage is checked at join time, not in the key");
@@ -354,10 +371,10 @@ mod tests {
             presky_approx::sampler::SamOptions::default()
                 .with_deadline_at(Some(Instant::now() + Duration::from_secs(1))),
         ));
-        assert!(request_signature(&Request::all_sky(opts)).is_none());
+        assert!(request_signature(&Request::all_sky(opts), 0).is_none());
         let topts = ThresholdOptions::default()
             .with_deadline_at(Some(Instant::now() + Duration::from_secs(1)));
-        assert!(request_signature(&Request::threshold(0.2, topts)).is_none());
+        assert!(request_signature(&Request::threshold(0.2, topts), 0).is_none());
     }
 
     #[test]
@@ -374,6 +391,7 @@ mod tests {
             outcome: crate::request::Outcome::Exact(crate::request::Value::TopK(vec![])),
             stats: Default::default(),
             elapsed: Duration::ZERO,
+            epoch: 0,
         };
         let waiter = std::thread::spawn(move || flight.wait());
         assert_eq!(guard.publish(Some(response.clone())), 1);

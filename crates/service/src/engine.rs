@@ -1,12 +1,44 @@
-//! The resident [`Engine`]: load once, serve many.
+//! The resident [`Engine`]: load once, serve many — and now, mutate live.
 //!
 //! `Engine::new` pays the per-dataset costs exactly once — duplicate
 //! validation, dense value codes, posting lists and the `pr_strict` memo
-//! of the [`BatchCoinContext`], plus an empty cross-request
+//! of the [`BatchCoinContext`](presky_core::batch::BatchCoinContext), plus
+//! an empty cross-request
 //! [`ComponentCache`] — and then serves any number of concurrent
 //! [`Request`]s from `&self`. All mutability is interior (atomics, the
-//! sharded cache, a poison-recovering stats mutex), so one engine handle
-//! can be shared across threads with a plain `Arc` or scoped borrows.
+//! sharded cache, a poison-recovering stats mutex, the epoch swap), so one
+//! engine handle can be shared across threads with a plain `Arc` or
+//! scoped borrows.
+//!
+//! ## Epochs and the write path
+//!
+//! The dataset lives behind an epoch/MVCC cell: one
+//! [`DatasetEpoch`] bundles a consistent version of the table, its batch
+//! indexes and the preference model. Readers **pin** the current epoch at
+//! admission (one `Arc` clone) and read only it for the whole request, so
+//! a concurrent write never alters a value mid-request — the bit-identity
+//! contract survives mutation. Writes ([`Engine::insert_object`],
+//! [`Engine::remove_object`], [`Engine::set_preference`]) are
+//! single-writer/multi-reader: a writer lock serialises commits, each
+//! commit derives the next epoch copy-on-write (only touched structures
+//! are rebuilt) and installs it with one pointer swap. A superseded epoch
+//! *retires* — counted in [`MetricsSnapshot::epochs_retired`] — when its
+//! last pinned reader drains.
+//!
+//! ## Incremental cache invalidation
+//!
+//! The component cache is content-addressed: keys embed every
+//! `(dim, value, prob_bits)` coin triple an entry depends on. Inserting
+//! or removing an object changes no triple, so those writes evict
+//! **nothing** — every cached component stays reachable and correct.
+//! Editing a preference pair changes at most two triples; the cache's
+//! reverse index evicts exactly the entries whose signature embeds a
+//! touched coin and leaves the rest warm (the `(dim, value)` granularity
+//! can over-evict entries carrying other bits of the same coin — sound,
+//! at worst a miss). Entries keyed by the *old* bits that escape eviction
+//! are stale-unreachable garbage, never wrong answers.
+//! [`EngineOptions::incremental_invalidation`]` = false` swaps in the
+//! naive baseline (any write drops the whole cache) for A/B measurement.
 //!
 //! ## Admission control
 //!
@@ -22,23 +54,24 @@
 //!    every object, `n − 1` attackers, `(n − 1)·d` coins) and compared
 //!    against [`EngineOptions::max_predicted_cost`].
 //!
-//! Both decisions depend only on the request and the dataset dimensions —
-//! never on timing — so shedding is reproducible.
+//! Both decisions depend only on the request and the pinned epoch's
+//! dimensions — never on timing — so shedding is reproducible per epoch.
 
+use std::collections::BTreeSet;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use presky_core::batch::BatchCoinContext;
+use presky_core::epoch::{DatasetEpoch, SnapshotView, WriteEffects};
 use presky_core::pool::ThreadBudget;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
-use presky_core::types::DimId;
+use presky_core::types::{DimId, ObjectId, ValueId};
 
 use presky_approx::sampler::SamOptions;
-use presky_exact::cache::{ComponentCache, DEFAULT_BYTE_CAP};
-use presky_exact::snapshot::{self, Fnv};
+use presky_exact::cache::{ComponentCache, Eviction, DEFAULT_BYTE_CAP};
+use presky_exact::snapshot::{self, Fnv, SnapshotFingerprint};
 use presky_query::engine::{
     all_sky_range_resident, all_sky_resident, sky_one_resident, threshold_resident, top_k_resident,
     EngineBudget, ResidentOutcome,
@@ -66,6 +99,10 @@ pub struct EngineOptions {
     /// [`crate::coalesce`]): on by default; off makes every submission
     /// execute solo (the A/B baseline for the `serve` bench).
     pub coalescing: bool,
+    /// Signature-targeted cache invalidation on preference edits (see the
+    /// [module docs](self)): on by default; off drops the whole component
+    /// cache on every write (the A/B baseline for mutation benches).
+    pub incremental_invalidation: bool,
 }
 
 impl Default for EngineOptions {
@@ -75,6 +112,7 @@ impl Default for EngineOptions {
             max_predicted_cost: None,
             cache_bytes: DEFAULT_BYTE_CAP,
             coalescing: true,
+            incremental_invalidation: true,
         }
     }
 }
@@ -103,22 +141,52 @@ impl EngineOptions {
         self.coalescing = coalescing;
         self
     }
+
+    /// Chainable: enable or disable incremental cache invalidation.
+    pub fn with_incremental_invalidation(mut self, incremental: bool) -> Self {
+        self.incremental_invalidation = incremental;
+        self
+    }
 }
 
-/// A long-lived query service over one dataset.
+/// What one committed write did, for the caller's accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CommitReceipt {
+    /// The epoch id this write installed (readers admitted after the
+    /// commit pin this id or later).
+    pub epoch: u64,
+    /// Targets whose coin view the write changed (see
+    /// [`WriteEffects::dirtied_targets`]).
+    pub dirtied_targets: usize,
+    /// Component-cache entries evicted by invalidation.
+    pub evicted_components: u64,
+    /// Component-cache bytes evicted by invalidation.
+    pub evicted_bytes: u64,
+}
+
+/// A long-lived query service over one live dataset.
 ///
-/// See the [module docs](self) for the admission and budget semantics.
+/// See the [module docs](self) for the epoch, admission and budget
+/// semantics. The preference model `M` is wrapped in an
+/// [`OverlayPreferences`](presky_core::preference::OverlayPreferences)
+/// internally, which is what makes [`set_preference`](Engine::set_preference)
+/// work over any base model.
 #[derive(Debug)]
 pub struct Engine<M> {
-    table: Table,
-    prefs: M,
-    ctx: BatchCoinContext,
+    /// The current epoch; readers pin it with one `Arc` clone under the
+    /// read lock, the writer swaps it under the write lock. The lock is
+    /// held only for the clone/swap — never across query work.
+    current: RwLock<Arc<DatasetEpoch<M>>>,
+    /// Serialises commits (single-writer/multi-reader).
+    writer: Mutex<()>,
     cache: ComponentCache,
     opts: EngineOptions,
     metrics: Metrics,
     in_flight: AtomicUsize,
     flights: Arc<SingleFlight>,
-    fingerprint: OnceLock<u64>,
+    /// Superseded epochs whose last pinned reader has drained.
+    epochs_retired: Arc<AtomicU64>,
 }
 
 /// Per-dimension cap on the value universe hashed pairwise into the
@@ -126,6 +194,48 @@ pub struct Engine<M> {
 /// warmstart regime) sit far below it; huge numeric domains hash a
 /// deterministic prefix of the grid plus the universe size.
 pub const FINGERPRINT_PAIR_CAP: usize = 128;
+
+/// The `(dataset, preferences)` fingerprint pair of one epoch.
+///
+/// Both hashes are computed from the **raw table** and the preference
+/// grid over its occurring values — deliberately not from
+/// [`BatchCoinContext::fingerprint`], whose dense code assignment depends
+/// on the build *path* (a context derived by incremental removal keeps
+/// orphan codes a fresh build never assigns). Hashing the raw cells keeps
+/// the fingerprint stable across "mutated here" vs "rebuilt there", which
+/// is exactly what snapshot warmstart needs.
+fn compute_fingerprints<M: PreferenceModel>(epoch: &DatasetEpoch<M>) -> (u64, u64) {
+    let table = epoch.table();
+    let prefs = epoch.prefs();
+    let d = table.dimensionality();
+
+    let mut h = Fnv::new();
+    h.eat(&(d as u64).to_le_bytes());
+    h.eat(&(table.len() as u64).to_le_bytes());
+    for j in 0..d {
+        for v in table.column(DimId(j as u32)) {
+            h.eat(&v.0.to_le_bytes());
+        }
+    }
+    let dataset = h.finish();
+
+    let mut h = Fnv::new();
+    h.eat(&(d as u64).to_le_bytes());
+    for j in 0..d {
+        let dim = DimId(j as u32);
+        let values: BTreeSet<ValueId> = table.column(dim).iter().copied().collect();
+        h.eat(&(values.len() as u64).to_le_bytes());
+        let head: Vec<ValueId> = values.into_iter().take(FINGERPRINT_PAIR_CAP).collect();
+        for &a in &head {
+            for &b in &head {
+                if a != b {
+                    h.eat(&prefs.pr_strict(dim, a, b).to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+    (dataset, h.finish())
+}
 
 /// Releases one in-flight slot even if the query worker panics.
 struct InFlightSlot<'a>(&'a AtomicUsize);
@@ -139,29 +249,26 @@ impl Drop for InFlightSlot<'_> {
 impl<M: PreferenceModel + Sync> Engine<M> {
     /// Index `table` once and stand up an empty component cache.
     pub fn new(table: Table, prefs: M, opts: EngineOptions) -> Result<Self> {
-        let ctx = BatchCoinContext::build(&table).map_err(presky_query::error::QueryError::from)?;
-        Ok(Self::with_parts(table, prefs, ctx, opts))
+        let epoch =
+            DatasetEpoch::build(table, prefs).map_err(presky_query::error::QueryError::from)?;
+        Ok(Self::from_epoch(epoch, opts))
     }
 
-    /// Assemble an engine around an already-built context — how the
-    /// sharded deployment replicates coin indexes without re-validating
+    /// Assemble an engine around an already-built epoch — how the sharded
+    /// deployment replicates one build across shards without re-validating
     /// the table per shard.
-    pub(crate) fn with_parts(
-        table: Table,
-        prefs: M,
-        ctx: BatchCoinContext,
-        opts: EngineOptions,
-    ) -> Self {
+    pub(crate) fn from_epoch(mut epoch: DatasetEpoch<M>, opts: EngineOptions) -> Self {
+        let epochs_retired = Arc::new(AtomicU64::new(0));
+        epoch.set_retirement_counter(Arc::clone(&epochs_retired));
         Self {
-            table,
-            prefs,
-            ctx,
+            current: RwLock::new(Arc::new(epoch)),
+            writer: Mutex::new(()),
             cache: ComponentCache::with_byte_cap(opts.cache_bytes),
             opts,
             metrics: Metrics::default(),
             in_flight: AtomicUsize::new(0),
             flights: Arc::default(),
-            fingerprint: OnceLock::new(),
+            epochs_retired,
         }
     }
 
@@ -170,9 +277,11 @@ impl<M: PreferenceModel + Sync> Engine<M> {
     ///
     /// The snapshot must carry this engine's [`fingerprint`]; a snapshot
     /// taken over a different dataset or preference model is refused with
-    /// [`ServiceError::Warmstart`] and the engine is **not** constructed.
-    /// A fresh engine warm-started this way serves its first requests at
-    /// the steady-state cache hit rate instead of paying the cold pass.
+    /// [`ServiceError::Warmstart`] — whose detail names *which* side
+    /// mismatched (the dataset or the preference grid) — and the engine is
+    /// **not** constructed. A fresh engine warm-started this way serves
+    /// its first requests at the steady-state cache hit rate instead of
+    /// paying the cold pass.
     ///
     /// [`fingerprint`]: Engine::fingerprint
     pub fn with_warm_cache(
@@ -186,8 +295,8 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         Ok(engine)
     }
 
-    /// Serialize the live component cache to `path`, keyed by this
-    /// engine's [`fingerprint`](Engine::fingerprint). The file is
+    /// Serialize the live component cache to `path`, keyed by the current
+    /// epoch's [`fingerprint`](Engine::fingerprint). The file is
     /// versioned and checksummed; equal cache contents produce
     /// byte-identical files.
     pub fn save_cache_snapshot(&self, path: &Path) -> Result<()> {
@@ -195,45 +304,40 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         Ok(())
     }
 
-    /// Identity hash of the dataset **and** the preference model, the key
-    /// a cache snapshot is saved and validated under.
+    /// Identity hashes of the dataset and of the preference model — the
+    /// two-field key a cache snapshot is saved and validated under, so a
+    /// refused warmstart can say *which* side drifted.
     ///
-    /// Covers the dense-coded table (via
-    /// [`BatchCoinContext::fingerprint`]) plus the `pr_strict` grid over
-    /// each dimension's value universe — the exact inputs from which
-    /// component signatures (and hence cache keys) are built. Dimensions
-    /// with more than [`FINGERPRINT_PAIR_CAP`] distinct values hash the
-    /// grid of their first `FINGERPRINT_PAIR_CAP` dense codes plus the
-    /// universe size; this keeps the hash linear-ish on huge numeric
-    /// domains. A fingerprint collision can only ever cost cache *misses*,
-    /// never wrong values: cache keys embed every probability bit they
-    /// depend on, so a stale entry simply fails to match.
-    pub fn fingerprint(&self) -> u64 {
-        *self.fingerprint.get_or_init(|| {
-            let mut h = Fnv::new();
-            h.eat(&self.ctx.fingerprint().to_le_bytes());
-            let d = self.ctx.dimensionality();
-            h.eat(&(d as u64).to_le_bytes());
-            for j in 0..d {
-                let values = self.ctx.dim_values(j);
-                h.eat(&(values.len() as u64).to_le_bytes());
-                let head = &values[..values.len().min(FINGERPRINT_PAIR_CAP)];
-                for &a in head {
-                    for &b in head {
-                        if a != b {
-                            let p = self.prefs.pr_strict(DimId(j as u32), a, b);
-                            h.eat(&p.to_bits().to_le_bytes());
-                        }
-                    }
-                }
-            }
-            h.finish()
-        })
+    /// The dataset field covers dimensionality, row count and every raw
+    /// cell; the preference field covers the `pr_strict` grid over each
+    /// dimension's occurring values (capped at [`FINGERPRINT_PAIR_CAP`]
+    /// per dimension — a pair edit on values beyond the cap, or absent
+    /// from the dataset, may collide, which can only ever cost cache
+    /// *misses*, never wrong values: cache keys embed every probability
+    /// bit they depend on, so a stale entry simply fails to match).
+    /// Computed lazily once per epoch.
+    pub fn fingerprint(&self) -> SnapshotFingerprint {
+        let epoch = self.pin();
+        let (dataset, preferences) = epoch.cached_fingerprints(|| compute_fingerprints(&epoch));
+        SnapshotFingerprint { dataset, preferences }
     }
 
-    /// The dataset this engine serves.
-    pub fn table(&self) -> &Table {
-        &self.table
+    /// Pin the current epoch: one `Arc` clone under the read lock.
+    pub(crate) fn pin(&self) -> Arc<DatasetEpoch<M>> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// A read-only view pinned to the current epoch. The view keeps its
+    /// epoch alive: table, indexes and preferences stay consistent (and
+    /// bit-stable) for as long as the caller holds it, however many
+    /// writes commit meanwhile.
+    pub fn snapshot(&self) -> SnapshotView<M> {
+        SnapshotView::pin(&self.pin())
+    }
+
+    /// The current epoch id (0 until the first write commits).
+    pub fn epoch(&self) -> u64 {
+        self.current.read().unwrap_or_else(|e| e.into_inner()).id()
     }
 
     /// The live component cache (sharded driver + tests).
@@ -253,35 +357,160 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         &self.metrics
     }
 
-    /// Objects in the dataset.
+    /// Objects in the current epoch.
     pub fn n_objects(&self) -> usize {
-        self.ctx.n_objects()
+        self.current.read().unwrap_or_else(|e| e.into_inner()).n_objects()
+    }
+
+    /// Commit a new object with `values`; readers admitted before the
+    /// commit keep answering from their pinned epoch.
+    ///
+    /// No coin signature changes, so **nothing is evicted** from the
+    /// component cache — every entry remains reachable and correct under
+    /// the new epoch; the receipt reports how many existing targets the
+    /// new object can attack (their next computation sees a changed coin
+    /// view and caches fresh components alongside the old ones).
+    pub fn insert_object(&self, values: &[ValueId]) -> Result<CommitReceipt> {
+        self.commit(|epoch| epoch.insert_object(values))
+    }
+
+    /// Commit the removal of object `obj` (later ids shift down by one).
+    /// Like inserts, removals evict nothing: component signatures are
+    /// content-addressed, not id-addressed.
+    pub fn remove_object(&self, obj: ObjectId) -> Result<CommitReceipt> {
+        self.commit(|epoch| epoch.remove_object(obj))
+    }
+
+    /// Commit `Pr(a ≺ b) = forward`, `Pr(b ≺ a) = backward` on `dim`.
+    ///
+    /// The only write that strands cache entries: per direction whose
+    /// probability bits actually changed, entries whose signature embeds
+    /// the touched `(dim, value)` coin are evicted via the cache's
+    /// reverse index (or the whole cache is dropped when
+    /// [`EngineOptions::incremental_invalidation`] is off). The receipt
+    /// carries the exact eviction counts.
+    pub fn set_preference(
+        &self,
+        dim: DimId,
+        a: ValueId,
+        b: ValueId,
+        forward: f64,
+        backward: f64,
+    ) -> Result<CommitReceipt>
+    where
+        M: Clone,
+    {
+        self.commit(|epoch| epoch.set_preference(dim, a, b, forward, backward))
+    }
+
+    /// Single-writer commit protocol: serialise, derive the next epoch
+    /// from the current one, install. A failed write installs nothing and
+    /// leaves the current epoch untouched.
+    fn commit(
+        &self,
+        write: impl FnOnce(
+            &DatasetEpoch<M>,
+        ) -> presky_core::error::Result<(DatasetEpoch<M>, WriteEffects)>,
+    ) -> Result<CommitReceipt> {
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let current = self.pin();
+        let (next, effects) = write(&current).map_err(presky_query::error::QueryError::from)?;
+        Ok(self.install(next, &effects))
+    }
+
+    /// Install `next` as the current epoch: invalidate the cache for the
+    /// write's touched coins, swap the epoch pointer, mark the old epoch
+    /// superseded (it retires when its last pinned reader drains).
+    ///
+    /// Callers must hold a writer lock (this engine's via
+    /// [`commit`](Self::commit), or the sharded driver's fleet-wide one).
+    /// Invalidation runs *before* the swap so no reader of the new epoch
+    /// can observe a stale-reachable entry; entries a concurrent
+    /// old-epoch reader re-inserts afterwards carry old probability bits
+    /// and are unreachable from new-epoch signatures.
+    pub(crate) fn install(
+        &self,
+        mut next: DatasetEpoch<M>,
+        effects: &WriteEffects,
+    ) -> CommitReceipt {
+        next.set_retirement_counter(Arc::clone(&self.epochs_retired));
+        let evicted = self.invalidate(effects);
+        let next = Arc::new(next);
+        let epoch = next.id();
+        let old = {
+            let mut current = self.current.write().unwrap_or_else(|e| e.into_inner());
+            std::mem::replace(&mut *current, next)
+        };
+        old.mark_superseded();
+        drop(old);
+        inc(&self.metrics.writes);
+        self.metrics.evicted_components.fetch_add(evicted.entries, Ordering::Relaxed);
+        self.metrics.evicted_bytes.fetch_add(evicted.bytes, Ordering::Relaxed);
+        CommitReceipt {
+            epoch,
+            dirtied_targets: effects.dirtied_targets,
+            evicted_components: evicted.entries,
+            evicted_bytes: evicted.bytes,
+        }
+    }
+
+    /// Evict what one write stranded (see the [module docs](self)).
+    fn invalidate(&self, effects: &WriteEffects) -> Eviction {
+        if !self.opts.incremental_invalidation {
+            // Naive baseline: any write drops the whole cache.
+            let dropped = Eviction { entries: self.cache.len() as u64, bytes: self.cache.bytes() };
+            self.cache.clear();
+            return dropped;
+        }
+        if effects.touched_coins.is_empty() {
+            return Eviction::default();
+        }
+        // Both directions of one edited pair share a dimension, but group
+        // defensively so a future multi-pair effects batch stays correct.
+        let mut by_dim: Vec<(u32, Vec<(u32, u64)>)> = Vec::new();
+        for coin in &effects.touched_coins {
+            match by_dim.iter_mut().find(|(d, _)| *d == coin.dim.0) {
+                Some((_, v)) => v.push((coin.value.0, coin.old_bits)),
+                None => by_dim.push((coin.dim.0, vec![(coin.value.0, coin.old_bits)])),
+            }
+        }
+        let mut total = Eviction::default();
+        for (dim, touched) in by_dim {
+            let ev = self.cache.evict_signature_touched(dim, &touched);
+            total.entries += ev.entries;
+            total.bytes += ev.bytes;
+        }
+        total
     }
 
     /// Serve one request from this thread.
     ///
-    /// With coalescing enabled (the default), identical concurrent
-    /// submissions share one execution: the first becomes the leader and
-    /// runs the solo path; the rest block and
+    /// The request pins the current epoch at admission and answers
+    /// entirely from it; [`Response::epoch`] records which. With
+    /// coalescing enabled (the default), identical concurrent submissions
+    /// *that pinned the same epoch* share one execution: the first
+    /// becomes the leader and runs the solo path; the rest block and
     /// receive the leader's [`Response`] (own `elapsed`, leader's value
     /// and stats), provided the leader's [`Budget`] covers theirs — see
-    /// [`crate::coalesce`] for the exact rule. A failed leader sends its
-    /// followers to solo execution; every submission is counted exactly
-    /// once in the metrics. Any number of threads may call this
-    /// concurrently on one engine.
+    /// [`crate::coalesce`] for the exact rule. A submission arriving
+    /// after a write commits pins a newer epoch and opens its own flight.
+    /// A failed leader sends its followers to solo execution; every
+    /// submission is counted exactly once in the metrics. Any number of
+    /// threads may call this concurrently on one engine.
     ///
     /// [`Budget`]: crate::request::Budget
     pub fn run(&self, request: Request) -> Result<Response> {
         inc(&self.metrics.requests);
+        let epoch = self.pin();
         if !self.opts.coalescing {
-            return self.run_solo(&request);
+            return self.run_solo(&request, &epoch);
         }
-        let Some(key) = request_signature(&request) else {
-            return self.run_solo(&request);
+        let Some(key) = request_signature(&request, epoch.id()) else {
+            return self.run_solo(&request, &epoch);
         };
         match self.flights.join(key, request.budget) {
             Join::Leader(guard) => {
-                let outcome = self.run_solo(&request);
+                let outcome = self.run_solo(&request, &epoch);
                 let followers = guard.publish(outcome.as_ref().ok().cloned());
                 if followers > 0 {
                     inc(&self.metrics.coalesce_led);
@@ -297,11 +526,13 @@ impl<M: PreferenceModel + Sync> Engine<M> {
                     }
                     // The leader failed without publishing; this
                     // submission still owes its caller an answer (and was
-                    // already counted in `requests`), so run it solo.
-                    None => self.run_solo(&request),
+                    // already counted in `requests`), so run it solo on
+                    // the epoch it pinned (the flight key guarantees the
+                    // leader pinned the same one).
+                    None => self.run_solo(&request, &epoch),
                 }
             }
-            Join::Bypass => self.run_solo(&request),
+            Join::Bypass => self.run_solo(&request, &epoch),
         }
     }
 
@@ -309,8 +540,8 @@ impl<M: PreferenceModel + Sync> Engine<M> {
     /// gates, budget pinning, the resident pipeline, outcome
     /// classification. Exactly one terminal counter (`completed`, a shed
     /// counter, or `failed`) is incremented per call.
-    fn run_solo(&self, request: &Request) -> Result<Response> {
-        let result = self.run_admitted(request);
+    fn run_solo(&self, request: &Request, epoch: &Arc<DatasetEpoch<M>>) -> Result<Response> {
+        let result = self.run_admitted(request, epoch);
         if let Err(e) = &result {
             if !e.is_shed() {
                 inc(&self.metrics.failed);
@@ -319,9 +550,9 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         result
     }
 
-    fn run_admitted(&self, request: &Request) -> Result<Response> {
+    fn run_admitted(&self, request: &Request, epoch: &Arc<DatasetEpoch<M>>) -> Result<Response> {
         if let Some(max) = self.opts.max_predicted_cost {
-            let predicted = self.predicted_cost(&request.query);
+            let predicted = self.predicted_cost_on(epoch, &request.query);
             if predicted > max {
                 inc(&self.metrics.shed_cost);
                 return Err(ServiceError::CostCeiling { predicted, max });
@@ -341,21 +572,23 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         let admitted_at = Instant::now();
         let budget = request.budget.to_engine_budget(admitted_at);
         let cache = Some(&self.cache);
+        let ctx = epoch.ctx().as_ref();
+        let prefs = epoch.prefs().as_ref();
         let (value, stats, truncated) = match &request.query {
             Query::SkyOne { target, opts } => {
-                let out = sky_one_resident(&self.ctx, &self.prefs, *target, *opts, cache, budget)?;
+                let out = sky_one_resident(ctx, prefs, *target, *opts, cache, budget)?;
                 (Value::Sky(out.results.into_iter().next().flatten()), out.stats, out.truncated)
             }
             Query::AllSky { opts } => {
-                let out = all_sky_resident(&self.ctx, &self.prefs, *opts, cache, budget)?;
+                let out = all_sky_resident(ctx, prefs, *opts, cache, budget)?;
                 (Value::AllSky(out.results), out.stats, out.truncated)
             }
             Query::Threshold { tau, opts } => {
-                let out = threshold_resident(&self.ctx, &self.prefs, *tau, *opts, cache, budget)?;
+                let out = threshold_resident(ctx, prefs, *tau, *opts, cache, budget)?;
                 (Value::Threshold(out.results), out.stats, out.truncated)
             }
             Query::TopK { k, opts } => {
-                let out = top_k_resident(&self.ctx, &self.prefs, *k, *opts, cache, budget)?;
+                let out = top_k_resident(ctx, prefs, *k, *opts, cache, budget)?;
                 (Value::TopK(out.results.into_iter().flatten().collect()), out.stats, out.truncated)
             }
         };
@@ -367,20 +600,24 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         if !outcome.complete() {
             inc(&self.metrics.deadline_misses);
         }
-        Ok(Response { outcome, stats, elapsed: admitted_at.elapsed() })
+        Ok(Response { outcome, stats, elapsed: admitted_at.elapsed(), epoch: epoch.id() })
     }
 
-    /// Predicted cost of a request, in the sampler cost model's
-    /// machine-word operations.
+    /// Predicted cost of a request against the current epoch, in the
+    /// sampler cost model's machine-word operations.
     ///
     /// This is the admission-time collapse of the planner's model: the
     /// per-object `Σ 2^|g|`-vs-sampling comparison needs the prepared
     /// component structure, which does not exist yet, so every object is
     /// charged its sampling upper bound (`n − 1` attackers over
-    /// `(n − 1)·d` coins). Deterministic in the request and the dataset.
+    /// `(n − 1)·d` coins). Deterministic in the request and the epoch.
     pub fn predicted_cost(&self, query: &Query) -> u64 {
-        let n = self.ctx.n_objects();
-        let d = self.ctx.dimensionality();
+        self.predicted_cost_on(&self.pin(), query)
+    }
+
+    fn predicted_cost_on(&self, epoch: &DatasetEpoch<M>, query: &Query) -> u64 {
+        let n = epoch.n_objects();
+        let d = epoch.table().dimensionality();
         let attackers = n.saturating_sub(1);
         let coins = attackers.saturating_mul(d);
         let per_object = |sam: SamOptions| sam.predicted_cost(attackers, coins).max(1);
@@ -408,7 +645,9 @@ impl<M: PreferenceModel + Sync> Engine<M> {
     /// `pool`). Admission here is the in-flight ceiling only: the owning
     /// sharded driver applies the cost gate once for the whole request
     /// rather than once per shard. `budget` is already absolute, so every
-    /// shard of one request shares one wall-clock cut-off.
+    /// shard of one request shares one wall-clock cut-off. The driver's
+    /// epoch gate guarantees no write lands mid-fan-out, so pinning the
+    /// current epoch here is consistent across shards.
     pub(crate) fn run_all_sky_range(
         &self,
         range: std::ops::Range<usize>,
@@ -418,6 +657,7 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         pool: &Arc<ThreadBudget>,
     ) -> Result<ResidentOutcome<SkyResult>> {
         inc(&self.metrics.requests);
+        let epoch = self.pin();
         let previous = self.in_flight.fetch_add(1, Ordering::AcqRel);
         let slot = InFlightSlot(&self.in_flight);
         if previous >= self.opts.max_in_flight {
@@ -429,8 +669,8 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         }
         inc(&self.metrics.admitted);
         let out = all_sky_range_resident(
-            &self.ctx,
-            &self.prefs,
+            epoch.ctx().as_ref(),
+            epoch.prefs().as_ref(),
             range,
             workers,
             opts,
@@ -463,6 +703,11 @@ impl<M: PreferenceModel + Sync> Engine<M> {
             shed_overload: get(&self.metrics.shed_overload),
             shed_cost: get(&self.metrics.shed_cost),
             failed: get(&self.metrics.failed),
+            epoch: self.epoch(),
+            writes: get(&self.metrics.writes),
+            epochs_retired: self.epochs_retired.load(Ordering::Relaxed),
+            evicted_components: get(&self.metrics.evicted_components),
+            evicted_bytes: get(&self.metrics.evicted_bytes),
             in_flight: self.in_flight.load(Ordering::Acquire),
             stats: self.metrics.stats_snapshot(),
             cache_entries: self.cache.len(),
@@ -489,11 +734,24 @@ mod tests {
         Engine::new(table, TablePreferences::with_default(PrefPair::half()), opts).unwrap()
     }
 
+    fn all_sky_bits<M: PreferenceModel + Sync>(e: &Engine<M>) -> Vec<u64> {
+        e.run(Request::all_sky(QueryOptions::default()))
+            .unwrap()
+            .outcome
+            .value()
+            .as_all_sky()
+            .unwrap()
+            .iter()
+            .map(|r| r.unwrap().sky.to_bits())
+            .collect()
+    }
+
     #[test]
     fn serves_every_request_shape() {
         let e = engine(EngineOptions::default());
         let r = e.run(Request::sky_one(ObjectId(0), QueryOptions::default())).unwrap();
         assert!((r.outcome.value().as_sky().unwrap().sky - 3.0 / 16.0).abs() < 1e-12);
+        assert_eq!(r.epoch, 0);
         let r = e.run(Request::all_sky(QueryOptions::default())).unwrap();
         assert_eq!(r.outcome.value().as_all_sky().unwrap().len(), 5);
         let r = e.run(Request::threshold(0.15, ThresholdOptions::default())).unwrap();
@@ -504,6 +762,125 @@ mod tests {
         assert_eq!(m.admitted, 4);
         assert_eq!(m.completed, 4);
         assert_eq!(m.in_flight, 0);
+        assert_eq!(m.epoch, 0);
+        assert_eq!(m.writes, 0);
+    }
+
+    #[test]
+    fn writes_install_fresh_epochs_and_readers_track_them() {
+        let e = engine(EngineOptions::default());
+        assert_eq!(e.epoch(), 0);
+        let before = e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        assert_eq!(before.epoch, 0);
+
+        let receipt = e.insert_object(&[ValueId(3), ValueId(0)]).unwrap();
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(receipt.evicted_components, 0, "inserts never evict");
+        assert_eq!(e.n_objects(), 6);
+
+        let after = e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.outcome.value().as_all_sky().unwrap().len(), 6);
+
+        let receipt = e.remove_object(ObjectId(5)).unwrap();
+        assert_eq!(receipt.epoch, 2);
+        assert_eq!(e.n_objects(), 5);
+
+        let m = e.metrics();
+        assert_eq!(m.epoch, 2);
+        assert_eq!(m.writes, 2);
+        // Both superseded epochs had no lingering pins.
+        assert_eq!(m.epochs_retired, 2);
+        // Back to the original dataset: answers are bit-identical to the
+        // pre-write run.
+        let roundtrip = e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        let a = before.outcome.value().as_all_sky().unwrap();
+        let b = roundtrip.outcome.value().as_all_sky().unwrap();
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.unwrap().sky.to_bits(), y.unwrap().sky.to_bits());
+        }
+    }
+
+    #[test]
+    fn a_pinned_snapshot_is_immune_to_later_writes() {
+        let e = engine(EngineOptions::default());
+        let view = e.snapshot();
+        assert_eq!(view.id(), 0);
+        e.insert_object(&[ValueId(3), ValueId(0)]).unwrap();
+        e.set_preference(DimId(0), ValueId(0), ValueId(1), 0.9, 0.05).unwrap();
+        // The view still reads epoch 0: five objects, the original grid.
+        assert_eq!(view.n_objects(), 5);
+        assert_eq!(view.prefs().pr_strict(DimId(0), ValueId(0), ValueId(1)), 0.5);
+        assert_eq!(e.n_objects(), 6);
+        // Epoch 0 cannot retire while the view pins it.
+        assert_eq!(e.metrics().epochs_retired, 1, "only the insert's epoch 1 retired");
+        drop(view);
+        assert_eq!(e.metrics().epochs_retired, 2);
+    }
+
+    #[test]
+    fn preference_edits_evict_only_signature_touched_components() {
+        let e = engine(EngineOptions::default());
+        e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        let entries_before = e.metrics().cache_entries;
+        assert!(entries_before > 0, "fixture must populate the cache");
+
+        // Edit one pair on dim 0; only components embedding the touched
+        // coins may go, and the rest of the cache stays warm.
+        let receipt = e.set_preference(DimId(0), ValueId(0), ValueId(1), 0.9, 0.05).unwrap();
+        assert_eq!(receipt.epoch, 1);
+        assert!(receipt.evicted_components > 0, "the edited coins were cached");
+        assert!(
+            (receipt.evicted_components as usize) < entries_before,
+            "incremental invalidation must not drop the whole cache \
+             ({} evicted of {entries_before})",
+            receipt.evicted_components,
+        );
+        assert!(receipt.evicted_bytes > 0);
+        let m = e.metrics();
+        assert_eq!(m.evicted_components, receipt.evicted_components);
+        assert_eq!(m.cache_entries, entries_before - receipt.evicted_components as usize);
+
+        // Post-edit answers match a fresh engine over the same epoch's
+        // table and (edited) preferences.
+        let got = all_sky_bits(&e);
+        let view = e.snapshot();
+        let fresh = Engine::new(
+            view.table().as_ref().clone(),
+            view.prefs().as_ref().clone(),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(got, all_sky_bits(&fresh), "edited engine must answer like a fresh build");
+    }
+
+    #[test]
+    fn full_drop_baseline_clears_the_cache_on_every_write() {
+        let e = engine(EngineOptions::default().with_incremental_invalidation(false));
+        e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        let entries_before = e.metrics().cache_entries;
+        assert!(entries_before > 0);
+        let receipt = e.set_preference(DimId(0), ValueId(0), ValueId(1), 0.9, 0.05).unwrap();
+        assert_eq!(receipt.evicted_components as usize, entries_before);
+        assert_eq!(e.metrics().cache_entries, 0);
+        // Even a signature-preserving insert drops everything in this mode.
+        e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        let receipt = e.insert_object(&[ValueId(7), ValueId(7)]).unwrap();
+        assert!(receipt.evicted_components > 0);
+        assert_eq!(e.metrics().cache_entries, 0);
+    }
+
+    #[test]
+    fn failed_writes_install_nothing() {
+        let e = engine(EngineOptions::default());
+        // Duplicate row, bad dimensionality, out-of-range removal, and an
+        // invalid probability pair: all refused, none bump the epoch.
+        assert!(e.insert_object(&[ValueId(1), ValueId(1)]).is_err());
+        assert!(e.insert_object(&[ValueId(9)]).is_err());
+        assert!(e.remove_object(ObjectId(40)).is_err());
+        assert!(e.set_preference(DimId(0), ValueId(0), ValueId(1), 0.8, 0.8).is_err());
+        assert_eq!(e.epoch(), 0);
+        assert_eq!(e.metrics().writes, 0);
     }
 
     #[test]
@@ -590,7 +967,7 @@ mod tests {
         assert!(cold.metrics().cache_entries > 0, "fixture must populate the cache");
         cold.save_cache_snapshot(&path).unwrap();
 
-        let table = cold.table().clone();
+        let table = cold.snapshot().table().as_ref().clone();
         let warm = Engine::with_warm_cache(
             table.clone(),
             TablePreferences::with_default(PrefPair::half()),
@@ -617,15 +994,45 @@ mod tests {
             "joints_computed must be deterministic across cold/warm caches"
         );
 
-        // A different preference model is a different fingerprint.
+        // A different preference model is a different fingerprint, and
+        // the refusal names the preference side.
         let other = Engine::with_warm_cache(
             table,
             TablePreferences::with_default(PrefPair::new(0.25, 0.25).unwrap()),
             EngineOptions::default(),
             &path,
         );
-        assert!(matches!(other, Err(ServiceError::Warmstart { .. })), "got {other:?}");
+        match other {
+            Err(ServiceError::Warmstart { detail }) => {
+                assert!(detail.contains("preference grid"), "detail: {detail}");
+            }
+            other => panic!("expected Warmstart refusal, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mutated_and_rebuilt_engines_share_a_fingerprint() {
+        // A snapshot saved by a long-lived mutated engine must warm-start
+        // a process that rebuilt the same dataset from scratch: the
+        // fingerprint hashes raw table contents, not the (build-path
+        // dependent) incremental index state.
+        let e = engine(EngineOptions::default());
+        e.insert_object(&[ValueId(3), ValueId(2)]).unwrap();
+        e.remove_object(ObjectId(1)).unwrap();
+        let rebuilt = Engine::new(
+            e.snapshot().table().as_ref().clone(),
+            TablePreferences::with_default(PrefPair::half()),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(e.fingerprint(), rebuilt.fingerprint());
+        // A preference edit moves only the preference field.
+        let fp_before = e.fingerprint();
+        e.set_preference(DimId(0), ValueId(0), ValueId(1), 0.9, 0.05).unwrap();
+        let fp_after = e.fingerprint();
+        assert_eq!(fp_before.dataset, fp_after.dataset);
+        assert_ne!(fp_before.preferences, fp_after.preferences);
     }
 
     #[test]

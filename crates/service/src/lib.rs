@@ -24,6 +24,14 @@
 //! and a [`MetricsSnapshot`] exposes merged pipeline statistics, cache
 //! occupancy and hit rate, and the deadline-miss / shed counters.
 //!
+//! The dataset is **live**: [`Engine::insert_object`],
+//! [`Engine::remove_object`] and [`Engine::set_preference`] commit new
+//! epoch/MVCC snapshots while readers keep answering bit-identically from
+//! the epoch they pinned at admission ([`Response::epoch`] records
+//! which), and preference edits invalidate only the signature-touched
+//! slice of the component cache. Each commit returns a [`CommitReceipt`]
+//! with the installed epoch and exact eviction accounting.
+//!
 //! ```
 //! use presky_core::prelude::*;
 //! use presky_service::prelude::*;
@@ -48,7 +56,7 @@ pub mod metrics;
 pub mod request;
 pub mod sharded;
 
-pub use engine::{Engine, EngineOptions};
+pub use engine::{CommitReceipt, Engine, EngineOptions};
 pub use error::ServiceError;
 pub use metrics::MetricsSnapshot;
 pub use request::{Budget, Outcome, Query, Request, Response, Value};
@@ -56,7 +64,7 @@ pub use sharded::ShardedEngine;
 
 /// Commonly used names.
 pub mod prelude {
-    pub use crate::engine::{Engine, EngineOptions};
+    pub use crate::engine::{CommitReceipt, Engine, EngineOptions};
     pub use crate::error::ServiceError;
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::request::{Budget, Outcome, Query, Request, Response, Value};

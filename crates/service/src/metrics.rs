@@ -31,6 +31,12 @@ pub(crate) struct Metrics {
     pub(crate) shed_cost: AtomicU64,
     /// Requests that returned a query-layer error.
     pub(crate) failed: AtomicU64,
+    /// Write commits installed (each producing a new dataset epoch).
+    pub(crate) writes: AtomicU64,
+    /// Component-cache entries evicted by write invalidation.
+    pub(crate) evicted_components: AtomicU64,
+    /// Component-cache bytes evicted by write invalidation.
+    pub(crate) evicted_bytes: AtomicU64,
     /// Pipeline counters merged across every completed request.
     stats: Mutex<PipelineStats>,
 }
@@ -81,6 +87,17 @@ pub struct MetricsSnapshot {
     pub shed_cost: u64,
     /// Requests that returned a query-layer error.
     pub failed: u64,
+    /// The current dataset epoch (0 until the first write commits). A
+    /// gauge, not a counter: [`merge`](Self::merge) takes the max.
+    pub epoch: u64,
+    /// Write commits installed (each producing a new dataset epoch).
+    pub writes: u64,
+    /// Superseded epochs fully retired (last pinned reader drained).
+    pub epochs_retired: u64,
+    /// Component-cache entries evicted by write invalidation.
+    pub evicted_components: u64,
+    /// Component-cache bytes evicted by write invalidation.
+    pub evicted_bytes: u64,
     /// Requests running at snapshot time.
     pub in_flight: usize,
     /// Pipeline counters merged across every completed request.
@@ -118,6 +135,11 @@ impl MetricsSnapshot {
         self.shed_overload += other.shed_overload;
         self.shed_cost += other.shed_cost;
         self.failed += other.failed;
+        self.epoch = self.epoch.max(other.epoch);
+        self.writes += other.writes;
+        self.epochs_retired += other.epochs_retired;
+        self.evicted_components += other.evicted_components;
+        self.evicted_bytes += other.evicted_bytes;
         self.in_flight += other.in_flight;
         self.stats.merge(&other.stats);
         self.cache_entries += other.cache_entries;
@@ -141,6 +163,15 @@ impl fmt::Display for MetricsSnapshot {
             self.shed_cost,
             self.failed,
             self.in_flight,
+        )?;
+        writeln!(
+            f,
+            "epochs:   at {}, {} writes, {} retired, invalidated {} components ({} bytes)",
+            self.epoch,
+            self.writes,
+            self.epochs_retired,
+            self.evicted_components,
+            self.evicted_bytes,
         )?;
         writeln!(
             f,
@@ -181,6 +212,11 @@ mod tests {
             shed_overload: 1,
             shed_cost: 3,
             failed: 0,
+            epoch: 4,
+            writes: 4,
+            epochs_retired: 3,
+            evicted_components: 7,
+            evicted_bytes: 512,
             in_flight: 0,
             stats: PipelineStats::default(),
             cache_entries: 5,
@@ -191,6 +227,8 @@ mod tests {
         assert!(s.contains("15 submitted"));
         assert!(s.contains("10 admitted"));
         assert!(s.contains("6 coalesced (2 leaders)"));
+        assert!(s.contains("at 4, 4 writes, 3 retired"));
+        assert!(s.contains("invalidated 7 components (512 bytes)"));
         assert!(s.contains("hit rate"));
     }
 
@@ -206,12 +244,18 @@ mod tests {
             shed_overload: 0,
             shed_cost: 0,
             failed: 0,
+            epoch: 2,
+            writes: 2,
+            epochs_retired: 1,
+            evicted_components: 4,
+            evicted_bytes: 40,
             in_flight: 1,
             stats: PipelineStats { objects: 3, largest_component: 2, ..Default::default() },
             cache_entries: 10,
             cache_bytes: 100,
         };
         let b = MetricsSnapshot {
+            epoch: 5,
             stats: PipelineStats { objects: 7, largest_component: 9, ..Default::default() },
             cache_entries: 2,
             cache_bytes: 20,
@@ -221,6 +265,11 @@ mod tests {
         assert_eq!(a.requests, 10);
         assert_eq!(a.coalesced, 2);
         assert_eq!(a.in_flight, 2);
+        assert_eq!(a.epoch, 5, "epoch is a gauge: merge takes the max");
+        assert_eq!(a.writes, 4);
+        assert_eq!(a.epochs_retired, 2);
+        assert_eq!(a.evicted_components, 8);
+        assert_eq!(a.evicted_bytes, 80);
         assert_eq!(a.stats.objects, 10);
         assert_eq!(a.stats.largest_component, 9);
         assert_eq!(a.cache_entries, 12);

@@ -287,6 +287,10 @@ pub struct Response {
     pub stats: PipelineStats,
     /// Wall-clock time from admission to answer.
     pub elapsed: Duration,
+    /// The dataset epoch this request was pinned to at admission; every
+    /// value in `outcome` was computed against exactly this version of
+    /// the table, indexes and preferences.
+    pub epoch: u64,
 }
 
 #[cfg(test)]

@@ -1,13 +1,32 @@
 //! Sharded all-sky fan-out: one request, N engines, one bit-identical
-//! answer.
+//! answer — now over a live, mutable dataset.
 //!
 //! [`ShardedEngine`] partitions the **targets** of an all-sky batch into
 //! contiguous ranges, one per [`Engine`] shard. Coin indexes (the
-//! [`BatchCoinContext`]) are *replicated* — every shard holds the full
+//! batch context) are *replicated* — every shard holds the full
 //! table and can assemble any target's view — because a target's attackers
 //! come from the whole dataset, not from its own range. What is
 //! partitioned is the work and the mutable state: each shard owns its own
 //! component cache, metrics, and admission ceiling.
+//!
+//! ## Epoch-atomic writes
+//!
+//! Every shard serves the *same* epoch: a commit derives the next epoch
+//! **once** from shard 0's current one and installs per-shard replicas
+//! that share the new table/index/preference `Arc`s (each shard's
+//! replica is its own [`DatasetEpoch`] wrapper so per-shard retirement
+//! accounting still works). Two locks make this atomic:
+//!
+//! * a fleet-wide **writer** mutex serialises commits;
+//! * an **epoch gate** (`RwLock<()>`): an all-sky fan-out holds the read
+//!   side for its whole fan-out, a committing writer takes the write
+//!   side — so a write can never land between one shard's slice and the
+//!   next's, and a fanned-out answer is always computed against a single
+//!   epoch. Single-shard shapes don't need the gate: they pin their
+//!   serving shard's epoch like any [`Engine`] request.
+//!
+//! Target ranges are recomputed per request from the current row count,
+//! so inserts and removals rebalance the fan-out automatically.
 //!
 //! ## Merge invariants
 //!
@@ -44,48 +63,62 @@
 
 use std::ops::Range;
 use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use presky_core::batch::BatchCoinContext;
+use presky_core::epoch::{DatasetEpoch, SnapshotView, WriteEffects};
 use presky_core::pool::ThreadBudget;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
+use presky_core::types::{DimId, ObjectId, ValueId};
 
 use presky_exact::cache::ComponentCache;
 use presky_exact::snapshot;
 use presky_query::engine::PipelineStats;
 use presky_query::prob_skyline::QueryOptions;
 
-use crate::engine::{Engine, EngineOptions};
+use crate::engine::{CommitReceipt, Engine, EngineOptions};
 use crate::error::{Result, ServiceError};
 use crate::metrics::{inc, MetricsSnapshot};
 use crate::request::{Budget, Outcome, Query, Request, Response, Value};
 
-/// N [`Engine`] shards serving one dataset, fanning all-sky requests
-/// across them. See the [module docs](self) for the partitioning and
-/// merge invariants.
+/// N [`Engine`] shards serving one live dataset, fanning all-sky requests
+/// across them. See the [module docs](self) for the partitioning, write
+/// and merge invariants.
 #[derive(Debug)]
 pub struct ShardedEngine<M> {
     shards: Vec<Engine<M>>,
-    ranges: Vec<Range<usize>>,
+    /// Serialises commits fleet-wide (each shard's own writer lock only
+    /// guards that shard; cross-shard installs need one owner).
+    writer: Mutex<()>,
+    /// Read-held across an all-sky fan-out, write-held across a commit's
+    /// per-shard installs: no write lands mid-fan-out.
+    epoch_gate: RwLock<()>,
     opts: EngineOptions,
 }
 
-impl<M: PreferenceModel + Sync + Clone> ShardedEngine<M> {
-    /// Build the context once, replicate it across `n_shards` engines,
-    /// and assign each a contiguous target range (`0` shards is treated
-    /// as `1`).
+impl<M: PreferenceModel + Send + Sync + Clone> ShardedEngine<M> {
+    /// Build the epoch once and replicate it across `n_shards` engines
+    /// (`0` shards is treated as `1`); replicas share the table, index
+    /// and preference `Arc`s.
     pub fn new(table: Table, prefs: M, opts: EngineOptions, n_shards: usize) -> Result<Self> {
         let n_shards = n_shards.max(1);
-        let ctx = BatchCoinContext::build(&table).map_err(presky_query::error::QueryError::from)?;
-        let n = ctx.n_objects();
+        let built =
+            DatasetEpoch::build(table, prefs).map_err(presky_query::error::QueryError::from)?;
+        let (table, ctx, prefs) =
+            (Arc::clone(built.table()), Arc::clone(built.ctx()), Arc::clone(built.prefs()));
         let mut shards = Vec::with_capacity(n_shards);
-        let mut ranges = Vec::with_capacity(n_shards);
-        for s in 0..n_shards {
-            ranges.push(s * n / n_shards..(s + 1) * n / n_shards);
-            shards.push(Engine::with_parts(table.clone(), prefs.clone(), ctx.clone(), opts));
+        shards.push(Engine::from_epoch(built, opts));
+        for _ in 1..n_shards {
+            let replica = DatasetEpoch::from_parts(
+                0,
+                Arc::clone(&table),
+                Arc::clone(&ctx),
+                Arc::clone(&prefs),
+            );
+            shards.push(Engine::from_epoch(replica, opts));
         }
-        Ok(Self { shards, ranges, opts })
+        Ok(Self { shards, writer: Mutex::new(()), epoch_gate: RwLock::new(()), opts })
     }
 
     /// [`ShardedEngine::new`], then warm every shard's cache from the
@@ -110,24 +143,103 @@ impl<M: PreferenceModel + Sync + Clone> ShardedEngine<M> {
         self.shards.len()
     }
 
-    /// Objects in the dataset.
+    /// Objects in the current epoch.
     pub fn n_objects(&self) -> usize {
         self.shards[0].n_objects()
     }
 
+    /// The current epoch id (identical across shards outside a commit).
+    pub fn epoch(&self) -> u64 {
+        self.shards[0].epoch()
+    }
+
+    /// A read-only view pinned to the current epoch (shard 0's replica —
+    /// every shard shares the same underlying `Arc`s, so the view speaks
+    /// for the whole fleet).
+    pub fn snapshot(&self) -> SnapshotView<M> {
+        self.shards[0].snapshot()
+    }
+
+    /// Contiguous per-shard target ranges over `n` objects, recomputed
+    /// per request so writes rebalance the fan-out.
+    fn target_ranges(&self, n: usize) -> Vec<Range<usize>> {
+        let k = self.shards.len();
+        (0..k).map(|s| s * n / k..(s + 1) * n / k).collect()
+    }
+
+    /// Commit a new object with `values` across every shard. See
+    /// [`Engine::insert_object`] for the invalidation semantics; the
+    /// receipt sums evictions over the per-shard caches.
+    pub fn insert_object(&self, values: &[ValueId]) -> Result<CommitReceipt> {
+        self.commit_write(|epoch| epoch.insert_object(values))
+    }
+
+    /// Commit the removal of object `obj` across every shard.
+    pub fn remove_object(&self, obj: ObjectId) -> Result<CommitReceipt> {
+        self.commit_write(|epoch| epoch.remove_object(obj))
+    }
+
+    /// Commit a preference edit across every shard; each shard's cache is
+    /// invalidated incrementally (see [`Engine::set_preference`]).
+    pub fn set_preference(
+        &self,
+        dim: DimId,
+        a: ValueId,
+        b: ValueId,
+        forward: f64,
+        backward: f64,
+    ) -> Result<CommitReceipt> {
+        self.commit_write(|epoch| epoch.set_preference(dim, a, b, forward, backward))
+    }
+
+    /// Derive once from shard 0's epoch, install everywhere under the
+    /// epoch gate's write side. A failed write installs nothing anywhere.
+    fn commit_write(
+        &self,
+        write: impl FnOnce(
+            &DatasetEpoch<M>,
+        ) -> presky_core::error::Result<(DatasetEpoch<M>, WriteEffects)>,
+    ) -> Result<CommitReceipt> {
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let current = self.shards[0].pin();
+        let (next, effects) = write(&current).map_err(presky_query::error::QueryError::from)?;
+        let id = next.id();
+        let (table, ctx, prefs) =
+            (Arc::clone(next.table()), Arc::clone(next.ctx()), Arc::clone(next.prefs()));
+        // Only the installs sit inside the gate: derivation (the expensive
+        // part) overlaps with in-flight fan-outs, the swap does not.
+        let _gate = self.epoch_gate.write().unwrap_or_else(|e| e.into_inner());
+        let mut receipt = self.shards[0].install(next, &effects);
+        for shard in &self.shards[1..] {
+            let replica = DatasetEpoch::from_parts(
+                id,
+                Arc::clone(&table),
+                Arc::clone(&ctx),
+                Arc::clone(&prefs),
+            );
+            let r = shard.install(replica, &effects);
+            receipt.evicted_components += r.evicted_components;
+            receipt.evicted_bytes += r.evicted_bytes;
+        }
+        Ok(receipt)
+    }
+
     /// Serve one request.
     ///
-    /// `AllSky` fans out across every shard and merges; `SkyOne` routes
-    /// to the shard owning the target; `Threshold` and `TopK` delegate to
-    /// shard 0 (their ladders and scout/refine phases iterate all objects
-    /// with cross-object early exits that do not decompose into
-    /// independent ranges).
+    /// `AllSky` fans out across every shard under the epoch gate and
+    /// merges; `SkyOne` routes to the shard owning the target; `Threshold`
+    /// and `TopK` delegate to shard 0 (their ladders and scout/refine
+    /// phases iterate all objects with cross-object early exits that do
+    /// not decompose into independent ranges).
     pub fn run(&self, request: Request) -> Result<Response> {
         match &request.query {
             Query::AllSky { opts } => self.run_all_sky(*opts, request.budget),
             Query::SkyOne { target, .. } => {
-                let owner =
-                    self.ranges.iter().position(|r| r.contains(&target.index())).unwrap_or(0);
+                let owner = self
+                    .target_ranges(self.n_objects())
+                    .iter()
+                    .position(|r| r.contains(&target.index()))
+                    .unwrap_or(0);
                 self.shards[owner].run(request)
             }
             _ => self.shards[0].run(request),
@@ -148,6 +260,12 @@ impl<M: PreferenceModel + Sync + Clone> ShardedEngine<M> {
                 return Err(ServiceError::CostCeiling { predicted, max });
             }
         }
+        // Everything below reads one consistent epoch: the gate keeps
+        // commits out until the last shard's slice returns.
+        let _gate = self.epoch_gate.read().unwrap_or_else(|e| e.into_inner());
+        let epoch = self.shards[0].epoch();
+        let n = self.n_objects();
+        let ranges = self.target_ranges(n);
         let admitted_at = Instant::now();
         let engine_budget = budget.to_engine_budget(admitted_at);
         let n_shards = self.shards.len();
@@ -160,7 +278,7 @@ impl<M: PreferenceModel + Sync + Clone> ShardedEngine<M> {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .zip(&self.ranges)
+                .zip(&ranges)
                 .map(|(shard, range)| {
                     let pool = &pool;
                     scope.spawn(move || {
@@ -173,7 +291,7 @@ impl<M: PreferenceModel + Sync + Clone> ShardedEngine<M> {
             handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
         });
 
-        let mut results = Vec::with_capacity(self.n_objects());
+        let mut results = Vec::with_capacity(n);
         let mut stats = PipelineStats::default();
         let mut truncated = 0;
         for out in outs {
@@ -183,13 +301,15 @@ impl<M: PreferenceModel + Sync + Clone> ShardedEngine<M> {
             truncated += out.truncated;
         }
         let outcome = Outcome::classify(Value::AllSky(results), truncated);
-        Ok(Response { outcome, stats, elapsed: admitted_at.elapsed() })
+        Ok(Response { outcome, stats, elapsed: admitted_at.elapsed(), epoch })
     }
 
     /// Fleet totals: every shard's snapshot folded with
     /// [`MetricsSnapshot::merge`]. A fanned-out all-sky request appears
-    /// as one (admitted, completed) execution **per shard**; delegated
-    /// shapes count only on their serving shard.
+    /// as one (admitted, completed) execution **per shard**, and a commit
+    /// as one write (with its own retirement) per shard; delegated shapes
+    /// count only on their serving shard. The `epoch` gauge merges by max,
+    /// so it reports the fleet's (shared) current epoch.
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut merged = self.shards[0].metrics();
         for shard in &self.shards[1..] {
@@ -231,6 +351,10 @@ mod tests {
         (t, TablePreferences::with_default(PrefPair::half()))
     }
 
+    fn all_sky_bits(r: &Response) -> Vec<u64> {
+        r.outcome.value().as_all_sky().unwrap().iter().map(|x| x.unwrap().sky.to_bits()).collect()
+    }
+
     #[test]
     fn every_shape_is_served_and_routed() {
         let (t, p) = fixture();
@@ -238,6 +362,7 @@ mod tests {
         assert_eq!(e.n_shards(), 2);
         let r = e.run(Request::all_sky(QueryOptions::default())).unwrap();
         assert_eq!(r.outcome.value().as_all_sky().unwrap().len(), 5);
+        assert_eq!(r.epoch, 0);
         let r = e.run(Request::sky_one(ObjectId(4), QueryOptions::default())).unwrap();
         assert!(r.outcome.value().as_sky().is_some());
         let r = e.run(Request::threshold(0.15, ThresholdOptions::default())).unwrap();
@@ -271,5 +396,45 @@ mod tests {
         let m = e.metrics();
         assert_eq!(m.shed_cost, 1, "one shed for one request, not one per shard");
         assert_eq!(m.requests, 1);
+    }
+
+    #[test]
+    fn writes_install_epoch_atomically_across_shards_and_rebalance() {
+        let (t, p) = fixture();
+        let e = ShardedEngine::new(t.clone(), p.clone(), EngineOptions::default(), 3).unwrap();
+        let receipt = e.insert_object(&[ValueId(3), ValueId(0)]).unwrap();
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(e.epoch(), 1);
+        assert_eq!(e.n_objects(), 6);
+        let receipt = e.set_preference(DimId(0), ValueId(0), ValueId(1), 0.9, 0.05).unwrap();
+        assert_eq!(receipt.epoch, 2);
+
+        // The fanned-out answer reflects both writes and is bit-identical
+        // to a single engine serving the mutated dataset.
+        let sharded = e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        assert_eq!(sharded.epoch, 2);
+        assert_eq!(sharded.outcome.value().as_all_sky().unwrap().len(), 6);
+        let single = Engine::new(t, p, EngineOptions::default()).unwrap();
+        single.insert_object(&[ValueId(3), ValueId(0)]).unwrap();
+        single.set_preference(DimId(0), ValueId(0), ValueId(1), 0.9, 0.05).unwrap();
+        let solo = single.run(Request::all_sky(QueryOptions::default())).unwrap();
+        assert_eq!(all_sky_bits(&sharded), all_sky_bits(&solo));
+
+        let m = e.metrics();
+        assert_eq!(m.epoch, 2, "epoch gauge merges by max, not sum");
+        assert_eq!(m.writes, 2 * 3, "each commit installs once per shard");
+    }
+
+    #[test]
+    fn removal_shrinks_the_fan_out_to_the_new_row_count() {
+        let (t, p) = fixture();
+        let e = ShardedEngine::new(t, p, EngineOptions::default(), 2).unwrap();
+        e.remove_object(ObjectId(0)).unwrap();
+        let r = e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        assert_eq!(r.outcome.value().as_all_sky().unwrap().len(), 4);
+        // Routing still lands every remaining target on some shard.
+        for i in 0..4 {
+            assert!(e.run(Request::sky_one(ObjectId(i), QueryOptions::default())).is_ok());
+        }
     }
 }

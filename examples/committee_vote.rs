@@ -119,7 +119,7 @@ fn main() {
     let stats = resolution_stats(&answers);
     println!("\nShortlist (sky ≥ {tau}):");
     for a in answers.iter().filter(|a| a.member) {
-        println!("  {}", engine.table().display_row(a.object));
+        println!("  {}", engine.snapshot().table().display_row(a.object));
     }
     println!(
         "\nLadder: {} by bounds, {} exact, {} sequential, {} fallback",

@@ -67,6 +67,11 @@ fn main() {
     let top = response.outcome.value().as_top_k().expect("top-k request yields a ranking");
     println!("\nTop-3 profiles by acceptance probability:");
     for (rank, r) in top.iter().enumerate() {
-        println!("  {}. {}  sky = {:.4}", rank + 1, engine.table().display_row(r.object), r.sky);
+        println!(
+            "  {}. {}  sky = {:.4}",
+            rank + 1,
+            engine.snapshot().table().display_row(r.object),
+            r.sky
+        );
     }
 }

@@ -23,6 +23,8 @@
 //!                  [--max-in-flight 64] [--max-predicted-cost C]
 //!                  [--duplicate-fraction 0.9] [--no-coalesce] [--shards N]
 //!                  [--save-cache snap] [--warm-cache snap] [--min-warm-hit-rate 0.9]
+//!                  [--mutation-rate 0.1] [--mutation-mix prefs|mixed] [--full-drop]
+//!                  [--min-post-mutation-hit-rate 0.8]
 //! ```
 //!
 //! Tables and preference files use the `presky-datagen` text formats.
@@ -50,6 +52,15 @@
 //! `--save-cache` / `--warm-cache` persist the component cache across
 //! restarts (`--min-warm-hit-rate` turns the warm first-round hit rate
 //! into an exit-code assertion for CI).
+//!
+//! `--mutation-rate` turns that fraction of serve submissions into
+//! *writes* against the live engine — preference edits, plus inserts and
+//! removals under the default `--mutation-mix mixed` (`prefs` keeps the
+//! row set fixed so the workload replays bit-identically). After the
+//! storm the driver probes one all-sky pass: its cache hit rate gates
+//! `--min-post-mutation-hit-rate` (the incremental-invalidation evidence;
+//! `--full-drop` is the clear-everything A/B baseline) and its digest
+//! must match a fresh engine rebuilt from the final snapshot.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -98,7 +109,8 @@ fn usage() -> String {
                 [--tau T] [--k K] [--deadline-ms D] [--max-joints J] [--max-samples S]\n  \
                 [--max-in-flight F] [--max-predicted-cost C] [--duplicate-fraction F]\n  \
                 [--no-coalesce] [--shards N] [--save-cache FILE] [--warm-cache FILE]\n  \
-                [--min-warm-hit-rate R]"
+                [--min-warm-hit-rate R] [--mutation-rate F] [--mutation-mix prefs|mixed]\n  \
+                [--full-drop] [--min-post-mutation-hit-rate R]"
         .to_owned()
 }
 
@@ -382,8 +394,9 @@ fn skyline(flags: &HashMap<String, String>) -> Result<(), String> {
         stats.by_estimate,
     );
     report_truncation(&response.outcome);
+    let view = engine.snapshot();
     for a in members.iter().take(20) {
-        println!("  {}  {}", a.object, engine.table().display_row(a.object));
+        println!("  {}  {}", a.object, view.table().display_row(a.object));
     }
     if members.len() > 20 {
         println!("  … and {} more", members.len() - 20);
@@ -407,6 +420,7 @@ fn topk(flags: &HashMap<String, String>) -> Result<(), String> {
     let top = response.outcome.value().as_top_k().expect("top-k request yields a ranking");
     println!("top-{k} by skyline probability ({:.1?}):", start.elapsed());
     report_truncation(&response.outcome);
+    let view = engine.snapshot();
     for (rank, r) in top.iter().enumerate() {
         println!(
             "  {:>2}. {}  sky = {:.6}{}  {}",
@@ -414,7 +428,7 @@ fn topk(flags: &HashMap<String, String>) -> Result<(), String> {
             r.object,
             r.sky,
             if r.exact { "" } else { " (est)" },
-            engine.table().display_row(r.object)
+            view.table().display_row(r.object)
         );
     }
     Ok(())
@@ -455,19 +469,74 @@ impl Server {
             Server::Sharded(e) => e.save_cache_snapshot(path),
         }
     }
+
+    fn epoch(&self) -> u64 {
+        match self {
+            Server::Single(e) => e.epoch(),
+            Server::Sharded(e) => e.epoch(),
+        }
+    }
+
+    fn snapshot(&self) -> SnapshotView<Prefs> {
+        match self {
+            Server::Single(e) => e.snapshot(),
+            Server::Sharded(e) => e.snapshot(),
+        }
+    }
+
+    fn insert_object(
+        &self,
+        values: &[ValueId],
+    ) -> std::result::Result<CommitReceipt, ServiceError> {
+        match self {
+            Server::Single(e) => e.insert_object(values),
+            Server::Sharded(e) => e.insert_object(values),
+        }
+    }
+
+    fn remove_object(&self, obj: ObjectId) -> std::result::Result<CommitReceipt, ServiceError> {
+        match self {
+            Server::Single(e) => e.remove_object(obj),
+            Server::Sharded(e) => e.remove_object(obj),
+        }
+    }
+
+    fn set_preference(
+        &self,
+        dim: DimId,
+        a: ValueId,
+        b: ValueId,
+        forward: f64,
+        backward: f64,
+    ) -> std::result::Result<CommitReceipt, ServiceError> {
+        match self {
+            Server::Single(e) => e.set_preference(dim, a, b, forward, backward),
+            Server::Sharded(e) => e.set_preference(dim, a, b, forward, backward),
+        }
+    }
 }
 
-/// Deterministic per-submission coin for `--duplicate-fraction`
-/// (splitmix64 → uniform in `[0, 1)`): the same sequence number always
-/// lands on the same side, so a workload replays identically across
-/// coalescing A/B runs.
-fn duplicate_coin(seq: u64) -> f64 {
+/// splitmix64 finaliser — the serve driver's deterministic hash: the same
+/// sequence number always yields the same bits, so a workload replays
+/// identically across A/B runs. Salting the input (`seq ^ SALT`) derives
+/// independent streams from one sequence.
+fn mix64(seq: u64) -> u64 {
     let mut z = seq.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^= z >> 31;
-    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    z ^ (z >> 31)
 }
+
+/// Deterministic per-submission coin in `[0, 1)` for
+/// `--duplicate-fraction` and `--mutation-rate`.
+fn duplicate_coin(seq: u64) -> f64 {
+    (mix64(seq) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Salt separating the mutation coin stream from the duplicate stream.
+const MUTATE_SALT: u64 = 0x6d75_7461_7465_5f5f;
+/// Salt for the write-op parameter stream.
+const WRITE_OP_SALT: u64 = 0x7772_6974_655f_6f70;
 
 /// FNV-1a digest over an all-sky result vector (presence byte + value
 /// bits per slot) — the CI bit-identity handle: equal digests ⇔ equal
@@ -515,6 +584,32 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if !(0.0..=1.0).contains(&duplicate_fraction) {
         return Err(format!("--duplicate-fraction {duplicate_fraction} must be in [0, 1]"));
     }
+    let mutation_rate: f64 = get(flags, "mutation-rate")?.unwrap_or(0.0);
+    if !(0.0..=1.0).contains(&mutation_rate) {
+        return Err(format!("--mutation-rate {mutation_rate} must be in [0, 1]"));
+    }
+    let mutation_mixed = match flags.get("mutation-mix").map(String::as_str) {
+        None | Some("mixed") => true,
+        Some("prefs") => false,
+        Some(other) => return Err(format!("--mutation-mix {other:?} must be prefs or mixed")),
+    };
+    // Distinct sorted values per dimension, harvested before the table
+    // moves into the engine: the pool `set_preference` mutations draw
+    // their edited pairs from.
+    let editable_dims: Vec<(DimId, Vec<ValueId>)> = (0..table.dimensionality())
+        .map(|dim| {
+            let dim = DimId(dim as u32);
+            let mut vals = table.column(dim).to_vec();
+            vals.sort_unstable();
+            vals.dedup();
+            (dim, vals)
+        })
+        .filter(|(_, vals)| vals.len() >= 2)
+        .collect();
+    if mutation_rate > 0.0 && editable_dims.is_empty() {
+        return Err("--mutation-rate needs a dimension with >= 2 distinct values".to_owned());
+    }
+    let dims = table.dimensionality();
     let budget = budget_from(flags)?;
     let mut engine_opts = EngineOptions::default();
     if let Some(max) = get::<usize>(flags, "max-in-flight")? {
@@ -525,6 +620,9 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     if flags.contains_key("no-coalesce") {
         engine_opts = engine_opts.with_coalescing(false);
+    }
+    if flags.contains_key("full-drop") {
+        engine_opts = engine_opts.with_incremental_invalidation(false);
     }
     let shards: Option<usize> = get(flags, "shards")?;
     let warm: Option<PathBuf> = get(flags, "warm-cache")?;
@@ -586,24 +684,94 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let hot = Request::all_sky(QueryOptions::default().with_threads(Some(1))).with_budget(budget);
     println!(
         "serve: {threads} threads x {rounds} rounds x {} request shapes over {n} objects \
-         (duplicate fraction {duplicate_fraction})",
+         (duplicate fraction {duplicate_fraction}, mutation rate {mutation_rate})",
         requests.len()
     );
+    // Globally fresh value codes for inserted rows: far above any dataset
+    // value, so an insert never aliases an existing coin.
+    let fresh_values = std::sync::atomic::AtomicU32::new(0);
     let start = std::time::Instant::now();
-    let (tallies, mut latencies) = std::thread::scope(|scope| {
+    let (tallies, writes, mut latencies) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let server = &server;
                 let requests = &requests;
                 let hot = &hot;
+                let editable_dims = &editable_dims;
+                let fresh_values = &fresh_values;
                 scope.spawn(move || {
                     // (exact, estimate, deadline-exceeded, shed, failed)
                     let mut tally = [0u64; 5];
+                    // (pref edits, inserts, removals, failed writes)
+                    let mut writes = [0u64; 4];
                     let mut lat = Vec::with_capacity(rounds * requests.len());
                     let mut seq = (t as u64) << 32;
                     for round in 0..rounds {
                         for i in 0..requests.len() {
                             seq += 1;
+                            if mutation_rate > 0.0
+                                && duplicate_coin(seq ^ MUTATE_SALT) < mutation_rate
+                            {
+                                // This submission is a write. Parameters are
+                                // a pure function of `seq` (prefs-only
+                                // workloads replay bit-identically; removals
+                                // depend on the racy live row count).
+                                let h = mix64(seq ^ WRITE_OP_SALT);
+                                let op = if mutation_mixed { h % 4 } else { 0 };
+                                let (slot, outcome) = match op {
+                                    2 => {
+                                        let code = 1_000_000
+                                            + fresh_values
+                                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                        let row = vec![ValueId(code); dims];
+                                        (1, server.insert_object(&row))
+                                    }
+                                    3 => {
+                                        // Keep the dataset from draining:
+                                        // below half the seed size, top up
+                                        // instead of removing.
+                                        let n_now = server.n_objects();
+                                        if n_now > n / 2 {
+                                            let last = ObjectId((n_now - 1) as u32);
+                                            (2, server.remove_object(last))
+                                        } else {
+                                            let code = 1_000_000
+                                                + fresh_values.fetch_add(
+                                                    1,
+                                                    std::sync::atomic::Ordering::Relaxed,
+                                                );
+                                            (1, server.insert_object(&vec![ValueId(code); dims]))
+                                        }
+                                    }
+                                    _ => {
+                                        let (dim, vals) = &editable_dims
+                                            [((h >> 8) % editable_dims.len() as u64) as usize];
+                                        let a = ((h >> 16) % vals.len() as u64) as usize;
+                                        let mut b = ((h >> 32) % (vals.len() - 1) as u64) as usize;
+                                        if b >= a {
+                                            b += 1;
+                                        }
+                                        // Each direction in [0, 0.5]: mass
+                                        // forward + backward never exceeds 1.
+                                        let forward = ((h >> 40) & 0xfff) as f64 / 4095.0 * 0.5;
+                                        let backward = ((h >> 52) & 0xfff) as f64 / 4095.0 * 0.5;
+                                        (
+                                            0,
+                                            server.set_preference(
+                                                *dim, vals[a], vals[b], forward, backward,
+                                            ),
+                                        )
+                                    }
+                                };
+                                match outcome {
+                                    Ok(_) => writes[slot] += 1,
+                                    // e.g. two racing removals of the same
+                                    // last row: the loser's epoch is simply
+                                    // never installed.
+                                    Err(_) => writes[3] += 1,
+                                }
+                                continue;
+                            }
                             let idx = (i + t + round) % requests.len();
                             let request = if duplicate_coin(seq) < duplicate_fraction {
                                 hot.clone()
@@ -624,18 +792,21 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
                             lat.push(submitted.elapsed().as_nanos() as u64);
                         }
                     }
-                    (tally, lat)
+                    (tally, writes, lat)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).fold(
-            ([0u64; 5], Vec::new()),
-            |(mut acc, mut all), (t, lat)| {
+            ([0u64; 5], [0u64; 4], Vec::new()),
+            |(mut acc, mut wr, mut all), (t, w, lat)| {
                 for (a, b) in acc.iter_mut().zip(t) {
                     *a += b;
                 }
+                for (a, b) in wr.iter_mut().zip(w) {
+                    *a += b;
+                }
                 all.extend(lat);
-                (acc, all)
+                (acc, wr, all)
             },
         )
     });
@@ -643,7 +814,7 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     latencies.sort_unstable();
     let total = latencies.len() as u64;
     println!(
-        "done in {elapsed:.1?}: {total} submissions, {:.1} requests/s, p50 {:.1?}, p99 {:.1?}",
+        "done in {elapsed:.1?}: {total} read submissions, {:.1} requests/s, p50 {:.1?}, p99 {:.1?}",
         total as f64 / elapsed.as_secs_f64(),
         percentile(&latencies, 0.50),
         percentile(&latencies, 0.99),
@@ -652,6 +823,65 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
         "outcomes: {} exact, {} estimate, {} deadline-exceeded, {} shed, {} failed",
         tallies[0], tallies[1], tallies[2], tallies[3], tallies[4],
     );
+    if mutation_rate > 0.0 {
+        println!(
+            "writes: {} committed ({} preference edits, {} inserts, {} removals), {} failed, at epoch {}",
+            writes[0] + writes[1] + writes[2],
+            writes[0],
+            writes[1],
+            writes[2],
+            writes[3],
+            server.epoch(),
+        );
+        // Post-storm probe: the incremental-invalidation evidence. After a
+        // mutation storm the surviving cache should still answer most of
+        // the next all-sky pass (`--min-post-mutation-hit-rate` turns this
+        // into a CI exit-code assertion) …
+        let post_started = std::time::Instant::now();
+        let post = server
+            .run(Request::all_sky(QueryOptions::default().with_threads(Some(1))))
+            .map_err(|e| e.to_string())?;
+        let post_elapsed = post_started.elapsed();
+        let slots = post.outcome.value().as_all_sky().expect("all-sky request yields slots");
+        let (hits, probes) = (post.stats.cache_hits, post.stats.cache_probes);
+        let hit_rate = if probes == 0 { 0.0 } else { hits as f64 / probes as f64 };
+        let digest = allsky_digest(slots);
+        println!(
+            "post-mutation all-sky: {post_elapsed:.1?}, cache hit rate {hit_rate:.3} \
+             ({hits}/{probes} probes), digest {digest:016x}"
+        );
+        if let Some(floor) = get::<f64>(flags, "min-post-mutation-hit-rate")? {
+            if hit_rate < floor {
+                return Err(format!(
+                    "post-mutation cache hit rate {hit_rate:.3} below \
+                     --min-post-mutation-hit-rate {floor}"
+                ));
+            }
+        }
+        // … and every one of its values must be bit-identical to a cold
+        // engine rebuilt from the final snapshot — surviving cache entries
+        // are fast, never wrong.
+        let view = server.snapshot();
+        let rebuilt = Engine::new(
+            view.table().as_ref().clone(),
+            view.prefs().as_ref().clone(),
+            EngineOptions::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let rebuilt_resp = rebuilt
+            .run(Request::all_sky(QueryOptions::default().with_threads(Some(1))))
+            .map_err(|e| e.to_string())?;
+        let rebuilt_digest = allsky_digest(
+            rebuilt_resp.outcome.value().as_all_sky().expect("all-sky request yields slots"),
+        );
+        if digest != rebuilt_digest {
+            return Err(format!(
+                "post-mutation digest {digest:016x} differs from fresh-rebuild digest \
+                 {rebuilt_digest:016x}: a write corrupted live state"
+            ));
+        }
+        println!("post-mutation digest matches a fresh engine rebuilt from the final snapshot");
+    }
     println!("{}", server.metrics());
     if let Some(path) = get::<PathBuf>(flags, "save-cache")? {
         server.save_cache_snapshot(&path).map_err(|e| e.to_string())?;
