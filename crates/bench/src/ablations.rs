@@ -310,7 +310,7 @@ pub fn ablation_cond(budget: &Budget) -> FigReport {
 pub fn ablation_cache(budget: &Budget) -> FigReport {
     use presky_core::batch::BatchCoinContext;
     use presky_exact::cache::ComponentCache;
-    use presky_query::engine::{all_sky_resident, EngineBudget};
+    use presky_query::engine::{all_sky_resident, CacheScope, EngineBudget};
     use presky_query::prob_skyline::QueryOptions;
 
     let n = if budget.quick { 500 } else { 2_000 };
@@ -342,10 +342,11 @@ pub fn ablation_cache(budget: &Budget) -> FigReport {
             let start = std::time::Instant::now();
             let cache = ComponentCache::default();
             let out = BatchCoinContext::build(table).map_err(Into::into).and_then(|ctx| {
+                let scope = CacheScope::new(&cache);
                 if use_block {
-                    all_sky_resident(&ctx, &block, opts, Some(&cache), EngineBudget::default())
+                    all_sky_resident(&ctx, &block, opts, Some(scope), EngineBudget::default())
                 } else {
-                    all_sky_resident(&ctx, &seeded, opts, Some(&cache), EngineBudget::default())
+                    all_sky_resident(&ctx, &seeded, opts, Some(scope), EngineBudget::default())
                 }
             });
             out.map(|out| (out.stats, start.elapsed()))

@@ -231,11 +231,12 @@ fn main() -> ExitCode {
     // phase leaves components whose 2^|g| DFS does not terminate in
     // bench-scale time on one core.
     let (car_d, rounds) = if smoke { (4, 10) } else { (5, 25) };
+    let host_cores = presky_core::num_threads(None);
     let car: Table = car_projected(car_d).expect("car dataset");
     let car_n = car.len();
     println!(
         "# serve_bench — coalescing A/B: car d={car_d} n={car_n}, {STORM_THREADS} threads x \
-         {rounds} rounds, duplicate fraction {DUPLICATE_FRACTION}"
+         {rounds} rounds, duplicate fraction {DUPLICATE_FRACTION}, host cores {host_cores}"
     );
     let prefs = SeededPreferences::complementary(7);
     let prime = Request::all_sky(QueryOptions::default().with_threads(Some(1)));
@@ -308,7 +309,8 @@ fn main() -> ExitCode {
 
     // ------------------------------------------------------------- report
     let json = format!(
-        "{{\n  \"smoke\": {smoke},\n  \"coalesce\": {{\n    \"workload\": \"car\", \"d\": {car_d}, \
+        "{{\n  \"smoke\": {smoke},\n  \"host_cores\": {host_cores},\n  \"coalesce\": {{\n    \
+         \"workload\": \"car\", \"d\": {car_d}, \
          \"n\": {car_n}, \"threads\": {STORM_THREADS}, \"rounds\": {rounds}, \
          \"duplicate_fraction\": {DUPLICATE_FRACTION},\n    \"off\": {{ \"submissions\": {}, \
          \"elapsed_s\": {:.6}, \"requests_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3} \

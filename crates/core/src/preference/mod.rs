@@ -37,7 +37,7 @@ mod table;
 pub use elicit::{Ballot, BradleyTerry, ElicitationBuilder, VoteTally};
 pub use generate::{generate_table_preferences, PrefDistribution};
 pub use order::DeterministicOrder;
-pub use overlay::OverlayPreferences;
+pub use overlay::{DeltaOverlay, OverlayPreferences, PrefDelta};
 pub use seeded::{PairLaw, SeededPreferences};
 pub use table::{TablePreferences, TablePreferencesBuilder};
 

@@ -39,6 +39,33 @@ impl PairKey {
     }
 }
 
+/// Validate one pair edit against the model contract and return its
+/// canonical storage form. Shared by [`OverlayPreferences::with_pair`] and
+/// [`PrefDelta::with_pair`] so both enforce identical invariants.
+fn validated_pair(
+    dim: DimId,
+    a: ValueId,
+    b: ValueId,
+    forward: f64,
+    backward: f64,
+) -> Result<(PairKey, PrefPair)> {
+    if a == b {
+        return Err(CoreError::SelfPreference { dim, value: a });
+    }
+    check_probability(forward, "Pr(a ≺ b)")?;
+    check_probability(backward, "Pr(b ≺ a)")?;
+    if forward + backward > 1.0 + 1e-12 {
+        return Err(CoreError::PairMassExceedsOne { dim, a, b, total: forward + backward });
+    }
+    let (key, canonical) = PairKey::new(dim, a, b);
+    let stored = if canonical {
+        PrefPair { forward, backward }
+    } else {
+        PrefPair { forward: backward, backward: forward }
+    };
+    Ok((key, stored))
+}
+
 /// A [`PreferenceModel`] layering an explicit, edit-accumulating pair table
 /// over an arbitrary base model. See the module docs above.
 #[derive(Debug, Clone)]
@@ -83,20 +110,7 @@ impl<M: PreferenceModel> OverlayPreferences<M> {
     where
         M: Clone,
     {
-        if a == b {
-            return Err(CoreError::SelfPreference { dim, value: a });
-        }
-        check_probability(forward, "Pr(a ≺ b)")?;
-        check_probability(backward, "Pr(b ≺ a)")?;
-        if forward + backward > 1.0 + 1e-12 {
-            return Err(CoreError::PairMassExceedsOne { dim, a, b, total: forward + backward });
-        }
-        let (key, canonical) = PairKey::new(dim, a, b);
-        let stored = if canonical {
-            PrefPair { forward, backward }
-        } else {
-            PrefPair { forward: backward, backward: forward }
-        };
+        let (key, stored) = validated_pair(dim, a, b, forward, backward)?;
         let mut next = self.clone();
         next.overlay.insert(key, stored);
         Ok(next)
@@ -107,6 +121,120 @@ impl<M: PreferenceModel> OverlayPreferences<M> {
     /// order; sort for stability.
     pub fn overlay_pairs(&self) -> impl Iterator<Item = (DimId, ValueId, ValueId, PrefPair)> + '_ {
         self.overlay.iter().map(|(k, &p)| (DimId(k.dim), ValueId(k.lo), ValueId(k.hi), p))
+    }
+}
+
+/// A standalone, base-less table of preference-pair edits — the shape of a
+/// *per-tenant* delta in a multi-tenant deployment: one population-level
+/// base model, one small [`PrefDelta`] per user, layered at request time by
+/// [`DeltaOverlay`].
+///
+/// Unlike [`OverlayPreferences`], a `PrefDelta` owns no base model, so one
+/// delta can be layered over whichever epoch's base is current without
+/// cloning either. Edits are copy-on-write ([`PrefDelta::with_pair`]), so a
+/// registry can hand out `Arc`s of a tenant's delta to concurrent readers
+/// and install an updated one without synchronising with them.
+#[derive(Debug, Clone, Default)]
+pub struct PrefDelta {
+    overlay: HashMap<PairKey, PrefPair>,
+}
+
+impl PrefDelta {
+    /// The empty delta: layering it changes nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of edited pairs.
+    pub fn len(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// Whether no pair has been edited.
+    pub fn is_empty(&self) -> bool {
+        self.overlay.is_empty()
+    }
+
+    /// Copy-on-write edit: a new delta where the pair `(a, b)` on `dim`
+    /// has `Pr(a ≺ b) = forward` and `Pr(b ≺ a) = backward`, validated
+    /// against the model contract. `self` is untouched.
+    pub fn with_pair(
+        &self,
+        dim: DimId,
+        a: ValueId,
+        b: ValueId,
+        forward: f64,
+        backward: f64,
+    ) -> Result<Self> {
+        let (key, stored) = validated_pair(dim, a, b, forward, backward)?;
+        let mut next = self.clone();
+        next.overlay.insert(key, stored);
+        Ok(next)
+    }
+
+    /// The delta's probability for `Pr(a ≺ b)` on `dim`, or `None` when
+    /// the pair is not edited (callers fall through to their base model).
+    pub fn lookup(&self, dim: DimId, a: ValueId, b: ValueId) -> Option<f64> {
+        let (key, canonical) = PairKey::new(dim, a, b);
+        self.overlay.get(&key).map(|pair| if canonical { pair.forward } else { pair.backward })
+    }
+
+    /// The edited pairs in canonical orientation, sorted by
+    /// `(dim, lo, hi)` — the deterministic order fingerprints and
+    /// snapshots need (the backing map iterates in hash order).
+    pub fn pairs_sorted(&self) -> Vec<(DimId, ValueId, ValueId, PrefPair)> {
+        let mut pairs: Vec<_> = self
+            .overlay
+            .iter()
+            .map(|(k, &p)| (DimId(k.dim), ValueId(k.lo), ValueId(k.hi), p))
+            .collect();
+        pairs.sort_unstable_by_key(|&(d, lo, hi, _)| (d.0, lo.0, hi.0));
+        pairs
+    }
+
+    /// Every `(dim, value)` coin a layered delta can touch: both endpoints
+    /// of each edited pair, possibly repeated across pairs. This is the
+    /// conservative touched-coin set behind the cross-tenant sharing
+    /// guarantee: a component whose coins are disjoint from it keeps its
+    /// base-model signature byte for byte.
+    pub fn touched_values(&self) -> impl Iterator<Item = (DimId, ValueId)> + '_ {
+        self.overlay.keys().flat_map(|k| {
+            [(DimId(k.dim), ValueId(k.lo)), (DimId(k.dim), ValueId(k.hi))].into_iter()
+        })
+    }
+}
+
+/// A borrowing [`PreferenceModel`] layering a [`PrefDelta`] over a base
+/// model: the delta is consulted first, everything else falls through.
+///
+/// Both halves are borrowed, so constructing one per request is free; an
+/// empty delta short-circuits to the base lookup, which is what makes an
+/// empty-overlay tenant bit-identical to the untenanted engine.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaOverlay<'a, M: ?Sized> {
+    delta: &'a PrefDelta,
+    base: &'a M,
+}
+
+impl<'a, M: ?Sized> DeltaOverlay<'a, M> {
+    /// Layer `delta` over `base`.
+    pub fn new(delta: &'a PrefDelta, base: &'a M) -> Self {
+        Self { delta, base }
+    }
+}
+
+impl<M: PreferenceModel + ?Sized> PreferenceModel for DeltaOverlay<'_, M> {
+    fn pr_strict(&self, dim: DimId, a: ValueId, b: ValueId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        if self.delta.is_empty() {
+            return self.base.pr_strict(dim, a, b);
+        }
+        match self.delta.lookup(dim, a, b) {
+            Some(p) => p,
+            None => self.base.pr_strict(dim, a, b),
+        }
     }
 }
 
@@ -180,6 +308,69 @@ mod tests {
             Err(CoreError::PairMassExceedsOne { .. })
         ));
         assert!(o.with_pair(DimId(0), ValueId(0), ValueId(1), f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn delta_overlay_layers_and_falls_through() {
+        let base = SeededPreferences::complementary(3);
+        let delta = PrefDelta::new().with_pair(DimId(1), ValueId(5), ValueId(2), 0.7, 0.1).unwrap();
+        let layered = DeltaOverlay::new(&delta, &base);
+        assert!((layered.pr_strict(DimId(1), ValueId(5), ValueId(2)) - 0.7).abs() < 1e-15);
+        assert!((layered.pr_strict(DimId(1), ValueId(2), ValueId(5)) - 0.1).abs() < 1e-15);
+        assert_eq!(layered.pr_strict(DimId(1), ValueId(5), ValueId(5)), 0.0);
+        // Untouched pairs and dimensions fall through to the base.
+        assert_eq!(
+            layered.pr_strict(DimId(0), ValueId(5), ValueId(2)),
+            base.pr_strict(DimId(0), ValueId(5), ValueId(2)),
+        );
+        // An empty delta is fully transparent.
+        let empty = PrefDelta::new();
+        let transparent = DeltaOverlay::new(&empty, &base);
+        for (a, b) in [(0, 1), (4, 2), (9, 9)] {
+            assert_eq!(
+                transparent.pr_strict(DimId(0), ValueId(a), ValueId(b)).to_bits(),
+                base.pr_strict(DimId(0), ValueId(a), ValueId(b)).to_bits(),
+            );
+        }
+    }
+
+    #[test]
+    fn delta_validates_sorts_and_reports_touched_values() {
+        let delta = PrefDelta::new();
+        assert!(matches!(
+            delta.with_pair(DimId(0), ValueId(1), ValueId(1), 0.5, 0.5),
+            Err(CoreError::SelfPreference { .. })
+        ));
+        assert!(matches!(
+            delta.with_pair(DimId(0), ValueId(0), ValueId(1), 0.8, 0.8),
+            Err(CoreError::PairMassExceedsOne { .. })
+        ));
+        assert!(delta.with_pair(DimId(0), ValueId(0), ValueId(1), f64::NAN, 0.5).is_err());
+
+        let delta = delta
+            .with_pair(DimId(1), ValueId(7), ValueId(3), 0.6, 0.2)
+            .unwrap()
+            .with_pair(DimId(0), ValueId(2), ValueId(9), 0.1, 0.4)
+            .unwrap();
+        assert_eq!(delta.len(), 2);
+        // Canonical orientation (lo before hi), sorted by (dim, lo, hi).
+        let pairs = delta.pairs_sorted();
+        assert_eq!(pairs[0].0, DimId(0));
+        assert_eq!((pairs[0].1, pairs[0].2), (ValueId(2), ValueId(9)));
+        assert_eq!(pairs[1].0, DimId(1));
+        assert_eq!((pairs[1].1, pairs[1].2), (ValueId(3), ValueId(7)));
+        assert!((pairs[1].3.forward - 0.2).abs() < 1e-15, "stored in lo→hi orientation");
+        let mut touched: Vec<_> = delta.touched_values().collect();
+        touched.sort_unstable_by_key(|&(d, v)| (d.0, v.0));
+        assert_eq!(
+            touched,
+            vec![
+                (DimId(0), ValueId(2)),
+                (DimId(0), ValueId(9)),
+                (DimId(1), ValueId(3)),
+                (DimId(1), ValueId(7)),
+            ]
+        );
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! per attacker (in canonical order): u32 len, then len × u32 coin id
 //! ```
 
+use std::collections::HashSet;
+
 use presky_core::coins::CoinView;
 
 /// Serialize the canonical signature of `sub` into `out` (cleared first).
@@ -78,6 +80,65 @@ pub fn signature_coins(key: &[u8]) -> impl Iterator<Item = (u32, u32, u64)> + '_
         let bits = u64::from_le_bytes(key.get(off + 8..off + 16)?.try_into().ok()?);
         Some((dim, value, bits))
     })
+}
+
+/// A set of exact `(dim, value, prob_bits)` coins an overlay writes,
+/// queryable against serialized signatures.
+///
+/// This is the classification side of cross-tenant cache sharing: a
+/// component signature embedding **no** masked coin never received an
+/// overlay-written probability, so its bytes are the base model's bytes
+/// for that component — a hit on it could have been inserted by any
+/// tenant, a *cross-user* hit. Masking full triples rather than bare
+/// `(dim, value)` pairs matters: an overlay pair `(a, b)` rewrites the
+/// value-`a` coin only when it faces `b` (the coin's probability is
+/// `Pr(a ≺ b)`), so value-`a` coins facing any other partner keep their
+/// base bits and their shared base keys. The mask is telemetry only;
+/// cache soundness never depends on it (keys embed every probability bit
+/// they depend on).
+#[derive(Debug, Clone, Default)]
+pub struct CoinMask {
+    set: HashSet<(u32, u32, u64)>,
+}
+
+impl CoinMask {
+    /// The empty mask (touches nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add the coin `(dim, value)` carrying exactly `prob_bits`.
+    pub fn insert(&mut self, dim: u32, value: u32, prob_bits: u64) {
+        self.set.insert((dim, value, prob_bits));
+    }
+
+    /// Number of distinct masked coins.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the mask is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Whether the exact coin `(dim, value, prob_bits)` is masked.
+    pub fn contains(&self, dim: u32, value: u32, prob_bits: u64) -> bool {
+        self.set.contains(&(dim, value, prob_bits))
+    }
+
+    /// Whether the serialized signature `key` embeds any masked coin —
+    /// an exact `(dim, value, prob_bits)` match.
+    pub fn touches_signature(&self, key: &[u8]) -> bool {
+        !self.set.is_empty()
+            && signature_coins(key).any(|(dim, value, bits)| self.contains(dim, value, bits))
+    }
+}
+
+impl FromIterator<(u32, u32, u64)> for CoinMask {
+    fn from_iter<I: IntoIterator<Item = (u32, u32, u64)>>(iter: I) -> Self {
+        Self { set: iter.into_iter().collect() }
+    }
 }
 
 #[cfg(test)]
@@ -157,5 +218,42 @@ mod tests {
         let cut: Vec<_> = signature_coins(&sig[..sig.len().min(4 + 16)]).collect();
         assert!(cut.len() <= parsed.len());
         assert!(signature_coins(&[]).next().is_none());
+    }
+
+    #[test]
+    fn coin_mask_classifies_signatures_by_embedded_coins() {
+        let (t, p) = example1();
+        let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        let sub = view.restrict_canonical(&[0, 1, 2, 3]).unwrap();
+        let mut sig = Vec::new();
+        assert!(component_signature(&sub, &mut sig));
+        let coins: Vec<(u32, u32, u64)> = signature_coins(&sig).collect();
+        assert!(!coins.is_empty());
+
+        // Empty mask touches nothing, whatever the signature.
+        let empty = CoinMask::new();
+        assert!(empty.is_empty());
+        assert!(!empty.touches_signature(&sig));
+
+        // A mask over one embedded coin (exact triple) touches; a mask
+        // off by the value — or by the probability bits alone — does not.
+        let (dim, value, bits) = coins[0];
+        let hit: CoinMask = [(dim, value, bits)].into_iter().collect();
+        assert_eq!(hit.len(), 1);
+        assert!(hit.contains(dim, value, bits));
+        assert!(hit.touches_signature(&sig));
+        let miss: CoinMask =
+            [(dim + 1000, value, bits), (dim, value + 1000, bits)].into_iter().collect();
+        assert!(!miss.touches_signature(&sig));
+        let wrong_bits: CoinMask = [(dim, value, bits ^ 1)].into_iter().collect();
+        assert!(
+            !wrong_bits.touches_signature(&sig),
+            "a coin keeping its base bits was never rewritten by the overlay"
+        );
+        // Trailing namespace bytes do not disturb classification.
+        let mut namespaced = sig.clone();
+        namespaced.extend_from_slice(&7u64.to_le_bytes());
+        assert!(hit.touches_signature(&namespaced));
+        assert!(!miss.touches_signature(&namespaced));
     }
 }

@@ -33,9 +33,10 @@
 //!
 //! ```text
 //! magic          8 bytes  b"PSKYSNP\x01"
-//! version        u32      FORMAT_VERSION (2: split fingerprint fields)
+//! version        u32      FORMAT_VERSION (3: tenant-registry field)
 //! dataset_fp     u64      table-content fingerprint (caller-defined)
 //! preference_fp  u64      pr_strict-grid fingerprint (caller-defined)
+//! tenant_fp      u64      tenant-registry fingerprint (caller-defined)
 //! entry_count    u64
 //! per entry (ascending key order):
 //!   key_len      u32
@@ -55,8 +56,10 @@ use crate::cache::{CacheEntry, ComponentCache};
 pub const MAGIC: [u8; 8] = *b"PSKYSNP\x01";
 
 /// Current snapshot format version (2 split the single fingerprint into
-/// dataset and preference-grid fields).
-pub const FORMAT_VERSION: u32 = 2;
+/// dataset and preference-grid fields; 3 added the tenant-registry field,
+/// so a cache holding tenant-private entries can never warm-start an
+/// engine with a different — or no — tenant registry).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Per-entry overhead beyond the key bytes (`key_len` + `sky_bits` +
 /// `joints`).
@@ -71,6 +74,10 @@ pub struct SnapshotFingerprint {
     pub dataset: u64,
     /// Hash of the `pr_strict` grid over the table's value universe.
     pub preferences: u64,
+    /// Hash of the registered tenant overlays (sorted per-tenant delta
+    /// fingerprints). Engines with no tenants hash the empty registry, so
+    /// untenanted snapshots round-trip exactly as before.
+    pub tenants: u64,
 }
 
 /// Which [`SnapshotFingerprint`] field a load rejected on.
@@ -80,6 +87,9 @@ pub enum FingerprintField {
     Dataset,
     /// The preference probabilities differ (re-elicited model).
     Preferences,
+    /// The registered tenant overlays differ (a cache with tenant-private
+    /// entries cannot warm-start a mismatched registry).
+    Tenants,
 }
 
 impl fmt::Display for FingerprintField {
@@ -87,6 +97,7 @@ impl fmt::Display for FingerprintField {
         match self {
             FingerprintField::Dataset => write!(f, "dataset"),
             FingerprintField::Preferences => write!(f, "preference grid"),
+            FingerprintField::Tenants => write!(f, "tenant registry"),
         }
     }
 }
@@ -228,6 +239,7 @@ pub fn write_snapshot<W: Write>(
     out.put(&FORMAT_VERSION.to_le_bytes())?;
     out.put(&fingerprint.dataset.to_le_bytes())?;
     out.put(&fingerprint.preferences.to_le_bytes())?;
+    out.put(&fingerprint.tenants.to_le_bytes())?;
     out.put(&(entries.len() as u64).to_le_bytes())?;
     for (key, entry) in &entries {
         out.put(&(key.len() as u32).to_le_bytes())?;
@@ -296,6 +308,7 @@ pub fn read_snapshot<R: Read>(
     let fingerprint = SnapshotFingerprint {
         dataset: cur.u64("missing dataset fingerprint")?,
         preferences: cur.u64("missing preference fingerprint")?,
+        tenants: cur.u64("missing tenant fingerprint")?,
     };
     let count = cur.u64("missing entry count")?;
     // An entry is at least ENTRY_OVERHEAD bytes, so an honest count can
@@ -333,6 +346,13 @@ pub fn read_snapshot<R: Read>(
             field: FingerprintField::Preferences,
             expected: expected_fingerprint.preferences,
             found: fingerprint.preferences,
+        });
+    }
+    if fingerprint.tenants != expected_fingerprint.tenants {
+        return Err(SnapshotError::FingerprintMismatch {
+            field: FingerprintField::Tenants,
+            expected: expected_fingerprint.tenants,
+            found: fingerprint.tenants,
         });
     }
     let cache = ComponentCache::with_byte_cap(byte_cap);
@@ -383,7 +403,7 @@ mod tests {
     }
 
     fn fp(dataset: u64, preferences: u64) -> SnapshotFingerprint {
-        SnapshotFingerprint { dataset, preferences }
+        SnapshotFingerprint { dataset, preferences, tenants: 0 }
     }
 
     fn snapshot_bytes(cache: &ComponentCache, fingerprint: SnapshotFingerprint) -> Vec<u8> {
@@ -439,6 +459,22 @@ mod tests {
             }
         ));
         assert!(err.to_string().contains("preference grid"), "got {err}");
+        // Tenant arm.
+        let err = read_snapshot(
+            &mut buf.as_slice(),
+            SnapshotFingerprint { tenants: 5, ..fp(42, 17) },
+            DEFAULT_BYTE_CAP,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::FingerprintMismatch {
+                field: FingerprintField::Tenants,
+                expected: 5,
+                found: 0,
+            }
+        ));
+        assert!(err.to_string().contains("tenant registry"), "got {err}");
         // Both wrong: the dataset field is reported first (the bigger
         // divergence — wrong table implies nothing else can match).
         let err = read_snapshot(&mut buf.as_slice(), fp(43, 18), DEFAULT_BYTE_CAP).unwrap_err();

@@ -304,10 +304,11 @@ use std::collections::BTreeMap;
 use presky_exact::cache::{CacheEntry, ComponentCache};
 use presky_exact::snapshot::{read_snapshot, write_snapshot, SnapshotError, SnapshotFingerprint};
 
-/// Arbitrary two-field fingerprint for the v2 snapshot header.
+/// Arbitrary three-field fingerprint for the v3 snapshot header.
 fn fingerprints() -> impl Strategy<Value = SnapshotFingerprint> {
-    (any::<u64>(), any::<u64>())
-        .prop_map(|(dataset, preferences)| SnapshotFingerprint { dataset, preferences })
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(dataset, preferences, tenants)| {
+        SnapshotFingerprint { dataset, preferences, tenants }
+    })
 }
 
 /// Arbitrary cache contents: unique keys (any bytes, including empty),

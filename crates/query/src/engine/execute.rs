@@ -28,7 +28,7 @@ use presky_exact::signature::component_signature;
 
 use super::plan::{self, Plan, PlanReason};
 use super::prepare::SkyScratch;
-use super::PipelineStats;
+use super::{CacheScope, PipelineStats};
 use crate::error::Result;
 use crate::prob_skyline::SkyResult;
 use crate::threshold::{Resolution, ThresholdAnswer, ThresholdOptions};
@@ -41,7 +41,7 @@ pub(crate) fn execute(
     plan: &mut Plan,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<SkyResult> {
     let t0 = Instant::now();
@@ -96,7 +96,7 @@ fn component_factor(
     det: DetOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<(f64, bool)> {
     let group = s.partition.group(g);
@@ -107,7 +107,7 @@ fn component_factor(
         stats.joints_computed += out.joints_computed;
         return Ok((out.sky, false));
     }
-    let Some(cache) = cache else {
+    let Some(scope) = cache else {
         let (det, _lease) = leased_det(det, s.sub.n_attackers(), pool);
         let out = sky_det_view_with(&s.sub, det, &mut s.det)?;
         stats.joints_computed += out.joints_computed;
@@ -115,9 +115,20 @@ fn component_factor(
     };
     let keyed = component_signature(&s.sub, &mut s.sig);
     debug_assert!(keyed, "canonical views always carry coin keys");
+    // Tenant-namespaced scopes (the no-sharing ablation) suffix the key
+    // with the namespace. Base signatures are uniquely decodable with no
+    // trailing bytes, so the suffix cannot collide with any base key, and
+    // `signature_coins` ignores it, so reverse-index eviction still sees
+    // the embedded coins.
+    if scope.namespace() != 0 {
+        s.sig.extend_from_slice(&scope.namespace().to_le_bytes());
+    }
     stats.cache_probes += 1;
-    if let Some(entry) = cache.get(&s.sig) {
+    if let Some(entry) = scope.cache().get(&s.sig) {
         stats.cache_hits += 1;
+        if scope.hit_is_base(&s.sig) {
+            stats.cache_base_hits += 1;
+        }
         // Logical work accounting stays deterministic across warm and cold
         // caches: a hit re-adds the joints the solve would have computed.
         stats.joints_computed += entry.joints_computed;
@@ -127,7 +138,7 @@ fn component_factor(
     let out = sky_det_view_with(&s.sub, det, &mut s.det)?;
     stats.joints_computed += out.joints_computed;
     let entry = CacheEntry { sky_bits: out.sky.to_bits(), joints_computed: out.joints_computed };
-    if cache.insert(&s.sig, entry) {
+    if scope.cache().insert(&s.sig, entry) {
         stats.cache_insertions += 1;
         stats.cache_bytes += ComponentCache::entry_bytes(&s.sig);
     }
@@ -168,7 +179,7 @@ pub(crate) fn threshold_ladder(
     opts: ThresholdOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<ThresholdAnswer> {
     let t0 = Instant::now();
@@ -184,7 +195,7 @@ fn threshold_ladder_inner(
     opts: ThresholdOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<ThresholdAnswer> {
     // Rung 1: certified bounds. Bonferroni on instances small enough that

@@ -35,6 +35,7 @@ use presky_core::table::Table;
 use presky_core::types::ObjectId;
 
 use presky_exact::cache::ComponentCache;
+use presky_exact::signature::CoinMask;
 
 use crate::error::Result;
 use crate::prob_skyline::{Algorithm, SkyResult};
@@ -51,6 +52,61 @@ pub use resident::{
     all_sky_range_resident, all_sky_resident, sky_one_resident, threshold_resident, top_k_resident,
     ResidentOutcome,
 };
+
+/// A component cache plus the per-request overlay scoping that governs
+/// how it is keyed and how hits are classified.
+///
+/// The plain scope ([`CacheScope::new`]) behaves exactly like handing the
+/// executor a bare `&ComponentCache` — the multi-tenant machinery costs
+/// untenanted requests nothing. A **mask** marks the overlay-touched
+/// `(dim, value)` coins of the active tenant: hits on signatures disjoint
+/// from it are counted in [`PipelineStats::cache_base_hits`] (they hit
+/// entries any tenant could have inserted — the cross-user shared ones).
+/// A nonzero **namespace** appends its eight bytes to every cache key,
+/// giving each tenant a private key space: the no-sharing ablation the
+/// multi-tenant bench measures against. Neither field affects computed
+/// values — the cache is content-addressed, so scoping only moves *where*
+/// hits land, never what a solve returns.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheScope<'a> {
+    cache: &'a ComponentCache,
+    mask: Option<&'a CoinMask>,
+    namespace: u64,
+}
+
+impl<'a> CacheScope<'a> {
+    /// Scope `cache` with no mask and the shared (zero) namespace.
+    pub fn new(cache: &'a ComponentCache) -> Self {
+        Self { cache, mask: None, namespace: 0 }
+    }
+
+    /// Chainable: classify hits against the overlay-touched coin set.
+    pub fn with_mask(mut self, mask: Option<&'a CoinMask>) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Chainable: set the key namespace (0 = shared cross-user key space).
+    pub fn with_namespace(mut self, namespace: u64) -> Self {
+        self.namespace = namespace;
+        self
+    }
+
+    /// The underlying cache.
+    pub fn cache(&self) -> &'a ComponentCache {
+        self.cache
+    }
+
+    pub(crate) fn namespace(&self) -> u64 {
+        self.namespace
+    }
+
+    /// Whether a hit on the key `sig` is a base-signature (cross-user
+    /// shareable) hit under this scope.
+    pub(crate) fn hit_is_base(&self, sig: &[u8]) -> bool {
+        self.namespace == 0 && !self.mask.is_some_and(|m| m.touches_signature(sig))
+    }
+}
 
 /// Per-request work budget stamped into the exact and sampling engines.
 ///
@@ -193,6 +249,11 @@ pub struct PipelineStats {
     /// component first, so unlike `cache_probes` this is not deterministic
     /// across thread counts.
     pub cache_hits: u64,
+    /// The subset of `cache_hits` on base-signature keys: no overlay mask
+    /// coin embedded and no tenant namespace appended, i.e. hits that any
+    /// tenant's request could have shared. Equal to `cache_hits` whenever
+    /// no overlay scope is active.
+    pub cache_base_hits: u64,
     /// Entries admitted into the cache by this worker.
     pub cache_insertions: u64,
     /// Bytes (keys + entries) admitted into the cache by this worker.
@@ -231,6 +292,7 @@ impl PipelineStats {
         self.joints_computed += other.joints_computed;
         self.cache_probes += other.cache_probes;
         self.cache_hits += other.cache_hits;
+        self.cache_base_hits += other.cache_base_hits;
         self.cache_insertions += other.cache_insertions;
         self.cache_bytes += other.cache_bytes;
         self.samples_drawn += other.samples_drawn;
@@ -327,7 +389,7 @@ pub(crate) fn solve_view(
     prep: PrepareOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<SkyResult> {
     solve_view_explained(object, algo, budget, prep, s, stats, cache, pool).map(|(r, _)| r)
@@ -342,7 +404,7 @@ pub(crate) fn solve_view_explained(
     prep: PrepareOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<(SkyResult, Plan)> {
     if let Some(short) = prepare::prepare(object, prep, s, stats) {
@@ -394,7 +456,7 @@ pub fn solve_one_explained<M: PreferenceModel>(
         prep,
         scratch,
         stats,
-        Some(&cache),
+        Some(CacheScope::new(&cache)),
         None,
     )
 }
@@ -411,7 +473,7 @@ pub(crate) fn solve_one_explained_cached<M: PreferenceModel>(
     prep: PrepareOptions,
     scratch: &mut SkyScratch,
     stats: &mut PipelineStats,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<(SkyResult, Plan)> {
     let t0 = Instant::now();
@@ -431,7 +493,7 @@ pub(crate) fn solve_batch_one<M: PreferenceModel>(
     prep: PrepareOptions,
     scratch: &mut SkyScratch,
     stats: &mut PipelineStats,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<SkyResult> {
     let t0 = Instant::now();
@@ -448,7 +510,7 @@ pub(crate) fn threshold_view(
     opts: ThresholdOptions,
     s: &mut SkyScratch,
     stats: &mut PipelineStats,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<ThresholdAnswer> {
     if let Some(short) = prepare::prepare(target, PrepareOptions::default(), s, stats) {
@@ -476,7 +538,7 @@ pub fn threshold_solve_one<M: PreferenceModel>(
     scratch.view = CoinView::build(table, prefs, target)?;
     stats.prepare_nanos += t0.elapsed().as_nanos() as u64;
     let cache = ComponentCache::default();
-    threshold_view(target, tau, opts, scratch, stats, Some(&cache), None)
+    threshold_view(target, tau, opts, scratch, stats, Some(CacheScope::new(&cache)), None)
 }
 
 /// One threshold decision through the batch assembly path.
@@ -489,7 +551,7 @@ pub(crate) fn threshold_batch_one<M: PreferenceModel>(
     opts: ThresholdOptions,
     scratch: &mut SkyScratch,
     stats: &mut PipelineStats,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     pool: Option<&Arc<ThreadBudget>>,
 ) -> Result<ThresholdAnswer> {
     let t0 = Instant::now();

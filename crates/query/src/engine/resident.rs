@@ -3,7 +3,7 @@
 //! The one-shot entry points (`all_sky`, `threshold_skyline`, …) index the
 //! table, answer, and throw the index away. A long-lived service cannot
 //! afford that: the [`BatchCoinContext`] (dense value codes, posting
-//! lists, the `pr_strict` memo) and the cross-target [`ComponentCache`]
+//! lists, the `pr_strict` memo) and the cross-target component cache
 //! are exactly the state worth keeping warm across requests. The functions
 //! here run the same Prepare → Plan → Execute pipeline as the one-shot
 //! drivers but against *caller-owned* context and cache, and they accept a
@@ -30,9 +30,8 @@ use presky_core::preference::PreferenceModel;
 use presky_core::types::ObjectId;
 
 use presky_approx::sampler::SamOptions;
-use presky_exact::cache::ComponentCache;
 
-use super::{EngineBudget, PipelineStats, PrepareOptions, SkyScratch};
+use super::{CacheScope, EngineBudget, PipelineStats, PrepareOptions, SkyScratch};
 use crate::error::Result;
 use crate::prob_skyline::{reseed, Algorithm, QueryOptions, SkyResult};
 use crate::threshold::{validate_tau, ThresholdAnswer, ThresholdOptions};
@@ -156,7 +155,7 @@ pub fn all_sky_resident<M: PreferenceModel + Sync>(
     ctx: &BatchCoinContext,
     prefs: &M,
     opts: QueryOptions,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     budget: EngineBudget,
 ) -> Result<ResidentOutcome<SkyResult>> {
     let n = ctx.n_objects();
@@ -186,7 +185,7 @@ pub fn all_sky_range_resident<M: PreferenceModel + Sync>(
     range: std::ops::Range<usize>,
     workers: usize,
     opts: QueryOptions,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     budget: EngineBudget,
     pool: &std::sync::Arc<ThreadBudget>,
 ) -> Result<ResidentOutcome<SkyResult>> {
@@ -225,7 +224,7 @@ pub fn sky_one_resident<M: PreferenceModel>(
     prefs: &M,
     target: ObjectId,
     opts: QueryOptions,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     budget: EngineBudget,
 ) -> Result<ResidentOutcome<SkyResult>> {
     let prep = PrepareOptions::default().with_component_cache(opts.component_cache);
@@ -262,7 +261,7 @@ pub fn threshold_resident<M: PreferenceModel + Sync>(
     prefs: &M,
     tau: f64,
     opts: ThresholdOptions,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     budget: EngineBudget,
 ) -> Result<ResidentOutcome<ThresholdAnswer>> {
     validate_tau(tau)?;
@@ -306,7 +305,7 @@ pub fn top_k_resident<M: PreferenceModel + Sync>(
     prefs: &M,
     k: usize,
     opts: TopKOptions,
-    cache: Option<&ComponentCache>,
+    cache: Option<CacheScope<'_>>,
     budget: EngineBudget,
 ) -> Result<ResidentOutcome<SkyResult>> {
     if k == 0 || opts.overfetch == 0 {
@@ -416,12 +415,12 @@ mod tests {
     fn unbudgeted_resident_matches_one_shot_bitwise() {
         let (t, p) = fixture();
         let ctx = BatchCoinContext::build(&t).unwrap();
-        let cache = ComponentCache::default();
+        let cache = presky_exact::cache::ComponentCache::default();
         let resident = all_sky_resident(
             &ctx,
             &p,
             QueryOptions::default(),
-            Some(&cache),
+            Some(CacheScope::new(&cache)),
             EngineBudget::default(),
         )
         .unwrap();

@@ -49,7 +49,7 @@ pub mod prelude {
     };
     pub use crate::engine::{
         all_sky_range_resident, all_sky_resident, sky_one_resident, threshold_resident,
-        top_k_resident, EngineBudget, PipelineStats, Plan, PlanReason, PrepareOptions,
+        top_k_resident, CacheScope, EngineBudget, PipelineStats, Plan, PlanReason, PrepareOptions,
         ResidentOutcome,
     };
     pub use crate::error::QueryError;

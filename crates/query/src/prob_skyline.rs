@@ -209,7 +209,7 @@ pub(crate) fn all_sky_inner<M: PreferenceModel + Sync>(
     opts: QueryOptions,
 ) -> Result<(Vec<SkyResult>, PipelineStats)> {
     let cache = ComponentCache::default();
-    all_sky_with_stats_cached(table, prefs, opts, Some(&cache))
+    all_sky_with_stats_cached(table, prefs, opts, Some(engine::CacheScope::new(&cache)))
 }
 
 /// [`all_sky_with_stats`] against a caller-owned component cache, so the
@@ -218,7 +218,7 @@ pub(crate) fn all_sky_with_stats_cached<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
     opts: QueryOptions,
-    cache: Option<&ComponentCache>,
+    cache: Option<engine::CacheScope<'_>>,
 ) -> Result<(Vec<SkyResult>, PipelineStats)> {
     let ctx = BatchCoinContext::build(table)?;
     let n = table.len();

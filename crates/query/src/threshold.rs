@@ -255,7 +255,7 @@ pub(crate) fn threshold_skyline_inner<M: PreferenceModel + Sync>(
             opts,
             scratch,
             stats,
-            Some(&cache),
+            Some(engine::CacheScope::new(&cache)),
             Some(pool),
         )
     });

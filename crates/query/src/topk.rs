@@ -136,7 +136,7 @@ pub(crate) fn top_k_inner<M: PreferenceModel + Sync>(
     // instance the scout pass already solved, so every exact component it
     // reaches is a hit.
     let cache = ComponentCache::default();
-    let cache = opts.component_cache.then_some(&cache);
+    let cache = opts.component_cache.then(|| engine::CacheScope::new(&cache));
 
     // Phase 1: scout everything.
     let scout_opts = QueryOptions {

@@ -476,6 +476,73 @@ proptest! {
     }
 
     #[test]
+    fn overlay_disjoint_components_share_base_signatures(
+        (table, prefs) in instance(),
+        touched in proptest::collection::vec((0usize..3, 0u32..4, 0u32..4), 0..4),
+        probs in proptest::collection::vec((0.05f64..0.45, 0.05f64..0.45), 4),
+    ) {
+        // The multi-tenant sharing guarantee: a component embedding none
+        // of the overlay's written coins serializes to the *same* cache
+        // key under the overlay as under the base model — that key is
+        // what every tenant's requests probe, so the entry is shared
+        // across users. Interior probabilities keep every overlay pair a
+        // valid simplex pair whatever the base held.
+        use presky_core::coins::CoinView;
+        use presky_core::preference::{DeltaOverlay, PrefDelta};
+        use presky_exact::partition::partition;
+        use presky_exact::signature::{component_signature, CoinMask};
+
+        let d = table.dimensionality();
+        let mut delta = PrefDelta::new();
+        for (i, &(dim, a, b)) in touched.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            let (f, r) = probs[i % probs.len()];
+            delta = delta
+                .with_pair(DimId::from(dim % d), ValueId(a), ValueId(b), f, r)
+                .expect("interior probabilities always satisfy the simplex");
+        }
+        let mask: CoinMask = delta
+            .pairs_sorted()
+            .into_iter()
+            .flat_map(|(dm, a, b, pair)| {
+                [(dm.0, a.0, pair.forward.to_bits()), (dm.0, b.0, pair.backward.to_bits())]
+            })
+            .collect();
+        let overlay = DeltaOverlay::new(&delta, &prefs);
+        for i in 0..table.len() {
+            let target = ObjectId::from(i);
+            // `CoinView::build` is structural — probabilities fill a side
+            // table — so both views hold identical attackers and coin ids
+            // and one partition speaks for both.
+            let base_view = CoinView::build(&table, &prefs, target).unwrap();
+            let over_view = CoinView::build(&table, &overlay, target).unwrap();
+            prop_assert_eq!(base_view.n_attackers(), over_view.n_attackers());
+            for g in &partition(&base_view) {
+                let mut base_sig = Vec::new();
+                let mut over_sig = Vec::new();
+                prop_assert!(component_signature(
+                    &base_view.restrict_canonical(g).unwrap(), &mut base_sig));
+                prop_assert!(component_signature(
+                    &over_view.restrict_canonical(g).unwrap(), &mut over_sig));
+                // An overlay serialization free of every written coin
+                // never received an overlay probability: it shares the
+                // base cache key byte for byte. (The converse need not
+                // hold — the base model could coincidentally carry a
+                // masked bit pattern — so only the overlay side is the
+                // sharing classifier.)
+                if !mask.touches_signature(&over_sig) {
+                    prop_assert_eq!(
+                        &over_sig, &base_sig,
+                        "object {}: unwritten component must share the base cache key", i
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn sampling_policy_brackets_exact((table, prefs) in instance()) {
         use presky_query::prob_skyline::Algorithm;
         let exact = all_sky(&table, &prefs, QueryOptions::default().with_threads(Some(1)))

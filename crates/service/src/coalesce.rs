@@ -55,10 +55,22 @@ use crate::request::{Budget, Query, Request, Response};
 /// only take a leader's response if both pinned the same dataset version,
 /// otherwise a write committed between the leader's start and the
 /// follower's join would hand the follower answers from an epoch it never
-/// pinned.
-pub(crate) fn request_signature(request: &Request, epoch: u64) -> Option<Vec<u8>> {
+/// pinned. The resolved **overlay fingerprint** is part of the key for
+/// the same reason: identical queries under different tenant overlays
+/// compute different values and must not share a flight. It is the
+/// overlay's *content* hash, not the tenant id — same-tenant duplicates
+/// coalesce, and so do tenants whose overlays agree bit-for-bit (their
+/// responses are bit-identical by construction); an empty overlay hashes
+/// to `0` and coalesces with untenanted traffic, sound under the
+/// empty-overlay bit-identity contract.
+pub(crate) fn request_signature(
+    request: &Request,
+    epoch: u64,
+    overlay_fingerprint: u64,
+) -> Option<Vec<u8>> {
     let mut sig = Sig { buf: Vec::with_capacity(96), ok: true };
     sig.u64(epoch);
+    sig.u64(overlay_fingerprint);
     match &request.query {
         Query::SkyOne { target, opts } => {
             sig.u8(0);
@@ -322,19 +334,24 @@ mod tests {
 
     #[test]
     fn identical_queries_share_a_signature_and_distinct_ones_do_not() {
-        let a = request_signature(&Request::all_sky(QueryOptions::default()), 0).unwrap();
-        let b = request_signature(&Request::all_sky(QueryOptions::default()), 0).unwrap();
+        let a = request_signature(&Request::all_sky(QueryOptions::default()), 0, 0).unwrap();
+        let b = request_signature(&Request::all_sky(QueryOptions::default()), 0, 0).unwrap();
         assert_eq!(a, b);
-        let c =
-            request_signature(&Request::all_sky(QueryOptions::default().with_threads(Some(2))), 0)
-                .unwrap();
+        let c = request_signature(
+            &Request::all_sky(QueryOptions::default().with_threads(Some(2))),
+            0,
+            0,
+        )
+        .unwrap();
         assert_ne!(a, c, "thread policy is part of the key");
         let shapes = [
-            request_signature(&Request::sky_one(ObjectId(0), QueryOptions::default()), 0).unwrap(),
-            request_signature(&Request::sky_one(ObjectId(1), QueryOptions::default()), 0).unwrap(),
-            request_signature(&Request::threshold(0.2, ThresholdOptions::default()), 0).unwrap(),
-            request_signature(&Request::threshold(0.3, ThresholdOptions::default()), 0).unwrap(),
-            request_signature(&Request::top_k(2, TopKOptions::default()), 0).unwrap(),
+            request_signature(&Request::sky_one(ObjectId(0), QueryOptions::default()), 0, 0)
+                .unwrap(),
+            request_signature(&Request::sky_one(ObjectId(1), QueryOptions::default()), 0, 0)
+                .unwrap(),
+            request_signature(&Request::threshold(0.2, ThresholdOptions::default()), 0, 0).unwrap(),
+            request_signature(&Request::threshold(0.3, ThresholdOptions::default()), 0, 0).unwrap(),
+            request_signature(&Request::top_k(2, TopKOptions::default()), 0, 0).unwrap(),
             a,
         ];
         for (i, x) in shapes.iter().enumerate() {
@@ -347,19 +364,37 @@ mod tests {
     #[test]
     fn the_pinned_epoch_is_part_of_the_key() {
         let req = Request::all_sky(QueryOptions::default());
-        let e0 = request_signature(&req, 0).unwrap();
-        let e1 = request_signature(&req, 1).unwrap();
+        let e0 = request_signature(&req, 0, 0).unwrap();
+        let e1 = request_signature(&req, 1, 0).unwrap();
         assert_ne!(e0, e1, "a write between leader start and follower join must split the flight");
-        assert_eq!(e0, request_signature(&req, 0).unwrap());
+        assert_eq!(e0, request_signature(&req, 0, 0).unwrap());
+    }
+
+    #[test]
+    fn the_overlay_fingerprint_is_part_of_the_key() {
+        let req = Request::all_sky(QueryOptions::default());
+        let base = request_signature(&req, 0, 0).unwrap();
+        let tenant_a = request_signature(&req, 0, 0xdead_beef).unwrap();
+        let tenant_b = request_signature(&req, 0, 0xfeed_f00d).unwrap();
+        assert_ne!(base, tenant_a, "an overlay must not share the base flight");
+        assert_ne!(tenant_a, tenant_b, "distinct overlays must not share a flight");
+        // Identical overlay content (same fingerprint) shares the flight,
+        // whoever submits it; an empty overlay (fp 0) shares the base one.
+        assert_eq!(tenant_a, request_signature(&req, 0, 0xdead_beef).unwrap());
+        assert_eq!(
+            base,
+            request_signature(&req.clone().with_tenant(crate::tenant::TenantId(4)), 0, 0).unwrap()
+        );
     }
 
     #[test]
     fn budgets_do_not_change_the_key() {
-        let plain = request_signature(&Request::all_sky(QueryOptions::default()), 3).unwrap();
+        let plain = request_signature(&Request::all_sky(QueryOptions::default()), 3, 0).unwrap();
         let budgeted = request_signature(
             &Request::all_sky(QueryOptions::default())
                 .with_budget(Budget::default().with_max_joints(Some(5))),
             3,
+            0,
         )
         .unwrap();
         assert_eq!(plain, budgeted, "coverage is checked at join time, not in the key");
@@ -371,10 +406,10 @@ mod tests {
             presky_approx::sampler::SamOptions::default()
                 .with_deadline_at(Some(Instant::now() + Duration::from_secs(1))),
         ));
-        assert!(request_signature(&Request::all_sky(opts), 0).is_none());
+        assert!(request_signature(&Request::all_sky(opts), 0, 0).is_none());
         let topts = ThresholdOptions::default()
             .with_deadline_at(Some(Instant::now() + Duration::from_secs(1)));
-        assert!(request_signature(&Request::threshold(0.2, topts), 0).is_none());
+        assert!(request_signature(&Request::threshold(0.2, topts), 0, 0).is_none());
     }
 
     #[test]

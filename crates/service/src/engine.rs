@@ -2,7 +2,7 @@
 //!
 //! `Engine::new` pays the per-dataset costs exactly once — duplicate
 //! validation, dense value codes, posting lists and the `pr_strict` memo
-//! of the [`BatchCoinContext`](presky_core::batch::BatchCoinContext), plus
+//! of the [`BatchCoinContext`], plus
 //! an empty cross-request
 //! [`ComponentCache`] — and then serves any number of concurrent
 //! [`Request`]s from `&self`. All mutability is interior (atomics, the
@@ -63,9 +63,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
+use presky_core::batch::BatchCoinContext;
 use presky_core::epoch::{DatasetEpoch, SnapshotView, WriteEffects};
 use presky_core::pool::ThreadBudget;
-use presky_core::preference::PreferenceModel;
+use presky_core::preference::{DeltaOverlay, PreferenceModel};
 use presky_core::table::Table;
 use presky_core::types::{DimId, ObjectId, ValueId};
 
@@ -74,7 +75,7 @@ use presky_exact::cache::{ComponentCache, Eviction, DEFAULT_BYTE_CAP};
 use presky_exact::snapshot::{self, Fnv, SnapshotFingerprint};
 use presky_query::engine::{
     all_sky_range_resident, all_sky_resident, sky_one_resident, threshold_resident, top_k_resident,
-    EngineBudget, ResidentOutcome,
+    CacheScope, EngineBudget, PipelineStats, ResidentOutcome,
 };
 use presky_query::prob_skyline::{Algorithm, QueryOptions, SkyResult};
 
@@ -82,6 +83,7 @@ use crate::coalesce::{request_signature, Join, SingleFlight};
 use crate::error::{Result, ServiceError};
 use crate::metrics::{get, inc, Metrics, MetricsSnapshot};
 use crate::request::{Outcome, Query, Request, Response, Value};
+use crate::tenant::{self, OverlayHandle, TenantId, TenantRegistry, TenantState};
 
 /// Construction-time configuration of an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +105,14 @@ pub struct EngineOptions {
     /// [module docs](self)): on by default; off drops the whole component
     /// cache on every write (the A/B baseline for mutation benches).
     pub incremental_invalidation: bool,
+    /// Per-tenant component-cache key namespacing — the **no-sharing
+    /// ablation** the multi-tenant bench measures against. Off (the
+    /// default), tenants share one content-addressed key space and every
+    /// overlay-untouched component is served across users; on, each
+    /// tenanted request suffixes its cache keys with the tenant id, so no
+    /// entry is ever shared between tenants. Values are bit-identical
+    /// either way (the cache only memoizes, never alters).
+    pub tenant_namespacing: bool,
 }
 
 impl Default for EngineOptions {
@@ -113,6 +123,7 @@ impl Default for EngineOptions {
             cache_bytes: DEFAULT_BYTE_CAP,
             coalescing: true,
             incremental_invalidation: true,
+            tenant_namespacing: false,
         }
     }
 }
@@ -145,6 +156,13 @@ impl EngineOptions {
     /// Chainable: enable or disable incremental cache invalidation.
     pub fn with_incremental_invalidation(mut self, incremental: bool) -> Self {
         self.incremental_invalidation = incremental;
+        self
+    }
+
+    /// Chainable: enable or disable the per-tenant cache-namespacing
+    /// ablation.
+    pub fn with_tenant_namespacing(mut self, tenant_namespacing: bool) -> Self {
+        self.tenant_namespacing = tenant_namespacing;
         self
     }
 }
@@ -187,6 +205,9 @@ pub struct Engine<M> {
     flights: Arc<SingleFlight>,
     /// Superseded epochs whose last pinned reader has drained.
     epochs_retired: Arc<AtomicU64>,
+    /// Registered per-user preference overlays; shared (same `Arc`)
+    /// across every shard of a sharded deployment.
+    tenants: Arc<TenantRegistry>,
 }
 
 /// Per-dimension cap on the value universe hashed pairwise into the
@@ -269,6 +290,7 @@ impl<M: PreferenceModel + Sync> Engine<M> {
             in_flight: AtomicUsize::new(0),
             flights: Arc::default(),
             epochs_retired,
+            tenants: Arc::default(),
         }
     }
 
@@ -304,9 +326,10 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         Ok(())
     }
 
-    /// Identity hashes of the dataset and of the preference model — the
-    /// two-field key a cache snapshot is saved and validated under, so a
-    /// refused warmstart can say *which* side drifted.
+    /// Identity hashes of the dataset, the preference model, and the
+    /// tenant registry — the three-field key a cache snapshot is saved
+    /// and validated under, so a refused warmstart can say *which* side
+    /// drifted.
     ///
     /// The dataset field covers dimensionality, row count and every raw
     /// cell; the preference field covers the `pr_strict` grid over each
@@ -315,11 +338,14 @@ impl<M: PreferenceModel + Sync> Engine<M> {
     /// from the dataset, may collide, which can only ever cost cache
     /// *misses*, never wrong values: cache keys embed every probability
     /// bit they depend on, so a stale entry simply fails to match).
-    /// Computed lazily once per epoch.
+    /// Computed lazily once per epoch; the tenant field is `0` while no
+    /// tenants are registered, so untenanted deployments keep their
+    /// snapshot identity, and is re-read on every call (tenant
+    /// registration is cheap and epoch-independent).
     pub fn fingerprint(&self) -> SnapshotFingerprint {
         let epoch = self.pin();
         let (dataset, preferences) = epoch.cached_fingerprints(|| compute_fingerprints(&epoch));
-        SnapshotFingerprint { dataset, preferences }
+        SnapshotFingerprint { dataset, preferences, tenants: self.tenants.fingerprint() }
     }
 
     /// Pin the current epoch: one `Arc` clone under the read lock.
@@ -350,6 +376,87 @@ impl<M: PreferenceModel + Sync> Engine<M> {
     pub(crate) fn load_cache_from(&mut self, path: &Path) -> Result<()> {
         self.cache = snapshot::load_from_path(path, self.fingerprint(), self.opts.cache_bytes)?;
         Ok(())
+    }
+
+    /// Replace the component cache with a snapshot from `path`.
+    ///
+    /// Same contract as [`with_warm_cache`](Engine::with_warm_cache), but
+    /// callable on a built engine — the ordering a tenant-serving process
+    /// needs: construct, [`register_tenant`](Engine::register_tenant) the
+    /// same registry the snapshot was saved under, *then* warm-start. A
+    /// snapshot whose tenant-registry fingerprint differs from the
+    /// engine's is refused with [`ServiceError::Warmstart`] naming the
+    /// tenant registry.
+    pub fn load_cache_snapshot(&mut self, path: &Path) -> Result<()> {
+        self.load_cache_from(path)
+    }
+
+    /// Register (or wholesale replace) `tenant`'s preference overlay from
+    /// `(dim, a, b, forward, backward)` rows, validated like any other
+    /// preference write (probabilities in `[0, 1]`, pair mass ≤ 1, no
+    /// self-pairs). Returns a receipt carrying the overlay's content
+    /// [fingerprint](OverlayHandle::fingerprint).
+    ///
+    /// Registration never touches the component cache: overlay-affected
+    /// components get *different* cache keys (their probability bits
+    /// differ), so base entries stay shared and valid. An empty
+    /// `overlay_pairs` registers a tenant whose responses are
+    /// contractually **byte-identical** to untenanted requests.
+    pub fn register_tenant(
+        &self,
+        tenant: TenantId,
+        overlay_pairs: &[(DimId, ValueId, ValueId, f64, f64)],
+    ) -> Result<OverlayHandle> {
+        let delta = tenant::delta_from_pairs(overlay_pairs)
+            .map_err(presky_query::error::QueryError::from)?;
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(self.tenants.install(tenant, delta))
+    }
+
+    /// Copy-on-write update of one pair in `tenant`'s overlay: builds a
+    /// new validated delta and atomically swaps it in. Requests already
+    /// in flight keep the state they resolved at admission (the same MVCC
+    /// discipline dataset writes use); requests admitted after the swap
+    /// see the new overlay. Serialised under the engine's writer lock,
+    /// like dataset writes. Unknown tenants are refused.
+    pub fn set_tenant_preference(
+        &self,
+        tenant: TenantId,
+        dim: DimId,
+        a: ValueId,
+        b: ValueId,
+        forward: f64,
+        backward: f64,
+    ) -> Result<OverlayHandle> {
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(state) = self.tenants.resolve(tenant.0) else {
+            return Err(ServiceError::UnknownTenant { tenant: tenant.0 });
+        };
+        let delta = state
+            .delta
+            .clone()
+            .with_pair(dim, a, b, forward, backward)
+            .map_err(presky_query::error::QueryError::from)?;
+        Ok(self.tenants.install(tenant, delta))
+    }
+
+    /// Registered tenants.
+    pub fn n_tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The shared tenant registry (sharded driver replication).
+    pub(crate) fn tenants_arc(&self) -> Arc<TenantRegistry> {
+        Arc::clone(&self.tenants)
+    }
+
+    /// Adopt `registry` as this engine's tenant table. The sharded driver
+    /// calls this at construction so every shard resolves tenants from
+    /// one shared registry — a registration through any handle is visible
+    /// fleet-wide, and fan-out legs of one request resolve identical
+    /// state on every shard.
+    pub(crate) fn share_tenants(&mut self, registry: Arc<TenantRegistry>) {
+        self.tenants = registry;
     }
 
     /// The internal counter block (sharded driver's request attribution).
@@ -501,16 +608,18 @@ impl<M: PreferenceModel + Sync> Engine<M> {
     /// [`Budget`]: crate::request::Budget
     pub fn run(&self, request: Request) -> Result<Response> {
         inc(&self.metrics.requests);
+        let overlay = self.resolve_overlay(&request)?;
         let epoch = self.pin();
         if !self.opts.coalescing {
-            return self.run_solo(&request, &epoch);
+            return self.run_solo(&request, &epoch, overlay.as_deref());
         }
-        let Some(key) = request_signature(&request, epoch.id()) else {
-            return self.run_solo(&request, &epoch);
+        let overlay_fp = overlay.as_ref().map_or(0, |state| state.fingerprint);
+        let Some(key) = request_signature(&request, epoch.id(), overlay_fp) else {
+            return self.run_solo(&request, &epoch, overlay.as_deref());
         };
         match self.flights.join(key, request.budget) {
             Join::Leader(guard) => {
-                let outcome = self.run_solo(&request, &epoch);
+                let outcome = self.run_solo(&request, &epoch, overlay.as_deref());
                 let followers = guard.publish(outcome.as_ref().ok().cloned());
                 if followers > 0 {
                     inc(&self.metrics.coalesce_led);
@@ -522,6 +631,9 @@ impl<M: PreferenceModel + Sync> Engine<M> {
                 match flight.wait() {
                     Some(response) => {
                         inc(&self.metrics.coalesced);
+                        if let Some(t) = request.tenant {
+                            self.metrics.tenant_add(t.0, |m| m.coalesced += 1);
+                        }
                         Ok(Response { elapsed: started.elapsed(), ..response })
                     }
                     // The leader failed without publishing; this
@@ -529,10 +641,28 @@ impl<M: PreferenceModel + Sync> Engine<M> {
                     // already counted in `requests`), so run it solo on
                     // the epoch it pinned (the flight key guarantees the
                     // leader pinned the same one).
-                    None => self.run_solo(&request, &epoch),
+                    None => self.run_solo(&request, &epoch, overlay.as_deref()),
                 }
             }
-            Join::Bypass => self.run_solo(&request, &epoch),
+            Join::Bypass => self.run_solo(&request, &epoch, overlay.as_deref()),
+        }
+    }
+
+    /// Resolve the request's tenant (if any) to its pinned overlay state.
+    /// An unregistered tenant is a terminal failure, counted like any
+    /// other non-shed error; registered tenants get their per-tenant
+    /// request counted here, at admission into the tenant path.
+    fn resolve_overlay(&self, request: &Request) -> Result<Option<Arc<TenantState>>> {
+        let Some(t) = request.tenant else { return Ok(None) };
+        match self.tenants.resolve(t.0) {
+            Some(state) => {
+                self.metrics.tenant_add(t.0, |m| m.requests += 1);
+                Ok(Some(state))
+            }
+            None => {
+                inc(&self.metrics.failed);
+                Err(ServiceError::UnknownTenant { tenant: t.0 })
+            }
         }
     }
 
@@ -540,8 +670,13 @@ impl<M: PreferenceModel + Sync> Engine<M> {
     /// gates, budget pinning, the resident pipeline, outcome
     /// classification. Exactly one terminal counter (`completed`, a shed
     /// counter, or `failed`) is incremented per call.
-    fn run_solo(&self, request: &Request, epoch: &Arc<DatasetEpoch<M>>) -> Result<Response> {
-        let result = self.run_admitted(request, epoch);
+    fn run_solo(
+        &self,
+        request: &Request,
+        epoch: &Arc<DatasetEpoch<M>>,
+        overlay: Option<&TenantState>,
+    ) -> Result<Response> {
+        let result = self.run_admitted(request, epoch, overlay);
         if let Err(e) = &result {
             if !e.is_shed() {
                 inc(&self.metrics.failed);
@@ -550,7 +685,12 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         result
     }
 
-    fn run_admitted(&self, request: &Request, epoch: &Arc<DatasetEpoch<M>>) -> Result<Response> {
+    fn run_admitted(
+        &self,
+        request: &Request,
+        epoch: &Arc<DatasetEpoch<M>>,
+        overlay: Option<&TenantState>,
+    ) -> Result<Response> {
         if let Some(max) = self.opts.max_predicted_cost {
             let predicted = self.predicted_cost_on(epoch, &request.query);
             if predicted > max {
@@ -571,36 +711,60 @@ impl<M: PreferenceModel + Sync> Engine<M> {
 
         let admitted_at = Instant::now();
         let budget = request.budget.to_engine_budget(admitted_at);
-        let cache = Some(&self.cache);
+        let scope = self.scope_for(overlay, request.tenant);
         let ctx = epoch.ctx().as_ref();
-        let prefs = epoch.prefs().as_ref();
-        let (value, stats, truncated) = match &request.query {
-            Query::SkyOne { target, opts } => {
-                let out = sky_one_resident(ctx, prefs, *target, *opts, cache, budget)?;
-                (Value::Sky(out.results.into_iter().next().flatten()), out.stats, out.truncated)
+        // The two arms below monomorphize `dispatch` separately; an empty
+        // (or absent) overlay takes the *same* instantiation untenanted
+        // requests take, which is what makes the empty-overlay
+        // bit-identity contract structural rather than numerical.
+        let (value, stats, truncated) = match overlay {
+            Some(state) if !state.delta.is_empty() => {
+                let prefs = DeltaOverlay::new(&state.delta, epoch.prefs().as_ref());
+                dispatch(&request.query, ctx, &prefs, Some(scope), budget)?
             }
-            Query::AllSky { opts } => {
-                let out = all_sky_resident(ctx, prefs, *opts, cache, budget)?;
-                (Value::AllSky(out.results), out.stats, out.truncated)
-            }
-            Query::Threshold { tau, opts } => {
-                let out = threshold_resident(ctx, prefs, *tau, *opts, cache, budget)?;
-                (Value::Threshold(out.results), out.stats, out.truncated)
-            }
-            Query::TopK { k, opts } => {
-                let out = top_k_resident(ctx, prefs, *k, *opts, cache, budget)?;
-                (Value::TopK(out.results.into_iter().flatten().collect()), out.stats, out.truncated)
-            }
+            _ => dispatch(&request.query, ctx, epoch.prefs().as_ref(), Some(scope), budget)?,
         };
         drop(slot);
 
         self.metrics.merge_stats(&stats);
+        self.count_tenant_stats(request.tenant, &stats);
         inc(&self.metrics.completed);
         let outcome = Outcome::classify(value, truncated);
         if !outcome.complete() {
             inc(&self.metrics.deadline_misses);
         }
         Ok(Response { outcome, stats, elapsed: admitted_at.elapsed(), epoch: epoch.id() })
+    }
+
+    /// The cache scope a request executes under: the shared cache, plus —
+    /// for tenanted requests — the overlay's touched-coin mask (telemetry
+    /// classification of hits into cross-user vs overlay-specific) and,
+    /// under the [`EngineOptions::tenant_namespacing`] ablation, a
+    /// per-tenant key namespace that forbids all cross-user sharing.
+    fn scope_for<'a>(
+        &'a self,
+        overlay: Option<&'a TenantState>,
+        tenant: Option<TenantId>,
+    ) -> CacheScope<'a> {
+        let mut scope = CacheScope::new(&self.cache);
+        if overlay.is_some() {
+            scope = scope.with_mask(overlay.map(|state| &state.mask));
+            if self.opts.tenant_namespacing {
+                scope = scope.with_namespace(tenant.map_or(0, |t| t.0.wrapping_add(1)));
+            }
+        }
+        scope
+    }
+
+    /// Fold one tenanted execution's cache traffic into the per-tenant
+    /// counters and the engine-wide cross-user hit counter.
+    fn count_tenant_stats(&self, tenant: Option<TenantId>, stats: &PipelineStats) {
+        let Some(t) = tenant else { return };
+        self.metrics.tenant_add(t.0, |m| {
+            m.cache_probes += stats.cache_probes;
+            m.cache_hits += stats.cache_hits;
+        });
+        self.metrics.cross_user_hits.fetch_add(stats.cache_base_hits, Ordering::Relaxed);
     }
 
     /// Predicted cost of a request against the current epoch, in the
@@ -650,6 +814,7 @@ impl<M: PreferenceModel + Sync> Engine<M> {
     /// current epoch here is consistent across shards.
     pub(crate) fn run_all_sky_range(
         &self,
+        tenant: Option<TenantId>,
         range: std::ops::Range<usize>,
         workers: usize,
         opts: QueryOptions,
@@ -657,6 +822,19 @@ impl<M: PreferenceModel + Sync> Engine<M> {
         pool: &Arc<ThreadBudget>,
     ) -> Result<ResidentOutcome<SkyResult>> {
         inc(&self.metrics.requests);
+        let overlay = match tenant {
+            Some(t) => match self.tenants.resolve(t.0) {
+                Some(state) => {
+                    self.metrics.tenant_add(t.0, |m| m.requests += 1);
+                    Some(state)
+                }
+                None => {
+                    inc(&self.metrics.failed);
+                    return Err(ServiceError::UnknownTenant { tenant: t.0 });
+                }
+            },
+            None => None,
+        };
         let epoch = self.pin();
         let previous = self.in_flight.fetch_add(1, Ordering::AcqRel);
         let slot = InFlightSlot(&self.in_flight);
@@ -668,22 +846,36 @@ impl<M: PreferenceModel + Sync> Engine<M> {
             });
         }
         inc(&self.metrics.admitted);
-        let out = all_sky_range_resident(
-            epoch.ctx().as_ref(),
-            epoch.prefs().as_ref(),
-            range,
-            workers,
-            opts,
-            Some(&self.cache),
-            budget,
-            pool,
-        )
+        let scope = self.scope_for(overlay.as_deref(), tenant);
+        let out = match overlay.as_deref() {
+            Some(state) if !state.delta.is_empty() => all_sky_range_resident(
+                epoch.ctx().as_ref(),
+                &DeltaOverlay::new(&state.delta, epoch.prefs().as_ref()),
+                range.clone(),
+                workers,
+                opts,
+                Some(scope),
+                budget,
+                pool,
+            ),
+            _ => all_sky_range_resident(
+                epoch.ctx().as_ref(),
+                epoch.prefs().as_ref(),
+                range,
+                workers,
+                opts,
+                Some(scope),
+                budget,
+                pool,
+            ),
+        }
         .map_err(|e| {
             inc(&self.metrics.failed);
             ServiceError::from(e)
         })?;
         drop(slot);
         self.metrics.merge_stats(&out.stats);
+        self.count_tenant_stats(tenant, &out.stats);
         inc(&self.metrics.completed);
         if out.truncated > 0 {
             inc(&self.metrics.deadline_misses);
@@ -712,8 +904,43 @@ impl<M: PreferenceModel + Sync> Engine<M> {
             stats: self.metrics.stats_snapshot(),
             cache_entries: self.cache.len(),
             cache_bytes: self.cache.bytes(),
+            cross_user_hits: get(&self.metrics.cross_user_hits),
+            tenants: self.metrics.tenants_snapshot(),
         }
     }
+}
+
+/// Run one query shape through the resident drivers.
+///
+/// Generic over the resolved preference model so untenanted and
+/// empty-overlay requests share one monomorphized instantiation (the
+/// bit-identity contract) while overlaid requests reuse the identical
+/// code at a [`DeltaOverlay`] instantiation.
+fn dispatch<P: PreferenceModel + Sync>(
+    query: &Query,
+    ctx: &BatchCoinContext,
+    prefs: &P,
+    cache: Option<CacheScope<'_>>,
+    budget: EngineBudget,
+) -> Result<(Value, PipelineStats, u64)> {
+    Ok(match query {
+        Query::SkyOne { target, opts } => {
+            let out = sky_one_resident(ctx, prefs, *target, *opts, cache, budget)?;
+            (Value::Sky(out.results.into_iter().next().flatten()), out.stats, out.truncated)
+        }
+        Query::AllSky { opts } => {
+            let out = all_sky_resident(ctx, prefs, *opts, cache, budget)?;
+            (Value::AllSky(out.results), out.stats, out.truncated)
+        }
+        Query::Threshold { tau, opts } => {
+            let out = threshold_resident(ctx, prefs, *tau, *opts, cache, budget)?;
+            (Value::Threshold(out.results), out.stats, out.truncated)
+        }
+        Query::TopK { k, opts } => {
+            let out = top_k_resident(ctx, prefs, *k, *opts, cache, budget)?;
+            (Value::TopK(out.results.into_iter().flatten().collect()), out.stats, out.truncated)
+        }
+    })
 }
 
 #[cfg(test)]

@@ -39,6 +39,13 @@ pub enum ServiceError {
         /// Human-readable cause.
         detail: String,
     },
+    /// The request named a tenant this engine has no registration for.
+    /// Refused before any query work runs; registration is the caller's
+    /// responsibility ([`Engine::register_tenant`](crate::Engine::register_tenant)).
+    UnknownTenant {
+        /// The unregistered tenant id.
+        tenant: u64,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -52,6 +59,9 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Query(e) => write!(f, "{e}"),
             ServiceError::Warmstart { detail } => write!(f, "cache warmstart: {detail}"),
+            ServiceError::UnknownTenant { tenant } => {
+                write!(f, "unknown tenant {tenant}: not registered with this engine")
+            }
         }
     }
 }
@@ -101,5 +111,8 @@ mod tests {
         let e: ServiceError = QueryError::ZeroK.into();
         assert!(!e.is_shed());
         assert!(std::error::Error::source(&e).is_some());
+        let e = ServiceError::UnknownTenant { tenant: 17 };
+        assert!(!e.is_shed());
+        assert!(e.to_string().contains("unknown tenant 17"));
     }
 }

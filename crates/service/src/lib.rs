@@ -55,12 +55,14 @@ pub mod error;
 pub mod metrics;
 pub mod request;
 pub mod sharded;
+pub mod tenant;
 
 pub use engine::{CommitReceipt, Engine, EngineOptions};
 pub use error::ServiceError;
-pub use metrics::MetricsSnapshot;
+pub use metrics::{MetricsSnapshot, TenantMetrics};
 pub use request::{Budget, Outcome, Query, Request, Response, Value};
 pub use sharded::ShardedEngine;
+pub use tenant::{OverlayHandle, TenantId};
 
 /// Commonly used names.
 pub mod prelude {
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::request::{Budget, Outcome, Query, Request, Response, Value};
     pub use crate::sharded::ShardedEngine;
+    pub use crate::tenant::{OverlayHandle, TenantId};
     pub use presky_query::prob_skyline::QueryOptions;
     pub use presky_query::threshold::ThresholdOptions;
     pub use presky_query::topk::TopKOptions;

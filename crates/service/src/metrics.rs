@@ -1,6 +1,7 @@
 //! Engine observability: lock-free counters plus a merged
 //! [`PipelineStats`] accumulator, snapshotted on demand.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -37,6 +38,12 @@ pub(crate) struct Metrics {
     pub(crate) evicted_components: AtomicU64,
     /// Component-cache bytes evicted by write invalidation.
     pub(crate) evicted_bytes: AtomicU64,
+    /// Cache hits of tenanted requests that landed on base-signature
+    /// entries — the cross-user shared ones (see
+    /// [`MetricsSnapshot::cross_user_hits`]).
+    pub(crate) cross_user_hits: AtomicU64,
+    /// Per-tenant counters, keyed by tenant id.
+    tenants: Mutex<HashMap<u64, TenantMetrics>>,
     /// Pipeline counters merged across every completed request.
     stats: Mutex<PipelineStats>,
 }
@@ -55,6 +62,50 @@ impl Metrics {
 
     pub(crate) fn stats_snapshot(&self) -> PipelineStats {
         *self.stats.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Bump one tenant's counters (zero deltas are free).
+    pub(crate) fn tenant_add(&self, tenant: u64, f: impl FnOnce(&mut TenantMetrics)) {
+        let mut tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = tenants
+            .entry(tenant)
+            .or_insert_with(|| TenantMetrics { tenant, ..TenantMetrics::default() });
+        f(entry);
+    }
+
+    /// Per-tenant counters sorted by tenant id.
+    pub(crate) fn tenants_snapshot(&self) -> Vec<TenantMetrics> {
+        let tenants = self.tenants.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rows: Vec<TenantMetrics> = tenants.values().copied().collect();
+        rows.sort_unstable_by_key(|t| t.tenant);
+        rows
+    }
+}
+
+/// One tenant's request and cache counters, as surfaced in
+/// [`MetricsSnapshot::tenants`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct TenantMetrics {
+    /// The tenant id these counters belong to.
+    pub tenant: u64,
+    /// Requests submitted on behalf of this tenant.
+    pub requests: u64,
+    /// Component-cache probes issued by this tenant's completed requests.
+    pub cache_probes: u64,
+    /// Component-cache hits of this tenant's completed requests.
+    pub cache_hits: u64,
+    /// Submissions of this tenant answered from a coalesced leader.
+    pub coalesced: u64,
+}
+
+impl TenantMetrics {
+    /// Fold another tenant's-worth of counters (same id) into this one.
+    fn merge(&mut self, other: &TenantMetrics) {
+        self.requests += other.requests;
+        self.cache_probes += other.cache_probes;
+        self.cache_hits += other.cache_hits;
+        self.coalesced += other.coalesced;
     }
 }
 
@@ -106,6 +157,16 @@ pub struct MetricsSnapshot {
     pub cache_entries: usize,
     /// Bytes resident in the cross-request component cache.
     pub cache_bytes: u64,
+    /// Cache hits of **tenanted** requests that landed on base-signature
+    /// entries (no overlay-touched coin embedded, no tenant namespace):
+    /// the hits any other tenant could equally have produced — the
+    /// cross-user sharing the multi-tenant design banks on. Hits on
+    /// overlay-touched (tenant-private) components are counted in
+    /// `stats.cache_hits` but not here.
+    pub cross_user_hits: u64,
+    /// Per-tenant counters, sorted by tenant id. Only tenants that have
+    /// submitted at least one request appear.
+    pub tenants: Vec<TenantMetrics>,
 }
 
 impl MetricsSnapshot {
@@ -118,6 +179,19 @@ impl MetricsSnapshot {
     /// served so far.
     pub fn cache_hit_rate(&self) -> f64 {
         self.stats.cache_hit_rate()
+    }
+
+    /// Cross-user hits as a fraction of the cache probes issued by
+    /// tenanted requests (0 when no tenanted request has probed yet).
+    /// This is the headline multi-tenant number: the fraction of
+    /// per-tenant cache traffic served by components shared across users.
+    pub fn cross_user_hit_rate(&self) -> f64 {
+        let probes: u64 = self.tenants.iter().map(|t| t.cache_probes).sum();
+        if probes == 0 {
+            0.0
+        } else {
+            self.cross_user_hits as f64 / probes as f64
+        }
     }
 
     /// Fold another engine's snapshot into this one — how a sharded
@@ -144,6 +218,14 @@ impl MetricsSnapshot {
         self.stats.merge(&other.stats);
         self.cache_entries += other.cache_entries;
         self.cache_bytes += other.cache_bytes;
+        self.cross_user_hits += other.cross_user_hits;
+        for t in &other.tenants {
+            match self.tenants.iter_mut().find(|mine| mine.tenant == t.tenant) {
+                Some(mine) => mine.merge(t),
+                None => self.tenants.push(*t),
+            }
+        }
+        self.tenants.sort_unstable_by_key(|t| t.tenant);
     }
 }
 
@@ -182,6 +264,19 @@ impl fmt::Display for MetricsSnapshot {
             self.stats.cache_hits,
             self.stats.cache_probes,
         )?;
+        if !self.tenants.is_empty() {
+            let requests: u64 = self.tenants.iter().map(|t| t.requests).sum();
+            let probes: u64 = self.tenants.iter().map(|t| t.cache_probes).sum();
+            writeln!(
+                f,
+                "tenants:  {} active, {} requests, cross-user hit rate {:.1}% ({} / {} probes)",
+                self.tenants.len(),
+                requests,
+                100.0 * self.cross_user_hit_rate(),
+                self.cross_user_hits,
+                probes,
+            )?;
+        }
         write!(f, "{}", self.stats)
     }
 }
@@ -221,6 +316,8 @@ mod tests {
             stats: PipelineStats::default(),
             cache_entries: 5,
             cache_bytes: 1234,
+            cross_user_hits: 0,
+            tenants: Vec::new(),
         };
         assert_eq!(snap.shed(), 4);
         let s = snap.to_string();
@@ -253,12 +350,37 @@ mod tests {
             stats: PipelineStats { objects: 3, largest_component: 2, ..Default::default() },
             cache_entries: 10,
             cache_bytes: 100,
+            cross_user_hits: 6,
+            tenants: vec![
+                TenantMetrics {
+                    tenant: 1,
+                    requests: 2,
+                    cache_probes: 8,
+                    cache_hits: 7,
+                    coalesced: 0,
+                },
+                TenantMetrics {
+                    tenant: 3,
+                    requests: 1,
+                    cache_probes: 2,
+                    cache_hits: 1,
+                    coalesced: 1,
+                },
+            ],
         };
         let b = MetricsSnapshot {
             epoch: 5,
             stats: PipelineStats { objects: 7, largest_component: 9, ..Default::default() },
             cache_entries: 2,
             cache_bytes: 20,
+            cross_user_hits: 4,
+            tenants: vec![TenantMetrics {
+                tenant: 2,
+                requests: 5,
+                cache_probes: 10,
+                cache_hits: 9,
+                coalesced: 2,
+            }],
             ..a.clone()
         };
         a.merge(&b);
@@ -274,6 +396,52 @@ mod tests {
         assert_eq!(a.stats.largest_component, 9);
         assert_eq!(a.cache_entries, 12);
         assert_eq!(a.cache_bytes, 120);
+        assert_eq!(a.cross_user_hits, 10);
+        assert_eq!(a.tenants.len(), 3, "disjoint tenant rows concatenate");
+        assert_eq!(a.tenants[1].tenant, 2);
+        assert!((a.cross_user_hit_rate() - 10.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tenant_rows_with_matching_ids_fold_together() {
+        let row = |probes, hits| TenantMetrics {
+            tenant: 7,
+            requests: 1,
+            cache_probes: probes,
+            cache_hits: hits,
+            coalesced: 0,
+        };
+        let mut a = MetricsSnapshot {
+            requests: 1,
+            admitted: 1,
+            completed: 1,
+            coalesced: 0,
+            coalesce_led: 0,
+            deadline_misses: 0,
+            shed_overload: 0,
+            shed_cost: 0,
+            failed: 0,
+            epoch: 0,
+            writes: 0,
+            epochs_retired: 0,
+            evicted_components: 0,
+            evicted_bytes: 0,
+            in_flight: 0,
+            stats: PipelineStats::default(),
+            cache_entries: 0,
+            cache_bytes: 0,
+            cross_user_hits: 3,
+            tenants: vec![row(4, 3)],
+        };
+        let b = MetricsSnapshot { cross_user_hits: 2, tenants: vec![row(2, 2)], ..a.clone() };
+        a.merge(&b);
+        assert_eq!(a.tenants.len(), 1);
+        assert_eq!(a.tenants[0].requests, 2);
+        assert_eq!(a.tenants[0].cache_probes, 6);
+        assert_eq!(a.tenants[0].cache_hits, 5);
+        assert_eq!(a.cross_user_hits, 5);
+        let shown = a.to_string();
+        assert!(shown.contains("tenants:  1 active"), "display: {shown}");
     }
 
     #[test]

@@ -11,6 +11,8 @@ use std::time::{Duration, Instant};
 
 use presky_core::types::ObjectId;
 
+use crate::tenant::TenantId;
+
 use presky_query::engine::{EngineBudget, PipelineStats};
 use presky_query::prob_skyline::{QueryOptions, SkyResult};
 use presky_query::threshold::{Resolution, ThresholdAnswer, ThresholdOptions};
@@ -126,7 +128,8 @@ pub enum Query {
     },
 }
 
-/// One unit of service work: a [`Query`] under a [`Budget`].
+/// One unit of service work: a [`Query`] under a [`Budget`], optionally
+/// on behalf of a registered tenant.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct Request {
@@ -134,32 +137,45 @@ pub struct Request {
     pub query: Query,
     /// How much it may cost.
     pub budget: Budget,
+    /// Whose preferences to compute under: `None` answers from the base
+    /// model; `Some` resolves the tenant's registered overlay over the
+    /// pinned epoch's base model. A registered tenant with an **empty**
+    /// overlay is contractually byte-identical to `None`. An unregistered
+    /// tenant is refused with
+    /// [`ServiceError::UnknownTenant`](crate::ServiceError::UnknownTenant).
+    pub tenant: Option<TenantId>,
 }
 
 impl Request {
     /// A single-object skyline-probability request.
     pub fn sky_one(target: ObjectId, opts: QueryOptions) -> Self {
-        Self { query: Query::SkyOne { target, opts }, budget: Budget::default() }
+        Self { query: Query::SkyOne { target, opts }, budget: Budget::default(), tenant: None }
     }
 
     /// An all-objects skyline-probability request.
     pub fn all_sky(opts: QueryOptions) -> Self {
-        Self { query: Query::AllSky { opts }, budget: Budget::default() }
+        Self { query: Query::AllSky { opts }, budget: Budget::default(), tenant: None }
     }
 
     /// A τ-skyline membership request.
     pub fn threshold(tau: f64, opts: ThresholdOptions) -> Self {
-        Self { query: Query::Threshold { tau, opts }, budget: Budget::default() }
+        Self { query: Query::Threshold { tau, opts }, budget: Budget::default(), tenant: None }
     }
 
     /// A top-k request.
     pub fn top_k(k: usize, opts: TopKOptions) -> Self {
-        Self { query: Query::TopK { k, opts }, budget: Budget::default() }
+        Self { query: Query::TopK { k, opts }, budget: Budget::default(), tenant: None }
     }
 
     /// Chainable: attach a budget.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Chainable: run on behalf of a registered tenant.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = Some(tenant);
         self
     }
 }

@@ -81,6 +81,7 @@ use crate::engine::{CommitReceipt, Engine, EngineOptions};
 use crate::error::{Result, ServiceError};
 use crate::metrics::{inc, MetricsSnapshot};
 use crate::request::{Budget, Outcome, Query, Request, Response, Value};
+use crate::tenant::{OverlayHandle, TenantId};
 
 /// N [`Engine`] shards serving one live dataset, fanning all-sky requests
 /// across them. See the [module docs](self) for the partitioning, write
@@ -109,6 +110,10 @@ impl<M: PreferenceModel + Send + Sync + Clone> ShardedEngine<M> {
             (Arc::clone(built.table()), Arc::clone(built.ctx()), Arc::clone(built.prefs()));
         let mut shards = Vec::with_capacity(n_shards);
         shards.push(Engine::from_epoch(built, opts));
+        // One tenant registry for the whole fleet: a registration through
+        // any handle resolves identically on every shard, so a fanned-out
+        // request applies one consistent overlay across its slices.
+        let tenants = shards[0].tenants_arc();
         for _ in 1..n_shards {
             let replica = DatasetEpoch::from_parts(
                 0,
@@ -116,7 +121,9 @@ impl<M: PreferenceModel + Send + Sync + Clone> ShardedEngine<M> {
                 Arc::clone(&ctx),
                 Arc::clone(&prefs),
             );
-            shards.push(Engine::from_epoch(replica, opts));
+            let mut shard = Engine::from_epoch(replica, opts);
+            shard.share_tenants(Arc::clone(&tenants));
+            shards.push(shard);
         }
         Ok(Self { shards, writer: Mutex::new(()), epoch_gate: RwLock::new(()), opts })
     }
@@ -136,6 +143,19 @@ impl<M: PreferenceModel + Send + Sync + Clone> ShardedEngine<M> {
             shard.load_cache_from(path)?;
         }
         Ok(this)
+    }
+
+    /// Warm every shard's cache from `path` on a built fleet — the
+    /// post-construction arm of [`with_warm_cache`] for deployments that
+    /// must [`register_tenant`](ShardedEngine::register_tenant) *before*
+    /// loading (the snapshot fingerprint covers the tenant registry).
+    ///
+    /// [`with_warm_cache`]: ShardedEngine::with_warm_cache
+    pub fn load_cache_snapshot(&mut self, path: &Path) -> Result<()> {
+        for shard in &mut self.shards {
+            shard.load_cache_from(path)?;
+        }
+        Ok(())
     }
 
     /// Number of shards.
@@ -158,6 +178,37 @@ impl<M: PreferenceModel + Send + Sync + Clone> ShardedEngine<M> {
     /// for the whole fleet).
     pub fn snapshot(&self) -> SnapshotView<M> {
         self.shards[0].snapshot()
+    }
+
+    /// Register (or replace) `tenant`'s preference overlay fleet-wide.
+    /// The registry is shared by `Arc` across shards, so one call makes
+    /// the overlay visible to every shard at once; see
+    /// [`Engine::register_tenant`] for validation and cache semantics.
+    pub fn register_tenant(
+        &self,
+        tenant: TenantId,
+        overlay_pairs: &[(DimId, ValueId, ValueId, f64, f64)],
+    ) -> Result<OverlayHandle> {
+        self.shards[0].register_tenant(tenant, overlay_pairs)
+    }
+
+    /// Copy-on-write update of one pair in `tenant`'s overlay, visible
+    /// fleet-wide (see [`Engine::set_tenant_preference`]).
+    pub fn set_tenant_preference(
+        &self,
+        tenant: TenantId,
+        dim: DimId,
+        a: ValueId,
+        b: ValueId,
+        forward: f64,
+        backward: f64,
+    ) -> Result<OverlayHandle> {
+        self.shards[0].set_tenant_preference(tenant, dim, a, b, forward, backward)
+    }
+
+    /// Registered tenants (fleet-wide — the registry is shared).
+    pub fn n_tenants(&self) -> usize {
+        self.shards[0].n_tenants()
     }
 
     /// Contiguous per-shard target ranges over `n` objects, recomputed
@@ -233,7 +284,7 @@ impl<M: PreferenceModel + Send + Sync + Clone> ShardedEngine<M> {
     /// not decompose into independent ranges).
     pub fn run(&self, request: Request) -> Result<Response> {
         match &request.query {
-            Query::AllSky { opts } => self.run_all_sky(*opts, request.budget),
+            Query::AllSky { opts } => self.run_all_sky(request.tenant, *opts, request.budget),
             Query::SkyOne { target, .. } => {
                 let owner = self
                     .target_ranges(self.n_objects())
@@ -246,7 +297,12 @@ impl<M: PreferenceModel + Send + Sync + Clone> ShardedEngine<M> {
         }
     }
 
-    fn run_all_sky(&self, opts: QueryOptions, budget: Budget) -> Result<Response> {
+    fn run_all_sky(
+        &self,
+        tenant: Option<TenantId>,
+        opts: QueryOptions,
+        budget: Budget,
+    ) -> Result<Response> {
         // The cost gate runs once for the whole request (the fan-out
         // would otherwise charge it per shard); attribution goes to
         // shard 0's counters so the fleet totals still balance.
@@ -282,7 +338,14 @@ impl<M: PreferenceModel + Send + Sync + Clone> ShardedEngine<M> {
                 .map(|(shard, range)| {
                     let pool = &pool;
                     scope.spawn(move || {
-                        shard.run_all_sky_range(range.clone(), workers, opts, engine_budget, pool)
+                        shard.run_all_sky_range(
+                            tenant,
+                            range.clone(),
+                            workers,
+                            opts,
+                            engine_budget,
+                            pool,
+                        )
                     })
                 })
                 .collect();

@@ -25,6 +25,8 @@
 //!                  [--save-cache snap] [--warm-cache snap] [--min-warm-hit-rate 0.9]
 //!                  [--mutation-rate 0.1] [--mutation-mix prefs|mixed] [--full-drop]
 //!                  [--min-post-mutation-hit-rate 0.8]
+//!                  [--tenants N] [--overlay-pairs K] [--tenant-zipf 1.1]
+//!                  [--tenant-namespace] [--min-cross-user-hit-rate 0.9]
 //! ```
 //!
 //! Tables and preference files use the `presky-datagen` text formats.
@@ -61,6 +63,15 @@
 //! `--min-post-mutation-hit-rate` (the incremental-invalidation evidence;
 //! `--full-drop` is the clear-everything A/B baseline) and its digest
 //! must match a fresh engine rebuilt from the final snapshot.
+//!
+//! `--tenants N` registers N synthetic tenants, each with a deterministic
+//! `--overlay-pairs`-pair preference overlay over the dataset's rarest
+//! value codes, and stamps every read submission with a tenant drawn
+//! zipf(`--tenant-zipf`) from a per-submission hash. Overlay-untouched
+//! components hit the shared cross-user component cache; the run prints
+//! the cross-user hit rate (`--min-cross-user-hit-rate` gates it for CI)
+//! and a tenant-0 all-sky digest. `--tenant-namespace` is the no-sharing
+//! ablation: per-tenant cache key spaces, bit-identical answers.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -110,7 +121,9 @@ fn usage() -> String {
                 [--max-in-flight F] [--max-predicted-cost C] [--duplicate-fraction F]\n  \
                 [--no-coalesce] [--shards N] [--save-cache FILE] [--warm-cache FILE]\n  \
                 [--min-warm-hit-rate R] [--mutation-rate F] [--mutation-mix prefs|mixed]\n  \
-                [--full-drop] [--min-post-mutation-hit-rate R]"
+                [--full-drop] [--min-post-mutation-hit-rate R] [--tenants N]\n  \
+                [--overlay-pairs K] [--tenant-zipf Z] [--tenant-namespace]\n  \
+                [--min-cross-user-hit-rate R]"
         .to_owned()
 }
 
@@ -470,6 +483,24 @@ impl Server {
         }
     }
 
+    fn load_cache_snapshot(&mut self, path: &Path) -> std::result::Result<(), ServiceError> {
+        match self {
+            Server::Single(e) => e.load_cache_snapshot(path),
+            Server::Sharded(e) => e.load_cache_snapshot(path),
+        }
+    }
+
+    fn register_tenant(
+        &self,
+        tenant: TenantId,
+        pairs: &[(DimId, ValueId, ValueId, f64, f64)],
+    ) -> std::result::Result<OverlayHandle, ServiceError> {
+        match self {
+            Server::Single(e) => e.register_tenant(tenant, pairs),
+            Server::Sharded(e) => e.register_tenant(tenant, pairs),
+        }
+    }
+
     fn epoch(&self) -> u64 {
         match self {
             Server::Single(e) => e.epoch(),
@@ -563,6 +594,60 @@ fn percentile(sorted_nanos: &[u64], p: f64) -> std::time::Duration {
     std::time::Duration::from_nanos(sorted_nanos[rank])
 }
 
+/// Salt for the per-submission tenant-pick stream.
+const TENANT_PICK_SALT: u64 = 0x7465_6e61_6e74_5f69;
+/// Salt for the synthetic per-tenant overlay-pair stream.
+const TENANT_PAIR_SALT: u64 = 0x7465_6e61_6e74_5f70;
+
+/// Deterministic synthetic overlay for one tenant: `k` elicited pairs
+/// over the rarest value codes of hashed dimensions, with interior
+/// probabilities in `[0.05, 0.45]` (always simplex-valid whatever the
+/// base model holds). Rare values keep each overlay's touched-coin set
+/// small, so most components stay on shared cross-user cache keys — the
+/// production shape of per-user elicitation over distinctive attribute
+/// levels. A pure function of the tenant id: every serve run — shared,
+/// namespaced, sharded — registers bit-identical overlays.
+fn synthetic_overlay(
+    tenant: u64,
+    k: usize,
+    rare_dims: &[(DimId, Vec<ValueId>)],
+) -> Vec<(DimId, ValueId, ValueId, f64, f64)> {
+    let mut pairs = Vec::with_capacity(k);
+    for j in 0..k {
+        let h = mix64(tenant.wrapping_mul(0x1_0000).wrapping_add(j as u64) ^ TENANT_PAIR_SALT);
+        let (dim, vals) = &rare_dims[(h % rare_dims.len() as u64) as usize];
+        let a = ((h >> 16) % vals.len() as u64) as usize;
+        let mut b = ((h >> 32) % (vals.len() - 1) as u64) as usize;
+        if b >= a {
+            b += 1;
+        }
+        let forward = 0.05 + ((h >> 40) & 0xfff) as f64 / 4095.0 * 0.40;
+        let backward = 0.05 + ((h >> 52) & 0xfff) as f64 / 4095.0 * 0.40;
+        pairs.push((*dim, vals[a], vals[b], forward, backward));
+    }
+    pairs
+}
+
+/// Cumulative zipf(`theta`) distribution over `n` ranks (`theta` = 0 is
+/// uniform): rank `i` carries weight `1 / (i + 1)^theta`.
+fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += 1.0 / ((i + 1) as f64).powf(theta);
+        cdf.push(acc);
+    }
+    for c in &mut cdf {
+        *c /= acc;
+    }
+    cdf
+}
+
+/// Inverse-CDF draw: the rank whose cumulative bucket contains `u`.
+fn pick_rank(cdf: &[f64], u: f64) -> usize {
+    cdf.partition_point(|&c| c <= u).min(cdf.len().saturating_sub(1))
+}
+
 /// In-process mixed-workload driver against one resident engine
 /// (`--shards N` deploys a [`ShardedEngine`] instead): `--threads`
 /// workers each issue `--rounds` passes over a five-shape workload,
@@ -609,6 +694,22 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if mutation_rate > 0.0 && editable_dims.is_empty() {
         return Err("--mutation-rate needs a dimension with >= 2 distinct values".to_owned());
     }
+    // The rarest value codes per dimension — the pool the synthetic
+    // tenant overlays elicit over (see [`synthetic_overlay`]).
+    let rare_dims: Vec<(DimId, Vec<ValueId>)> = (0..table.dimensionality())
+        .map(|dim| {
+            let dim = DimId(dim as u32);
+            let mut freq: HashMap<ValueId, usize> = HashMap::new();
+            for &v in table.column(dim) {
+                *freq.entry(v).or_insert(0) += 1;
+            }
+            let mut by_rarity: Vec<(usize, ValueId)> =
+                freq.into_iter().map(|(v, c)| (c, v)).collect();
+            by_rarity.sort_unstable_by_key(|&(c, v)| (c, v.0));
+            (dim, by_rarity.into_iter().map(|(_, v)| v).take(4).collect::<Vec<_>>())
+        })
+        .filter(|(_, vals)| vals.len() >= 2)
+        .collect();
     let dims = table.dimensionality();
     let budget = budget_from(flags)?;
     let mut engine_opts = EngineOptions::default();
@@ -626,21 +727,41 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let shards: Option<usize> = get(flags, "shards")?;
     let warm: Option<PathBuf> = get(flags, "warm-cache")?;
-    let server = match (shards, &warm) {
-        (None, None) => Server::Single(Box::new(
+    let tenants_n: usize = get(flags, "tenants")?.unwrap_or(0);
+    let overlay_k: usize = get(flags, "overlay-pairs")?.unwrap_or(2);
+    let tenant_theta: f64 = get(flags, "tenant-zipf")?.unwrap_or(0.0);
+    if flags.contains_key("tenant-namespace") {
+        engine_opts = engine_opts.with_tenant_namespacing(true);
+    }
+    if tenants_n > 0 && overlay_k > 0 && rare_dims.is_empty() {
+        return Err("--tenants needs a dimension with >= 2 distinct values".to_owned());
+    }
+    let mut server = match shards {
+        None => Server::Single(Box::new(
             Engine::new(table, prefs, engine_opts).map_err(|e| e.to_string())?,
         )),
-        (None, Some(path)) => Server::Single(Box::new(
-            Engine::with_warm_cache(table, prefs, engine_opts, path).map_err(|e| e.to_string())?,
-        )),
-        (Some(s), None) => Server::Sharded(
+        Some(s) => Server::Sharded(
             ShardedEngine::new(table, prefs, engine_opts, s).map_err(|e| e.to_string())?,
         ),
-        (Some(s), Some(path)) => Server::Sharded(
-            ShardedEngine::with_warm_cache(table, prefs, engine_opts, s, path)
-                .map_err(|e| e.to_string())?,
-        ),
     };
+    // Tenants register *before* any warm load: the snapshot fingerprint
+    // covers the tenant registry, so a tenant-serving snapshot only
+    // revalidates against the same registration set.
+    if tenants_n > 0 {
+        for t in 0..tenants_n as u64 {
+            let pairs = synthetic_overlay(t, overlay_k, &rare_dims);
+            server.register_tenant(TenantId(t), &pairs).map_err(|e| e.to_string())?;
+        }
+        println!(
+            "registered {tenants_n} tenants with {overlay_k}-pair overlays \
+             (zipf theta {tenant_theta}{})",
+            if engine_opts.tenant_namespacing { ", namespaced ablation" } else { "" }
+        );
+    }
+    if let Some(path) = &warm {
+        server.load_cache_snapshot(path).map_err(|e| e.to_string())?;
+    }
+    let tenant_cdf: Option<Vec<f64>> = (tenants_n > 0).then(|| zipf_cdf(tenants_n, tenant_theta));
     let n = server.n_objects();
 
     // First-round probe: one unbudgeted all-sky pass. Its hit rate is the
@@ -699,6 +820,7 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
                 let hot = &hot;
                 let editable_dims = &editable_dims;
                 let fresh_values = &fresh_values;
+                let tenant_cdf = &tenant_cdf;
                 scope.spawn(move || {
                     // (exact, estimate, deadline-exceeded, shed, failed)
                     let mut tally = [0u64; 5];
@@ -773,11 +895,15 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
                                 continue;
                             }
                             let idx = (i + t + round) % requests.len();
-                            let request = if duplicate_coin(seq) < duplicate_fraction {
+                            let mut request = if duplicate_coin(seq) < duplicate_fraction {
                                 hot.clone()
                             } else {
                                 requests[idx].clone()
                             };
+                            if let Some(cdf) = tenant_cdf {
+                                let rank = pick_rank(cdf, duplicate_coin(seq ^ TENANT_PICK_SALT));
+                                request = request.with_tenant(TenantId(rank as u64));
+                            }
                             let submitted = std::time::Instant::now();
                             match server.run(request) {
                                 Ok(resp) => match resp.outcome {
@@ -881,6 +1007,35 @@ fn serve(flags: &HashMap<String, String>) -> Result<(), String> {
             ));
         }
         println!("post-mutation digest matches a fresh engine rebuilt from the final snapshot");
+    }
+    if tenants_n > 0 {
+        let m = server.metrics();
+        let tenant_probes: u64 = m.tenants.iter().map(|r| r.cache_probes).sum();
+        let rate = m.cross_user_hit_rate();
+        println!(
+            "cross-user hit rate {rate:.3} ({} / {tenant_probes} tenant probes)",
+            m.cross_user_hits
+        );
+        // One deterministic tenant-0 all-sky probe: the bit-identity
+        // handle for the namespacing ablation (equal digests across
+        // shared and namespaced runs ⇔ namespacing shares less but never
+        // answers differently).
+        let tenant_probe = server
+            .run(
+                Request::all_sky(QueryOptions::default().with_threads(Some(1)))
+                    .with_tenant(TenantId(0)),
+            )
+            .map_err(|e| e.to_string())?;
+        let slots =
+            tenant_probe.outcome.value().as_all_sky().expect("all-sky request yields slots");
+        println!("tenant digest {:016x}", allsky_digest(slots));
+        if let Some(floor) = get::<f64>(flags, "min-cross-user-hit-rate")? {
+            if rate < floor {
+                return Err(format!(
+                    "cross-user hit rate {rate:.3} below --min-cross-user-hit-rate {floor}"
+                ));
+            }
+        }
     }
     println!("{}", server.metrics());
     if let Some(path) = get::<PathBuf>(flags, "save-cache")? {
