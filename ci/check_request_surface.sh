@@ -1,0 +1,46 @@
+#!/bin/sh
+# Rustdoc-diff-style gate over the presky-service request surface.
+#
+# The manifest `ci/request_surface.txt` pins the rendered API of the
+# request module — every enum variant and public struct field of
+# `Request`, `Response`, `Budget`, `Query`, `Value` and `Outcome` as
+# rustdoc publishes them, plus every inherent `pub fn` in request.rs.
+# CI diffs the live surface against the manifest, so any change to the
+# query family (a new variant, a renamed accessor, a dropped field) has
+# to land together with a deliberate manifest update:
+#
+#   ci/check_request_surface.sh --bless
+#
+# Only variant/structfield anchors are harvested from the HTML — method
+# anchors would drag in the std blanket impls (`Borrow`, `TryFrom`, …),
+# which churn with the toolchain; the inherent methods are taken from
+# the source instead.
+set -eu
+cd "$(dirname "$0")/.."
+manifest=ci/request_surface.txt
+actual=$(mktemp)
+
+cargo doc -p presky-service --no-deps --quiet
+{
+    for page in struct.Request struct.Response struct.Budget \
+                enum.Query enum.Value enum.Outcome; do
+        grep -o 'id="\(variant\|structfield\)\.[A-Za-z0-9_]*"' \
+            "target/doc/presky_service/request/$page.html" |
+            sed -e 's/^id="//' -e 's/"$//' -e "s/^/$page /"
+    done | sort -u
+    grep -o 'pub fn [a-z_0-9]*' crates/service/src/request.rs |
+        sed 's/^/request.rs /' | sort -u
+} > "$actual"
+
+if [ "${1:-}" = "--bless" ]; then
+    mv "$actual" "$manifest"
+    echo "blessed $manifest"
+    exit 0
+fi
+
+if ! diff -u "$manifest" "$actual"; then
+    echo "request surface drifted from ci/request_surface.txt;" \
+         "review the change and re-bless with ci/check_request_surface.sh --bless" >&2
+    exit 1
+fi
+echo "request surface matches ci/request_surface.txt"

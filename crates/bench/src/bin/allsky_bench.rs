@@ -28,17 +28,13 @@
 //! different `n`, `threads`, or `lane_words` — ratios only transfer
 //! between like configurations.
 //!
-//! The legacy driver is a [`sky_one`] loop: fresh `CoinView::build`
+//! The legacy driver is a `legacy::sky_one` loop: fresh `CoinView::build`
 //! hashing and fresh buffers per target, timed on a deterministic target
 //! subsample and extrapolated. Batch-vs-legacy and multi-vs-single-thread
 //! results are always checked **bit-identical** on the sampled targets.
 //!
 //! `--no-component-cache` disables the cross-target component cache — the
 //! ablation baseline; results are bit-identical either way.
-
-// This harness *measures* the deprecated one-shot entry points against
-// the batch driver; exercising them is its purpose.
-#![allow(deprecated)]
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -47,9 +43,40 @@ use presky_bench::workloads;
 use presky_core::bitworlds::DEFAULT_LANE_WORDS;
 use presky_core::types::ObjectId;
 use presky_query::engine::PipelineStats;
-use presky_query::prob_skyline::{all_sky_with_stats, sky_one, Algorithm, QueryOptions, SkyResult};
+use presky_query::prob_skyline::{Algorithm, QueryOptions, SkyResult};
 
 use presky_approx::sampler::SamOptions;
+
+/// The pre-engine per-object entry point, rebuilt over the public
+/// pipeline now that the deprecated `sky_one` free function is gone: a
+/// fresh scratch and fresh per-target `CoinView::build` hashing per call,
+/// exactly the cost profile the legacy ladder row is meant to measure.
+mod legacy {
+    use presky_core::preference::PreferenceModel;
+    use presky_core::table::Table;
+    use presky_core::types::ObjectId;
+    use presky_query::engine::{solve_one, PipelineStats, PrepareOptions, SkyScratch};
+    use presky_query::error::QueryError;
+    use presky_query::prob_skyline::{Algorithm, SkyResult};
+
+    pub fn sky_one<M: PreferenceModel>(
+        table: &Table,
+        prefs: &M,
+        target: ObjectId,
+        algo: Algorithm,
+    ) -> Result<SkyResult, QueryError> {
+        let mut stats = PipelineStats::default();
+        solve_one(
+            table,
+            prefs,
+            target,
+            algo,
+            PrepareOptions::default(),
+            &mut SkyScratch::default(),
+            &mut stats,
+        )
+    }
+}
 
 /// A speedup regression beyond this factor versus the `--check` baseline
 /// fails the run.
@@ -118,17 +145,26 @@ fn run_batch(
     component_cache: bool,
 ) -> (Vec<SkyResult>, PipelineStats, f64) {
     let prefs = workloads::block_prefs();
+    let opts = QueryOptions::default()
+        .with_algorithm(Algorithm::default())
+        .with_threads(Some(threads))
+        .with_component_cache(component_cache);
+    // One-shot semantics: the context build is part of the timed pass,
+    // exactly as the removed `all_sky_with_stats` free function timed it.
     let start = Instant::now();
-    let (results, stats) = all_sky_with_stats(
-        table,
+    let ctx = presky_core::batch::BatchCoinContext::build(table).expect("context");
+    let cache = presky_exact::cache::ComponentCache::default();
+    let out = presky_query::engine::all_sky_resident(
+        &ctx,
         &prefs,
-        QueryOptions::default()
-            .with_algorithm(Algorithm::default())
-            .with_threads(Some(threads))
-            .with_component_cache(component_cache),
+        opts,
+        Some(presky_query::engine::CacheScope::new(&cache)),
+        presky_query::engine::EngineBudget::default(),
     )
     .expect("batch driver");
-    (results, stats, start.elapsed().as_secs_f64())
+    let elapsed = start.elapsed().as_secs_f64();
+    let results = out.results.into_iter().map(|r| r.expect("unlimited budget")).collect::<Vec<_>>();
+    (results, out.stats, elapsed)
 }
 
 /// Assert bit-identity of `batch` against the legacy per-object driver on
@@ -142,8 +178,8 @@ fn check_legacy_identity(
     let algo = Algorithm::default();
     let start = Instant::now();
     for &i in targets {
-        let legacy =
-            sky_one(table, &prefs, ObjectId::from(i), reseed(algo, i as u64)).expect("legacy");
+        let legacy = legacy::sky_one(table, &prefs, ObjectId::from(i), reseed(algo, i as u64))
+            .expect("legacy");
         let b = &batch[i];
         assert_eq!(b.object, legacy.object);
         assert_eq!(

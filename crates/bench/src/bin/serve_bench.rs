@@ -36,11 +36,10 @@ use presky_core::preference::{PreferenceModel, SeededPreferences};
 use presky_core::table::Table;
 use presky_core::types::ObjectId;
 use presky_datagen::car::car_projected;
-use presky_exact::snapshot::Fnv;
-use presky_query::prob_skyline::{QueryOptions, SkyResult};
+use presky_query::prob_skyline::QueryOptions;
 use presky_query::threshold::ThresholdOptions;
 use presky_query::topk::TopKOptions;
-use presky_service::{Engine, EngineOptions, Outcome, Request};
+use presky_service::{digest, Engine, EngineOptions, Outcome, Request};
 
 /// Storm workers; requested, not detected — the duplicate-heavy shape
 /// needs enough submitters that identical requests overlap in time.
@@ -64,22 +63,6 @@ fn duplicate_coin(seq: u64) -> f64 {
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^= z >> 31;
     (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
-
-/// FNV-1a digest of an all-sky vector (presence byte + value bits per
-/// slot): equal digests ⇔ slot-for-slot bit-identical answers.
-fn allsky_digest(slots: &[Option<SkyResult>]) -> u64 {
-    let mut h = Fnv::new();
-    for slot in slots {
-        match slot {
-            Some(r) => {
-                h.eat(&[1]);
-                h.eat(&r.sky.to_bits().to_le_bytes());
-            }
-            None => h.eat(&[0]),
-        }
-    }
-    h.finish()
 }
 
 fn percentile(sorted_nanos: &[u64], p: f64) -> Duration {
@@ -162,7 +145,7 @@ fn storm<M: PreferenceModel + Send + Sync>(engine: &Engine<M>, rounds: usize) ->
     latencies.sort_unstable();
     let submissions = latencies.len() as u64;
     let digest_resp = engine.run(Request::all_sky(one)).expect("post-storm all-sky");
-    let digest = allsky_digest(digest_resp.outcome.value().as_all_sky().expect("all-sky slots"));
+    let digest = digest(std::slice::from_ref(&digest_resp.outcome));
     StormResult {
         submissions,
         elapsed,
@@ -279,7 +262,7 @@ fn main() -> ExitCode {
     } else {
         cold_resp.stats.cache_hits as f64 / cold_resp.stats.cache_probes as f64
     };
-    let cold_digest = allsky_digest(cold_resp.outcome.value().as_all_sky().expect("slots"));
+    let cold_digest = digest(std::slice::from_ref(&cold_resp.outcome));
 
     let snap = std::env::temp_dir().join(format!("presky-serve-bench-{}.snap", std::process::id()));
     cold_engine.save_cache_snapshot(&snap).expect("snapshot save");
@@ -295,7 +278,7 @@ fn main() -> ExitCode {
     } else {
         warm_resp.stats.cache_hits as f64 / warm_resp.stats.cache_probes as f64
     };
-    let warm_digest = allsky_digest(warm_resp.outcome.value().as_all_sky().expect("slots"));
+    let warm_digest = digest(std::slice::from_ref(&warm_resp.outcome));
     assert_eq!(cold_digest, warm_digest, "warmstart must not change any answer bit");
     let warm_speedup = cold_elapsed.as_secs_f64() / warm_elapsed.as_secs_f64();
     println!(

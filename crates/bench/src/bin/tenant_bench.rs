@@ -44,10 +44,10 @@ use presky_core::preference::{PreferenceModel, SeededPreferences};
 use presky_core::table::Table;
 use presky_core::types::{DimId, ObjectId, ValueId};
 use presky_exact::snapshot::Fnv;
-use presky_query::prob_skyline::{QueryOptions, SkyResult};
+use presky_query::prob_skyline::QueryOptions;
 use presky_query::threshold::ThresholdOptions;
 use presky_query::topk::TopKOptions;
-use presky_service::{Engine, EngineOptions, Outcome, Request, TenantId};
+use presky_service::{digest, Engine, EngineOptions, Outcome, Request, TenantId};
 
 /// Storm submitters; requested, not detected, so the two arms replay the
 /// identical submission schedule on any host.
@@ -147,22 +147,6 @@ fn zipf_cdf(n: usize, theta: f64) -> Vec<f64> {
 
 fn pick_rank(cdf: &[f64], u: f64) -> usize {
     cdf.partition_point(|&c| c <= u).min(cdf.len() - 1)
-}
-
-/// FNV-1a digest of an all-sky vector: equal digests ⇔ slot-for-slot
-/// bit-identical answers.
-fn allsky_digest(slots: &[Option<SkyResult>]) -> u64 {
-    let mut h = Fnv::new();
-    for slot in slots {
-        match slot {
-            Some(r) => {
-                h.eat(&[1]);
-                h.eat(&r.sky.to_bits().to_le_bytes());
-            }
-            None => h.eat(&[0]),
-        }
-    }
-    h.finish()
 }
 
 fn percentile(sorted_nanos: &[u64], p: f64) -> Duration {
@@ -278,7 +262,7 @@ fn tenant_arm<M: PreferenceModel + Send + Sync>(
             request = request.with_tenant(t);
         }
         let resp = engine.run(request).expect("digest probe");
-        let d = allsky_digest(resp.outcome.value().as_all_sky().expect("all-sky slots"));
+        let d = digest(std::slice::from_ref(&resp.outcome));
         fold.eat(&d.to_le_bytes());
     }
     ArmResult {

@@ -474,6 +474,20 @@ impl BatchCoinContext {
         &self.code_values[self.offsets[j] as usize..self.offsets[j + 1] as usize]
     }
 
+    /// The raw value of `target` on dimension `dim` — the `b` of every
+    /// coin probability `Pr(a ≺ b)` in `target`'s view on that dimension.
+    /// The sensitivity drivers use this to map a coin's
+    /// `(dim, foreign value)` key back to the full preference direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `target` or `dim` is out of range.
+    pub fn target_value(&self, target: ObjectId, dim: DimId) -> ValueId {
+        let (j, t) = (dim.0 as usize, target.index());
+        assert!(j < self.d && t < self.n, "target/dim out of range");
+        self.code_values[(self.offsets[j] + self.dense[j * self.n + t]) as usize]
+    }
+
     /// Identity hash of the dense-coded table (dimensions, row count, and
     /// every cell's code). Two contexts with equal fingerprints assemble
     /// identical views for every target.

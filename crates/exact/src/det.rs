@@ -344,6 +344,75 @@ pub fn sky_det_view_with(
     Ok(DetOutcome { sky: 1.0 + sum, joints_computed: ctx.budget.joints, elapsed: start.elapsed() })
 }
 
+/// [`sky_det_view_with`] plus the polynomial's gradient: on success,
+/// `grad[k]` holds `∂sky/∂p_k` for every coin `k` of `view` (the vector is
+/// cleared and resized first).
+///
+/// The skyline probability is **multilinear** in each coin probability
+/// (every joint `Pr(E_I)` multiplies the *distinct* coins of `I` exactly
+/// once), so reverse-mode accumulation falls out of the same traversal:
+/// a coin freshly introduced at a lattice node divides every signed term
+/// of that node's subtree, and crediting `subtree_sum / p_k` once per
+/// fresh introduction sums the true partial derivative. The accumulation
+/// mirrors the serial DFS operation for operation, so the returned `sky`
+/// is **bit-identical** to [`sky_det_view_with`] (which is itself
+/// bit-identical at every thread count).
+///
+/// Two deliberate deviations from the scalar solver:
+///
+/// * the traversal is **always serial** — [`DetOptions::threads`] is
+///   ignored, which is what makes the gradient vector deterministic
+///   without a parallel fold (callers parallelise across targets instead);
+/// * coins with probability `0` report gradient `0` rather than the
+///   one-sided derivative (their subtrees carry zero mass under
+///   `prune_zero`, and such coins are certain preferences with no value
+///   of information anyway).
+pub fn sky_det_grad_view_with(
+    view: &CoinView,
+    opts: DetOptions,
+    scratch: &mut DetScratch,
+    grad: &mut Vec<f64>,
+) -> Result<DetOutcome> {
+    let start = Instant::now();
+    let n = view.n_attackers();
+    if n > opts.max_attackers {
+        return Err(ExactError::TooManyAttackers { n, max: opts.max_attackers });
+    }
+    grad.clear();
+    grad.resize(view.n_coins(), 0.0);
+    if view.n_coins() <= 64 {
+        scratch.masks.clear();
+        scratch.masks.extend(
+            (0..n).map(|i| view.attacker_coins(i).iter().fold(0u64, |m, &k| m | (1u64 << k))),
+        );
+        let masks: &[u64] = &scratch.masks;
+        let mut ctx = MaskCtx {
+            view,
+            masks,
+            budget: DfsBudget::new(&opts, start),
+            prune_zero: opts.prune_zero,
+            prune_covered: opts.prune_covered,
+        };
+        let sum = ctx.dfs_grad(0, 1.0, true, 0, grad)?;
+        return Ok(DetOutcome {
+            sky: 1.0 + sum,
+            joints_computed: ctx.budget.joints,
+            elapsed: start.elapsed(),
+        });
+    }
+    scratch.mult.clear();
+    scratch.mult.resize(view.n_coins(), 0);
+    let mut ctx = Ctx {
+        view,
+        mult: &mut scratch.mult,
+        budget: DfsBudget::new(&opts, start),
+        prune_zero: opts.prune_zero,
+        prune_covered: opts.prune_covered,
+    };
+    let sum = ctx.dfs_grad(0, 1.0, true, grad)?;
+    Ok(DetOutcome { sky: 1.0 + sum, joints_computed: ctx.budget.joints, elapsed: start.elapsed() })
+}
+
 /// Per-joint accounting hook shared by the serial budget and the parallel
 /// workers' ledger tickers: called once per joint probability computed.
 trait JointBudget {
@@ -677,6 +746,70 @@ impl<B: JointBudget> Ctx<'_, B> {
         Ok(local)
     }
 
+    /// Gradient twin of [`Ctx::dfs`]: identical terms, prunes and `local`
+    /// accumulation order (the returned sum is bit-identical), plus one
+    /// reverse-mode credit per *fresh* coin of each node — the node's
+    /// signed term and its whole subtree sum, divided by that coin's
+    /// probability (every term below the node contains the coin exactly
+    /// once, so the quotient is the terms' partial derivative). The credit
+    /// happens after the recursion returns and before the multiplicities
+    /// unwind, while `mult[k] == 1` still identifies the fresh coins.
+    fn dfs_grad(
+        &mut self,
+        from: usize,
+        prod: f64,
+        negative: bool,
+        grad: &mut [f64],
+    ) -> Result<f64> {
+        let n = self.view.n_attackers();
+        let mut local = 0.0;
+        for i in from..n {
+            for &k in self.view.attacker_coins(i) {
+                self.mult[k as usize] += 1;
+            }
+            if self.prune_covered
+                && (i + 1..n)
+                    .any(|j| self.view.attacker_coins(j).iter().all(|&k| self.mult[k as usize] > 0))
+            {
+                for &k in self.view.attacker_coins(i) {
+                    self.mult[k as usize] -= 1;
+                }
+                continue;
+            }
+            let mut p = prod;
+            for &k in self.view.attacker_coins(i) {
+                if self.mult[k as usize] == 1 {
+                    p *= self.view.coin_prob(k);
+                }
+            }
+            let term = if negative { -p } else { p };
+            local += term;
+            let r = self.budget.tick().and_then(|()| {
+                if p > 0.0 || !self.prune_zero {
+                    self.dfs_grad(i + 1, p, !negative, grad)
+                } else {
+                    Ok(0.0)
+                }
+            });
+            if let Ok(sub) = r {
+                let node_sum = term + sub;
+                for &k in self.view.attacker_coins(i) {
+                    if self.mult[k as usize] == 1 {
+                        let pk = self.view.coin_prob(k);
+                        if pk > 0.0 {
+                            grad[k as usize] += node_sum / pk;
+                        }
+                    }
+                }
+            }
+            for &k in self.view.attacker_coins(i) {
+                self.mult[k as usize] -= 1;
+            }
+            local += r?;
+        }
+        Ok(local)
+    }
+
     /// Split-phase twin of [`Ctx::dfs`]: identical terms and prunes down to
     /// `depth` levels, deferring each boundary subtree as a [`CtxJob`].
     fn dfs_split(
@@ -779,6 +912,58 @@ impl<B: JointBudget> MaskCtx<'_, B> {
 
             if p > 0.0 || !self.prune_zero {
                 local += self.dfs(i + 1, p, !negative, covers)?;
+            }
+        }
+        Ok(local)
+    }
+
+    /// Gradient twin of [`MaskCtx::dfs`] (see [`Ctx::dfs_grad`]): the
+    /// fresh coins of a node are walked twice — once multiplying the
+    /// incremental factor, once crediting `(term + subtree) / p_k` after
+    /// the recursion returns. Terms and `local` order match the scalar
+    /// traversal bit for bit.
+    fn dfs_grad(
+        &mut self,
+        from: usize,
+        prod: f64,
+        negative: bool,
+        union: u64,
+        grad: &mut [f64],
+    ) -> Result<f64> {
+        let mut local = 0.0;
+        for i in from..self.masks.len() {
+            let mask = self.masks[i];
+            let covers = union | mask;
+            if self.prune_covered && self.masks[i + 1..].iter().any(|&m| m & !covers == 0) {
+                continue;
+            }
+            let mut p = prod;
+            let mut fresh = mask & !union;
+            while fresh != 0 {
+                p *= self.view.coin_prob(fresh.trailing_zeros());
+                fresh &= fresh - 1;
+            }
+            let term = if negative { -p } else { p };
+            local += term;
+            self.budget.tick()?;
+
+            let sub = if p > 0.0 || !self.prune_zero {
+                self.dfs_grad(i + 1, p, !negative, covers, grad)?
+            } else {
+                0.0
+            };
+            let node_sum = term + sub;
+            let mut fresh = mask & !union;
+            while fresh != 0 {
+                let k = fresh.trailing_zeros();
+                let pk = self.view.coin_prob(k);
+                if pk > 0.0 {
+                    grad[k as usize] += node_sum / pk;
+                }
+                fresh &= fresh - 1;
+            }
+            if p > 0.0 || !self.prune_zero {
+                local += sub;
             }
         }
         Ok(local)
@@ -1079,5 +1264,124 @@ mod tests {
         let sac: f64 = (0..view.n_attackers()).map(|i| 1.0 - view.attacker_prob(i)).product();
         assert!((sac - 3.0 / 8.0).abs() < 1e-12);
         assert!((out.sky - sac).abs() > 0.1, "the assumption is materially wrong");
+    }
+
+    /// `sky` recomputed from parts with coin `k` nudged to `p + dp`.
+    fn sky_at(view: &CoinView, k: usize, dp: f64) -> f64 {
+        let mut probs = view.coin_probs().to_vec();
+        probs[k] += dp;
+        let clauses: Vec<Vec<u32>> =
+            (0..view.n_attackers()).map(|i| view.attacker_coins(i).to_vec()).collect();
+        let nudged = CoinView::from_parts(probs, clauses).unwrap();
+        sky_det_view(&nudged, DetOptions { prune_covered: false, ..DetOptions::default() })
+            .unwrap()
+            .sky
+    }
+
+    fn assert_grad_matches_fd(view: &CoinView, opts: DetOptions, label: &str) {
+        let mut scratch = DetScratch::default();
+        let mut grad = Vec::new();
+        let out = sky_det_grad_view_with(view, opts, &mut scratch, &mut grad).unwrap();
+        // The gradient entry must match sky's central finite difference, and
+        // the sky itself must match the scalar solver bit for bit.
+        let scalar = sky_det_view_with(view, opts, &mut scratch).unwrap();
+        assert_eq!(out.sky.to_bits(), scalar.sky.to_bits(), "{label}: sky drifted");
+        assert_eq!(out.joints_computed, scalar.joints_computed, "{label}: joints drifted");
+        let eps = 1e-6;
+        for (k, &g) in grad.iter().enumerate().take(view.n_coins()) {
+            let fd = (sky_at(view, k, eps) - sky_at(view, k, -eps)) / (2.0 * eps);
+            let scale = fd.abs().max(g.abs()).max(1.0);
+            assert!((g - fd).abs() <= 1e-6 * scale, "{label}: coin {k}: grad {g} vs fd {fd}");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_mask_path() {
+        for seed in 1..=5u64 {
+            let view = random_instance(8, 12, seed);
+            assert!(view.n_coins() <= 64);
+            assert_grad_matches_fd(&view, DetOptions::default(), "mask pruned");
+            let literal = DetOptions { prune_covered: false, ..DetOptions::default() };
+            assert_grad_matches_fd(&view, literal, "mask literal");
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_counter_path() {
+        for seed in 1..=5u64 {
+            let view = random_instance(8, 70, seed);
+            assert!(view.n_coins() > 64);
+            assert_grad_matches_fd(&view, DetOptions::default(), "counter pruned");
+        }
+    }
+
+    #[test]
+    fn gradient_of_independent_attackers_is_product_form() {
+        // sky = Π(1 − p_i), so ∂sky/∂p_k = −Π_{j≠k}(1 − p_j).
+        let probs = [0.3, 0.25, 0.6];
+        let view = CoinView::from_parts(probs.to_vec(), vec![vec![0], vec![1], vec![2]]).unwrap();
+        let mut grad = Vec::new();
+        let out = sky_det_grad_view_with(
+            &view,
+            DetOptions::default(),
+            &mut DetScratch::default(),
+            &mut grad,
+        )
+        .unwrap();
+        let sky: f64 = probs.iter().map(|p| 1.0 - p).product();
+        assert!((out.sky - sky).abs() < 1e-12);
+        for (k, &g) in grad.iter().enumerate().take(3) {
+            let expected: f64 = -probs
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != k)
+                .map(|(_, p)| 1.0 - p)
+                .product::<f64>();
+            assert!((g - expected).abs() < 1e-12, "coin {k}: {g} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn zero_probability_coins_report_zero_gradient() {
+        // Coin 0 is certain-false: its subtrees are pruned and its
+        // (one-sided) derivative is deliberately reported as 0.
+        let view =
+            CoinView::from_parts(vec![0.0, 0.5, 0.5], vec![vec![0, 1], vec![0, 2], vec![0, 1, 2]])
+                .unwrap();
+        let mut grad = Vec::new();
+        let out = sky_det_grad_view_with(
+            &view,
+            DetOptions::default(),
+            &mut DetScratch::default(),
+            &mut grad,
+        )
+        .unwrap();
+        assert_eq!(out.sky, 1.0);
+        assert_eq!(grad, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_example1_closed_form() {
+        // Coins of P1's view all sit at 1/2; sky = 3/16. Perturbing any
+        // single coin must agree with the multilinear slope exactly:
+        // sky(p_k = x) = sky + (x − 1/2) · grad[k].
+        let (t, p) = example1();
+        let view = CoinView::build(&t, &p, ObjectId(0)).unwrap();
+        let mut grad = Vec::new();
+        let out = sky_det_grad_view_with(
+            &view,
+            DetOptions::default(),
+            &mut DetScratch::default(),
+            &mut grad,
+        )
+        .unwrap();
+        assert!((out.sky - 3.0 / 16.0).abs() < 1e-12);
+        for (k, &g) in grad.iter().enumerate().take(view.n_coins()) {
+            let up = sky_at(&view, k, 0.25);
+            assert!(
+                (up - (out.sky + 0.25 * g)).abs() < 1e-12,
+                "coin {k}: multilinear extrapolation broke"
+            );
+        }
     }
 }

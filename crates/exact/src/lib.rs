@@ -64,7 +64,8 @@ pub mod prelude {
         sky_conditioning, sky_conditioning_view, ConditioningOptions, ConditioningOutcome,
     };
     pub use crate::det::{
-        sky_det, sky_det_view, sky_det_view_with, DetOptions, DetOutcome, DetScratch,
+        sky_det, sky_det_grad_view_with, sky_det_view, sky_det_view_with, DetOptions, DetOutcome,
+        DetScratch,
     };
     pub use crate::detplus::{sky_det_plus, sky_det_plus_view, DetPlusOptions, DetPlusOutcome};
     pub use crate::dnf::PositiveDnf;

@@ -45,12 +45,17 @@ mod execute;
 mod plan;
 mod prepare;
 mod resident;
+mod sensitivity;
 
 pub use plan::{exact_cost, largest_component, Plan, PlanReason};
 pub use prepare::{PrepareOptions, SkyScratch};
 pub use resident::{
     all_sky_range_resident, all_sky_resident, sky_one_resident, threshold_resident, top_k_resident,
     ResidentOutcome,
+};
+pub use sensitivity::{
+    elicitation_rank_resident, sensitivity_one_resident, sensitivity_resident, ElicitOptions,
+    ElicitationCandidate, ElicitationOutcome, Sensitivity, SensitivityOptions, TargetSensitivity,
 };
 
 /// A component cache plus the per-request overlay scoping that governs

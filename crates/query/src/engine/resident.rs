@@ -63,16 +63,16 @@ impl<T> ResidentOutcome<T> {
 /// [`PipelineStats`], so the ledgers see *logical* work (cache hits re-add
 /// the joints the cached solve computed) and stay comparable across warm
 /// and cold caches.
-struct Ledger {
+pub(super) struct Ledger {
     max_joints: Option<u64>,
     max_samples: Option<u64>,
     joints: AtomicU64,
     samples: AtomicU64,
-    truncated: AtomicU64,
+    pub(super) truncated: AtomicU64,
 }
 
 impl Ledger {
-    fn new(budget: &EngineBudget) -> Self {
+    pub(super) fn new(budget: &EngineBudget) -> Self {
         Self {
             max_joints: budget.max_joints,
             max_samples: budget.max_samples,
@@ -119,7 +119,7 @@ impl Ledger {
 
 /// Run one object's closure under the ledger: admission check, per-object
 /// budget stamp, delta charging, and budget-trip → `None` conversion.
-fn run_budgeted<T>(
+pub(super) fn run_budgeted<T>(
     ledger: &Ledger,
     budget: &EngineBudget,
     stats: &mut PipelineStats,

@@ -48,14 +48,14 @@ pub mod prelude {
         Degenerate,
     };
     pub use crate::engine::{
-        all_sky_range_resident, all_sky_resident, sky_one_resident, threshold_resident,
-        top_k_resident, CacheScope, EngineBudget, PipelineStats, Plan, PlanReason, PrepareOptions,
-        ResidentOutcome,
+        all_sky_range_resident, all_sky_resident, elicitation_rank_resident,
+        sensitivity_one_resident, sensitivity_resident, sky_one_resident, threshold_resident,
+        top_k_resident, CacheScope, ElicitOptions, ElicitationCandidate, ElicitationOutcome,
+        EngineBudget, PipelineStats, Plan, PlanReason, PrepareOptions, ResidentOutcome,
+        Sensitivity, SensitivityOptions, TargetSensitivity,
     };
     pub use crate::error::QueryError;
     pub use crate::oracle::all_sky_naive;
-    #[allow(deprecated)]
-    pub use crate::prob_skyline::{all_sky, all_sky_with_stats, sky_one, sky_one_with};
     pub use crate::prob_skyline::{
         probabilistic_skyline, Algorithm, QueryOptions, SkyResult, SkyScratch,
     };
@@ -63,9 +63,5 @@ pub mod prelude {
         resolution_stats, threshold_one, Resolution, ResolutionStats, ThresholdAnswer,
         ThresholdOptions,
     };
-    #[allow(deprecated)]
-    pub use crate::threshold::{threshold_skyline, threshold_skyline_with_stats};
-    #[allow(deprecated)]
-    pub use crate::topk::top_k_skyline;
     pub use crate::topk::TopKOptions;
 }

@@ -25,7 +25,7 @@
 //!   undercuts the sampler's own predicted cost, Monte-Carlo otherwise.
 //!
 //! The batch driver produces **bit-identical** results to calling
-//! [`sky_one`] per object with the same options (see
+//! [`engine::solve_one`] per object with the same options (see
 //! `crates/query/tests/properties.rs`).
 
 use presky_core::batch::BatchCoinContext;
@@ -79,51 +79,6 @@ pub struct SkyResult {
     pub exact: bool,
 }
 
-/// Compute one object's skyline probability under the policy.
-#[deprecated(
-    since = "0.2.0",
-    note = "route single-object queries through `presky_service::Engine` with a \
-            `Request::sky_one(..)` (or `presky_query::engine::solve_one` for a direct \
-            call); see DESIGN.md §10 for the migration"
-)]
-pub fn sky_one<M: PreferenceModel>(
-    table: &Table,
-    prefs: &M,
-    target: ObjectId,
-    algo: Algorithm,
-) -> Result<SkyResult> {
-    sky_one_inner(table, prefs, target, algo, &mut SkyScratch::default())
-}
-
-/// [`sky_one`] with caller-provided scratch, for repeated queries.
-#[deprecated(
-    since = "0.2.0",
-    note = "route single-object queries through `presky_service::Engine` with a \
-            `Request::sky_one(..)` (or `presky_query::engine::solve_one` for a direct \
-            call); see DESIGN.md §10 for the migration"
-)]
-pub fn sky_one_with<M: PreferenceModel>(
-    table: &Table,
-    prefs: &M,
-    target: ObjectId,
-    algo: Algorithm,
-    scratch: &mut SkyScratch,
-) -> Result<SkyResult> {
-    sky_one_inner(table, prefs, target, algo, scratch)
-}
-
-/// Shared implementation of the deprecated single-object entry points.
-pub(crate) fn sky_one_inner<M: PreferenceModel>(
-    table: &Table,
-    prefs: &M,
-    target: ObjectId,
-    algo: Algorithm,
-    scratch: &mut SkyScratch,
-) -> Result<SkyResult> {
-    let mut stats = PipelineStats::default();
-    engine::solve_one(table, prefs, target, algo, PrepareOptions::default(), scratch, &mut stats)
-}
-
 /// Options of the all-objects query driver.
 #[derive(Debug, Clone, Copy)]
 #[non_exhaustive]
@@ -165,44 +120,13 @@ impl QueryOptions {
     }
 }
 
-/// Compute the skyline probability of **every** object, in parallel.
-///
-/// The table is indexed once; workers then assemble each target's view by
-/// array lookups and solve it with per-worker reusable scratch. Results
-/// are in object order and bit-identical to a [`sky_one`] loop with the
-/// same options. Requires `M: Sync` (all provided models are).
-#[deprecated(
-    since = "0.2.0",
-    note = "route all-objects queries through `presky_service::Engine` with a \
-            `Request::all_sky(..)` (or `presky_query::engine::all_sky_resident` against \
-            a prebuilt `BatchCoinContext`); see DESIGN.md §10 for the migration"
-)]
-pub fn all_sky<M: PreferenceModel + Sync>(
-    table: &Table,
-    prefs: &M,
-    opts: QueryOptions,
-) -> Result<Vec<SkyResult>> {
-    all_sky_inner(table, prefs, opts).map(|(results, _)| results)
-}
-
-/// [`all_sky`] returning the aggregated per-stage [`PipelineStats`]
-/// alongside the results.
-#[deprecated(
-    since = "0.2.0",
-    note = "route all-objects queries through `presky_service::Engine` with a \
-            `Request::all_sky(..)` (or `presky_query::engine::all_sky_resident` against \
-            a prebuilt `BatchCoinContext`); see DESIGN.md §10 for the migration"
-)]
-pub fn all_sky_with_stats<M: PreferenceModel + Sync>(
-    table: &Table,
-    prefs: &M,
-    opts: QueryOptions,
-) -> Result<(Vec<SkyResult>, PipelineStats)> {
-    all_sky_inner(table, prefs, opts)
-}
-
-/// Shared implementation of the deprecated one-shot all-objects entry
-/// points: index the table, run the batch, tear everything down again.
+/// The skyline probability of **every** object, in parallel, one-shot:
+/// index the table, run the batch, tear everything down again. The table
+/// is indexed once; workers then assemble each target's view by array
+/// lookups and solve it with per-worker reusable scratch. Results are in
+/// object order and bit-identical to an [`engine::solve_one`] loop with
+/// the same options. Serving deployments keep the index resident and use
+/// [`engine::all_sky_resident`] instead.
 pub(crate) fn all_sky_inner<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
@@ -279,15 +203,48 @@ pub fn probabilistic_skyline<M: PreferenceModel + Sync>(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated one-shot entry points stay under test until removal.
-    #![allow(deprecated)]
-
     use presky_core::preference::{DeterministicOrder, PrefPair, TablePreferences};
     use presky_exact::det::DetOptions;
 
     use super::*;
     use crate::certain::{skyline_bnl, Degenerate};
     use crate::oracle::all_sky_naive;
+
+    // One-shot shims over the internal drivers, standing in for the
+    // removed free functions these tests were written against.
+    fn all_sky<M: PreferenceModel + Sync>(
+        table: &Table,
+        prefs: &M,
+        opts: QueryOptions,
+    ) -> Result<Vec<SkyResult>> {
+        all_sky_inner(table, prefs, opts).map(|(r, _)| r)
+    }
+
+    fn all_sky_with_stats<M: PreferenceModel + Sync>(
+        table: &Table,
+        prefs: &M,
+        opts: QueryOptions,
+    ) -> Result<(Vec<SkyResult>, PipelineStats)> {
+        all_sky_inner(table, prefs, opts)
+    }
+
+    fn sky_one<M: PreferenceModel>(
+        table: &Table,
+        prefs: &M,
+        target: ObjectId,
+        algo: Algorithm,
+    ) -> Result<SkyResult> {
+        let mut stats = PipelineStats::default();
+        engine::solve_one(
+            table,
+            prefs,
+            target,
+            algo,
+            PrepareOptions::default(),
+            &mut SkyScratch::default(),
+            &mut stats,
+        )
+    }
 
     fn observation() -> (Table, TablePreferences) {
         let t = Table::from_rows_raw(2, &[vec![0, 0], vec![0, 1], vec![1, 1]]).unwrap();

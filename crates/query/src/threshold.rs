@@ -24,12 +24,14 @@
 
 use std::time::Instant;
 
+#[cfg(test)]
 use presky_core::batch::BatchCoinContext;
 use presky_core::preference::PreferenceModel;
 use presky_core::table::Table;
 use presky_core::types::ObjectId;
 
 use presky_exact::bounds::SkyBounds;
+#[cfg(test)]
 use presky_exact::cache::ComponentCache;
 
 use presky_approx::sampler::SamOptions;
@@ -192,48 +194,16 @@ pub fn threshold_one<M: PreferenceModel>(
     engine::threshold_solve_one(table, prefs, target, tau, opts, &mut scratch, &mut stats)
 }
 
-/// The probabilistic skyline as a membership list, in parallel.
+/// The probabilistic skyline as a membership list, in parallel, one-shot:
+/// index the table, run the batch ladder, tear everything down again.
 ///
-/// Returns one [`ThresholdAnswer`] per object, in object order. Like
-/// [`crate::prob_skyline::all_sky`], the table is indexed once into a
-/// [`BatchCoinContext`]; workers assemble views by array lookups, keep
-/// per-worker scratch, and their chunked results are stitched in order
-/// without a shared mutex.
-#[deprecated(
-    since = "0.2.0",
-    note = "route threshold queries through `presky_service::Engine` with a \
-            `Request::threshold(..)` (or `presky_query::engine::threshold_resident` \
-            against a prebuilt `BatchCoinContext`); see DESIGN.md §10 for the migration"
-)]
-pub fn threshold_skyline<M: PreferenceModel + Sync>(
-    table: &Table,
-    prefs: &M,
-    tau: f64,
-    opts: ThresholdOptions,
-) -> Result<Vec<ThresholdAnswer>> {
-    threshold_skyline_inner(table, prefs, tau, opts).map(|(answers, _)| answers)
-}
-
-/// [`threshold_skyline`] returning the aggregated per-stage
-/// [`PipelineStats`] (rung counters, reductions, stage times) alongside
-/// the answers.
-#[deprecated(
-    since = "0.2.0",
-    note = "route threshold queries through `presky_service::Engine` with a \
-            `Request::threshold(..)` (or `presky_query::engine::threshold_resident` \
-            against a prebuilt `BatchCoinContext`); see DESIGN.md §10 for the migration"
-)]
-pub fn threshold_skyline_with_stats<M: PreferenceModel + Sync>(
-    table: &Table,
-    prefs: &M,
-    tau: f64,
-    opts: ThresholdOptions,
-) -> Result<(Vec<ThresholdAnswer>, PipelineStats)> {
-    threshold_skyline_inner(table, prefs, tau, opts)
-}
-
-/// Shared implementation of the deprecated one-shot entry points: index
-/// the table, run the batch ladder, tear everything down again.
+/// Returns one [`ThresholdAnswer`] per object, in object order. The table
+/// is indexed once into a [`BatchCoinContext`]; workers assemble views by
+/// array lookups, keep per-worker scratch, and their chunked results are
+/// stitched in order without a shared mutex. Kept as the bit-identity
+/// baseline [`engine::threshold_resident`] is pinned to in its own tests;
+/// production routes through the resident driver.
+#[cfg(test)]
 pub(crate) fn threshold_skyline_inner<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
@@ -292,13 +262,30 @@ pub fn resolution_stats(answers: &[ThresholdAnswer]) -> ResolutionStats {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated one-shot entry points stay under test until removal.
-    #![allow(deprecated)]
-
     use presky_core::preference::{PrefPair, TablePreferences};
 
     use super::*;
     use crate::oracle::all_sky_naive;
+
+    // One-shot shims over the internal driver, standing in for the
+    // removed free functions these tests were written against.
+    fn threshold_skyline<M: PreferenceModel + Sync>(
+        table: &Table,
+        prefs: &M,
+        tau: f64,
+        opts: ThresholdOptions,
+    ) -> Result<Vec<ThresholdAnswer>> {
+        threshold_skyline_inner(table, prefs, tau, opts).map(|(r, _)| r)
+    }
+
+    fn threshold_skyline_with_stats<M: PreferenceModel + Sync>(
+        table: &Table,
+        prefs: &M,
+        tau: f64,
+        opts: ThresholdOptions,
+    ) -> Result<(Vec<ThresholdAnswer>, PipelineStats)> {
+        threshold_skyline_inner(table, prefs, tau, opts)
+    }
 
     fn example1() -> (Table, TablePreferences) {
         let t =

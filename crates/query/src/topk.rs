@@ -15,17 +15,22 @@
 //! ranking quality is governed by the refined budget — the same
 //! additive-error calculus as Theorem 2, applied only where it matters.
 
+#[cfg(test)]
 use presky_core::preference::PreferenceModel;
+#[cfg(test)]
 use presky_core::table::Table;
 
 use presky_approx::sampler::SamOptions;
+#[cfg(test)]
 use presky_exact::cache::ComponentCache;
 
+#[cfg(test)]
 use crate::engine::{self, PipelineStats, PrepareOptions};
+#[cfg(test)]
 use crate::error::{QueryError, Result};
-use crate::prob_skyline::{
-    all_sky_with_stats_cached, Algorithm, QueryOptions, SkyResult, SkyScratch,
-};
+use crate::prob_skyline::SkyResult;
+#[cfg(test)]
+use crate::prob_skyline::{all_sky_with_stats_cached, Algorithm, QueryOptions, SkyScratch};
 
 /// Options of the two-phase top-k query.
 #[derive(Debug, Clone, Copy)]
@@ -102,23 +107,10 @@ impl TopKOptions {
 }
 
 /// The `k` objects with the highest skyline probabilities, sorted
-/// descending (ties broken by object id for determinism).
-#[deprecated(
-    since = "0.2.0",
-    note = "route top-k queries through `presky_service::Engine` with a \
-            `Request::top_k(..)` (or `presky_query::engine::top_k_resident` against a \
-            prebuilt `BatchCoinContext`); see DESIGN.md §10 for the migration"
-)]
-pub fn top_k_skyline<M: PreferenceModel + Sync>(
-    table: &Table,
-    prefs: &M,
-    k: usize,
-    opts: TopKOptions,
-) -> Result<Vec<SkyResult>> {
-    top_k_inner(table, prefs, k, opts)
-}
-
-/// Shared implementation of the deprecated one-shot top-k entry point.
+/// descending (ties broken by object id for determinism), one-shot.
+/// Kept as the bit-identity baseline [`engine::top_k_resident`] is pinned
+/// to in its own tests; production routes through the resident driver.
+#[cfg(test)]
 pub(crate) fn top_k_inner<M: PreferenceModel + Sync>(
     table: &Table,
     prefs: &M,
@@ -204,14 +196,22 @@ pub(crate) fn sort_desc(v: &mut [SkyResult]) {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated one-shot entry point stays under test until removal.
-    #![allow(deprecated)]
-
     use presky_core::preference::{PrefPair, TablePreferences};
     use presky_core::types::ObjectId;
 
     use super::*;
     use crate::oracle::all_sky_naive;
+
+    // One-shot shim over the internal driver, standing in for the removed
+    // free function these tests were written against.
+    fn top_k_skyline<M: PreferenceModel + Sync>(
+        table: &Table,
+        prefs: &M,
+        k: usize,
+        opts: TopKOptions,
+    ) -> Result<Vec<SkyResult>> {
+        top_k_inner(table, prefs, k, opts)
+    }
 
     fn fixture() -> (Table, TablePreferences) {
         // Example 1 plus the Observation layout merged: 5 distinct objects.

@@ -1,24 +1,108 @@
 //! Property-based tests of the query layer: the ladder, the flat query,
 //! top-k and the certain-skyline substrate must all tell one story.
 //!
-//! The deprecated one-shot entry points stay under test until removal —
-//! they are the bit-identity baselines the resident drivers are pinned to.
-#![allow(deprecated)]
+//! The one-shot wrappers below rebuild the removed free-function entry
+//! points from the public resident drivers — they are the bit-identity
+//! baselines the rest of the suite is pinned to.
 
 use proptest::prelude::*;
 
+use presky_core::batch::BatchCoinContext;
 use presky_core::preference::{PrefPair, PreferenceModel, TablePreferences};
 use presky_core::table::Table;
 use presky_core::types::{DimId, ObjectId, ValueId};
 
 use presky_approx::sampler::SamOptions;
+use presky_exact::cache::ComponentCache;
 use presky_query::certain::{skyline_bnl, Degenerate};
-use presky_query::oracle::all_sky_naive;
-use presky_query::prob_skyline::{all_sky, probabilistic_skyline, QueryOptions, SkyResult};
-use presky_query::threshold::{
-    threshold_one, threshold_skyline, Resolution, ThresholdAnswer, ThresholdOptions,
+use presky_query::engine::{
+    all_sky_resident, solve_one, threshold_resident, top_k_resident, CacheScope, EngineBudget,
+    PipelineStats, PrepareOptions, SkyScratch,
 };
-use presky_query::topk::{top_k_skyline, TopKOptions};
+use presky_query::error::QueryError;
+use presky_query::oracle::all_sky_naive;
+use presky_query::prob_skyline::{probabilistic_skyline, Algorithm, QueryOptions, SkyResult};
+use presky_query::threshold::{threshold_one, Resolution, ThresholdAnswer, ThresholdOptions};
+use presky_query::topk::TopKOptions;
+
+/// One-shot all-objects query over the public resident driver —
+/// bit-identical to the removed `all_sky` free function (guarded by
+/// `unbudgeted_resident_matches_one_shot_bitwise` in the engine).
+fn all_sky<M: PreferenceModel + Sync>(
+    table: &Table,
+    prefs: &M,
+    opts: QueryOptions,
+) -> Result<Vec<SkyResult>, QueryError> {
+    let ctx = BatchCoinContext::build(table)?;
+    let cache = ComponentCache::default();
+    let out = all_sky_resident(
+        &ctx,
+        prefs,
+        opts,
+        Some(CacheScope::new(&cache)),
+        EngineBudget::default(),
+    )?;
+    Ok(out.results.into_iter().map(|r| r.expect("unlimited budget")).collect())
+}
+
+/// One-shot single-object query over the public engine entry point.
+fn sky_one<M: PreferenceModel>(
+    table: &Table,
+    prefs: &M,
+    target: ObjectId,
+    algo: Algorithm,
+) -> Result<SkyResult, QueryError> {
+    let mut stats = PipelineStats::default();
+    solve_one(
+        table,
+        prefs,
+        target,
+        algo,
+        PrepareOptions::default(),
+        &mut SkyScratch::default(),
+        &mut stats,
+    )
+}
+
+/// One-shot threshold query over the public resident driver.
+fn threshold_skyline<M: PreferenceModel + Sync>(
+    table: &Table,
+    prefs: &M,
+    tau: f64,
+    opts: ThresholdOptions,
+) -> Result<Vec<ThresholdAnswer>, QueryError> {
+    let ctx = BatchCoinContext::build(table)?;
+    let cache = ComponentCache::default();
+    let out = threshold_resident(
+        &ctx,
+        prefs,
+        tau,
+        opts,
+        Some(CacheScope::new(&cache)),
+        EngineBudget::default(),
+    )?;
+    Ok(out.results.into_iter().map(|r| r.expect("unlimited budget")).collect())
+}
+
+/// One-shot top-k query over the public resident driver.
+fn top_k_skyline<M: PreferenceModel + Sync>(
+    table: &Table,
+    prefs: &M,
+    k: usize,
+    opts: TopKOptions,
+) -> Result<Vec<SkyResult>, QueryError> {
+    let ctx = BatchCoinContext::build(table)?;
+    let cache = ComponentCache::default();
+    let out = top_k_resident(
+        &ctx,
+        prefs,
+        k,
+        opts,
+        Some(CacheScope::new(&cache)),
+        EngineBudget::default(),
+    )?;
+    Ok(out.results.into_iter().map(|r| r.expect("unlimited budget")).collect())
+}
 
 fn decode_row(mut idx: usize, d: usize) -> Vec<u32> {
     let mut row = Vec::with_capacity(d);
@@ -171,8 +255,6 @@ fn top_k_reference(
     k: usize,
     opts: TopKOptions,
 ) -> Vec<SkyResult> {
-    use presky_query::prob_skyline::{sky_one, Algorithm};
-
     fn sort_desc(v: &mut [SkyResult]) {
         v.sort_by(|a, b| {
             b.sky
@@ -302,7 +384,6 @@ proptest! {
         algo_sel in 0usize..3,
     ) {
         use presky_exact::det::DetOptions;
-        use presky_query::prob_skyline::{sky_one, Algorithm};
         let algorithm = match algo_sel {
             0 => Algorithm::default(),
             1 => Algorithm::Sampling(SamOptions::with_samples(400, 11)),

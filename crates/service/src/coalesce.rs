@@ -110,6 +110,20 @@ pub(crate) fn request_signature(
             sig.opt_u64(opts.threads.map(|t| t as u64));
             sig.bool(opts.component_cache);
         }
+        Query::Sensitivity { target, opts } => {
+            sig.u8(4);
+            sig.opt_u64(target.map(|t| t.0 as u64));
+            sig.opt_u64(opts.threads.map(|t| t as u64));
+            sig.bool(opts.component_cache);
+            sig.u64(opts.exact_component_limit as u64);
+        }
+        Query::ElicitationRank { opts } => {
+            sig.u8(5);
+            sig.opt_u64(opts.threads.map(|t| t as u64));
+            sig.bool(opts.component_cache);
+            sig.u64(opts.exact_component_limit as u64);
+            sig.u64(opts.top as u64);
+        }
     }
     sig.ok.then_some(sig.buf)
 }
@@ -325,6 +339,7 @@ mod tests {
     use std::time::Duration;
 
     use presky_core::types::ObjectId;
+    use presky_query::engine::{ElicitOptions, SensitivityOptions};
     use presky_query::prob_skyline::QueryOptions;
     use presky_query::threshold::ThresholdOptions;
     use presky_query::topk::TopKOptions;
@@ -352,6 +367,21 @@ mod tests {
             request_signature(&Request::threshold(0.2, ThresholdOptions::default()), 0, 0).unwrap(),
             request_signature(&Request::threshold(0.3, ThresholdOptions::default()), 0, 0).unwrap(),
             request_signature(&Request::top_k(2, TopKOptions::default()), 0, 0).unwrap(),
+            request_signature(&Request::sensitivity(None, SensitivityOptions::default()), 0, 0)
+                .unwrap(),
+            request_signature(
+                &Request::sensitivity(Some(ObjectId(0)), SensitivityOptions::default()),
+                0,
+                0,
+            )
+            .unwrap(),
+            request_signature(&Request::elicitation_rank(ElicitOptions::default()), 0, 0).unwrap(),
+            request_signature(
+                &Request::elicitation_rank(ElicitOptions::default().with_top(4)),
+                0,
+                0,
+            )
+            .unwrap(),
             a,
         ];
         for (i, x) in shapes.iter().enumerate() {

@@ -74,8 +74,9 @@ use presky_approx::sampler::SamOptions;
 use presky_exact::cache::{ComponentCache, Eviction, DEFAULT_BYTE_CAP};
 use presky_exact::snapshot::{self, Fnv, SnapshotFingerprint};
 use presky_query::engine::{
-    all_sky_range_resident, all_sky_resident, sky_one_resident, threshold_resident, top_k_resident,
-    CacheScope, EngineBudget, PipelineStats, ResidentOutcome,
+    all_sky_range_resident, all_sky_resident, elicitation_rank_resident, sensitivity_one_resident,
+    sensitivity_resident, sky_one_resident, threshold_resident, top_k_resident, CacheScope,
+    EngineBudget, PipelineStats, ResidentOutcome,
 };
 use presky_query::prob_skyline::{Algorithm, QueryOptions, SkyResult};
 
@@ -801,6 +802,13 @@ impl<M: PreferenceModel + Sync> Engine<M> {
                     .saturating_mul(per_object(opts.refine));
                 scout.saturating_add(refine)
             }
+            // Gradient passes are exact-only, so the planner's sampling
+            // comparison never applies; charge the same per-object upper
+            // bound the exact policy is charged elsewhere.
+            Query::Sensitivity { target: Some(_), .. } => per_object(SamOptions::default()),
+            Query::Sensitivity { target: None, .. } | Query::ElicitationRank { .. } => {
+                (n as u64).saturating_mul(per_object(SamOptions::default()))
+            }
         }
     }
 
@@ -940,6 +948,18 @@ fn dispatch<P: PreferenceModel + Sync>(
             let out = top_k_resident(ctx, prefs, *k, *opts, cache, budget)?;
             (Value::TopK(out.results.into_iter().flatten().collect()), out.stats, out.truncated)
         }
+        Query::Sensitivity { target: Some(target), opts } => {
+            let out = sensitivity_one_resident(ctx, prefs, *target, *opts, cache, budget)?;
+            (Value::Sensitivity(out.results), out.stats, out.truncated)
+        }
+        Query::Sensitivity { target: None, opts } => {
+            let out = sensitivity_resident(ctx, prefs, *opts, cache, budget)?;
+            (Value::Sensitivity(out.results), out.stats, out.truncated)
+        }
+        Query::ElicitationRank { opts } => {
+            let out = elicitation_rank_resident(ctx, prefs, *opts, cache, budget)?;
+            (Value::ElicitationRank(out.candidates), out.stats, out.truncated)
+        }
     })
 }
 
@@ -947,6 +967,7 @@ fn dispatch<P: PreferenceModel + Sync>(
 mod tests {
     use presky_core::preference::{PrefPair, TablePreferences};
     use presky_core::types::ObjectId;
+    use presky_query::engine::{ElicitOptions, SensitivityOptions};
     use presky_query::prob_skyline::QueryOptions;
     use presky_query::threshold::ThresholdOptions;
     use presky_query::topk::TopKOptions;
@@ -985,12 +1006,93 @@ mod tests {
         assert_eq!(r.outcome.value().as_threshold().unwrap().len(), 5);
         let r = e.run(Request::top_k(2, TopKOptions::default())).unwrap();
         assert_eq!(r.outcome.value().as_top_k().unwrap().len(), 2);
+        let r = e.run(Request::sensitivity(None, SensitivityOptions::default())).unwrap();
+        assert!(matches!(r.outcome, Outcome::Exact(_)), "gradients are exact-only");
+        assert_eq!(r.outcome.value().as_sensitivity().unwrap().len(), 5);
+        let r =
+            e.run(Request::sensitivity(Some(ObjectId(0)), SensitivityOptions::default())).unwrap();
+        let slots = r.outcome.value().as_sensitivity().unwrap();
+        assert_eq!(slots.len(), 1);
+        assert!(!slots[0].as_ref().unwrap().sensitivities.is_empty());
+        let r = e.run(Request::elicitation_rank(ElicitOptions::default())).unwrap();
+        assert!(matches!(r.outcome, Outcome::Exact(_)));
+        assert!(!r.outcome.value().as_elicitation_rank().unwrap().is_empty());
         let m = e.metrics();
-        assert_eq!(m.admitted, 4);
-        assert_eq!(m.completed, 4);
+        assert_eq!(m.admitted, 7);
+        assert_eq!(m.completed, 7);
         assert_eq!(m.in_flight, 0);
         assert_eq!(m.epoch, 0);
         assert_eq!(m.writes, 0);
+    }
+
+    #[test]
+    fn sensitivity_gradients_predict_all_sky_exactly_under_a_commit() {
+        // Multilinearity end-to-end through the service: for the top
+        // elicitation candidate, sky(p → 1) = sky + (1 − p)·Σ dsky per
+        // target, and committing the pair must land every object exactly
+        // there (within fp roundoff of the re-solved pipeline).
+        let e = engine(EngineOptions::default());
+        let ranked = e.run(Request::elicitation_rank(ElicitOptions::default())).unwrap();
+        let top = ranked.outcome.value().as_elicitation_rank().unwrap()[0];
+        let grads = e.run(Request::sensitivity(None, SensitivityOptions::default())).unwrap();
+        let predicted: Vec<f64> = grads
+            .outcome
+            .value()
+            .as_sensitivity()
+            .unwrap()
+            .iter()
+            .map(|slot| {
+                let t = slot.as_ref().unwrap();
+                let delta: f64 = t
+                    .sensitivities
+                    .iter()
+                    .filter(|s| {
+                        s.dim == top.dim && (s.a.min(s.b), s.a.max(s.b)) == (top.lo, top.hi)
+                    })
+                    .map(|s| {
+                        // Forward-direction coins move to 1, backward to 0.
+                        let to = if s.a == top.lo { 1.0 } else { 0.0 };
+                        (to - s.prob) * s.dsky
+                    })
+                    .sum();
+                t.sky + delta
+            })
+            .collect();
+        e.set_preference(top.dim, top.lo, top.hi, 1.0, 0.0).unwrap();
+        let after = e.run(Request::all_sky(QueryOptions::default())).unwrap();
+        for (slot, want) in after.outcome.value().as_all_sky().unwrap().iter().zip(&predicted) {
+            assert!((slot.unwrap().sky - want).abs() < 1e-12, "{} vs {want}", slot.unwrap().sky);
+        }
+    }
+
+    #[test]
+    fn elicitation_commits_drive_total_voi_monotonically_down() {
+        // Committing the top-ranked pair each round must never increase
+        // the total value of information: resolved coins contribute
+        // nothing, and all other coins' probabilities are untouched.
+        let e = engine(EngineOptions::default());
+        let mut last = f64::INFINITY;
+        for round in 0..4 {
+            let r = e.run(Request::elicitation_rank(ElicitOptions::default())).unwrap();
+            let ranked = r.outcome.value().as_elicitation_rank().unwrap().to_vec();
+            let total: f64 = ranked.iter().map(|c| c.voi).sum();
+            assert!(total <= last + 1e-12, "round {round}: total VoI rose from {last} to {total}");
+            last = total;
+            let Some(top) = ranked.first().copied() else { break };
+            let receipt = e.set_preference(top.dim, top.lo, top.hi, 1.0, 0.0).unwrap();
+            assert_eq!(receipt.epoch, round + 1);
+            // The committed pair is certain now: it must leave the ranking.
+            let again = e.run(Request::elicitation_rank(ElicitOptions::default())).unwrap();
+            assert!(
+                again.outcome.value().as_elicitation_rank().unwrap().iter().all(|c| (
+                    c.dim, c.lo, c.hi
+                ) != (
+                    top.dim, top.lo, top.hi
+                )),
+                "committed pair survived the re-rank"
+            );
+        }
+        assert!(last < f64::INFINITY, "fixture must expose uncertain pairs");
     }
 
     #[test]

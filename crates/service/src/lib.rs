@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub mod coalesce;
+pub mod digest;
 pub mod engine;
 pub mod error;
 pub mod metrics;
@@ -57,6 +58,7 @@ pub mod request;
 pub mod sharded;
 pub mod tenant;
 
+pub use digest::digest;
 pub use engine::{CommitReceipt, Engine, EngineOptions};
 pub use error::ServiceError;
 pub use metrics::{MetricsSnapshot, TenantMetrics};
@@ -66,12 +68,16 @@ pub use tenant::{OverlayHandle, TenantId};
 
 /// Commonly used names.
 pub mod prelude {
+    pub use crate::digest::digest;
     pub use crate::engine::{CommitReceipt, Engine, EngineOptions};
     pub use crate::error::ServiceError;
     pub use crate::metrics::MetricsSnapshot;
     pub use crate::request::{Budget, Outcome, Query, Request, Response, Value};
     pub use crate::sharded::ShardedEngine;
     pub use crate::tenant::{OverlayHandle, TenantId};
+    pub use presky_query::engine::{
+        ElicitOptions, ElicitationCandidate, Sensitivity, SensitivityOptions, TargetSensitivity,
+    };
     pub use presky_query::prob_skyline::QueryOptions;
     pub use presky_query::threshold::ThresholdOptions;
     pub use presky_query::topk::TopKOptions;

@@ -13,7 +13,10 @@ use presky_core::types::ObjectId;
 
 use crate::tenant::TenantId;
 
-use presky_query::engine::{EngineBudget, PipelineStats};
+use presky_query::engine::{
+    ElicitOptions, ElicitationCandidate, EngineBudget, PipelineStats, SensitivityOptions,
+    TargetSensitivity,
+};
 use presky_query::prob_skyline::{QueryOptions, SkyResult};
 use presky_query::threshold::{Resolution, ThresholdAnswer, ThresholdOptions};
 use presky_query::topk::TopKOptions;
@@ -126,6 +129,20 @@ pub enum Query {
         /// Scout/refine configuration.
         opts: TopKOptions,
     },
+    /// Exact per-coin partial derivatives ∂sky/∂Pr(a≺b) — one object or
+    /// every object, always through the exact pipeline.
+    Sensitivity {
+        /// `Some` for one object's gradient, `None` for every object's.
+        target: Option<ObjectId>,
+        /// Gradient-pass configuration.
+        opts: SensitivityOptions,
+    },
+    /// Preference pairs ranked by value of information: the expected
+    /// skyline churn from resolving each still-uncertain comparison.
+    ElicitationRank {
+        /// Sweep and ranking configuration.
+        opts: ElicitOptions,
+    },
 }
 
 /// One unit of service work: a [`Query`] under a [`Budget`], optionally
@@ -167,6 +184,17 @@ impl Request {
         Self { query: Query::TopK { k, opts }, budget: Budget::default(), tenant: None }
     }
 
+    /// A sensitivity (gradient) request: `Some` target for one object,
+    /// `None` for every object.
+    pub fn sensitivity(target: Option<ObjectId>, opts: SensitivityOptions) -> Self {
+        Self { query: Query::Sensitivity { target, opts }, budget: Budget::default(), tenant: None }
+    }
+
+    /// A preference-elicitation ranking request.
+    pub fn elicitation_rank(opts: ElicitOptions) -> Self {
+        Self { query: Query::ElicitationRank { opts }, budget: Budget::default(), tenant: None }
+    }
+
     /// Chainable: attach a budget.
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
@@ -198,6 +226,10 @@ pub enum Value {
     Threshold(Vec<Option<ThresholdAnswer>>),
     /// The final ranking, best first (at most `k` entries).
     TopK(Vec<SkyResult>),
+    /// Per-object gradients (single-target requests produce one slot).
+    Sensitivity(Vec<Option<TargetSensitivity>>),
+    /// Preference pairs by descending value of information.
+    ElicitationRank(Vec<ElicitationCandidate>),
 }
 
 impl Value {
@@ -233,6 +265,22 @@ impl Value {
         }
     }
 
+    /// The per-object gradients, if this is a [`Value::Sensitivity`].
+    pub fn as_sensitivity(&self) -> Option<&[Option<TargetSensitivity>]> {
+        match self {
+            Value::Sensitivity(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The ranked pairs, if this is a [`Value::ElicitationRank`].
+    pub fn as_elicitation_rank(&self) -> Option<&[ElicitationCandidate]> {
+        match self {
+            Value::ElicitationRank(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// Whether every present value was produced exactly (no estimate).
     pub(crate) fn all_exact(&self) -> bool {
         match self {
@@ -243,6 +291,9 @@ impl Value {
                 .iter()
                 .flatten()
                 .all(|a| matches!(a.resolution, Resolution::Bounds(_) | Resolution::Exact(_))),
+            // Gradients only exist through the exact pipeline; the VoI
+            // ranking is a deterministic fold over those exact gradients.
+            Value::Sensitivity(_) | Value::ElicitationRank(_) => true,
         }
     }
 }

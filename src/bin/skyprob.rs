@@ -17,6 +17,8 @@
 //!                  [--stats] [--no-component-cache] [--deadline-ms 50]
 //! skyprob topk     --table data.tbl (--prefs … | --seed-prefs …) --k 5
 //!                  [--no-component-cache] [--deadline-ms 50]
+//! skyprob elicit   [--dataset nursery|car] [--d 3] [--n 48] [--rounds 3]
+//!                  [--top 8] [--seed-prefs 42] [--threads T]
 //! skyprob serve    --table data.tbl (--prefs … | --seed-prefs …)
 //!                  [--threads 4] [--rounds 2] [--tau 0.1] [--k 5]
 //!                  [--deadline-ms 50] [--max-joints J] [--max-samples S]
@@ -64,6 +66,19 @@
 //! `--full-drop` is the clear-everything A/B baseline) and its digest
 //! must match a fresh engine rebuilt from the final snapshot.
 //!
+//! `elicit` closes the preference-elicitation loop end-to-end over a live
+//! engine: each round ranks the still-uncertain preference pairs by value
+//! of information (expected total skyline-probability churn if the pair
+//! were resolved to certainty, from the exact DFS gradients), answers the
+//! top-ranked question with a deterministic oracle (the direction the
+//! current model already favours), commits the answer through the
+//! epoch/MVCC write path, reports the commit's exact cache-eviction cost
+//! from its `CommitReceipt`, and re-ranks against the new epoch. The
+//! driver is non-interactive and fully deterministic, so CI can diff two
+//! runs for rank determinism; after the last round it asserts the live
+//! all-sky digest equals a fresh engine built from the final snapshot
+//! (exit code gates the check).
+//!
 //! `--tenants N` registers N synthetic tenants, each with a deterministic
 //! `--overlay-pairs`-pair preference overlay over the dataset's rarest
 //! value codes, and stamps every read submission with a tenant drawn
@@ -101,6 +116,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "profile" => profile_cmd(&flags),
         "skyline" => skyline(&flags),
         "topk" => topk(&flags),
+        "elicit" => elicit(&flags),
         "serve" => serve(&flags),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
@@ -116,6 +132,8 @@ fn usage() -> String {
      skyprob profile --table FILE (--prefs FILE | --seed-prefs N) --target I\n  \
      skyprob skyline --table FILE (--prefs FILE | --seed-prefs N) --tau T [--stats] [--deadline-ms D]\n  \
      skyprob topk --table FILE (--prefs FILE | --seed-prefs N) --k K [--deadline-ms D]\n  \
+     skyprob elicit [--dataset nursery|car] [--d 3] [--n 48] [--rounds 3] [--top 8]\n  \
+                [--seed-prefs 42] [--threads T]\n  \
      skyprob serve --table FILE (--prefs FILE | --seed-prefs N) [--threads T] [--rounds R]\n  \
                 [--tau T] [--k K] [--deadline-ms D] [--max-joints J] [--max-samples S]\n  \
                 [--max-in-flight F] [--max-predicted-cost C] [--duplicate-fraction F]\n  \
@@ -445,6 +463,104 @@ fn topk(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// The preference-elicitation loop closed end-to-end over a live engine:
+/// rank uncertain pairs by value of information, answer the top question
+/// with a deterministic oracle, commit through the epoch/MVCC write path,
+/// re-rank, and finally cross-check the live engine's all-sky digest
+/// against a fresh engine built from the final snapshot.
+fn elicit(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = flags.get("dataset").map(String::as_str).unwrap_or("nursery");
+    let d: usize = get(flags, "d")?.unwrap_or(3);
+    let n: usize = get(flags, "n")?.unwrap_or(48);
+    let rounds: usize = get(flags, "rounds")?.unwrap_or(3);
+    let top: usize = get(flags, "top")?.unwrap_or(8);
+    let seed: u64 = get(flags, "seed-prefs")?.unwrap_or(42);
+    let threads: Option<usize> = get(flags, "threads")?;
+    let full = match dataset {
+        "nursery" => nursery_projected(d).map_err(|e| e.to_string())?,
+        "car" => car_projected(d).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown dataset {other:?} (expected nursery|car)")),
+    };
+    let table = full.head(n).dedup_rows();
+    println!("elicit: dataset {dataset} d={d} -> {} rows, {rounds} round(s)", table.len());
+    let prefs = SeededPreferences::complementary(seed);
+    let engine = Engine::new(table, prefs, EngineOptions::default()).map_err(|e| e.to_string())?;
+    let opts = ElicitOptions::default().with_top(top).with_threads(threads);
+
+    for round in 1..=rounds {
+        let resp = engine.run(Request::elicitation_rank(opts)).map_err(|e| e.to_string())?;
+        let ranked = resp
+            .outcome
+            .value()
+            .as_elicitation_rank()
+            .expect("elicitation request yields ranked candidates");
+        println!(
+            "round {round}: {} uncertain pair(s) ranked by value of information",
+            ranked.len()
+        );
+        for (i, c) in ranked.iter().enumerate() {
+            println!(
+                "  #{:<2} dim {} values ({}, {})  Pr(lo<hi) {:.4}  Pr(hi<lo) {:.4}  \
+                 voi {:.6}  coin occurrences {}",
+                i + 1,
+                c.dim.0,
+                c.lo.0,
+                c.hi.0,
+                c.forward,
+                c.backward,
+                c.voi,
+                c.targets,
+            );
+        }
+        let Some(top) = ranked.first() else {
+            println!("round {round}: every preference is certain — elicitation converged");
+            break;
+        };
+        // Deterministic oracle: resolve the pair to certainty in the
+        // direction the current model already favours (ties go forward).
+        let (fwd, bwd) = if top.forward >= top.backward { (1.0, 0.0) } else { (0.0, 1.0) };
+        let receipt =
+            engine.set_preference(top.dim, top.lo, top.hi, fwd, bwd).map_err(|e| e.to_string())?;
+        println!(
+            "  commit: dim {} ({}, {}) -> Pr(lo<hi)={fwd} | epoch {} dirtied {} \
+             evicted {} component(s) / {} byte(s)",
+            top.dim.0,
+            top.lo.0,
+            top.hi.0,
+            receipt.epoch,
+            receipt.dirtied_targets,
+            receipt.evicted_components,
+            receipt.evicted_bytes,
+        );
+    }
+
+    // Digest cross-check: the live engine (incremental invalidation across
+    // all commits) must answer bit-identically to a fresh engine built
+    // from the final snapshot.
+    let live = engine.run(Request::all_sky(QueryOptions::default())).map_err(|e| e.to_string())?;
+    let live_digest = digest(std::slice::from_ref(&live.outcome));
+    let view = engine.snapshot();
+    let fresh_engine = Engine::new(
+        view.table().as_ref().clone(),
+        view.prefs().as_ref().clone(),
+        EngineOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let fresh =
+        fresh_engine.run(Request::all_sky(QueryOptions::default())).map_err(|e| e.to_string())?;
+    let fresh_digest = digest(std::slice::from_ref(&fresh.outcome));
+    println!(
+        "digest: live {live_digest:016x} fresh {fresh_digest:016x} match {}",
+        live_digest == fresh_digest
+    );
+    if live_digest == fresh_digest {
+        Ok(())
+    } else {
+        Err("live all-sky digest differs from a fresh engine built from the final snapshot"
+            .to_owned())
+    }
 }
 
 /// `serve`'s engine handle: a single [`Engine`] or a sharded deployment
@@ -1111,6 +1227,9 @@ mod tests {
         assert!(e.contains("exact-algorithm budget"), "{e}");
         run(&argv(&format!("sky --table {tbl} --prefs {prefs} --target 3 --algo sac"))).unwrap();
         run(&argv(&format!("skyline --table {tbl} --prefs {prefs} --tau 0.2 --stats"))).unwrap();
+        // Two elicitation rounds end-to-end: rank, commit, re-rank, and
+        // the final live-vs-fresh digest gate.
+        run(&argv("elicit --d 3 --n 24 --rounds 2 --top 4")).unwrap();
         run(&argv(&format!("profile --table {tbl} --prefs {prefs} --target 3"))).unwrap();
         // Bad algorithm name surfaces cleanly.
         let e = run(&argv(&format!("sky --table {tbl} --prefs {prefs} --target 3 --algo nope")))
